@@ -1,0 +1,51 @@
+//! Criterion wrapper around the Figure 6 workload (scaled down so a
+//! `cargo bench` run finishes quickly; the full-scale sweep is the
+//! `fig6_scalability` binary). Measures the *wall-clock* cost of driving
+//! the simulated stack — a regression guard on the implementation, while
+//! the binary reports virtual-time bandwidth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpc_sim::SimConfig;
+use pnetcdf::{Dataset, Info, NcType, Version};
+use pnetcdf_bench::partition::{block_of, grid_for, Partition};
+use pnetcdf_mpi::run_world;
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+fn write_once(dims: (u64, u64, u64), partition: Partition, nprocs: usize) {
+    let cfg = SimConfig::sdsc_blue_horizon();
+    let pfs = Pfs::new(cfg.clone(), StorageMode::CostOnly);
+    let grid = grid_for(partition, nprocs);
+    run_world(nprocs, cfg, move |comm| {
+        let mut ds = Dataset::create(comm, &pfs, "b.nc", Version::Cdf2, &Info::new()).unwrap();
+        let z = ds.def_dim("z", dims.0).unwrap();
+        let y = ds.def_dim("y", dims.1).unwrap();
+        let x = ds.def_dim("x", dims.2).unwrap();
+        let v = ds.def_var("tt", NcType::Float, &[z, y, x]).unwrap();
+        ds.enddef().unwrap();
+        let (start, count) = block_of(comm.rank(), grid, dims);
+        let block = vec![1.0f32; (count[0] * count[1] * count[2]) as usize];
+        ds.put_vara_all(v, &start, &count, &block).unwrap();
+        ds.close().unwrap();
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let dims = (64u64, 64, 64); // 1 MiB f32
+    let bytes = dims.0 * dims.1 * dims.2 * 4;
+    let mut g = c.benchmark_group("fig6_write_1MiB");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(10);
+    for partition in [Partition::Z, Partition::X, Partition::ZYX] {
+        for nprocs in [1usize, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(partition.label(), nprocs),
+                &nprocs,
+                |b, &n| b.iter(|| write_once(dims, partition, n)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion wrapper around the Figure 7 workload (miniature FLASH I/O;
+//! the full sweep is the `fig7_flashio` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flash_io::{run_flash_io, FlashConfig, IoLibrary, OutputKind};
+use hpc_sim::SimConfig;
+use pnetcdf_pfs::StorageMode;
+
+fn bench_fig7(c: &mut Criterion) {
+    let blocks_per_proc = 4u64;
+    let nprocs = 4usize;
+    let nxb = 8u64;
+    let bytes = blocks_per_proc * nprocs as u64 * nxb.pow(3) * 24 * 8;
+
+    let mut g = c.benchmark_group("fig7_flash_checkpoint");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(10);
+    for lib in [IoLibrary::Pnetcdf, IoLibrary::Hdf5] {
+        g.bench_with_input(BenchmarkId::new(lib.label(), nprocs), &lib, |b, &lib| {
+            b.iter(|| {
+                run_flash_io(
+                    FlashConfig {
+                        nxb,
+                        nprocs,
+                        kind: OutputKind::Checkpoint,
+                        lib,
+                        blocks_per_proc,
+                        attributes: false,
+                    },
+                    SimConfig::asci_frost(),
+                    StorageMode::CostOnly,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Microbenchmarks of the hot paths under the figures: header codec,
+//! datatype flattening, layout run generation, and pack/unpack.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pnetcdf_format::{layout, Header, NcType, Version};
+use pnetcdf_mpi::{flatten, pack, Datatype};
+
+fn fat_header() -> Header {
+    let mut h = Header::new(Version::Cdf1);
+    let t = h.add_dim("time", 0).unwrap();
+    let z = h.add_dim("z", 64).unwrap();
+    let y = h.add_dim("y", 128).unwrap();
+    let x = h.add_dim("x", 256).unwrap();
+    for i in 0..64 {
+        h.add_var(&format!("var_{i:03}"), NcType::Float, &[t, z, y, x])
+            .unwrap();
+    }
+    h
+}
+
+fn bench_header_codec(c: &mut Criterion) {
+    let h = fat_header();
+    let bytes = h.encode();
+    let mut g = c.benchmark_group("header");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_64vars", |b| b.iter(|| h.encode()));
+    g.bench_function("decode_64vars", |b| b.iter(|| Header::decode(&bytes).unwrap()));
+    g.finish();
+}
+
+fn bench_flatten(c: &mut Criterion) {
+    // An X-partition-like subarray: 256 rows of 64 elements each.
+    let sub = Datatype::subarray(&[256, 256], &[256, 64], &[0, 96], Datatype::float()).unwrap();
+    let mut g = c.benchmark_group("datatype");
+    g.throughput(Throughput::Bytes(sub.size()));
+    g.bench_function("flatten_subarray_256rows", |b| b.iter(|| flatten::flatten(&sub)));
+
+    let buf = vec![0u8; (sub.extent()) as usize];
+    g.bench_function("pack_subarray_256rows", |b| {
+        b.iter(|| pack::pack(&buf, 1, &sub).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_access_runs(c: &mut Criterion) {
+    let mut h = Header::new(Version::Cdf1);
+    let z = h.add_dim("z", 128).unwrap();
+    let y = h.add_dim("y", 128).unwrap();
+    let x = h.add_dim("x", 128).unwrap();
+    h.add_var("tt", NcType::Float, &[z, y, x]).unwrap();
+    let l = layout::compute(&mut h, 4).unwrap();
+    let mut g = c.benchmark_group("layout");
+    g.bench_function("access_runs_x_partition", |b| {
+        b.iter(|| layout::access_runs(&h, l.recsize, 0, &[0, 0, 32], &[128, 128, 32], None))
+    });
+    g.bench_function("access_runs_z_partition", |b| {
+        b.iter(|| layout::access_runs(&h, l.recsize, 0, &[32, 0, 0], &[32, 128, 128], None))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_header_codec, bench_flatten, bench_access_runs);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Ablation: collective vs independent data mode.
+//!
+//! The paper: "Using collective operations provides the underlying PnetCDF
+//! implementation an opportunity to further optimize access ... proven to
+//! provide dramatic performance improvement in multidimensional dataset
+//! access." Here the same Y-partitioned (noncontiguous) write is issued
+//! through `put_vara_all` (two-phase collective I/O) and through
+//! independent `put_vara` (data sieving per rank), at several scales.
+//!
+//! Usage: `cargo run --release -p pnetcdf-bench --bin ablation_collective`
+
+use hpc_sim::{SimConfig, Time};
+use pnetcdf::{Dataset, Info, NcType, Version};
+use pnetcdf_bench::partition::{block_of, grid_for, Partition};
+use pnetcdf_bench::table::print_series;
+use pnetcdf_mpi::run_world;
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+fn run(dims: (u64, u64, u64), nprocs: usize, collective: bool) -> Time {
+    let cfg = SimConfig::sdsc_blue_horizon();
+    let pfs = Pfs::new(cfg.clone(), StorageMode::CostOnly);
+    let grid = grid_for(Partition::Y, nprocs);
+    let run = run_world(nprocs, cfg, move |comm| {
+        let mut ds = Dataset::create(comm, &pfs, "a.nc", Version::Cdf2, &Info::new()).unwrap();
+        let z = ds.def_dim("z", dims.0).unwrap();
+        let y = ds.def_dim("y", dims.1).unwrap();
+        let x = ds.def_dim("x", dims.2).unwrap();
+        let v = ds.def_var("tt", NcType::Float, &[z, y, x]).unwrap();
+        ds.enddef().unwrap();
+        let (start, count) = block_of(comm.rank(), grid, dims);
+        let block = vec![1.0f32; (count[0] * count[1] * count[2]) as usize];
+        let t0 = comm.now();
+        if collective {
+            ds.put_vara_all(v, &start, &count, &block).unwrap();
+        } else {
+            ds.begin_indep_data().unwrap();
+            ds.put_vara(v, &start, &count, &block).unwrap();
+            ds.end_indep_data().unwrap();
+        }
+        let t = comm.now() - t0;
+        ds.close().unwrap();
+        t
+    });
+    run.results.into_iter().max().unwrap()
+}
+
+fn main() {
+    let dims = (128u64, 128, 256); // 16 MB f32, Y-partitioned
+    let procs = [2usize, 4, 8, 16];
+    let total = (dims.0 * dims.1 * dims.2 * 4) as f64;
+    let mb = |t: Time| total / t.as_secs_f64() / 1e6;
+
+    println!("# Ablation: collective (two-phase) vs independent (sieved) writes");
+    println!("# 16 MB tt(Z,Y,X) f32, Y partition, SDSC-like platform");
+
+    let xs: Vec<String> = procs.iter().map(|p| p.to_string()).collect();
+    let mut series = Vec::new();
+    for (name, collective) in [("collective", true), ("independent", false)] {
+        let row: Vec<f64> = procs.iter().map(|&p| mb(run(dims, p, collective))).collect();
+        series.push((name.to_string(), row));
+    }
+    print_series("Collective vs independent write", "mode", &xs, &series, "MB/s");
+
+    let speedup: Vec<f64> = series[0]
+        .1
+        .iter()
+        .zip(&series[1].1)
+        .map(|(c, i)| c / i)
+        .collect();
+    println!("\nspeedup (collective / independent): {speedup:.1?}");
+}

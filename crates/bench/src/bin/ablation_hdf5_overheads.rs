@@ -1,0 +1,90 @@
+//! Ablation: where HDF5's FLASH deficit comes from.
+//!
+//! Fixed total data volume, variable number of datasets. PnetCDF defines
+//! all variables in one header and pays one `enddef`; HDF5-sim pays a
+//! collective create + metadata-sync + collective close per dataset. As the
+//! dataset count rises the HDF5 curve falls away — the paper's explanation
+//! of Figure 7 ("the extra overhead involved in parallel HDF5 includes
+//! interprocess synchronizations and file header access performed
+//! internally in parallel open/close of every dataset").
+//!
+//! Usage: `cargo run --release -p pnetcdf-bench --bin ablation_hdf5_overheads`
+
+use hdf5_sim::{H5File, H5Type};
+use hpc_sim::{SimConfig, Time};
+use pnetcdf::{Dataset, Info, NcType, Version};
+use pnetcdf_bench::table::print_series;
+use pnetcdf_mpi::run_world;
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+const TOTAL_ELEMS: u64 = 1 << 21; // 16 MiB of f64 in total
+
+fn run_pnetcdf(nprocs: usize, ndatasets: usize) -> Time {
+    let cfg = SimConfig::asci_frost();
+    let pfs = Pfs::new(cfg.clone(), StorageMode::CostOnly);
+    let run = run_world(nprocs, cfg, move |comm| {
+        let per = TOTAL_ELEMS / ndatasets as u64;
+        let slab = per / nprocs as u64;
+        let t0 = comm.now();
+        let mut ds = Dataset::create(comm, &pfs, "p.nc", Version::Cdf2, &Info::new()).unwrap();
+        let d = ds.def_dim("n", per).unwrap();
+        let ids: Vec<usize> = (0..ndatasets)
+            .map(|i| ds.def_var(&format!("v{i}"), NcType::Double, &[d]).unwrap())
+            .collect();
+        ds.enddef().unwrap();
+        let vals = vec![1.0f64; slab as usize];
+        for &v in &ids {
+            ds.put_vara_all(v, &[comm.rank() as u64 * slab], &[slab], &vals)
+                .unwrap();
+        }
+        ds.close().unwrap();
+        comm.now() - t0
+    });
+    run.results.into_iter().max().unwrap()
+}
+
+fn run_hdf5(nprocs: usize, ndatasets: usize) -> Time {
+    let cfg = SimConfig::asci_frost();
+    let pfs = Pfs::new(cfg.clone(), StorageMode::CostOnly);
+    let run = run_world(nprocs, cfg, move |comm| {
+        let per = TOTAL_ELEMS / ndatasets as u64;
+        let slab = per / nprocs as u64;
+        let t0 = comm.now();
+        let mut f = H5File::create(comm, &pfs, "h.h5", &pnetcdf_mpi::Info::new()).unwrap();
+        let vals = vec![1.0f64; slab as usize];
+        for i in 0..ndatasets {
+            let mut d = f
+                .create_dataset(&format!("v{i}"), H5Type::F64, &[per])
+                .unwrap();
+            d.write_all(&mut f, &[comm.rank() as u64 * slab], &[slab], &vals)
+                .unwrap();
+            d.close(&mut f).unwrap();
+        }
+        f.close().unwrap();
+        comm.now() - t0
+    });
+    run.results.into_iter().max().unwrap()
+}
+
+fn main() {
+    let nprocs = 16;
+    let counts = [1usize, 2, 4, 8, 16, 32, 64];
+    let total = (TOTAL_ELEMS * 8) as f64;
+    let mb = |t: Time| total / t.as_secs_f64() / 1e6;
+
+    println!("# Ablation: per-dataset overhead decomposition (16 MiB total, 16 procs)");
+
+    let xs: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
+    let p: Vec<f64> = counts.iter().map(|&c| mb(run_pnetcdf(nprocs, c))).collect();
+    let h: Vec<f64> = counts.iter().map(|&c| mb(run_hdf5(nprocs, c))).collect();
+    print_series(
+        "Bandwidth vs number of datasets (fixed volume)",
+        "library",
+        &xs,
+        &[("PnetCDF".to_string(), p.clone()), ("HDF5".to_string(), h.clone())],
+        "MB/s",
+    );
+    let ratio: Vec<f64> = p.iter().zip(&h).map(|(a, b)| a / b).collect();
+    println!("\nPnetCDF/HDF5 ratio by dataset count: {ratio:.2?}");
+    println!("(FLASH writes 29 datasets per checkpoint — read the ratio there.)");
+}

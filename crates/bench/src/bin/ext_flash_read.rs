@@ -1,0 +1,54 @@
+//! Extension experiment (paper §6 future work): FLASH *restart* read
+//! performance, PnetCDF vs HDF5.
+//!
+//! The paper conjectures: "perhaps without the additional synchronization
+//! of writes the \[read\] performance is more comparable." This harness
+//! writes a checkpoint with each library and times reading it back.
+//! Expected shape: the PnetCDF/HDF5 gap narrows on reads (HDF5-sim skips
+//! its write-time metadata synchronization) but does not close entirely
+//! (per-object collective opens and recursive hyperslab unpacking remain).
+//!
+//! Usage: `cargo run --release -p pnetcdf-bench --bin ext_flash_read [-- --quick]`
+
+use flash_io::readers::run_restart;
+use flash_io::{BlockMesh, IoLibrary};
+use hpc_sim::SimConfig;
+use pnetcdf_bench::table::print_series;
+use pnetcdf_pfs::StorageMode;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (blocks_per_proc, procs): (u64, Vec<usize>) = if quick {
+        (8, vec![4, 8, 16])
+    } else {
+        (80, vec![16, 32, 64, 128, 256])
+    };
+
+    println!("# Extension: FLASH restart (checkpoint read-back), Frost-like platform");
+    println!("# blocks/proc = {blocks_per_proc}, 8x8x8 blocks, 24 unknowns f64");
+
+    let xs: Vec<String> = procs.iter().map(|p| p.to_string()).collect();
+    let mut series = Vec::new();
+    let mut ratios = Vec::new();
+    for lib in [IoLibrary::Pnetcdf, IoLibrary::Hdf5] {
+        let mut row = Vec::new();
+        for &p in &procs {
+            let mesh = BlockMesh {
+                nxb: 8,
+                blocks_per_proc,
+                nprocs: p,
+            };
+            let (bytes, t) =
+                run_restart(lib, mesh, SimConfig::asci_frost(), StorageMode::MetadataOnly);
+            row.push(bytes as f64 / t.as_secs_f64() / 1e6);
+            eprintln!("  done: {} read, {p} procs", lib.label());
+        }
+        series.push((lib.label().to_string(), row));
+    }
+    for (p, h) in series[0].1.iter().zip(&series[1].1) {
+        ratios.push(p / h);
+    }
+    print_series("FLASH restart read bandwidth", "library", &xs, &series, "MB/s");
+    println!("\nPnetCDF/HDF5 read ratio: {ratios:.2?}");
+    println!("(compare with the write ratios from fig7_flashio)");
+}

@@ -1,0 +1,106 @@
+//! Extension: the `nc_prefetch_vars` hint (paper §4.1).
+//!
+//! The paper's motivating scenario: "applications that pull a small amount
+//! of data from a large number of separate netCDF files, this type of
+//! optimization could be a big win." Here P ranks sweep over many files,
+//! reading a small set of variables from each repeatedly (e.g. a
+//! climatology post-processor scanning monthly files); with the hint, each
+//! variable is fetched once at open and all further reads are local.
+//!
+//! Usage: `cargo run --release -p pnetcdf-bench --bin ext_prefetch`
+
+use hpc_sim::{SimConfig, Time};
+use pnetcdf::{Dataset, Info, NcType, Version};
+use pnetcdf_bench::table::print_series;
+use pnetcdf_mpi::run_world;
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+const NFILES: usize = 24; // e.g. two years of monthly files
+const NREADS: usize = 20; // passes over each variable per file
+
+fn make_files(pfs: &Pfs, nprocs: usize) {
+    let pfs = pfs.clone();
+    run_world(nprocs, SimConfig::sdsc_blue_horizon(), move |c| {
+        for fi in 0..NFILES {
+            let mut ds = Dataset::create(
+                c,
+                &pfs,
+                &format!("month_{fi:02}.nc"),
+                Version::Cdf1,
+                &Info::new(),
+            )
+            .unwrap();
+            let x = ds.def_dim("station", 512).unwrap();
+            let t2m = ds.def_var("t2m_mean", NcType::Float, &[x]).unwrap();
+            let precip = ds.def_var("precip_total", NcType::Float, &[x]).unwrap();
+            // Plus a large variable the post-processor does not touch.
+            let y = ds.def_dim("gridpoints", 1 << 18).unwrap();
+            let full = ds.def_var("full_field", NcType::Float, &[y]).unwrap();
+            ds.enddef().unwrap();
+            let slab = 512 / nprocs as u64;
+            let s = c.rank() as u64 * slab;
+            let vals = vec![1.0f32; slab as usize];
+            ds.put_vara_all(t2m, &[s], &[slab], &vals).unwrap();
+            ds.put_vara_all(precip, &[s], &[slab], &vals).unwrap();
+            let gslab = (1 << 18) / nprocs as u64;
+            ds.put_vara_all(full, &[c.rank() as u64 * gslab], &[gslab], &vec![0.0f32; gslab as usize])
+                .unwrap();
+            ds.close().unwrap();
+        }
+    });
+}
+
+fn sweep(pfs: &Pfs, nprocs: usize, hint: bool) -> Time {
+    let pfs = pfs.clone();
+    pfs.reset_timing();
+    let run = run_world(nprocs, SimConfig::sdsc_blue_horizon(), move |c| {
+        let info = if hint {
+            Info::new().with("nc_prefetch_vars", "t2m_mean,precip_total")
+        } else {
+            Info::new()
+        };
+        let t0 = c.now();
+        for fi in 0..NFILES {
+            let mut ds = Dataset::open(c, &pfs, &format!("month_{fi:02}.nc"), true, &info)
+                .unwrap();
+            let t2m = ds.inq_varid("t2m_mean").unwrap();
+            let precip = ds.inq_varid("precip_total").unwrap();
+            for _ in 0..NREADS {
+                let _: Vec<f32> = ds.get_vara_all(t2m, &[0], &[512]).unwrap();
+                let _: Vec<f32> = ds.get_vara_all(precip, &[0], &[512]).unwrap();
+            }
+            ds.close().unwrap();
+        }
+        c.now() - t0
+    });
+    run.results.into_iter().max().unwrap()
+}
+
+fn main() {
+    println!("# Extension: nc_prefetch_vars hint");
+    println!(
+        "# {NFILES} files, 2 small variables each, {NREADS} read passes per file"
+    );
+    let procs = [1usize, 2, 4, 8];
+    let xs: Vec<String> = procs.iter().map(|p| p.to_string()).collect();
+    let mut with_hint = Vec::new();
+    let mut without = Vec::new();
+    for &p in &procs {
+        let pfs = Pfs::new(SimConfig::sdsc_blue_horizon(), StorageMode::Full);
+        make_files(&pfs, p);
+        without.push(sweep(&pfs, p, false).as_secs_f64() * 1e3);
+        with_hint.push(sweep(&pfs, p, true).as_secs_f64() * 1e3);
+    }
+    print_series(
+        "Sweep time over all files",
+        "config",
+        &xs,
+        &[
+            ("no hint".to_string(), without.clone()),
+            ("prefetch".to_string(), with_hint.clone()),
+        ],
+        "ms",
+    );
+    let speedup: Vec<f64> = without.iter().zip(&with_hint).map(|(a, b)| a / b).collect();
+    println!("\nspeedup with hint: {speedup:.1?}");
+}

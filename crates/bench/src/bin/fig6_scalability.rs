@@ -1,0 +1,138 @@
+//! Figure 6: serial vs parallel netCDF bandwidth on the SDSC-like platform.
+//!
+//! Reproduces all four charts — read/write of 64 MB and 1 GB `tt(Z,Y,X)`
+//! datasets — over the seven partitions of Figure 5 and 1–16 (64 MB) or
+//! 1–32 (1 GB) processes, with the serial-netCDF single-process bandwidth
+//! as the first column, exactly as the paper plots it.
+//!
+//! Usage: `cargo run --release -p pnetcdf-bench --bin fig6_scalability [-- --quick]`
+
+use hpc_sim::{SimConfig, Time};
+use netcdf_serial::NcFile;
+use pnetcdf::{Dataset, Info, NcType, Version};
+use pnetcdf_bench::partition::{block_of, grid_for, PARTITIONS};
+use pnetcdf_bench::table::print_series;
+use pnetcdf_mpi::run_world;
+use pnetcdf_pfs::{Pfs, PosixSim, StorageMode};
+
+/// One (write, read) timing for a parallel configuration. All data I/O is
+/// collective, as in the paper's tests.
+fn run_parallel(
+    dims: (u64, u64, u64),
+    partition: pnetcdf_bench::Partition,
+    nprocs: usize,
+) -> (Time, Time) {
+    let cfg = SimConfig::sdsc_blue_horizon();
+    let pfs = Pfs::new(cfg.clone(), StorageMode::CostOnly);
+    let grid = grid_for(partition, nprocs);
+    let run = run_world(nprocs, cfg, move |comm| {
+        let mut ds =
+            Dataset::create(comm, &pfs, "tt.nc", Version::Cdf2, &Info::new()).unwrap();
+        let z = ds.def_dim("level", dims.0).unwrap();
+        let y = ds.def_dim("latitude", dims.1).unwrap();
+        let x = ds.def_dim("longitude", dims.2).unwrap();
+        let tt = ds.def_var("tt", NcType::Float, &[z, y, x]).unwrap();
+        ds.enddef().unwrap();
+
+        let (start, count) = block_of(comm.rank(), grid, dims);
+        let n = (count[0] * count[1] * count[2]) as usize;
+        let block = vec![1.0f32; n];
+
+        let t0 = comm.now();
+        ds.put_vara_all(tt, &start, &count, &block).unwrap();
+        let t_write = comm.now() - t0;
+        drop(block);
+
+        let t1 = comm.now();
+        let back: Vec<f32> = ds.get_vara_all(tt, &start, &count).unwrap();
+        let t_read = comm.now() - t1;
+        drop(back);
+        ds.close().unwrap();
+        (t_write, t_read)
+    });
+    (
+        run.results.iter().map(|r| r.0).max().unwrap(),
+        run.results.iter().map(|r| r.1).max().unwrap(),
+    )
+}
+
+/// Serial netCDF baseline: one process reads/writes the whole array through
+/// the serial library over a single client NIC (Figure 6's first column).
+fn run_serial(dims: (u64, u64, u64)) -> (Time, Time) {
+    let cfg = SimConfig::sdsc_blue_horizon();
+    let pfs = Pfs::new(cfg, StorageMode::CostOnly);
+    let posix = PosixSim::new(pfs.create("tt.nc"));
+    let watch = posix.clone(); // shared clock
+    let mut f = NcFile::create(posix, Version::Cdf2);
+    let z = f.def_dim("level", dims.0).unwrap();
+    let y = f.def_dim("latitude", dims.1).unwrap();
+    let x = f.def_dim("longitude", dims.2).unwrap();
+    let tt = f.def_var("tt", NcType::Float, &[z, y, x]).unwrap();
+    f.enddef().unwrap();
+
+    let n = (dims.0 * dims.1 * dims.2) as usize;
+    let vals = vec![1.0f32; n];
+    let t0 = watch.now();
+    f.put_vara(tt, &[0, 0, 0], &[dims.0, dims.1, dims.2], &vals)
+        .unwrap();
+    let t_write = watch.now() - t0;
+    drop(vals);
+
+    let t1 = watch.now();
+    let back: Vec<f32> = f
+        .get_vara(tt, &[0, 0, 0], &[dims.0, dims.1, dims.2])
+        .unwrap();
+    let t_read = watch.now() - t1;
+    drop(back);
+    (t_write, t_read)
+}
+
+/// Chart spec: label, array dims, process counts.
+type Chart = (&'static str, (u64, u64, u64), Vec<usize>);
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // 64 MB = 256^3 f32; 1 GB = 512x512x1024 f32.
+    let charts: Vec<Chart> = if quick {
+        vec![
+            ("64 MB", (128, 128, 128), vec![1, 2, 4, 8]),
+            ("1 GB", (256, 256, 256), vec![1, 2, 4, 8]),
+        ]
+    } else {
+        vec![
+            ("64 MB", (256, 256, 256), vec![1, 2, 4, 8, 16]),
+            ("1 GB", (512, 512, 1024), vec![1, 2, 4, 8, 16, 32]),
+        ]
+    };
+
+    println!("# Figure 6: serial vs parallel netCDF (SDSC Blue Horizon-like platform)");
+    println!("# 12 I/O servers, 1.5 GB/s peak aggregate; bandwidth in MB/s (virtual time)");
+
+    for (label, dims, procs) in charts {
+        let total_bytes = (dims.0 * dims.1 * dims.2 * 4) as f64;
+        let mb = |t: Time| total_bytes / t.as_secs_f64() / 1e6;
+
+        let (ts_w, ts_r) = run_serial(dims);
+
+        let mut xs: Vec<String> = vec!["serial".into()];
+        xs.extend(procs.iter().map(|p| p.to_string()));
+
+        let mut write_series = Vec::new();
+        let mut read_series = Vec::new();
+        for part in PARTITIONS {
+            let mut wrow = vec![mb(ts_w)];
+            let mut rrow = vec![mb(ts_r)];
+            for &p in &procs {
+                let (tw, tr) = run_parallel(dims, part, p);
+                wrow.push(mb(tw));
+                rrow.push(mb(tr));
+            }
+            write_series.push((part.label().to_string(), wrow));
+            read_series.push((part.label().to_string(), rrow));
+            eprintln!("  done: {label} partition {}", part.label());
+        }
+        print_series(&format!("Write {label}"), "partition", &xs, &write_series, "MB/s");
+        print_series(&format!("Read {label}"), "partition", &xs, &read_series, "MB/s");
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 7: the FLASH I/O benchmark on the ASCI White Frost-like platform,
+//! PnetCDF vs HDF5.
+//!
+//! Six charts: {checkpoint, plotfile, plotfile-with-corners} × {8³, 16³}
+//! blocks, aggregate write bandwidth over the number of processors. The
+//! paper's result: "PnetCDF has much less overhead and outperforms parallel
+//! HDF5 in every case, more than doubling the overall I/O rate in many
+//! cases."
+//!
+//! Usage: `cargo run --release -p pnetcdf-bench --bin fig7_flashio [-- --quick|--full]`
+//!   --quick  fewer blocks/proc and processors (smoke test)
+//!   --full   extends to 512 processors on the 8³ corner chart, as plotted
+
+use flash_io::{run_flash_io, FlashConfig, IoLibrary, OutputKind};
+use hpc_sim::SimConfig;
+use pnetcdf_bench::table::print_series;
+use pnetcdf_pfs::StorageMode;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let full = std::env::args().any(|a| a == "--full");
+
+    let (blocks_per_proc, procs): (u64, Vec<usize>) = if quick {
+        (8, vec![4, 8, 16])
+    } else if full {
+        (80, vec![16, 32, 64, 128, 256, 512])
+    } else {
+        (80, vec![16, 32, 64, 128, 256])
+    };
+
+    println!("# Figure 7: FLASH I/O benchmark (ASCI White Frost-like platform)");
+    println!("# 2 GPFS I/O servers; aggregate bandwidth in MB/s (virtual time)");
+    println!("# blocks/proc = {blocks_per_proc}");
+
+    let xs: Vec<String> = procs.iter().map(|p| p.to_string()).collect();
+    for nxb in [8u64, 16] {
+        for kind in [
+            OutputKind::Checkpoint,
+            OutputKind::Plotfile,
+            OutputKind::PlotfileCorners,
+        ] {
+            let mut series = Vec::new();
+            for lib in [IoLibrary::Pnetcdf, IoLibrary::Hdf5] {
+                let mut row = Vec::new();
+                for &p in &procs {
+                    let config = FlashConfig {
+                        nxb,
+                        nprocs: p,
+                        kind,
+                        lib,
+                        blocks_per_proc,
+                        attributes: false, // as in the paper's port
+                    };
+                    let res =
+                        run_flash_io(config, SimConfig::asci_frost(), StorageMode::CostOnly);
+                    row.push(res.bandwidth_mb_s);
+                    eprintln!(
+                        "  done: {} {}x{}x{} {} procs: {:.1} MB/s ({} written)",
+                        lib.label(),
+                        nxb,
+                        nxb,
+                        nxb,
+                        p,
+                        res.bandwidth_mb_s,
+                        pnetcdf_bench::table::fmt_bytes(res.bytes),
+                    );
+                }
+                series.push((lib.label().to_string(), row));
+            }
+            print_series(
+                &format!("FLASH I/O {} ({nxb}x{nxb}x{nxb})", kind.label()),
+                "library",
+                &xs,
+                &series,
+                "MB/s",
+            );
+        }
+    }
+}

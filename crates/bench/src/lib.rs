@@ -1,0 +1,20 @@
+//! Shared infrastructure for the figure-regeneration harnesses.
+//!
+//! Every measured chart of the paper has one binary here:
+//!
+//! | paper figure | binary |
+//! |---|---|
+//! | Figure 6 (serial vs parallel netCDF, 4 charts) | `fig6_scalability` |
+//! | Figure 7 (FLASH I/O, PnetCDF vs HDF5, 6 charts) | `fig7_flashio` |
+//!
+//! plus ablation binaries for the design decisions discussed in the text:
+//! `ablation_collective` (collective vs independent data mode),
+//! `ablation_access_strategy` (Figure 2's three approaches),
+//! `ablation_hints` (`cb_buffer_size` / `cb_nodes` sweeps),
+//! `ablation_header` (rank-0+broadcast header I/O vs every-rank reads), and
+//! `ablation_hdf5_overheads` (dataset-count decomposition of the HDF5 gap).
+
+pub mod partition;
+pub mod table;
+
+pub use partition::{block_of, grid_for, Partition, PARTITIONS};

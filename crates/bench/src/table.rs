@@ -1,0 +1,55 @@
+//! Plain-text table/series output matching the layout of the paper's
+//! charts, so EXPERIMENTS.md can quote the harness output directly.
+
+/// Print a chart as rows = series, columns = x values.
+pub fn print_series(
+    title: &str,
+    xlabel: &str,
+    xs: &[String],
+    series: &[(String, Vec<f64>)],
+    unit: &str,
+) {
+    println!("\n## {title}  ({unit})");
+    print!("{:<14}", xlabel);
+    for x in xs {
+        print!("{x:>10}");
+    }
+    println!();
+    for (name, vals) in series {
+        print!("{name:<14}");
+        for v in vals {
+            if v.is_nan() {
+                print!("{:>10}", "-");
+            } else {
+                print!("{v:>10.1}");
+            }
+        }
+        println!();
+    }
+}
+
+/// Format bytes as a human-readable size.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.1} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_bytes_units() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(64 << 20), "64.0 MiB");
+        assert_eq!(fmt_bytes(1 << 30), "1.0 GiB");
+    }
+}

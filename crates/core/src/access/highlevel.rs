@@ -1,0 +1,332 @@
+//! The high-level (typed) data access API.
+//!
+//! These calls mirror the original netCDF data access functions — single
+//! element (`var1`), whole array (`var`), subarray (`vara`), strided
+//! subarray (`vars`), mapped strided subarray (`varm`) — with the paper's
+//! key change: each exists in a **collective** flavor (suffix `_all`,
+//! requiring collective data mode) and an **independent** flavor (requiring
+//! independent data mode entered via `begin_indep_data`).
+
+use pnetcdf_format::types::{from_external, to_external};
+use pnetcdf_format::NcValue;
+use pnetcdf_mpi::Datatype;
+
+use crate::access::map::{gather_by_imap, scatter_by_imap};
+use crate::dataset::Dataset;
+use crate::error::{NcmpiError, NcmpiResult};
+
+impl Dataset {
+    fn var_nctype(&self, varid: usize) -> NcmpiResult<pnetcdf_format::NcType> {
+        self.header
+            .vars
+            .get(varid)
+            .map(|v| v.nctype)
+            .ok_or_else(|| NcmpiError::NotFound(format!("variable id {varid}")))
+    }
+
+    fn put_region<T: NcValue>(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: Option<&[u64]>,
+        vals: &[T],
+        collective: bool,
+    ) -> NcmpiResult<()> {
+        if collective {
+            self.require_collective()?;
+        } else {
+            self.require_independent()?;
+        }
+        self.require_writable()?;
+        self.check_count(count, vals.len())?;
+        let nctype = self.var_nctype(varid)?;
+        let ext = to_external(vals, nctype)?;
+        // Native→external conversion is real CPU work.
+        self.comm
+            .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
+        let (filetype, total) = self.build_region(varid, start, count, stride, true)?;
+        debug_assert_eq!(total as usize, ext.len());
+        self.file
+            .set_view_local(0, &Datatype::byte(), &filetype)?;
+        let mem = Datatype::contiguous(ext.len(), Datatype::byte());
+        if collective {
+            self.file.write_at_all(0, &ext, 1, &mem)?;
+        } else {
+            self.file.write_at(0, &ext, 1, &mem)?;
+        }
+        self.grow_numrecs(varid, start, count, stride);
+        self.invalidate_cache(varid);
+        if collective && self.header.is_record_var(varid) {
+            self.reconcile_numrecs()?;
+        }
+        Ok(())
+    }
+
+    fn get_region<T: NcValue>(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: Option<&[u64]>,
+        collective: bool,
+    ) -> NcmpiResult<Vec<T>> {
+        if collective {
+            self.require_collective()?;
+        } else {
+            self.require_independent()?;
+        }
+        let nctype = self.var_nctype(varid)?;
+        // The prefetch cache serves reads from local memory — no file I/O,
+        // no synchronization (the §4.1 hint optimization). Bounds are
+        // validated before the cache is consulted.
+        if self.is_prefetched(varid) {
+            pnetcdf_format::layout::check_access(
+                &self.header,
+                varid,
+                start,
+                count,
+                stride,
+                Some(self.header.numrecs),
+            )?;
+            let ext = self
+                .cached_read(varid, start, count, stride)
+                .expect("cache present");
+            self.comm
+                .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
+            return Ok(from_external(&ext, nctype)?);
+        }
+        let (filetype, total) = self.build_region(varid, start, count, stride, false)?;
+        self.file
+            .set_view_local(0, &Datatype::byte(), &filetype)?;
+        let mut ext = vec![0u8; total as usize];
+        let mem = Datatype::contiguous(ext.len(), Datatype::byte());
+        if collective {
+            self.file.read_at_all(0, &mut ext, 1, &mem)?;
+        } else {
+            self.file.read_at(0, &mut ext, 1, &mem)?;
+        }
+        self.comm
+            .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
+        Ok(from_external(&ext, nctype)?)
+    }
+
+    // ---- vara: subarray ---------------------------------------------------
+
+    /// Collective subarray write (`ncmpi_put_vara_<type>_all`).
+    pub fn put_vara_all<T: NcValue>(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        vals: &[T],
+    ) -> NcmpiResult<()> {
+        self.put_region(varid, start, count, None, vals, true)
+    }
+
+    /// Independent subarray write (`ncmpi_put_vara_<type>`).
+    pub fn put_vara<T: NcValue>(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        vals: &[T],
+    ) -> NcmpiResult<()> {
+        self.put_region(varid, start, count, None, vals, false)
+    }
+
+    /// Collective subarray read (`ncmpi_get_vara_<type>_all`).
+    pub fn get_vara_all<T: NcValue>(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+    ) -> NcmpiResult<Vec<T>> {
+        self.get_region(varid, start, count, None, true)
+    }
+
+    /// Independent subarray read (`ncmpi_get_vara_<type>`).
+    pub fn get_vara<T: NcValue>(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+    ) -> NcmpiResult<Vec<T>> {
+        self.get_region(varid, start, count, None, false)
+    }
+
+    // ---- vars: strided subarray ---------------------------------------------
+
+    /// Collective strided write (`ncmpi_put_vars_<type>_all`).
+    pub fn put_vars_all<T: NcValue>(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: &[u64],
+        vals: &[T],
+    ) -> NcmpiResult<()> {
+        self.put_region(varid, start, count, Some(stride), vals, true)
+    }
+
+    /// Independent strided write.
+    pub fn put_vars<T: NcValue>(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: &[u64],
+        vals: &[T],
+    ) -> NcmpiResult<()> {
+        self.put_region(varid, start, count, Some(stride), vals, false)
+    }
+
+    /// Collective strided read (`ncmpi_get_vars_<type>_all`).
+    pub fn get_vars_all<T: NcValue>(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: &[u64],
+    ) -> NcmpiResult<Vec<T>> {
+        self.get_region(varid, start, count, Some(stride), true)
+    }
+
+    /// Independent strided read.
+    pub fn get_vars<T: NcValue>(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: &[u64],
+    ) -> NcmpiResult<Vec<T>> {
+        self.get_region(varid, start, count, Some(stride), false)
+    }
+
+    // ---- var1: single element -----------------------------------------------
+
+    /// Collective single-element write.
+    pub fn put_var1_all<T: NcValue>(
+        &mut self,
+        varid: usize,
+        index: &[u64],
+        val: T,
+    ) -> NcmpiResult<()> {
+        let count = vec![1u64; index.len()];
+        self.put_region(varid, index, &count, None, &[val], true)
+    }
+
+    /// Independent single-element write (`ncmpi_put_var1_<type>`).
+    pub fn put_var1<T: NcValue>(&mut self, varid: usize, index: &[u64], val: T) -> NcmpiResult<()> {
+        let count = vec![1u64; index.len()];
+        self.put_region(varid, index, &count, None, &[val], false)
+    }
+
+    /// Collective single-element read.
+    pub fn get_var1_all<T: NcValue>(&mut self, varid: usize, index: &[u64]) -> NcmpiResult<T> {
+        let count = vec![1u64; index.len()];
+        Ok(self.get_region::<T>(varid, index, &count, None, true)?[0])
+    }
+
+    /// Independent single-element read.
+    pub fn get_var1<T: NcValue>(&mut self, varid: usize, index: &[u64]) -> NcmpiResult<T> {
+        let count = vec![1u64; index.len()];
+        Ok(self.get_region::<T>(varid, index, &count, None, false)?[0])
+    }
+
+    // ---- var: whole variable ----------------------------------------------------
+
+    /// Collective whole-variable write. For record variables, the number of
+    /// records written is derived from the value count.
+    pub fn put_var_all<T: NcValue>(&mut self, varid: usize, vals: &[T]) -> NcmpiResult<()> {
+        let (start, count) = self.whole(varid, Some(vals.len()))?;
+        self.put_region(varid, &start, &count, None, vals, true)
+    }
+
+    /// Independent whole-variable write.
+    pub fn put_var<T: NcValue>(&mut self, varid: usize, vals: &[T]) -> NcmpiResult<()> {
+        let (start, count) = self.whole(varid, Some(vals.len()))?;
+        self.put_region(varid, &start, &count, None, vals, false)
+    }
+
+    /// Collective whole-variable read.
+    pub fn get_var_all<T: NcValue>(&mut self, varid: usize) -> NcmpiResult<Vec<T>> {
+        let (start, count) = self.whole(varid, None)?;
+        self.get_region(varid, &start, &count, None, true)
+    }
+
+    /// Independent whole-variable read.
+    pub fn get_var<T: NcValue>(&mut self, varid: usize) -> NcmpiResult<Vec<T>> {
+        let (start, count) = self.whole(varid, None)?;
+        self.get_region(varid, &start, &count, None, false)
+    }
+
+    fn whole(&self, varid: usize, vals_len: Option<usize>) -> NcmpiResult<(Vec<u64>, Vec<u64>)> {
+        if varid >= self.header.vars.len() {
+            return Err(NcmpiError::NotFound(format!("variable id {varid}")));
+        }
+        let mut count = self.header.var_shape(varid);
+        let start = vec![0u64; count.len()];
+        if let (Some(len), true) = (vals_len, self.header.is_record_var(varid)) {
+            let per_rec = self.header.record_elems(varid).max(1);
+            count[0] = len as u64 / per_rec;
+        }
+        Ok((start, count))
+    }
+
+    // ---- varm: mapped strided subarray ---------------------------------------------
+
+    /// Collective mapped write (`ncmpi_put_varm_<type>_all`).
+    pub fn put_varm_all<T: NcValue>(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: Option<&[u64]>,
+        imap: &[u64],
+        vals: &[T],
+    ) -> NcmpiResult<()> {
+        let canonical = gather_by_imap(count, imap, vals)?;
+        self.put_region(varid, start, count, stride, &canonical, true)
+    }
+
+    /// Independent mapped write.
+    pub fn put_varm<T: NcValue>(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: Option<&[u64]>,
+        imap: &[u64],
+        vals: &[T],
+    ) -> NcmpiResult<()> {
+        let canonical = gather_by_imap(count, imap, vals)?;
+        self.put_region(varid, start, count, stride, &canonical, false)
+    }
+
+    /// Collective mapped read (`ncmpi_get_varm_<type>_all`).
+    pub fn get_varm_all<T: NcValue + Default>(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: Option<&[u64]>,
+        imap: &[u64],
+    ) -> NcmpiResult<Vec<T>> {
+        let canonical = self.get_region::<T>(varid, start, count, stride, true)?;
+        scatter_by_imap(count, imap, &canonical)
+    }
+
+    /// Independent mapped read.
+    pub fn get_varm<T: NcValue + Default>(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: Option<&[u64]>,
+        imap: &[u64],
+    ) -> NcmpiResult<Vec<T>> {
+        let canonical = self.get_region::<T>(varid, start, count, stride, false)?;
+        scatter_by_imap(count, imap, &canonical)
+    }
+}

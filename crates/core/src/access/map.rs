@@ -1,0 +1,139 @@
+//! `imap` gather/scatter for the mapped (`varm`) access methods.
+//!
+//! `imap[d]` is the distance in elements between successive indices of
+//! dimension `d` in the caller's memory; the file side is always canonical
+//! row-major order.
+
+use pnetcdf_format::NcValue;
+
+use crate::error::{NcmpiError, NcmpiResult};
+
+/// Gather values from an `imap` layout into canonical order.
+pub fn gather_by_imap<T: NcValue>(count: &[u64], imap: &[u64], vals: &[T]) -> NcmpiResult<Vec<T>> {
+    if imap.len() != count.len() {
+        return Err(NcmpiError::InvalidArgument(format!(
+            "imap has {} entries, expected {}",
+            imap.len(),
+            count.len()
+        )));
+    }
+    let nd = count.len();
+    if nd == 0 {
+        return Ok(vals.first().copied().into_iter().collect());
+    }
+    let n: u64 = count.iter().product();
+    let mut out = Vec::with_capacity(n as usize);
+    let mut idx = vec![0u64; nd];
+    if count.contains(&0) {
+        return Ok(out);
+    }
+    loop {
+        let mem: u64 = (0..nd).map(|d| idx[d] * imap[d]).sum();
+        let v = vals.get(mem as usize).copied().ok_or_else(|| {
+            NcmpiError::InvalidArgument(format!("imap index {mem} outside value buffer"))
+        })?;
+        out.push(v);
+        let mut d = nd;
+        loop {
+            if d == 0 {
+                return Ok(out);
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < count[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+/// Scatter canonical-order values into an `imap` layout. The result buffer
+/// is sized `max mapped index + 1`.
+pub fn scatter_by_imap<T: NcValue + Default>(
+    count: &[u64],
+    imap: &[u64],
+    canonical: &[T],
+) -> NcmpiResult<Vec<T>> {
+    if imap.len() != count.len() {
+        return Err(NcmpiError::InvalidArgument(format!(
+            "imap has {} entries, expected {}",
+            imap.len(),
+            count.len()
+        )));
+    }
+    let nd = count.len();
+    if nd == 0 {
+        return Ok(canonical.to_vec());
+    }
+    if count.contains(&0) {
+        return Ok(Vec::new());
+    }
+    let max_index: u64 = (0..nd).map(|d| (count[d] - 1) * imap[d]).sum();
+    let mut out = vec![T::default(); (max_index + 1) as usize];
+    let mut idx = vec![0u64; nd];
+    let mut pos = 0usize;
+    loop {
+        let mem: u64 = (0..nd).map(|d| idx[d] * imap[d]).sum();
+        out[mem as usize] = canonical[pos];
+        pos += 1;
+        let mut d = nd;
+        loop {
+            if d == 0 {
+                return Ok(out);
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < count[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_transpose() {
+        // Memory is column-major 2x3 (imap = [1, 2]); canonical is row-major.
+        let mem: Vec<i32> = vec![0, 10, 1, 11, 2, 12]; // [(0,0),(1,0),(0,1),(1,1),(0,2),(1,2)]
+        let canonical = gather_by_imap(&[2, 3], &[1, 2], &mem).unwrap();
+        assert_eq!(canonical, vec![0, 1, 2, 10, 11, 12]);
+    }
+
+    #[test]
+    fn scatter_is_inverse_of_gather() {
+        let canonical: Vec<i32> = (0..6).collect();
+        let mem = scatter_by_imap(&[2, 3], &[1, 2], &canonical).unwrap();
+        let back = gather_by_imap(&[2, 3], &[1, 2], &mem).unwrap();
+        assert_eq!(back, canonical);
+    }
+
+    #[test]
+    fn identity_imap_is_noop() {
+        let vals: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        // Row-major 3x4: imap = [4, 1].
+        let canonical = gather_by_imap(&[3, 4], &[4, 1], &vals).unwrap();
+        assert_eq!(canonical, vals);
+    }
+
+    #[test]
+    fn bad_imap_rank_rejected() {
+        assert!(gather_by_imap::<i32>(&[2, 2], &[1], &[0; 4]).is_err());
+        assert!(scatter_by_imap::<i32>(&[2, 2], &[1], &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_imap_rejected() {
+        assert!(gather_by_imap::<i32>(&[2, 2], &[10, 1], &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn zero_count_is_empty() {
+        assert!(gather_by_imap::<i32>(&[0, 2], &[1, 1], &[]).unwrap().is_empty());
+        assert!(scatter_by_imap::<i32>(&[0, 2], &[1, 1], &[]).unwrap().is_empty());
+    }
+}

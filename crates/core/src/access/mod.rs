@@ -1,0 +1,81 @@
+//! Data access functions — the "major effort of this work" (paper §4.2.2).
+//!
+//! Every access is translated from `(variable, start[], count[], stride[])`
+//! into an MPI file view built from the variable's metadata in the cached
+//! header (shape, element size, `begin`, record size), then handed to
+//! MPI-IO. Collective calls (`*_all`) go through two-phase collective I/O;
+//! independent calls use data sieving.
+//!
+//! * [`highlevel`] — the typed API mirroring serial netCDF (`put/get` ×
+//!   `var1/var/vara/vars/varm`), in collective and independent flavors;
+//! * [`flexible`] — the flexible API taking an MPI datatype describing
+//!   (possibly noncontiguous) memory;
+//! * [`map`] — `imap` gather/scatter shared by the `varm` calls.
+
+pub mod flexible;
+pub mod highlevel;
+pub mod map;
+pub mod prefetch;
+
+use pnetcdf_format::layout;
+use pnetcdf_mpi::Datatype;
+
+use crate::dataset::Dataset;
+use crate::error::{NcmpiError, NcmpiResult};
+
+impl Dataset {
+    /// Validate an access and build `(filetype, external bytes)` for it.
+    /// The filetype addresses absolute file offsets (view displacement 0).
+    pub(crate) fn build_region(
+        &self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: Option<&[u64]>,
+        for_write: bool,
+    ) -> NcmpiResult<(Datatype, u64)> {
+        let limit = if for_write {
+            None
+        } else {
+            Some(self.header.numrecs)
+        };
+        layout::check_access(&self.header, varid, start, count, stride, limit)?;
+        let runs = layout::access_runs(
+            &self.header,
+            self.layout.recsize,
+            varid,
+            start,
+            count,
+            stride,
+        );
+        let total: u64 = runs.iter().map(|r| r.1).sum();
+        let blocks: Vec<(i64, usize)> = runs
+            .into_iter()
+            .map(|(off, len)| (off as i64, len as usize))
+            .collect();
+        Ok((Datatype::hindexed(blocks, Datatype::byte()), total))
+    }
+
+    /// After a write touching a record variable, grow the local `numrecs`.
+    pub(crate) fn grow_numrecs(&mut self, varid: usize, start: &[u64], count: &[u64], stride: Option<&[u64]>) {
+        if !self.header.is_record_var(varid) || count.first().copied().unwrap_or(0) == 0 {
+            return;
+        }
+        let step = stride.map_or(1, |s| s[0]);
+        let last = start[0] + (count[0] - 1) * step;
+        if last + 1 > self.header.numrecs {
+            self.header.numrecs = last + 1;
+        }
+    }
+
+    /// Check the element count of a typed access.
+    pub(crate) fn check_count(&self, count: &[u64], vals_len: usize) -> NcmpiResult<()> {
+        let n: u64 = count.iter().product();
+        if n as usize != vals_len {
+            return Err(NcmpiError::InvalidArgument(format!(
+                "value buffer has {vals_len} elements, access selects {n}"
+            )));
+        }
+        Ok(())
+    }
+}

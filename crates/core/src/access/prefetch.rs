@@ -1,0 +1,94 @@
+//! Variable prefetching — the PnetCDF-level hint the paper describes in
+//! §4.1: "given a hint indicating that only a certain small set of
+//! variables were going to be read, an aggressive PnetCDF implementation
+//! might initiate a nonblocking read of those variables at open time so
+//! that the values were available locally at read time. For applications
+//! that pull a small amount of data from a large number of separate netCDF
+//! files, this type of optimization could be a big win."
+//!
+//! The hint is `nc_prefetch_vars`, a comma-separated list of variable
+//! names. At open time the named fixed-size variables are read once,
+//! collectively, into a per-rank cache; subsequent `get` calls on them are
+//! served from local memory with no file I/O and no synchronization. Any
+//! write to a cached variable, or a `redef`, invalidates its cache entry.
+
+use pnetcdf_format::layout;
+use pnetcdf_mpi::Datatype;
+
+use crate::dataset::Dataset;
+use crate::error::NcmpiResult;
+
+impl Dataset {
+    /// Execute the `nc_prefetch_vars` hint (called from `open`). Unknown
+    /// names and record variables are skipped silently — hints must never
+    /// turn a valid program into a failing one.
+    pub(crate) fn prefetch_from_hint(&mut self, hint: &str) -> NcmpiResult<()> {
+        let names: Vec<String> = hint
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        for name in names {
+            let Some(varid) = self.header.var_id(&name) else {
+                continue;
+            };
+            if self.header.is_record_var(varid) {
+                continue; // records grow; caching them would go stale
+            }
+            self.prefetch_var(varid)?;
+        }
+        Ok(())
+    }
+
+    /// Collectively read the whole of `varid` into every rank's cache.
+    pub(crate) fn prefetch_var(&mut self, varid: usize) -> NcmpiResult<()> {
+        let v = &self.header.vars[varid];
+        let nbytes = (self.header.record_elems(varid) * v.nctype.size()) as usize;
+        let begin = v.begin;
+        let filetype = Datatype::hindexed(vec![(begin as i64, nbytes)], Datatype::byte());
+        self.file
+            .set_view_local(0, &Datatype::byte(), &filetype)?;
+        let mut ext = vec![0u8; nbytes];
+        let mem = Datatype::contiguous(nbytes, Datatype::byte());
+        self.file.read_at_all(0, &mut ext, 1, &mem)?;
+        self.prefetch.insert(varid, ext);
+        Ok(())
+    }
+
+    /// Serve a read from the prefetch cache if the variable is resident.
+    /// Returns the packed external bytes of the selection, or `None`.
+    pub(crate) fn cached_read(
+        &self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: Option<&[u64]>,
+    ) -> Option<Vec<u8>> {
+        let cache = self.prefetch.get(&varid)?;
+        let v = &self.header.vars[varid];
+        // access_runs yields absolute file offsets; the cache holds the
+        // variable contiguously from `begin`.
+        let runs = layout::access_runs(&self.header, self.layout.recsize, varid, start, count, stride);
+        let mut out = Vec::with_capacity(runs.iter().map(|r| r.1 as usize).sum());
+        for (off, len) in runs {
+            let lo = (off - v.begin) as usize;
+            out.extend_from_slice(&cache[lo..lo + len as usize]);
+        }
+        Some(out)
+    }
+
+    /// Drop the cache entry for `varid` (after a write to it).
+    pub(crate) fn invalidate_cache(&mut self, varid: usize) {
+        self.prefetch.remove(&varid);
+    }
+
+    /// Drop all cached variables (after `redef`).
+    pub(crate) fn invalidate_all_caches(&mut self) {
+        self.prefetch.clear();
+    }
+
+    /// Is `varid` currently served from the prefetch cache? (diagnostics)
+    pub fn is_prefetched(&self, varid: usize) -> bool {
+        self.prefetch.contains_key(&varid)
+    }
+}

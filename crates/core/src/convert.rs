@@ -1,0 +1,73 @@
+//! Byte-level conversion between native and external representations for
+//! the flexible API.
+//!
+//! The flexible (`*_flexible`) calls describe memory with an MPI datatype,
+//! so the library sees raw native bytes rather than a typed slice. When the
+//! memory elements have the same width as the variable's external type, the
+//! conversion is a per-element byte swap (XDR is big-endian; the host is
+//! little-endian).
+
+use pnetcdf_format::NcType;
+
+/// Swap native-endian element bytes to big-endian external order.
+pub fn native_to_external(bytes: &[u8], t: NcType) -> Vec<u8> {
+    swap(bytes, t.size() as usize)
+}
+
+/// Swap big-endian external element bytes to native order.
+pub fn external_to_native(bytes: &[u8], t: NcType) -> Vec<u8> {
+    swap(bytes, t.size() as usize)
+}
+
+#[cfg(target_endian = "little")]
+fn swap(bytes: &[u8], width: usize) -> Vec<u8> {
+    assert!(
+        bytes.len() % width == 0,
+        "buffer length {} is not a multiple of element width {width}",
+        bytes.len()
+    );
+    let mut out = Vec::with_capacity(bytes.len());
+    for chunk in bytes.chunks_exact(width) {
+        out.extend(chunk.iter().rev());
+    }
+    out
+}
+
+#[cfg(target_endian = "big")]
+fn swap(bytes: &[u8], _width: usize) -> Vec<u8> {
+    bytes.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_swap_roundtrip() {
+        let native = 0x01020304i32.to_ne_bytes().to_vec();
+        let ext = native_to_external(&native, NcType::Int);
+        assert_eq!(ext, vec![1, 2, 3, 4]);
+        assert_eq!(external_to_native(&ext, NcType::Int), native);
+    }
+
+    #[test]
+    fn double_swap_roundtrip() {
+        let native = 1.5f64.to_ne_bytes().to_vec();
+        let ext = native_to_external(&native, NcType::Double);
+        assert_eq!(ext, 1.5f64.to_be_bytes().to_vec());
+        assert_eq!(external_to_native(&ext, NcType::Double), native);
+    }
+
+    #[test]
+    fn byte_types_are_identity() {
+        let b = vec![1u8, 2, 3];
+        assert_eq!(native_to_external(&b, NcType::Byte), b);
+        assert_eq!(native_to_external(&b, NcType::Char), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_buffer_panics() {
+        let _ = native_to_external(&[1, 2, 3], NcType::Int);
+    }
+}

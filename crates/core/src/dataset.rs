@@ -1,0 +1,363 @@
+//! The parallel dataset object: `ncmpi_create` / `ncmpi_open` /
+//! `ncmpi_enddef` / `ncmpi_redef` / `ncmpi_sync` / `ncmpi_close` and the
+//! collective↔independent data-mode switch.
+//!
+//! Header strategy (paper §4.2.1): the header is read and written only by
+//! rank 0; a copy is cached in local memory on every process. Define-mode,
+//! attribute, and inquiry functions operate on the local copy — no file I/O,
+//! and interprocess synchronization only at `enddef`.
+
+use std::collections::HashMap;
+
+use hpc_sim::Time;
+use pnetcdf_format::layout::{self, Layout};
+use pnetcdf_format::{Header, Version};
+use pnetcdf_mpi::{Comm, Datatype, Info, ReduceOp};
+use pnetcdf_mpio::{MpiFile, OpenMode};
+use pnetcdf_pfs::Pfs;
+
+use crate::consistency;
+use crate::error::{NcmpiError, NcmpiResult};
+
+/// Dataset mode. Data mode starts collective; `begin_indep_data` switches
+/// to independent (paper §4.1: "the split of data mode into two distinct
+/// modes: collective and noncollective").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataMode {
+    Define,
+    Collective,
+    Independent,
+}
+
+/// A parallel netCDF dataset handle (one per rank).
+pub struct Dataset {
+    pub(crate) comm: Comm,
+    pub(crate) file: MpiFile,
+    pub(crate) header: Header,
+    pub(crate) layout: Layout,
+    pub(crate) mode: DataMode,
+    pub(crate) writable: bool,
+    /// Alignment of the data section (the `nc_header_align_size` hint).
+    pub(crate) align: u64,
+    /// Whole-variable read cache filled by the `nc_prefetch_vars` hint
+    /// (paper §4.1), keyed by variable id; external byte order.
+    pub(crate) prefetch: HashMap<usize, Vec<u8>>,
+    /// Fill mode (`ncmpi_set_fill`); default NOFILL like real PnetCDF.
+    pub(crate) fill_mode: bool,
+    pre_redef: Option<(Header, Layout)>,
+}
+
+impl Dataset {
+    /// Collectively create a dataset (`ncmpi_create`). The dataset starts
+    /// in define mode.
+    pub fn create(
+        comm: &Comm,
+        pfs: &Pfs,
+        path: &str,
+        version: Version,
+        info: &Info,
+    ) -> NcmpiResult<Dataset> {
+        let file = MpiFile::open(comm, pfs, path, OpenMode::Create, info)?;
+        Ok(Dataset {
+            comm: comm.clone(),
+            file,
+            header: Header::new(version),
+            layout: Layout {
+                data_start: 0,
+                record_start: 0,
+                recsize: 0,
+            },
+            mode: DataMode::Define,
+            writable: true,
+            align: info
+                .get_usize("nc_header_align_size")
+                .map(|v| v as u64)
+                .unwrap_or(4),
+            prefetch: HashMap::new(),
+            fill_mode: false,
+            pre_redef: None,
+        })
+    }
+
+    /// Collectively open an existing dataset (`ncmpi_open`): rank 0 reads
+    /// the header and broadcasts it; every rank caches a local copy.
+    pub fn open(
+        comm: &Comm,
+        pfs: &Pfs,
+        path: &str,
+        readonly: bool,
+        info: &Info,
+    ) -> NcmpiResult<Dataset> {
+        let mode = if readonly {
+            OpenMode::ReadOnly
+        } else {
+            OpenMode::ReadWrite
+        };
+        let file = MpiFile::open(comm, pfs, path, mode, info)?;
+        // Rank 0 fetches the header bytes; everyone else receives them. The
+        // header length is not known up front, so read a small chunk and
+        // grow geometrically until it decodes (real netCDF does the same).
+        let header_bytes = if comm.rank() == 0 {
+            let mut probe = 8192u64;
+            let buf = loop {
+                let take = probe.min(file.size()).max(32) as usize;
+                let mut buf = vec![0u8; take];
+                let mem = Datatype::contiguous(take, Datatype::byte());
+                file.read_at(0, &mut buf, 1, &mem)?;
+                match Header::decode(&buf) {
+                    Ok(_) => break buf,
+                    Err(pnetcdf_format::FormatError::Corrupt(_)) if probe < file.size() => {
+                        probe *= 4;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            };
+            comm.bcast_bytes(0, buf)?
+        } else {
+            comm.bcast_bytes(0, Vec::new())?
+        };
+        let (mut header, _) = Header::decode(&header_bytes)?;
+        // Re-derive the layout from the on-disk begins rather than trusting
+        // our own alignment policy: use the first variable's begin as the
+        // data alignment evidence.
+        let align = info
+            .get_usize("nc_header_align_size")
+            .map(|v| v as u64)
+            .unwrap_or(4);
+        let on_disk_begins: Vec<u64> = header.vars.iter().map(|v| v.begin).collect();
+        let layout = layout::compute(&mut header, align)?;
+        for (v, &disk_begin) in header.vars.iter().zip(&on_disk_begins) {
+            if v.begin != disk_begin {
+                return Err(NcmpiError::InvalidArgument(format!(
+                    "variable '{}': on-disk begin {disk_begin} does not match computed {}; \
+                     the file was written with a different alignment",
+                    v.name, v.begin
+                )));
+            }
+        }
+        let mut ds = Dataset {
+            comm: comm.clone(),
+            file,
+            header,
+            layout,
+            mode: DataMode::Collective,
+            writable: !readonly,
+            align,
+            prefetch: HashMap::new(),
+            fill_mode: false,
+            pre_redef: None,
+        };
+        // PnetCDF-level hint: prefetch named variables at open time.
+        if let Some(hint) = info.get("nc_prefetch_vars") {
+            ds.prefetch_from_hint(hint)?;
+        }
+        Ok(ds)
+    }
+
+    // ---- mode checks -------------------------------------------------------
+
+    pub(crate) fn require_define(&self) -> NcmpiResult<()> {
+        if self.mode != DataMode::Define {
+            return Err(NcmpiError::NotInDefineMode);
+        }
+        Ok(())
+    }
+
+    pub(crate) fn require_collective(&self) -> NcmpiResult<()> {
+        match self.mode {
+            DataMode::Collective => Ok(()),
+            DataMode::Define => Err(NcmpiError::InDefineMode),
+            DataMode::Independent => Err(NcmpiError::WrongDataMode("collective")),
+        }
+    }
+
+    pub(crate) fn require_independent(&self) -> NcmpiResult<()> {
+        match self.mode {
+            DataMode::Independent => Ok(()),
+            DataMode::Define => Err(NcmpiError::InDefineMode),
+            DataMode::Collective => Err(NcmpiError::WrongDataMode("independent")),
+        }
+    }
+
+    pub(crate) fn require_writable(&self) -> NcmpiResult<()> {
+        if !self.writable {
+            return Err(NcmpiError::ReadOnly);
+        }
+        Ok(())
+    }
+
+    /// Current data mode.
+    pub fn mode(&self) -> DataMode {
+        self.mode
+    }
+
+    /// The communicator this dataset was opened on.
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    // ---- define mode end / re-entry ---------------------------------------------
+
+    /// Collectively leave define mode (`ncmpi_enddef`): verify all ranks
+    /// built identical headers, compute the layout, and have rank 0 write
+    /// the header.
+    pub fn enddef(&mut self) -> NcmpiResult<()> {
+        self.require_define()?;
+        self.require_writable()?;
+        let old = self.pre_redef.take();
+        let old_names: Option<Vec<String>> = old
+            .as_ref()
+            .map(|(h, _)| h.vars.iter().map(|v| v.name.clone()).collect());
+        self.layout = layout::compute(&mut self.header, self.align)?;
+        let header_bytes = self.header.encode();
+        consistency::check_same_header(&self.comm, &header_bytes)?;
+
+        // Relocate existing data if a redefinition moved the layout. Each
+        // variable is moved by one rank, in parallel (paper §4.3: "moving
+        // the existing data to the extended area is performed in parallel").
+        if let Some((old_header, old_layout)) = old {
+            self.relocate(&old_header, old_layout)?;
+        }
+
+        // Rank 0 writes the header (plus alignment padding).
+        if self.comm.rank() == 0 {
+            let mut padded = header_bytes;
+            padded.resize(self.layout.data_start as usize, 0);
+            let mem = Datatype::contiguous(padded.len(), Datatype::byte());
+            self.file.set_view_local(0, &Datatype::byte(), &Datatype::byte())?;
+            self.file.write_at(0, &padded, 1, &mem)?;
+        }
+        self.comm.barrier()?;
+        self.mode = DataMode::Collective;
+        // Fill mode: prefill variables that did not exist before this
+        // define pass (all of them on first enddef).
+        if self.fill_mode {
+            let new_vars: Vec<usize> = match &old_names {
+                Some(names) => (0..self.header.vars.len())
+                    .filter(|&v| !names.contains(&self.header.vars[v].name))
+                    .collect(),
+                None => (0..self.header.vars.len()).collect(),
+            };
+            self.prefill_fixed_vars(&new_vars)?;
+        }
+        Ok(())
+    }
+
+    fn relocate(&mut self, old_header: &Header, old_layout: Layout) -> NcmpiResult<()> {
+        self.header.numrecs = old_header.numrecs;
+        let nprocs = self.comm.size();
+        self.file
+            .set_view_local(0, &Datatype::byte(), &Datatype::byte())?;
+        for (old_id, ov) in old_header.vars.iter().enumerate() {
+            let Some(new_id) = self.header.var_id(&ov.name) else {
+                continue;
+            };
+            if old_id % nprocs != self.comm.rank() {
+                continue;
+            }
+            let nv = &self.header.vars[new_id];
+            if old_header.is_record_var(old_id) {
+                let per = ov.vsize as usize;
+                let mut rec = vec![0u8; per];
+                let mem = Datatype::contiguous(per, Datatype::byte());
+                for r in 0..old_header.numrecs {
+                    self.file
+                        .read_at(ov.begin + r * old_layout.recsize, &mut rec, 1, &mem)?;
+                    self.file
+                        .write_at(nv.begin + r * self.layout.recsize, &rec, 1, &mem)?;
+                }
+            } else {
+                let mut data = vec![0u8; ov.vsize as usize];
+                let mem = Datatype::contiguous(data.len(), Datatype::byte());
+                self.file.read_at(ov.begin, &mut data, 1, &mem)?;
+                self.file.write_at(nv.begin, &data, 1, &mem)?;
+            }
+        }
+        self.comm.barrier()?;
+        Ok(())
+    }
+
+    /// Collectively re-enter define mode (`ncmpi_redef`).
+    pub fn redef(&mut self) -> NcmpiResult<()> {
+        if self.mode == DataMode::Define {
+            return Err(NcmpiError::InDefineMode);
+        }
+        self.require_writable()?;
+        self.comm.barrier()?;
+        self.invalidate_all_caches();
+        self.pre_redef = Some((self.header.clone(), self.layout));
+        self.mode = DataMode::Define;
+        Ok(())
+    }
+
+    // ---- numrecs reconciliation -----------------------------------------------
+
+    /// Collectively agree on `numrecs` (max across ranks) and update the
+    /// local headers. Called inside collective record writes and `sync`.
+    pub(crate) fn reconcile_numrecs(&mut self) -> NcmpiResult<()> {
+        let max = self
+            .comm
+            .allreduce_scalar(ReduceOp::Max, self.header.numrecs)?;
+        self.header.numrecs = max;
+        Ok(())
+    }
+
+    /// Collectively flush metadata (`ncmpi_sync`): reconcile `numrecs` and
+    /// have rank 0 rewrite it.
+    pub fn sync(&mut self) -> NcmpiResult<()> {
+        if self.mode == DataMode::Define {
+            return Err(NcmpiError::InDefineMode);
+        }
+        self.reconcile_numrecs()?;
+        if self.writable && self.comm.rank() == 0 {
+            let nr = (self.header.numrecs.min(u32::MAX as u64 - 1)) as u32;
+            let mem = Datatype::contiguous(4, Datatype::byte());
+            self.file
+                .set_view_local(0, &Datatype::byte(), &Datatype::byte())?;
+            self.file.write_at(4, &nr.to_be_bytes(), 1, &mem)?;
+        }
+        self.file.sync()?;
+        Ok(())
+    }
+
+    /// Collectively close the dataset (`ncmpi_close`).
+    pub fn close(mut self) -> NcmpiResult<()> {
+        if self.mode == DataMode::Define {
+            if self.writable {
+                self.enddef()?;
+            } else {
+                return Err(NcmpiError::InDefineMode);
+            }
+        }
+        self.sync()?;
+        Ok(())
+    }
+
+    // ---- data-mode switch ---------------------------------------------------------
+
+    /// Collectively enter independent data mode (`ncmpi_begin_indep_data`).
+    pub fn begin_indep_data(&mut self) -> NcmpiResult<()> {
+        self.require_collective()?;
+        self.file.sync()?;
+        self.mode = DataMode::Independent;
+        Ok(())
+    }
+
+    /// Collectively leave independent data mode (`ncmpi_end_indep_data`).
+    pub fn end_indep_data(&mut self) -> NcmpiResult<()> {
+        self.require_independent()?;
+        // Local record counts may have diverged during independent writes,
+        // and another rank's independent write may have invalidated data
+        // this rank still holds in its prefetch cache.
+        self.mode = DataMode::Collective;
+        self.invalidate_all_caches();
+        self.reconcile_numrecs()?;
+        self.file.sync()?;
+        Ok(())
+    }
+
+    /// Virtual time of this rank (for benchmarks).
+    pub fn now(&self) -> Time {
+        self.comm.now()
+    }
+}

@@ -1,0 +1,53 @@
+//! Define-mode and attribute functions (`ncmpi_def_dim`, `ncmpi_def_var`,
+//! `ncmpi_put_att_*`).
+//!
+//! These are collective in the standard's sense — all ranks must call them
+//! with the same arguments — but operate purely on the local header copy,
+//! so they involve no communication (consistency is verified collectively
+//! at `enddef`).
+
+use pnetcdf_format::{AttrValue, NcType};
+
+use crate::dataset::Dataset;
+use crate::error::NcmpiResult;
+
+impl Dataset {
+    /// Define a dimension (`ncmpi_def_dim`); length 0 defines the unlimited
+    /// dimension. Returns the dimension id.
+    pub fn def_dim(&mut self, name: &str, len: u64) -> NcmpiResult<usize> {
+        self.require_define()?;
+        self.require_writable()?;
+        Ok(self.header.add_dim(name, len)?)
+    }
+
+    /// Define a variable (`ncmpi_def_var`). Returns the variable id.
+    pub fn def_var(&mut self, name: &str, nctype: NcType, dimids: &[usize]) -> NcmpiResult<usize> {
+        self.require_define()?;
+        self.require_writable()?;
+        Ok(self.header.add_var(name, nctype, dimids)?)
+    }
+
+    /// Add or replace a global attribute (`ncmpi_put_att`).
+    pub fn put_gatt(&mut self, name: &str, value: AttrValue) -> NcmpiResult<()> {
+        self.require_define()?;
+        self.require_writable()?;
+        Ok(self.header.put_gatt(name, value)?)
+    }
+
+    /// Add or replace a variable attribute.
+    pub fn put_vatt(&mut self, varid: usize, name: &str, value: AttrValue) -> NcmpiResult<()> {
+        self.require_define()?;
+        self.require_writable()?;
+        Ok(self.header.put_vatt(varid, name, value)?)
+    }
+
+    /// Convenience: text attribute on the dataset.
+    pub fn put_gatt_text(&mut self, name: &str, text: &str) -> NcmpiResult<()> {
+        self.put_gatt(name, AttrValue::Char(text.to_string()))
+    }
+
+    /// Convenience: text attribute on a variable.
+    pub fn put_vatt_text(&mut self, varid: usize, name: &str, text: &str) -> NcmpiResult<()> {
+        self.put_vatt(varid, name, AttrValue::Char(text.to_string()))
+    }
+}

@@ -1,0 +1,89 @@
+//! PnetCDF error codes.
+
+use std::fmt;
+
+use pnetcdf_format::FormatError;
+use pnetcdf_mpi::MpiError;
+use pnetcdf_mpio::MpioError;
+
+/// Errors of the parallel netCDF API (the `NC_E*` codes plus the parallel
+/// additions introduced by PnetCDF).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NcmpiError {
+    /// Format-level failure (codec, layout, NC_ERANGE...).
+    Format(FormatError),
+    /// MPI-IO failure.
+    Mpio(MpioError),
+    /// MPI failure.
+    Mpi(MpiError),
+    /// Operation requires define mode (`NC_ENOTINDEFINE`).
+    NotInDefineMode,
+    /// Operation not permitted in define mode (`NC_EINDEFINE`).
+    InDefineMode,
+    /// Collective call attempted in independent data mode or vice versa
+    /// (`NC_EINDEP` / `NC_ENOTINDEP`).
+    WrongDataMode(&'static str),
+    /// Unknown dimension/variable/attribute.
+    NotFound(String),
+    /// The dataset is read-only (`NC_EPERM`).
+    ReadOnly,
+    /// Ranks passed inconsistent arguments to a collective definition
+    /// (`NC_EMULTIDEFINE`).
+    InconsistentDefinitions,
+    /// Argument validation failure.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for NcmpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NcmpiError::Format(e) => write!(f, "{e}"),
+            NcmpiError::Mpio(e) => write!(f, "{e}"),
+            NcmpiError::Mpi(e) => write!(f, "{e}"),
+            NcmpiError::NotInDefineMode => write!(f, "operation requires define mode"),
+            NcmpiError::InDefineMode => write!(f, "operation not permitted in define mode"),
+            NcmpiError::WrongDataMode(need) => {
+                write!(f, "operation requires {need} data mode")
+            }
+            NcmpiError::NotFound(what) => write!(f, "not found: {what}"),
+            NcmpiError::ReadOnly => write!(f, "dataset is read-only"),
+            NcmpiError::InconsistentDefinitions => write!(
+                f,
+                "ranks passed inconsistent definitions to a collective call (NC_EMULTIDEFINE)"
+            ),
+            NcmpiError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NcmpiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NcmpiError::Format(e) => Some(e),
+            NcmpiError::Mpio(e) => Some(e),
+            NcmpiError::Mpi(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FormatError> for NcmpiError {
+    fn from(e: FormatError) -> Self {
+        NcmpiError::Format(e)
+    }
+}
+
+impl From<MpioError> for NcmpiError {
+    fn from(e: MpioError) -> Self {
+        NcmpiError::Mpio(e)
+    }
+}
+
+impl From<MpiError> for NcmpiError {
+    fn from(e: MpiError) -> Self {
+        NcmpiError::Mpi(e)
+    }
+}
+
+/// Result alias for PnetCDF operations.
+pub type NcmpiResult<T> = Result<T, NcmpiError>;

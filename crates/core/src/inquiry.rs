@@ -1,0 +1,139 @@
+//! Inquiry functions (`ncmpi_inq_*`).
+//!
+//! All information comes from the locally cached header — "all header
+//! information can be accessed directly in local memory" (paper §4.3) — so
+//! none of these involve communication or file I/O.
+
+use pnetcdf_format::{AttrValue, NcType};
+
+use crate::dataset::Dataset;
+use crate::error::{NcmpiError, NcmpiResult};
+
+/// Summary returned by [`Dataset::inq`] (`ncmpi_inq`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DatasetInfo {
+    /// Number of dimensions.
+    pub ndims: usize,
+    /// Number of variables.
+    pub nvars: usize,
+    /// Number of global attributes.
+    pub ngatts: usize,
+    /// Id of the unlimited dimension, if any.
+    pub unlimdimid: Option<usize>,
+}
+
+/// Per-variable information returned by [`Dataset::inq_var`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Variable name.
+    pub name: String,
+    /// External type.
+    pub nctype: NcType,
+    /// Dimension ids, most significant first.
+    pub dimids: Vec<usize>,
+    /// Number of attributes.
+    pub natts: usize,
+}
+
+impl Dataset {
+    /// Dataset summary (`ncmpi_inq`).
+    pub fn inq(&self) -> DatasetInfo {
+        DatasetInfo {
+            ndims: self.header.dims.len(),
+            nvars: self.header.vars.len(),
+            ngatts: self.header.gatts.len(),
+            unlimdimid: self.header.unlimited_dim(),
+        }
+    }
+
+    /// Dimension id by name (`ncmpi_inq_dimid`).
+    pub fn inq_dimid(&self, name: &str) -> NcmpiResult<usize> {
+        self.header
+            .dim_id(name)
+            .ok_or_else(|| NcmpiError::NotFound(format!("dimension '{name}'")))
+    }
+
+    /// Dimension name and length (`ncmpi_inq_dim`). The unlimited dimension
+    /// reports the current number of records.
+    pub fn inq_dim(&self, dimid: usize) -> NcmpiResult<(String, u64)> {
+        let d = self
+            .header
+            .dims
+            .get(dimid)
+            .ok_or_else(|| NcmpiError::NotFound(format!("dimension id {dimid}")))?;
+        let len = if d.is_unlimited() {
+            self.header.numrecs
+        } else {
+            d.len
+        };
+        Ok((d.name.clone(), len))
+    }
+
+    /// Variable id by name (`ncmpi_inq_varid`).
+    pub fn inq_varid(&self, name: &str) -> NcmpiResult<usize> {
+        self.header
+            .var_id(name)
+            .ok_or_else(|| NcmpiError::NotFound(format!("variable '{name}'")))
+    }
+
+    /// Variable metadata (`ncmpi_inq_var`).
+    pub fn inq_var(&self, varid: usize) -> NcmpiResult<VarInfo> {
+        let v = self
+            .header
+            .vars
+            .get(varid)
+            .ok_or_else(|| NcmpiError::NotFound(format!("variable id {varid}")))?;
+        Ok(VarInfo {
+            name: v.name.clone(),
+            nctype: v.nctype,
+            dimids: v.dimids.clone(),
+            natts: v.atts.len(),
+        })
+    }
+
+    /// A variable's current shape (record dimension = current `numrecs`).
+    pub fn inq_var_shape(&self, varid: usize) -> NcmpiResult<Vec<u64>> {
+        if varid >= self.header.vars.len() {
+            return Err(NcmpiError::NotFound(format!("variable id {varid}")));
+        }
+        Ok(self.header.var_shape(varid))
+    }
+
+    /// Global attribute by name (`ncmpi_get_att`).
+    pub fn get_gatt(&self, name: &str) -> NcmpiResult<&AttrValue> {
+        self.header
+            .gatts
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| &a.value)
+            .ok_or_else(|| NcmpiError::NotFound(format!("global attribute '{name}'")))
+    }
+
+    /// Variable attribute by name.
+    pub fn get_vatt(&self, varid: usize, name: &str) -> NcmpiResult<&AttrValue> {
+        self.header
+            .vars
+            .get(varid)
+            .ok_or_else(|| NcmpiError::NotFound(format!("variable id {varid}")))?
+            .atts
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| &a.value)
+            .ok_or_else(|| NcmpiError::NotFound(format!("attribute '{name}'")))
+    }
+
+    /// Number of records currently defined (`ncmpi_inq_unlimlen`).
+    pub fn numrecs(&self) -> u64 {
+        self.header.numrecs
+    }
+
+    /// Access to the raw header copy (diagnostics and tests).
+    pub fn header(&self) -> &pnetcdf_format::Header {
+        &self.header
+    }
+
+    /// The computed file layout (diagnostics and tests).
+    pub fn layout(&self) -> pnetcdf_format::Layout {
+        self.layout
+    }
+}

@@ -1,0 +1,62 @@
+//! # PnetCDF — Parallel netCDF
+//!
+//! A Rust reproduction of *"Parallel netCDF: A High-Performance Scientific
+//! I/O Interface"* (Li, Liao, Choudhary, Ross, Thakur, Gropp, Latham,
+//! Siegel, Gallagher, Zingale — SC 2003).
+//!
+//! PnetCDF extends the serial netCDF interface with **parallel access
+//! semantics** while retaining the classic netCDF file format:
+//!
+//! * datasets are created/opened **collectively** by the processes of an
+//!   MPI communicator ([`Dataset::create`] / [`Dataset::open`] — the
+//!   `ncmpi_`-prefixed API of the paper);
+//! * the file header is read/written only by rank 0 and cached on every
+//!   process, so define-mode/attribute/inquiry functions are pure local
+//!   memory operations;
+//! * data mode is split into **collective** (`*_all`, mapped to two-phase
+//!   collective MPI-IO) and **independent** flavors;
+//! * the **high-level API** mirrors serial netCDF's five access methods
+//!   (`var1`/`var`/`vara`/`vars`/`varm`); the **flexible API** describes
+//!   memory with MPI datatypes;
+//! * `MPI_Info` hints flow through to the MPI-IO layer.
+//!
+//! ```no_run
+//! use hpc_sim::SimConfig;
+//! use pnetcdf::{Dataset, DataMode};
+//! use pnetcdf_format::{NcType, Version};
+//! use pnetcdf_mpi::{run_world, Info};
+//! use pnetcdf_pfs::{Pfs, StorageMode};
+//!
+//! let cfg = SimConfig::sdsc_blue_horizon();
+//! let pfs = Pfs::new(cfg.clone(), StorageMode::Full);
+//! run_world(4, cfg, |comm| {
+//!     // 1. collectively create the dataset
+//!     let mut ds = Dataset::create(comm, &pfs, "out.nc", Version::Cdf1, &Info::new()).unwrap();
+//!     // 2. collectively define it
+//!     let z = ds.def_dim("z", 4).unwrap();
+//!     let tt = ds.def_var("tt", NcType::Float, &[z]).unwrap();
+//!     ds.enddef().unwrap();
+//!     // 3. access the data collectively
+//!     ds.put_vara_all(tt, &[comm.rank() as u64], &[1], &[comm.rank() as f32]).unwrap();
+//!     // 4. collectively close
+//!     ds.close().unwrap();
+//! });
+//! ```
+
+pub mod access;
+pub mod consistency;
+pub mod convert;
+pub mod dataset;
+pub mod define;
+pub mod error;
+pub mod fill;
+pub mod inquiry;
+
+pub use dataset::{DataMode, Dataset};
+pub use error::{NcmpiError, NcmpiResult};
+pub use inquiry::{DatasetInfo, VarInfo};
+
+// Re-export the pieces a typical application needs, so `use pnetcdf::*`
+// style programs mirror the C library's single header.
+pub use pnetcdf_format::{AttrValue, NcType, Version, NC_UNLIMITED};
+pub use pnetcdf_mpi::{Datatype, Info};

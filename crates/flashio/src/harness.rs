@@ -1,0 +1,121 @@
+//! Driver: run one FLASH I/O configuration and report aggregate bandwidth.
+
+use hpc_sim::{SimConfig, Time};
+use pnetcdf_pfs::{Pfs, StorageMode};
+use pnetcdf_mpi::run_world;
+
+use crate::mesh::BlockMesh;
+use crate::writers;
+
+/// Which of the three output files to produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputKind {
+    /// 24 unknowns, double precision.
+    Checkpoint,
+    /// 4 variables, single precision, cell-centered.
+    Plotfile,
+    /// 4 variables, single precision, corner data (nxb+1 per dim).
+    PlotfileCorners,
+}
+
+impl OutputKind {
+    /// Short label used in output tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            OutputKind::Checkpoint => "checkpoint",
+            OutputKind::Plotfile => "plotfile",
+            OutputKind::PlotfileCorners => "plotfile+corners",
+        }
+    }
+}
+
+/// Which library writes the file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoLibrary {
+    Pnetcdf,
+    Hdf5,
+}
+
+impl IoLibrary {
+    /// Short label used in output tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoLibrary::Pnetcdf => "PnetCDF",
+            IoLibrary::Hdf5 => "HDF5",
+        }
+    }
+}
+
+/// One benchmark configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FlashConfig {
+    /// Block side length (8 or 16 in the paper).
+    pub nxb: u64,
+    /// Number of processors.
+    pub nprocs: usize,
+    /// Output file kind.
+    pub kind: OutputKind,
+    /// Library under test.
+    pub lib: IoLibrary,
+    /// Blocks per processor (80 in the paper).
+    pub blocks_per_proc: u64,
+    /// Write the per-variable attributes the original benchmark carried
+    /// (the paper's port removed them; `false` reproduces the paper).
+    pub attributes: bool,
+}
+
+impl FlashConfig {
+    /// The paper's setup for the given parameters.
+    pub fn paper(nxb: u64, nprocs: usize, kind: OutputKind, lib: IoLibrary) -> FlashConfig {
+        FlashConfig {
+            nxb,
+            nprocs,
+            kind,
+            lib,
+            blocks_per_proc: 80,
+            attributes: false,
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Clone, Copy, Debug)]
+pub struct FlashResult {
+    /// Array bytes written (all ranks).
+    pub bytes: u64,
+    /// Virtual makespan of the whole operation (create..close).
+    pub time: Time,
+    /// Aggregate bandwidth in MB/s.
+    pub bandwidth_mb_s: f64,
+}
+
+/// Run one configuration on a fresh PFS under `sim` and return the
+/// aggregate-bandwidth result.
+pub fn run_flash_io(config: FlashConfig, sim: SimConfig, storage: StorageMode) -> FlashResult {
+    let pfs = Pfs::new(sim.clone(), storage);
+    let mesh = BlockMesh {
+        nxb: config.nxb,
+        blocks_per_proc: config.blocks_per_proc,
+        nprocs: config.nprocs,
+    };
+    let kind = config.kind;
+    let lib = config.lib;
+    let attrs = config.attributes;
+    let run = run_world(config.nprocs, sim, move |comm| match lib {
+        IoLibrary::Pnetcdf => {
+            writers::pnetcdf::write_with(comm, &pfs, &mesh, kind, "flash_out", attrs)
+                .expect("pnetcdf write")
+        }
+        IoLibrary::Hdf5 => {
+            writers::hdf5::write_with(comm, &pfs, &mesh, kind, "flash_out", attrs)
+                .expect("hdf5 write")
+        }
+    });
+    let bytes = run.results[0];
+    let time = run.makespan;
+    FlashResult {
+        bytes,
+        time,
+        bandwidth_mb_s: bytes as f64 / time.as_secs_f64() / 1e6,
+    }
+}

@@ -1,0 +1,9 @@
+//! The two output paths of the benchmark: PnetCDF and HDF5-sim.
+//!
+//! Both writers produce the same logical content — the block metadata
+//! arrays plus one `(tot_blocks, nb, nb, nb)` array per variable — from the
+//! same contiguous user buffers, mirroring how the original benchmark's
+//! Fortran I/O routines are shared verbatim with FLASH itself.
+
+pub mod hdf5;
+pub mod pnetcdf;

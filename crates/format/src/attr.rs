@@ -1,0 +1,241 @@
+//! Attributes: typed metadata attached to the dataset or to variables.
+
+use crate::error::{FormatError, FormatResult};
+use crate::name;
+use crate::types::NcType;
+use crate::xdr::{Reader, Writer};
+
+/// An attribute's typed values.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    Byte(Vec<i8>),
+    /// Character data; netCDF text attributes.
+    Char(String),
+    Short(Vec<i16>),
+    Int(Vec<i32>),
+    Float(Vec<f32>),
+    Double(Vec<f64>),
+}
+
+impl AttrValue {
+    /// External type of the values.
+    pub fn nc_type(&self) -> NcType {
+        match self {
+            AttrValue::Byte(_) => NcType::Byte,
+            AttrValue::Char(_) => NcType::Char,
+            AttrValue::Short(_) => NcType::Short,
+            AttrValue::Int(_) => NcType::Int,
+            AttrValue::Float(_) => NcType::Float,
+            AttrValue::Double(_) => NcType::Double,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            AttrValue::Byte(v) => v.len(),
+            AttrValue::Char(s) => s.len(),
+            AttrValue::Short(v) => v.len(),
+            AttrValue::Int(v) => v.len(),
+            AttrValue::Float(v) => v.len(),
+            AttrValue::Double(v) => v.len(),
+        }
+    }
+
+    /// True if there are no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A named attribute.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Attr {
+    /// Attribute name.
+    pub name: String,
+    /// Typed values.
+    pub value: AttrValue,
+}
+
+impl Attr {
+    /// Create a validated attribute.
+    pub fn new(name: &str, value: AttrValue) -> FormatResult<Attr> {
+        name::validate(name)?;
+        Ok(Attr {
+            name: name.to_string(),
+            value,
+        })
+    }
+
+    /// Text attribute convenience.
+    pub fn text(name: &str, s: &str) -> FormatResult<Attr> {
+        Attr::new(name, AttrValue::Char(s.to_string()))
+    }
+
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.put_name(&self.name);
+        w.put_u32(self.value.nc_type().code());
+        w.put_u32(self.value.len() as u32);
+        match &self.value {
+            AttrValue::Byte(v) => {
+                for &x in v {
+                    w.put_u8(x as u8);
+                }
+            }
+            AttrValue::Char(s) => w.put_bytes(s.as_bytes()),
+            AttrValue::Short(v) => {
+                for &x in v {
+                    w.put_i16(x);
+                }
+            }
+            AttrValue::Int(v) => {
+                for &x in v {
+                    w.put_i32(x);
+                }
+            }
+            AttrValue::Float(v) => {
+                for &x in v {
+                    w.put_f32(x);
+                }
+            }
+            AttrValue::Double(v) => {
+                for &x in v {
+                    w.put_f64(x);
+                }
+            }
+        }
+        w.align4();
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> FormatResult<Attr> {
+        let name = r.get_name()?;
+        let t = NcType::from_code(r.get_u32()?)?;
+        let n = r.get_u32()? as usize;
+        let value = match t {
+            NcType::Byte => {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(r.get_u8()? as i8);
+                }
+                AttrValue::Byte(v)
+            }
+            NcType::Char => {
+                let bytes = r.get_bytes(n)?.to_vec();
+                AttrValue::Char(String::from_utf8(bytes).map_err(|_| {
+                    FormatError::Corrupt("char attribute is not valid UTF-8".into())
+                })?)
+            }
+            NcType::Short => {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(r.get_i16()?);
+                }
+                AttrValue::Short(v)
+            }
+            NcType::Int => {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(r.get_i32()?);
+                }
+                AttrValue::Int(v)
+            }
+            NcType::Float => {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(r.get_f32()?);
+                }
+                AttrValue::Float(v)
+            }
+            NcType::Double => {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(r.get_f64()?);
+                }
+                AttrValue::Double(v)
+            }
+        };
+        r.align4()?;
+        Ok(Attr { name, value })
+    }
+}
+
+/// Encode an attribute list (with the `NC_ATTRIBUTE`/ABSENT tag).
+pub(crate) fn encode_list(attrs: &[Attr], w: &mut Writer) {
+    if attrs.is_empty() {
+        w.put_u32(0); // ABSENT
+        w.put_u32(0);
+    } else {
+        w.put_u32(0x0C); // NC_ATTRIBUTE
+        w.put_u32(attrs.len() as u32);
+        for a in attrs {
+            a.encode(w);
+        }
+    }
+}
+
+/// Decode an attribute list.
+pub(crate) fn decode_list(r: &mut Reader<'_>) -> FormatResult<Vec<Attr>> {
+    let tag = r.get_u32()?;
+    let n = r.get_u32()? as usize;
+    match (tag, n) {
+        (0, 0) => Ok(Vec::new()),
+        (0x0C, _) => (0..n).map(|_| Attr::decode(r)).collect(),
+        _ => Err(FormatError::Corrupt(format!(
+            "bad attribute list tag {tag:#x} with count {n}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(a: &Attr) {
+        let mut w = Writer::new();
+        a.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len() % 4, 0, "attribute encoding must be aligned");
+        let mut r = Reader::new(&bytes);
+        assert_eq!(&Attr::decode(&mut r).unwrap(), a);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        roundtrip(&Attr::new("b", AttrValue::Byte(vec![-1, 0, 1])).unwrap());
+        roundtrip(&Attr::text("units", "degrees_celsius").unwrap());
+        roundtrip(&Attr::new("s", AttrValue::Short(vec![-300, 300, 5])).unwrap());
+        roundtrip(&Attr::new("i", AttrValue::Int(vec![i32::MIN, i32::MAX])).unwrap());
+        roundtrip(&Attr::new("f", AttrValue::Float(vec![1.5, -2.5])).unwrap());
+        roundtrip(&Attr::new("d", AttrValue::Double(vec![1e300])).unwrap());
+        roundtrip(&Attr::new("empty", AttrValue::Int(vec![])).unwrap());
+    }
+
+    #[test]
+    fn list_roundtrip_including_absent() {
+        let attrs = vec![
+            Attr::text("title", "x").unwrap(),
+            Attr::new("range", AttrValue::Double(vec![0.0, 1.0])).unwrap(),
+        ];
+        let mut w = Writer::new();
+        encode_list(&attrs, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(decode_list(&mut r).unwrap(), attrs);
+
+        let mut w = Writer::new();
+        encode_list(&[], &mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0; 8]);
+        let mut r = Reader::new(&bytes);
+        assert!(decode_list(&mut r).unwrap().is_empty());
+    }
+
+    #[test]
+    fn value_metadata() {
+        let v = AttrValue::Short(vec![1, 2, 3]);
+        assert_eq!(v.nc_type(), NcType::Short);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Dimensions.
+
+use crate::error::FormatResult;
+use crate::name;
+use crate::xdr::{Reader, Writer};
+
+/// A named dimension. Length 0 on disk marks the unlimited (record)
+/// dimension; at most one may exist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dim {
+    /// Dimension name.
+    pub name: String,
+    /// Length; `0` = unlimited.
+    pub len: u64,
+}
+
+impl Dim {
+    /// Create a validated dimension.
+    pub fn new(name: &str, len: u64) -> FormatResult<Dim> {
+        name::validate(name)?;
+        Ok(Dim {
+            name: name.to_string(),
+            len,
+        })
+    }
+
+    /// Is this the record dimension?
+    pub fn is_unlimited(&self) -> bool {
+        self.len == 0
+    }
+
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.put_name(&self.name);
+        w.put_u32(self.len as u32);
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> FormatResult<Dim> {
+        let name = r.get_name()?;
+        let len = r.get_u32()? as u64;
+        Ok(Dim { name, len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let d = Dim::new("longitude", 360).unwrap();
+        let mut w = Writer::new();
+        d.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Dim::decode(&mut r).unwrap(), d);
+    }
+
+    #[test]
+    fn unlimited_marker() {
+        let d = Dim::new("time", 0).unwrap();
+        assert!(d.is_unlimited());
+        assert!(!Dim::new("z", 5).unwrap().is_unlimited());
+    }
+
+    #[test]
+    fn invalid_name_rejected() {
+        assert!(Dim::new("bad name", 4).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Errors of the format codec.
+
+use std::fmt;
+
+/// Errors raised while encoding/decoding netCDF classic files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// The file does not begin with `CDF`.
+    BadMagic,
+    /// Unknown version byte.
+    UnsupportedVersion(u8),
+    /// Structurally invalid content (truncated, bad tag, bad count...).
+    Corrupt(String),
+    /// An invalid netCDF name.
+    BadName(String),
+    /// Invalid definition (duplicate name, bad dimension id, ...).
+    InvalidDefinition(String),
+    /// A value does not fit the target external type (`NC_ERANGE`).
+    Range(String),
+    /// A fixed-size variable exceeds what the format version can address.
+    TooLarge(String),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "not a netCDF file (bad magic)"),
+            FormatError::UnsupportedVersion(v) => {
+                write!(f, "unsupported netCDF version byte {v}")
+            }
+            FormatError::Corrupt(msg) => write!(f, "corrupt netCDF file: {msg}"),
+            FormatError::BadName(msg) => write!(f, "invalid netCDF name: {msg}"),
+            FormatError::InvalidDefinition(msg) => write!(f, "invalid definition: {msg}"),
+            FormatError::Range(msg) => write!(f, "value out of range (NC_ERANGE): {msg}"),
+            FormatError::TooLarge(msg) => write!(f, "object too large for format: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Result alias for format operations.
+pub type FormatResult<T> = Result<T, FormatError>;

@@ -1,0 +1,357 @@
+//! The netCDF file header: everything before the array data.
+//!
+//! ```text
+//! header  = magic numrecs dim_list gatt_list var_list
+//! magic   = 'C' 'D' 'F' version
+//! ```
+//!
+//! The header is the only metadata in the file — the property PnetCDF
+//! exploits by caching a copy on every process (paper §4.2.1).
+
+use crate::attr::{self, Attr, AttrValue};
+use crate::dim::Dim;
+use crate::error::{FormatError, FormatResult};
+use crate::types::NcType;
+use crate::var::{self, Var};
+use crate::xdr::{Reader, Writer};
+use crate::Version;
+
+/// Sentinel for "numrecs unknown" (streaming); we always write real counts
+/// but accept the sentinel on read.
+pub const STREAMING: u32 = u32::MAX;
+
+/// An in-memory netCDF header.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Header {
+    /// Format version (CDF-1 or CDF-2).
+    pub version: Version,
+    /// Number of records written so far.
+    pub numrecs: u64,
+    /// Dimensions, in definition order (ids are indices).
+    pub dims: Vec<Dim>,
+    /// Global attributes.
+    pub gatts: Vec<Attr>,
+    /// Variables, in definition order (ids are indices).
+    pub vars: Vec<Var>,
+}
+
+impl Header {
+    /// An empty header.
+    pub fn new(version: Version) -> Header {
+        Header {
+            version,
+            numrecs: 0,
+            dims: Vec::new(),
+            gatts: Vec::new(),
+            vars: Vec::new(),
+        }
+    }
+
+    // ---- definition ---------------------------------------------------------
+
+    /// Define a dimension; returns its id. `len == 0` defines the unlimited
+    /// dimension (at most one).
+    pub fn add_dim(&mut self, name: &str, len: u64) -> FormatResult<usize> {
+        if self.dims.iter().any(|d| d.name == name) {
+            return Err(FormatError::InvalidDefinition(format!(
+                "dimension '{name}' already defined"
+            )));
+        }
+        if len == 0 && self.unlimited_dim().is_some() {
+            return Err(FormatError::InvalidDefinition(
+                "only one unlimited dimension is allowed".into(),
+            ));
+        }
+        self.dims.push(Dim::new(name, len)?);
+        Ok(self.dims.len() - 1)
+    }
+
+    /// Define a variable; returns its id. The unlimited dimension, if used,
+    /// must be the first (most significant) dimension.
+    pub fn add_var(&mut self, name: &str, nctype: NcType, dimids: &[usize]) -> FormatResult<usize> {
+        if self.vars.iter().any(|v| v.name == name) {
+            return Err(FormatError::InvalidDefinition(format!(
+                "variable '{name}' already defined"
+            )));
+        }
+        for (i, &d) in dimids.iter().enumerate() {
+            let dim = self.dims.get(d).ok_or_else(|| {
+                FormatError::InvalidDefinition(format!("variable '{name}': bad dimension id {d}"))
+            })?;
+            if dim.is_unlimited() && i != 0 {
+                return Err(FormatError::InvalidDefinition(format!(
+                    "variable '{name}': unlimited dimension must be the first dimension"
+                )));
+            }
+        }
+        self.vars.push(Var::new(name, nctype, dimids.to_vec())?);
+        Ok(self.vars.len() - 1)
+    }
+
+    /// Add or replace a global attribute.
+    pub fn put_gatt(&mut self, name: &str, value: AttrValue) -> FormatResult<()> {
+        let a = Attr::new(name, value)?;
+        if let Some(slot) = self.gatts.iter_mut().find(|x| x.name == name) {
+            *slot = a;
+        } else {
+            self.gatts.push(a);
+        }
+        Ok(())
+    }
+
+    /// Add or replace a variable attribute.
+    pub fn put_vatt(&mut self, varid: usize, name: &str, value: AttrValue) -> FormatResult<()> {
+        let a = Attr::new(name, value)?;
+        let v = self
+            .vars
+            .get_mut(varid)
+            .ok_or_else(|| FormatError::InvalidDefinition(format!("bad variable id {varid}")))?;
+        if let Some(slot) = v.atts.iter_mut().find(|x| x.name == name) {
+            *slot = a;
+        } else {
+            v.atts.push(a);
+        }
+        Ok(())
+    }
+
+    // ---- inquiry --------------------------------------------------------------
+
+    /// Id of the unlimited dimension, if defined.
+    pub fn unlimited_dim(&self) -> Option<usize> {
+        self.dims.iter().position(Dim::is_unlimited)
+    }
+
+    /// Look up a dimension id by name.
+    pub fn dim_id(&self, name: &str) -> Option<usize> {
+        self.dims.iter().position(|d| d.name == name)
+    }
+
+    /// Look up a variable id by name.
+    pub fn var_id(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v.name == name)
+    }
+
+    /// Is `varid` a record variable (first dimension unlimited)?
+    pub fn is_record_var(&self, varid: usize) -> bool {
+        self.vars[varid]
+            .dimids
+            .first()
+            .is_some_and(|&d| self.dims[d].is_unlimited())
+    }
+
+    /// The shape of a variable, with the record dimension reported as the
+    /// current `numrecs`.
+    pub fn var_shape(&self, varid: usize) -> Vec<u64> {
+        self.vars[varid]
+            .dimids
+            .iter()
+            .map(|&d| {
+                if self.dims[d].is_unlimited() {
+                    self.numrecs
+                } else {
+                    self.dims[d].len
+                }
+            })
+            .collect()
+    }
+
+    /// The shape of one record (or the whole array for fixed variables):
+    /// the record dimension is excluded.
+    pub fn record_shape(&self, varid: usize) -> Vec<u64> {
+        let v = &self.vars[varid];
+        let skip = usize::from(self.is_record_var(varid));
+        v.dimids[skip..].iter().map(|&d| self.dims[d].len).collect()
+    }
+
+    /// Number of elements in one record (or the whole fixed array).
+    pub fn record_elems(&self, varid: usize) -> u64 {
+        self.record_shape(varid).iter().product()
+    }
+
+    // ---- codec ---------------------------------------------------------------
+
+    /// Encode the complete header.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_bytes(b"CDF");
+        w.put_u8(self.version.magic_byte());
+        w.put_u32(self.numrecs.min(STREAMING as u64 - 1) as u32);
+        // dim_list
+        if self.dims.is_empty() {
+            w.put_u32(0);
+            w.put_u32(0);
+        } else {
+            w.put_u32(0x0A); // NC_DIMENSION
+            w.put_u32(self.dims.len() as u32);
+            for d in &self.dims {
+                d.encode(&mut w);
+            }
+        }
+        attr::encode_list(&self.gatts, &mut w);
+        var::encode_list(&self.vars, &mut w, self.version);
+        w.into_bytes()
+    }
+
+    /// Size in bytes of the encoded header.
+    pub fn encoded_len(&self) -> u64 {
+        self.encode().len() as u64
+    }
+
+    /// Decode a header from the start of `bytes`. Returns the header and
+    /// the number of bytes it occupied.
+    pub fn decode(bytes: &[u8]) -> FormatResult<(Header, usize)> {
+        let mut r = Reader::new(bytes);
+        let magic = r.get_bytes(3)?;
+        if magic != b"CDF" {
+            return Err(FormatError::BadMagic);
+        }
+        let vb = r.get_u8()?;
+        let version =
+            Version::from_magic_byte(vb).ok_or(FormatError::UnsupportedVersion(vb))?;
+        let numrecs_raw = r.get_u32()?;
+        let numrecs = if numrecs_raw == STREAMING {
+            0
+        } else {
+            numrecs_raw as u64
+        };
+        // dim_list
+        let tag = r.get_u32()?;
+        let n = r.get_u32()? as usize;
+        let dims = match (tag, n) {
+            (0, 0) => Vec::new(),
+            (0x0A, _) => (0..n)
+                .map(|_| Dim::decode(&mut r))
+                .collect::<FormatResult<Vec<_>>>()?,
+            _ => {
+                return Err(FormatError::Corrupt(format!(
+                    "bad dimension list tag {tag:#x} with count {n}"
+                )))
+            }
+        };
+        let gatts = attr::decode_list(&mut r)?;
+        let vars = var::decode_list(&mut r, version)?;
+        Ok((
+            Header {
+                version,
+                numrecs,
+                dims,
+                gatts,
+                vars,
+            },
+            r.pos(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Header {
+        let mut h = Header::new(Version::Cdf1);
+        let time = h.add_dim("time", 0).unwrap();
+        let z = h.add_dim("level", 4).unwrap();
+        let y = h.add_dim("lat", 6).unwrap();
+        let x = h.add_dim("lon", 8).unwrap();
+        h.put_gatt("title", AttrValue::Char("test dataset".into()))
+            .unwrap();
+        let tt = h.add_var("tt", NcType::Float, &[z, y, x]).unwrap();
+        h.put_vatt(tt, "units", AttrValue::Char("K".into())).unwrap();
+        h.add_var("ts", NcType::Double, &[time, y, x]).unwrap();
+        h.numrecs = 3;
+        h
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let h = sample();
+        let bytes = h.encode();
+        assert_eq!(&bytes[..4], b"CDF\x01");
+        let (h2, used) = Header::decode(&bytes).unwrap();
+        assert_eq!(h2, h);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn cdf2_roundtrip() {
+        let mut h = sample();
+        h.version = Version::Cdf2;
+        let bytes = h.encode();
+        assert_eq!(&bytes[..4], b"CDF\x02");
+        let (h2, _) = Header::decode(&bytes).unwrap();
+        assert_eq!(h2.version, Version::Cdf2);
+        assert_eq!(h2, h);
+    }
+
+    #[test]
+    fn empty_header_roundtrip() {
+        let h = Header::new(Version::Cdf1);
+        let (h2, used) = Header::decode(&h.encode()).unwrap();
+        assert_eq!(h2, h);
+        // magic(4) + numrecs(4) + 3 ABSENT lists (8 each)
+        assert_eq!(used, 32);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            Header::decode(b"HDF\x01\0\0\0\0"),
+            Err(FormatError::BadMagic)
+        ));
+        assert!(matches!(
+            Header::decode(b"CDF\x07\0\0\0\0"),
+            Err(FormatError::UnsupportedVersion(7))
+        ));
+    }
+
+    #[test]
+    fn definition_validation() {
+        let mut h = Header::new(Version::Cdf1);
+        let t = h.add_dim("time", 0).unwrap();
+        assert!(h.add_dim("time", 5).is_err(), "duplicate dim");
+        assert!(h.add_dim("t2", 0).is_err(), "second unlimited");
+        let z = h.add_dim("z", 3).unwrap();
+        assert!(h.add_var("v", NcType::Int, &[z, t]).is_err(), "record dim not first");
+        assert!(h.add_var("v", NcType::Int, &[9]).is_err(), "bad dim id");
+        let v = h.add_var("v", NcType::Int, &[t, z]).unwrap();
+        assert!(h.add_var("v", NcType::Int, &[z]).is_err(), "duplicate var");
+        assert!(h.is_record_var(v));
+    }
+
+    #[test]
+    fn inquiry_helpers() {
+        let mut h = sample();
+        assert_eq!(h.unlimited_dim(), Some(0));
+        assert_eq!(h.dim_id("lat"), Some(2));
+        assert_eq!(h.var_id("ts"), Some(1));
+        assert_eq!(h.var_id("nope"), None);
+        assert!(!h.is_record_var(0));
+        assert!(h.is_record_var(1));
+        assert_eq!(h.var_shape(0), vec![4, 6, 8]);
+        assert_eq!(h.var_shape(1), vec![3, 6, 8]); // numrecs = 3
+        assert_eq!(h.record_shape(1), vec![6, 8]);
+        assert_eq!(h.record_elems(1), 48);
+        h.numrecs = 9;
+        assert_eq!(h.var_shape(1), vec![9, 6, 8]);
+    }
+
+    #[test]
+    fn attribute_replacement() {
+        let mut h = sample();
+        h.put_gatt("title", AttrValue::Char("new".into())).unwrap();
+        assert_eq!(h.gatts.len(), 1);
+        assert_eq!(h.gatts[0].value, AttrValue::Char("new".into()));
+        h.put_vatt(0, "units", AttrValue::Char("C".into())).unwrap();
+        assert_eq!(h.vars[0].atts.len(), 1);
+        assert!(h.put_vatt(99, "x", AttrValue::Byte(vec![])).is_err());
+    }
+
+    #[test]
+    fn scalar_variable_shape() {
+        let mut h = Header::new(Version::Cdf1);
+        let v = h.add_var("s", NcType::Double, &[]).unwrap();
+        assert_eq!(h.var_shape(v), Vec::<u64>::new());
+        assert_eq!(h.record_elems(v), 1);
+        assert!(!h.is_record_var(v));
+    }
+}

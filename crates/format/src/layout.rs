@@ -1,0 +1,396 @@
+//! Data layout: where each variable's bytes live (paper Figure 1).
+//!
+//! Fixed-size variables are stored contiguously in definition order after
+//! the header; record variables are stored interleaved, one record slab per
+//! variable per record, the slabs repeating every `recsize` bytes along the
+//! unlimited dimension. This module computes `vsize`/`begin` for every
+//! variable and translates `(start, count, stride)` accesses into absolute
+//! file byte runs — the same math PnetCDF uses to construct MPI file views.
+
+use crate::error::{FormatError, FormatResult};
+use crate::header::Header;
+use crate::xdr::pad4;
+use crate::Version;
+
+/// Computed file layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Layout {
+    /// Offset where array data begins (header end, aligned).
+    pub data_start: u64,
+    /// Offset where the record section begins.
+    pub record_start: u64,
+    /// Bytes of one full record (all record variables' slabs).
+    pub recsize: u64,
+}
+
+/// Compute one variable's `vsize`: the product of its non-record dimension
+/// lengths times the element size, padded to 4 bytes — except that the
+/// padding is skipped when the file has exactly one record variable (the
+/// spec's special case, which lets a lone byte/short record variable pack
+/// tightly).
+fn vsize_of(h: &Header, varid: usize, skip_padding: bool) -> u64 {
+    let elems = h.record_elems(varid);
+    let raw = elems * h.vars[varid].nctype.size();
+    if skip_padding {
+        raw
+    } else {
+        pad4(raw)
+    }
+}
+
+/// Assign `vsize` and `begin` to every variable and return the [`Layout`].
+///
+/// `align` is the alignment of the data section start (netCDF's
+/// `v_align`, normally 4).
+pub fn compute(h: &mut Header, align: u64) -> FormatResult<Layout> {
+    let align = align.max(4);
+    let record_vars: Vec<usize> = (0..h.vars.len()).filter(|&v| h.is_record_var(v)).collect();
+    let single_record_var = record_vars.len() == 1;
+
+    // vsize for every variable.
+    for v in 0..h.vars.len() {
+        let skip_pad = single_record_var && h.is_record_var(v);
+        h.vars[v].vsize = vsize_of(h, v, skip_pad);
+    }
+
+    // The header length is independent of the begin values (fixed-width
+    // encodings), so one encode gives the final size.
+    let header_len = h.encoded_len();
+    let data_start = header_len.div_ceil(align) * align;
+
+    // Fixed variables first, in definition order.
+    let mut cur = data_start;
+    for v in 0..h.vars.len() {
+        if !h.is_record_var(v) {
+            h.vars[v].begin = cur;
+            cur += h.vars[v].vsize;
+        }
+    }
+    // Then the record section.
+    let record_start = cur;
+    let mut recsize = 0u64;
+    for &v in &record_vars {
+        h.vars[v].begin = cur;
+        cur += h.vars[v].vsize;
+        recsize += h.vars[v].vsize;
+    }
+
+    if h.version == Version::Cdf1 {
+        for v in &h.vars {
+            if v.begin > u32::MAX as u64 {
+                return Err(FormatError::TooLarge(format!(
+                    "variable '{}' begins at {} which does not fit CDF-1 32-bit offsets; \
+                     use CDF-2 (64-bit offset) format",
+                    v.name, v.begin
+                )));
+            }
+        }
+    }
+
+    Ok(Layout {
+        data_start,
+        record_start,
+        recsize,
+    })
+}
+
+/// Validate a `(start, count, stride)` access against a variable's shape.
+/// For record variables the record dimension is validated against
+/// `numrecs_limit` (reads) or not at all (`None`, writes may extend).
+pub fn check_access(
+    h: &Header,
+    varid: usize,
+    start: &[u64],
+    count: &[u64],
+    stride: Option<&[u64]>,
+    numrecs_limit: Option<u64>,
+) -> FormatResult<()> {
+    let v = h
+        .vars
+        .get(varid)
+        .ok_or_else(|| FormatError::InvalidDefinition(format!("bad variable id {varid}")))?;
+    let ndims = v.ndims();
+    if start.len() != ndims || count.len() != ndims {
+        return Err(FormatError::InvalidDefinition(format!(
+            "variable '{}' has {ndims} dims; start/count have {}/{}",
+            v.name,
+            start.len(),
+            count.len()
+        )));
+    }
+    if let Some(st) = stride {
+        if st.len() != ndims {
+            return Err(FormatError::InvalidDefinition(format!(
+                "stride has {} entries, expected {ndims}",
+                st.len()
+            )));
+        }
+        if st.contains(&0) {
+            return Err(FormatError::InvalidDefinition("zero stride".into()));
+        }
+    }
+    let is_rec = h.is_record_var(varid);
+    for d in 0..ndims {
+        let limit = if d == 0 && is_rec {
+            numrecs_limit.unwrap_or(u64::MAX)
+        } else {
+            h.dims[v.dimids[d]].len
+        };
+        if count[d] == 0 {
+            continue;
+        }
+        let step = stride.map_or(1, |s| s[d]);
+        let last = start[d] + (count[d] - 1) * step;
+        if last >= limit && limit != u64::MAX {
+            return Err(FormatError::InvalidDefinition(format!(
+                "access to variable '{}' dim {d}: last index {last} >= limit {limit}",
+                v.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Translate a `(start, count, stride)` access on `varid` into absolute
+/// file byte runs, coalesced and increasing. `recsize` must come from
+/// [`compute`] (it is also derivable from the header, but callers always
+/// have a [`Layout`]).
+pub fn access_runs(
+    h: &Header,
+    recsize: u64,
+    varid: usize,
+    start: &[u64],
+    count: &[u64],
+    stride: Option<&[u64]>,
+) -> Vec<(u64, u64)> {
+    let v = &h.vars[varid];
+    let esize = v.nctype.size();
+    let is_rec = h.is_record_var(varid);
+    let mut out: Vec<(u64, u64)> = Vec::new();
+
+    // Inner (non-record) shape and element strides.
+    let skip = usize::from(is_rec);
+    let inner_shape = h.record_shape(varid);
+    let nd = inner_shape.len();
+    let mut elem_strides = vec![1u64; nd];
+    for d in (0..nd.saturating_sub(1)).rev() {
+        elem_strides[d] = elem_strides[d + 1] * inner_shape[d + 1];
+    }
+
+    let push = |out: &mut Vec<(u64, u64)>, off: u64, len: u64| {
+        if len == 0 {
+            return;
+        }
+        if let Some(last) = out.last_mut() {
+            if last.0 + last.1 == off {
+                last.1 += len;
+                return;
+            }
+        }
+        out.push((off, len));
+    };
+
+    // Iterate the record dimension (or a single pass for fixed vars).
+    let (rec_start, rec_count, rec_stride) = if is_rec {
+        (start[0], count[0], stride.map_or(1, |s| s[0]))
+    } else {
+        (0, 1, 1)
+    };
+
+    let inner_start = &start[skip..];
+    let inner_count = &count[skip..];
+    let inner_stride: Option<&[u64]> = stride.map(|s| &s[skip..]);
+    if inner_count.contains(&0) || rec_count == 0 {
+        return out;
+    }
+
+    for r in 0..rec_count {
+        let base = if is_rec {
+            v.begin + (rec_start + r * rec_stride) * recsize
+        } else {
+            v.begin
+        };
+        if nd == 0 {
+            push(&mut out, base, esize);
+            continue;
+        }
+        // Odometer over all inner dims except the innermost.
+        let mut idx = vec![0u64; nd - 1];
+        loop {
+            let mut elem_off: u64 = 0;
+            for d in 0..nd - 1 {
+                let step = inner_stride.map_or(1, |s| s[d]);
+                elem_off += (inner_start[d] + idx[d] * step) * elem_strides[d];
+            }
+            let last_step = inner_stride.map_or(1, |s| s[nd - 1]);
+            if last_step == 1 {
+                let off = elem_off + inner_start[nd - 1];
+                push(&mut out, base + off * esize, inner_count[nd - 1] * esize);
+            } else {
+                for k in 0..inner_count[nd - 1] {
+                    let off = elem_off + inner_start[nd - 1] + k * last_step;
+                    push(&mut out, base + off * esize, esize);
+                }
+            }
+            // Increment the odometer.
+            let mut d = nd - 1;
+            loop {
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < inner_count[d] {
+                    break;
+                }
+                idx[d] = 0;
+                if d == 0 {
+                    d = usize::MAX;
+                    break;
+                }
+            }
+            if d == usize::MAX || nd == 1 {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NcType;
+
+    fn sample() -> (Header, Layout) {
+        let mut h = Header::new(Version::Cdf1);
+        let t = h.add_dim("time", 0).unwrap();
+        let z = h.add_dim("z", 2).unwrap();
+        let y = h.add_dim("y", 3).unwrap();
+        let x = h.add_dim("x", 4).unwrap();
+        h.add_var("fixed_a", NcType::Int, &[z, y, x]).unwrap(); // 96 bytes
+        h.add_var("fixed_b", NcType::Short, &[y]).unwrap(); // 6 -> pad 8
+        h.add_var("rec_a", NcType::Float, &[t, y, x]).unwrap(); // 48/rec
+        h.add_var("rec_b", NcType::Byte, &[t, x]).unwrap(); // 4/rec
+        let l = compute(&mut h, 4).unwrap();
+        (h, l)
+    }
+
+    #[test]
+    fn layout_assigns_begins_in_order() {
+        let (h, l) = sample();
+        assert_eq!(l.data_start % 4, 0);
+        assert!(l.data_start >= h.encoded_len());
+        let a = &h.vars[0];
+        let b = &h.vars[1];
+        assert_eq!(a.begin, l.data_start);
+        assert_eq!(a.vsize, 96);
+        assert_eq!(b.begin, a.begin + 96);
+        assert_eq!(b.vsize, 8, "6 bytes padded to 8");
+        // Record section follows the fixed section.
+        assert_eq!(l.record_start, b.begin + 8);
+        assert_eq!(h.vars[2].begin, l.record_start);
+        assert_eq!(h.vars[2].vsize, 48);
+        assert_eq!(h.vars[3].begin, l.record_start + 48);
+        assert_eq!(h.vars[3].vsize, 4);
+        assert_eq!(l.recsize, 52);
+    }
+
+    #[test]
+    fn single_record_var_skips_padding() {
+        let mut h = Header::new(Version::Cdf1);
+        let t = h.add_dim("time", 0).unwrap();
+        let x = h.add_dim("x", 3).unwrap();
+        h.add_var("r", NcType::Byte, &[t, x]).unwrap(); // 3 bytes/record
+        let l = compute(&mut h, 4).unwrap();
+        assert_eq!(h.vars[0].vsize, 3, "no padding with a single record var");
+        assert_eq!(l.recsize, 3);
+    }
+
+    #[test]
+    fn cdf1_rejects_huge_offsets() {
+        let mut h = Header::new(Version::Cdf1);
+        let x = h.add_dim("x", 1 << 30).unwrap();
+        h.add_var("a", NcType::Double, &[x]).unwrap(); // 8 GiB
+        h.add_var("b", NcType::Byte, &[x]).unwrap(); // begins past 4 GiB
+        assert!(matches!(compute(&mut h, 4), Err(FormatError::TooLarge(_))));
+        h.version = Version::Cdf2;
+        assert!(compute(&mut h, 4).is_ok());
+    }
+
+    #[test]
+    fn access_runs_whole_fixed_var_is_one_run() {
+        let (h, l) = sample();
+        let runs = access_runs(&h, l.recsize, 0, &[0, 0, 0], &[2, 3, 4], None);
+        assert_eq!(runs, vec![(h.vars[0].begin, 96)]);
+    }
+
+    #[test]
+    fn access_runs_subarray() {
+        let (h, l) = sample();
+        // fixed_a[0..2][1][1..3]: rows of 2 ints in each z plane.
+        let runs = access_runs(&h, l.recsize, 0, &[0, 1, 1], &[2, 1, 2], None);
+        let b = h.vars[0].begin;
+        assert_eq!(runs, vec![(b + 5 * 4, 8), (b + 17 * 4, 8)]);
+    }
+
+    #[test]
+    fn access_runs_strided() {
+        let (h, l) = sample();
+        // fixed_a[0][0][0..4:2] -> elements 0 and 2.
+        let runs = access_runs(&h, l.recsize, 0, &[0, 0, 0], &[1, 1, 2], Some(&[1, 1, 2]));
+        let b = h.vars[0].begin;
+        assert_eq!(runs, vec![(b, 4), (b + 8, 4)]);
+    }
+
+    #[test]
+    fn access_runs_record_var_spans_records() {
+        let (h, l) = sample();
+        // rec_a records 1..3, whole record each: two runs recsize apart.
+        let runs = access_runs(&h, l.recsize, 2, &[1, 0, 0], &[2, 3, 4], None);
+        let b = h.vars[2].begin;
+        assert_eq!(runs, vec![(b + l.recsize, 48), (b + 2 * l.recsize, 48)]);
+    }
+
+    #[test]
+    fn access_runs_scalar_var() {
+        let mut h = Header::new(Version::Cdf1);
+        h.add_var("s", NcType::Double, &[]).unwrap();
+        let l = compute(&mut h, 4).unwrap();
+        let runs = access_runs(&h, l.recsize, 0, &[], &[], None);
+        assert_eq!(runs, vec![(h.vars[0].begin, 8)]);
+    }
+
+    #[test]
+    fn check_access_bounds() {
+        let (h, _) = sample();
+        assert!(check_access(&h, 0, &[0, 0, 0], &[2, 3, 4], None, None).is_ok());
+        assert!(check_access(&h, 0, &[0, 0, 1], &[2, 3, 4], None, None).is_err());
+        assert!(check_access(&h, 0, &[0, 0], &[2, 3], None, None).is_err(), "rank mismatch");
+        // Strided: count 2 stride 2 reaches index 2 < 4 (ok); count 3
+        // stride 2 reaches index 4 (overrun).
+        assert!(check_access(&h, 0, &[0, 0, 0], &[2, 3, 2], Some(&[1, 1, 2]), None).is_ok());
+        assert!(check_access(&h, 0, &[0, 0, 0], &[2, 3, 3], Some(&[1, 1, 2]), None).is_err());
+        // Record dim: limited for reads, unlimited for writes.
+        assert!(check_access(&h, 2, &[5, 0, 0], &[1, 3, 4], None, Some(3)).is_err());
+        assert!(check_access(&h, 2, &[5, 0, 0], &[1, 3, 4], None, None).is_ok());
+        // Zero stride rejected.
+        assert!(check_access(&h, 0, &[0, 0, 0], &[1, 1, 1], Some(&[1, 1, 0]), None).is_err());
+        // Zero count is always fine.
+        assert!(check_access(&h, 0, &[2, 3, 4], &[0, 0, 0], None, None).is_ok());
+    }
+
+    #[test]
+    fn empty_count_yields_no_runs() {
+        let (h, l) = sample();
+        assert!(access_runs(&h, l.recsize, 0, &[0, 0, 0], &[2, 0, 4], None).is_empty());
+    }
+
+    #[test]
+    fn runs_total_matches_request() {
+        let (h, l) = sample();
+        let runs = access_runs(&h, l.recsize, 2, &[0, 1, 1], &[3, 2, 2], None);
+        let total: u64 = runs.iter().map(|r| r.1).sum();
+        assert_eq!(total, 3 * 2 * 2 * 4);
+    }
+}

@@ -1,0 +1,60 @@
+//! NetCDF name validation.
+//!
+//! Classic netCDF names must begin with a letter, digit or underscore and
+//! continue with alphanumerics, underscores, hyphens, dots and plus signs.
+//! (NetCDF-3.5-era rules — stricter than modern netCDF, which is fine: we
+//! only reject names the era's tools would also reject.)
+
+use crate::error::{FormatError, FormatResult};
+
+/// Maximum name length (`NC_MAX_NAME`).
+pub const NC_MAX_NAME: usize = 256;
+
+/// Validate a dimension/variable/attribute name.
+pub fn validate(name: &str) -> FormatResult<()> {
+    if name.is_empty() {
+        return Err(FormatError::BadName("empty name".into()));
+    }
+    if name.len() > NC_MAX_NAME {
+        return Err(FormatError::BadName(format!(
+            "name longer than {NC_MAX_NAME} characters"
+        )));
+    }
+    let mut chars = name.chars();
+    let first = chars.next().unwrap();
+    if !(first.is_ascii_alphanumeric() || first == '_') {
+        return Err(FormatError::BadName(format!(
+            "name '{name}' must start with a letter, digit or '_'"
+        )));
+    }
+    for ch in chars {
+        if !(ch.is_ascii_alphanumeric() || matches!(ch, '_' | '-' | '.' | '+' | '@')) {
+            return Err(FormatError::BadName(format!(
+                "name '{name}' contains invalid character '{ch}'"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_typical_names() {
+        for n in ["tt", "level", "time_1", "T2m", "_hidden", "a.b-c+d", "var@x"] {
+            assert!(validate(n).is_ok(), "{n}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert!(validate("").is_err());
+        assert!(validate(" lead").is_err());
+        assert!(validate("has space").is_err());
+        assert!(validate("tab\there").is_err());
+        let long = "x".repeat(257);
+        assert!(validate(&long).is_err());
+    }
+}

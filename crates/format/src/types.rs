@@ -1,0 +1,323 @@
+//! The six external types of netCDF classic, and conversion to/from native
+//! Rust values.
+//!
+//! External data is big-endian; the library converts between the in-memory
+//! type the application uses and the external type of the variable, with
+//! `NC_ERANGE` on overflow — the same semantics as netCDF-3's type layer.
+
+use crate::error::{FormatError, FormatResult};
+
+/// External (on-disk) data types (`nc_type`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NcType {
+    /// 8-bit signed integer (`NC_BYTE` = 1).
+    Byte,
+    /// 8-bit character (`NC_CHAR` = 2).
+    Char,
+    /// 16-bit signed integer (`NC_SHORT` = 3).
+    Short,
+    /// 32-bit signed integer (`NC_INT` = 4).
+    Int,
+    /// 32-bit IEEE float (`NC_FLOAT` = 5).
+    Float,
+    /// 64-bit IEEE float (`NC_DOUBLE` = 6).
+    Double,
+}
+
+impl NcType {
+    /// On-disk tag value.
+    pub fn code(self) -> u32 {
+        match self {
+            NcType::Byte => 1,
+            NcType::Char => 2,
+            NcType::Short => 3,
+            NcType::Int => 4,
+            NcType::Float => 5,
+            NcType::Double => 6,
+        }
+    }
+
+    /// Parse an on-disk tag.
+    pub fn from_code(c: u32) -> FormatResult<NcType> {
+        Ok(match c {
+            1 => NcType::Byte,
+            2 => NcType::Char,
+            3 => NcType::Short,
+            4 => NcType::Int,
+            5 => NcType::Float,
+            6 => NcType::Double,
+            _ => return Err(FormatError::Corrupt(format!("unknown nc_type {c}"))),
+        })
+    }
+
+    /// Element size in bytes.
+    pub fn size(self) -> u64 {
+        match self {
+            NcType::Byte | NcType::Char => 1,
+            NcType::Short => 2,
+            NcType::Int | NcType::Float => 4,
+            NcType::Double => 8,
+        }
+    }
+
+    /// Canonical name (for dumps).
+    pub fn name(self) -> &'static str {
+        match self {
+            NcType::Byte => "byte",
+            NcType::Char => "char",
+            NcType::Short => "short",
+            NcType::Int => "int",
+            NcType::Float => "float",
+            NcType::Double => "double",
+        }
+    }
+}
+
+/// A native Rust type usable as in-memory data for netCDF I/O.
+///
+/// `to_external` / `from_external` convert one element between the native
+/// representation and the big-endian external representation of `ext`,
+/// returning `NC_ERANGE` errors when a value cannot be represented.
+pub trait NcValue: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// The natural external type of this native type.
+    const NATURAL: NcType;
+
+    /// Convert to a double for range-checked cross-type conversion.
+    fn as_f64(self) -> f64;
+    /// Convert from a double, which is exact for every external type.
+    fn from_f64(v: f64) -> FormatResult<Self>;
+}
+
+fn range_err<T>(v: f64) -> FormatResult<T> {
+    Err(FormatError::Range(format!("{v} does not fit target type")))
+}
+
+impl NcValue for i8 {
+    const NATURAL: NcType = NcType::Byte;
+    fn as_f64(self) -> f64 {
+        self as f64
+    }
+    fn from_f64(v: f64) -> FormatResult<i8> {
+        if !v.is_finite() || v < i8::MIN as f64 || v > i8::MAX as f64 {
+            return range_err(v);
+        }
+        Ok(v as i8)
+    }
+}
+
+impl NcValue for u8 {
+    const NATURAL: NcType = NcType::Char;
+    fn as_f64(self) -> f64 {
+        self as f64
+    }
+    fn from_f64(v: f64) -> FormatResult<u8> {
+        if !v.is_finite() || v < 0.0 || v > u8::MAX as f64 {
+            return range_err(v);
+        }
+        Ok(v as u8)
+    }
+}
+
+impl NcValue for i16 {
+    const NATURAL: NcType = NcType::Short;
+    fn as_f64(self) -> f64 {
+        self as f64
+    }
+    fn from_f64(v: f64) -> FormatResult<i16> {
+        if !v.is_finite() || v < i16::MIN as f64 || v > i16::MAX as f64 {
+            return range_err(v);
+        }
+        Ok(v as i16)
+    }
+}
+
+impl NcValue for i32 {
+    const NATURAL: NcType = NcType::Int;
+    fn as_f64(self) -> f64 {
+        self as f64
+    }
+    fn from_f64(v: f64) -> FormatResult<i32> {
+        if !v.is_finite() || v < i32::MIN as f64 || v > i32::MAX as f64 {
+            return range_err(v);
+        }
+        Ok(v as i32)
+    }
+}
+
+impl NcValue for f32 {
+    const NATURAL: NcType = NcType::Float;
+    fn as_f64(self) -> f64 {
+        self as f64
+    }
+    fn from_f64(v: f64) -> FormatResult<f32> {
+        // netCDF converts double->float without an ERANGE check for
+        // overflow-to-infinity; we mirror that (it clamps to +-inf).
+        Ok(v as f32)
+    }
+}
+
+impl NcValue for f64 {
+    const NATURAL: NcType = NcType::Double;
+    fn as_f64(self) -> f64 {
+        self
+    }
+    fn from_f64(v: f64) -> FormatResult<f64> {
+        Ok(v)
+    }
+}
+
+/// Encode one external element (big-endian) from a double.
+fn encode_one(ext: NcType, v: f64, out: &mut Vec<u8>) -> FormatResult<()> {
+    match ext {
+        NcType::Byte => out.push(i8::from_f64(v)? as u8),
+        NcType::Char => out.push(u8::from_f64(v)?),
+        NcType::Short => out.extend_from_slice(&i16::from_f64(v)?.to_be_bytes()),
+        NcType::Int => out.extend_from_slice(&i32::from_f64(v)?.to_be_bytes()),
+        NcType::Float => out.extend_from_slice(&(v as f32).to_be_bytes()),
+        NcType::Double => out.extend_from_slice(&v.to_be_bytes()),
+    }
+    Ok(())
+}
+
+/// Decode one external element at `bytes` to a double.
+fn decode_one(ext: NcType, bytes: &[u8]) -> f64 {
+    match ext {
+        NcType::Byte => bytes[0] as i8 as f64,
+        NcType::Char => bytes[0] as f64,
+        NcType::Short => i16::from_be_bytes([bytes[0], bytes[1]]) as f64,
+        NcType::Int => i32::from_be_bytes(bytes[..4].try_into().unwrap()) as f64,
+        NcType::Float => f32::from_be_bytes(bytes[..4].try_into().unwrap()) as f64,
+        NcType::Double => f64::from_be_bytes(bytes[..8].try_into().unwrap()),
+    }
+}
+
+/// NetCDF default fill values (`NC_FILL_*`), written into unwritten parts
+/// of variables when fill mode is on.
+pub fn default_fill_f64(t: NcType) -> f64 {
+    match t {
+        NcType::Byte => -127.0,
+        NcType::Char => 0.0,
+        NcType::Short => -32767.0,
+        NcType::Int => -2147483647.0,
+        NcType::Float => 9.969_21e36_f32 as f64,
+        NcType::Double => 9.969209968386869e36,
+    }
+}
+
+/// The big-endian external bytes of one fill element of type `t`, using
+/// `value` (normally [`default_fill_f64`], or a `_FillValue` override).
+pub fn fill_element_bytes(t: NcType, value: f64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(t.size() as usize);
+    encode_one(t, value, &mut out).expect("fill values are representable");
+    out
+}
+
+/// Convert native values to the external representation of `ext`.
+///
+/// The same-type fast path is a pure byte-swap; cross-type conversion goes
+/// through `f64` with range checks (netCDF-3 semantics).
+pub fn to_external<T: NcValue>(vals: &[T], ext: NcType) -> FormatResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(vals.len() * ext.size() as usize);
+    for &v in vals {
+        encode_one(ext, v.as_f64(), &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Convert external bytes of type `ext` into native values.
+pub fn from_external<T: NcValue>(bytes: &[u8], ext: NcType) -> FormatResult<Vec<T>> {
+    let esz = ext.size() as usize;
+    if bytes.len() % esz != 0 {
+        return Err(FormatError::Corrupt(format!(
+            "external buffer length {} is not a multiple of element size {esz}",
+            bytes.len()
+        )));
+    }
+    bytes
+        .chunks_exact(esz)
+        .map(|c| T::from_f64(decode_one(ext, c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_sizes() {
+        for (t, c, s) in [
+            (NcType::Byte, 1, 1),
+            (NcType::Char, 2, 1),
+            (NcType::Short, 3, 2),
+            (NcType::Int, 4, 4),
+            (NcType::Float, 5, 4),
+            (NcType::Double, 6, 8),
+        ] {
+            assert_eq!(t.code(), c);
+            assert_eq!(t.size(), s);
+            assert_eq!(NcType::from_code(c).unwrap(), t);
+        }
+        assert!(NcType::from_code(99).is_err());
+    }
+
+    #[test]
+    fn same_type_roundtrip() {
+        let vals: Vec<i32> = vec![0, -1, i32::MIN, i32::MAX, 42];
+        let ext = to_external(&vals, NcType::Int).unwrap();
+        assert_eq!(ext.len(), 20);
+        // Big-endian check on 42.
+        assert_eq!(&ext[16..], &[0, 0, 0, 42]);
+        let back: Vec<i32> = from_external(&ext, NcType::Int).unwrap();
+        assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn double_roundtrip_exact() {
+        let vals = vec![0.0f64, -1.5, 1e300, f64::MIN_POSITIVE];
+        let ext = to_external(&vals, NcType::Double).unwrap();
+        let back: Vec<f64> = from_external(&ext, NcType::Double).unwrap();
+        assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn widening_conversion() {
+        // i16 values written into an NC_INT variable.
+        let vals: Vec<i16> = vec![-300, 0, 300];
+        let ext = to_external(&vals, NcType::Int).unwrap();
+        let back: Vec<i32> = from_external(&ext, NcType::Int).unwrap();
+        assert_eq!(back, vec![-300, 0, 300]);
+    }
+
+    #[test]
+    fn narrowing_conversion_range_checked() {
+        let ok: Vec<i32> = vec![-128, 127];
+        assert!(to_external(&ok, NcType::Byte).is_ok());
+        let bad: Vec<i32> = vec![128];
+        assert!(matches!(
+            to_external(&bad, NcType::Byte),
+            Err(FormatError::Range(_))
+        ));
+    }
+
+    #[test]
+    fn float_overflow_becomes_infinity() {
+        // netCDF semantics: double -> float overflow clamps, no ERANGE.
+        let vals = vec![1e300f64];
+        let ext = to_external(&vals, NcType::Float).unwrap();
+        let back: Vec<f32> = from_external(&ext, NcType::Float).unwrap();
+        assert!(back[0].is_infinite());
+    }
+
+    #[test]
+    fn read_int_as_double() {
+        let vals: Vec<i32> = vec![7, -9];
+        let ext = to_external(&vals, NcType::Int).unwrap();
+        let back: Vec<f64> = from_external(&ext, NcType::Int).unwrap();
+        assert_eq!(back, vec![7.0, -9.0]);
+    }
+
+    #[test]
+    fn misaligned_external_buffer_errors() {
+        assert!(from_external::<i32>(&[0, 1, 2], NcType::Int).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Variables: named typed multidimensional arrays.
+
+use crate::attr::{self, Attr};
+use crate::error::{FormatError, FormatResult};
+use crate::name;
+use crate::types::NcType;
+use crate::xdr::{Reader, Writer};
+use crate::Version;
+
+/// A variable definition, including its layout fields (`vsize`, `begin`)
+/// once [`crate::layout`] has run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Var {
+    /// Variable name.
+    pub name: String,
+    /// Dimension ids, most significant first. A variable whose first
+    /// dimension is the unlimited dimension is a *record variable*.
+    pub dimids: Vec<usize>,
+    /// Per-variable attributes.
+    pub atts: Vec<Attr>,
+    /// External type.
+    pub nctype: NcType,
+    /// Bytes of one "chunk" of this variable: the whole array for fixed
+    /// variables, one record for record variables (padded per the spec).
+    pub vsize: u64,
+    /// Starting byte offset of the variable's data (for record variables:
+    /// of its part within the first record).
+    pub begin: u64,
+}
+
+impl Var {
+    /// Create a validated, not-yet-laid-out variable.
+    pub fn new(name: &str, nctype: NcType, dimids: Vec<usize>) -> FormatResult<Var> {
+        name::validate(name)?;
+        Ok(Var {
+            name: name.to_string(),
+            dimids,
+            atts: Vec::new(),
+            nctype,
+            vsize: 0,
+            begin: 0,
+        })
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.dimids.len()
+    }
+
+    pub(crate) fn encode(&self, w: &mut Writer, version: Version) {
+        w.put_name(&self.name);
+        w.put_u32(self.dimids.len() as u32);
+        for &d in &self.dimids {
+            w.put_u32(d as u32);
+        }
+        attr::encode_list(&self.atts, w);
+        w.put_u32(self.nctype.code());
+        // vsize is capped at the u32 "don't care" ceiling for huge variables
+        // (netCDF spec: readers must not rely on it in that case).
+        w.put_u32(self.vsize.min(u32::MAX as u64) as u32);
+        match version {
+            Version::Cdf1 => w.put_u32(self.begin as u32),
+            Version::Cdf2 => w.put_u64(self.begin),
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>, version: Version) -> FormatResult<Var> {
+        let name = r.get_name()?;
+        let ndims = r.get_u32()? as usize;
+        let mut dimids = Vec::with_capacity(ndims);
+        for _ in 0..ndims {
+            dimids.push(r.get_u32()? as usize);
+        }
+        let atts = attr::decode_list(r)?;
+        let nctype = NcType::from_code(r.get_u32()?)?;
+        let vsize = r.get_u32()? as u64;
+        let begin = match version {
+            Version::Cdf1 => r.get_u32()? as u64,
+            Version::Cdf2 => r.get_u64()?,
+        };
+        Ok(Var {
+            name,
+            dimids,
+            atts,
+            nctype,
+            vsize,
+            begin,
+        })
+    }
+}
+
+/// Encode a variable list (with the `NC_VARIABLE`/ABSENT tag).
+pub(crate) fn encode_list(vars: &[Var], w: &mut Writer, version: Version) {
+    if vars.is_empty() {
+        w.put_u32(0);
+        w.put_u32(0);
+    } else {
+        w.put_u32(0x0B); // NC_VARIABLE
+        w.put_u32(vars.len() as u32);
+        for v in vars {
+            v.encode(w, version);
+        }
+    }
+}
+
+/// Decode a variable list.
+pub(crate) fn decode_list(r: &mut Reader<'_>, version: Version) -> FormatResult<Vec<Var>> {
+    let tag = r.get_u32()?;
+    let n = r.get_u32()? as usize;
+    match (tag, n) {
+        (0, 0) => Ok(Vec::new()),
+        (0x0B, _) => (0..n).map(|_| Var::decode(r, version)).collect(),
+        _ => Err(FormatError::Corrupt(format!(
+            "bad variable list tag {tag:#x} with count {n}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrValue;
+
+    #[test]
+    fn roundtrip_both_versions() {
+        let mut v = Var::new("tt", NcType::Float, vec![0, 1, 2]).unwrap();
+        v.atts.push(Attr::text("units", "K").unwrap());
+        v.vsize = 4096;
+        v.begin = 1234;
+        for version in [Version::Cdf1, Version::Cdf2] {
+            let mut w = Writer::new();
+            v.encode(&mut w, version);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(Var::decode(&mut r, version).unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn cdf2_begin_is_64_bit() {
+        let mut v = Var::new("big", NcType::Double, vec![]).unwrap();
+        v.begin = 5 * (1u64 << 32);
+        let mut w = Writer::new();
+        v.encode(&mut w, Version::Cdf2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Var::decode(&mut r, Version::Cdf2).unwrap().begin, v.begin);
+    }
+
+    #[test]
+    fn list_roundtrip() {
+        let vars = vec![
+            Var::new("a", NcType::Int, vec![0]).unwrap(),
+            Var::new("b", NcType::Char, vec![]).unwrap(),
+        ];
+        let mut w = Writer::new();
+        encode_list(&vars, &mut w, Version::Cdf1);
+        let mut r = Reader::new(w.into_bytes().leak());
+        assert_eq!(decode_list(&mut r, Version::Cdf1).unwrap(), vars);
+    }
+
+    #[test]
+    fn scalar_var_has_no_dims() {
+        let v = Var::new("s", NcType::Double, vec![]).unwrap();
+        assert_eq!(v.ndims(), 0);
+        let _ = AttrValue::Int(vec![]); // silence unused import in cfgs
+    }
+}

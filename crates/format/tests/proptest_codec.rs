@@ -1,0 +1,258 @@
+//! Property-based tests of the format layer: header codec inversion,
+//! layout invariants, and access-run correctness against a naive oracle.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use pnetcdf_format::layout;
+use pnetcdf_format::types::{from_external, to_external};
+use pnetcdf_format::{AttrValue, Header, NcType, Version};
+
+fn arb_nctype() -> impl Strategy<Value = NcType> {
+    prop_oneof![
+        Just(NcType::Byte),
+        Just(NcType::Char),
+        Just(NcType::Short),
+        Just(NcType::Int),
+        Just(NcType::Float),
+        Just(NcType::Double),
+    ]
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_]{0,14}".prop_map(|s| s)
+}
+
+fn arb_attr_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        vec(any::<i8>(), 0..8).prop_map(AttrValue::Byte),
+        "[ -~]{0,16}".prop_map(AttrValue::Char),
+        vec(any::<i16>(), 0..8).prop_map(AttrValue::Short),
+        vec(any::<i32>(), 0..8).prop_map(AttrValue::Int),
+        vec(any::<f32>(), 0..8).prop_map(AttrValue::Float),
+        vec(any::<f64>(), 0..8).prop_map(AttrValue::Double),
+    ]
+}
+
+/// Build a random but *valid* header.
+fn arb_header() -> impl Strategy<Value = Header> {
+    (
+        prop_oneof![Just(Version::Cdf1), Just(Version::Cdf2)],
+        vec((arb_name(), 1u64..20), 0..5),
+        proptest::bool::ANY, // unlimited dim?
+        vec((arb_name(), arb_nctype(), vec(0usize..16, 0..3)), 0..5),
+        vec((arb_name(), arb_attr_value()), 0..4),
+        0u64..5, // numrecs
+    )
+        .prop_map(|(version, dims, unlimited, vars, gatts, numrecs)| {
+            let mut h = Header::new(version);
+            let mut dim_ids = Vec::new();
+            if unlimited {
+                dim_ids.push(h.add_dim("record_dim", 0).unwrap());
+            }
+            for (i, (name, len)) in dims.into_iter().enumerate() {
+                // Deduplicate names by suffixing the index.
+                if let Ok(id) = h.add_dim(&format!("{name}_{i}"), len) {
+                    dim_ids.push(id);
+                }
+            }
+            for (i, (name, t, picks)) in vars.into_iter().enumerate() {
+                if dim_ids.is_empty() {
+                    let _ = h.add_var(&format!("{name}_{i}"), t, &[]);
+                    continue;
+                }
+                let mut ids: Vec<usize> =
+                    picks.iter().map(|&p| dim_ids[p % dim_ids.len()]).collect();
+                // Keep the unlimited dim out of non-leading positions.
+                if let Some(u) = h.unlimited_dim() {
+                    ids.retain(|&d| d != u);
+                }
+                let _ = h.add_var(&format!("{name}_{i}"), t, &ids);
+            }
+            for (i, (name, value)) in gatts.into_iter().enumerate() {
+                let _ = h.put_gatt(&format!("{name}_{i}"), value);
+            }
+            if h.unlimited_dim().is_some() {
+                h.numrecs = numrecs;
+            }
+            h
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn header_encode_decode_is_identity(h in arb_header()) {
+        let bytes = h.encode();
+        let (h2, used) = Header::decode(&bytes).unwrap();
+        prop_assert_eq!(&h2, &h);
+        prop_assert_eq!(used, bytes.len());
+        // Re-encoding is byte-stable.
+        prop_assert_eq!(h2.encode(), bytes);
+    }
+
+    #[test]
+    fn encoded_header_is_4_byte_aligned(h in arb_header()) {
+        prop_assert_eq!(h.encode().len() % 4, 0);
+    }
+
+    #[test]
+    fn layout_begins_are_disjoint_and_ordered(mut h in arb_header()) {
+        if layout::compute(&mut h, 4).is_err() {
+            return Ok(()); // CDF-1 overflow of giant random vars: fine
+        }
+        let hl = h.encoded_len();
+        // Fixed vars: consecutive, non-overlapping, after the header.
+        let mut cur = None;
+        for v in 0..h.vars.len() {
+            if h.is_record_var(v) {
+                continue;
+            }
+            let var = &h.vars[v];
+            prop_assert!(var.begin >= hl);
+            if let Some(end) = cur {
+                prop_assert!(var.begin >= end);
+            }
+            cur = Some(var.begin + var.vsize);
+        }
+        // Record vars fit within one record.
+        let rec_vars: Vec<usize> = (0..h.vars.len()).filter(|&v| h.is_record_var(v)).collect();
+        if !rec_vars.is_empty() {
+            let l = layout::compute(&mut h, 4).unwrap();
+            let total: u64 = rec_vars.iter().map(|&v| h.vars[v].vsize).sum();
+            prop_assert_eq!(l.recsize, total);
+        }
+    }
+
+    #[test]
+    fn external_conversion_roundtrip_f64(vals in vec(-1e15f64..1e15, 0..64)) {
+        let ext = to_external(&vals, NcType::Double).unwrap();
+        let back: Vec<f64> = from_external(&ext, NcType::Double).unwrap();
+        prop_assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn external_conversion_roundtrip_i32(vals in vec(any::<i32>(), 0..64)) {
+        let ext = to_external(&vals, NcType::Int).unwrap();
+        let back: Vec<i32> = from_external(&ext, NcType::Int).unwrap();
+        prop_assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn short_roundtrip_through_int_external(vals in vec(any::<i16>(), 0..64)) {
+        // Widening write then narrowing read must be lossless.
+        let ext = to_external(&vals, NcType::Int).unwrap();
+        let back: Vec<i16> = from_external(&ext, NcType::Int).unwrap();
+        prop_assert_eq!(back, vals);
+    }
+}
+
+/// Naive oracle: enumerate every selected element's file offset one by one.
+fn naive_offsets(
+    h: &Header,
+    recsize: u64,
+    varid: usize,
+    start: &[u64],
+    count: &[u64],
+) -> Vec<u64> {
+    let v = &h.vars[varid];
+    let esize = v.nctype.size();
+    let is_rec = h.is_record_var(varid);
+    let inner = h.record_shape(varid);
+    let mut strides = vec![1u64; inner.len()];
+    for d in (0..inner.len().saturating_sub(1)).rev() {
+        strides[d] = strides[d + 1] * inner[d + 1];
+    }
+    let mut out = Vec::new();
+    let nd = start.len();
+    let mut idx = vec![0u64; nd];
+    'outer: loop {
+        let mut off = v.begin;
+        if is_rec {
+            off += (start[0] + idx[0]) * recsize;
+            for d in 1..nd {
+                off += (start[d] + idx[d]) * strides[d - 1] * esize;
+            }
+        } else {
+            for d in 0..nd {
+                off += (start[d] + idx[d]) * strides[d] * esize;
+            }
+        }
+        for b in 0..esize {
+            out.push(off + b);
+        }
+        let mut d = nd;
+        loop {
+            if d == 0 {
+                break 'outer;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < count[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+        if nd == 0 {
+            break;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn access_runs_match_naive_oracle(
+        dims in vec(1u64..6, 1..4),
+        t in arb_nctype(),
+        record in proptest::bool::ANY,
+        seed in any::<u64>(),
+    ) {
+        let mut h = Header::new(Version::Cdf1);
+        let mut dimids = Vec::new();
+        if record {
+            dimids.push(h.add_dim("time", 0).unwrap());
+        }
+        for (i, &d) in dims.iter().enumerate() {
+            dimids.push(h.add_dim(&format!("d{i}"), d).unwrap());
+        }
+        h.add_var("v", t, &dimids).unwrap();
+        // A second variable makes recsize nontrivial.
+        if record {
+            h.add_var("w", NcType::Int, &[dimids[0]]).unwrap();
+        }
+        let l = layout::compute(&mut h, 4).unwrap();
+        h.numrecs = 4;
+
+        // Derive a random in-bounds (start, count) from the seed.
+        let shape = h.var_shape(0);
+        let mut s = seed;
+        let mut start = Vec::new();
+        let mut count = Vec::new();
+        for &ext in &shape {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let st = s % ext.max(1);
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let ct = 1 + s % (ext - st).max(1);
+            start.push(st);
+            count.push(ct);
+        }
+
+        let runs = layout::access_runs(&h, l.recsize, 0, &start, &count, None);
+        let mut from_runs = Vec::new();
+        for (off, len) in &runs {
+            for b in 0..*len {
+                from_runs.push(off + b);
+            }
+        }
+        let expect = naive_offsets(&h, l.recsize, 0, &start, &count);
+        prop_assert_eq!(from_runs, expect);
+        // Runs are coalesced: no two adjacent.
+        for w in runs.windows(2) {
+            prop_assert!(w[0].0 + w[0].1 < w[1].0, "adjacent runs not merged: {:?}", w);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for HDF5-sim.
+
+use std::fmt;
+
+use pnetcdf_mpi::MpiError;
+use pnetcdf_mpio::MpioError;
+
+/// Errors of the HDF5-sim library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum H5Error {
+    /// MPI-IO failure.
+    Mpio(MpioError),
+    /// MPI failure.
+    Mpi(MpiError),
+    /// Structurally invalid file.
+    Corrupt(String),
+    /// Unknown object.
+    NotFound(String),
+    /// Bad argument.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for H5Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            H5Error::Mpio(e) => write!(f, "{e}"),
+            H5Error::Mpi(e) => write!(f, "{e}"),
+            H5Error::Corrupt(msg) => write!(f, "corrupt HDF5-sim file: {msg}"),
+            H5Error::NotFound(what) => write!(f, "not found: {what}"),
+            H5Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for H5Error {}
+
+impl From<MpioError> for H5Error {
+    fn from(e: MpioError) -> Self {
+        H5Error::Mpio(e)
+    }
+}
+
+impl From<MpiError> for H5Error {
+    fn from(e: MpiError) -> Self {
+        H5Error::Mpi(e)
+    }
+}
+
+/// Result alias.
+pub type H5Result<T> = Result<T, H5Error>;

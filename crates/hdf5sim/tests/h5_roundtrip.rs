@@ -1,0 +1,157 @@
+//! End-to-end HDF5-sim tests: multi-rank create/open/write/read round-trips
+//! and the structural cost properties the baseline exists to model.
+
+use hpc_sim::SimConfig;
+use hdf5_sim::{H5File, H5Type};
+use pnetcdf_mpi::{run_world, Info};
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+fn cfg() -> SimConfig {
+    SimConfig::test_small()
+}
+
+#[test]
+fn create_write_read_roundtrip() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(4, cfg(), |c| {
+        let mut f = H5File::create(c, &pfs, "a.h5", &Info::new()).unwrap();
+        let mut d = f
+            .create_dataset("dens", H5Type::F64, &[16, 8])
+            .unwrap();
+        // Each rank writes 4 rows.
+        let r0 = c.rank() as u64 * 4;
+        let vals: Vec<f64> = (0..32).map(|i| r0 as f64 * 100.0 + i as f64).collect();
+        d.write_all(&mut f, &[r0, 0], &[4, 8], &vals).unwrap();
+
+        // Read back a transposed selection: each rank reads 2 columns.
+        let c0 = c.rank() as u64 * 2;
+        let cols: Vec<f64> = d.read_all(&mut f, &[0, c0], &[16, 2]).unwrap();
+        assert_eq!(cols.len(), 32);
+        // Row 5 belongs to writer rank 1 (rows 4..8), local row 1.
+        let row5_col = cols[5 * 2];
+        assert_eq!(row5_col, 400.0 + (8 + c0) as f64);
+        d.close(&mut f).unwrap();
+        f.close().unwrap();
+    });
+}
+
+#[test]
+fn reopen_and_namespace_iteration() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(2, cfg(), |c| {
+        {
+            let mut f = H5File::create(c, &pfs, "multi.h5", &Info::new()).unwrap();
+            for name in ["velx", "vely", "velz"] {
+                let mut d = f.create_dataset(name, H5Type::F32, &[8]).unwrap();
+                let half = c.rank() as u64 * 4;
+                let vals: Vec<f32> = (0..4).map(|i| (half + i) as f32).collect();
+                d.write_all(&mut f, &[half], &[4], &vals).unwrap();
+                d.close(&mut f).unwrap();
+            }
+            f.close().unwrap();
+        }
+        {
+            let mut f = H5File::open(c, &pfs, "multi.h5", true, &Info::new()).unwrap();
+            assert_eq!(f.dataset_names(), vec!["velx", "vely", "velz"]);
+            let d = f.open_dataset("vely").unwrap();
+            assert_eq!(d.dims(), &[8]);
+            assert_eq!(d.dtype(), H5Type::F32);
+            let all: Vec<f32> = d.read_all(&mut f, &[0], &[8]).unwrap();
+            assert_eq!(all, (0..8).map(|i| i as f32).collect::<Vec<_>>());
+            assert!(f.open_dataset("missing").is_err());
+            f.close().unwrap();
+        }
+    });
+}
+
+#[test]
+fn duplicate_dataset_rejected() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(2, cfg(), |c| {
+        let mut f = H5File::create(c, &pfs, "dup.h5", &Info::new()).unwrap();
+        f.create_dataset("x", H5Type::I32, &[4]).unwrap();
+        assert!(f.create_dataset("x", H5Type::I32, &[4]).is_err());
+        f.close().unwrap();
+    });
+}
+
+#[test]
+fn hyperslab_bounds_checked() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(1, cfg(), |c| {
+        let mut f = H5File::create(c, &pfs, "b.h5", &Info::new()).unwrap();
+        let mut d = f.create_dataset("x", H5Type::I32, &[4, 4]).unwrap();
+        assert!(d
+            .write_all::<i32>(&mut f, &[3, 0], &[2, 4], &[0; 8])
+            .is_err());
+        assert!(d
+            .write_all::<i32>(&mut f, &[0, 0], &[2, 2], &[0; 3])
+            .is_err());
+        d.close(&mut f).unwrap();
+        f.close().unwrap();
+    });
+}
+
+#[test]
+fn per_dataset_overhead_exceeds_pnetcdf_style_single_header() {
+    // Writing N datasets costs N * (create + metadata sync); the virtual
+    // time must grow superlinearly in dataset count compared to one big
+    // dataset of the same volume.
+    let volume = 1 << 16; // 64 KiB of f32
+    let time_for = |ndatasets: usize| {
+        let pfs = Pfs::new(cfg(), StorageMode::CostOnly);
+        let run = run_world(4, cfg(), move |c| {
+            let mut f = H5File::create(c, &pfs, "t.h5", &Info::new()).unwrap();
+            let per = (volume / ndatasets) as u64 / 4; // f32 elems per dataset
+            for i in 0..ndatasets {
+                let mut d = f
+                    .create_dataset(&format!("v{i}"), H5Type::F32, &[per])
+                    .unwrap();
+                let quarter = per / 4;
+                let s = c.rank() as u64 * quarter;
+                let vals = vec![1.0f32; quarter as usize];
+                d.write_all(&mut f, &[s], &[quarter], &vals).unwrap();
+                d.close(&mut f).unwrap();
+            }
+            f.close().unwrap();
+        });
+        run.makespan
+    };
+    let one = time_for(1);
+    let many = time_for(16);
+    assert!(
+        many > one,
+        "16 datasets ({many}) should cost more than 1 ({one})"
+    );
+}
+
+#[test]
+fn file_bytes_decode_offline() {
+    // The produced file is structurally valid: superblock chases to the
+    // symbol table, which chases to headers and data.
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(1, cfg(), |c| {
+        let mut f = H5File::create(c, &pfs, "dec.h5", &Info::new()).unwrap();
+        let mut d = f.create_dataset("data", H5Type::I32, &[4]).unwrap();
+        d.write_all(&mut f, &[0], &[4], &[1i32, 2, 3, 4]).unwrap();
+        d.close(&mut f).unwrap();
+        f.close().unwrap();
+    });
+    let bytes = pfs.open("dec.h5").unwrap().to_bytes();
+    let sb = hdf5_sim::format::Superblock::decode(&bytes).unwrap();
+    assert_eq!(sb.nobjects, 1);
+    let syms =
+        hdf5_sim::format::decode_symbols(&bytes[sb.root_addr as usize..], 1).unwrap();
+    assert_eq!(syms[0].name, "data");
+    let oh =
+        hdf5_sim::format::ObjectHeader::decode(&bytes[syms[0].header_addr as usize..]).unwrap();
+    assert_eq!(oh.dims, vec![4]);
+    assert_eq!(oh.nbytes(), 16);
+    // The data itself (native-endian i32s).
+    let data = &bytes[oh.data_addr as usize..oh.data_addr as usize + 16];
+    let vals: Vec<i32> = data
+        .chunks_exact(4)
+        .map(|c| i32::from_ne_bytes(c.try_into().unwrap()))
+        .collect();
+    assert_eq!(vals, vec![1, 2, 3, 4]);
+}

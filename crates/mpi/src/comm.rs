@@ -1,0 +1,513 @@
+//! Communicators: the per-rank handle through which all MPI operations run.
+//!
+//! A [`Comm`] identifies (world, member group, this rank's index, collective
+//! context). `MPI_COMM_WORLD` is created by [`crate::runtime::run_world`];
+//! [`Comm::dup`] and [`Comm::split`] derive new communicators collectively,
+//! exactly as MPI does.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hpc_sim::{SharedClocks, SimConfig, SimStats, Time};
+
+use crate::collective::{CollContext, Deposits};
+use crate::error::{MpiError, MpiResult};
+use crate::op::{from_bytes, to_bytes, Reducible, ReduceOp, Scalar};
+use crate::p2p::{Envelope, Status};
+use crate::runtime::WorldInner;
+
+/// Everything a collective `finish` closure needs to account costs: shared
+/// clocks, cost models, statistics, and the world ranks of the group.
+#[derive(Clone)]
+pub struct CollEnv {
+    /// Per-rank virtual clocks of the whole world.
+    pub clocks: SharedClocks,
+    /// Platform cost models.
+    pub config: Arc<SimConfig>,
+    /// Shared operation counters.
+    pub stats: SimStats,
+    /// `group[i]` = world rank of group member `i`.
+    pub group: Arc<Vec<usize>>,
+}
+
+impl CollEnv {
+    /// Synchronize the group's clocks to `max + extra`; returns the common
+    /// time. This is the standard clock effect of a collective operation.
+    pub fn sync_max(&self, extra: Time) -> Time {
+        self.clocks.sync_max(&self.group, extra)
+    }
+
+    /// Set every group member's clock to exactly `t` (used by collective
+    /// I/O, which computes its own completion time).
+    pub fn set_all(&self, t: Time) {
+        for &r in self.group.iter() {
+            self.clocks.advance_to(r, t);
+        }
+    }
+
+    /// Group size.
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+}
+
+/// A communicator handle owned by one rank.
+///
+/// Cloning yields another handle to the *same* communicator for the same
+/// rank (useful for storing in file objects); it does not create a new
+/// communicator — use [`Comm::dup`] for that.
+#[derive(Clone)]
+pub struct Comm {
+    world: Arc<WorldInner>,
+    group: Arc<Vec<usize>>,
+    my_index: usize,
+    ctx: Arc<CollContext>,
+}
+
+impl Comm {
+    pub(crate) fn world(world: Arc<WorldInner>, ctx: Arc<CollContext>, rank: usize) -> Comm {
+        let group = Arc::new((0..world.nprocs).collect::<Vec<_>>());
+        Comm {
+            world,
+            group,
+            my_index: rank,
+            ctx,
+        }
+    }
+
+    // ---- identity ---------------------------------------------------------
+
+    /// This rank's index within the communicator (`MPI_Comm_rank`).
+    pub fn rank(&self) -> usize {
+        self.my_index
+    }
+
+    /// Number of members (`MPI_Comm_size`).
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// This rank's index in `MPI_COMM_WORLD`.
+    pub fn world_rank(&self) -> usize {
+        self.group[self.my_index]
+    }
+
+    /// Platform configuration of the world.
+    pub fn config(&self) -> &SimConfig {
+        &self.world.config
+    }
+
+    /// Shared operation counters.
+    pub fn stats(&self) -> &SimStats {
+        &self.world.stats
+    }
+
+    // ---- virtual clock ------------------------------------------------------
+
+    /// This rank's current virtual time.
+    pub fn now(&self) -> Time {
+        self.world.clocks.now(self.world_rank())
+    }
+
+    /// Advance this rank's clock by `dt` (local work: packing, compute).
+    pub fn advance(&self, dt: Time) -> Time {
+        self.world.clocks.advance(self.world_rank(), dt)
+    }
+
+    /// Move this rank's clock forward to `t` if later.
+    pub fn advance_to(&self, t: Time) -> Time {
+        self.world.clocks.advance_to(self.world_rank(), t)
+    }
+
+    /// Clone of the shared clock array (for the I/O layers).
+    pub fn clocks(&self) -> SharedClocks {
+        self.world.clocks.clone()
+    }
+
+    // ---- generic collective ------------------------------------------------
+
+    /// Capture the environment a `finish` closure needs.
+    pub fn coll_env(&self) -> CollEnv {
+        CollEnv {
+            clocks: self.world.clocks.clone(),
+            config: Arc::new(self.world.config.clone()),
+            stats: self.world.stats.clone(),
+            group: self.group.clone(),
+        }
+    }
+
+    /// Low-level collective: deposit `parts` and run `finish` at the last
+    /// arriver (see [`CollContext::rendezvous`]). The closure is responsible
+    /// for clock accounting (usually via [`CollEnv::sync_max`]).
+    ///
+    /// This is the extension point the MPI-IO layer uses to implement
+    /// two-phase collective I/O deterministically.
+    pub fn collective<R, F>(&self, parts: Vec<Vec<u8>>, finish: F) -> MpiResult<Arc<R>>
+    where
+        R: Send + Sync + 'static,
+        F: FnOnce(Deposits) -> R,
+    {
+        self.world.stats.count_collective();
+        self.ctx.rendezvous(self.my_index, parts, finish)
+    }
+
+    // ---- predefined collectives ---------------------------------------------
+
+    /// `MPI_Barrier`.
+    pub fn barrier(&self) -> MpiResult<()> {
+        let env = self.coll_env();
+        self.collective(Vec::new(), move |_| {
+            let cost = env.config.network.barrier(env.size());
+            env.sync_max(cost);
+        })
+        .map(|_| ())
+    }
+
+    /// `MPI_Bcast` of a byte buffer. Every rank receives `root`'s buffer;
+    /// non-roots typically pass an empty vector.
+    pub fn bcast_bytes(&self, root: usize, mine: Vec<u8>) -> MpiResult<Vec<u8>> {
+        self.check_rank(root)?;
+        let env = self.coll_env();
+        let res = self.collective(vec![mine], move |mut deps: Deposits| {
+            let payload = std::mem::take(&mut deps[root][0]);
+            let cost = env.config.network.bcast(payload.len(), env.size());
+            env.sync_max(cost);
+            payload
+        })?;
+        Ok((*res).clone())
+    }
+
+    /// Broadcast a slice of scalars from `root`.
+    pub fn bcast_scalars<T: Scalar>(&self, root: usize, mine: &[T]) -> MpiResult<Vec<T>> {
+        let bytes = self.bcast_bytes(root, to_bytes(mine))?;
+        Ok(from_bytes(&bytes))
+    }
+
+    /// `MPI_Allgatherv` of byte buffers: returns every rank's contribution,
+    /// indexed by rank.
+    pub fn allgather_bytes(&self, mine: Vec<u8>) -> MpiResult<Vec<Vec<u8>>> {
+        let env = self.coll_env();
+        let res = self.collective(vec![mine], move |mut deps: Deposits| {
+            let all: Vec<Vec<u8>> = deps
+                .iter_mut()
+                .map(|d| std::mem::take(&mut d[0]))
+                .collect();
+            let maxlen = all.iter().map(Vec::len).max().unwrap_or(0);
+            let cost = env.config.network.allgather(maxlen, env.size());
+            env.sync_max(cost);
+            all
+        })?;
+        Ok((*res).clone())
+    }
+
+    /// Allgather one scalar from each rank.
+    pub fn allgather_scalar<T: Scalar>(&self, v: T) -> MpiResult<Vec<T>> {
+        let all = self.allgather_bytes(to_bytes(&[v]))?;
+        Ok(all.iter().map(|b| from_bytes::<T>(b)[0]).collect())
+    }
+
+    /// `MPI_Alltoallv`: `parts[i]` goes to rank `i`; returns what each rank
+    /// sent to us, indexed by source.
+    pub fn alltoallv_bytes(&self, parts: Vec<Vec<u8>>) -> MpiResult<Vec<Vec<u8>>> {
+        if parts.len() != self.size() {
+            return Err(MpiError::CollectiveMismatch(format!(
+                "alltoallv parts len {} != comm size {}",
+                parts.len(),
+                self.size()
+            )));
+        }
+        let env = self.coll_env();
+        let me = self.my_index;
+        let res = self.collective(parts, move |deps: Deposits| {
+            let n = env.size();
+            let max_send = deps
+                .iter()
+                .map(|row| row.iter().map(Vec::len).sum::<usize>())
+                .max()
+                .unwrap_or(0);
+            let max_recv = (0..n)
+                .map(|dst| deps.iter().map(|row| row[dst].len()).sum::<usize>())
+                .max()
+                .unwrap_or(0);
+            let cost = env.config.network.alltoallv(max_send, max_recv, n);
+            env.sync_max(cost);
+            deps // [src][dst]
+        })?;
+        Ok(res.iter().map(|row| row[me].clone()).collect())
+    }
+
+    /// `MPI_Gatherv` to `root`: root gets every contribution, others `None`.
+    pub fn gatherv_bytes(&self, root: usize, mine: Vec<u8>) -> MpiResult<Option<Vec<Vec<u8>>>> {
+        self.check_rank(root)?;
+        let env = self.coll_env();
+        let res = self.collective(vec![mine], move |mut deps: Deposits| {
+            let all: Vec<Vec<u8>> = deps
+                .iter_mut()
+                .map(|d| std::mem::take(&mut d[0]))
+                .collect();
+            let maxlen = all.iter().map(Vec::len).max().unwrap_or(0);
+            let cost = env.config.network.allgather(maxlen, env.size());
+            env.sync_max(cost);
+            all
+        })?;
+        Ok(if self.my_index == root {
+            Some((*res).clone())
+        } else {
+            None
+        })
+    }
+
+    /// `MPI_Scatterv` from `root`: root passes one parcel per rank.
+    pub fn scatterv_bytes(
+        &self,
+        root: usize,
+        parts: Option<Vec<Vec<u8>>>,
+    ) -> MpiResult<Vec<u8>> {
+        self.check_rank(root)?;
+        if self.my_index == root {
+            match &parts {
+                Some(p) if p.len() == self.size() => {}
+                _ => {
+                    return Err(MpiError::CollectiveMismatch(
+                        "scatterv root must supply one parcel per rank".into(),
+                    ))
+                }
+            }
+        }
+        let env = self.coll_env();
+        let me = self.my_index;
+        let deposit = parts.unwrap_or_default();
+        let res = self.collective(deposit, move |mut deps: Deposits| {
+            let row = std::mem::take(&mut deps[root]);
+            let maxlen = row.iter().map(Vec::len).max().unwrap_or(0);
+            let cost = env.config.network.bcast(maxlen, env.size());
+            env.sync_max(cost);
+            row
+        })?;
+        Ok(res[me].clone())
+    }
+
+    /// `MPI_Allreduce` over a slice (elementwise).
+    pub fn allreduce<T: Reducible>(&self, op: ReduceOp, vals: &[T]) -> MpiResult<Vec<T>> {
+        let env = self.coll_env();
+        let nvals = vals.len();
+        let res = self.collective(vec![to_bytes(vals)], move |deps: Deposits| {
+            let mut acc: Option<Vec<T>> = None;
+            for d in &deps {
+                let row = from_bytes::<T>(&d[0]);
+                assert_eq!(row.len(), nvals, "allreduce length mismatch across ranks");
+                acc = Some(match acc {
+                    None => row,
+                    Some(a) => a
+                        .into_iter()
+                        .zip(row)
+                        .map(|(x, y)| T::reduce(op, x, y))
+                        .collect(),
+                });
+            }
+            let cost = env
+                .config
+                .network
+                .allreduce(nvals * T::WIDTH, env.size());
+            env.sync_max(cost);
+            acc.expect("at least one rank")
+        })?;
+        Ok((*res).clone())
+    }
+
+    /// Allreduce of a single scalar.
+    pub fn allreduce_scalar<T: Reducible>(&self, op: ReduceOp, v: T) -> MpiResult<T> {
+        Ok(self.allreduce(op, &[v])?[0])
+    }
+
+    /// `MPI_Reduce`: elementwise reduction delivered to `root` only.
+    pub fn reduce<T: Reducible>(
+        &self,
+        root: usize,
+        op: ReduceOp,
+        vals: &[T],
+    ) -> MpiResult<Option<Vec<T>>> {
+        self.check_rank(root)?;
+        let env = self.coll_env();
+        let nvals = vals.len();
+        let res = self.collective(vec![to_bytes(vals)], move |deps: Deposits| {
+            let mut acc: Option<Vec<T>> = None;
+            for d in &deps {
+                let row = from_bytes::<T>(&d[0]);
+                assert_eq!(row.len(), nvals, "reduce length mismatch across ranks");
+                acc = Some(match acc {
+                    None => row,
+                    Some(a) => a
+                        .into_iter()
+                        .zip(row)
+                        .map(|(x, y)| T::reduce(op, x, y))
+                        .collect(),
+                });
+            }
+            // Binomial-tree reduction: same cost shape as a broadcast.
+            let cost = env.config.network.bcast(nvals * T::WIDTH, env.size());
+            env.sync_max(cost);
+            acc.expect("at least one rank")
+        })?;
+        Ok(if self.my_index == root {
+            Some((*res).clone())
+        } else {
+            None
+        })
+    }
+
+    /// `MPI_Exscan` with sum: returns the sum of values at ranks `< self`
+    /// (0 at rank 0), plus the grand total — a common pair for laying out
+    /// shared output.
+    pub fn exscan_sum(&self, v: u64) -> MpiResult<(u64, u64)> {
+        let all = self.allgather_scalar::<u64>(v)?;
+        let prefix: u64 = all[..self.my_index].iter().sum();
+        let total: u64 = all.iter().sum();
+        Ok((prefix, total))
+    }
+
+    // ---- point-to-point ------------------------------------------------------
+
+    /// `MPI_Send` of a byte buffer to group rank `dest`.
+    pub fn send_bytes(&self, dest: usize, tag: i32, data: Vec<u8>) -> MpiResult<()> {
+        self.check_rank(dest)?;
+        let len = data.len();
+        self.world.stats.count_message(len);
+        // Eager model: the sender pays the wire occupancy, the message
+        // becomes visible at sender_time + latency.
+        let send_done = self.advance(self.world.config.network.transfer(len));
+        let arrival = send_done + self.world.config.network.latency;
+        let world_dest = self.group[dest];
+        self.world.mailboxes[world_dest].deposit(Envelope {
+            src_group_rank: self.my_index,
+            tag,
+            comm_id: self.ctx.id,
+            data,
+            arrival,
+        });
+        Ok(())
+    }
+
+    /// Send a slice of scalars.
+    pub fn send_scalars<T: Scalar>(&self, dest: usize, tag: i32, vals: &[T]) -> MpiResult<()> {
+        self.send_bytes(dest, tag, to_bytes(vals))
+    }
+
+    /// `MPI_Recv`: blocking receive matching `(src, tag)`; wildcards are
+    /// [`crate::p2p::ANY_SOURCE`] / [`crate::p2p::ANY_TAG`].
+    pub fn recv_bytes(&self, src: i32, tag: i32) -> MpiResult<(Vec<u8>, Status)> {
+        if src >= 0 {
+            self.check_rank(src as usize)?;
+        }
+        let env = self.world.mailboxes[self.world_rank()].recv(
+            self.ctx.id,
+            src,
+            tag,
+            &self.world.poisoned,
+        )?;
+        self.advance_to(env.arrival);
+        let status = Status {
+            source: env.src_group_rank,
+            tag: env.tag,
+            len: env.data.len(),
+        };
+        Ok((env.data, status))
+    }
+
+    /// Receive a slice of scalars.
+    pub fn recv_scalars<T: Scalar>(&self, src: i32, tag: i32) -> MpiResult<(Vec<T>, Status)> {
+        let (bytes, st) = self.recv_bytes(src, tag)?;
+        Ok((from_bytes(&bytes), st))
+    }
+
+    /// Nonblocking probe for a matching message.
+    pub fn probe(&self, src: i32, tag: i32) -> Option<Status> {
+        self.world.mailboxes[self.world_rank()].probe(self.ctx.id, src, tag)
+    }
+
+    // ---- communicator management ----------------------------------------------
+
+    /// `MPI_Comm_dup`: a congruent communicator with its own collective
+    /// context (so its traffic cannot match this one's).
+    pub fn dup(&self) -> MpiResult<Comm> {
+        let env = self.coll_env();
+        let world = self.world.clone();
+        let n = self.size();
+        let ctx = self.collective(Vec::new(), move |_| {
+            let cost = env.config.network.barrier(env.size());
+            env.sync_max(cost);
+            world.new_context(n)
+        })?;
+        Ok(Comm {
+            world: self.world.clone(),
+            group: self.group.clone(),
+            my_index: self.my_index,
+            ctx: (*ctx).clone(),
+        })
+    }
+
+    /// `MPI_Comm_split`: ranks with equal `color` form a new communicator,
+    /// ordered by `(key, old rank)`. A negative color (`MPI_UNDEFINED`)
+    /// yields `None`.
+    pub fn split(&self, color: i64, key: i64) -> MpiResult<Option<Comm>> {
+        let env = self.coll_env();
+        let world = self.world.clone();
+        let group = self.group.clone();
+        let deposit = to_bytes(&[color, key]);
+        let me = self.my_index;
+        let table = self.collective(vec![deposit], move |deps: Deposits| {
+            // (color, key, old_index) for every member.
+            let mut entries: Vec<(i64, i64, usize)> = deps
+                .iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    let v = from_bytes::<i64>(&d[0]);
+                    (v[0], v[1], i)
+                })
+                .collect();
+            entries.sort_by_key(|&(c, k, i)| (c, k, i));
+            let mut out: BTreeMap<i64, (Arc<Vec<usize>>, Arc<CollContext>)> = BTreeMap::new();
+            let mut i = 0;
+            while i < entries.len() {
+                let color = entries[i].0;
+                let mut members = Vec::new();
+                while i < entries.len() && entries[i].0 == color {
+                    members.push(group[entries[i].2]);
+                    i += 1;
+                }
+                if color >= 0 {
+                    let ctx = world.new_context(members.len());
+                    out.insert(color, (Arc::new(members), ctx));
+                }
+            }
+            let cost = env.config.network.barrier(env.size());
+            env.sync_max(cost);
+            (out, me) // me unused; keeps closure simple
+        })?;
+        if color < 0 {
+            return Ok(None);
+        }
+        let (new_group, new_ctx) = table.0.get(&color).expect("own color present").clone();
+        let my_world = self.world_rank();
+        let my_index = new_group
+            .iter()
+            .position(|&w| w == my_world)
+            .expect("member of own color group");
+        Ok(Some(Comm {
+            world: self.world.clone(),
+            group: new_group,
+            my_index,
+            ctx: new_ctx,
+        }))
+    }
+
+    fn check_rank(&self, r: usize) -> MpiResult<()> {
+        if r >= self.size() {
+            return Err(MpiError::InvalidRank {
+                rank: r as i32,
+                size: self.size(),
+            });
+        }
+        Ok(())
+    }
+}

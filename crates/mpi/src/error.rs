@@ -1,0 +1,45 @@
+//! Error type for the MPI substrate.
+
+use std::fmt;
+
+/// Errors surfaced by the MPI layer.
+///
+/// Real MPI aborts on most errors; we return them so the upper layers
+/// (MPI-IO, PnetCDF) can translate them into their own error codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// A rank index was outside the communicator.
+    InvalidRank { rank: i32, size: usize },
+    /// A datatype did not describe the buffer it was applied to.
+    Truncated { needed: usize, available: usize },
+    /// A datatype constructor was given inconsistent arguments.
+    InvalidDatatype(String),
+    /// The world was poisoned: another rank panicked.
+    Poisoned,
+    /// Mismatched collective call (e.g. different byte counts at a bcast).
+    CollectiveMismatch(String),
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::InvalidRank { rank, size } => {
+                write!(f, "invalid rank {rank} for communicator of size {size}")
+            }
+            MpiError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "message truncated: needed {needed} bytes, buffer has {available}"
+                )
+            }
+            MpiError::InvalidDatatype(msg) => write!(f, "invalid datatype: {msg}"),
+            MpiError::Poisoned => write!(f, "world poisoned: a peer rank panicked"),
+            MpiError::CollectiveMismatch(msg) => write!(f, "collective mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Result alias for MPI operations.
+pub type MpiResult<T> = Result<T, MpiError>;

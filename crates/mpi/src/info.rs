@@ -1,0 +1,126 @@
+//! `MPI_Info` — the key/value hint object.
+//!
+//! PnetCDF passes an `Info` through `ncmpi_create`/`ncmpi_open` to carry both
+//! netCDF-level hints and standard MPI-IO hints (`cb_buffer_size`,
+//! `cb_nodes`, `ind_rd_buffer_size`, ...). Keys are case-sensitive strings,
+//! matching the MPI-2 standard; unrecognized keys are ignored by consumers.
+
+use std::collections::BTreeMap;
+
+/// An ordered key/value hint dictionary (`MPI_Info`).
+///
+/// `BTreeMap` keeps iteration deterministic, which keeps virtual-time results
+/// reproducible when hints are dumped or merged.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Info {
+    kv: BTreeMap<String, String>,
+}
+
+impl Info {
+    /// An empty info object (`MPI_INFO_NULL` behaves like this).
+    pub fn new() -> Info {
+        Info::default()
+    }
+
+    /// Set `key` to `value`, replacing any previous value.
+    pub fn set(&mut self, key: &str, value: &str) -> &mut Self {
+        self.kv.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Builder-style `set`.
+    pub fn with(mut self, key: &str, value: &str) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.kv.get(key).map(String::as_str)
+    }
+
+    /// Look up `key` and parse it as an integer (common for MPI-IO hints).
+    /// Returns `None` if missing or unparseable.
+    pub fn get_usize(&self, key: &str) -> Option<usize> {
+        self.get(key)?.trim().parse().ok()
+    }
+
+    /// Look up a boolean hint ("true"/"false"/"enable"/"disable").
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        match self.get(key)?.trim() {
+            "true" | "enable" | "yes" | "1" => Some(true),
+            "false" | "disable" | "no" | "0" => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Remove `key`.
+    pub fn delete(&mut self, key: &str) -> bool {
+        self.kv.remove(key).is_some()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.kv.len()
+    }
+
+    /// True if no hints are set.
+    pub fn is_empty(&self) -> bool {
+        self.kv.is_empty()
+    }
+
+    /// Iterate over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.kv.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Merge `other` into `self` (other's values win on conflict).
+    pub fn merge(&mut self, other: &Info) {
+        for (k, v) in other.iter() {
+            self.set(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_delete() {
+        let mut info = Info::new();
+        assert!(info.is_empty());
+        info.set("cb_buffer_size", "4194304");
+        info.set("romio_cb_write", "enable");
+        assert_eq!(info.get("cb_buffer_size"), Some("4194304"));
+        assert_eq!(info.get_usize("cb_buffer_size"), Some(4194304));
+        assert_eq!(info.get_bool("romio_cb_write"), Some(true));
+        assert_eq!(info.len(), 2);
+        assert!(info.delete("cb_buffer_size"));
+        assert!(!info.delete("cb_buffer_size"));
+        assert_eq!(info.get("cb_buffer_size"), None);
+    }
+
+    #[test]
+    fn unparseable_numeric_hint_is_none() {
+        let info = Info::new().with("cb_nodes", "many");
+        assert_eq!(info.get_usize("cb_nodes"), None);
+        assert_eq!(info.get_bool("cb_nodes"), None);
+    }
+
+    #[test]
+    fn merge_overwrites() {
+        let mut a = Info::new().with("k", "1").with("only_a", "x");
+        let b = Info::new().with("k", "2");
+        a.merge(&b);
+        assert_eq!(a.get("k"), Some("2"));
+        assert_eq!(a.get("only_a"), Some("x"));
+    }
+
+    #[test]
+    fn iteration_is_ordered() {
+        let info = Info::new().with("b", "2").with("a", "1");
+        let keys: Vec<&str> = info.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Reduction operations and byte-representable scalars.
+//!
+//! Collectives move raw bytes between ranks; typed wrappers convert scalars
+//! and slices to and from native-endian bytes through [`Scalar`]. Reductions
+//! (`MPI_SUM`, `MPI_MIN`, `MPI_MAX`, ...) fold over the gathered
+//! contributions with [`ReduceOp`].
+
+/// A fixed-size scalar that can cross the (in-process) wire as bytes.
+pub trait Scalar: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// Encoded width in bytes.
+    const WIDTH: usize;
+    /// Append this value's native-endian bytes.
+    fn write_bytes(&self, out: &mut Vec<u8>);
+    /// Decode from exactly `WIDTH` bytes.
+    fn from_bytes(b: &[u8]) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+            fn write_bytes(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_ne_bytes());
+            }
+            fn from_bytes(b: &[u8]) -> Self {
+                <$t>::from_ne_bytes(b.try_into().expect("scalar width"))
+            }
+        }
+    )*};
+}
+
+impl_scalar!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64, usize);
+
+/// Encode a slice of scalars.
+pub fn to_bytes<T: Scalar>(vals: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * T::WIDTH);
+    for v in vals {
+        v.write_bytes(&mut out);
+    }
+    out
+}
+
+/// Decode a byte buffer into scalars. Panics if `b.len()` is not a multiple
+/// of the scalar width (that is always a library bug, not user error).
+pub fn from_bytes<T: Scalar>(b: &[u8]) -> Vec<T> {
+    assert!(
+        b.len() % T::WIDTH == 0,
+        "byte length {} not a multiple of scalar width {}",
+        b.len(),
+        T::WIDTH
+    );
+    b.chunks_exact(T::WIDTH).map(T::from_bytes).collect()
+}
+
+/// The predefined MPI reduction operations we need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+    /// Logical AND over integer zero/nonzero (used for consistency checks).
+    Land,
+    /// Logical OR.
+    Lor,
+}
+
+/// Element types that support the predefined reductions.
+pub trait Reducible: Scalar {
+    fn reduce(op: ReduceOp, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_reducible_int {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            fn reduce(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Land => ((a != 0) && (b != 0)) as $t,
+                    ReduceOp::Lor => ((a != 0) || (b != 0)) as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_reducible_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize);
+
+macro_rules! impl_reducible_float {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            fn reduce(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a + b,
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Land => (((a != 0.0) && (b != 0.0)) as u8) as $t,
+                    ReduceOp::Lor => (((a != 0.0) || (b != 0.0)) as u8) as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_reducible_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let v: Vec<i64> = vec![-1, 0, 42, i64::MAX];
+        assert_eq!(from_bytes::<i64>(&to_bytes(&v)), v);
+        let f: Vec<f64> = vec![0.5, -3.25];
+        assert_eq!(from_bytes::<f64>(&to_bytes(&f)), f);
+        let u: Vec<usize> = vec![7, 8];
+        assert_eq!(from_bytes::<usize>(&to_bytes(&u)), u);
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(i64::reduce(ReduceOp::Sum, 3, 4), 7);
+        assert_eq!(i64::reduce(ReduceOp::Min, 3, -4), -4);
+        assert_eq!(u64::reduce(ReduceOp::Max, 3, 4), 4);
+        assert_eq!(u8::reduce(ReduceOp::Land, 1, 0), 0);
+        assert_eq!(u8::reduce(ReduceOp::Lor, 1, 0), 1);
+        assert_eq!(f64::reduce(ReduceOp::Sum, 0.5, 0.25), 0.75);
+        assert_eq!(f64::reduce(ReduceOp::Max, 0.5, 0.25), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_bytes_bad_width_panics() {
+        let _ = from_bytes::<u32>(&[1, 2, 3]);
+    }
+}

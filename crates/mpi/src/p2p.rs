@@ -1,0 +1,172 @@
+//! Point-to-point messaging: per-rank mailboxes with tag matching.
+//!
+//! Each world rank owns a mailbox. `send` deposits an envelope into the
+//! destination's mailbox (an eager-protocol model: the sender does not
+//! block); `recv` searches the mailbox for the first envelope matching
+//! `(communicator, source, tag)` and blocks until one arrives. Matching
+//! follows MPI's non-overtaking rule: among matching envelopes, the earliest
+//! deposited wins.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+use hpc_sim::Time;
+
+use crate::error::{MpiError, MpiResult};
+
+/// Wildcard source (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: i32 = -1;
+/// Wildcard tag (`MPI_ANY_TAG`).
+pub const ANY_TAG: i32 = -1;
+
+/// Delivery metadata returned by `recv` (`MPI_Status`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Status {
+    /// Group rank of the sender within the receiving communicator.
+    pub source: usize,
+    /// Message tag.
+    pub tag: i32,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+pub(crate) struct Envelope {
+    /// Sender's rank *within the communicator* the message was sent on.
+    pub src_group_rank: usize,
+    pub tag: i32,
+    /// Identifies the communicator (its collective-context id).
+    pub comm_id: u64,
+    pub data: Vec<u8>,
+    /// Virtual time at which the message is available at the receiver.
+    pub arrival: Time,
+}
+
+/// One rank's incoming message queue.
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    q: Mutex<VecDeque<Envelope>>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    pub fn new() -> Mailbox {
+        Mailbox::default()
+    }
+
+    /// Deposit a message and wake any waiting receiver.
+    pub fn deposit(&self, env: Envelope) {
+        self.q.lock().push_back(env);
+        self.cv.notify_all();
+    }
+
+    /// Wake all waiters so they can observe a poisoned world.
+    pub fn poison_notify(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Blocking matched receive. `src` / `tag` may be the `ANY_*` wildcards.
+    /// `poisoned` is checked on every wakeup.
+    pub fn recv(
+        &self,
+        comm_id: u64,
+        src: i32,
+        tag: i32,
+        poisoned: &std::sync::atomic::AtomicBool,
+    ) -> MpiResult<Envelope> {
+        let mut q = self.q.lock();
+        loop {
+            if poisoned.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err(MpiError::Poisoned);
+            }
+            let found = q.iter().position(|e| {
+                e.comm_id == comm_id
+                    && (src == ANY_SOURCE || e.src_group_rank == src as usize)
+                    && (tag == ANY_TAG || e.tag == tag)
+            });
+            if let Some(i) = found {
+                return Ok(q.remove(i).expect("index valid"));
+            }
+            self.cv.wait(&mut q);
+        }
+    }
+
+    /// Nonblocking probe: is a matching message available?
+    pub fn probe(&self, comm_id: u64, src: i32, tag: i32) -> Option<Status> {
+        let q = self.q.lock();
+        q.iter()
+            .find(|e| {
+                e.comm_id == comm_id
+                    && (src == ANY_SOURCE || e.src_group_rank == src as usize)
+                    && (tag == ANY_TAG || e.tag == tag)
+            })
+            .map(|e| Status {
+                source: e.src_group_rank,
+                tag: e.tag,
+                len: e.data.len(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    fn env(src: usize, tag: i32, comm: u64, data: Vec<u8>) -> Envelope {
+        Envelope {
+            src_group_rank: src,
+            tag,
+            comm_id: comm,
+            data,
+            arrival: Time::ZERO,
+        }
+    }
+
+    #[test]
+    fn matching_respects_comm_src_tag() {
+        let mb = Mailbox::new();
+        let poisoned = AtomicBool::new(false);
+        mb.deposit(env(1, 7, 0, vec![1]));
+        mb.deposit(env(2, 7, 0, vec![2]));
+        mb.deposit(env(1, 9, 1, vec![3]));
+
+        let got = mb.recv(0, 2, 7, &poisoned).unwrap();
+        assert_eq!(got.data, vec![2]);
+        let got = mb.recv(1, ANY_SOURCE, ANY_TAG, &poisoned).unwrap();
+        assert_eq!(got.data, vec![3]);
+        let got = mb.recv(0, ANY_SOURCE, 7, &poisoned).unwrap();
+        assert_eq!(got.data, vec![1]);
+    }
+
+    #[test]
+    fn non_overtaking_order() {
+        let mb = Mailbox::new();
+        let poisoned = AtomicBool::new(false);
+        mb.deposit(env(0, 5, 0, vec![10]));
+        mb.deposit(env(0, 5, 0, vec![11]));
+        assert_eq!(mb.recv(0, 0, 5, &poisoned).unwrap().data, vec![10]);
+        assert_eq!(mb.recv(0, 0, 5, &poisoned).unwrap().data, vec![11]);
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let mb = Mailbox::new();
+        mb.deposit(env(3, 2, 0, vec![1, 2, 3]));
+        let st = mb.probe(0, ANY_SOURCE, ANY_TAG).unwrap();
+        assert_eq!(st.source, 3);
+        assert_eq!(st.tag, 2);
+        assert_eq!(st.len, 3);
+        assert!(mb.probe(0, ANY_SOURCE, ANY_TAG).is_some());
+        assert!(mb.probe(9, ANY_SOURCE, ANY_TAG).is_none());
+    }
+
+    #[test]
+    fn poisoned_recv_errors() {
+        let mb = Mailbox::new();
+        let poisoned = AtomicBool::new(true);
+        assert!(matches!(
+            mb.recv(0, ANY_SOURCE, ANY_TAG, &poisoned),
+            Err(MpiError::Poisoned)
+        ));
+    }
+}

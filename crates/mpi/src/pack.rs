@@ -1,0 +1,142 @@
+//! Packing and unpacking buffers through datatypes (`MPI_Pack`/`MPI_Unpack`).
+//!
+//! The flexible PnetCDF API lets the user describe a noncontiguous memory
+//! region with an MPI datatype; before the bytes can be handed to the I/O
+//! layer they are gathered ("packed") into a contiguous staging buffer, and
+//! scattered back ("unpacked") on the read path. Packing is driven by the
+//! flattened segment list, so it costs one `copy_from_slice` per run.
+
+use crate::datatype::Datatype;
+use crate::error::{MpiError, MpiResult};
+use crate::flatten::{flatten_n, Segment};
+
+/// Gather `count` instances of `dtype` from `buf` into a new contiguous
+/// buffer, in typemap order.
+///
+/// `buf` is addressed from the datatype origin; all flattened offsets must
+/// fall within it (negative offsets are rejected — callers pass a slice that
+/// starts at the lowest addressed byte).
+pub fn pack(buf: &[u8], count: usize, dtype: &Datatype) -> MpiResult<Vec<u8>> {
+    let segs = flatten_n(dtype, count);
+    let total: u64 = segs.iter().map(|s| s.len).sum();
+    let mut out = Vec::with_capacity(total as usize);
+    for s in &segs {
+        let (lo, hi) = seg_range(s, buf.len())?;
+        out.extend_from_slice(&buf[lo..hi]);
+    }
+    Ok(out)
+}
+
+/// Scatter `data` into `count` instances of `dtype` inside `buf`.
+///
+/// Returns the number of bytes consumed from `data`. Errors if `data` is
+/// shorter than the type signature requires.
+pub fn unpack(data: &[u8], buf: &mut [u8], count: usize, dtype: &Datatype) -> MpiResult<usize> {
+    let segs = flatten_n(dtype, count);
+    let total: u64 = segs.iter().map(|s| s.len).sum();
+    if (data.len() as u64) < total {
+        return Err(MpiError::Truncated {
+            needed: total as usize,
+            available: data.len(),
+        });
+    }
+    let mut pos = 0usize;
+    for s in &segs {
+        let (lo, hi) = seg_range(s, buf.len())?;
+        buf[lo..hi].copy_from_slice(&data[pos..pos + s.len as usize]);
+        pos += s.len as usize;
+    }
+    Ok(pos)
+}
+
+fn seg_range(s: &Segment, buf_len: usize) -> MpiResult<(usize, usize)> {
+    if s.offset < 0 {
+        return Err(MpiError::InvalidDatatype(format!(
+            "segment at negative offset {} cannot address a slice",
+            s.offset
+        )));
+    }
+    let lo = s.offset as usize;
+    let hi = lo + s.len as usize;
+    if hi > buf_len {
+        return Err(MpiError::Truncated {
+            needed: hi,
+            available: buf_len,
+        });
+    }
+    Ok((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_contiguous_is_copy() {
+        let buf = [1u8, 2, 3, 4, 5, 6];
+        let t = Datatype::contiguous(6, Datatype::byte());
+        assert_eq!(pack(&buf, 1, &t).unwrap(), buf.to_vec());
+    }
+
+    #[test]
+    fn pack_vector_gathers() {
+        let buf = [0u8, 1, 2, 3, 4, 5, 6, 7];
+        // 2 blocks of 2 bytes, stride 4: picks 0,1,4,5.
+        let t = Datatype::vector(2, 2, 4, Datatype::byte());
+        assert_eq!(pack(&buf, 1, &t).unwrap(), vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn unpack_is_inverse_of_pack() {
+        let src: Vec<u8> = (0..32).collect();
+        let t = Datatype::subarray(&[4, 8], &[2, 3], &[1, 2], Datatype::byte()).unwrap();
+        let packed = pack(&src, 1, &t).unwrap();
+        assert_eq!(packed.len(), 6);
+        let mut dst = vec![0u8; 32];
+        let used = unpack(&packed, &mut dst, 1, &t).unwrap();
+        assert_eq!(used, 6);
+        // The selected region matches, everything else is zero.
+        for (i, &v) in dst.iter().enumerate() {
+            let row = i / 8;
+            let col = i % 8;
+            if (1..3).contains(&row) && (2..5).contains(&col) {
+                assert_eq!(v, src[i], "selected byte {i}");
+            } else {
+                assert_eq!(v, 0, "unselected byte {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_out_of_bounds_errors() {
+        let buf = [0u8; 4];
+        let t = Datatype::contiguous(8, Datatype::byte());
+        assert!(matches!(
+            pack(&buf, 1, &t),
+            Err(MpiError::Truncated { needed: 8, available: 4 })
+        ));
+    }
+
+    #[test]
+    fn unpack_short_data_errors() {
+        let mut buf = [0u8; 8];
+        let t = Datatype::contiguous(8, Datatype::byte());
+        assert!(unpack(&[1, 2, 3], &mut buf, 1, &t).is_err());
+    }
+
+    #[test]
+    fn pack_repeated_instances() {
+        let buf = [9u8, 0, 8, 0, 7, 0, 6, 0];
+        // One byte then a hole; extent 2; 4 instances pick 9,8,7,6.
+        let t = Datatype::resized(0, 2, Datatype::byte());
+        assert_eq!(pack(&buf, 4, &t).unwrap(), vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn zero_count_packs_nothing() {
+        let t = Datatype::double();
+        assert!(pack(&[], 0, &t).unwrap().is_empty());
+        let mut buf = [];
+        assert_eq!(unpack(&[], &mut buf, 0, &t).unwrap(), 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Integration tests for communicator semantics: collectives, point-to-point,
+//! dup/split, and virtual-clock behaviour, all run in multi-rank worlds.
+
+use hpc_sim::{SimConfig, Time};
+use pnetcdf_mpi::{run_world, ReduceOp, ANY_SOURCE, ANY_TAG};
+
+fn cfg() -> SimConfig {
+    SimConfig::test_small()
+}
+
+#[test]
+fn barrier_synchronizes_clocks() {
+    let run = run_world(4, cfg(), |c| {
+        // Skew the clocks, then barrier.
+        c.advance(Time::from_millis(c.rank() as u64));
+        c.barrier().unwrap();
+        c.now()
+    });
+    let t0 = run.results[0];
+    assert!(run.results.iter().all(|&t| t == t0));
+    assert!(t0 >= Time::from_millis(3));
+}
+
+#[test]
+fn bcast_delivers_root_payload() {
+    let run = run_world(5, cfg(), |c| {
+        let mine = if c.rank() == 2 {
+            vec![9, 8, 7]
+        } else {
+            Vec::new()
+        };
+        c.bcast_bytes(2, mine).unwrap()
+    });
+    for r in run.results {
+        assert_eq!(r, vec![9, 8, 7]);
+    }
+}
+
+#[test]
+fn bcast_scalars_roundtrip() {
+    let run = run_world(3, cfg(), |c| {
+        let mine: Vec<f64> = if c.rank() == 0 {
+            vec![1.5, -2.25, 1e300]
+        } else {
+            Vec::new()
+        };
+        c.bcast_scalars::<f64>(0, &mine).unwrap()
+    });
+    for r in run.results {
+        assert_eq!(r, vec![1.5, -2.25, 1e300]);
+    }
+}
+
+#[test]
+fn allgather_collects_in_rank_order() {
+    let run = run_world(6, cfg(), |c| {
+        let all = c.allgather_bytes(vec![c.rank() as u8; c.rank()]).unwrap();
+        all.iter().map(Vec::len).collect::<Vec<_>>()
+    });
+    for r in run.results {
+        assert_eq!(r, vec![0, 1, 2, 3, 4, 5]);
+    }
+}
+
+#[test]
+fn alltoallv_transposes() {
+    let n = 4;
+    let run = run_world(n, cfg(), |c| {
+        // Rank i sends [i, j] to rank j.
+        let parts: Vec<Vec<u8>> = (0..n).map(|j| vec![c.rank() as u8, j as u8]).collect();
+        c.alltoallv_bytes(parts).unwrap()
+    });
+    for (j, incoming) in run.results.iter().enumerate() {
+        for (i, msg) in incoming.iter().enumerate() {
+            assert_eq!(msg, &vec![i as u8, j as u8]);
+        }
+    }
+}
+
+#[test]
+fn allreduce_sum_min_max() {
+    let run = run_world(7, cfg(), |c| {
+        let r = c.rank() as i64;
+        let sum = c.allreduce_scalar(ReduceOp::Sum, r).unwrap();
+        let min = c.allreduce_scalar(ReduceOp::Min, r - 3).unwrap();
+        let max = c.allreduce_scalar(ReduceOp::Max, r).unwrap();
+        (sum, min, max)
+    });
+    for (sum, min, max) in run.results {
+        assert_eq!(sum, 21);
+        assert_eq!(min, -3);
+        assert_eq!(max, 6);
+    }
+}
+
+#[test]
+fn allreduce_elementwise_vector() {
+    let run = run_world(3, cfg(), |c| {
+        let vals = vec![c.rank() as u64, 10 + c.rank() as u64];
+        c.allreduce(ReduceOp::Max, &vals).unwrap()
+    });
+    for r in run.results {
+        assert_eq!(r, vec![2, 12]);
+    }
+}
+
+#[test]
+fn reduce_delivers_to_root_only() {
+    let run = run_world(5, cfg(), |c| {
+        c.reduce(2, ReduceOp::Sum, &[c.rank() as i64, 1]).unwrap()
+    });
+    assert!(run.results[0].is_none());
+    assert_eq!(run.results[2].as_ref().unwrap(), &vec![10, 5]);
+    assert!(run.results[4].is_none());
+}
+
+#[test]
+fn gatherv_only_root_receives() {
+    let run = run_world(4, cfg(), |c| {
+        c.gatherv_bytes(1, vec![c.rank() as u8]).unwrap()
+    });
+    assert!(run.results[0].is_none());
+    assert_eq!(
+        run.results[1].as_ref().unwrap(),
+        &vec![vec![0u8], vec![1], vec![2], vec![3]]
+    );
+    assert!(run.results[2].is_none());
+}
+
+#[test]
+fn scatterv_distributes() {
+    let run = run_world(3, cfg(), |c| {
+        let parts = if c.rank() == 0 {
+            Some(vec![vec![0u8], vec![1, 1], vec![2, 2, 2]])
+        } else {
+            None
+        };
+        c.scatterv_bytes(0, parts).unwrap()
+    });
+    assert_eq!(run.results[0], vec![0]);
+    assert_eq!(run.results[1], vec![1, 1]);
+    assert_eq!(run.results[2], vec![2, 2, 2]);
+}
+
+#[test]
+fn exscan_sum_prefixes() {
+    let run = run_world(4, cfg(), |c| c.exscan_sum(10 * (c.rank() as u64 + 1)).unwrap());
+    assert_eq!(run.results[0], (0, 100));
+    assert_eq!(run.results[1], (10, 100));
+    assert_eq!(run.results[2], (30, 100));
+    assert_eq!(run.results[3], (60, 100));
+}
+
+#[test]
+fn p2p_ring() {
+    let n = 5;
+    let run = run_world(n, cfg(), |c| {
+        let next = (c.rank() + 1) % n;
+        let prev = (c.rank() + n - 1) % n;
+        c.send_bytes(next, 42, vec![c.rank() as u8]).unwrap();
+        let (data, st) = c.recv_bytes(prev as i32, 42).unwrap();
+        assert_eq!(st.source, prev);
+        assert_eq!(st.tag, 42);
+        data[0]
+    });
+    assert_eq!(run.results, vec![4, 0, 1, 2, 3]);
+}
+
+#[test]
+fn p2p_wildcards_and_probe() {
+    let run = run_world(2, cfg(), |c| {
+        if c.rank() == 0 {
+            c.send_scalars::<u32>(1, 7, &[123, 456]).unwrap();
+            0
+        } else {
+            // Spin until probe sees the message (sender may lag in wall time).
+            let st = loop {
+                if let Some(st) = c.probe(ANY_SOURCE, ANY_TAG) {
+                    break st;
+                }
+                std::thread::yield_now();
+            };
+            assert_eq!(st.len, 8);
+            let (vals, st) = c.recv_scalars::<u32>(ANY_SOURCE, ANY_TAG).unwrap();
+            assert_eq!(st.source, 0);
+            assert_eq!(vals, vec![123, 456]);
+            1
+        }
+    });
+    assert_eq!(run.results, vec![0, 1]);
+}
+
+#[test]
+fn recv_advances_clock_past_send() {
+    let run = run_world(2, cfg(), |c| {
+        if c.rank() == 0 {
+            c.advance(Time::from_millis(50));
+            c.send_bytes(1, 0, vec![0; 1000]).unwrap();
+        } else {
+            let _ = c.recv_bytes(0, 0).unwrap();
+            assert!(c.now() > Time::from_millis(50));
+        }
+        c.now()
+    });
+    assert!(run.makespan >= run.results[1]);
+}
+
+#[test]
+fn dup_isolates_traffic() {
+    let run = run_world(2, cfg(), |c| {
+        let c2 = c.dup().unwrap();
+        if c.rank() == 0 {
+            // Same tag on both communicators; receiver must match per-comm.
+            c.send_bytes(1, 5, vec![1]).unwrap();
+            c2.send_bytes(1, 5, vec![2]).unwrap();
+            (0, 0)
+        } else {
+            let (on_dup, _) = c2.recv_bytes(0, 5).unwrap();
+            let (on_orig, _) = c.recv_bytes(0, 5).unwrap();
+            (on_orig[0], on_dup[0])
+        }
+    });
+    assert_eq!(run.results[1], (1, 2));
+}
+
+#[test]
+fn split_forms_subgroups() {
+    let run = run_world(6, cfg(), |c| {
+        let color = (c.rank() % 2) as i64;
+        let sub = c.split(color, c.rank() as i64).unwrap().unwrap();
+        let members = sub.allgather_scalar::<u64>(c.rank() as u64).unwrap();
+        (sub.rank(), sub.size(), members)
+    });
+    // Evens: world ranks 0,2,4; odds: 1,3,5.
+    assert_eq!(run.results[0], (0, 3, vec![0, 2, 4]));
+    assert_eq!(run.results[3], (1, 3, vec![1, 3, 5]));
+    assert_eq!(run.results[5], (2, 3, vec![1, 3, 5]));
+}
+
+#[test]
+fn split_undefined_color_returns_none() {
+    let run = run_world(3, cfg(), |c| {
+        let color = if c.rank() == 0 { -1 } else { 0 };
+        c.split(color, 0).unwrap().is_none()
+    });
+    assert_eq!(run.results, vec![true, false, false]);
+}
+
+#[test]
+fn split_key_reorders() {
+    let run = run_world(4, cfg(), |c| {
+        // All one color; key reverses the rank order.
+        let sub = c.split(0, -(c.rank() as i64)).unwrap().unwrap();
+        sub.rank()
+    });
+    assert_eq!(run.results, vec![3, 2, 1, 0]);
+}
+
+#[test]
+fn stats_count_messages_and_collectives() {
+    let run = run_world(3, cfg(), |c| {
+        c.barrier().unwrap();
+        if c.rank() == 0 {
+            c.send_bytes(1, 0, vec![0; 64]).unwrap();
+        }
+        if c.rank() == 1 {
+            let _ = c.recv_bytes(0, 0).unwrap();
+        }
+        c.barrier().unwrap();
+    });
+    assert_eq!(run.stats.messages, 1);
+    assert_eq!(run.stats.message_bytes, 64);
+    // Each rank counts its entry into each of 2 barriers.
+    assert_eq!(run.stats.collectives, 6);
+}
+
+#[test]
+fn makespan_is_max_clock() {
+    let run = run_world(4, cfg(), |c| {
+        c.advance(Time::from_millis(c.rank() as u64 * 10));
+    });
+    assert_eq!(run.makespan, Time::from_millis(30));
+    assert_eq!(run.clocks.len(), 4);
+}
+
+#[test]
+fn large_world_collectives() {
+    // Exercise the rendezvous machinery with many ranks (the FLASH bench
+    // runs up to 512).
+    let run = run_world(64, cfg(), |c| {
+        let sum = c.allreduce_scalar(ReduceOp::Sum, 1u64).unwrap();
+        c.barrier().unwrap();
+        sum
+    });
+    assert!(run.results.iter().all(|&s| s == 64));
+}

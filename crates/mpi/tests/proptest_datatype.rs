@@ -1,0 +1,163 @@
+//! Property-based tests of the datatype machinery: flattening invariants
+//! and pack/unpack inversion for randomly generated derived datatypes.
+
+use proptest::prelude::*;
+
+use pnetcdf_mpi::{flatten, pack, BaseType, Datatype};
+
+fn arb_base() -> impl Strategy<Value = Datatype> {
+    prop_oneof![
+        Just(Datatype::Base(BaseType::U8)),
+        Just(Datatype::Base(BaseType::I16)),
+        Just(Datatype::Base(BaseType::I32)),
+        Just(Datatype::Base(BaseType::F64)),
+    ]
+}
+
+/// Random derived datatypes with non-negative displacements (the file-view
+/// compatible family), bounded in size.
+fn arb_datatype() -> impl Strategy<Value = Datatype> {
+    let leaf = arb_base();
+    leaf.prop_recursive(3, 64, 8, |inner| {
+        prop_oneof![
+            (1usize..5, inner.clone())
+                .prop_map(|(n, t)| Datatype::contiguous(n, t)),
+            (1usize..4, 1usize..4, 0i64..4, inner.clone()).prop_map(|(c, b, extra, t)| {
+                // stride >= blocklen keeps displacements non-negative and
+                // non-overlapping.
+                Datatype::vector(c, b, b as i64 + extra, t)
+            }),
+            proptest::collection::vec((0i64..16, 1usize..3), 1..4).prop_flat_map({
+                let inner = inner.clone();
+                move |mut blocks| {
+                    // Sort and strictly separate the blocks.
+                    blocks.sort();
+                    let mut next_free = 0i64;
+                    for (d, l) in blocks.iter_mut() {
+                        if *d < next_free {
+                            *d = next_free;
+                        }
+                        next_free = *d + *l as i64;
+                    }
+                    inner.clone().prop_map(move |t| Datatype::indexed(blocks.clone(), t))
+                }
+            }),
+            (1u64..64, inner.clone()).prop_map(|(extra, t)| {
+                let ext = t.extent() + extra;
+                Datatype::resized(0, ext, t)
+            }),
+            (1u64..5, 1u64..5, inner).prop_map(|(rows, cols, t)| {
+                let sub_r = 1 + rows / 2;
+                let sub_c = 1 + cols / 2;
+                Datatype::subarray(
+                    &[rows + 2, cols + 2],
+                    &[sub_r, sub_c],
+                    &[rows + 2 - sub_r, cols + 2 - sub_c],
+                    t,
+                )
+                .unwrap()
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn flatten_total_equals_size(t in arb_datatype()) {
+        let segs = flatten::flatten(&t);
+        let total: u64 = segs.iter().map(|s| s.len).sum();
+        prop_assert_eq!(total, t.size());
+    }
+
+    #[test]
+    fn flatten_stays_within_true_bounds(t in arb_datatype()) {
+        // true_bounds is computed recursively, flatten iteratively — two
+        // independent calculations that must agree on the envelope.
+        let (lb, ub) = t.true_bounds();
+        for s in flatten::flatten(&t) {
+            prop_assert!(s.offset >= lb, "segment {s:?} below true lb {lb}");
+            prop_assert!(s.end() <= ub, "segment {s:?} above true ub {ub}");
+        }
+    }
+
+    #[test]
+    fn true_bounds_are_tight(t in arb_datatype()) {
+        let segs = flatten::flatten(&t);
+        if segs.is_empty() {
+            return Ok(());
+        }
+        let (lb, ub) = t.true_bounds();
+        let min = segs.iter().map(|s| s.offset).min().unwrap();
+        let max = segs.iter().map(|s| s.end()).max().unwrap();
+        prop_assert_eq!(lb, min);
+        prop_assert_eq!(ub, max);
+    }
+
+    #[test]
+    fn flatten_is_coalesced(t in arb_datatype()) {
+        let segs = flatten::flatten(&t);
+        for w in segs.windows(2) {
+            prop_assert!(
+                w[0].end() != w[1].offset,
+                "adjacent segments not merged: {:?}",
+                w
+            );
+        }
+    }
+
+    #[test]
+    fn contiguous_iff_single_segment_spanning(t in arb_datatype()) {
+        let segs = flatten::flatten(&t);
+        if t.is_contiguous() && t.size() > 0 {
+            prop_assert_eq!(segs.len(), 1);
+            prop_assert_eq!(segs[0].len, t.size());
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip(t in arb_datatype(), count in 1usize..4) {
+        // The generated family has lb >= 0, so a buffer of count*extent
+        // bytes addressed from 0 is always sufficient.
+        let (lb, ub) = t.true_bounds();
+        prop_assume!(lb >= 0);
+        // The last instance is shifted by (count-1)*extent; its typemap
+        // reaches up to true_ub beyond that.
+        let buflen = (t.extent() as usize) * (count - 1) + ub.max(0) as usize + 8;
+        let src: Vec<u8> = (0..buflen).map(|i| (i * 131 % 251) as u8).collect();
+
+        let packed = pack::pack(&src, count, &t).unwrap();
+        prop_assert_eq!(packed.len() as u64, t.size() * count as u64);
+
+        let mut dst = vec![0u8; buflen];
+        let used = pack::unpack(&packed, &mut dst, count, &t).unwrap();
+        prop_assert_eq!(used, packed.len());
+
+        // Unpacked bytes agree with the source exactly on the typemap.
+        let segs = flatten::flatten_n(&t, count);
+        for s in &segs {
+            let lo = s.offset as usize;
+            let hi = lo + s.len as usize;
+            prop_assert_eq!(&dst[lo..hi], &src[lo..hi]);
+        }
+        // And are zero off the typemap.
+        let mut on_map = vec![false; buflen];
+        for s in &segs {
+            let (lo, hi) = (s.offset as usize, (s.offset + s.len as i64) as usize);
+            on_map[lo..hi].fill(true);
+        }
+        for (i, &b) in dst.iter().enumerate() {
+            if !on_map[i] {
+                prop_assert_eq!(b, 0, "byte {} written outside the typemap", i);
+            }
+        }
+    }
+
+    #[test]
+    fn extent_is_at_least_size_for_nonneg_lb(t in arb_datatype()) {
+        let (lb, _) = t.bounds();
+        prop_assume!(lb >= 0);
+        prop_assert!(t.extent() >= t.size());
+    }
+}

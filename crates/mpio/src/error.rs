@@ -1,0 +1,44 @@
+//! Error type for the MPI-IO layer.
+
+use std::fmt;
+
+use pnetcdf_mpi::MpiError;
+
+/// Errors surfaced by MPI-IO operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpioError {
+    /// Propagated MPI failure (poisoned world, bad rank, ...).
+    Mpi(MpiError),
+    /// The file does not exist / already exists / mode conflict.
+    Access(String),
+    /// Bad argument (negative offset, view mismatch, buffer too small...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for MpioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpioError::Mpi(e) => write!(f, "MPI error: {e}"),
+            MpioError::Access(msg) => write!(f, "file access error: {msg}"),
+            MpioError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MpioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MpioError::Mpi(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MpiError> for MpioError {
+    fn from(e: MpiError) -> Self {
+        MpioError::Mpi(e)
+    }
+}
+
+/// Result alias for MPI-IO operations.
+pub type MpioResult<T> = Result<T, MpioError>;

@@ -1,0 +1,358 @@
+//! `MPI_File`: open/close, views, independent and collective data access.
+
+use std::sync::Arc;
+
+use pnetcdf_mpi::{pack, Comm, Datatype, Info};
+use pnetcdf_pfs::{Pfs, PfsFile};
+
+use crate::error::{MpioError, MpioResult};
+use crate::hints::Hints;
+use crate::sieve;
+use crate::twophase::{self, TwoPhaseParams};
+use crate::view::{runs_total, FileView, Run};
+
+/// How to open the file (`MPI_MODE_*` combinations we support).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpenMode {
+    /// Create or truncate, read-write (`CREATE | RDWR`).
+    Create,
+    /// Create, failing if the file exists (`CREATE | EXCL | RDWR`).
+    CreateExcl,
+    /// Open existing, read-write (`RDWR`).
+    ReadWrite,
+    /// Open existing, read-only (`RDONLY`).
+    ReadOnly,
+}
+
+/// An open MPI-IO file handle (per rank).
+pub struct MpiFile {
+    comm: Comm,
+    file: PfsFile,
+    view: FileView,
+    hints: Hints,
+    readonly: bool,
+}
+
+impl MpiFile {
+    /// Collectively open `name` on `pfs` (`MPI_File_open`). The namespace
+    /// operation happens exactly once (at the last arriver); every rank
+    /// receives the same handle or the same error.
+    pub fn open(
+        comm: &Comm,
+        pfs: &Pfs,
+        name: &str,
+        mode: OpenMode,
+        info: &Info,
+    ) -> MpioResult<MpiFile> {
+        let hints = Hints::from_info(info);
+        let env = comm.coll_env();
+        let pfs = pfs.clone();
+        let name_owned = name.to_string();
+        let res: Arc<Result<PfsFile, String>> = comm.collective(Vec::new(), move |_| {
+            let cost = env.config.network.barrier(env.size()) + env.config.cpu.metadata_op;
+            env.sync_max(cost);
+            match mode {
+                OpenMode::Create => Ok(pfs.create(&name_owned)),
+                OpenMode::CreateExcl => {
+                    if pfs.exists(&name_owned) {
+                        Err(format!("file '{name_owned}' already exists"))
+                    } else {
+                        Ok(pfs.create(&name_owned))
+                    }
+                }
+                OpenMode::ReadWrite | OpenMode::ReadOnly => pfs
+                    .open(&name_owned)
+                    .ok_or_else(|| format!("file '{name_owned}' does not exist")),
+            }
+        })?;
+        match &*res {
+            Ok(f) => Ok(MpiFile {
+                comm: comm.clone(),
+                file: f.clone(),
+                view: FileView::contiguous(),
+                hints,
+                readonly: mode == OpenMode::ReadOnly,
+            }),
+            Err(e) => Err(MpioError::Access(e.clone())),
+        }
+    }
+
+    /// The communicator the file was opened on.
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// The underlying PFS file (for export/diagnostics).
+    pub fn raw(&self) -> &PfsFile {
+        &self.file
+    }
+
+    /// Resolved hints.
+    pub fn hints(&self) -> &Hints {
+        &self.hints
+    }
+
+    /// Current file size (`MPI_File_get_size`).
+    pub fn size(&self) -> u64 {
+        self.file.size()
+    }
+
+    /// Collectively extend the file (`MPI_File_set_size`, grow only).
+    pub fn set_size(&self, size: u64) -> MpioResult<()> {
+        let env = self.comm.coll_env();
+        let file = self.file.clone();
+        self.comm
+            .collective(Vec::new(), move |_| {
+                file.grow_to(size);
+                let cost = env.config.network.barrier(env.size()) + env.config.cpu.metadata_op;
+                env.sync_max(cost);
+            })
+            .map(|_| ())
+            .map_err(MpioError::from)
+    }
+
+    /// `MPI_File_sync`: flush + synchronize. The simulated PFS has no
+    /// volatile cache, so this is a barrier plus a metadata operation.
+    pub fn sync(&self) -> MpioResult<()> {
+        let env = self.comm.coll_env();
+        self.comm
+            .collective(Vec::new(), move |_| {
+                let cost = env.config.network.barrier(env.size()) + env.config.cpu.metadata_op;
+                env.sync_max(cost);
+            })
+            .map(|_| ())
+            .map_err(MpioError::from)
+    }
+
+    /// Collectively set the file view (`MPI_File_set_view`).
+    pub fn set_view(&mut self, disp: u64, etype: &Datatype, filetype: &Datatype) -> MpioResult<()> {
+        let view = FileView::new(disp, etype, filetype)?;
+        self.comm.barrier()?;
+        self.view = view;
+        Ok(())
+    }
+
+    /// Set the view without synchronization. Real PnetCDF achieves
+    /// independent data mode by keeping a second handle opened on
+    /// `MPI_COMM_SELF`; changing the view on that handle involves no other
+    /// rank. This method models that path.
+    pub fn set_view_local(
+        &mut self,
+        disp: u64,
+        etype: &Datatype,
+        filetype: &Datatype,
+    ) -> MpioResult<()> {
+        self.view = FileView::new(disp, etype, filetype)?;
+        Ok(())
+    }
+
+    /// The current view.
+    pub fn view(&self) -> &FileView {
+        &self.view
+    }
+
+    fn check_writable(&self) -> MpioResult<()> {
+        if self.readonly {
+            return Err(MpioError::Access("file is opened read-only".into()));
+        }
+        Ok(())
+    }
+
+    /// Pack the memory buffer described by `(buf, count, memtype)` into a
+    /// contiguous staging vector, charging pack CPU time for noncontiguous
+    /// layouts.
+    fn stage(&self, buf: &[u8], count: usize, memtype: &Datatype) -> MpioResult<Vec<u8>> {
+        let bytes = memtype.size() as usize * count;
+        if memtype.is_contiguous() && memtype.lb() == 0 {
+            if buf.len() < bytes {
+                return Err(MpioError::InvalidArgument(format!(
+                    "memory buffer has {} bytes, datatype needs {bytes}",
+                    buf.len()
+                )));
+            }
+            return Ok(buf[..bytes].to_vec());
+        }
+        let data = pack::pack(buf, count, memtype)?;
+        self.comm
+            .advance(self.comm.config().cpu.pack(data.len(), 1.0));
+        Ok(data)
+    }
+
+    fn params(&self) -> TwoPhaseParams {
+        let cfg = self.comm.config();
+        TwoPhaseParams {
+            cb_buffer_size: self.hints.cb_buffer_size,
+            naggs: self.hints.aggregators(self.comm.size(), cfg.io_servers),
+            stripe: cfg.stripe_size as u64,
+        }
+    }
+
+    // ---- independent data access ------------------------------------------
+
+    /// Independent write at `offset` (in etypes of the current view)
+    /// (`MPI_File_write_at`). Returns bytes written.
+    pub fn write_at(
+        &self,
+        offset: u64,
+        buf: &[u8],
+        count: usize,
+        memtype: &Datatype,
+    ) -> MpioResult<usize> {
+        self.check_writable()?;
+        let data = self.stage(buf, count, memtype)?;
+        let runs = self.view.map(offset, data.len() as u64)?;
+        let ds = self.hints.ds_write.resolve(true);
+        let t = sieve::write(
+            &self.file,
+            self.hints.ind_wr_buffer_size,
+            ds,
+            self.comm.now(),
+            &runs,
+            &data,
+        );
+        self.comm.advance_to(t);
+        Ok(data.len())
+    }
+
+    /// Independent read at `offset` (`MPI_File_read_at`). Returns bytes read.
+    pub fn read_at(
+        &self,
+        offset: u64,
+        buf: &mut [u8],
+        count: usize,
+        memtype: &Datatype,
+    ) -> MpioResult<usize> {
+        let want = memtype.size() as usize * count;
+        let runs = self.view.map(offset, want as u64)?;
+        let ds = self.hints.ds_read.resolve(true);
+        let (data, t) = sieve::read(
+            &self.file,
+            self.hints.ind_rd_buffer_size,
+            ds,
+            self.comm.now(),
+            &runs,
+        );
+        self.comm.advance_to(t);
+        if memtype.is_contiguous() && memtype.lb() == 0 {
+            if buf.len() < data.len() {
+                return Err(MpioError::InvalidArgument(format!(
+                    "memory buffer has {} bytes, read produced {}",
+                    buf.len(),
+                    data.len()
+                )));
+            }
+            buf[..data.len()].copy_from_slice(&data);
+        } else {
+            pack::unpack(&data, buf, count, memtype)?;
+            self.comm
+                .advance(self.comm.config().cpu.pack(data.len(), 1.0));
+        }
+        Ok(want)
+    }
+
+    // ---- collective data access ----------------------------------------------
+
+    /// Collective write (`MPI_File_write_at_all`): two-phase I/O unless
+    /// disabled by `romio_cb_write`. Returns bytes written.
+    pub fn write_at_all(
+        &self,
+        offset: u64,
+        buf: &[u8],
+        count: usize,
+        memtype: &Datatype,
+    ) -> MpioResult<usize> {
+        self.check_writable()?;
+        let data = self.stage(buf, count, memtype)?;
+        let nbytes = data.len();
+        let runs = self.view.map(offset, nbytes as u64)?;
+        let parcel = twophase::encode_write_req(&runs, &data);
+        drop(data);
+
+        let env = self.comm.coll_env();
+        let file = self.file.clone();
+        let p = self.params();
+        let cb = self.hints.cb_write.resolve(true);
+        let (wr_buf, ds) = (
+            self.hints.ind_wr_buffer_size,
+            self.hints.ds_write.resolve(true),
+        );
+        self.comm.collective(vec![parcel], move |mut deps| {
+            let parcels: Vec<Vec<u8>> = deps
+                .iter_mut()
+                .map(|d| std::mem::take(&mut d[0]))
+                .collect();
+            let reqs: Vec<(Vec<Run>, &[u8])> =
+                parcels.iter().map(|pc| twophase::decode_req(pc)).collect();
+            if cb {
+                twophase::write_all(&env, &file, &p, &reqs);
+            } else {
+                // Collective buffering disabled: every rank writes its own
+                // pieces independently (the ablation baseline).
+                for (i, (runs, data)) in reqs.iter().enumerate() {
+                    let w = env.group[i];
+                    let t = sieve::write(&file, wr_buf, ds, env.clocks.now(w), runs, data);
+                    env.clocks.advance_to(w, t);
+                }
+            }
+        })?;
+        Ok(nbytes)
+    }
+
+    /// Collective read (`MPI_File_read_at_all`). Returns bytes read.
+    pub fn read_at_all(
+        &self,
+        offset: u64,
+        buf: &mut [u8],
+        count: usize,
+        memtype: &Datatype,
+    ) -> MpioResult<usize> {
+        let want = memtype.size() as usize * count;
+        let runs = self.view.map(offset, want as u64)?;
+        let parcel = twophase::encode_read_req(&runs);
+
+        let env = self.comm.coll_env();
+        let file = self.file.clone();
+        let p = self.params();
+        let cb = self.hints.cb_read.resolve(true);
+        let (rd_buf, ds) = (
+            self.hints.ind_rd_buffer_size,
+            self.hints.ds_read.resolve(true),
+        );
+        let me = self.comm.rank();
+        let res: Arc<Vec<Vec<u8>>> = self.comm.collective(vec![parcel], move |mut deps| {
+            let reqs: Vec<Vec<Run>> = deps
+                .iter_mut()
+                .map(|d| twophase::decode_req(&std::mem::take(&mut d[0])).0)
+                .collect();
+            if cb {
+                twophase::read_all(&env, &file, &p, &reqs).0
+            } else {
+                let mut outs = Vec::with_capacity(reqs.len());
+                for (i, runs) in reqs.iter().enumerate() {
+                    let w = env.group[i];
+                    let (data, t) = sieve::read(&file, rd_buf, ds, env.clocks.now(w), runs);
+                    env.clocks.advance_to(w, t);
+                    outs.push(data);
+                }
+                outs
+            }
+        })?;
+        let data = &res[me];
+        debug_assert_eq!(data.len() as u64, runs_total(&runs));
+        if memtype.is_contiguous() && memtype.lb() == 0 {
+            if buf.len() < data.len() {
+                return Err(MpioError::InvalidArgument(format!(
+                    "memory buffer has {} bytes, read produced {}",
+                    buf.len(),
+                    data.len()
+                )));
+            }
+            buf[..data.len()].copy_from_slice(data);
+        } else {
+            pack::unpack(data, buf, count, memtype)?;
+            self.comm
+                .advance(self.comm.config().cpu.pack(data.len(), 1.0));
+        }
+        Ok(want)
+    }
+}

@@ -1,0 +1,169 @@
+//! MPI-IO hint handling (the ROMIO hint set).
+//!
+//! Hints arrive in an [`pnetcdf_mpi::Info`] at open time. We implement the
+//! subset that controls the two optimizations the paper leans on — two-phase
+//! collective buffering (`cb_*`, `romio_cb_*`) and data sieving
+//! (`ind_*_buffer_size`, `romio_ds_*`) — with ROMIO's defaults.
+
+use pnetcdf_mpi::Info;
+
+/// Tri-state toggle used by `romio_cb_write` etc.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Toggle {
+    Enable,
+    Disable,
+    /// Let the implementation decide (ROMIO's "automatic").
+    Auto,
+}
+
+impl Toggle {
+    fn parse(s: Option<&str>) -> Toggle {
+        match s {
+            Some("enable") | Some("true") => Toggle::Enable,
+            Some("disable") | Some("false") => Toggle::Disable,
+            _ => Toggle::Auto,
+        }
+    }
+
+    /// Resolve with the given default for `Auto`.
+    pub fn resolve(self, auto_default: bool) -> bool {
+        match self {
+            Toggle::Enable => true,
+            Toggle::Disable => false,
+            Toggle::Auto => auto_default,
+        }
+    }
+}
+
+/// Parsed hints, with ROMIO-era defaults.
+#[derive(Clone, Debug)]
+pub struct Hints {
+    /// Collective buffering buffer size per aggregator (`cb_buffer_size`).
+    pub cb_buffer_size: usize,
+    /// Number of aggregator ranks (`cb_nodes`); `None` = choose at open
+    /// time (min of communicator size and I/O server count).
+    pub cb_nodes: Option<usize>,
+    /// Enable two-phase on collective writes (`romio_cb_write`).
+    pub cb_write: Toggle,
+    /// Enable two-phase on collective reads (`romio_cb_read`).
+    pub cb_read: Toggle,
+    /// Data-sieving buffer for independent reads (`ind_rd_buffer_size`).
+    pub ind_rd_buffer_size: usize,
+    /// Data-sieving buffer for independent writes (`ind_wr_buffer_size`).
+    pub ind_wr_buffer_size: usize,
+    /// Enable data sieving on independent writes (`romio_ds_write`).
+    pub ds_write: Toggle,
+    /// Enable data sieving on independent reads (`romio_ds_read`).
+    pub ds_read: Toggle,
+}
+
+impl Default for Hints {
+    fn default() -> Hints {
+        Hints {
+            cb_buffer_size: 4 * 1024 * 1024,
+            cb_nodes: None,
+            cb_write: Toggle::Auto,
+            cb_read: Toggle::Auto,
+            ind_rd_buffer_size: 4 * 1024 * 1024,
+            ind_wr_buffer_size: 512 * 1024,
+            ds_write: Toggle::Auto,
+            ds_read: Toggle::Auto,
+        }
+    }
+}
+
+impl Hints {
+    /// Parse hints from an info object, falling back to defaults.
+    pub fn from_info(info: &Info) -> Hints {
+        let d = Hints::default();
+        Hints {
+            cb_buffer_size: info
+                .get_usize("cb_buffer_size")
+                .filter(|&v| v > 0)
+                .unwrap_or(d.cb_buffer_size),
+            cb_nodes: info.get_usize("cb_nodes").filter(|&v| v > 0),
+            cb_write: Toggle::parse(info.get("romio_cb_write")),
+            cb_read: Toggle::parse(info.get("romio_cb_read")),
+            ind_rd_buffer_size: info
+                .get_usize("ind_rd_buffer_size")
+                .filter(|&v| v > 0)
+                .unwrap_or(d.ind_rd_buffer_size),
+            ind_wr_buffer_size: info
+                .get_usize("ind_wr_buffer_size")
+                .filter(|&v| v > 0)
+                .unwrap_or(d.ind_wr_buffer_size),
+            ds_write: Toggle::parse(info.get("romio_ds_write")),
+            ds_read: Toggle::parse(info.get("romio_ds_read")),
+        }
+    }
+
+    /// Number of aggregators for a communicator of `nprocs` over
+    /// `io_servers` servers.
+    ///
+    /// ROMIO's default is one aggregator per compute *node*; with the
+    /// multi-way SMP nodes of the paper's testbeds that is at least 8 even
+    /// on small runs, and never fewer than the I/O server count. We use
+    /// `max(io_servers, 8)` capped at the communicator size.
+    pub fn aggregators(&self, nprocs: usize, io_servers: usize) -> usize {
+        self.cb_nodes
+            .unwrap_or_else(|| io_servers.max(8))
+            .min(nprocs)
+            .max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_without_hints() {
+        let h = Hints::from_info(&Info::new());
+        assert_eq!(h.cb_buffer_size, 4 * 1024 * 1024);
+        assert_eq!(h.cb_nodes, None);
+        assert_eq!(h.cb_write, Toggle::Auto);
+        assert!(h.cb_write.resolve(true));
+        assert!(!h.cb_write.resolve(false));
+    }
+
+    #[test]
+    fn parses_romio_hints() {
+        let info = Info::new()
+            .with("cb_buffer_size", "1048576")
+            .with("cb_nodes", "3")
+            .with("romio_cb_write", "disable")
+            .with("romio_ds_read", "enable");
+        let h = Hints::from_info(&info);
+        assert_eq!(h.cb_buffer_size, 1048576);
+        assert_eq!(h.cb_nodes, Some(3));
+        assert_eq!(h.cb_write, Toggle::Disable);
+        assert!(!h.cb_write.resolve(true));
+        assert_eq!(h.ds_read, Toggle::Enable);
+    }
+
+    #[test]
+    fn invalid_hints_fall_back() {
+        let info = Info::new()
+            .with("cb_buffer_size", "zero")
+            .with("cb_nodes", "0");
+        let h = Hints::from_info(&info);
+        assert_eq!(h.cb_buffer_size, 4 * 1024 * 1024);
+        assert_eq!(h.cb_nodes, None);
+    }
+
+    #[test]
+    fn aggregator_selection() {
+        let h = Hints::default();
+        assert_eq!(h.aggregators(32, 12), 12);
+        assert_eq!(h.aggregators(4, 12), 4);
+        // Few I/O servers: the per-node floor of 8 applies.
+        assert_eq!(h.aggregators(32, 2), 8);
+        assert_eq!(h.aggregators(4, 2), 4);
+        let h2 = Hints {
+            cb_nodes: Some(2),
+            ..Hints::default()
+        };
+        assert_eq!(h2.aggregators(32, 12), 2);
+        assert_eq!(h2.aggregators(1, 12), 1);
+    }
+}

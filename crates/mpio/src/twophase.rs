@@ -1,0 +1,531 @@
+//! Two-phase collective I/O (Rosario/Bordawekar/Choudhary; Thakur's extended
+//! two-phase method — the ROMIO algorithm the paper builds on).
+//!
+//! Phase 1 — *exchange*: the aggregate byte range requested by all ranks is
+//! partitioned into contiguous **file domains**, one per aggregator rank;
+//! every rank ships the parts of its request that fall in each domain to
+//! that domain's aggregator.
+//!
+//! Phase 2 — *access*: each aggregator walks its domain in collective-buffer
+//! sized windows. In a window, the pieces contributed by all ranks are
+//! merged; if they cover one contiguous interval the aggregator issues a
+//! single large request, otherwise it performs read-modify-write of the
+//! covered extent (writes) or one spanning read (reads). Either way, the
+//! many small noncontiguous per-rank requests become a few large ordered
+//! ones — this is the optimization responsible for PnetCDF's scaling in
+//! Figures 6 and 7.
+//!
+//! The whole algorithm runs inside the last-arriver closure of a collective
+//! rendezvous ([`pnetcdf_mpi::comm::Comm::collective`]), which makes the
+//! virtual-time accounting deterministic: aggregator timelines all start at
+//! the synchronized time `t0` and advance through the shared server queues
+//! in rank order.
+
+use hpc_sim::Time;
+use pnetcdf_mpi::CollEnv;
+use pnetcdf_pfs::PfsFile;
+
+use crate::view::{runs_total, Run};
+
+/// Parameters resolved from hints at the call site.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoPhaseParams {
+    /// Collective buffer (window) size per aggregator.
+    pub cb_buffer_size: usize,
+    /// Number of aggregators.
+    pub naggs: usize,
+    /// File system stripe size (domain boundaries align to it).
+    pub stripe: u64,
+}
+
+// ---- request parcels ------------------------------------------------------
+
+/// Encode a write request (runs + packed data) into a deposit parcel.
+pub fn encode_write_req(runs: &[Run], data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + runs.len() * 16 + data.len());
+    out.extend_from_slice(&(runs.len() as u64).to_ne_bytes());
+    for &(off, len) in runs {
+        out.extend_from_slice(&off.to_ne_bytes());
+        out.extend_from_slice(&len.to_ne_bytes());
+    }
+    out.extend_from_slice(data);
+    out
+}
+
+/// Encode a read request (runs only).
+pub fn encode_read_req(runs: &[Run]) -> Vec<u8> {
+    encode_write_req(runs, &[])
+}
+
+/// Decode a parcel into `(runs, data)`; `data` borrows the parcel.
+pub fn decode_req(parcel: &[u8]) -> (Vec<Run>, &[u8]) {
+    let n = u64::from_ne_bytes(parcel[..8].try_into().unwrap()) as usize;
+    let mut runs = Vec::with_capacity(n);
+    let mut pos = 8;
+    for _ in 0..n {
+        let off = u64::from_ne_bytes(parcel[pos..pos + 8].try_into().unwrap());
+        let len = u64::from_ne_bytes(parcel[pos + 8..pos + 16].try_into().unwrap());
+        runs.push((off, len));
+        pos += 16;
+    }
+    (runs, &parcel[pos..])
+}
+
+// ---- file domains -----------------------------------------------------------
+
+/// Partition `[gmin, gmax)` into at most `naggs` contiguous domains whose
+/// interior boundaries are *absolute* multiples of `stripe`.
+///
+/// Absolute alignment matters: GPFS-style file systems read-modify-write
+/// partial blocks, so domain (and window) boundaries must coincide with
+/// file-system block boundaries, not with the (arbitrary) start of the
+/// aggregate request. Only the outermost edges at `gmin`/`gmax` can be
+/// unaligned.
+pub fn file_domains(gmin: u64, gmax: u64, naggs: usize, stripe: u64) -> Vec<(u64, u64)> {
+    assert!(gmax >= gmin);
+    let span = gmax - gmin;
+    if span == 0 {
+        return Vec::new();
+    }
+    let raw = span.div_ceil(naggs as u64);
+    let dsz = raw.div_ceil(stripe).max(1) * stripe;
+    // First interior boundary: the first absolute stripe multiple > gmin.
+    let first_boundary = (gmin / stripe + 1) * stripe;
+    let mut out = Vec::new();
+    let mut lo = gmin;
+    let mut boundary = first_boundary + (dsz - stripe);
+    while lo < gmax {
+        let hi = boundary.min(gmax);
+        if hi > lo {
+            out.push((lo, hi));
+        }
+        lo = hi;
+        boundary += dsz;
+    }
+    out
+}
+
+/// Total requested bytes falling inside each domain, summed over all ranks.
+/// `domains` must be sorted and disjoint; each rank's `runs` sorted.
+pub fn bytes_per_domain(all_runs: &[Vec<Run>], domains: &[(u64, u64)]) -> Vec<u64> {
+    let mut acc = vec![0u64; domains.len()];
+    for runs in all_runs {
+        let mut d = 0usize;
+        for &(off, len) in runs {
+            let mut lo = off;
+            let end = off + len;
+            while lo < end && d < domains.len() {
+                let (dlo, dhi) = domains[d];
+                if end <= dlo {
+                    break;
+                }
+                if lo >= dhi {
+                    d += 1;
+                    continue;
+                }
+                let take = end.min(dhi) - lo.max(dlo);
+                acc[d] += take;
+                lo = lo.max(dlo) + take;
+                if lo >= dhi {
+                    d += 1;
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Bytes of one rank's request that overlap one domain.
+fn overlap_bytes(runs: &[Run], (dlo, dhi): (u64, u64)) -> u64 {
+    let mut acc = 0u64;
+    for &(off, len) in runs {
+        let end = off + len;
+        if end <= dlo {
+            continue;
+        }
+        if off >= dhi {
+            break;
+        }
+        acc += end.min(dhi) - off.max(dlo);
+    }
+    acc
+}
+
+/// Exchange-phase wire cost: aggregator `a` owns `domains[a]` and *is* rank
+/// `a` (ROMIO's default aggregator ranklist), so bytes a rank requests
+/// within its own domain move by memcpy, not over the network. This is why
+/// Z-ish partitions — whose blocks align with the file domains — exchange
+/// less than X-ish partitions (the paper's "different access contiguity").
+fn exchange_cost(
+    env: &CollEnv,
+    all_runs: &[Vec<Run>],
+    totals: &[u64],
+    domains: &[(u64, u64)],
+) -> Time {
+    let n = env.size();
+    let mut max_rank_wire = 0u64; // busiest non-aggregator-side endpoint
+    for (r, runs) in all_runs.iter().enumerate() {
+        let local = domains
+            .get(r)
+            .map(|&d| overlap_bytes(runs, d))
+            .unwrap_or(0);
+        max_rank_wire = max_rank_wire.max(totals[r] - local);
+    }
+    let per_domain = bytes_per_domain(all_runs, domains);
+    let mut max_agg_wire = 0u64;
+    for (a, &bytes) in per_domain.iter().enumerate() {
+        let local = all_runs
+            .get(a)
+            .map(|runs| overlap_bytes(runs, domains[a]))
+            .unwrap_or(0);
+        max_agg_wire = max_agg_wire.max(bytes - local);
+    }
+    env.config
+        .network
+        .alltoallv(max_rank_wire as usize, max_agg_wire as usize, n)
+}
+
+// ---- window piece gathering -------------------------------------------------
+
+/// A contiguous piece of one rank's request inside the current window.
+#[derive(Clone, Copy, Debug)]
+struct Piece {
+    off: u64,
+    len: u64,
+    rank: usize,
+    /// Position of this piece's bytes in the rank's packed buffer.
+    src_pos: u64,
+}
+
+/// Per-rank scan cursor over its sorted run list.
+#[derive(Clone, Copy, Default)]
+struct Cursor {
+    idx: usize,
+    consumed: u64,
+    src_pos: u64,
+}
+
+/// Advance `cur` over `runs`, emitting pieces up to file offset `whi`.
+fn take_pieces(runs: &[Run], cur: &mut Cursor, whi: u64, rank: usize, out: &mut Vec<Piece>) {
+    while cur.idx < runs.len() {
+        let (off, len) = runs[cur.idx];
+        let start = off + cur.consumed;
+        if start >= whi {
+            return;
+        }
+        let end = (off + len).min(whi);
+        out.push(Piece {
+            off: start,
+            len: end - start,
+            rank,
+            src_pos: cur.src_pos + cur.consumed,
+        });
+        if end == off + len {
+            cur.src_pos += len;
+            cur.consumed = 0;
+            cur.idx += 1;
+        } else {
+            cur.consumed = end - off;
+            return;
+        }
+    }
+}
+
+/// Merge sorted-by-offset intervals into maximal contiguous runs.
+fn merge_coverage(mut intervals: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    intervals.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for (off, len) in intervals {
+        if let Some(last) = out.last_mut() {
+            let last_end = last.0 + last.1;
+            if off <= last_end {
+                let end = (off + len).max(last_end);
+                last.1 = end - last.0;
+                continue;
+            }
+        }
+        out.push((off, len));
+    }
+    out
+}
+
+// ---- the two phases -----------------------------------------------------------
+
+/// Collective write: the finish-closure body. `reqs[r]` is rank `r`'s
+/// `(runs, packed data)`. Returns the synchronized completion time.
+pub fn write_all(
+    env: &CollEnv,
+    file: &PfsFile,
+    p: &TwoPhaseParams,
+    reqs: &[(Vec<Run>, &[u8])],
+) -> Time {
+    let n = env.size();
+    let total: u64 = reqs.iter().map(|(r, _)| runs_total(r)).sum();
+    if total == 0 {
+        return env.sync_max(env.config.network.barrier(n));
+    }
+    let gmin = reqs
+        .iter()
+        .filter_map(|(r, _)| r.first().map(|&(o, _)| o))
+        .min()
+        .unwrap();
+    let gmax = reqs
+        .iter()
+        .filter_map(|(r, _)| r.last().map(|&(o, l)| o + l))
+        .max()
+        .unwrap();
+    let domains = file_domains(gmin, gmax, p.naggs, p.stripe);
+
+    // Phase 1: exchange. Every rank ships the parts of its data that do not
+    // already live at their aggregator (aggregator a = rank a).
+    let all_runs: Vec<Vec<Run>> = reqs.iter().map(|(r, _)| r.clone()).collect();
+    let totals: Vec<u64> = reqs.iter().map(|(r, _)| runs_total(r)).collect();
+    let t0 = env.sync_max(exchange_cost(env, &all_runs, &totals, &domains));
+
+    // Phase 2: each aggregator walks its domain window by window. The
+    // aggregators run *concurrently*, so their requests must reach the
+    // shared server queues interleaved in time order, not domain-major
+    // order (which would falsely serialize the whole access phase).
+    // Pieces are gathered first in one offset-ordered cursor pass, then the
+    // windows are timed in round-robin order across aggregators.
+    let windows = gather_windows(&all_runs, &domains, p.cb_buffer_size);
+    let rounds = windows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut t_agg = vec![t0; windows.len()];
+    for j in 0..rounds {
+        for (a, agg_windows) in windows.iter().enumerate() {
+            let Some(pieces) = agg_windows.get(j) else {
+                continue;
+            };
+            let mut t_a = t_agg[a];
+            let piece_bytes: u64 = pieces.iter().map(|pc| pc.len).sum();
+            // Assembling the collective buffer is memcpy work.
+            t_a += env.config.cpu.pack(piece_bytes as usize, 1.0);
+
+            let coverage = merge_coverage(pieces.iter().map(|pc| (pc.off, pc.len)).collect());
+            if coverage.len() == 1 {
+                // Fully contiguous: assemble and write once.
+                let (clo, clen) = coverage[0];
+                let mut buf = vec![0u8; clen as usize];
+                overlay(&mut buf, clo, pieces, reqs);
+                t_a = file.write_at(t_a, clo, &buf);
+            } else {
+                // Holes: read-modify-write the covered extent.
+                let clo = coverage[0].0;
+                let cend = coverage.last().map(|&(o, l)| o + l).unwrap();
+                let mut buf = vec![0u8; (cend - clo) as usize];
+                t_a = file.read_at(t_a, clo, &mut buf);
+                overlay(&mut buf, clo, pieces, reqs);
+                t_a = file.write_at(t_a, clo, &buf);
+            }
+            t_agg[a] = t_a;
+        }
+    }
+    let t_end = t_agg.into_iter().fold(t0, Time::max);
+    env.set_all(t_end);
+    t_end
+}
+
+/// Pre-gather every aggregator's windows' piece lists: one offset-ordered
+/// pass with per-rank cursors. `result[a][j]` holds the pieces of window
+/// `j` within domain `a` (empty windows are dropped).
+fn gather_windows(
+    all_runs: &[Vec<Run>],
+    domains: &[(u64, u64)],
+    cb_buffer_size: usize,
+) -> Vec<Vec<Vec<Piece>>> {
+    let mut cursors = vec![Cursor::default(); all_runs.len()];
+    let mut out = Vec::with_capacity(domains.len());
+    let cb = cb_buffer_size as u64;
+    for &(dlo, dhi) in domains {
+        let mut agg_windows = Vec::new();
+        let mut wlo = dlo;
+        while wlo < dhi {
+            // Window boundaries at absolute multiples of the buffer size,
+            // which (for the default hints) are file-system block aligned.
+            let whi = ((wlo / cb + 1) * cb).min(dhi);
+            let mut pieces: Vec<Piece> = Vec::new();
+            for (r, runs) in all_runs.iter().enumerate() {
+                take_pieces(runs, &mut cursors[r], whi, r, &mut pieces);
+            }
+            wlo = whi;
+            if !pieces.is_empty() {
+                agg_windows.push(pieces);
+            }
+        }
+        out.push(agg_windows);
+    }
+    out
+}
+
+/// Copy each piece's bytes from its rank's packed data into `buf` (which
+/// starts at file offset `base`). Pieces are applied in rank order, so
+/// overlapping writes resolve deterministically (highest rank wins).
+fn overlay(buf: &mut [u8], base: u64, pieces: &[Piece], reqs: &[(Vec<Run>, &[u8])]) {
+    for pc in pieces {
+        let src = &reqs[pc.rank].1[pc.src_pos as usize..(pc.src_pos + pc.len) as usize];
+        let lo = (pc.off - base) as usize;
+        buf[lo..lo + pc.len as usize].copy_from_slice(src);
+    }
+}
+
+/// Collective read: the finish-closure body. `reqs[r]` is rank `r`'s run
+/// list. Returns each rank's data (packed in run order) and the completion
+/// time.
+pub fn read_all(
+    env: &CollEnv,
+    file: &PfsFile,
+    p: &TwoPhaseParams,
+    reqs: &[Vec<Run>],
+) -> (Vec<Vec<u8>>, Time) {
+    let n = env.size();
+    let totals: Vec<u64> = reqs.iter().map(|r| runs_total(r)).collect();
+    let grand: u64 = totals.iter().sum();
+    let mut outs: Vec<Vec<u8>> = totals.iter().map(|&t| vec![0u8; t as usize]).collect();
+    if grand == 0 {
+        let t = env.sync_max(env.config.network.barrier(n));
+        return (outs, t);
+    }
+    let gmin = reqs
+        .iter()
+        .filter_map(|r| r.first().map(|&(o, _)| o))
+        .min()
+        .unwrap();
+    let gmax = reqs
+        .iter()
+        .filter_map(|r| r.last().map(|&(o, l)| o + l))
+        .max()
+        .unwrap();
+    let domains = file_domains(gmin, gmax, p.naggs, p.stripe);
+
+    // Offset lists are exchanged up front (small).
+    let meta_bytes = reqs.iter().map(|r| r.len() * 16).max().unwrap_or(0);
+    let t0 = env.sync_max(env.config.network.alltoallv(meta_bytes, meta_bytes, n));
+
+    // Aggregators read their domains concurrently (round-robin timing, as
+    // in `write_all`).
+    let windows = gather_windows(reqs, &domains, p.cb_buffer_size);
+    let rounds = windows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut t_agg = vec![t0; windows.len()];
+    for j in 0..rounds {
+        for (a, agg_windows) in windows.iter().enumerate() {
+            let Some(pieces) = agg_windows.get(j) else {
+                continue;
+            };
+            let mut t_a = t_agg[a];
+            // One spanning read covers every piece in the window (data
+            // sieving at the aggregator).
+            let clo = pieces.iter().map(|pc| pc.off).min().unwrap();
+            let cend = pieces.iter().map(|pc| pc.off + pc.len).max().unwrap();
+            let mut buf = vec![0u8; (cend - clo) as usize];
+            t_a = file.read_at(t_a, clo, &mut buf);
+            let piece_bytes: u64 = pieces.iter().map(|pc| pc.len).sum();
+            t_a += env.config.cpu.pack(piece_bytes as usize, 1.0);
+            for pc in pieces {
+                let lo = (pc.off - clo) as usize;
+                outs[pc.rank][pc.src_pos as usize..(pc.src_pos + pc.len) as usize]
+                    .copy_from_slice(&buf[lo..lo + pc.len as usize]);
+            }
+            t_agg[a] = t_a;
+        }
+    }
+    let t_end = t_agg.into_iter().fold(t0, Time::max);
+
+    // Ship the data back to the requesting ranks (local shares stay put).
+    let t_final = t_end + exchange_cost(env, reqs, &totals, &domains);
+    env.set_all(t_final);
+    (outs, t_final)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parcel_roundtrip() {
+        let runs: Vec<Run> = vec![(5, 10), (100, 3)];
+        let data = vec![1u8; 13];
+        let parcel = encode_write_req(&runs, &data);
+        let (r2, d2) = decode_req(&parcel);
+        assert_eq!(r2, runs);
+        assert_eq!(d2, &data[..]);
+
+        let parcel = encode_read_req(&runs);
+        let (r3, d3) = decode_req(&parcel);
+        assert_eq!(r3, runs);
+        assert!(d3.is_empty());
+    }
+
+    #[test]
+    fn domains_cover_exactly_and_align() {
+        let d = file_domains(100, 10_100, 4, 1000);
+        assert_eq!(d.first().unwrap().0, 100);
+        assert_eq!(d.last().unwrap().1, 10_100);
+        for w in d.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+            // Interior boundaries are *absolute* stripe multiples.
+            assert_eq!(w[0].1 % 1000, 0);
+        }
+        // Alignment of the ragged first domain may cost one extra domain.
+        assert!(d.len() <= 5, "{d:?}");
+    }
+
+    #[test]
+    fn aligned_request_gets_aligned_domains() {
+        let d = file_domains(0, 8000, 4, 1000);
+        assert_eq!(d, vec![(0, 2000), (2000, 4000), (4000, 6000), (6000, 8000)]);
+    }
+
+    #[test]
+    fn empty_span_has_no_domains() {
+        assert!(file_domains(5, 5, 4, 64).is_empty());
+    }
+
+    #[test]
+    fn single_aggregator_gets_everything() {
+        let d = file_domains(0, 1000, 1, 64);
+        assert_eq!(d, vec![(0, 1000)]);
+    }
+
+    #[test]
+    fn bytes_per_domain_splits_runs() {
+        let runs = vec![vec![(0u64, 100u64)], vec![(50, 100)]];
+        let domains = vec![(0u64, 100u64), (100, 200)];
+        assert_eq!(bytes_per_domain(&runs, &domains), vec![150, 50]);
+    }
+
+    #[test]
+    fn merge_coverage_detects_holes() {
+        assert_eq!(merge_coverage(vec![(0, 4), (4, 4)]), vec![(0, 8)]);
+        assert_eq!(
+            merge_coverage(vec![(10, 2), (0, 4)]),
+            vec![(0, 4), (10, 2)]
+        );
+        // Overlaps merge too.
+        assert_eq!(merge_coverage(vec![(0, 6), (4, 4)]), vec![(0, 8)]);
+    }
+
+    #[test]
+    fn take_pieces_tracks_source_positions() {
+        let runs: Vec<Run> = vec![(0, 10), (20, 10)];
+        let mut cur = Cursor::default();
+        let mut pieces = Vec::new();
+        take_pieces(&runs, &mut cur, 5, 0, &mut pieces);
+        assert_eq!(pieces.len(), 1);
+        assert_eq!((pieces[0].off, pieces[0].len, pieces[0].src_pos), (0, 5, 0));
+        pieces.clear();
+        take_pieces(&runs, &mut cur, 25, 0, &mut pieces);
+        // Remainder of run 0 (src 5..10) and start of run 1 (src 10..15).
+        assert_eq!(pieces.len(), 2);
+        assert_eq!((pieces[0].off, pieces[0].len, pieces[0].src_pos), (5, 5, 5));
+        assert_eq!(
+            (pieces[1].off, pieces[1].len, pieces[1].src_pos),
+            (20, 5, 10)
+        );
+        pieces.clear();
+        take_pieces(&runs, &mut cur, u64::MAX, 0, &mut pieces);
+        assert_eq!(
+            (pieces[0].off, pieces[0].len, pieces[0].src_pos),
+            (25, 5, 15)
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! End-to-end MPI-IO tests: multi-rank worlds writing and reading one file
+//! through views, independent ops, and two-phase collective ops.
+
+use hpc_sim::SimConfig;
+use pnetcdf_mpi::{run_world, Datatype, Info};
+use pnetcdf_mpio::{MpiFile, OpenMode};
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+fn cfg() -> SimConfig {
+    SimConfig::test_small()
+}
+
+fn byte_buf(n: usize, seed: u8) -> Vec<u8> {
+    (0..n).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+}
+
+#[test]
+fn collective_open_create_and_reopen() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(4, cfg(), |c| {
+        let f = MpiFile::open(c, &pfs, "f.dat", OpenMode::Create, &Info::new()).unwrap();
+        assert_eq!(f.size(), 0);
+        drop(f);
+        let f2 = MpiFile::open(c, &pfs, "f.dat", OpenMode::ReadWrite, &Info::new()).unwrap();
+        assert_eq!(f2.size(), 0);
+        assert!(
+            MpiFile::open(c, &pfs, "f.dat", OpenMode::CreateExcl, &Info::new()).is_err()
+        );
+        assert!(
+            MpiFile::open(c, &pfs, "nope.dat", OpenMode::ReadOnly, &Info::new()).is_err()
+        );
+    });
+}
+
+#[test]
+fn contiguous_collective_write_then_read() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    let n = 4;
+    let chunk = 8192usize;
+    run_world(n, cfg(), |c| {
+        let f = MpiFile::open(c, &pfs, "cont.dat", OpenMode::Create, &Info::new()).unwrap();
+        let mine = byte_buf(chunk, c.rank() as u8);
+        let mem = Datatype::contiguous(chunk, Datatype::byte());
+        f.write_at_all((c.rank() * chunk) as u64, &mine, 1, &mem)
+            .unwrap();
+
+        let mut back = vec![0u8; chunk];
+        f.read_at_all((c.rank() * chunk) as u64, &mut back, 1, &mem)
+            .unwrap();
+        assert_eq!(back, mine);
+    });
+    // The file as a whole is each rank's pattern in order.
+    let bytes = pfs.open("cont.dat").unwrap().to_bytes();
+    assert_eq!(bytes.len(), n * chunk);
+    for r in 0..n {
+        assert_eq!(&bytes[r * chunk..(r + 1) * chunk], &byte_buf(chunk, r as u8)[..]);
+    }
+}
+
+#[test]
+fn interleaved_views_collective_write() {
+    // Each rank owns every n-th block of 64 bytes (a strided view): the
+    // classic pattern where two-phase I/O shines.
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    let n = 4;
+    let block = 64usize;
+    let blocks_per_rank = 32usize;
+    run_world(n, cfg(), |c| {
+        let mut f = MpiFile::open(c, &pfs, "inter.dat", OpenMode::Create, &Info::new()).unwrap();
+        // Filetype: one block at rank*block, tile extent n*block.
+        let ft = Datatype::resized(
+            0,
+            (n * block) as u64,
+            Datatype::hindexed(
+                vec![((c.rank() * block) as i64, block)],
+                Datatype::byte(),
+            ),
+        );
+        f.set_view(0, &Datatype::byte(), &ft).unwrap();
+        let mine: Vec<u8> = (0..block * blocks_per_rank)
+            .map(|i| (c.rank() * 10 + i / block) as u8)
+            .collect();
+        let mem = Datatype::contiguous(mine.len(), Datatype::byte());
+        f.write_at_all(0, &mine, 1, &mem).unwrap();
+    });
+    let bytes = pfs.open("inter.dat").unwrap().to_bytes();
+    assert_eq!(bytes.len(), n * block * blocks_per_rank);
+    for (i, b) in bytes.iter().enumerate() {
+        let blk = i / block;
+        let rank = blk % n;
+        let round = blk / n;
+        assert_eq!(*b as usize, rank * 10 + round, "byte {i}");
+    }
+}
+
+#[test]
+fn collective_read_with_interleaved_views() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    let n = 3;
+    let block = 16usize;
+    let rounds = 8usize;
+    // Seed the file serially.
+    let all: Vec<u8> = (0..n * block * rounds).map(|i| (i % 251) as u8).collect();
+    pfs.create("r.dat").import_bytes(&all);
+
+    let all2 = all.clone();
+    run_world(n, cfg(), move |c| {
+        let mut f = MpiFile::open(c, &pfs, "r.dat", OpenMode::ReadOnly, &Info::new()).unwrap();
+        let ft = Datatype::resized(
+            0,
+            (n * block) as u64,
+            Datatype::hindexed(vec![((c.rank() * block) as i64, block)], Datatype::byte()),
+        );
+        f.set_view(0, &Datatype::byte(), &ft).unwrap();
+        let mut buf = vec![0u8; block * rounds];
+        let mem = Datatype::contiguous(buf.len(), Datatype::byte());
+        f.read_at_all(0, &mut buf, 1, &mem).unwrap();
+        for round in 0..rounds {
+            let src = (round * n + c.rank()) * block;
+            assert_eq!(
+                &buf[round * block..(round + 1) * block],
+                &all2[src..src + block]
+            );
+        }
+    });
+}
+
+#[test]
+fn independent_write_with_noncontiguous_memory() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(2, cfg(), |c| {
+        let f = MpiFile::open(c, &pfs, "m.dat", OpenMode::Create, &Info::new()).unwrap();
+        if c.rank() == 0 {
+            // Memory: 4 bytes used, 4 skipped, repeated.
+            let mem = Datatype::resized(0, 8, Datatype::contiguous(4, Datatype::byte()));
+            let buf: Vec<u8> = (0..32).collect();
+            f.write_at(0, &buf, 4, &mem).unwrap();
+        }
+        c.barrier().unwrap();
+    });
+    let bytes = pfs.open("m.dat").unwrap().to_bytes();
+    assert_eq!(bytes, vec![0, 1, 2, 3, 8, 9, 10, 11, 16, 17, 18, 19, 24, 25, 26, 27]);
+}
+
+#[test]
+fn readonly_rejects_writes() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(2, cfg(), |c| {
+        {
+            let f = MpiFile::open(c, &pfs, "ro.dat", OpenMode::Create, &Info::new()).unwrap();
+            let mem = Datatype::contiguous(4, Datatype::byte());
+            f.write_at_all(0, &[1, 2, 3, 4], 1, &mem).unwrap();
+        }
+        let f = MpiFile::open(c, &pfs, "ro.dat", OpenMode::ReadOnly, &Info::new()).unwrap();
+        let mem = Datatype::contiguous(4, Datatype::byte());
+        assert!(f.write_at(0, &[9; 4], 1, &mem).is_err());
+        let mut buf = [0u8; 4];
+        f.read_at(0, &mut buf, 1, &mem).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+    });
+}
+
+#[test]
+fn two_phase_beats_disabled_collective_buffering() {
+    // Interleaved small blocks: with two-phase the file sees large ordered
+    // writes; without, every rank issues many small strided writes.
+    let block = 512usize;
+    let rounds = 64usize;
+    let n = 4;
+
+    let time_with = |info: Info| {
+        let pfs = Pfs::new(cfg(), StorageMode::CostOnly);
+        let run = run_world(n, cfg(), move |c| {
+            let mut f = MpiFile::open(c, &pfs, "x", OpenMode::Create, &info).unwrap();
+            let ft = Datatype::resized(
+                0,
+                (n * block) as u64,
+                Datatype::hindexed(vec![((c.rank() * block) as i64, block)], Datatype::byte()),
+            );
+            f.set_view(0, &Datatype::byte(), &ft).unwrap();
+            let mine = vec![7u8; block * rounds];
+            let mem = Datatype::contiguous(mine.len(), Datatype::byte());
+            f.write_at_all(0, &mine, 1, &mem).unwrap();
+        });
+        run.makespan
+    };
+
+    let t_two_phase = time_with(Info::new());
+    let t_disabled = time_with(Info::new().with("romio_cb_write", "disable").with("romio_ds_write", "disable"));
+    assert!(
+        t_two_phase < t_disabled,
+        "two-phase {t_two_phase:?} should beat disabled {t_disabled:?}"
+    );
+}
+
+#[test]
+fn collective_matches_independent_bytes() {
+    // Same interleaved pattern written via collective two-phase and via
+    // independent writes must produce identical files.
+    let n = 3;
+    let block = 128usize;
+    let rounds = 16usize;
+
+    let write = |collective: bool| {
+        let pfs = Pfs::new(cfg(), StorageMode::Full);
+        let pfs2 = pfs.clone();
+        run_world(n, cfg(), move |c| {
+            let mut f = MpiFile::open(c, &pfs2, "y", OpenMode::Create, &Info::new()).unwrap();
+            let ft = Datatype::resized(
+                0,
+                (n * block) as u64,
+                Datatype::hindexed(vec![((c.rank() * block) as i64, block)], Datatype::byte()),
+            );
+            f.set_view(0, &Datatype::byte(), &ft).unwrap();
+            let mine: Vec<u8> = (0..block * rounds)
+                .map(|i| (c.rank() + 3 * i) as u8)
+                .collect();
+            let mem = Datatype::contiguous(mine.len(), Datatype::byte());
+            if collective {
+                f.write_at_all(0, &mine, 1, &mem).unwrap();
+            } else {
+                f.write_at(0, &mine, 1, &mem).unwrap();
+                c.barrier().unwrap();
+            }
+        });
+        pfs.open("y").unwrap().to_bytes()
+    };
+
+    assert_eq!(write(true), write(false));
+}
+
+#[test]
+fn set_size_and_sync() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(2, cfg(), |c| {
+        let f = MpiFile::open(c, &pfs, "s", OpenMode::Create, &Info::new()).unwrap();
+        f.set_size(4096).unwrap();
+        assert_eq!(f.size(), 4096);
+        f.sync().unwrap();
+    });
+}
+
+#[test]
+fn cb_nodes_hint_changes_aggregation() {
+    // Sanity: restricting to 1 aggregator still produces correct bytes.
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    let n = 4;
+    let info = Info::new().with("cb_nodes", "1").with("cb_buffer_size", "256");
+    run_world(n, cfg(), move |c| {
+        let f = MpiFile::open(c, &pfs, "z", OpenMode::Create, &info).unwrap();
+        let mem = Datatype::contiguous(1000, Datatype::byte());
+        let mine = vec![c.rank() as u8 + 1; 1000];
+        f.write_at_all((c.rank() * 1000) as u64, &mine, 1, &mem)
+            .unwrap();
+        let mut buf = vec![0u8; 1000];
+        f.read_at_all((c.rank() * 1000) as u64, &mut buf, 1, &mem)
+            .unwrap();
+        assert_eq!(buf, mine);
+    });
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the file-view machinery: mapping logical
+//! positions through a tiled filetype must agree with a naive per-byte
+//! oracle, for random monotonic filetypes, offsets, and lengths.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use pnetcdf_mpi::Datatype;
+use pnetcdf_mpio::FileView;
+
+/// A random monotonic filetype: disjoint ascending (offset, len) blocks,
+/// possibly with a resized (larger) extent to create a tail hole.
+fn arb_filetype() -> impl Strategy<Value = (Datatype, Vec<(u64, u64)>, u64)> {
+    (vec((0u64..32, 1u64..16), 1..6), 0u64..64).prop_map(|(raw, extra)| {
+        let mut blocks = Vec::new();
+        let mut next_free = 0u64;
+        for (gap, len) in raw {
+            let off = next_free + gap;
+            blocks.push((off, len));
+            next_free = off + len;
+        }
+        let extent = next_free + extra;
+        let h = Datatype::hindexed(
+            blocks.iter().map(|&(o, l)| (o as i64, l as usize)).collect(),
+            Datatype::byte(),
+        );
+        let ft = Datatype::resized(0, extent, h);
+        (ft, blocks, extent)
+    })
+}
+
+/// Oracle: the absolute offset of logical data byte `i` under the view.
+fn oracle_offset(blocks: &[(u64, u64)], extent: u64, disp: u64, mut i: u64) -> u64 {
+    let tile_data: u64 = blocks.iter().map(|b| b.1).sum();
+    let tile = i / tile_data;
+    i %= tile_data;
+    for &(off, len) in blocks {
+        if i < len {
+            return disp + tile * extent + off + i;
+        }
+        i -= len;
+    }
+    unreachable!()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn view_map_matches_oracle(
+        (ft, blocks, extent) in arb_filetype(),
+        disp in 0u64..1000,
+        offset in 0u64..200,
+        len in 0u64..300,
+    ) {
+        let view = FileView::new(disp, &Datatype::byte(), &ft).unwrap();
+        let runs = view.map(offset, len).unwrap();
+        // Expand runs to per-byte offsets and compare with the oracle.
+        let mut got = Vec::new();
+        for (off, l) in &runs {
+            for b in 0..*l {
+                got.push(off + b);
+            }
+        }
+        let expect: Vec<u64> = (0..len)
+            .map(|i| oracle_offset(&blocks, extent, disp, offset + i))
+            .collect();
+        prop_assert_eq!(got, expect);
+        // Runs are coalesced and strictly increasing.
+        for w in runs.windows(2) {
+            prop_assert!(w[0].0 + w[0].1 < w[1].0, "uncoalesced: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn view_map_total_is_len(
+        (ft, _, _) in arb_filetype(),
+        offset in 0u64..100,
+        len in 0u64..500,
+    ) {
+        let view = FileView::new(0, &Datatype::byte(), &ft).unwrap();
+        let runs = view.map(offset, len).unwrap();
+        let total: u64 = runs.iter().map(|r| r.1).sum();
+        prop_assert_eq!(total, len);
+    }
+
+    #[test]
+    fn etype_offsets_scale(
+        disp in 0u64..100,
+        offset in 0u64..100,
+        count in 0u64..50,
+    ) {
+        // A contiguous double view: offset in etypes scales by 8.
+        let ft = Datatype::contiguous(1024, Datatype::double());
+        let view = FileView::new(disp, &Datatype::double(), &ft).unwrap();
+        let runs = view.map(offset, count * 8).unwrap();
+        if count > 0 {
+            prop_assert_eq!(runs, vec![(disp + offset * 8, count * 8)]);
+        } else {
+            prop_assert!(runs.is_empty());
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! File handles: timed striped reads and writes, plus untimed export/import.
+
+use std::sync::Arc;
+
+use hpc_sim::Time;
+
+use crate::filesystem::PfsInner;
+use crate::stripe::StripeChunk;
+
+/// Handle to one file in the parallel file system. Cheap to clone; all
+/// clones address the same bytes and the same server queues.
+#[derive(Clone)]
+pub struct PfsFile {
+    inner: Arc<PfsInner>,
+    id: u64,
+    name: String,
+}
+
+impl PfsFile {
+    pub(crate) fn new(inner: Arc<PfsInner>, id: u64, name: String) -> PfsFile {
+        PfsFile { inner, id, name }
+    }
+
+    /// File name within the PFS namespace.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current size in bytes (highest byte ever written + 1).
+    pub fn size(&self) -> u64 {
+        self.inner
+            .files
+            .lock()
+            .get(&self.name)
+            .map(|e| e.size)
+            .unwrap_or(0)
+    }
+
+    /// Timed write of `data` at `offset`, starting at virtual time `start`.
+    /// Returns the completion time.
+    ///
+    /// The request is split across servers; a client pushes bytes through
+    /// its NIC (`client_link_bw`) in file order, so server `k`'s portion
+    /// arrives after the portions before it have been transmitted. Each
+    /// server coalesces its portion into one disk request.
+    pub fn write_at(&self, start: Time, offset: u64, data: &[u8]) -> Time {
+        if data.is_empty() {
+            return start;
+        }
+        let cfg = &self.inner.cfg;
+        let metadata_sized = data.len() as u64 <= crate::storage::METADATA_REQUEST_LIMIT;
+        let mut by_server = self.inner.striping.split_by_server(offset, data.len() as u64);
+        by_server.sort_by_key(|(_, chunks)| chunks[0].file_offset);
+
+        let mut cum_bytes: u64 = 0;
+        let mut done = start;
+        for (srv, chunks) in &by_server {
+            let portion: u64 = chunks.iter().map(|c| c.len).sum();
+            cum_bytes += portion;
+            let arrival = start
+                + cfg.client_link_latency
+                + Time::from_secs_f64(cum_bytes as f64 / cfg.client_link_bw);
+            let slices: Vec<&[u8]> = chunks
+                .iter()
+                .map(|c| {
+                    let lo = (c.file_offset - offset) as usize;
+                    &data[lo..lo + c.len as usize]
+                })
+                .collect();
+            let outcome = self.inner.servers[*srv].lock().write(
+                &cfg.disk,
+                self.id,
+                arrival,
+                chunks,
+                &slices,
+                metadata_sized,
+            );
+            self.inner
+                .stats
+                .count_io(portion as usize, false, outcome.seeked);
+            done = done.max(outcome.done);
+        }
+        self.grow_to(offset + data.len() as u64);
+        done
+    }
+
+    /// Timed read into `buf` from `offset`, starting at `start`. Returns the
+    /// completion time. Bytes beyond the file size read as zeros (the
+    /// underlying stores return zeros for unwritten stripes).
+    pub fn read_at(&self, start: Time, offset: u64, buf: &mut [u8]) -> Time {
+        if buf.is_empty() {
+            return start;
+        }
+        let cfg = &self.inner.cfg;
+        let total = buf.len() as u64;
+        let by_server = self.inner.striping.split_by_server(offset, total);
+
+        // The read request message reaches every server after one latency;
+        // servers then stream from disk in parallel.
+        let arrival = start + cfg.client_link_latency;
+        let mut disks_done = start;
+        // Split the output buffer per server without aliasing: collect
+        // per-chunk ranges first.
+        for (srv, chunks) in &by_server {
+            let portion: u64 = chunks.iter().map(|c| c.len).sum();
+            // Safety-free split: carve per-chunk slices out of `buf` one
+            // server at a time using split_at_mut bookkeeping.
+            let mut outs: Vec<&mut [u8]> = Vec::with_capacity(chunks.len());
+            let mut rest: &mut [u8] = buf;
+            let mut consumed = 0u64;
+            for c in chunks.iter() {
+                let lo = c.file_offset - offset;
+                let (skip, tail) = rest.split_at_mut((lo - consumed) as usize);
+                let _ = skip;
+                let (mine, tail) = tail.split_at_mut(c.len as usize);
+                outs.push(mine);
+                consumed = lo + c.len;
+                rest = tail;
+            }
+            let outcome = self.inner.servers[*srv].lock().read(
+                &cfg.disk,
+                self.id,
+                arrival,
+                chunks,
+                &mut outs,
+            );
+            self.inner
+                .stats
+                .count_io(portion as usize, true, outcome.seeked);
+            disks_done = disks_done.max(outcome.done);
+        }
+        // The client cannot have all the bytes before its NIC has carried
+        // them.
+        let link_done = start
+            + cfg.client_link_latency
+            + Time::from_secs_f64(total as f64 / cfg.client_link_bw);
+        disks_done.max(link_done)
+    }
+
+    /// Extend the recorded file size to at least `new_size`.
+    pub fn grow_to(&self, new_size: u64) {
+        let mut files = self.inner.files.lock();
+        if let Some(e) = files.get_mut(&self.name) {
+            if e.size < new_size {
+                e.size = new_size;
+            }
+        }
+    }
+
+    /// Untimed export of the full file contents (correctness checks,
+    /// interop with the serial library).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let size = self.size();
+        let mut out = vec![0u8; size as usize];
+        for c in self.inner.striping.split(0, size) {
+            let lo = c.file_offset as usize;
+            self.inner.servers[c.server].lock().peek(
+                self.id,
+                c.stripe,
+                c.offset_in_stripe,
+                &mut out[lo..lo + c.len as usize],
+            );
+        }
+        out
+    }
+
+    /// Untimed import: overwrite the file contents with `data` (used to
+    /// place an externally produced file into the PFS).
+    pub fn import_bytes(&self, data: &[u8]) {
+        for c in self.inner.striping.split(0, data.len() as u64) {
+            let lo = c.file_offset as usize;
+            self.inner.servers[c.server].lock().poke(
+                self.id,
+                c.stripe,
+                c.offset_in_stripe,
+                &data[lo..lo + c.len as usize],
+            );
+        }
+        self.grow_to(data.len() as u64);
+    }
+
+    /// Export to a real file on the host file system.
+    pub fn export_to_path(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Import from a real file on the host file system.
+    pub fn import_from_path(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let data = std::fs::read(path)?;
+        self.import_bytes(&data);
+        Ok(())
+    }
+
+    /// Untimed read of an arbitrary range (diagnostics/tests).
+    pub fn peek_at(&self, offset: u64, buf: &mut [u8]) {
+        for c in self.inner.striping.split(offset, buf.len() as u64) {
+            let lo = (c.file_offset - offset) as usize;
+            self.inner.servers[c.server].lock().peek(
+                self.id,
+                c.stripe,
+                c.offset_in_stripe,
+                &mut buf[lo..lo + c.len as usize],
+            );
+        }
+    }
+
+    #[doc(hidden)]
+    pub fn chunks_for(&self, offset: u64, len: u64) -> Vec<StripeChunk> {
+        self.inner.striping.split(offset, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filesystem::Pfs;
+    use crate::storage::StorageMode;
+    use hpc_sim::SimConfig;
+
+    fn file() -> PfsFile {
+        Pfs::new(SimConfig::test_small(), StorageMode::Full).create("t")
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_stripes() {
+        let f = file();
+        // test_small has 1 KiB stripes over 4 servers; span several.
+        let data: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+        let t1 = f.write_at(Time::ZERO, 300, &data);
+        assert!(t1 > Time::ZERO);
+        assert_eq!(f.size(), 5300);
+        let mut out = vec![0u8; 5000];
+        let t2 = f.read_at(t1, 300, &mut out);
+        assert!(t2 > t1);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn unwritten_regions_read_zero() {
+        let f = file();
+        f.write_at(Time::ZERO, 100, &[7; 10]);
+        let mut out = vec![1u8; 120];
+        f.read_at(Time::ZERO, 0, &mut out);
+        assert_eq!(&out[..100], &[0u8; 100][..]);
+        assert_eq!(&out[100..110], &[7u8; 10][..]);
+        assert_eq!(&out[110..], &[0u8; 10][..]);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let f = file();
+        let data: Vec<u8> = (0..3000u32).map(|i| (i * 7 % 256) as u8).collect();
+        f.write_at(Time::ZERO, 0, &data);
+        let bytes = f.to_bytes();
+        assert_eq!(bytes, data);
+
+        let f2 = Pfs::new(SimConfig::test_small(), StorageMode::Full).create("u");
+        f2.import_bytes(&bytes);
+        assert_eq!(f2.size(), 3000);
+        assert_eq!(f2.to_bytes(), data);
+    }
+
+    #[test]
+    fn larger_writes_take_longer() {
+        let f = file();
+        let t_small = f.write_at(Time::ZERO, 0, &[0u8; 1000]);
+        let f2 = file();
+        let t_big = f2.write_at(Time::ZERO, 0, &[0u8; 100_000]);
+        assert!(t_big > t_small);
+    }
+
+    #[test]
+    fn parallel_clients_beat_one_client_per_byte() {
+        // Two writers starting at the same time on disjoint halves finish
+        // earlier than one writer writing everything, because each pays only
+        // half the NIC serialization.
+        let cfg = SimConfig::test_small();
+        let half = 512 * 1024usize;
+
+        let solo = Pfs::new(cfg.clone(), StorageMode::CostOnly).create("solo");
+        let t_solo = solo.write_at(Time::ZERO, 0, &vec![0u8; 2 * half]);
+
+        let duo = Pfs::new(cfg, StorageMode::CostOnly).create("duo");
+        let t_a = duo.write_at(Time::ZERO, 0, &vec![0u8; half]);
+        let t_b = duo.write_at(Time::ZERO, half as u64, &vec![0u8; half]);
+        assert!(t_a.max(t_b) < t_solo);
+    }
+
+    #[test]
+    fn zero_length_ops_cost_nothing() {
+        let f = file();
+        assert_eq!(f.write_at(Time::from_millis(5), 0, &[]), Time::from_millis(5));
+        let mut empty: [u8; 0] = [];
+        assert_eq!(
+            f.read_at(Time::from_millis(5), 0, &mut empty),
+            Time::from_millis(5)
+        );
+    }
+
+    #[test]
+    fn stats_count_requests() {
+        let f = file();
+        f.write_at(Time::ZERO, 0, &[0u8; 4096]); // 4 servers, 1 KiB each
+        let s = Pfs {
+            inner: f.inner.clone(),
+        };
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.io_requests, 4);
+        assert_eq!(snap.io_bytes_written, 4096);
+    }
+}

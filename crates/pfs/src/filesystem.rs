@@ -1,0 +1,164 @@
+//! The file system object: a namespace of striped files over shared servers.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hpc_sim::{SimConfig, SimStats};
+
+use crate::file::PfsFile;
+use crate::server::Server;
+use crate::storage::StorageMode;
+use crate::stripe::Striping;
+
+pub(crate) struct PfsInner {
+    pub cfg: SimConfig,
+    pub stats: SimStats,
+    pub striping: Striping,
+    pub servers: Vec<Mutex<Server>>,
+    pub files: Mutex<HashMap<String, FileEntry>>,
+    next_id: AtomicU64,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FileEntry {
+    pub id: u64,
+    pub size: u64,
+}
+
+/// Handle to the shared parallel file system. Cheap to clone.
+#[derive(Clone)]
+pub struct Pfs {
+    pub(crate) inner: Arc<PfsInner>,
+}
+
+impl Pfs {
+    /// Create a file system with `cfg.io_servers` servers and
+    /// `cfg.stripe_size` stripes.
+    pub fn new(cfg: SimConfig, mode: StorageMode) -> Pfs {
+        let striping = Striping::new(cfg.stripe_size as u64, cfg.io_servers);
+        let servers = (0..cfg.io_servers)
+            .map(|_| Mutex::new(Server::new(cfg.stripe_size as u64, mode)))
+            .collect();
+        Pfs {
+            inner: Arc::new(PfsInner {
+                cfg,
+                stats: SimStats::new(),
+                striping,
+                servers,
+                files: Mutex::new(HashMap::new()),
+                next_id: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Platform configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.inner.cfg
+    }
+
+    /// I/O operation counters.
+    pub fn stats(&self) -> &SimStats {
+        &self.inner.stats
+    }
+
+    /// Create (or truncate) a file and return its handle.
+    pub fn create(&self, name: &str) -> PfsFile {
+        let mut files = self.inner.files.lock();
+        if let Some(old) = files.remove(name) {
+            for s in &self.inner.servers {
+                s.lock().remove_file(old.id);
+            }
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        files.insert(name.to_string(), FileEntry { id, size: 0 });
+        PfsFile::new(self.inner.clone(), id, name.to_string())
+    }
+
+    /// Open an existing file.
+    pub fn open(&self, name: &str) -> Option<PfsFile> {
+        let files = self.inner.files.lock();
+        files
+            .get(name)
+            .map(|e| PfsFile::new(self.inner.clone(), e.id, name.to_string()))
+    }
+
+    /// Does `name` exist?
+    pub fn exists(&self, name: &str) -> bool {
+        self.inner.files.lock().contains_key(name)
+    }
+
+    /// Delete a file, freeing its stripes. Returns whether it existed.
+    pub fn delete(&self, name: &str) -> bool {
+        let mut files = self.inner.files.lock();
+        if let Some(e) = files.remove(name) {
+            for s in &self.inner.servers {
+                s.lock().remove_file(e.id);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Names of all files (sorted, for deterministic listings).
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.files.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Reset all server queues and position state to virtual time zero,
+    /// keeping file contents. Benchmarks call this between phases.
+    pub fn reset_timing(&self) {
+        for s in &self.inner.servers {
+            s.lock().reset_timing();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfs() -> Pfs {
+        Pfs::new(SimConfig::test_small(), StorageMode::Full)
+    }
+
+    #[test]
+    fn create_open_delete() {
+        let fs = pfs();
+        assert!(!fs.exists("a.nc"));
+        let f = fs.create("a.nc");
+        assert!(fs.exists("a.nc"));
+        assert_eq!(f.size(), 0);
+        assert!(fs.open("a.nc").is_some());
+        assert!(fs.open("missing.nc").is_none());
+        assert!(fs.delete("a.nc"));
+        assert!(!fs.delete("a.nc"));
+        assert!(!fs.exists("a.nc"));
+    }
+
+    #[test]
+    fn create_truncates_existing() {
+        let fs = pfs();
+        let f = fs.create("x");
+        f.write_at(hpc_sim::Time::ZERO, 0, &[1, 2, 3]);
+        assert_eq!(f.size(), 3);
+        let f2 = fs.create("x");
+        assert_eq!(f2.size(), 0);
+        let mut buf = [9u8; 3];
+        f2.read_at(hpc_sim::Time::ZERO, 0, &mut buf);
+        assert_eq!(buf, [0, 0, 0]);
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let fs = pfs();
+        fs.create("b");
+        fs.create("a");
+        fs.create("c");
+        assert_eq!(fs.list(), vec!["a", "b", "c"]);
+    }
+}

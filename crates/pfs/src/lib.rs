@@ -1,0 +1,34 @@
+//! A GPFS-like striped parallel file system, simulated.
+//!
+//! The paper's testbeds ran GPFS over dedicated I/O server nodes (12 on the
+//! SDSC machine, 2 on ASCI Frost). This crate reproduces the two properties
+//! of that system that the evaluation depends on:
+//!
+//! 1. **Byte-accurate storage.** Files are striped round-robin across
+//!    servers and the bytes are really kept (in memory), so a netCDF file
+//!    written through the whole parallel stack can be exported and re-read —
+//!    correctness is testable end to end. For large benchmarks,
+//!    [`StorageMode::CostOnly`] discards payloads and keeps only timing.
+//! 2. **Virtual-time cost accounting.** Each server owns a disk with the
+//!    [`hpc_sim::DiskModel`] cost function and a `next_free` availability
+//!    time; clients reach servers through a bandwidth-limited NIC. A single
+//!    client therefore cannot saturate the array (the serial-netCDF
+//!    bottleneck of Figure 2(a)), while many clients saturate at the fixed
+//!    aggregate disk bandwidth (the flattening curves of Figure 6).
+//!
+//! Operations take an explicit *start time* and return a *completion time*;
+//! the caller (MPI-IO layer, or the serial library's POSIX adapter) owns the
+//! clock.
+
+pub mod file;
+pub mod filesystem;
+pub mod posix;
+pub mod server;
+pub mod storage;
+pub mod stripe;
+
+pub use file::PfsFile;
+pub use filesystem::Pfs;
+pub use posix::PosixSim;
+pub use storage::StorageMode;
+pub use stripe::{StripeChunk, Striping};

@@ -1,0 +1,255 @@
+//! One I/O server: a disk queue plus its stripe store.
+//!
+//! A server services requests one at a time (`next_free` models the queue);
+//! each request is charged by the [`hpc_sim::DiskModel`]. A request that
+//! starts at the file offset where the server's previous request on that
+//! file ended is *sequential* and skips the positioning cost — this is what
+//! rewards the large ordered writes produced by two-phase collective I/O.
+
+use std::collections::HashMap;
+
+use hpc_sim::{DiskModel, Time};
+
+use crate::storage::{StorageMode, StripeStore};
+use crate::stripe::StripeChunk;
+
+/// State of one I/O server. Wrapped in a mutex by the file system.
+pub struct Server {
+    /// When the disk becomes idle.
+    next_free: Time,
+    /// Per-file end offset of the last request (sequentiality detection).
+    last_end: HashMap<u64, u64>,
+    /// Stripe payload storage.
+    store: StripeStore,
+    mode: StorageMode,
+    stripe_size: u64,
+}
+
+/// Timing outcome of one server request.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceOutcome {
+    /// When the request completed.
+    pub done: Time,
+    /// Whether the positioning cost was charged.
+    pub seeked: bool,
+}
+
+impl Server {
+    /// New idle server.
+    pub fn new(stripe_size: u64, mode: StorageMode) -> Server {
+        Server {
+            next_free: Time::ZERO,
+            last_end: HashMap::new(),
+            store: StripeStore::new(stripe_size),
+            mode,
+            stripe_size,
+        }
+    }
+
+    /// Service a write of `chunks` (all owned by this server, file order)
+    /// carrying `data` slices parallel to `chunks`. `arrival` is when the
+    /// request reaches the server. `metadata_sized` classifies the *whole
+    /// client request* (not just this server's portion) for
+    /// [`StorageMode::MetadataOnly`].
+    pub fn write(
+        &mut self,
+        disk: &DiskModel,
+        file: u64,
+        arrival: Time,
+        chunks: &[StripeChunk],
+        data: &[&[u8]],
+        metadata_sized: bool,
+    ) -> ServiceOutcome {
+        debug_assert_eq!(chunks.len(), data.len());
+        let keep = match self.mode {
+            StorageMode::Full => true,
+            StorageMode::CostOnly => false,
+            StorageMode::MetadataOnly => metadata_sized,
+        };
+        if keep {
+            for (c, d) in chunks.iter().zip(data) {
+                debug_assert_eq!(c.len as usize, d.len());
+                self.store.write(file, c.stripe, c.offset_in_stripe, d);
+            }
+        }
+        // GPFS-style partial-block penalty: a write that does not cover a
+        // whole stripe forces the server to read-modify-write that stripe.
+        // Of one coalesced request only the first and last chunks can be
+        // partial. This is precisely why ROMIO aligns collective-buffering
+        // file domains to the file system boundary: aligned two-phase
+        // writes avoid the penalty that unaligned independent writes pay on
+        // every request.
+        let partial = chunks
+            .iter()
+            .filter(|c| c.offset_in_stripe != 0 || c.len < self.stripe_size)
+            .count();
+        let out = self.service(disk, file, arrival, chunks);
+        if partial > 0 {
+            let rmw = disk.stream(partial * self.stripe_size as usize);
+            self.next_free += rmw;
+            ServiceOutcome {
+                done: out.done + rmw,
+                seeked: out.seeked,
+            }
+        } else {
+            out
+        }
+    }
+
+    /// Service a read of `chunks`, filling `out` slices parallel to `chunks`.
+    pub fn read(
+        &mut self,
+        disk: &DiskModel,
+        file: u64,
+        arrival: Time,
+        chunks: &[StripeChunk],
+        out: &mut [&mut [u8]],
+    ) -> ServiceOutcome {
+        debug_assert_eq!(chunks.len(), out.len());
+        for (c, o) in chunks.iter().zip(out.iter_mut()) {
+            debug_assert_eq!(c.len as usize, o.len());
+            match self.mode {
+                StorageMode::Full | StorageMode::MetadataOnly => {
+                    self.store.read(file, c.stripe, c.offset_in_stripe, o)
+                }
+                StorageMode::CostOnly => o.fill(0),
+            }
+        }
+        self.service(disk, file, arrival, chunks)
+    }
+
+    /// Charge the disk time for one coalesced request over `chunks`.
+    fn service(
+        &mut self,
+        disk: &DiskModel,
+        file: u64,
+        arrival: Time,
+        chunks: &[StripeChunk],
+    ) -> ServiceOutcome {
+        let bytes: u64 = chunks.iter().map(|c| c.len).sum();
+        if chunks.is_empty() {
+            return ServiceOutcome {
+                done: arrival,
+                seeked: false,
+            };
+        }
+        let first = chunks[0].file_offset;
+        let last_end = chunks.last().map(|c| c.file_offset + c.len).unwrap();
+        let sequential = self.last_end.get(&file).copied() == Some(first);
+        self.last_end.insert(file, last_end);
+
+        let start = self.next_free.max(arrival);
+        let done = start + disk.request(bytes as usize, sequential);
+        self.next_free = done;
+        ServiceOutcome {
+            done,
+            seeked: !sequential,
+        }
+    }
+
+    /// Drop stored stripes of `file` and forget its position state.
+    pub fn remove_file(&mut self, file: u64) {
+        self.store.remove_file(file);
+        self.last_end.remove(&file);
+    }
+
+    /// Direct store access for export (bypasses timing).
+    pub fn peek(&self, file: u64, stripe: u64, offset_in_stripe: u64, out: &mut [u8]) {
+        self.store.read(file, stripe, offset_in_stripe, out);
+    }
+
+    /// Direct store write for import (bypasses timing). No-op in
+    /// [`StorageMode::CostOnly`].
+    pub fn poke(&mut self, file: u64, stripe: u64, offset_in_stripe: u64, data: &[u8]) {
+        if self.mode != StorageMode::CostOnly {
+            self.store.write(file, stripe, offset_in_stripe, data);
+        }
+    }
+
+    /// Reset the disk queue and position state (benchmark phases), keeping
+    /// stored data.
+    pub fn reset_timing(&mut self) {
+        self.next_free = Time::ZERO;
+        self.last_end.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> DiskModel {
+        DiskModel {
+            per_request: Time::from_micros(100),
+            seek: Time::from_millis(1),
+            bandwidth: 1e8,
+        }
+    }
+
+    fn chunk(file_offset: u64, len: u64) -> StripeChunk {
+        StripeChunk {
+            server: 0,
+            stripe: file_offset / 1024,
+            file_offset,
+            offset_in_stripe: file_offset % 1024,
+            len,
+        }
+    }
+
+    #[test]
+    fn sequential_requests_skip_seek() {
+        let mut s = Server::new(1024, StorageMode::Full);
+        let d = disk();
+        let a = s.write(&d, 0, Time::ZERO, &[chunk(0, 100)], &[&[1u8; 100]], true);
+        assert!(a.seeked);
+        let b = s.write(&d, 0, a.done, &[chunk(100, 100)], &[&[2u8; 100]], true);
+        assert!(!b.seeked);
+        let c = s.write(&d, 0, b.done, &[chunk(500, 100)], &[&[3u8; 100]], true);
+        assert!(c.seeked);
+    }
+
+    #[test]
+    fn queueing_delays_early_arrivals() {
+        let mut s = Server::new(1024, StorageMode::Full);
+        let d = disk();
+        let a = s.write(&d, 0, Time::ZERO, &[chunk(0, 1000)], &[&[0u8; 1000]], true);
+        // Second request arrives "before" the first finishes: it queues.
+        let b = s.write(&d, 0, Time::ZERO, &[chunk(1024, 1000)], &[&[0u8; 1000]], true);
+        assert!(b.done > a.done);
+    }
+
+    #[test]
+    fn read_returns_written_bytes() {
+        let mut s = Server::new(1024, StorageMode::Full);
+        let d = disk();
+        s.write(&d, 7, Time::ZERO, &[chunk(10, 4)], &[&[5, 6, 7, 8]], true);
+        let mut buf = [0u8; 4];
+        let mut outs: Vec<&mut [u8]> = vec![&mut buf];
+        s.read(&d, 7, Time::ZERO, &[chunk(10, 4)], &mut outs);
+        assert_eq!(buf, [5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn cost_only_discards_payload() {
+        let mut s = Server::new(1024, StorageMode::CostOnly);
+        let d = disk();
+        s.write(&d, 0, Time::ZERO, &[chunk(0, 4)], &[&[1, 2, 3, 4]], true);
+        let mut buf = [9u8; 4];
+        let mut outs: Vec<&mut [u8]> = vec![&mut buf];
+        s.read(&d, 0, Time::ZERO, &[chunk(0, 4)], &mut outs);
+        assert_eq!(buf, [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn per_file_sequentiality() {
+        let mut s = Server::new(1024, StorageMode::Full);
+        let d = disk();
+        let a = s.write(&d, 1, Time::ZERO, &[chunk(0, 100)], &[&[0u8; 100]], true);
+        // Different file at the "same" position: still a seek.
+        let b = s.write(&d, 2, a.done, &[chunk(100, 100)], &[&[0u8; 100]], true);
+        assert!(b.seeked);
+        // Original file continues sequentially.
+        let c = s.write(&d, 1, b.done, &[chunk(100, 100)], &[&[0u8; 100]], true);
+        assert!(!c.seeked);
+    }
+}

@@ -1,0 +1,119 @@
+//! Stripe-granular byte storage for one server.
+
+use std::collections::HashMap;
+
+/// Whether payload bytes are retained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageMode {
+    /// Keep every byte (correctness tests, small runs).
+    Full,
+    /// Account time only; writes are discarded and reads return zeros.
+    /// Large benchmark configurations use this to bound memory.
+    CostOnly,
+    /// Keep only small requests — file headers, superblocks, object
+    /// headers — and discard bulk data. Lets read benchmarks re-open files
+    /// (the header parses) without holding gigabytes of array data.
+    MetadataOnly,
+}
+
+/// Requests at or below this size are considered metadata under
+/// [`StorageMode::MetadataOnly`].
+pub const METADATA_REQUEST_LIMIT: u64 = 64 * 1024;
+
+/// Byte store of one server: sparse stripes keyed by `(file id, stripe idx)`.
+#[derive(Default)]
+pub struct StripeStore {
+    stripes: HashMap<(u64, u64), Box<[u8]>>,
+    stripe_size: u64,
+}
+
+impl StripeStore {
+    /// New store for stripes of `stripe_size` bytes.
+    pub fn new(stripe_size: u64) -> StripeStore {
+        StripeStore {
+            stripes: HashMap::new(),
+            stripe_size,
+        }
+    }
+
+    /// Write `data` into stripe `stripe` of `file` at `offset_in_stripe`.
+    pub fn write(&mut self, file: u64, stripe: u64, offset_in_stripe: u64, data: &[u8]) {
+        debug_assert!(offset_in_stripe + data.len() as u64 <= self.stripe_size);
+        let buf = self
+            .stripes
+            .entry((file, stripe))
+            .or_insert_with(|| vec![0u8; self.stripe_size as usize].into_boxed_slice());
+        let lo = offset_in_stripe as usize;
+        buf[lo..lo + data.len()].copy_from_slice(data);
+    }
+
+    /// Read from stripe `stripe`; unwritten stripes read as zeros.
+    pub fn read(&self, file: u64, stripe: u64, offset_in_stripe: u64, out: &mut [u8]) {
+        debug_assert!(offset_in_stripe + out.len() as u64 <= self.stripe_size);
+        match self.stripes.get(&(file, stripe)) {
+            Some(buf) => {
+                let lo = offset_in_stripe as usize;
+                out.copy_from_slice(&buf[lo..lo + out.len()]);
+            }
+            None => out.fill(0),
+        }
+    }
+
+    /// Drop every stripe of `file`.
+    pub fn remove_file(&mut self, file: u64) {
+        self.stripes.retain(|&(f, _), _| f != file);
+    }
+
+    /// Number of resident stripes (diagnostics).
+    pub fn resident_stripes(&self) -> usize {
+        self.stripes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let mut s = StripeStore::new(16);
+        s.write(1, 0, 4, &[1, 2, 3]);
+        let mut out = [9u8; 6];
+        s.read(1, 0, 2, &mut out);
+        assert_eq!(out, [0, 0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let s = StripeStore::new(8);
+        let mut out = [7u8; 8];
+        s.read(0, 5, 0, &mut out);
+        assert_eq!(out, [0; 8]);
+    }
+
+    #[test]
+    fn files_are_isolated() {
+        let mut s = StripeStore::new(8);
+        s.write(1, 0, 0, &[1; 8]);
+        s.write(2, 0, 0, &[2; 8]);
+        let mut out = [0u8; 8];
+        s.read(1, 0, 0, &mut out);
+        assert_eq!(out, [1; 8]);
+        s.remove_file(1);
+        s.read(1, 0, 0, &mut out);
+        assert_eq!(out, [0; 8]);
+        s.read(2, 0, 0, &mut out);
+        assert_eq!(out, [2; 8]);
+    }
+
+    #[test]
+    fn overwrite_within_stripe() {
+        let mut s = StripeStore::new(8);
+        s.write(0, 3, 0, &[1; 8]);
+        s.write(0, 3, 2, &[9, 9]);
+        let mut out = [0u8; 8];
+        s.read(0, 3, 0, &mut out);
+        assert_eq!(out, [1, 1, 9, 9, 1, 1, 1, 1]);
+        assert_eq!(s.resident_stripes(), 1);
+    }
+}

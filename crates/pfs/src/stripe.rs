@@ -1,0 +1,149 @@
+//! Striping math: mapping file byte ranges onto I/O servers.
+//!
+//! Files are striped round-robin in fixed-size stripe units: stripe `k`
+//! (bytes `[k*S, (k+1)*S)`) lives on server `k mod N`. A byte range splits
+//! into per-stripe chunks; the per-server view of a contiguous range is a
+//! set of stripes spaced `N*S` apart, which a real GPFS server services as
+//! one streaming request — our cost model does the same.
+
+/// Round-robin striping layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Striping {
+    /// Stripe unit in bytes.
+    pub stripe_size: u64,
+    /// Number of I/O servers.
+    pub nservers: usize,
+}
+
+/// One piece of a request that falls entirely within a single stripe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StripeChunk {
+    /// Owning server.
+    pub server: usize,
+    /// Stripe index within the file.
+    pub stripe: u64,
+    /// Byte offset in the file where this chunk starts.
+    pub file_offset: u64,
+    /// Offset of the chunk within its stripe.
+    pub offset_in_stripe: u64,
+    /// Chunk length in bytes.
+    pub len: u64,
+}
+
+impl Striping {
+    /// Create a layout; panics on degenerate parameters (library bug).
+    pub fn new(stripe_size: u64, nservers: usize) -> Striping {
+        assert!(stripe_size > 0, "stripe size must be positive");
+        assert!(nservers > 0, "need at least one server");
+        Striping {
+            stripe_size,
+            nservers,
+        }
+    }
+
+    /// Which server owns the stripe containing `offset`.
+    pub fn server_of(&self, offset: u64) -> usize {
+        ((offset / self.stripe_size) % self.nservers as u64) as usize
+    }
+
+    /// Split `[offset, offset+len)` into per-stripe chunks, in file order.
+    pub fn split(&self, offset: u64, len: u64) -> Vec<StripeChunk> {
+        let mut out = Vec::new();
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let stripe = pos / self.stripe_size;
+            let in_stripe = pos % self.stripe_size;
+            let take = (self.stripe_size - in_stripe).min(end - pos);
+            out.push(StripeChunk {
+                server: (stripe % self.nservers as u64) as usize,
+                stripe,
+                file_offset: pos,
+                offset_in_stripe: in_stripe,
+                len: take,
+            });
+            pos += take;
+        }
+        out
+    }
+
+    /// Group a request's chunks by server, preserving file order within each
+    /// server. Returns `(server, chunks)` for servers that are touched.
+    pub fn split_by_server(&self, offset: u64, len: u64) -> Vec<(usize, Vec<StripeChunk>)> {
+        let mut per: Vec<Vec<StripeChunk>> = vec![Vec::new(); self.nservers];
+        for c in self.split(offset, len) {
+            per[c.server].push(c);
+        }
+        per.into_iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_within_one_stripe() {
+        let s = Striping::new(1024, 4);
+        let chunks = s.split(100, 200);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].server, 0);
+        assert_eq!(chunks[0].offset_in_stripe, 100);
+        assert_eq!(chunks[0].len, 200);
+    }
+
+    #[test]
+    fn split_across_stripes_round_robin() {
+        let s = Striping::new(100, 3);
+        let chunks = s.split(50, 300);
+        // [50,100) srv0, [100,200) srv1, [200,300) srv2, [300,350) srv0
+        let servers: Vec<usize> = chunks.iter().map(|c| c.server).collect();
+        assert_eq!(servers, vec![0, 1, 2, 0]);
+        let lens: Vec<u64> = chunks.iter().map(|c| c.len).collect();
+        assert_eq!(lens, vec![50, 100, 100, 50]);
+        assert_eq!(chunks.iter().map(|c| c.len).sum::<u64>(), 300);
+    }
+
+    #[test]
+    fn split_preserves_coverage_exactly() {
+        let s = Striping::new(64, 5);
+        let chunks = s.split(1000, 1234);
+        let mut pos = 1000;
+        for c in &chunks {
+            assert_eq!(c.file_offset, pos);
+            assert_eq!(c.offset_in_stripe, pos % 64);
+            assert_eq!(c.stripe, pos / 64);
+            assert_eq!(c.server, s.server_of(pos));
+            pos += c.len;
+        }
+        assert_eq!(pos, 2234);
+    }
+
+    #[test]
+    fn split_by_server_groups() {
+        let s = Striping::new(10, 2);
+        let by = s.split_by_server(0, 40);
+        assert_eq!(by.len(), 2);
+        let (srv0, chunks0) = &by[0];
+        assert_eq!(*srv0, 0);
+        assert_eq!(chunks0.iter().map(|c| c.len).sum::<u64>(), 20);
+        // Within-server chunks stay in file order.
+        assert!(chunks0.windows(2).all(|w| w[0].file_offset < w[1].file_offset));
+    }
+
+    #[test]
+    fn zero_len_splits_to_nothing() {
+        let s = Striping::new(16, 2);
+        assert!(s.split(5, 0).is_empty());
+        assert!(s.split_by_server(5, 0).is_empty());
+    }
+
+    #[test]
+    fn single_server_takes_everything() {
+        let s = Striping::new(8, 1);
+        assert!(s.split(0, 100).iter().all(|c| c.server == 0));
+    }
+}

@@ -1,0 +1,45 @@
+//! `ncmpidiff` — compare two netCDF classic files, like PnetCDF's
+//! `cdfdiff`. Exit status 0 = identical, 1 = different, 2 = usage error.
+//!
+//! Usage: `ncmpidiff [-h] <a.nc> <b.nc>`
+//!   -h   compare headers only (skip data)
+
+use netcdf_serial::{diff, NcFile, StdFileStore};
+
+fn open(path: &str) -> NcFile {
+    let store = StdFileStore::open_readonly(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("ncmpidiff: cannot open '{path}': {e}");
+        std::process::exit(2);
+    });
+    NcFile::open_readonly(store).unwrap_or_else(|e| {
+        eprintln!("ncmpidiff: '{path}' is not a readable netCDF file: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let header_only = args.iter().any(|a| a == "-h");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    if files.len() != 2 {
+        eprintln!("usage: ncmpidiff [-h] <a.nc> <b.nc>");
+        std::process::exit(2);
+    }
+    let mut a = open(files[0]);
+    let mut b = open(files[1]);
+    match diff::diff(&mut a, &mut b, !header_only) {
+        Ok(ds) if ds.is_empty() => {
+            println!("files are identical");
+        }
+        Ok(ds) => {
+            for d in &ds {
+                println!("DIFF {d}");
+            }
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("ncmpidiff: {e}");
+            std::process::exit(2);
+        }
+    }
+}

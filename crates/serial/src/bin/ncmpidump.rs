@@ -1,0 +1,46 @@
+//! `ncmpidump` — dump a netCDF classic file (from the host file system) as
+//! CDL, like netCDF's `ncdump`. Works on any file written by this
+//! workspace's serial or parallel library (or by the reference tools, for
+//! CDF-1/CDF-2 files).
+//!
+//! Usage: `ncmpidump [-h] <file.nc>`
+//!   -h   header only (no data section)
+
+use netcdf_serial::{dump, NcFile, StdFileStore};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let header_only = args.iter().any(|a| a == "-h");
+    let path = match args.iter().find(|a| !a.starts_with('-')) {
+        Some(p) => p.clone(),
+        None => {
+            eprintln!("usage: ncmpidump [-h] <file.nc>");
+            std::process::exit(2);
+        }
+    };
+    let store = match StdFileStore::open_readonly(std::path::Path::new(&path)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ncmpidump: cannot open '{path}': {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut f = match NcFile::open_readonly(store) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ncmpidump: '{path}' is not a readable netCDF file: {e}");
+            std::process::exit(1);
+        }
+    };
+    let name = std::path::Path::new(&path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("dataset");
+    match dump::dump(&mut f, name, !header_only) {
+        Ok(cdl) => print!("{cdl}"),
+        Err(e) => {
+            eprintln!("ncmpidump: {e}");
+            std::process::exit(1);
+        }
+    }
+}

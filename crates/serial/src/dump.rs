@@ -1,0 +1,165 @@
+//! CDL rendering — the `ncdump` companion every netCDF distribution ships.
+//!
+//! Produces the textual Common Data Language form of a dataset: the
+//! `netcdf name { dimensions: ... variables: ... data: ... }` notation used
+//! throughout the netCDF documentation.
+
+use pnetcdf_format::{AttrValue, NcType};
+
+use crate::dataset::NcFile;
+use crate::error::NcResult;
+
+/// Render the header (and optionally data) of a dataset as CDL.
+pub fn dump(f: &mut NcFile, name: &str, with_data: bool) -> NcResult<String> {
+    let mut out = String::new();
+    out.push_str(&format!("netcdf {name} {{\n"));
+
+    let h = f.header().clone();
+    if !h.dims.is_empty() {
+        out.push_str("dimensions:\n");
+        for d in &h.dims {
+            if d.is_unlimited() {
+                out.push_str(&format!(
+                    "\t{} = UNLIMITED ; // ({} currently)\n",
+                    d.name, h.numrecs
+                ));
+            } else {
+                out.push_str(&format!("\t{} = {} ;\n", d.name, d.len));
+            }
+        }
+    }
+
+    if !h.vars.is_empty() {
+        out.push_str("variables:\n");
+        for v in &h.vars {
+            let dims: Vec<&str> = v.dimids.iter().map(|&d| h.dims[d].name.as_str()).collect();
+            if dims.is_empty() {
+                out.push_str(&format!("\t{} {} ;\n", v.nctype.name(), v.name));
+            } else {
+                out.push_str(&format!(
+                    "\t{} {}({}) ;\n",
+                    v.nctype.name(),
+                    v.name,
+                    dims.join(", ")
+                ));
+            }
+            for a in &v.atts {
+                out.push_str(&format!("\t\t{}:{} = {} ;\n", v.name, a.name, cdl_value(&a.value)));
+            }
+        }
+    }
+
+    if !h.gatts.is_empty() {
+        out.push_str("\n// global attributes:\n");
+        for a in &h.gatts {
+            out.push_str(&format!("\t\t:{} = {} ;\n", a.name, cdl_value(&a.value)));
+        }
+    }
+
+    if with_data {
+        out.push_str("data:\n");
+        for (id, v) in h.vars.iter().enumerate() {
+            let vals = dump_values(f, id, v.nctype)?;
+            out.push_str(&format!("\n {} = {} ;\n", v.name, vals));
+        }
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+fn cdl_value(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Byte(xs) => join(xs.iter(), "b"),
+        AttrValue::Char(s) => format!("\"{}\"", s.replace('"', "\\\"")),
+        AttrValue::Short(xs) => join(xs.iter(), "s"),
+        AttrValue::Int(xs) => join(xs.iter(), ""),
+        AttrValue::Float(xs) => join(xs.iter(), "f"),
+        AttrValue::Double(xs) => join(xs.iter(), ""),
+    }
+}
+
+fn join<T: std::fmt::Display>(xs: impl Iterator<Item = T>, suffix: &str) -> String {
+    xs.map(|x| format!("{x}{suffix}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn dump_values(f: &mut NcFile, varid: usize, t: NcType) -> NcResult<String> {
+    const LIMIT: usize = 512; // keep dumps readable
+    Ok(match t {
+        NcType::Byte => clip(f.get_var::<i8>(varid)?, LIMIT),
+        NcType::Char => {
+            let bytes = f.get_var::<u8>(varid)?;
+            let s: String = bytes.iter().map(|&b| b as char).collect();
+            format!("\"{s}\"")
+        }
+        NcType::Short => clip(f.get_var::<i16>(varid)?, LIMIT),
+        NcType::Int => clip(f.get_var::<i32>(varid)?, LIMIT),
+        NcType::Float => clip(f.get_var::<f32>(varid)?, LIMIT),
+        NcType::Double => clip(f.get_var::<f64>(varid)?, LIMIT),
+    })
+}
+
+fn clip<T: std::fmt::Display>(vals: Vec<T>, limit: usize) -> String {
+    let mut s = vals
+        .iter()
+        .take(limit)
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    if vals.len() > limit {
+        s.push_str(&format!(", ... ({} values total)", vals.len()));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStore;
+    use pnetcdf_format::Version;
+
+    #[test]
+    fn dump_renders_cdl() {
+        let mut f = NcFile::create(MemStore::new(), Version::Cdf1);
+        let t = f.def_dim("time", 0).unwrap();
+        let x = f.def_dim("x", 3).unwrap();
+        let v = f.def_var("temp", NcType::Float, &[t, x]).unwrap();
+        f.put_vatt(v, "units", AttrValue::Char("K".into())).unwrap();
+        f.put_gatt("title", AttrValue::Char("demo".into())).unwrap();
+        f.enddef().unwrap();
+        f.put_vara(v, &[0, 0], &[2, 3], &[1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0])
+            .unwrap();
+
+        let cdl = dump(&mut f, "demo", true).unwrap();
+        assert!(cdl.contains("netcdf demo {"));
+        assert!(cdl.contains("time = UNLIMITED ; // (2 currently)"));
+        assert!(cdl.contains("x = 3 ;"));
+        assert!(cdl.contains("float temp(time, x) ;"));
+        assert!(cdl.contains("temp:units = \"K\" ;"));
+        assert!(cdl.contains(":title = \"demo\" ;"));
+        assert!(cdl.contains("temp = 1, 2, 3, 4, 5, 6 ;"));
+    }
+
+    #[test]
+    fn dump_header_only() {
+        let mut f = NcFile::create(MemStore::new(), Version::Cdf1);
+        let x = f.def_dim("x", 2).unwrap();
+        f.def_var("a", NcType::Int, &[x]).unwrap();
+        f.enddef().unwrap();
+        let cdl = dump(&mut f, "h", false).unwrap();
+        assert!(cdl.contains("int a(x) ;"));
+        assert!(!cdl.contains("data:"));
+    }
+
+    #[test]
+    fn long_arrays_are_clipped() {
+        let mut f = NcFile::create(MemStore::new(), Version::Cdf1);
+        let x = f.def_dim("x", 1000).unwrap();
+        let v = f.def_var("big", NcType::Int, &[x]).unwrap();
+        f.enddef().unwrap();
+        f.put_vara(v, &[0], &[1000], &vec![7i32; 1000]).unwrap();
+        let cdl = dump(&mut f, "c", true).unwrap();
+        assert!(cdl.contains("(1000 values total)"));
+    }
+}

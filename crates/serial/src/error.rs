@@ -1,0 +1,53 @@
+//! Error type for the serial netCDF library.
+
+use std::fmt;
+
+use pnetcdf_format::FormatError;
+
+/// Errors of the serial netCDF API (the `NC_*` error codes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NcError {
+    /// Format-level failure (codec, layout, range...).
+    Format(FormatError),
+    /// Operation requires define mode (`NC_ENOTINDEFINE`).
+    NotInDefineMode,
+    /// Operation not permitted in define mode (`NC_EINDEFINE`).
+    InDefineMode,
+    /// Unknown dimension/variable/attribute (`NC_EBADDIM`/`NC_ENOTVAR`...).
+    NotFound(String),
+    /// The file is read-only (`NC_EPERM`).
+    ReadOnly,
+    /// I/O-level failure.
+    Io(String),
+}
+
+impl fmt::Display for NcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NcError::Format(e) => write!(f, "{e}"),
+            NcError::NotInDefineMode => write!(f, "operation requires define mode"),
+            NcError::InDefineMode => write!(f, "operation not permitted in define mode"),
+            NcError::NotFound(what) => write!(f, "not found: {what}"),
+            NcError::ReadOnly => write!(f, "file is read-only"),
+            NcError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NcError::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FormatError> for NcError {
+    fn from(e: FormatError) -> NcError {
+        NcError::Format(e)
+    }
+}
+
+/// Result alias for serial netCDF operations.
+pub type NcResult<T> = Result<T, NcError>;

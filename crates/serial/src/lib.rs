@@ -1,0 +1,25 @@
+//! Serial netCDF-3: the baseline library of the paper's Figure 6.
+//!
+//! This is a from-scratch implementation of the classic (serial) netCDF
+//! API over the [`pnetcdf_format`] codec: create/define/attributes/inquiry
+//! plus the five data access methods (single element, whole variable,
+//! subarray, strided subarray, mapped subarray). It performs ordinary
+//! blocking positional I/O through a [`storage::ByteStore`], which can be
+//!
+//! * [`storage::MemStore`] — an in-memory file (unit tests),
+//! * [`storage::StdFileStore`] — a real file on the host file system
+//!   (interoperability tests), or
+//! * the simulated PFS via [`pnetcdf_pfs::PosixSim`] — the configuration
+//!   used for the serial column of Figure 6, where a single process funnels
+//!   the whole array through one client NIC.
+
+pub mod dataset;
+pub mod diff;
+pub mod dump;
+pub mod error;
+pub mod storage;
+
+pub use dataset::{Mode, NcFile};
+pub use error::{NcError, NcResult};
+pub use dump::dump as dump_cdl;
+pub use storage::{ByteStore, MemStore, StdFileStore};

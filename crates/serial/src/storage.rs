@@ -1,0 +1,174 @@
+//! Byte-level storage abstraction for the serial library.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+
+use pnetcdf_pfs::PosixSim;
+
+/// Blocking positional byte storage.
+pub trait ByteStore: Send {
+    /// Read exactly `buf.len()` bytes at `offset`; bytes beyond the current
+    /// size read as zeros.
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]);
+    /// Write all of `data` at `offset`, growing the file as needed.
+    fn write_at(&mut self, offset: u64, data: &[u8]);
+    /// Current size in bytes.
+    fn size(&self) -> u64;
+}
+
+/// A plain in-memory file.
+#[derive(Default)]
+pub struct MemStore {
+    bytes: Vec<u8>,
+}
+
+impl MemStore {
+    /// New empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+
+    /// Wrap existing contents.
+    pub fn from_bytes(bytes: Vec<u8>) -> MemStore {
+        MemStore { bytes }
+    }
+
+    /// View the full contents.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Take the contents.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+impl ByteStore for MemStore {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) {
+        let off = offset as usize;
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.bytes.get(off + i).copied().unwrap_or(0);
+        }
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) {
+        let end = offset as usize + data.len();
+        if self.bytes.len() < end {
+            self.bytes.resize(end, 0);
+        }
+        self.bytes[offset as usize..end].copy_from_slice(data);
+    }
+
+    fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+}
+
+/// A real file on the host file system (used for interop tests and for
+/// producing files other tools can read).
+pub struct StdFileStore {
+    file: File,
+}
+
+impl StdFileStore {
+    /// Create or truncate `path`.
+    pub fn create(path: &std::path::Path) -> std::io::Result<StdFileStore> {
+        Ok(StdFileStore {
+            file: File::options()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)?,
+        })
+    }
+
+    /// Open `path` for read/write.
+    pub fn open(path: &std::path::Path) -> std::io::Result<StdFileStore> {
+        Ok(StdFileStore {
+            file: File::options().read(true).write(true).open(path)?,
+        })
+    }
+
+    /// Open `path` read-only (writes will panic).
+    pub fn open_readonly(path: &std::path::Path) -> std::io::Result<StdFileStore> {
+        Ok(StdFileStore {
+            file: File::open(path)?,
+        })
+    }
+}
+
+impl ByteStore for StdFileStore {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) {
+        let size = self.size();
+        buf.fill(0);
+        if offset >= size {
+            return;
+        }
+        let n = ((size - offset) as usize).min(buf.len());
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .expect("seek for read");
+        self.file
+            .read_exact(&mut buf[..n])
+            .expect("read_exact within file size");
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) {
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .expect("seek for write");
+        self.file.write_all(data).expect("write_all");
+    }
+
+    fn size(&self) -> u64 {
+        self.file.metadata().map(|m| m.len()).unwrap_or(0)
+    }
+}
+
+impl ByteStore for PosixSim {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) {
+        PosixSim::read_at(self, offset, buf);
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) {
+        PosixSim::write_at(self, offset, data);
+    }
+
+    fn size(&self) -> u64 {
+        PosixSim::size(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memstore_grows_and_reads_zeros() {
+        let mut s = MemStore::new();
+        s.write_at(4, &[1, 2, 3]);
+        assert_eq!(s.size(), 7);
+        let mut buf = [9u8; 10];
+        s.read_at(0, &mut buf);
+        assert_eq!(buf, [0, 0, 0, 0, 1, 2, 3, 0, 0, 0]);
+    }
+
+    #[test]
+    fn stdfile_roundtrip() {
+        let dir = std::env::temp_dir().join("pnetcdf_serial_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.bin");
+        {
+            let mut s = StdFileStore::create(&path).unwrap();
+            s.write_at(2, &[5, 6, 7]);
+            assert_eq!(s.size(), 5);
+        }
+        let mut s = StdFileStore::open(&path).unwrap();
+        let mut buf = [0u8; 8];
+        s.read_at(0, &mut buf);
+        assert_eq!(buf, [0, 0, 5, 6, 7, 0, 0, 0]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,124 @@
+//! Serial fill-mode semantics (`nc_set_fill`).
+
+use netcdf_serial::{MemStore, NcFile};
+use pnetcdf_format::{AttrValue, NcType, Version};
+
+#[test]
+fn enddef_prefills_fixed_vars() {
+    let mut f = NcFile::create(MemStore::new(), Version::Cdf1);
+    assert!(!f.set_fill(true).unwrap());
+    let x = f.def_dim("x", 5).unwrap();
+    let vi = f.def_var("i", NcType::Int, &[x]).unwrap();
+    let vd = f.def_var("d", NcType::Double, &[x]).unwrap();
+    f.enddef().unwrap();
+    let ints: Vec<i32> = f.get_var(vi).unwrap();
+    assert_eq!(ints, vec![-2147483647; 5]);
+    let dbls: Vec<f64> = f.get_var(vd).unwrap();
+    assert!(dbls.iter().all(|&v| v > 9.9e36));
+}
+
+#[test]
+fn record_growth_fills_all_record_vars() {
+    let mut f = NcFile::create(MemStore::new(), Version::Cdf1);
+    f.set_fill(true).unwrap();
+    let t = f.def_dim("time", 0).unwrap();
+    let x = f.def_dim("x", 3).unwrap();
+    let a = f.def_var("a", NcType::Int, &[t, x]).unwrap();
+    let b = f.def_var("b", NcType::Float, &[t, x]).unwrap();
+    f.enddef().unwrap();
+
+    // Writing record 2 of `a` creates records 0..3; both variables' new
+    // records are filled, then the written cells land.
+    f.put_vara(a, &[2, 0], &[1, 3], &[1i32, 2, 3]).unwrap();
+    assert_eq!(f.numrecs(), 3);
+    let a0: Vec<i32> = f.get_vara(a, &[0, 0], &[1, 3]).unwrap();
+    assert_eq!(a0, vec![-2147483647; 3]);
+    let a2: Vec<i32> = f.get_vara(a, &[2, 0], &[1, 3]).unwrap();
+    assert_eq!(a2, vec![1, 2, 3]);
+    let b2: Vec<f32> = f.get_vara(b, &[2, 0], &[1, 3]).unwrap();
+    assert!(b2.iter().all(|&v| v > 9.9e35), "sibling record var filled: {b2:?}");
+}
+
+#[test]
+fn fill_value_attribute_override() {
+    let mut f = NcFile::create(MemStore::new(), Version::Cdf1);
+    f.set_fill(true).unwrap();
+    let x = f.def_dim("x", 4).unwrap();
+    let v = f.def_var("s", NcType::Short, &[x]).unwrap();
+    f.put_vatt(v, "_FillValue", AttrValue::Short(vec![-1])).unwrap();
+    f.enddef().unwrap();
+    let vals: Vec<i16> = f.get_var(v).unwrap();
+    assert_eq!(vals, vec![-1; 4]);
+}
+
+#[test]
+fn nofill_default_leaves_zeros() {
+    let mut f = NcFile::create(MemStore::new(), Version::Cdf1);
+    let x = f.def_dim("x", 4).unwrap();
+    let v = f.def_var("i", NcType::Int, &[x]).unwrap();
+    f.enddef().unwrap();
+    assert!(!f.fill_mode());
+    let vals: Vec<i32> = f.get_var(v).unwrap();
+    assert_eq!(vals, vec![0; 4]);
+}
+
+#[test]
+fn set_fill_rejected_in_data_mode() {
+    let mut f = NcFile::create(MemStore::new(), Version::Cdf1);
+    f.def_dim("x", 2).unwrap();
+    f.enddef().unwrap();
+    assert!(f.set_fill(true).is_err());
+}
+
+#[test]
+fn serial_and_parallel_fill_files_are_identical() {
+    // The byte-identity property extends to fill mode.
+    use hpc_sim::SimConfig;
+    use pnetcdf_mpi::run_world;
+    use pnetcdf_pfs::{Pfs, StorageMode};
+
+    let serial = {
+        let mut f = NcFile::create(MemStore::new(), Version::Cdf1);
+        f.set_fill(true).unwrap();
+        let x = f.def_dim("x", 16).unwrap();
+        let v = f.def_var("a", NcType::Int, &[x]).unwrap();
+        f.def_var("untouched", NcType::Float, &[x]).unwrap();
+        f.enddef().unwrap();
+        f.put_vara(v, &[2], &[4], &[1i32, 2, 3, 4]).unwrap();
+        let mut store = f.close().unwrap();
+        let mut bytes = vec![0u8; store.size() as usize];
+        store.read_at(0, &mut bytes);
+        bytes
+    };
+
+    let cfg = SimConfig::test_small();
+    let pfs = Pfs::new(cfg.clone(), StorageMode::Full);
+    let pfs2 = pfs.clone();
+    run_world(4, cfg, move |c| {
+        let mut ds = pnetcdf::Dataset::create(
+            c,
+            &pfs2,
+            "p.nc",
+            Version::Cdf1,
+            &pnetcdf::Info::new(),
+        )
+        .unwrap();
+        ds.set_fill(true).unwrap();
+        let x = ds.def_dim("x", 16).unwrap();
+        let v = ds.def_var("a", NcType::Int, &[x]).unwrap();
+        ds.def_var("untouched", NcType::Float, &[x]).unwrap();
+        ds.enddef().unwrap();
+        // One rank writes the same region the serial program wrote.
+        if c.rank() == 1 {
+            ds.begin_indep_data().unwrap();
+            ds.put_vara(v, &[2], &[4], &[1i32, 2, 3, 4]).unwrap();
+            ds.end_indep_data().unwrap();
+        } else {
+            ds.begin_indep_data().unwrap();
+            ds.end_indep_data().unwrap();
+        }
+        ds.close().unwrap();
+    });
+    let parallel = pfs.open("p.nc").unwrap().to_bytes();
+    assert_eq!(parallel, serial);
+}

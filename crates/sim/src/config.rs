@@ -1,0 +1,211 @@
+//! Simulation configuration: one struct bundling the platform cost models.
+//!
+//! Two presets mirror the two testbeds of the paper's Section 5:
+//!
+//! * [`SimConfig::sdsc_blue_horizon`] — the teraflop SP at SDSC used for the
+//!   scalability analysis (Figure 6): 12 I/O nodes running GPFS, 1.5 GB/s
+//!   peak aggregate I/O bandwidth.
+//! * [`SimConfig::asci_frost`] — ASCI White Frost used for the FLASH I/O
+//!   comparison (Figure 7): a much smaller 2-node GPFS I/O system.
+//!
+//! The individual constants are first-order estimates for Power3-era hardware
+//! (they only need to produce the right *relative* behaviour), and every knob
+//! can be overridden through [`SimConfigBuilder`] for ablation studies.
+
+use crate::cpu::CpuModel;
+use crate::disk::DiskModel;
+use crate::network::NetworkModel;
+use crate::time::Time;
+
+/// Complete description of a simulated platform.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Interconnect between compute nodes (message passing).
+    pub network: NetworkModel,
+    /// Disk behaviour of one I/O server.
+    pub disk: DiskModel,
+    /// CPU costs for in-memory data movement.
+    pub cpu: CpuModel,
+    /// Number of I/O server nodes the parallel file system stripes across.
+    pub io_servers: usize,
+    /// File system stripe unit in bytes.
+    pub stripe_size: usize,
+    /// Bandwidth of one compute client's link into the storage network,
+    /// bytes/second. This is what bounds a *single* process performing all
+    /// the I/O (the serialized baseline of Figure 2(a)).
+    pub client_link_bw: f64,
+    /// One-way latency between a client and an I/O server.
+    pub client_link_latency: Time,
+}
+
+impl SimConfig {
+    /// SDSC Blue Horizon preset (Figure 6 platform).
+    ///
+    /// 12 I/O nodes, ~1.5 GB/s peak aggregate: each server streams at
+    /// 125 MB/s. A single Power3 client pushing through one NIC manages on
+    /// the order of 100 MB/s, which bounds the serial-netCDF column.
+    pub fn sdsc_blue_horizon() -> SimConfig {
+        SimConfig {
+            network: NetworkModel {
+                latency: Time::from_micros(20),
+                bandwidth: 350e6,
+            },
+            disk: DiskModel {
+                per_request: Time::from_micros(300),
+                seek: Time::from_millis(4),
+                bandwidth: 125e6,
+            },
+            cpu: CpuModel {
+                copy_per_byte_ns: 0.35,
+                metadata_op: Time::from_micros(50),
+            },
+            io_servers: 12,
+            stripe_size: 256 * 1024,
+            client_link_bw: 110e6,
+            client_link_latency: Time::from_micros(30),
+        }
+    }
+
+    /// ASCI White Frost preset (Figure 7 platform).
+    ///
+    /// Frost's GPFS ran on only 2 I/O nodes, which is why the paper's FLASH
+    /// aggregate bandwidths top out around 60–110 MB/s.
+    pub fn asci_frost() -> SimConfig {
+        SimConfig {
+            network: NetworkModel {
+                latency: Time::from_micros(25),
+                bandwidth: 300e6,
+            },
+            disk: DiskModel {
+                per_request: Time::from_micros(400),
+                seek: Time::from_millis(5),
+                bandwidth: 60e6,
+            },
+            cpu: CpuModel {
+                copy_per_byte_ns: 0.4,
+                metadata_op: Time::from_micros(60),
+            },
+            io_servers: 2,
+            stripe_size: 256 * 1024,
+            client_link_bw: 90e6,
+            client_link_latency: Time::from_micros(35),
+        }
+    }
+
+    /// A tiny, fast preset for unit tests: small stripes so striping logic is
+    /// exercised even by kilobyte-sized files.
+    pub fn test_small() -> SimConfig {
+        SimConfig {
+            network: NetworkModel {
+                latency: Time::from_micros(10),
+                bandwidth: 1e9,
+            },
+            disk: DiskModel {
+                per_request: Time::from_micros(100),
+                seek: Time::from_millis(1),
+                bandwidth: 200e6,
+            },
+            cpu: CpuModel {
+                copy_per_byte_ns: 0.2,
+                metadata_op: Time::from_micros(10),
+            },
+            io_servers: 4,
+            stripe_size: 1024,
+            client_link_bw: 400e6,
+            client_link_latency: Time::from_micros(10),
+        }
+    }
+
+    /// Start building a modified copy of this configuration.
+    pub fn builder(self) -> SimConfigBuilder {
+        SimConfigBuilder { cfg: self }
+    }
+
+    /// Peak aggregate disk bandwidth of the whole I/O subsystem, bytes/s.
+    pub fn peak_aggregate_bw(&self) -> f64 {
+        self.disk.bandwidth * self.io_servers as f64
+    }
+}
+
+/// Fluent overrides on top of a preset, used by the ablation benchmarks.
+#[derive(Clone, Debug)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Override the number of I/O servers.
+    pub fn io_servers(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one I/O server is required");
+        self.cfg.io_servers = n;
+        self
+    }
+
+    /// Override the stripe unit (bytes).
+    pub fn stripe_size(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "stripe size must be nonzero");
+        self.cfg.stripe_size = bytes;
+        self
+    }
+
+    /// Override per-server disk streaming bandwidth (bytes/s).
+    pub fn disk_bandwidth(mut self, bw: f64) -> Self {
+        self.cfg.disk.bandwidth = bw;
+        self
+    }
+
+    /// Override the client NIC bandwidth (bytes/s).
+    pub fn client_link_bw(mut self, bw: f64) -> Self {
+        self.cfg.client_link_bw = bw;
+        self
+    }
+
+    /// Override the interconnect model.
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.cfg.network = network;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> SimConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let sdsc = SimConfig::sdsc_blue_horizon();
+        assert_eq!(sdsc.io_servers, 12);
+        // 12 * 125 MB/s = 1.5 GB/s, the paper's stated peak.
+        assert!((sdsc.peak_aggregate_bw() - 1.5e9).abs() < 1e6);
+
+        let frost = SimConfig::asci_frost();
+        assert_eq!(frost.io_servers, 2);
+        assert!(frost.peak_aggregate_bw() < sdsc.peak_aggregate_bw());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let cfg = SimConfig::test_small()
+            .builder()
+            .io_servers(7)
+            .stripe_size(4096)
+            .disk_bandwidth(1e6)
+            .client_link_bw(2e6)
+            .build();
+        assert_eq!(cfg.io_servers, 7);
+        assert_eq!(cfg.stripe_size, 4096);
+        assert_eq!(cfg.disk.bandwidth, 1e6);
+        assert_eq!(cfg.client_link_bw, 2e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one I/O server")]
+    fn zero_servers_rejected() {
+        let _ = SimConfig::test_small().builder().io_servers(0);
+    }
+}

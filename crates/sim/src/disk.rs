@@ -1,0 +1,80 @@
+//! Disk cost model for one I/O server.
+//!
+//! Each request pays a fixed software-path overhead (`per_request`); a
+//! request that is not sequential with respect to the previous one on the
+//! same server additionally pays a positioning cost (`seek`); payload then
+//! streams at `bandwidth`. This is the minimal model that reproduces the
+//! paper's central performance facts: many small noncontiguous requests are
+//! overhead/seek-bound, while the large contiguous requests produced by
+//! two-phase collective I/O run at streaming bandwidth.
+
+use crate::time::Time;
+
+/// Cost parameters of one I/O server's disk subsystem.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskModel {
+    /// Fixed cost charged to every request (request processing, GPFS token
+    /// and buffer management, kernel path).
+    pub per_request: Time,
+    /// Positioning cost charged when a request does not start where the
+    /// previous request on the same server ended.
+    pub seek: Time,
+    /// Streaming bandwidth in bytes/second.
+    pub bandwidth: f64,
+}
+
+impl DiskModel {
+    /// Service time of one request of `bytes`, `sequential` with respect to
+    /// the server's previous request or not.
+    pub fn request(&self, bytes: usize, sequential: bool) -> Time {
+        let mut t = self.per_request;
+        if !sequential {
+            t += self.seek;
+        }
+        t + Time::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+
+    /// Pure streaming time for `bytes`.
+    pub fn stream(&self, bytes: usize) -> Time {
+        Time::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> DiskModel {
+        DiskModel {
+            per_request: Time::from_micros(200),
+            seek: Time::from_millis(4),
+            bandwidth: 1e8,
+        }
+    }
+
+    #[test]
+    fn sequential_skips_seek() {
+        let d = disk();
+        let seq = d.request(1_000_000, true);
+        let rnd = d.request(1_000_000, false);
+        assert_eq!(rnd - seq, Time::from_millis(4));
+    }
+
+    #[test]
+    fn small_requests_are_overhead_bound() {
+        let d = disk();
+        // 4 KB random request: transfer time 40 us, overhead+seek 4.2 ms.
+        let t = d.request(4096, false);
+        assert!(t > Time::from_millis(4));
+        // 1000 such requests are far slower than one 4 MB request.
+        let many = Time::from_nanos(t.as_nanos() * 1000);
+        let one = d.request(4096 * 1000, false);
+        assert!(many.as_secs_f64() > 50.0 * one.as_secs_f64());
+    }
+
+    #[test]
+    fn zero_bytes_costs_overhead_only() {
+        let d = disk();
+        assert_eq!(d.request(0, true), Time::from_micros(200));
+    }
+}

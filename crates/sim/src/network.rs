@@ -1,0 +1,136 @@
+//! Interconnect cost model: the classic α–β (latency–bandwidth) model.
+//!
+//! Point-to-point transfer of `n` bytes costs `α + n/β`. Collectives are
+//! charged with the standard tree/pipeline estimates used in MPI performance
+//! modelling; we do not model contention on the switch fabric (both SP-2
+//! testbeds had full-bisection switches, and the paper itself notes the
+//! interprocess-communication overhead is "negligible compared with the disk
+//! I/O").
+
+use crate::time::Time;
+
+/// α–β interconnect parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkModel {
+    /// One-way message latency (α).
+    pub latency: Time,
+    /// Link bandwidth in bytes/second (β).
+    pub bandwidth: f64,
+}
+
+impl NetworkModel {
+    /// Cost of one point-to-point message of `bytes`.
+    pub fn p2p(&self, bytes: usize) -> Time {
+        self.latency + self.transfer(bytes)
+    }
+
+    /// Pure wire time of `bytes` (no latency term).
+    pub fn transfer(&self, bytes: usize) -> Time {
+        Time::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+
+    /// ceil(log2(p)), with log2(1) = 0 and log2(0) treated as 0.
+    fn log2_ceil(p: usize) -> u64 {
+        if p <= 1 {
+            0
+        } else {
+            (usize::BITS - (p - 1).leading_zeros()) as u64
+        }
+    }
+
+    /// Cost of a binomial-tree broadcast of `bytes` among `nprocs` ranks.
+    pub fn bcast(&self, bytes: usize, nprocs: usize) -> Time {
+        let rounds = Self::log2_ceil(nprocs);
+        self.scaled_rounds(rounds, bytes)
+    }
+
+    /// Cost of a barrier among `nprocs` ranks (dissemination barrier).
+    pub fn barrier(&self, nprocs: usize) -> Time {
+        let rounds = Self::log2_ceil(nprocs);
+        Time::from_nanos(self.latency.as_nanos() * rounds)
+    }
+
+    /// Cost of a reduction/allreduce of `bytes` among `nprocs` ranks.
+    pub fn allreduce(&self, bytes: usize, nprocs: usize) -> Time {
+        // Recursive doubling: log2(p) rounds, each moving the full payload.
+        let rounds = Self::log2_ceil(nprocs);
+        self.scaled_rounds(rounds, bytes)
+    }
+
+    /// Cost of an allgather where each rank contributes `bytes_per_rank`.
+    pub fn allgather(&self, bytes_per_rank: usize, nprocs: usize) -> Time {
+        // Ring allgather: (p-1) steps of one contribution each.
+        let steps = nprocs.saturating_sub(1) as u64;
+        Time::from_nanos(self.latency.as_nanos() * Self::log2_ceil(nprocs))
+            + Time::from_secs_f64(steps as f64 * bytes_per_rank as f64 / self.bandwidth)
+    }
+
+    /// Cost of a (personalized) all-to-all where the busiest rank sends
+    /// `max_send_bytes` and receives `max_recv_bytes` in total.
+    ///
+    /// This is the primitive used by the two-phase collective-I/O exchange;
+    /// charging the busiest endpoint models the pipeline bottleneck.
+    pub fn alltoallv(&self, max_send_bytes: usize, max_recv_bytes: usize, nprocs: usize) -> Time {
+        let wire = max_send_bytes.max(max_recv_bytes);
+        Time::from_nanos(self.latency.as_nanos() * Self::log2_ceil(nprocs)) + self.transfer(wire)
+    }
+
+    fn scaled_rounds(&self, rounds: u64, bytes: usize) -> Time {
+        Time::from_nanos(self.latency.as_nanos() * rounds)
+            + Time::from_secs_f64(rounds as f64 * bytes as f64 / self.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkModel {
+        NetworkModel {
+            latency: Time::from_micros(10),
+            bandwidth: 1e8, // 100 MB/s
+        }
+    }
+
+    #[test]
+    fn p2p_is_latency_plus_wire() {
+        let n = net();
+        // 1 MB at 100 MB/s = 10 ms, plus 10 us latency.
+        let t = n.p2p(1_000_000);
+        assert_eq!(t, Time::from_micros(10) + Time::from_millis(10));
+    }
+
+    #[test]
+    fn log2_ceil_cases() {
+        assert_eq!(NetworkModel::log2_ceil(0), 0);
+        assert_eq!(NetworkModel::log2_ceil(1), 0);
+        assert_eq!(NetworkModel::log2_ceil(2), 1);
+        assert_eq!(NetworkModel::log2_ceil(3), 2);
+        assert_eq!(NetworkModel::log2_ceil(8), 3);
+        assert_eq!(NetworkModel::log2_ceil(9), 4);
+        assert_eq!(NetworkModel::log2_ceil(512), 9);
+    }
+
+    #[test]
+    fn bcast_grows_with_procs() {
+        let n = net();
+        assert!(n.bcast(4096, 16) > n.bcast(4096, 2));
+        assert_eq!(n.bcast(4096, 1), Time::ZERO);
+    }
+
+    #[test]
+    fn barrier_is_latency_only() {
+        let n = net();
+        assert_eq!(n.barrier(8), Time::from_micros(30));
+        assert_eq!(n.barrier(1), Time::ZERO);
+    }
+
+    #[test]
+    fn alltoallv_charges_busiest_endpoint() {
+        let n = net();
+        let a = n.alltoallv(1000, 500, 4);
+        let b = n.alltoallv(500, 1000, 4);
+        assert_eq!(a, b);
+        assert!(n.alltoallv(2000, 0, 4) > a);
+    }
+}

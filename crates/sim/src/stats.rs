@@ -1,0 +1,146 @@
+//! Operation counters shared across the simulation layers.
+//!
+//! These are diagnostics, not part of the timing model: benchmarks print them
+//! to explain *why* one configuration is slower (e.g. HDF5-sim issuing many
+//! more metadata requests and synchronizations than PnetCDF).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared atomic counters. Cloning shares the underlying counters.
+#[derive(Clone, Default)]
+pub struct SimStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Default)]
+struct Counters {
+    messages: AtomicU64,
+    message_bytes: AtomicU64,
+    collectives: AtomicU64,
+    io_requests: AtomicU64,
+    io_bytes_read: AtomicU64,
+    io_bytes_written: AtomicU64,
+    seeks: AtomicU64,
+    metadata_ops: AtomicU64,
+}
+
+/// A plain snapshot of the counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub messages: u64,
+    pub message_bytes: u64,
+    pub collectives: u64,
+    pub io_requests: u64,
+    pub io_bytes_read: u64,
+    pub io_bytes_written: u64,
+    pub seeks: u64,
+    pub metadata_ops: u64,
+}
+
+impl SimStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> SimStats {
+        SimStats::default()
+    }
+
+    /// Record one point-to-point message of `bytes`.
+    pub fn count_message(&self, bytes: usize) {
+        self.inner.messages.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .message_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record one collective operation.
+    pub fn count_collective(&self) {
+        self.inner.collectives.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one disk request; `read` selects the byte counter.
+    pub fn count_io(&self, bytes: usize, read: bool, seek: bool) {
+        self.inner.io_requests.fetch_add(1, Ordering::Relaxed);
+        if read {
+            self.inner
+                .io_bytes_read
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+        } else {
+            self.inner
+                .io_bytes_written
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+        if seek {
+            self.inner.seeks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record `n` metadata operations.
+    pub fn count_metadata(&self, n: usize) {
+        self.inner
+            .metadata_ops
+            .fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Take a snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            messages: self.inner.messages.load(Ordering::Relaxed),
+            message_bytes: self.inner.message_bytes.load(Ordering::Relaxed),
+            collectives: self.inner.collectives.load(Ordering::Relaxed),
+            io_requests: self.inner.io_requests.load(Ordering::Relaxed),
+            io_bytes_read: self.inner.io_bytes_read.load(Ordering::Relaxed),
+            io_bytes_written: self.inner.io_bytes_written.load(Ordering::Relaxed),
+            seeks: self.inner.seeks.load(Ordering::Relaxed),
+            metadata_ops: self.inner.metadata_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        self.inner.messages.store(0, Ordering::Relaxed);
+        self.inner.message_bytes.store(0, Ordering::Relaxed);
+        self.inner.collectives.store(0, Ordering::Relaxed);
+        self.inner.io_requests.store(0, Ordering::Relaxed);
+        self.inner.io_bytes_read.store(0, Ordering::Relaxed);
+        self.inner.io_bytes_written.store(0, Ordering::Relaxed);
+        self.inner.seeks.store(0, Ordering::Relaxed);
+        self.inner.metadata_ops.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = SimStats::new();
+        s.count_message(100);
+        s.count_message(50);
+        s.count_collective();
+        s.count_io(4096, true, true);
+        s.count_io(8192, false, false);
+        s.count_metadata(3);
+
+        let snap = s.snapshot();
+        assert_eq!(snap.messages, 2);
+        assert_eq!(snap.message_bytes, 150);
+        assert_eq!(snap.collectives, 1);
+        assert_eq!(snap.io_requests, 2);
+        assert_eq!(snap.io_bytes_read, 4096);
+        assert_eq!(snap.io_bytes_written, 8192);
+        assert_eq!(snap.seeks, 1);
+        assert_eq!(snap.metadata_ops, 3);
+
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let s = SimStats::new();
+        let s2 = s.clone();
+        s2.count_collective();
+        assert_eq!(s.snapshot().collectives, 1);
+    }
+}

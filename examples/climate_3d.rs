@@ -1,0 +1,121 @@
+//! The LBNL scalability test (paper §5.1) as a runnable example: a 3-D
+//! array field `tt(Z,Y,X)` is written to and read from a single netCDF file
+//! by P processes under each of the seven partitions of Figure 5, using
+//! collective I/O, and the achieved (virtual) bandwidth is reported.
+//!
+//! Run with: `cargo run --release --example climate_3d [-- nprocs [mb]]`
+
+use hpc_sim::SimConfig;
+use pnetcdf::{Dataset, Info, NcType, Version};
+use pnetcdf_mpi::run_world;
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+/// Near-equal factorization of `n` over `k` axes.
+fn factorize(n: usize, axes: usize) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut rem = n as u64;
+    for i in 0..axes {
+        let left = axes - i;
+        let mut f = (rem as f64).powf(1.0 / left as f64).round() as u64;
+        while f > 1 && rem % f != 0 {
+            f -= 1;
+        }
+        out.push(f.max(1));
+        rem /= out[i];
+    }
+    let last = out.len() - 1;
+    out[last] *= rem;
+    out
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let mb: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    // Array dimensions: Z is most significant, X least (paper §5.1).
+    let elems = mb * 1024 * 1024 / 4; // f32
+    let side = (elems as f64).cbrt() as u64;
+    let (nz, ny, nx) = (side, side, elems / (side * side));
+    println!(
+        "field tt({nz},{ny},{nx}) of f32 = {:.1} MB, {nprocs} processes, SDSC-like platform\n",
+        (nz * ny * nx * 4) as f64 / 1e6
+    );
+    println!("{:<10} {:>14} {:>14}", "partition", "write MB/s", "read MB/s");
+
+    for (name, mask) in [
+        ("Z", [true, false, false]),
+        ("Y", [false, true, false]),
+        ("X", [false, false, true]),
+        ("ZY", [true, true, false]),
+        ("ZX", [true, false, true]),
+        ("YX", [false, true, true]),
+        ("ZYX", [true, true, true]),
+    ] {
+        let cfg = SimConfig::sdsc_blue_horizon();
+        let pfs = Pfs::new(cfg.clone(), StorageMode::CostOnly);
+
+        // Per-axis process grid.
+        let naxes = mask.iter().filter(|&&m| m).count();
+        let fs = factorize(nprocs, naxes);
+        let mut grid = [1u64; 3];
+        let mut fi = 0;
+        for d in 0..3 {
+            if mask[d] {
+                grid[d] = fs[fi];
+                fi += 1;
+            }
+        }
+        let (pz, py, px) = (grid[0], grid[1], grid[2]);
+        let pfs2 = pfs.clone();
+
+        // Remainder-aware 1-D decomposition: the first `rem` ranks along an
+        // axis get one extra element, so the union covers the whole array.
+        let decomp = |n: u64, p: u64, i: u64| -> (u64, u64) {
+            let base = n / p;
+            let rem = n % p;
+            let start = i * base + i.min(rem);
+            let count = base + u64::from(i < rem);
+            (start, count)
+        };
+
+        let run = run_world(nprocs, cfg, move |comm| {
+            let r = comm.rank() as u64;
+            let (iz, iy, ix) = (r / (py * px), (r / px) % py, r % px);
+            let (sz, cz) = decomp(nz, pz, iz);
+            let (sy, cy) = decomp(ny, py, iy);
+            let (sx, cx) = decomp(nx, px, ix);
+            let start = [sz, sy, sx];
+            let count = [cz, cy, cx];
+
+            let mut ds =
+                Dataset::create(comm, &pfs2, "tt.nc", Version::Cdf2, &Info::new()).unwrap();
+            let z = ds.def_dim("level", nz).unwrap();
+            let y = ds.def_dim("latitude", ny).unwrap();
+            let x = ds.def_dim("longitude", nx).unwrap();
+            let tt = ds.def_var("tt", NcType::Float, &[z, y, x]).unwrap();
+            ds.enddef().unwrap();
+
+            let block = vec![1.5f32; (cz * cy * cx) as usize];
+            let t0 = comm.now();
+            ds.put_vara_all(tt, &start, &count, &block).unwrap();
+            let t_write = comm.now() - t0;
+
+            let t1 = comm.now();
+            let _back: Vec<f32> = ds.get_vara_all(tt, &start, &count).unwrap();
+            let t_read = comm.now() - t1;
+            ds.close().unwrap();
+            (t_write, t_read)
+        });
+
+        let total = (nz * ny * nx * 4) as f64;
+        let w = run.results.iter().map(|r| r.0).max().unwrap();
+        let rd = run.results.iter().map(|r| r.1).max().unwrap();
+        println!(
+            "{:<10} {:>14.1} {:>14.1}",
+            name,
+            total / w.as_secs_f64() / 1e6,
+            total / rd.as_secs_f64() / 1e6,
+        );
+    }
+}

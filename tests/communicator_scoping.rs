@@ -1,0 +1,107 @@
+//! Communicator scoping: datasets opened on sub-communicators, several
+//! datasets open at once, and I/O groups that don't span the world — the
+//! "participating processes in a communication group" semantics of §4.1.
+
+use hpc_sim::SimConfig;
+use pnetcdf::{Dataset, Info, NcType, Version};
+use pnetcdf_mpi::run_world;
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+fn cfg() -> SimConfig {
+    SimConfig::test_small()
+}
+
+#[test]
+fn dataset_on_sub_communicator() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(6, cfg(), |c| {
+        // Even ranks write one file, odd ranks another — concurrently.
+        let color = (c.rank() % 2) as i64;
+        let sub = c.split(color, 0).unwrap().unwrap();
+        let name = if color == 0 { "even.nc" } else { "odd.nc" };
+        let mut ds = Dataset::create(&sub, &pfs, name, Version::Cdf1, &Info::new()).unwrap();
+        let x = ds.def_dim("x", sub.size() as u64 * 2).unwrap();
+        let v = ds.def_var("a", NcType::Int, &[x]).unwrap();
+        ds.enddef().unwrap();
+        let s = sub.rank() as u64 * 2;
+        ds.put_vara_all(v, &[s], &[2], &[color as i32 * 100 + s as i32, color as i32 * 100 + s as i32 + 1])
+            .unwrap();
+        let all: Vec<i32> = ds.get_vara_all(v, &[0], &[sub.size() as u64 * 2]).unwrap();
+        for (i, &got) in all.iter().enumerate() {
+            assert_eq!(got, color as i32 * 100 + i as i32);
+        }
+        ds.close().unwrap();
+    });
+    assert!(pfs.exists("even.nc"));
+    assert!(pfs.exists("odd.nc"));
+}
+
+#[test]
+fn two_datasets_open_simultaneously() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(3, cfg(), |c| {
+        let mut a = Dataset::create(c, &pfs, "a.nc", Version::Cdf1, &Info::new()).unwrap();
+        let xa = a.def_dim("x", 6).unwrap();
+        let va = a.def_var("v", NcType::Int, &[xa]).unwrap();
+        a.enddef().unwrap();
+
+        let mut b = Dataset::create(c, &pfs, "b.nc", Version::Cdf1, &Info::new()).unwrap();
+        let xb = b.def_dim("x", 6).unwrap();
+        let vb = b.def_var("v", NcType::Int, &[xb]).unwrap();
+        b.enddef().unwrap();
+
+        // Interleaved collective operations on both datasets.
+        let s = c.rank() as u64 * 2;
+        a.put_vara_all(va, &[s], &[2], &[1i32, 2]).unwrap();
+        b.put_vara_all(vb, &[s], &[2], &[3i32, 4]).unwrap();
+        let ra: Vec<i32> = a.get_vara_all(va, &[s], &[2]).unwrap();
+        let rb: Vec<i32> = b.get_vara_all(vb, &[s], &[2]).unwrap();
+        assert_eq!(ra, vec![1, 2]);
+        assert_eq!(rb, vec![3, 4]);
+        a.close().unwrap();
+        b.close().unwrap();
+    });
+}
+
+#[test]
+fn duped_communicator_runs_dataset() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(2, cfg(), |c| {
+        let dup = c.dup().unwrap();
+        let mut ds = Dataset::create(&dup, &pfs, "d.nc", Version::Cdf1, &Info::new()).unwrap();
+        let x = ds.def_dim("x", 4).unwrap();
+        let v = ds.def_var("a", NcType::Float, &[x]).unwrap();
+        ds.enddef().unwrap();
+        ds.put_vara_all(v, &[(dup.rank() * 2) as u64], &[2], &[1.5f32, 2.5])
+            .unwrap();
+        // Operations on the parent communicator are unaffected.
+        c.barrier().unwrap();
+        ds.close().unwrap();
+    });
+}
+
+#[test]
+fn single_rank_subgroup_behaves_like_serial() {
+    // A communicator of size 1 (the MPI_COMM_SELF pattern).
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(4, cfg(), |c| {
+        let me = c.split(c.rank() as i64, 0).unwrap().unwrap();
+        assert_eq!(me.size(), 1);
+        let name = format!("self_{}.nc", c.rank());
+        let mut ds = Dataset::create(&me, &pfs, &name, Version::Cdf1, &Info::new()).unwrap();
+        let x = ds.def_dim("x", 3).unwrap();
+        let v = ds.def_var("a", NcType::Int, &[x]).unwrap();
+        ds.enddef().unwrap();
+        ds.put_vara_all(v, &[0], &[3], &[7, 8, 9]).unwrap();
+        ds.close().unwrap();
+    });
+    // Four independent files exist, one per rank.
+    for r in 0..4 {
+        let bytes = pfs.open(&format!("self_{r}.nc")).unwrap().to_bytes();
+        let mut f =
+            netcdf_serial::NcFile::open(netcdf_serial::MemStore::from_bytes(bytes)).unwrap();
+        let v = f.var_id("a").unwrap();
+        let vals: Vec<i32> = f.get_var(v).unwrap();
+        assert_eq!(vals, vec![7, 8, 9]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Semantic guards: define/data/independent mode enforcement, cross-rank
+//! consistency checking at `enddef`, and error propagation.
+
+use hpc_sim::SimConfig;
+use pnetcdf::{DataMode, Dataset, Info, NcType, NcmpiError, Version};
+use pnetcdf_mpi::run_world;
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+fn cfg() -> SimConfig {
+    SimConfig::test_small()
+}
+
+#[test]
+fn inconsistent_definitions_detected_at_enddef() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    let run = run_world(4, cfg(), |c| {
+        let mut ds =
+            Dataset::create(c, &pfs, "bad.nc", Version::Cdf1, &Info::new()).unwrap();
+        // Rank 2 defines a different dimension length.
+        let len = if c.rank() == 2 { 5 } else { 4 };
+        ds.def_dim("x", len).unwrap();
+        ds.def_var("a", NcType::Int, &[0]).unwrap();
+        matches!(ds.enddef(), Err(NcmpiError::InconsistentDefinitions))
+    });
+    assert!(run.results.iter().all(|&detected| detected));
+}
+
+#[test]
+fn consistent_definitions_pass_enddef() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(4, cfg(), |c| {
+        let mut ds =
+            Dataset::create(c, &pfs, "ok.nc", Version::Cdf1, &Info::new()).unwrap();
+        ds.def_dim("x", 4).unwrap();
+        ds.def_var("a", NcType::Int, &[0]).unwrap();
+        ds.enddef().unwrap();
+        assert_eq!(ds.mode(), DataMode::Collective);
+        ds.close().unwrap();
+    });
+}
+
+#[test]
+fn define_mode_rules() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(2, cfg(), |c| {
+        let mut ds =
+            Dataset::create(c, &pfs, "m.nc", Version::Cdf1, &Info::new()).unwrap();
+        assert_eq!(ds.mode(), DataMode::Define);
+        let x = ds.def_dim("x", 2).unwrap();
+        let v = ds.def_var("a", NcType::Int, &[x]).unwrap();
+        // Data access in define mode fails.
+        assert!(matches!(
+            ds.put_vara_all::<i32>(v, &[0], &[2], &[1, 2]),
+            Err(NcmpiError::InDefineMode)
+        ));
+        assert!(matches!(ds.sync(), Err(NcmpiError::InDefineMode)));
+        ds.enddef().unwrap();
+        // Define calls now fail.
+        assert!(matches!(
+            ds.def_dim("y", 3),
+            Err(NcmpiError::NotInDefineMode)
+        ));
+        assert!(matches!(
+            ds.put_gatt_text("t", "x"),
+            Err(NcmpiError::NotInDefineMode)
+        ));
+        // redef re-enables them.
+        ds.redef().unwrap();
+        ds.def_dim("y", 3).unwrap();
+        ds.enddef().unwrap();
+        ds.close().unwrap();
+    });
+}
+
+#[test]
+fn data_mode_switching() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(2, cfg(), |c| {
+        let mut ds =
+            Dataset::create(c, &pfs, "sw.nc", Version::Cdf1, &Info::new()).unwrap();
+        let x = ds.def_dim("x", 4).unwrap();
+        let v = ds.def_var("a", NcType::Int, &[x]).unwrap();
+        ds.enddef().unwrap();
+
+        // end_indep without begin_indep fails.
+        assert!(ds.end_indep_data().is_err());
+        ds.begin_indep_data().unwrap();
+        assert_eq!(ds.mode(), DataMode::Independent);
+        // begin twice fails.
+        assert!(ds.begin_indep_data().is_err());
+        ds.put_vara(v, &[(c.rank() * 2) as u64], &[2], &[1i32, 2])
+            .unwrap();
+        ds.end_indep_data().unwrap();
+        assert_eq!(ds.mode(), DataMode::Collective);
+        ds.close().unwrap();
+    });
+}
+
+#[test]
+fn open_nonexistent_fails_everywhere() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    let run = run_world(3, cfg(), |c| {
+        Dataset::open(c, &pfs, "missing.nc", true, &Info::new()).is_err()
+    });
+    assert!(run.results.iter().all(|&e| e));
+}
+
+#[test]
+fn create_same_name_twice_truncates() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(2, cfg(), |c| {
+        {
+            let mut ds =
+                Dataset::create(c, &pfs, "t.nc", Version::Cdf1, &Info::new()).unwrap();
+            let x = ds.def_dim("x", 2).unwrap();
+            let v = ds.def_var("a", NcType::Int, &[x]).unwrap();
+            ds.enddef().unwrap();
+            ds.put_vara_all(v, &[0], &[2], &[7i32, 8]).unwrap();
+            ds.close().unwrap();
+        }
+        {
+            let mut ds =
+                Dataset::create(c, &pfs, "t.nc", Version::Cdf1, &Info::new()).unwrap();
+            let x = ds.def_dim("x", 2).unwrap();
+            let v = ds.def_var("b", NcType::Int, &[x]).unwrap();
+            ds.enddef().unwrap();
+            // Old variable is gone; data reads as zero until written.
+            assert!(ds.inq_varid("a").is_err());
+            let z: Vec<i32> = ds.get_vara_all(v, &[0], &[2]).unwrap();
+            assert_eq!(z, vec![0, 0]);
+            ds.close().unwrap();
+        }
+    });
+}
+
+#[test]
+fn invalid_argument_errors() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(1, cfg(), |c| {
+        let mut ds =
+            Dataset::create(c, &pfs, "e.nc", Version::Cdf1, &Info::new()).unwrap();
+        let x = ds.def_dim("x", 4).unwrap();
+        let v = ds.def_var("a", NcType::Int, &[x]).unwrap();
+        // Bad names and dims at definition time.
+        assert!(ds.def_dim("bad name", 1).is_err());
+        assert!(ds.def_var("v2", NcType::Int, &[99]).is_err());
+        ds.enddef().unwrap();
+        // Count/value mismatch.
+        assert!(matches!(
+            ds.put_vara_all::<i32>(v, &[0], &[3], &[1, 2]),
+            Err(NcmpiError::InvalidArgument(_))
+        ));
+        // Unknown variable id.
+        assert!(ds.get_vara_all::<i32>(9, &[0], &[1]).is_err());
+        // Rank mismatch.
+        assert!(ds.put_vara_all::<i32>(v, &[0, 0], &[1, 1], &[1]).is_err());
+        ds.close().unwrap();
+    });
+}
+
+#[test]
+fn dataset_usable_across_many_collective_rounds() {
+    // Stress the rendezvous reuse through a realistic op sequence.
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(4, cfg(), |c| {
+        let mut ds =
+            Dataset::create(c, &pfs, "many.nc", Version::Cdf1, &Info::new()).unwrap();
+        let x = ds.def_dim("x", 64).unwrap();
+        let v = ds.def_var("a", NcType::Int, &[x]).unwrap();
+        ds.enddef().unwrap();
+        for round in 0..25 {
+            let s = (c.rank() * 16) as u64;
+            let vals: Vec<i32> = (0..16).map(|i| round * 100 + i).collect();
+            ds.put_vara_all(v, &[s], &[16], &vals).unwrap();
+            let back: Vec<i32> = ds.get_vara_all(v, &[s], &[16]).unwrap();
+            assert_eq!(back, vals);
+        }
+        ds.close().unwrap();
+    });
+}

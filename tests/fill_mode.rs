@@ -1,0 +1,125 @@
+//! Fill mode semantics: `set_fill` prefills fixed variables at `enddef`,
+//! `fill_var_rec` prefills records, `_FillValue` overrides the default.
+
+use hpc_sim::SimConfig;
+use pnetcdf::{AttrValue, Dataset, Info, NcType, Version};
+use pnetcdf_mpi::run_world;
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+fn cfg() -> SimConfig {
+    SimConfig::test_small()
+}
+
+#[test]
+fn enddef_prefills_fixed_vars() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(3, cfg(), |c| {
+        let mut ds = Dataset::create(c, &pfs, "f.nc", Version::Cdf1, &Info::new()).unwrap();
+        ds.set_fill(true).unwrap();
+        let x = ds.def_dim("x", 10).unwrap();
+        let vi = ds.def_var("ints", NcType::Int, &[x]).unwrap();
+        let vf = ds.def_var("floats", NcType::Float, &[x]).unwrap();
+        ds.enddef().unwrap();
+
+        // Unwritten cells hold NC_FILL values, not zeros.
+        let ints: Vec<i32> = ds.get_vara_all(vi, &[0], &[10]).unwrap();
+        assert_eq!(ints, vec![-2147483647; 10]);
+        let floats: Vec<f32> = ds.get_vara_all(vf, &[0], &[10]).unwrap();
+        assert!(floats.iter().all(|&f| f > 9.9e36));
+
+        // Writes overlay the fill.
+        ds.put_vara_all(vi, &[(c.rank() * 3) as u64], &[3], &[1, 2, 3])
+            .unwrap();
+        let ints: Vec<i32> = ds.get_vara_all(vi, &[0], &[10]).unwrap();
+        assert_eq!(&ints[..9], &[1, 2, 3, 1, 2, 3, 1, 2, 3]);
+        assert_eq!(ints[9], -2147483647);
+        ds.close().unwrap();
+    });
+}
+
+#[test]
+fn fill_value_attribute_overrides_default() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(2, cfg(), |c| {
+        let mut ds = Dataset::create(c, &pfs, "o.nc", Version::Cdf1, &Info::new()).unwrap();
+        ds.set_fill(true).unwrap();
+        let x = ds.def_dim("x", 6).unwrap();
+        let v = ds.def_var("a", NcType::Short, &[x]).unwrap();
+        ds.put_vatt(v, "_FillValue", AttrValue::Short(vec![-9]))
+            .unwrap();
+        ds.enddef().unwrap();
+        let vals: Vec<i16> = ds.get_vara_all(v, &[0], &[6]).unwrap();
+        assert_eq!(vals, vec![-9; 6]);
+        ds.close().unwrap();
+    });
+}
+
+#[test]
+fn fill_var_rec_prefills_one_record() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(2, cfg(), |c| {
+        let mut ds = Dataset::create(c, &pfs, "r.nc", Version::Cdf1, &Info::new()).unwrap();
+        let t = ds.def_dim("time", 0).unwrap();
+        let x = ds.def_dim("x", 8).unwrap();
+        let v = ds.def_var("s", NcType::Double, &[t, x]).unwrap();
+        ds.enddef().unwrap();
+
+        // Prefill record 2 (creating records 0..3), then write half of it.
+        ds.fill_var_rec(v, 2).unwrap();
+        assert_eq!(ds.numrecs(), 3);
+        ds.put_vara_all(v, &[2, (c.rank() * 2) as u64], &[1, 2], &[1.0, 2.0])
+            .unwrap();
+        let rec: Vec<f64> = ds.get_vara_all(v, &[2, 0], &[1, 8]).unwrap();
+        assert_eq!(&rec[..4], &[1.0, 2.0, 1.0, 2.0]);
+        assert!(rec[4..].iter().all(|&f| f > 9.9e36), "unwritten half is fill");
+
+        // fill_var_rec on a fixed variable is an error.
+        let mut ds2 = Dataset::create(c, &pfs, "r2.nc", Version::Cdf1, &Info::new()).unwrap();
+        let y = ds2.def_dim("y", 4).unwrap();
+        let w = ds2.def_var("w", NcType::Int, &[y]).unwrap();
+        ds2.enddef().unwrap();
+        assert!(ds2.fill_var_rec(w, 0).is_err());
+        ds2.close().unwrap();
+        ds.close().unwrap();
+    });
+}
+
+#[test]
+fn set_fill_requires_define_mode_and_returns_old() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(1, cfg(), |c| {
+        let mut ds = Dataset::create(c, &pfs, "m.nc", Version::Cdf1, &Info::new()).unwrap();
+        assert!(!ds.fill_mode());
+        assert!(!ds.set_fill(true).unwrap());
+        assert!(ds.set_fill(true).unwrap());
+        ds.def_dim("x", 2).unwrap();
+        ds.enddef().unwrap();
+        assert!(ds.set_fill(false).is_err(), "data mode rejects set_fill");
+        ds.close().unwrap();
+    });
+}
+
+#[test]
+fn redef_prefills_only_new_variables() {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    run_world(2, cfg(), |c| {
+        let mut ds = Dataset::create(c, &pfs, "n.nc", Version::Cdf1, &Info::new()).unwrap();
+        ds.set_fill(true).unwrap();
+        let x = ds.def_dim("x", 4).unwrap();
+        let old = ds.def_var("old", NcType::Int, &[x]).unwrap();
+        ds.enddef().unwrap();
+        ds.put_vara_all(old, &[(c.rank() * 2) as u64], &[2], &[5, 6])
+            .unwrap();
+
+        ds.redef().unwrap();
+        let fresh = ds.def_var("fresh", NcType::Int, &[x]).unwrap();
+        ds.enddef().unwrap();
+
+        // The existing variable keeps its data; the new one is fill.
+        let o: Vec<i32> = ds.get_vara_all(old, &[0], &[4]).unwrap();
+        assert_eq!(o, vec![5, 6, 5, 6]);
+        let f: Vec<i32> = ds.get_vara_all(fresh, &[0], &[4]).unwrap();
+        assert_eq!(f, vec![-2147483647; 4]);
+        ds.close().unwrap();
+    });
+}

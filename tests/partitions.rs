@@ -1,0 +1,186 @@
+//! Round-trips for the seven 3-D partitioning strategies of the paper's
+//! Figure 5 (Z, Y, X, ZY, ZX, YX, ZYX): every rank writes its block of a
+//! `tt(Z,Y,X)` array collectively, then the array is verified both through
+//! a collective read with a different partition and through an untimed
+//! whole-file check.
+
+use hpc_sim::SimConfig;
+use pnetcdf::{Dataset, Info, NcType, Version};
+use pnetcdf_mpi::run_world;
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+fn cfg() -> SimConfig {
+    SimConfig::test_small()
+}
+
+/// Which axes a partition splits.
+#[derive(Clone, Copy, Debug)]
+struct Split {
+    z: bool,
+    y: bool,
+    x: bool,
+}
+
+const PARTITIONS: [(&str, Split); 7] = [
+    ("Z", Split { z: true, y: false, x: false }),
+    ("Y", Split { z: false, y: true, x: false }),
+    ("X", Split { z: false, y: false, x: true }),
+    ("ZY", Split { z: true, y: true, x: false }),
+    ("ZX", Split { z: true, y: false, x: true }),
+    ("YX", Split { z: false, y: true, x: true }),
+    ("ZYX", Split { z: true, y: true, x: true }),
+];
+
+/// Factor `nprocs` across the split axes (most significant axis gets the
+/// largest factor), returning per-axis process counts.
+fn factors(nprocs: usize, split: Split) -> (u64, u64, u64) {
+    let naxes = [split.z, split.y, split.x].iter().filter(|&&b| b).count();
+    let mut remaining = nprocs as u64;
+    let mut out = [1u64, 1, 1];
+    let mut axes: Vec<usize> = Vec::new();
+    if split.z {
+        axes.push(0);
+    }
+    if split.y {
+        axes.push(1);
+    }
+    if split.x {
+        axes.push(2);
+    }
+    for (i, &a) in axes.iter().enumerate() {
+        let left = naxes - i;
+        // Greedy near-equal factorization.
+        let mut f = (remaining as f64).powf(1.0 / left as f64).round() as u64;
+        while f > 1 && remaining % f != 0 {
+            f -= 1;
+        }
+        out[a] = f.max(1);
+        remaining /= out[a];
+    }
+    out[*axes.last().unwrap()] *= remaining;
+    (out[0], out[1], out[2])
+}
+
+/// This rank's (start, count) block of a (Z,Y,X) array.
+fn block(
+    rank: usize,
+    (pz, py, px): (u64, u64, u64),
+    (nz, ny, nx): (u64, u64, u64),
+) -> ([u64; 3], [u64; 3]) {
+    let r = rank as u64;
+    let iz = r / (py * px);
+    let iy = (r / px) % py;
+    let ix = r % px;
+    let szz = nz / pz;
+    let szy = ny / py;
+    let szx = nx / px;
+    ([iz * szz, iy * szy, ix * szx], [szz, szy, szx])
+}
+
+fn value(z: u64, y: u64, x: u64) -> f32 {
+    (z * 10000 + y * 100 + x) as f32
+}
+
+#[test]
+fn all_seven_partitions_roundtrip() {
+    let (nz, ny, nx) = (4u64, 4, 8);
+    let nprocs = 4usize;
+    for (name, split) in PARTITIONS {
+        let p = factors(nprocs, split);
+        assert_eq!(p.0 * p.1 * p.2, nprocs as u64, "partition {name}");
+        let pfs = Pfs::new(cfg(), StorageMode::Full);
+        let pfs2 = pfs.clone();
+        run_world(nprocs, cfg(), move |c| {
+            let mut ds =
+                Dataset::create(c, &pfs2, "p.nc", Version::Cdf1, &Info::new()).unwrap();
+            let z = ds.def_dim("z", nz).unwrap();
+            let y = ds.def_dim("y", ny).unwrap();
+            let x = ds.def_dim("x", nx).unwrap();
+            let v = ds.def_var("tt", NcType::Float, &[z, y, x]).unwrap();
+            ds.enddef().unwrap();
+
+            let (start, count) = block(c.rank(), p, (nz, ny, nx));
+            let mut vals = Vec::new();
+            for dz in 0..count[0] {
+                for dy in 0..count[1] {
+                    for dx in 0..count[2] {
+                        vals.push(value(start[0] + dz, start[1] + dy, start[2] + dx));
+                    }
+                }
+            }
+            ds.put_vara_all(v, &start, &count, &vals).unwrap();
+
+            // Read back with the *transposed* role: every rank reads one z
+            // plane regardless of how it wrote.
+            let zplane = c.rank() as u64 % nz;
+            let plane: Vec<f32> = ds
+                .get_vara_all(v, &[zplane, 0, 0], &[1, ny, nx])
+                .unwrap();
+            for (i, &got) in plane.iter().enumerate() {
+                let yy = i as u64 / nx;
+                let xx = i as u64 % nx;
+                assert_eq!(got, value(zplane, yy, xx), "partition {name}");
+            }
+            ds.close().unwrap();
+        });
+
+        // Whole-file verification of every element.
+        let bytes = pfs.open("p.nc").unwrap().to_bytes();
+        let mut f = netcdf_serial::NcFile::open(netcdf_serial::MemStore::from_bytes(bytes))
+            .unwrap();
+        let v = f.var_id("tt").unwrap();
+        let all: Vec<f32> = f.get_var(v).unwrap();
+        let mut i = 0;
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    assert_eq!(all[i], value(z, y, x), "partition {name} at ({z},{y},{x})");
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn partitioned_read_after_partitioned_write() {
+    // Write with ZY partition, read with X partition — cross-pattern.
+    let (nz, ny, nx) = (4u64, 4, 4);
+    let nprocs = 4usize;
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    let pw = factors(nprocs, Split { z: true, y: true, x: false });
+    let pr = factors(nprocs, Split { z: false, y: false, x: true });
+    run_world(nprocs, cfg(), move |c| {
+        let mut ds =
+            Dataset::create(c, &pfs, "c.nc", Version::Cdf1, &Info::new()).unwrap();
+        let z = ds.def_dim("z", nz).unwrap();
+        let y = ds.def_dim("y", ny).unwrap();
+        let x = ds.def_dim("x", nx).unwrap();
+        let v = ds.def_var("tt", NcType::Float, &[z, y, x]).unwrap();
+        ds.enddef().unwrap();
+
+        let (start, count) = block(c.rank(), pw, (nz, ny, nx));
+        let mut vals = Vec::new();
+        for dz in 0..count[0] {
+            for dy in 0..count[1] {
+                for dx in 0..count[2] {
+                    vals.push(value(start[0] + dz, start[1] + dy, start[2] + dx));
+                }
+            }
+        }
+        ds.put_vara_all(v, &start, &count, &vals).unwrap();
+
+        let (rs, rc) = block(c.rank(), pr, (nz, ny, nx));
+        let got: Vec<f32> = ds.get_vara_all(v, &rs, &rc).unwrap();
+        let mut i = 0;
+        for dz in 0..rc[0] {
+            for dy in 0..rc[1] {
+                for dx in 0..rc[2] {
+                    assert_eq!(got[i], value(rs[0] + dz, rs[1] + dy, rs[2] + dx));
+                    i += 1;
+                }
+            }
+        }
+        ds.close().unwrap();
+    });
+}

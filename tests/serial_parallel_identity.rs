@@ -1,0 +1,237 @@
+//! The strongest correctness property in the repository: a dataset written
+//! by PnetCDF with P ranks is **byte-for-byte identical** to the same
+//! dataset written by the serial netCDF library — the paper's central
+//! interoperability claim ("our parallel netCDF design retains the original
+//! netCDF file format"). This pins the format codec, the layout math, the
+//! view construction, and the two-phase write path simultaneously.
+
+use hpc_sim::SimConfig;
+use netcdf_serial::{MemStore, NcFile};
+use pnetcdf::{Dataset, Info, NcType, Version};
+use pnetcdf_mpi::run_world;
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+fn cfg() -> SimConfig {
+    SimConfig::test_small()
+}
+
+/// The shared dataset definition: a 3-D fixed variable, a record variable,
+/// and some attributes.
+fn define_serial(f: &mut NcFile) -> (usize, usize) {
+    let t = f.def_dim("time", 0).unwrap();
+    let z = f.def_dim("z", 4).unwrap();
+    let y = f.def_dim("y", 6).unwrap();
+    let x = f.def_dim("x", 8).unwrap();
+    f.put_gatt("title", pnetcdf::AttrValue::Char("identity".into()))
+        .unwrap();
+    let tt = f.def_var("tt", NcType::Float, &[z, y, x]).unwrap();
+    f.put_vatt(tt, "units", pnetcdf::AttrValue::Char("K".into()))
+        .unwrap();
+    let ts = f.def_var("ts", NcType::Double, &[t, y, x]).unwrap();
+    f.enddef().unwrap();
+    (tt, ts)
+}
+
+fn define_parallel(ds: &mut Dataset) -> (usize, usize) {
+    let t = ds.def_dim("time", 0).unwrap();
+    let z = ds.def_dim("z", 4).unwrap();
+    let y = ds.def_dim("y", 6).unwrap();
+    let x = ds.def_dim("x", 8).unwrap();
+    ds.put_gatt_text("title", "identity").unwrap();
+    let tt = ds.def_var("tt", NcType::Float, &[z, y, x]).unwrap();
+    ds.put_vatt_text(tt, "units", "K").unwrap();
+    let ts = ds.def_var("ts", NcType::Double, &[t, y, x]).unwrap();
+    ds.enddef().unwrap();
+    (tt, ts)
+}
+
+fn tt_value(z: u64, y: u64, x: u64) -> f32 {
+    (z * 10000 + y * 100 + x) as f32 * 0.25
+}
+
+fn ts_value(r: u64, y: u64, x: u64) -> f64 {
+    (r * 1_000_000 + y * 1000 + x) as f64 * 0.5
+}
+
+fn serial_bytes() -> Vec<u8> {
+    let mut f = NcFile::create(MemStore::new(), Version::Cdf1);
+    let (tt, ts) = define_serial(&mut f);
+    // Whole 3-D variable.
+    let mut vals = Vec::new();
+    for z in 0..4 {
+        for y in 0..6 {
+            for x in 0..8 {
+                vals.push(tt_value(z, y, x));
+            }
+        }
+    }
+    f.put_vara(tt, &[0, 0, 0], &[4, 6, 8], &vals).unwrap();
+    // Three records.
+    for r in 0..3u64 {
+        let mut rec = Vec::new();
+        for y in 0..6 {
+            for x in 0..8 {
+                rec.push(ts_value(r, y, x));
+            }
+        }
+        f.put_vara(ts, &[r, 0, 0], &[1, 6, 8], &rec).unwrap();
+    }
+    let store = f.close().unwrap();
+    // Recover the bytes through the trait object by reading them back.
+    let mut store = store;
+    let size = store.size();
+    let mut bytes = vec![0u8; size as usize];
+    store.read_at(0, &mut bytes);
+    bytes
+}
+
+fn parallel_bytes(nprocs: usize) -> Vec<u8> {
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    let pfs2 = pfs.clone();
+    run_world(nprocs, cfg(), move |c| {
+        let mut ds =
+            Dataset::create(c, &pfs2, "id.nc", Version::Cdf1, &Info::new()).unwrap();
+        let (tt, ts) = define_parallel(&mut ds);
+
+        // Partition the fixed variable along z across ranks.
+        let per = 4u64.div_ceil(nprocs as u64);
+        let z0 = (c.rank() as u64 * per).min(4);
+        let z1 = ((c.rank() as u64 + 1) * per).min(4);
+        let mut vals = Vec::new();
+        for z in z0..z1 {
+            for y in 0..6 {
+                for x in 0..8 {
+                    vals.push(tt_value(z, y, x));
+                }
+            }
+        }
+        ds.put_vara_all(tt, &[z0, 0, 0], &[z1 - z0, 6, 8], &vals)
+            .unwrap();
+
+        // Records: partition each record along y.
+        let yper = 6u64.div_ceil(nprocs as u64);
+        let y0 = (c.rank() as u64 * yper).min(6);
+        let y1 = ((c.rank() as u64 + 1) * yper).min(6);
+        for r in 0..3u64 {
+            let mut rec = Vec::new();
+            for y in y0..y1 {
+                for x in 0..8 {
+                    rec.push(ts_value(r, y, x));
+                }
+            }
+            ds.put_vara_all(ts, &[r, y0, 0], &[1, y1 - y0, 8], &rec)
+                .unwrap();
+        }
+        ds.close().unwrap();
+    });
+    pfs.open("id.nc").unwrap().to_bytes()
+}
+
+#[test]
+fn parallel_file_is_byte_identical_to_serial() {
+    let reference = serial_bytes();
+    assert!(reference.len() > 32, "reference file has data");
+    for nprocs in [1, 2, 3, 4] {
+        let par = parallel_bytes(nprocs);
+        assert_eq!(
+            par.len(),
+            reference.len(),
+            "file size mismatch with {nprocs} ranks"
+        );
+        assert_eq!(par, reference, "byte mismatch with {nprocs} ranks");
+    }
+}
+
+#[test]
+fn serial_reads_parallel_file() {
+    // Write with 4 ranks, read with the serial library.
+    let bytes = parallel_bytes(4);
+    let mut f = NcFile::open(MemStore::from_bytes(bytes)).unwrap();
+    let tt = f.var_id("tt").unwrap();
+    let ts = f.var_id("ts").unwrap();
+    assert_eq!(f.numrecs(), 3);
+    let v: f32 = f.get_var1(tt, &[3, 5, 7]).unwrap();
+    assert_eq!(v, tt_value(3, 5, 7));
+    let r: f64 = f.get_var1(ts, &[2, 4, 1]).unwrap();
+    assert_eq!(r, ts_value(2, 4, 1));
+    assert_eq!(
+        f.get_gatt("title").unwrap(),
+        &pnetcdf::AttrValue::Char("identity".into())
+    );
+}
+
+#[test]
+fn parallel_reads_serial_file() {
+    // Write with the serial library, read with 3 ranks collectively.
+    let bytes = serial_bytes();
+    let pfs = Pfs::new(cfg(), StorageMode::Full);
+    pfs.create("ser.nc").import_bytes(&bytes);
+    run_world(3, cfg(), move |c| {
+        let mut ds = Dataset::open(c, &pfs, "ser.nc", true, &Info::new()).unwrap();
+        let tt = ds.inq_varid("tt").unwrap();
+        let ts = ds.inq_varid("ts").unwrap();
+        assert_eq!(ds.numrecs(), 3);
+
+        // Each rank reads a different z plane.
+        let z = c.rank() as u64;
+        let plane: Vec<f32> = ds.get_vara_all(tt, &[z, 0, 0], &[1, 6, 8]).unwrap();
+        let mut expect = Vec::new();
+        for y in 0..6 {
+            for x in 0..8 {
+                expect.push(tt_value(z, y, x));
+            }
+        }
+        assert_eq!(plane, expect);
+
+        // And one record element each, independently.
+        ds.begin_indep_data().unwrap();
+        let v: f64 = ds.get_var1(ts, &[1, c.rank() as u64, 2]).unwrap();
+        assert_eq!(v, ts_value(1, c.rank() as u64, 2));
+        ds.end_indep_data().unwrap();
+        ds.close().unwrap();
+    });
+}
+
+#[test]
+fn collective_and_independent_writes_produce_identical_files() {
+    let write = |independent: bool| -> Vec<u8> {
+        let pfs = Pfs::new(cfg(), StorageMode::Full);
+        let pfs2 = pfs.clone();
+        run_world(4, cfg(), move |c| {
+            let mut ds =
+                Dataset::create(c, &pfs2, "x.nc", Version::Cdf1, &Info::new()).unwrap();
+            let z = ds.def_dim("z", 8).unwrap();
+            let y = ds.def_dim("y", 10).unwrap();
+            let v = ds.def_var("a", NcType::Int, &[z, y]).unwrap();
+            ds.enddef().unwrap();
+            let z0 = c.rank() as u64 * 2;
+            let vals: Vec<i32> = (0..20).map(|i| (z0 * 10) as i32 + i).collect();
+            if independent {
+                ds.begin_indep_data().unwrap();
+                ds.put_vara(v, &[z0, 0], &[2, 10], &vals).unwrap();
+                ds.end_indep_data().unwrap();
+            } else {
+                ds.put_vara_all(v, &[z0, 0], &[2, 10], &vals).unwrap();
+            }
+            ds.close().unwrap();
+        });
+        pfs.open("x.nc").unwrap().to_bytes()
+    };
+    assert_eq!(write(false), write(true));
+}
+
+#[test]
+fn exported_file_reimports_through_host_fs() {
+    // Full circle through a real file on disk.
+    let bytes = parallel_bytes(2);
+    let dir = std::env::temp_dir().join("pnetcdf_identity_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.nc");
+    std::fs::write(&path, &bytes).unwrap();
+
+    let mut f = NcFile::open(netcdf_serial::StdFileStore::open(&path).unwrap()).unwrap();
+    let tt = f.var_id("tt").unwrap();
+    let v: f32 = f.get_var1(tt, &[0, 0, 0]).unwrap();
+    assert_eq!(v, tt_value(0, 0, 0));
+    std::fs::remove_file(&path).unwrap();
+}
