@@ -24,7 +24,9 @@ fn bench_header_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("header");
     g.throughput(Throughput::Bytes(bytes.len() as u64));
     g.bench_function("encode_64vars", |b| b.iter(|| h.encode()));
-    g.bench_function("decode_64vars", |b| b.iter(|| Header::decode(&bytes).unwrap()));
+    g.bench_function("decode_64vars", |b| {
+        b.iter(|| Header::decode(&bytes).unwrap())
+    });
     g.finish();
 }
 
@@ -33,7 +35,9 @@ fn bench_flatten(c: &mut Criterion) {
     let sub = Datatype::subarray(&[256, 256], &[256, 64], &[0, 96], Datatype::float()).unwrap();
     let mut g = c.benchmark_group("datatype");
     g.throughput(Throughput::Bytes(sub.size()));
-    g.bench_function("flatten_subarray_256rows", |b| b.iter(|| flatten::flatten(&sub)));
+    g.bench_function("flatten_subarray_256rows", |b| {
+        b.iter(|| flatten::flatten(&sub))
+    });
 
     let buf = vec![0u8; (sub.extent()) as usize];
     g.bench_function("pack_subarray_256rows", |b| {
@@ -59,5 +63,10 @@ fn bench_access_runs(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_header_codec, bench_flatten, bench_access_runs);
+criterion_group!(
+    benches,
+    bench_header_codec,
+    bench_flatten,
+    bench_access_runs
+);
 criterion_main!(benches);

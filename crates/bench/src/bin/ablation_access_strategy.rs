@@ -50,7 +50,9 @@ fn strategy_a(nprocs: usize) -> Time {
             f.put_vara(v, &[0, 0, 0], &[planes, dims.1, dims.2], &mine)
                 .unwrap();
             for _ in 1..comm.size() {
-                let (data, st) = comm.recv_scalars::<f32>(pnetcdf_mpi::ANY_SOURCE, TAG_DATA).unwrap();
+                let (data, st) = comm
+                    .recv_scalars::<f32>(pnetcdf_mpi::ANY_SOURCE, TAG_DATA)
+                    .unwrap();
                 // The serial write happens after the data arrives.
                 let arrive = comm.now();
                 if watch.now() < arrive {
@@ -155,7 +157,13 @@ fn main() {
             .collect();
         series.push((name.to_string(), row));
     }
-    print_series("Access strategy bandwidth", "strategy", &xs, &series, "MB/s");
+    print_series(
+        "Access strategy bandwidth",
+        "strategy",
+        &xs,
+        &series,
+        "MB/s",
+    );
     println!("\nnote: (b) writes P separate files — fast but the dataset is shattered;");
     println!("      (c) matches or approaches (b) while keeping one self-describing file.");
 }

@@ -12,10 +12,10 @@
 //! Usage: `cargo run --release -p pnetcdf-bench --bin ablation_alignment`
 
 use hpc_sim::{SimConfig, Time};
+use pnetcdf_bench::table::print_series;
 use pnetcdf_mpi::{run_world, Datatype, Info};
 use pnetcdf_mpio::{MpiFile, OpenMode};
 use pnetcdf_pfs::{Pfs, StorageMode};
-use pnetcdf_bench::table::print_series;
 
 const RECORDS_PER_RANK: usize = 16;
 
@@ -42,14 +42,19 @@ fn run(nprocs: usize, rec: usize) -> Time {
 
 fn main() {
     println!("# Ablation: stripe alignment of independent record writes");
-    println!("# {RECORDS_PER_RANK} records/rank, rank-interleaved, SDSC-like platform (256 KiB stripes)");
+    println!(
+        "# {RECORDS_PER_RANK} records/rank, rank-interleaved, SDSC-like platform (256 KiB stripes)"
+    );
     let procs = [2usize, 4, 8];
     let aligned_rec = 256 * 1024;
     let misaligned_rec = 256 * 1024 + 1024;
 
     let xs: Vec<String> = procs.iter().map(|p| p.to_string()).collect();
     let mut rows = Vec::new();
-    for (name, rec) in [("256 KiB (aligned)", aligned_rec), ("257 KiB (misaligned)", misaligned_rec)] {
+    for (name, rec) in [
+        ("256 KiB (aligned)", aligned_rec),
+        ("257 KiB (misaligned)", misaligned_rec),
+    ] {
         let row: Vec<f64> = procs
             .iter()
             .map(|&p| {
@@ -59,7 +64,13 @@ fn main() {
             .collect();
         rows.push((name.to_string(), row));
     }
-    print_series("Independent write bandwidth", "record size", &xs, &rows, "MB/s");
+    print_series(
+        "Independent write bandwidth",
+        "record size",
+        &xs,
+        &rows,
+        "MB/s",
+    );
     let loss: Vec<f64> = rows[0]
         .1
         .iter()

@@ -56,10 +56,19 @@ fn main() {
     let xs: Vec<String> = procs.iter().map(|p| p.to_string()).collect();
     let mut series = Vec::new();
     for (name, collective) in [("collective", true), ("independent", false)] {
-        let row: Vec<f64> = procs.iter().map(|&p| mb(run(dims, p, collective))).collect();
+        let row: Vec<f64> = procs
+            .iter()
+            .map(|&p| mb(run(dims, p, collective)))
+            .collect();
         series.push((name.to_string(), row));
     }
-    print_series("Collective vs independent write", "mode", &xs, &series, "MB/s");
+    print_series(
+        "Collective vs independent write",
+        "mode",
+        &xs,
+        &series,
+        "MB/s",
+    );
 
     let speedup: Vec<f64> = series[0]
         .1

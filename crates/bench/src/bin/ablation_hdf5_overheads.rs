@@ -81,7 +81,10 @@ fn main() {
         "Bandwidth vs number of datasets (fixed volume)",
         "library",
         &xs,
-        &[("PnetCDF".to_string(), p.clone()), ("HDF5".to_string(), h.clone())],
+        &[
+            ("PnetCDF".to_string(), p.clone()),
+            ("HDF5".to_string(), h.clone()),
+        ],
         "MB/s",
     );
     let ratio: Vec<f64> = p.iter().zip(&h).map(|(a, b)| a / b).collect();

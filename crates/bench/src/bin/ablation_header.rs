@@ -59,8 +59,14 @@ fn open_all_read(pfs: &Pfs, cfg: &SimConfig, nprocs: usize, header_len: u64) -> 
     let pfs = pfs.clone();
     let run = run_world(nprocs, cfg.clone(), move |comm| {
         let t0 = comm.now();
-        let f = MpiFile::open(comm, &pfs, "hdr.nc", OpenMode::ReadOnly, &pnetcdf_mpi::Info::new())
-            .unwrap();
+        let f = MpiFile::open(
+            comm,
+            &pfs,
+            "hdr.nc",
+            OpenMode::ReadOnly,
+            &pnetcdf_mpi::Info::new(),
+        )
+        .unwrap();
         let mut buf = vec![0u8; header_len as usize];
         let mem = Datatype::contiguous(buf.len(), Datatype::byte());
         f.read_at(0, &mut buf, 1, &mem).unwrap();

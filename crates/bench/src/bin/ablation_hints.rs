@@ -48,9 +48,10 @@ fn main() {
 
     // cb_buffer_size sweep.
     let sizes = ["262144", "1048576", "4194304", "16777216"];
-    let xs: Vec<String> = sizes.iter().map(|s| {
-        format!("{}K", s.parse::<usize>().unwrap() / 1024)
-    }).collect();
+    let xs: Vec<String> = sizes
+        .iter()
+        .map(|s| format!("{}K", s.parse::<usize>().unwrap() / 1024))
+        .collect();
     let row: Vec<f64> = sizes
         .iter()
         .map(|s| mb(run(nprocs, Info::new().with("cb_buffer_size", s))))
@@ -86,5 +87,7 @@ fn main() {
             .with("romio_cb_write", "disable")
             .with("romio_ds_write", "disable"),
     ));
-    println!("\ntwo-phase enabled: {on:.1} MB/s; disabled (per-rank strided writes): {off:.1} MB/s");
+    println!(
+        "\ntwo-phase enabled: {on:.1} MB/s; disabled (per-rank strided writes): {off:.1} MB/s"
+    );
 }

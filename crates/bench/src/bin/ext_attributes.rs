@@ -22,7 +22,10 @@ fn main() {
     let xs: Vec<String> = procs.iter().map(|p| p.to_string()).collect();
     let mut series = Vec::new();
     let mut slowdown: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
-    for (li, lib) in [IoLibrary::Pnetcdf, IoLibrary::Hdf5].into_iter().enumerate() {
+    for (li, lib) in [IoLibrary::Pnetcdf, IoLibrary::Hdf5]
+        .into_iter()
+        .enumerate()
+    {
         for attributes in [false, true] {
             let label = format!(
                 "{} {}",
@@ -64,7 +67,10 @@ fn main() {
         &series,
         "MB/s",
     );
-    println!("\nbandwidth lost to attributes: PnetCDF {:.1?} %, HDF5 {:.1?} %", slowdown[0], slowdown[1]);
+    println!(
+        "\nbandwidth lost to attributes: PnetCDF {:.1?} %, HDF5 {:.1?} %",
+        slowdown[0], slowdown[1]
+    );
     println!("(the paper removed attribute writes to isolate data I/O; restoring");
     println!(" them costs PnetCDF almost nothing — they ride in the one header —");
     println!(" while HDF5 pays a metadata write + sync per attribute)");

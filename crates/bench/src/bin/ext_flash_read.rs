@@ -38,8 +38,12 @@ fn main() {
                 blocks_per_proc,
                 nprocs: p,
             };
-            let (bytes, t) =
-                run_restart(lib, mesh, SimConfig::asci_frost(), StorageMode::MetadataOnly);
+            let (bytes, t) = run_restart(
+                lib,
+                mesh,
+                SimConfig::asci_frost(),
+                StorageMode::MetadataOnly,
+            );
             row.push(bytes as f64 / t.as_secs_f64() / 1e6);
             eprintln!("  done: {} read, {p} procs", lib.label());
         }
@@ -48,7 +52,13 @@ fn main() {
     for (p, h) in series[0].1.iter().zip(&series[1].1) {
         ratios.push(p / h);
     }
-    print_series("FLASH restart read bandwidth", "library", &xs, &series, "MB/s");
+    print_series(
+        "FLASH restart read bandwidth",
+        "library",
+        &xs,
+        &series,
+        "MB/s",
+    );
     println!("\nPnetCDF/HDF5 read ratio: {ratios:.2?}");
     println!("(compare with the write ratios from fig7_flashio)");
 }

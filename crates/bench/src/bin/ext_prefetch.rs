@@ -43,8 +43,13 @@ fn make_files(pfs: &Pfs, nprocs: usize) {
             ds.put_vara_all(t2m, &[s], &[slab], &vals).unwrap();
             ds.put_vara_all(precip, &[s], &[slab], &vals).unwrap();
             let gslab = (1 << 18) / nprocs as u64;
-            ds.put_vara_all(full, &[c.rank() as u64 * gslab], &[gslab], &vec![0.0f32; gslab as usize])
-                .unwrap();
+            ds.put_vara_all(
+                full,
+                &[c.rank() as u64 * gslab],
+                &[gslab],
+                &vec![0.0f32; gslab as usize],
+            )
+            .unwrap();
             ds.close().unwrap();
         }
     });
@@ -61,8 +66,7 @@ fn sweep(pfs: &Pfs, nprocs: usize, hint: bool) -> Time {
         };
         let t0 = c.now();
         for fi in 0..NFILES {
-            let mut ds = Dataset::open(c, &pfs, &format!("month_{fi:02}.nc"), true, &info)
-                .unwrap();
+            let mut ds = Dataset::open(c, &pfs, &format!("month_{fi:02}.nc"), true, &info).unwrap();
             let t2m = ds.inq_varid("t2m_mean").unwrap();
             let precip = ds.inq_varid("precip_total").unwrap();
             for _ in 0..NREADS {
@@ -78,9 +82,7 @@ fn sweep(pfs: &Pfs, nprocs: usize, hint: bool) -> Time {
 
 fn main() {
     println!("# Extension: nc_prefetch_vars hint");
-    println!(
-        "# {NFILES} files, 2 small variables each, {NREADS} read passes per file"
-    );
+    println!("# {NFILES} files, 2 small variables each, {NREADS} read passes per file");
     let procs = [1usize, 2, 4, 8];
     let xs: Vec<String> = procs.iter().map(|p| p.to_string()).collect();
     let mut with_hint = Vec::new();

@@ -26,8 +26,7 @@ fn run_parallel(
     let pfs = Pfs::new(cfg.clone(), StorageMode::CostOnly);
     let grid = grid_for(partition, nprocs);
     let run = run_world(nprocs, cfg, move |comm| {
-        let mut ds =
-            Dataset::create(comm, &pfs, "tt.nc", Version::Cdf2, &Info::new()).unwrap();
+        let mut ds = Dataset::create(comm, &pfs, "tt.nc", Version::Cdf2, &Info::new()).unwrap();
         let z = ds.def_dim("level", dims.0).unwrap();
         let y = ds.def_dim("latitude", dims.1).unwrap();
         let x = ds.def_dim("longitude", dims.2).unwrap();
@@ -132,7 +131,19 @@ fn main() {
             read_series.push((part.label().to_string(), rrow));
             eprintln!("  done: {label} partition {}", part.label());
         }
-        print_series(&format!("Write {label}"), "partition", &xs, &write_series, "MB/s");
-        print_series(&format!("Read {label}"), "partition", &xs, &read_series, "MB/s");
+        print_series(
+            &format!("Write {label}"),
+            "partition",
+            &xs,
+            &write_series,
+            "MB/s",
+        );
+        print_series(
+            &format!("Read {label}"),
+            "partition",
+            &xs,
+            &read_series,
+            "MB/s",
+        );
     }
 }

@@ -51,8 +51,7 @@ fn main() {
                         blocks_per_proc,
                         attributes: false, // as in the paper's port
                     };
-                    let res =
-                        run_flash_io(config, SimConfig::asci_frost(), StorageMode::CostOnly);
+                    let res = run_flash_io(config, SimConfig::asci_frost(), StorageMode::CostOnly);
                     row.push(res.bandwidth_mb_s);
                     eprintln!(
                         "  done: {} {}x{}x{} {} procs: {:.1} MB/s ({} written)",

@@ -18,7 +18,7 @@ use crate::dataset::Dataset;
 use crate::error::{NcmpiError, NcmpiResult};
 
 impl Dataset {
-    fn flexible_common(
+    pub(crate) fn flexible_common(
         &mut self,
         varid: usize,
         count: &[u64],
@@ -85,7 +85,16 @@ impl Dataset {
         bufcount: usize,
         memtype: &Datatype,
     ) -> NcmpiResult<()> {
-        self.put_flexible(varid, start, count, Some(stride), buf, bufcount, memtype, true)
+        self.put_flexible(
+            varid,
+            start,
+            count,
+            Some(stride),
+            buf,
+            bufcount,
+            memtype,
+            true,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -119,21 +128,8 @@ impl Dataset {
         self.comm
             .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
 
-        let (filetype, total) = self.build_region(varid, start, count, stride, true)?;
-        debug_assert_eq!(total as usize, ext.len());
-        self.file
-            .set_view_local(0, &Datatype::byte(), &filetype)?;
-        let mem = Datatype::contiguous(ext.len(), Datatype::byte());
-        if collective {
-            self.file.write_at_all(0, &ext, 1, &mem)?;
-        } else {
-            self.file.write_at(0, &ext, 1, &mem)?;
-        }
-        self.grow_numrecs(varid, start, count, stride);
-        if collective && self.header.is_record_var(varid) {
-            self.reconcile_numrecs()?;
-        }
-        Ok(())
+        let req = self.lower_put(varid, start, count, stride, ext)?;
+        self.execute_put_now(req, collective)
     }
 
     /// Collective flexible read (`ncmpi_get_vara_all`).
@@ -175,7 +171,16 @@ impl Dataset {
         bufcount: usize,
         memtype: &Datatype,
     ) -> NcmpiResult<()> {
-        self.get_flexible(varid, start, count, Some(stride), buf, bufcount, memtype, true)
+        self.get_flexible(
+            varid,
+            start,
+            count,
+            Some(stride),
+            buf,
+            bufcount,
+            memtype,
+            true,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -196,16 +201,8 @@ impl Dataset {
             self.require_independent()?;
         }
         let (nctype, _) = self.flexible_common(varid, count, bufcount, memtype)?;
-        let (filetype, total) = self.build_region(varid, start, count, stride, false)?;
-        self.file
-            .set_view_local(0, &Datatype::byte(), &filetype)?;
-        let mut ext = vec![0u8; total as usize];
-        let mem = Datatype::contiguous(ext.len(), Datatype::byte());
-        if collective {
-            self.file.read_at_all(0, &mut ext, 1, &mem)?;
-        } else {
-            self.file.read_at(0, &mut ext, 1, &mem)?;
-        }
+        let req = self.lower_get(varid, start, count, stride)?;
+        let ext = self.execute_get_now(&req, collective)?;
         let native = convert::external_to_native(&ext, nctype);
         self.comm
             .advance(self.comm.config().cpu.pack(native.len(), 1.0));

@@ -9,21 +9,12 @@
 
 use pnetcdf_format::types::{from_external, to_external};
 use pnetcdf_format::NcValue;
-use pnetcdf_mpi::Datatype;
 
 use crate::access::map::{gather_by_imap, scatter_by_imap};
 use crate::dataset::Dataset;
 use crate::error::{NcmpiError, NcmpiResult};
 
 impl Dataset {
-    fn var_nctype(&self, varid: usize) -> NcmpiResult<pnetcdf_format::NcType> {
-        self.header
-            .vars
-            .get(varid)
-            .map(|v| v.nctype)
-            .ok_or_else(|| NcmpiError::NotFound(format!("variable id {varid}")))
-    }
-
     fn put_region<T: NcValue>(
         &mut self,
         varid: usize,
@@ -45,22 +36,10 @@ impl Dataset {
         // Native→external conversion is real CPU work.
         self.comm
             .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
-        let (filetype, total) = self.build_region(varid, start, count, stride, true)?;
-        debug_assert_eq!(total as usize, ext.len());
-        self.file
-            .set_view_local(0, &Datatype::byte(), &filetype)?;
-        let mem = Datatype::contiguous(ext.len(), Datatype::byte());
-        if collective {
-            self.file.write_at_all(0, &ext, 1, &mem)?;
-        } else {
-            self.file.write_at(0, &ext, 1, &mem)?;
-        }
-        self.grow_numrecs(varid, start, count, stride);
-        self.invalidate_cache(varid);
-        if collective && self.header.is_record_var(varid) {
-            self.reconcile_numrecs()?;
-        }
-        Ok(())
+        // Lower into the unified request engine and execute immediately:
+        // a blocking call is a queue-depth-one flush.
+        let req = self.lower_put(varid, start, count, stride, ext)?;
+        self.execute_put_now(req, collective)
     }
 
     fn get_region<T: NcValue>(
@@ -96,16 +75,8 @@ impl Dataset {
                 .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
             return Ok(from_external(&ext, nctype)?);
         }
-        let (filetype, total) = self.build_region(varid, start, count, stride, false)?;
-        self.file
-            .set_view_local(0, &Datatype::byte(), &filetype)?;
-        let mut ext = vec![0u8; total as usize];
-        let mem = Datatype::contiguous(ext.len(), Datatype::byte());
-        if collective {
-            self.file.read_at_all(0, &mut ext, 1, &mem)?;
-        } else {
-            self.file.read_at(0, &mut ext, 1, &mem)?;
-        }
+        let req = self.lower_get(varid, start, count, stride)?;
+        let ext = self.execute_get_now(&req, collective)?;
         self.comm
             .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
         Ok(from_external(&ext, nctype)?)
@@ -261,7 +232,11 @@ impl Dataset {
         self.get_region(varid, &start, &count, None, false)
     }
 
-    fn whole(&self, varid: usize, vals_len: Option<usize>) -> NcmpiResult<(Vec<u64>, Vec<u64>)> {
+    pub(crate) fn whole(
+        &self,
+        varid: usize,
+        vals_len: Option<usize>,
+    ) -> NcmpiResult<(Vec<u64>, Vec<u64>)> {
         if varid >= self.header.vars.len() {
             return Err(NcmpiError::NotFound(format!("variable id {varid}")));
         }
@@ -269,6 +244,12 @@ impl Dataset {
         let start = vec![0u64; count.len()];
         if let (Some(len), true) = (vals_len, self.header.is_record_var(varid)) {
             let per_rec = self.header.record_elems(varid).max(1);
+            if len as u64 % per_rec != 0 {
+                return Err(NcmpiError::InvalidArgument(format!(
+                    "whole-variable access of {len} values is not a multiple of the \
+                     {per_rec} values per record"
+                )));
+            }
             count[0] = len as u64 / per_rec;
         }
         Ok((start, count))

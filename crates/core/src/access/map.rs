@@ -133,7 +133,11 @@ mod tests {
 
     #[test]
     fn zero_count_is_empty() {
-        assert!(gather_by_imap::<i32>(&[0, 2], &[1, 1], &[]).unwrap().is_empty());
-        assert!(scatter_by_imap::<i32>(&[0, 2], &[1, 1], &[]).unwrap().is_empty());
+        assert!(gather_by_imap::<i32>(&[0, 2], &[1, 1], &[])
+            .unwrap()
+            .is_empty());
+        assert!(scatter_by_imap::<i32>(&[0, 2], &[1, 1], &[])
+            .unwrap()
+            .is_empty());
     }
 }

@@ -10,22 +10,25 @@
 //!   `var1/var/vara/vars/varm`), in collective and independent flavors;
 //! * [`flexible`] — the flexible API taking an MPI datatype describing
 //!   (possibly noncontiguous) memory;
-//! * [`map`] — `imap` gather/scatter shared by the `varm` calls.
+//! * [`map`] — `imap` gather/scatter shared by the `varm` calls;
+//! * [`request`] — the unified request engine every access lowers into,
+//!   including the nonblocking `iput`/`iget`/`wait_all` API.
 
 pub mod flexible;
 pub mod highlevel;
 pub mod map;
 pub mod prefetch;
+pub mod request;
 
 use pnetcdf_format::layout;
-use pnetcdf_mpi::Datatype;
+use pnetcdf_mpio::Run;
 
 use crate::dataset::Dataset;
 use crate::error::{NcmpiError, NcmpiResult};
 
 impl Dataset {
-    /// Validate an access and build `(filetype, external bytes)` for it.
-    /// The filetype addresses absolute file offsets (view displacement 0).
+    /// Validate an access and resolve it to `(absolute file byte runs,
+    /// total bytes)` — the common lowering every request goes through.
     pub(crate) fn build_region(
         &self,
         varid: usize,
@@ -33,7 +36,7 @@ impl Dataset {
         count: &[u64],
         stride: Option<&[u64]>,
         for_write: bool,
-    ) -> NcmpiResult<(Datatype, u64)> {
+    ) -> NcmpiResult<(Vec<Run>, u64)> {
         let limit = if for_write {
             None
         } else {
@@ -49,15 +52,17 @@ impl Dataset {
             stride,
         );
         let total: u64 = runs.iter().map(|r| r.1).sum();
-        let blocks: Vec<(i64, usize)> = runs
-            .into_iter()
-            .map(|(off, len)| (off as i64, len as usize))
-            .collect();
-        Ok((Datatype::hindexed(blocks, Datatype::byte()), total))
+        Ok((runs, total))
     }
 
     /// After a write touching a record variable, grow the local `numrecs`.
-    pub(crate) fn grow_numrecs(&mut self, varid: usize, start: &[u64], count: &[u64], stride: Option<&[u64]>) {
+    pub(crate) fn grow_numrecs(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: Option<&[u64]>,
+    ) {
         if !self.header.is_record_var(varid) || count.first().copied().unwrap_or(0) == 0 {
             return;
         }

@@ -7,13 +7,15 @@
 //! files, this type of optimization could be a big win."
 //!
 //! The hint is `nc_prefetch_vars`, a comma-separated list of variable
-//! names. At open time the named fixed-size variables are read once,
-//! collectively, into a per-rank cache; subsequent `get` calls on them are
-//! served from local memory with no file I/O and no synchronization. Any
-//! write to a cached variable, or a `redef`, invalidates its cache entry.
+//! names. At open time the named fixed-size variables are queued as
+//! nonblocking get requests and drained with **one** aggregated collective
+//! read (`wait_all`) — the nonblocking machinery the paper's "aggressive
+//! implementation" sketch calls for — into a per-rank cache; subsequent
+//! `get` calls on them are served from local memory with no file I/O and no
+//! synchronization. Any write to a cached variable, or a `redef`,
+//! invalidates its cache entry.
 
 use pnetcdf_format::layout;
-use pnetcdf_mpi::Datatype;
 
 use crate::dataset::Dataset;
 use crate::error::NcmpiResult;
@@ -28,6 +30,7 @@ impl Dataset {
             .map(|s| s.trim().to_string())
             .filter(|s| !s.is_empty())
             .collect();
+        let mut queued = Vec::new();
         for name in names {
             let Some(varid) = self.header.var_id(&name) else {
                 continue;
@@ -35,23 +38,20 @@ impl Dataset {
             if self.header.is_record_var(varid) {
                 continue; // records grow; caching them would go stale
             }
-            self.prefetch_var(varid)?;
+            let count = self.header.var_shape(varid);
+            let start = vec![0u64; count.len()];
+            let req = self.lower_get(varid, &start, &count, None)?;
+            queued.push((varid, self.enqueue(req)));
         }
-        Ok(())
-    }
-
-    /// Collectively read the whole of `varid` into every rank's cache.
-    pub(crate) fn prefetch_var(&mut self, varid: usize) -> NcmpiResult<()> {
-        let v = &self.header.vars[varid];
-        let nbytes = (self.header.record_elems(varid) * v.nctype.size()) as usize;
-        let begin = v.begin;
-        let filetype = Datatype::hindexed(vec![(begin as i64, nbytes)], Datatype::byte());
-        self.file
-            .set_view_local(0, &Datatype::byte(), &filetype)?;
-        let mut ext = vec![0u8; nbytes];
-        let mem = Datatype::contiguous(nbytes, Datatype::byte());
-        self.file.read_at_all(0, &mut ext, 1, &mem)?;
-        self.prefetch.insert(varid, ext);
+        // One collective round reads every hinted variable, however many
+        // the hint named. All ranks process the same hint, so all queue the
+        // same requests and participate symmetrically.
+        self.wait_all()?;
+        for (varid, req) in queued {
+            if let Some((_, ext)) = self.results.remove(&req.id()) {
+                self.prefetch.insert(varid, ext);
+            }
+        }
         Ok(())
     }
 
@@ -68,7 +68,14 @@ impl Dataset {
         let v = &self.header.vars[varid];
         // access_runs yields absolute file offsets; the cache holds the
         // variable contiguously from `begin`.
-        let runs = layout::access_runs(&self.header, self.layout.recsize, varid, start, count, stride);
+        let runs = layout::access_runs(
+            &self.header,
+            self.layout.recsize,
+            varid,
+            start,
+            count,
+            stride,
+        );
         let mut out = Vec::with_capacity(runs.iter().map(|r| r.1 as usize).sum());
         for (off, len) in runs {
             let lo = (off - v.begin) as usize;

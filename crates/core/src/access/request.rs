@@ -1,0 +1,622 @@
+//! The unified access-request pipeline and the nonblocking API.
+//!
+//! Every data access — typed or flexible, blocking or nonblocking,
+//! collective or independent — is lowered into one [`AccessReq`]: the
+//! validated access frozen as absolute file byte runs plus (for puts) the
+//! staged external bytes. The blocking calls in [`super::highlevel`] and
+//! [`super::flexible`] execute a single request immediately; the
+//! nonblocking `iput_*`/`iget_*` calls queue requests on the dataset and
+//! return [`Request`] tickets.
+//!
+//! `wait_all` is where the paper's aggregation idea pays off (the
+//! optimization production PnetCDF later shipped as `ncmpi_iput/ncmpi_wait_all`):
+//! all pending puts are merged into **one** sorted, overlap-resolved run
+//! list with a packed staging buffer and issued as a single collective
+//! write; all pending gets union into one run list issued as a single
+//! collective read. N queued variable accesses cost one or two collective
+//! rounds instead of N.
+
+use pnetcdf_format::types::{from_external, to_external};
+use pnetcdf_format::{NcType, NcValue};
+use pnetcdf_mpi::{pack, Datatype, ReduceOp, Request};
+use pnetcdf_mpio::Run;
+
+use crate::convert;
+use crate::dataset::{DataMode, Dataset};
+use crate::error::{NcmpiError, NcmpiResult};
+
+/// Direction of an access request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AccessKind {
+    Put,
+    Get,
+}
+
+/// One lowered access request. The access is fully validated and resolved
+/// to file byte runs when the request is built, so executing it later (or
+/// merged with others) needs no further header state.
+pub(crate) struct AccessReq {
+    pub id: Request,
+    pub varid: usize,
+    pub kind: AccessKind,
+    /// Absolute file byte runs of the selection, sorted and non-overlapping.
+    pub runs: Vec<Run>,
+    /// Put: external (big-endian) bytes in run order. Get: empty.
+    pub buffer: Vec<u8>,
+    /// The variable's external type, kept for get-result conversion.
+    pub nctype: NcType,
+    /// Whether the variable is a record variable (drives `numrecs`
+    /// reconciliation at flush time).
+    pub record: bool,
+}
+
+// ---- request merging --------------------------------------------------------
+
+/// Sorted, non-overlapping staged byte segments. Inserting later requests
+/// overwrites earlier ones where they overlap (last request wins — the same
+/// deterministic rule two-phase I/O applies across ranks).
+#[derive(Default)]
+pub(crate) struct RunStage {
+    segs: Vec<(u64, Vec<u8>)>,
+}
+
+impl RunStage {
+    /// Overlay `bytes` at file offset `off`.
+    pub(crate) fn insert(&mut self, off: u64, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        let end = off + bytes.len() as u64;
+        let mut i = self
+            .segs
+            .partition_point(|(o, b)| o + b.len() as u64 <= off);
+        if i < self.segs.len() && self.segs[i].0 < off {
+            // The segment straddles `off`: split it, keeping the head.
+            let (so, sb) = &mut self.segs[i];
+            let tail = sb.split_off((off - *so) as usize);
+            self.segs.insert(i + 1, (off, tail));
+            i += 1;
+        }
+        while i < self.segs.len() && self.segs[i].0 < end {
+            let send = self.segs[i].0 + self.segs[i].1.len() as u64;
+            if send <= end {
+                self.segs.remove(i);
+            } else {
+                // Trim the overwritten head of the trailing segment.
+                let seg = &mut self.segs[i];
+                seg.1.drain(..(end - seg.0) as usize);
+                seg.0 = end;
+                break;
+            }
+        }
+        self.segs.insert(i, (off, bytes.to_vec()));
+    }
+
+    /// Final merged form: coalesced runs plus the packed staging buffer.
+    pub(crate) fn into_merged(self) -> (Vec<Run>, Vec<u8>) {
+        let mut runs: Vec<Run> = Vec::with_capacity(self.segs.len());
+        let mut staging = Vec::with_capacity(self.segs.iter().map(|(_, b)| b.len()).sum());
+        for (off, bytes) in self.segs {
+            let len = bytes.len() as u64;
+            if let Some(last) = runs.last_mut() {
+                if last.0 + last.1 == off {
+                    last.1 += len;
+                    staging.extend_from_slice(&bytes);
+                    continue;
+                }
+            }
+            runs.push((off, len));
+            staging.extend_from_slice(&bytes);
+        }
+        (runs, staging)
+    }
+}
+
+/// Merge the put requests into one sorted run list + staging buffer, later
+/// requests winning overlaps.
+fn merge_puts(reqs: &[AccessReq]) -> (Vec<Run>, Vec<u8>) {
+    let mut stage = RunStage::default();
+    for req in reqs.iter().filter(|r| r.kind == AccessKind::Put) {
+        let mut pos = 0usize;
+        for &(off, len) in &req.runs {
+            stage.insert(off, &req.buffer[pos..pos + len as usize]);
+            pos += len as usize;
+        }
+    }
+    stage.into_merged()
+}
+
+/// Union of all get requests' runs: sorted, coalesced coverage.
+fn merge_gets(reqs: &[AccessReq]) -> Vec<Run> {
+    let mut all: Vec<Run> = reqs
+        .iter()
+        .filter(|r| r.kind == AccessKind::Get)
+        .flat_map(|r| r.runs.iter().copied())
+        .collect();
+    all.sort_unstable();
+    let mut out: Vec<Run> = Vec::with_capacity(all.len());
+    for (off, len) in all {
+        if let Some(last) = out.last_mut() {
+            let last_end = last.0 + last.1;
+            if off <= last_end {
+                last.1 = (off + len).max(last_end) - last.0;
+                continue;
+            }
+        }
+        out.push((off, len));
+    }
+    out
+}
+
+/// Byte position of each coverage run inside the packed coverage buffer.
+fn coverage_positions(cov: &[Run]) -> Vec<u64> {
+    let mut pos = Vec::with_capacity(cov.len());
+    let mut acc = 0u64;
+    for &(_, len) in cov {
+        pos.push(acc);
+        acc += len;
+    }
+    pos
+}
+
+/// Extract one request's bytes (in its own run order) from the packed
+/// coverage buffer. Every request run lies inside exactly one coverage run
+/// because the coverage is the coalesced union of all request runs.
+fn extract_runs(cov: &[Run], pos: &[u64], data: &[u8], runs: &[Run]) -> Vec<u8> {
+    let total: u64 = runs.iter().map(|r| r.1).sum();
+    let mut out = Vec::with_capacity(total as usize);
+    for &(off, len) in runs {
+        let i = cov.partition_point(|&(o, _)| o <= off) - 1;
+        let p = (pos[i] + (off - cov[i].0)) as usize;
+        out.extend_from_slice(&data[p..p + len as usize]);
+    }
+    out
+}
+
+// ---- the engine ------------------------------------------------------------
+
+impl Dataset {
+    /// The variable's external type, or `NotFound`.
+    pub(crate) fn var_nctype(&self, varid: usize) -> NcmpiResult<NcType> {
+        self.header
+            .vars
+            .get(varid)
+            .map(|v| v.nctype)
+            .ok_or_else(|| NcmpiError::NotFound(format!("variable id {varid}")))
+    }
+
+    /// Data mode (collective or independent) is required to queue requests.
+    fn require_data_mode(&self) -> NcmpiResult<()> {
+        if self.mode == DataMode::Define {
+            return Err(NcmpiError::InDefineMode);
+        }
+        Ok(())
+    }
+
+    /// Lower a write access: validate, resolve to file runs, and freeze the
+    /// staged external bytes. Grows the local record count and invalidates
+    /// the variable's prefetch cache, so later accesses in the same batch
+    /// see the post-write state.
+    pub(crate) fn lower_put(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: Option<&[u64]>,
+        ext: Vec<u8>,
+    ) -> NcmpiResult<AccessReq> {
+        self.require_writable()?;
+        let nctype = self.var_nctype(varid)?;
+        let (runs, total) = self.build_region(varid, start, count, stride, true)?;
+        if total as usize != ext.len() {
+            return Err(NcmpiError::InvalidArgument(format!(
+                "access selects {total} bytes but the staged buffer holds {}",
+                ext.len()
+            )));
+        }
+        self.grow_numrecs(varid, start, count, stride);
+        self.invalidate_cache(varid);
+        Ok(AccessReq {
+            id: Request::NULL,
+            varid,
+            kind: AccessKind::Put,
+            runs,
+            buffer: ext,
+            nctype,
+            record: self.header.is_record_var(varid),
+        })
+    }
+
+    /// Lower a read access: validate against the current record count and
+    /// resolve to file runs.
+    pub(crate) fn lower_get(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: Option<&[u64]>,
+    ) -> NcmpiResult<AccessReq> {
+        let nctype = self.var_nctype(varid)?;
+        let (runs, _total) = self.build_region(varid, start, count, stride, false)?;
+        Ok(AccessReq {
+            id: Request::NULL,
+            varid,
+            kind: AccessKind::Get,
+            runs,
+            buffer: Vec::new(),
+            nctype,
+            record: self.header.is_record_var(varid),
+        })
+    }
+
+    /// Execute one put immediately (the blocking path).
+    pub(crate) fn execute_put_now(&mut self, req: AccessReq, collective: bool) -> NcmpiResult<()> {
+        if collective {
+            self.file.write_runs_at_all(&req.runs, &req.buffer)?;
+            if req.record {
+                self.reconcile_numrecs()?;
+            }
+        } else {
+            self.file.write_runs_at(&req.runs, &req.buffer)?;
+        }
+        Ok(())
+    }
+
+    /// Execute one get immediately (the blocking path); returns the
+    /// external bytes of the selection in run order.
+    pub(crate) fn execute_get_now(
+        &mut self,
+        req: &AccessReq,
+        collective: bool,
+    ) -> NcmpiResult<Vec<u8>> {
+        let data = if collective {
+            self.file.read_runs_at_all(&req.runs)?
+        } else {
+            self.file.read_runs_at(&req.runs)?
+        };
+        Ok(data)
+    }
+
+    pub(crate) fn enqueue(&mut self, mut req: AccessReq) -> Request {
+        let id = self.req_table.issue();
+        req.id = id;
+        self.pending.push(req);
+        id
+    }
+
+    fn enqueue_put_typed<T: NcValue>(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: Option<&[u64]>,
+        vals: &[T],
+    ) -> NcmpiResult<Request> {
+        self.require_data_mode()?;
+        self.check_count(count, vals.len())?;
+        let nctype = self.var_nctype(varid)?;
+        let ext = to_external(vals, nctype)?;
+        self.comm
+            .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
+        let req = self.lower_put(varid, start, count, stride, ext)?;
+        Ok(self.enqueue(req))
+    }
+
+    fn enqueue_get(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: Option<&[u64]>,
+    ) -> NcmpiResult<Request> {
+        self.require_data_mode()?;
+        let req = self.lower_get(varid, start, count, stride)?;
+        Ok(self.enqueue(req))
+    }
+
+    // ---- the nonblocking API ------------------------------------------------
+
+    /// Queue a subarray write (`ncmpi_iput_vara_<type>`); complete it with
+    /// [`Dataset::wait_all`] (collective mode) or [`Dataset::wait`]
+    /// (independent mode).
+    pub fn iput_vara<T: NcValue>(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        vals: &[T],
+    ) -> NcmpiResult<Request> {
+        self.enqueue_put_typed(varid, start, count, None, vals)
+    }
+
+    /// Queue a strided subarray write (`ncmpi_iput_vars_<type>`).
+    pub fn iput_vars<T: NcValue>(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: &[u64],
+        vals: &[T],
+    ) -> NcmpiResult<Request> {
+        self.enqueue_put_typed(varid, start, count, Some(stride), vals)
+    }
+
+    /// Queue a single-element write (`ncmpi_iput_var1_<type>`).
+    pub fn iput_var1<T: NcValue>(
+        &mut self,
+        varid: usize,
+        index: &[u64],
+        val: T,
+    ) -> NcmpiResult<Request> {
+        let count = vec![1u64; index.len()];
+        self.enqueue_put_typed(varid, index, &count, None, &[val])
+    }
+
+    /// Queue a whole-variable write (`ncmpi_iput_var_<type>`).
+    pub fn iput_var<T: NcValue>(&mut self, varid: usize, vals: &[T]) -> NcmpiResult<Request> {
+        let (start, count) = self.whole(varid, Some(vals.len()))?;
+        self.enqueue_put_typed(varid, &start, &count, None, vals)
+    }
+
+    /// Queue a flexible subarray write (`ncmpi_iput_vara`): memory described
+    /// by an MPI datatype.
+    pub fn iput_vara_flexible(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        buf: &[u8],
+        bufcount: usize,
+        memtype: &Datatype,
+    ) -> NcmpiResult<Request> {
+        self.require_data_mode()?;
+        let (nctype, _) = self.flexible_common(varid, count, bufcount, memtype)?;
+        let native = pack::pack(buf, bufcount, memtype)?;
+        if !memtype.is_contiguous() {
+            self.comm
+                .advance(self.comm.config().cpu.pack(native.len(), 1.0));
+        }
+        let ext = convert::native_to_external(&native, nctype);
+        self.comm
+            .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
+        let req = self.lower_put(varid, start, count, None, ext)?;
+        Ok(self.enqueue(req))
+    }
+
+    /// Queue a flexible subarray read (`ncmpi_iget_vara`): the memory
+    /// description is validated now; retrieve the bytes with
+    /// [`Dataset::take_result_flexible`] after the wait call completes it.
+    pub fn iget_vara_flexible(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        bufcount: usize,
+        memtype: &Datatype,
+    ) -> NcmpiResult<Request> {
+        self.require_data_mode()?;
+        self.flexible_common(varid, count, bufcount, memtype)?;
+        let req = self.lower_get(varid, start, count, None)?;
+        Ok(self.enqueue(req))
+    }
+
+    /// Queue a subarray read (`ncmpi_iget_vara_<type>`); retrieve the values
+    /// with [`Dataset::take_result`] after the wait call completes it.
+    pub fn iget_vara(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+    ) -> NcmpiResult<Request> {
+        self.enqueue_get(varid, start, count, None)
+    }
+
+    /// Queue a strided subarray read (`ncmpi_iget_vars_<type>`).
+    pub fn iget_vars(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: &[u64],
+    ) -> NcmpiResult<Request> {
+        self.enqueue_get(varid, start, count, Some(stride))
+    }
+
+    /// Queue a single-element read (`ncmpi_iget_var1_<type>`).
+    pub fn iget_var1(&mut self, varid: usize, index: &[u64]) -> NcmpiResult<Request> {
+        let count = vec![1u64; index.len()];
+        self.enqueue_get(varid, index, &count, None)
+    }
+
+    /// Queue a whole-variable read (`ncmpi_iget_var_<type>`).
+    pub fn iget_var(&mut self, varid: usize) -> NcmpiResult<Request> {
+        let (start, count) = self.whole(varid, None)?;
+        self.enqueue_get(varid, &start, &count, None)
+    }
+
+    /// Number of queued, un-waited requests.
+    pub fn num_pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Retrieve (and consume) a completed get's values.
+    pub fn take_result<T: NcValue>(&mut self, req: Request) -> NcmpiResult<Vec<T>> {
+        let (nctype, ext) = self
+            .results
+            .remove(&req.id())
+            .ok_or_else(|| NcmpiError::NotFound(format!("completed request {req:?}")))?;
+        self.comm
+            .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
+        Ok(from_external(&ext, nctype)?)
+    }
+
+    /// Retrieve (and consume) a completed get's bytes into a flexible-API
+    /// memory description.
+    pub fn take_result_flexible(
+        &mut self,
+        req: Request,
+        buf: &mut [u8],
+        bufcount: usize,
+        memtype: &Datatype,
+    ) -> NcmpiResult<()> {
+        let (nctype, ext) = self
+            .results
+            .remove(&req.id())
+            .ok_or_else(|| NcmpiError::NotFound(format!("completed request {req:?}")))?;
+        let native = convert::external_to_native(&ext, nctype);
+        self.comm
+            .advance(self.comm.config().cpu.pack(native.len(), 1.0));
+        pack::unpack(&native, buf, bufcount, memtype)?;
+        Ok(())
+    }
+
+    // ---- waiting ------------------------------------------------------------
+
+    /// Collectively complete every pending request (`ncmpi_wait_all`).
+    ///
+    /// All ranks must call this together (ranks with nothing pending still
+    /// participate). Pending puts merge into a single collective write;
+    /// pending gets merge into a single collective read — regardless of how
+    /// many requests were queued.
+    pub fn wait_all(&mut self) -> NcmpiResult<()> {
+        self.require_collective()?;
+        let reqs = std::mem::take(&mut self.pending);
+        // Agree on which phases run: ranks may have queued different mixes.
+        let local = [
+            reqs.iter().any(|r| r.kind == AccessKind::Put) as u64,
+            reqs.iter().any(|r| r.kind == AccessKind::Get) as u64,
+            reqs.iter().any(|r| r.kind == AccessKind::Put && r.record) as u64,
+        ];
+        let global = self.comm.allreduce(ReduceOp::Max, &local)?;
+        self.flush_merged(reqs, global[0] != 0, global[1] != 0, true)?;
+        if global[2] != 0 {
+            self.reconcile_numrecs()?;
+        }
+        Ok(())
+    }
+
+    /// Independently complete every pending request (`ncmpi_wait`).
+    pub fn wait(&mut self) -> NcmpiResult<()> {
+        self.require_independent()?;
+        let reqs = std::mem::take(&mut self.pending);
+        let do_puts = reqs.iter().any(|r| r.kind == AccessKind::Put);
+        let do_gets = reqs.iter().any(|r| r.kind == AccessKind::Get);
+        self.flush_merged(reqs, do_puts, do_gets, false)
+    }
+
+    /// Merge and issue the pending queue: at most one write and one read.
+    /// Writes flush first, so a get queued after a put of the same region
+    /// observes the new data.
+    fn flush_merged(
+        &mut self,
+        reqs: Vec<AccessReq>,
+        do_puts: bool,
+        do_gets: bool,
+        collective: bool,
+    ) -> NcmpiResult<()> {
+        if do_puts {
+            let (runs, staging) = merge_puts(&reqs);
+            // Merging N staged buffers into one is memcpy work.
+            self.comm
+                .advance(self.comm.config().cpu.pack(staging.len(), 1.0));
+            if collective {
+                self.file.write_runs_at_all(&runs, &staging)?;
+            } else {
+                self.file.write_runs_at(&runs, &staging)?;
+            }
+        }
+        if do_gets {
+            let cov = merge_gets(&reqs);
+            let data = if collective {
+                self.file.read_runs_at_all(&cov)?
+            } else {
+                self.file.read_runs_at(&cov)?
+            };
+            let pos = coverage_positions(&cov);
+            for req in reqs.iter().filter(|r| r.kind == AccessKind::Get) {
+                let bytes = extract_runs(&cov, &pos, &data, &req.runs);
+                self.results.insert(req.id.id(), (req.nctype, bytes));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_stage_disjoint_inserts_coalesce() {
+        let mut s = RunStage::default();
+        s.insert(8, &[3, 4]);
+        s.insert(0, &[1, 2]);
+        s.insert(2, &[9, 9]);
+        let (runs, data) = s.into_merged();
+        assert_eq!(runs, vec![(0, 4), (8, 2)]);
+        assert_eq!(data, vec![1, 2, 9, 9, 3, 4]);
+    }
+
+    #[test]
+    fn run_stage_later_insert_wins_overlap() {
+        let mut s = RunStage::default();
+        s.insert(0, &[1; 8]);
+        s.insert(2, &[2; 4]); // punches the middle
+        let (runs, data) = s.into_merged();
+        assert_eq!(runs, vec![(0, 8)]);
+        assert_eq!(data, vec![1, 1, 2, 2, 2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn run_stage_overlap_spanning_segments() {
+        let mut s = RunStage::default();
+        s.insert(0, &[1; 4]);
+        s.insert(6, &[2; 4]);
+        s.insert(2, &[3; 6]); // covers tail of first, head of second
+        let (runs, data) = s.into_merged();
+        assert_eq!(runs, vec![(0, 10)]);
+        assert_eq!(data, vec![1, 1, 3, 3, 3, 3, 3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn run_stage_full_cover_replaces() {
+        let mut s = RunStage::default();
+        s.insert(4, &[1; 2]);
+        s.insert(0, &[2; 10]);
+        let (runs, data) = s.into_merged();
+        assert_eq!(runs, vec![(0, 10)]);
+        assert_eq!(data, vec![2; 10]);
+    }
+
+    #[test]
+    fn get_coverage_merges_and_extracts() {
+        let a = AccessReq {
+            id: Request::NULL,
+            varid: 0,
+            kind: AccessKind::Get,
+            runs: vec![(0, 4), (10, 2)],
+            buffer: Vec::new(),
+            nctype: NcType::Byte,
+            record: false,
+        };
+        let b = AccessReq {
+            id: Request::NULL,
+            varid: 1,
+            kind: AccessKind::Get,
+            runs: vec![(2, 4)],
+            buffer: Vec::new(),
+            nctype: NcType::Byte,
+            record: false,
+        };
+        let cov = merge_gets(&[a, b]);
+        assert_eq!(cov, vec![(0, 6), (10, 2)]);
+        let pos = coverage_positions(&cov);
+        // Coverage bytes: offsets 0..6 then 10..12.
+        let data: Vec<u8> = vec![0, 1, 2, 3, 4, 5, 10, 11];
+        assert_eq!(
+            extract_runs(&cov, &pos, &data, &[(0, 4), (10, 2)]),
+            vec![0, 1, 2, 3, 10, 11]
+        );
+        assert_eq!(extract_runs(&cov, &pos, &data, &[(2, 4)]), vec![2, 3, 4, 5]);
+    }
+}

@@ -11,11 +11,12 @@ use std::collections::HashMap;
 
 use hpc_sim::Time;
 use pnetcdf_format::layout::{self, Layout};
-use pnetcdf_format::{Header, Version};
-use pnetcdf_mpi::{Comm, Datatype, Info, ReduceOp};
+use pnetcdf_format::{Header, NcType, Version};
+use pnetcdf_mpi::{Comm, Datatype, Info, ReduceOp, RequestTable};
 use pnetcdf_mpio::{MpiFile, OpenMode};
 use pnetcdf_pfs::Pfs;
 
+use crate::access::request::AccessReq;
 use crate::consistency;
 use crate::error::{NcmpiError, NcmpiResult};
 
@@ -45,6 +46,12 @@ pub struct Dataset {
     /// Fill mode (`ncmpi_set_fill`); default NOFILL like real PnetCDF.
     pub(crate) fill_mode: bool,
     pre_redef: Option<(Header, Layout)>,
+    /// Queued nonblocking requests, drained by `wait`/`wait_all`.
+    pub(crate) pending: Vec<AccessReq>,
+    /// Ticket issuer for nonblocking requests.
+    pub(crate) req_table: RequestTable,
+    /// Completed get results awaiting `take_result`, keyed by ticket id.
+    pub(crate) results: HashMap<u64, (NcType, Vec<u8>)>,
 }
 
 impl Dataset {
@@ -76,6 +83,9 @@ impl Dataset {
             prefetch: HashMap::new(),
             fill_mode: false,
             pre_redef: None,
+            pending: Vec::new(),
+            req_table: RequestTable::new(),
+            results: HashMap::new(),
         })
     }
 
@@ -146,6 +156,9 @@ impl Dataset {
             prefetch: HashMap::new(),
             fill_mode: false,
             pre_redef: None,
+            pending: Vec::new(),
+            req_table: RequestTable::new(),
+            results: HashMap::new(),
         };
         // PnetCDF-level hint: prefetch named variables at open time.
         if let Some(hint) = info.get("nc_prefetch_vars") {
@@ -224,7 +237,8 @@ impl Dataset {
             let mut padded = header_bytes;
             padded.resize(self.layout.data_start as usize, 0);
             let mem = Datatype::contiguous(padded.len(), Datatype::byte());
-            self.file.set_view_local(0, &Datatype::byte(), &Datatype::byte())?;
+            self.file
+                .set_view_local(0, &Datatype::byte(), &Datatype::byte())?;
             self.file.write_at(0, &padded, 1, &mem)?;
         }
         self.comm.barrier()?;
@@ -277,12 +291,29 @@ impl Dataset {
         Ok(())
     }
 
+    /// Error if nonblocking requests are still queued: mode transitions and
+    /// metadata flushes while accesses are in flight are undefined in real
+    /// PnetCDF, so they are rejected here.
+    pub(crate) fn require_no_pending(&self, what: &str) -> NcmpiResult<()> {
+        if !self.pending.is_empty() {
+            let mut vars: Vec<usize> = self.pending.iter().map(|r| r.varid).collect();
+            vars.dedup();
+            return Err(NcmpiError::InvalidArgument(format!(
+                "cannot {what} with {} pending nonblocking request(s) on variable \
+                 ids {vars:?}; call wait_all (or wait) first",
+                self.pending.len()
+            )));
+        }
+        Ok(())
+    }
+
     /// Collectively re-enter define mode (`ncmpi_redef`).
     pub fn redef(&mut self) -> NcmpiResult<()> {
         if self.mode == DataMode::Define {
             return Err(NcmpiError::InDefineMode);
         }
         self.require_writable()?;
+        self.require_no_pending("re-enter define mode")?;
         self.comm.barrier()?;
         self.invalidate_all_caches();
         self.pre_redef = Some((self.header.clone(), self.layout));
@@ -308,6 +339,7 @@ impl Dataset {
         if self.mode == DataMode::Define {
             return Err(NcmpiError::InDefineMode);
         }
+        self.require_no_pending("sync")?;
         self.reconcile_numrecs()?;
         if self.writable && self.comm.rank() == 0 {
             let nr = (self.header.numrecs.min(u32::MAX as u64 - 1)) as u32;
@@ -320,13 +352,20 @@ impl Dataset {
         Ok(())
     }
 
-    /// Collectively close the dataset (`ncmpi_close`).
+    /// Collectively close the dataset (`ncmpi_close`). Pending nonblocking
+    /// requests are flushed first (as `ncmpi_close` does).
     pub fn close(mut self) -> NcmpiResult<()> {
         if self.mode == DataMode::Define {
             if self.writable {
                 self.enddef()?;
             } else {
                 return Err(NcmpiError::InDefineMode);
+            }
+        } else if !self.pending.is_empty() {
+            match self.mode {
+                DataMode::Collective => self.wait_all()?,
+                DataMode::Independent => self.wait()?,
+                DataMode::Define => unreachable!("requests cannot be queued in define mode"),
             }
         }
         self.sync()?;
@@ -338,6 +377,7 @@ impl Dataset {
     /// Collectively enter independent data mode (`ncmpi_begin_indep_data`).
     pub fn begin_indep_data(&mut self) -> NcmpiResult<()> {
         self.require_collective()?;
+        self.require_no_pending("switch to independent data mode")?;
         self.file.sync()?;
         self.mode = DataMode::Independent;
         Ok(())
@@ -346,6 +386,7 @@ impl Dataset {
     /// Collectively leave independent data mode (`ncmpi_end_indep_data`).
     pub fn end_indep_data(&mut self) -> NcmpiResult<()> {
         self.require_independent()?;
+        self.require_no_pending("return to collective data mode")?;
         // Local record counts may have diverged during independent writes,
         // and another rank's independent write may have invalidated data
         // this rank still holds in its prefetch cache.

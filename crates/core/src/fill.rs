@@ -53,10 +53,7 @@ impl Dataset {
     /// Collectively write the fill pattern into byte range
     /// `[lo, lo+len)` of the file, the range pre-partitioned across ranks.
     fn fill_range(&mut self, varid: usize, lo: u64, len: u64) -> NcmpiResult<()> {
-        let elem = fill_element_bytes(
-            self.header.vars[varid].nctype,
-            self.fill_value_of(varid),
-        );
+        let elem = fill_element_bytes(self.header.vars[varid].nctype, self.fill_value_of(varid));
         let esize = elem.len() as u64;
         let nelems = len / esize;
         let n = self.comm.size() as u64;

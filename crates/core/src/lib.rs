@@ -59,4 +59,4 @@ pub use inquiry::{DatasetInfo, VarInfo};
 // Re-export the pieces a typical application needs, so `use pnetcdf::*`
 // style programs mirror the C library's single header.
 pub use pnetcdf_format::{AttrValue, NcType, Version, NC_UNLIMITED};
-pub use pnetcdf_mpi::{Datatype, Info};
+pub use pnetcdf_mpi::{Datatype, Info, Request};

@@ -1,8 +1,8 @@
 //! Driver: run one FLASH I/O configuration and report aggregate bandwidth.
 
 use hpc_sim::{SimConfig, Time};
-use pnetcdf_pfs::{Pfs, StorageMode};
 use pnetcdf_mpi::run_world;
+use pnetcdf_pfs::{Pfs, StorageMode};
 
 use crate::mesh::BlockMesh;
 use crate::writers;
@@ -106,10 +106,8 @@ pub fn run_flash_io(config: FlashConfig, sim: SimConfig, storage: StorageMode) -
             writers::pnetcdf::write_with(comm, &pfs, &mesh, kind, "flash_out", attrs)
                 .expect("pnetcdf write")
         }
-        IoLibrary::Hdf5 => {
-            writers::hdf5::write_with(comm, &pfs, &mesh, kind, "flash_out", attrs)
-                .expect("hdf5 write")
-        }
+        IoLibrary::Hdf5 => writers::hdf5::write_with(comm, &pfs, &mesh, kind, "flash_out", attrs)
+            .expect("hdf5 write"),
     });
     let bytes = run.results[0];
     let time = run.makespan;

@@ -12,9 +12,8 @@ pub const NPLOT: usize = 4;
 
 /// The canonical unknown names of the FLASH hydro solver.
 pub const UNK_NAMES: [&str; NUNK] = [
-    "dens", "velx", "vely", "velz", "pres", "ener", "temp", "gamc", "game", "enuc", "gpot",
-    "flam", "c12_", "o16_", "ne20", "mg24", "si28", "s32_", "ar36", "ca40", "ti44", "cr48",
-    "fe52", "ni56",
+    "dens", "velx", "vely", "velz", "pres", "ener", "temp", "gamc", "game", "enuc", "gpot", "flam",
+    "c12_", "o16_", "ne20", "mg24", "si28", "s32_", "ar36", "ca40", "ti44", "cr48", "fe52", "ni56",
 ];
 
 /// Description of one rank's share of the AMR mesh.
@@ -121,7 +120,13 @@ impl BlockMesh {
     /// Node types (1 = leaf in FLASH).
     pub fn node_types(&self, rank: usize) -> Vec<i32> {
         (0..self.blocks_per_proc)
-            .map(|b| if (self.first_block(rank) + b) % 4 == 0 { 2 } else { 1 })
+            .map(|b| {
+                if (self.first_block(rank) + b) % 4 == 0 {
+                    2
+                } else {
+                    1
+                }
+            })
             .collect()
     }
 
@@ -196,10 +201,7 @@ mod tests {
         // Spot-check a value: rank 1, block 0 (global 80), first cell.
         assert_eq!(buf[0], m.cell_value(3, 80, 0));
         // Last cell of last block.
-        assert_eq!(
-            buf[buf.len() - 1],
-            m.cell_value(3, 80 + 79, 511)
-        );
+        assert_eq!(buf[buf.len() - 1], m.cell_value(3, 80 + 79, 511));
     }
 
     #[test]

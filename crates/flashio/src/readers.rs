@@ -46,12 +46,7 @@ pub fn read_pnetcdf(
 }
 
 /// Read a checkpoint back through HDF5-sim.
-pub fn read_hdf5(
-    comm: &Comm,
-    pfs: &Pfs,
-    mesh: &BlockMesh,
-    path: &str,
-) -> hdf5_sim::H5Result<u64> {
+pub fn read_hdf5(comm: &Comm, pfs: &Pfs, mesh: &BlockMesh, path: &str) -> hdf5_sim::H5Result<u64> {
     let bpp = mesh.blocks_per_proc;
     let first = mesh.first_block(comm.rank());
     let side = mesh.nxb;

@@ -60,12 +60,22 @@ pub fn write_with(
     }
     {
         let mut d = f.create_dataset("coordinates", H5Type::F64, &[tot, 3])?;
-        d.write_all(&mut f, &[first, 0], &[bpp, 3], &mesh.coordinates(comm.rank()))?;
+        d.write_all(
+            &mut f,
+            &[first, 0],
+            &[bpp, 3],
+            &mesh.coordinates(comm.rank()),
+        )?;
         d.close(&mut f)?;
     }
     {
         let mut d = f.create_dataset("block size", H5Type::F64, &[tot, 3])?;
-        d.write_all(&mut f, &[first, 0], &[bpp, 3], &mesh.block_sizes(comm.rank()))?;
+        d.write_all(
+            &mut f,
+            &[first, 0],
+            &[bpp, 3],
+            &mesh.block_sizes(comm.rank()),
+        )?;
         d.close(&mut f)?;
     }
     {

@@ -32,6 +32,31 @@ pub fn write_with(
     path: &str,
     attributes: bool,
 ) -> NcmpiResult<u64> {
+    write_impl(comm, pfs, mesh, kind, path, attributes, true)
+}
+
+/// The pre-aggregation port: one blocking collective per variable (~29
+/// collective rounds per checkpoint). Kept as the baseline the
+/// `ext_nonblocking` benchmark compares the aggregated path against.
+pub fn write_blocking(
+    comm: &Comm,
+    pfs: &Pfs,
+    mesh: &BlockMesh,
+    kind: OutputKind,
+    path: &str,
+) -> NcmpiResult<u64> {
+    write_impl(comm, pfs, mesh, kind, path, false, false)
+}
+
+fn write_impl(
+    comm: &Comm,
+    pfs: &Pfs,
+    mesh: &BlockMesh,
+    kind: OutputKind,
+    path: &str,
+    attributes: bool,
+    aggregate: bool,
+) -> NcmpiResult<u64> {
     let tot = mesh.total_blocks();
     let bpp = mesh.blocks_per_proc;
     let first = mesh.first_block(comm.rank());
@@ -79,30 +104,55 @@ pub fn write_with(
     }
     ds.enddef()?;
 
-    // Block metadata, each rank its slab.
-    ds.put_vara_all(v_lref, &[first], &[bpp], &mesh.refine_levels(comm.rank()))?;
-    ds.put_vara_all(v_node, &[first], &[bpp], &mesh.node_types(comm.rank()))?;
-    ds.put_vara_all(v_coord, &[first, 0], &[bpp, 3], &mesh.coordinates(comm.rank()))?;
-    ds.put_vara_all(v_bsize, &[first, 0], &[bpp, 3], &mesh.block_sizes(comm.rank()))?;
-    ds.put_vara_all(
+    // Block metadata and unknowns. On the aggregated path every access is
+    // queued as a nonblocking write and flushed by one collective `wait_all`
+    // — a single two-phase round replaces the ~29 per-variable collective
+    // rounds (5 metadata + NUNK/NPLOT unknowns) of the blocking port.
+    macro_rules! put {
+        ($vid:expr, $start:expr, $count:expr, $vals:expr) => {
+            if aggregate {
+                ds.iput_vara($vid, $start, $count, $vals).map(|_| ())?
+            } else {
+                ds.put_vara_all($vid, $start, $count, $vals)?
+            }
+        };
+    }
+    put!(v_lref, &[first], &[bpp], &mesh.refine_levels(comm.rank()));
+    put!(v_node, &[first], &[bpp], &mesh.node_types(comm.rank()));
+    put!(
+        v_coord,
+        &[first, 0],
+        &[bpp, 3],
+        &mesh.coordinates(comm.rank())
+    );
+    put!(
+        v_bsize,
+        &[first, 0],
+        &[bpp, 3],
+        &mesh.block_sizes(comm.rank())
+    );
+    put!(
         v_bnd,
         &[first, 0, 0],
         &[bpp, 3, 2],
-        &mesh.bounding_boxes(comm.rank()),
-    )?;
+        &mesh.bounding_boxes(comm.rank())
+    );
 
-    // Unknowns, one at a time, from contiguous stripped buffers.
+    // Unknowns, one access each, from contiguous stripped buffers.
     let start = [first, 0, 0, 0];
     let count = [bpp, side, side, side];
     for (var, &vid) in unk_ids.iter().enumerate() {
         let buf = mesh.interior_buffer(comm.rank(), var, side);
         match kind {
-            OutputKind::Checkpoint => ds.put_vara_all(vid, &start, &count, &buf)?,
+            OutputKind::Checkpoint => put!(vid, &start, &count, &buf),
             _ => {
                 let f32buf: Vec<f32> = buf.iter().map(|&v| v as f32).collect();
-                ds.put_vara_all(vid, &start, &count, &f32buf)?;
+                put!(vid, &start, &count, &f32buf)
             }
-        }
+        };
+    }
+    if aggregate {
+        ds.wait_all()?;
     }
     ds.close()?;
 

@@ -4,8 +4,8 @@
 
 use flash_io::{run_flash_io, BlockMesh, FlashConfig, IoLibrary, OutputKind};
 use hpc_sim::SimConfig;
-use pnetcdf_pfs::{Pfs, StorageMode};
 use pnetcdf_mpi::run_world;
+use pnetcdf_pfs::{Pfs, StorageMode};
 
 fn cfg() -> SimConfig {
     SimConfig::test_small()
@@ -27,8 +27,7 @@ fn pnetcdf_checkpoint_contents_verify_serially() {
     });
 
     let bytes = pfs.open("ck.nc").unwrap().to_bytes();
-    let mut f =
-        netcdf_serial::NcFile::open(netcdf_serial::MemStore::from_bytes(bytes)).unwrap();
+    let mut f = netcdf_serial::NcFile::open(netcdf_serial::MemStore::from_bytes(bytes)).unwrap();
     // 5 metadata vars + 24 unknowns.
     assert_eq!(f.header().vars.len(), 29);
 
@@ -83,8 +82,7 @@ fn hdf5_checkpoint_reads_back() {
     };
     let pfs2 = pfs.clone();
     run_world(2, cfg(), move |c| {
-        flash_io::writers::hdf5::write(c, &pfs2, &mesh, OutputKind::Checkpoint, "ck.h5")
-            .unwrap();
+        flash_io::writers::hdf5::write(c, &pfs2, &mesh, OutputKind::Checkpoint, "ck.h5").unwrap();
         // Re-open and verify a block of the first unknown.
         let mut f =
             hdf5_sim::H5File::open(c, &pfs2, "ck.h5", true, &pnetcdf_mpi::Info::new()).unwrap();

@@ -206,8 +206,7 @@ impl Header {
             return Err(FormatError::BadMagic);
         }
         let vb = r.get_u8()?;
-        let version =
-            Version::from_magic_byte(vb).ok_or(FormatError::UnsupportedVersion(vb))?;
+        let version = Version::from_magic_byte(vb).ok_or(FormatError::UnsupportedVersion(vb))?;
         let numrecs_raw = r.get_u32()?;
         let numrecs = if numrecs_raw == STREAMING {
             0
@@ -256,7 +255,8 @@ mod tests {
         h.put_gatt("title", AttrValue::Char("test dataset".into()))
             .unwrap();
         let tt = h.add_var("tt", NcType::Float, &[z, y, x]).unwrap();
-        h.put_vatt(tt, "units", AttrValue::Char("K".into())).unwrap();
+        h.put_vatt(tt, "units", AttrValue::Char("K".into()))
+            .unwrap();
         h.add_var("ts", NcType::Double, &[time, y, x]).unwrap();
         h.numrecs = 3;
         h
@@ -311,7 +311,10 @@ mod tests {
         assert!(h.add_dim("time", 5).is_err(), "duplicate dim");
         assert!(h.add_dim("t2", 0).is_err(), "second unlimited");
         let z = h.add_dim("z", 3).unwrap();
-        assert!(h.add_var("v", NcType::Int, &[z, t]).is_err(), "record dim not first");
+        assert!(
+            h.add_var("v", NcType::Int, &[z, t]).is_err(),
+            "record dim not first"
+        );
         assert!(h.add_var("v", NcType::Int, &[9]).is_err(), "bad dim id");
         let v = h.add_var("v", NcType::Int, &[t, z]).unwrap();
         assert!(h.add_var("v", NcType::Int, &[z]).is_err(), "duplicate var");

@@ -366,7 +366,10 @@ mod tests {
         let (h, _) = sample();
         assert!(check_access(&h, 0, &[0, 0, 0], &[2, 3, 4], None, None).is_ok());
         assert!(check_access(&h, 0, &[0, 0, 1], &[2, 3, 4], None, None).is_err());
-        assert!(check_access(&h, 0, &[0, 0], &[2, 3], None, None).is_err(), "rank mismatch");
+        assert!(
+            check_access(&h, 0, &[0, 0], &[2, 3], None, None).is_err(),
+            "rank mismatch"
+        );
         // Strided: count 2 stride 2 reaches index 2 < 4 (ok); count 3
         // stride 2 reaches index 4 (overrun).
         assert!(check_access(&h, 0, &[0, 0, 0], &[2, 3, 2], Some(&[1, 1, 2]), None).is_ok());

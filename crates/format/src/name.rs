@@ -43,7 +43,9 @@ mod tests {
 
     #[test]
     fn accepts_typical_names() {
-        for n in ["tt", "level", "time_1", "T2m", "_hidden", "a.b-c+d", "var@x"] {
+        for n in [
+            "tt", "level", "time_1", "T2m", "_hidden", "a.b-c+d", "var@x",
+        ] {
             assert!(validate(n).is_ok(), "{n}");
         }
     }

@@ -167,8 +167,7 @@ impl<'a> Reader<'a> {
         let len = self.get_u32()? as usize;
         let bytes = self.take(len)?.to_vec();
         self.align4()?;
-        String::from_utf8(bytes)
-            .map_err(|_| FormatError::Corrupt("name is not valid UTF-8".into()))
+        String::from_utf8(bytes).map_err(|_| FormatError::Corrupt("name is not valid UTF-8".into()))
     }
 }
 

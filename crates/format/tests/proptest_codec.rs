@@ -149,13 +149,7 @@ proptest! {
 }
 
 /// Naive oracle: enumerate every selected element's file offset one by one.
-fn naive_offsets(
-    h: &Header,
-    recsize: u64,
-    varid: usize,
-    start: &[u64],
-    count: &[u64],
-) -> Vec<u64> {
+fn naive_offsets(h: &Header, recsize: u64, varid: usize, start: &[u64], count: &[u64]) -> Vec<u64> {
     let v = &h.vars[varid];
     let esize = v.nctype.size();
     let is_rec = h.is_record_var(varid);

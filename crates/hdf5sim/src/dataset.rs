@@ -225,12 +225,7 @@ impl H5Dataset {
     /// two small metadata writes plus a barrier, which is why the paper's
     /// benchmark port "removed the part of code writing attributes" to
     /// focus on data I/O.
-    pub fn write_attribute(
-        &mut self,
-        file: &mut H5File,
-        name: &str,
-        value: &[u8],
-    ) -> H5Result<()> {
+    pub fn write_attribute(&mut self, file: &mut H5File, name: &str, value: &[u8]) -> H5Result<()> {
         let addr = file.allocate_metadata_block(8 + name.len() as u64 + value.len() as u64);
         if file.comm.rank() == 0 && !file.readonly {
             let mut block = Vec::with_capacity(8 + name.len() + value.len());

@@ -8,8 +8,8 @@ use pnetcdf_pfs::Pfs;
 use crate::dataset::H5Dataset;
 use crate::error::{H5Error, H5Result};
 use crate::format::{
-    decode_symbols, encode_symbols, object_header_size, ObjectHeader, Superblock, SymbolEntry,
-    H5Type, SUPERBLOCK_SIZE,
+    decode_symbols, encode_symbols, object_header_size, H5Type, ObjectHeader, Superblock,
+    SymbolEntry, SUPERBLOCK_SIZE,
 };
 
 /// An open HDF5-sim file (per rank).
@@ -46,7 +46,13 @@ impl H5File {
 
     /// Collectively open an existing file: rank 0 chases superblock and
     /// symbol table, then broadcasts.
-    pub fn open(comm: &Comm, pfs: &Pfs, name: &str, readonly: bool, info: &Info) -> H5Result<H5File> {
+    pub fn open(
+        comm: &Comm,
+        pfs: &Pfs,
+        name: &str,
+        readonly: bool,
+        info: &Info,
+    ) -> H5Result<H5File> {
         let mode = if readonly {
             OpenMode::ReadOnly
         } else {
@@ -177,7 +183,8 @@ impl H5File {
             let mem = Datatype::contiguous(sym_probe.len(), Datatype::byte());
             self.file
                 .set_view_local(0, &Datatype::byte(), &Datatype::byte())?;
-            self.file.read_at(self.sb.root_addr, &mut sym_probe, 1, &mem)?;
+            self.file
+                .read_at(self.sb.root_addr, &mut sym_probe, 1, &mem)?;
 
             let hsize = 24 + 8 * 16; // generous: up to 16 dims
             let mut hdr = vec![0u8; hsize];

@@ -164,6 +164,9 @@ fn namespace_iteration_cost_grows_with_position() {
         (t_first, t_last)
     });
     for (first, last) in run.results {
-        assert!(last > first, "opening d63 ({last}) should cost more than d00 ({first})");
+        assert!(
+            last > first,
+            "opening d63 ({last}) should cost more than d00 ({first})"
+        );
     }
 }

@@ -1,8 +1,8 @@
 //! End-to-end HDF5-sim tests: multi-rank create/open/write/read round-trips
 //! and the structural cost properties the baseline exists to model.
 
-use hpc_sim::SimConfig;
 use hdf5_sim::{H5File, H5Type};
+use hpc_sim::SimConfig;
 use pnetcdf_mpi::{run_world, Info};
 use pnetcdf_pfs::{Pfs, StorageMode};
 
@@ -15,9 +15,7 @@ fn create_write_read_roundtrip() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(4, cfg(), |c| {
         let mut f = H5File::create(c, &pfs, "a.h5", &Info::new()).unwrap();
-        let mut d = f
-            .create_dataset("dens", H5Type::F64, &[16, 8])
-            .unwrap();
+        let mut d = f.create_dataset("dens", H5Type::F64, &[16, 8]).unwrap();
         // Each rank writes 4 rows.
         let r0 = c.rank() as u64 * 4;
         let vals: Vec<f64> = (0..32).map(|i| r0 as f64 * 100.0 + i as f64).collect();
@@ -140,8 +138,7 @@ fn file_bytes_decode_offline() {
     let bytes = pfs.open("dec.h5").unwrap().to_bytes();
     let sb = hdf5_sim::format::Superblock::decode(&bytes).unwrap();
     assert_eq!(sb.nobjects, 1);
-    let syms =
-        hdf5_sim::format::decode_symbols(&bytes[sb.root_addr as usize..], 1).unwrap();
+    let syms = hdf5_sim::format::decode_symbols(&bytes[sb.root_addr as usize..], 1).unwrap();
     assert_eq!(syms[0].name, "data");
     let oh =
         hdf5_sim::format::ObjectHeader::decode(&bytes[syms[0].header_addr as usize..]).unwrap();

@@ -12,7 +12,7 @@ use hpc_sim::{SharedClocks, SimConfig, SimStats, Time};
 
 use crate::collective::{CollContext, Deposits};
 use crate::error::{MpiError, MpiResult};
-use crate::op::{from_bytes, to_bytes, Reducible, ReduceOp, Scalar};
+use crate::op::{from_bytes, to_bytes, ReduceOp, Reducible, Scalar};
 use crate::p2p::{Envelope, Status};
 use crate::runtime::WorldInner;
 
@@ -188,10 +188,7 @@ impl Comm {
     pub fn allgather_bytes(&self, mine: Vec<u8>) -> MpiResult<Vec<Vec<u8>>> {
         let env = self.coll_env();
         let res = self.collective(vec![mine], move |mut deps: Deposits| {
-            let all: Vec<Vec<u8>> = deps
-                .iter_mut()
-                .map(|d| std::mem::take(&mut d[0]))
-                .collect();
+            let all: Vec<Vec<u8>> = deps.iter_mut().map(|d| std::mem::take(&mut d[0])).collect();
             let maxlen = all.iter().map(Vec::len).max().unwrap_or(0);
             let cost = env.config.network.allgather(maxlen, env.size());
             env.sync_max(cost);
@@ -241,10 +238,7 @@ impl Comm {
         self.check_rank(root)?;
         let env = self.coll_env();
         let res = self.collective(vec![mine], move |mut deps: Deposits| {
-            let all: Vec<Vec<u8>> = deps
-                .iter_mut()
-                .map(|d| std::mem::take(&mut d[0]))
-                .collect();
+            let all: Vec<Vec<u8>> = deps.iter_mut().map(|d| std::mem::take(&mut d[0])).collect();
             let maxlen = all.iter().map(Vec::len).max().unwrap_or(0);
             let cost = env.config.network.allgather(maxlen, env.size());
             env.sync_max(cost);
@@ -258,11 +252,7 @@ impl Comm {
     }
 
     /// `MPI_Scatterv` from `root`: root passes one parcel per rank.
-    pub fn scatterv_bytes(
-        &self,
-        root: usize,
-        parts: Option<Vec<Vec<u8>>>,
-    ) -> MpiResult<Vec<u8>> {
+    pub fn scatterv_bytes(&self, root: usize, parts: Option<Vec<Vec<u8>>>) -> MpiResult<Vec<u8>> {
         self.check_rank(root)?;
         if self.my_index == root {
             match &parts {
@@ -305,10 +295,7 @@ impl Comm {
                         .collect(),
                 });
             }
-            let cost = env
-                .config
-                .network
-                .allreduce(nvals * T::WIDTH, env.size());
+            let cost = env.config.network.allreduce(nvals * T::WIDTH, env.size());
             env.sync_max(cost);
             acc.expect("at least one rank")
         })?;

@@ -181,7 +181,12 @@ impl Datatype {
 
     /// `MPI_Type_create_subarray` (row-major). Errors if the subarray does
     /// not fit inside the full array.
-    pub fn subarray(sizes: &[u64], subsizes: &[u64], starts: &[u64], inner: Datatype) -> MpiResult<Datatype> {
+    pub fn subarray(
+        sizes: &[u64],
+        subsizes: &[u64],
+        starts: &[u64],
+        inner: Datatype,
+    ) -> MpiResult<Datatype> {
         if sizes.len() != subsizes.len() || sizes.len() != starts.len() {
             return Err(MpiError::InvalidDatatype(format!(
                 "subarray rank mismatch: sizes={} subsizes={} starts={}",
@@ -191,7 +196,10 @@ impl Datatype {
             )));
         }
         for i in 0..sizes.len() {
-            if starts[i].checked_add(subsizes[i]).is_none_or(|end| end > sizes[i]) {
+            if starts[i]
+                .checked_add(subsizes[i])
+                .is_none_or(|end| end > sizes[i])
+            {
                 return Err(MpiError::InvalidDatatype(format!(
                     "subarray dim {i}: start {} + subsize {} exceeds size {}",
                     starts[i], subsizes[i], sizes[i]
@@ -223,20 +231,27 @@ impl Datatype {
         match self {
             Datatype::Base(b) => b.size() as u64,
             Datatype::Contiguous { count, inner } => *count as u64 * inner.size(),
-            Datatype::Vector { count, blocklen, inner, .. }
-            | Datatype::Hvector { count, blocklen, inner, .. } => {
-                *count as u64 * *blocklen as u64 * inner.size()
+            Datatype::Vector {
+                count,
+                blocklen,
+                inner,
+                ..
             }
+            | Datatype::Hvector {
+                count,
+                blocklen,
+                inner,
+                ..
+            } => *count as u64 * *blocklen as u64 * inner.size(),
             Datatype::Indexed { blocks, inner } | Datatype::Hindexed { blocks, inner } => {
                 blocks.iter().map(|&(_, l)| l as u64).sum::<u64>() * inner.size()
             }
-            Datatype::Struct { fields } => fields
-                .iter()
-                .map(|(_, c, t)| *c as u64 * t.size())
-                .sum(),
-            Datatype::Subarray { subsizes, inner, .. } => {
-                subsizes.iter().product::<u64>() * inner.size()
+            Datatype::Struct { fields } => {
+                fields.iter().map(|(_, c, t)| *c as u64 * t.size()).sum()
             }
+            Datatype::Subarray {
+                subsizes, inner, ..
+            } => subsizes.iter().product::<u64>() * inner.size(),
             Datatype::Resized { inner, .. } => inner.size(),
         }
     }
@@ -265,11 +280,21 @@ impl Datatype {
                     (lb, lb + e * *count as i64)
                 }
             }
-            Datatype::Vector { count, blocklen, stride, inner } => {
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                inner,
+            } => {
                 let e = inner.extent() as i64;
                 Self::strided_bounds(*count, *blocklen, *stride * e, e, inner.bounds())
             }
-            Datatype::Hvector { count, blocklen, stride_bytes, inner } => {
+            Datatype::Hvector {
+                count,
+                blocklen,
+                stride_bytes,
+                inner,
+            } => {
                 let e = inner.extent() as i64;
                 Self::strided_bounds(*count, *blocklen, *stride_bytes, e, inner.bounds())
             }
@@ -331,11 +356,21 @@ impl Datatype {
                 let e = inner.extent() as i64;
                 (tlb, (*count as i64 - 1) * e + tub)
             }
-            Datatype::Vector { count, blocklen, stride, inner } => {
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                inner,
+            } => {
                 let e = inner.extent() as i64;
                 Self::strided_true_bounds(*count, *blocklen, *stride * e, e, inner.true_bounds())
             }
-            Datatype::Hvector { count, blocklen, stride_bytes, inner } => {
+            Datatype::Hvector {
+                count,
+                blocklen,
+                stride_bytes,
+                inner,
+            } => {
                 let e = inner.extent() as i64;
                 Self::strided_true_bounds(*count, *blocklen, *stride_bytes, e, inner.true_bounds())
             }
@@ -369,7 +404,12 @@ impl Datatype {
                     (lb, ub)
                 }
             }
-            Datatype::Subarray { sizes, subsizes, starts, inner } => {
+            Datatype::Subarray {
+                sizes,
+                subsizes,
+                starts,
+                inner,
+            } => {
                 let total: u64 = subsizes.iter().product();
                 if total == 0 {
                     return (0, 0);
@@ -546,10 +586,7 @@ mod tests {
 
     #[test]
     fn struct_bounds() {
-        let t = Datatype::structure(vec![
-            (0, 1, Datatype::int()),
-            (8, 2, Datatype::double()),
-        ]);
+        let t = Datatype::structure(vec![(0, 1, Datatype::int()), (8, 2, Datatype::double())]);
         assert_eq!(t.size(), 4 + 16);
         assert_eq!(t.bounds(), (0, 24));
     }

@@ -162,7 +162,13 @@ fn emit_strided(
     c: &mut Coalescer,
 ) {
     for i in 0..count {
-        emit_block(inner, base + i as i64 * stride_bytes, blocklen, inner_extent, c);
+        emit_block(
+            inner,
+            base + i as i64 * stride_bytes,
+            blocklen,
+            inner_extent,
+            c,
+        );
     }
 }
 
@@ -204,7 +210,10 @@ fn emit_subarray(
         if outer_dims == 0 {
             // entire selection is one run
             let off: i64 = (0..ndims).map(|d| starts[d] as i64 * strides[d]).sum();
-            c.push(base + off * esize + inner.lb(), run_elems as u64 * inner.size());
+            c.push(
+                base + off * esize + inner.lb(),
+                run_elems as u64 * inner.size(),
+            );
             return;
         }
         // When the loop stops, dim `outer_dims` is the innermost *looped*
@@ -228,7 +237,10 @@ fn emit_subarray(
             off += starts[d] as i64 * strides[d];
         }
         if contiguous_inner {
-            c.push(base + off * esize + inner.lb(), run_elems as u64 * inner.size());
+            c.push(
+                base + off * esize + inner.lb(),
+                run_elems as u64 * inner.size(),
+            );
         } else {
             // Element-by-element for noncontiguous inner types.
             emit_noncontig_run(inner, base + off * esize, run_elems as usize, esize, c);
@@ -268,7 +280,10 @@ mod tests {
     #[test]
     fn base_and_contiguous() {
         assert_eq!(segs(&Datatype::double()), vec![(0, 8)]);
-        assert_eq!(segs(&Datatype::contiguous(3, Datatype::int())), vec![(0, 12)]);
+        assert_eq!(
+            segs(&Datatype::contiguous(3, Datatype::int())),
+            vec![(0, 12)]
+        );
     }
 
     #[test]
@@ -291,16 +306,16 @@ mod tests {
 
     #[test]
     fn hindexed_blocks_in_bytes() {
-        let t = Datatype::hindexed(vec![(0, 1), (6, 1)], Datatype::Base(crate::datatype::BaseType::I16));
+        let t = Datatype::hindexed(
+            vec![(0, 1), (6, 1)],
+            Datatype::Base(crate::datatype::BaseType::I16),
+        );
         assert_eq!(segs(&t), vec![(0, 2), (6, 2)]);
     }
 
     #[test]
     fn struct_fields() {
-        let t = Datatype::structure(vec![
-            (0, 1, Datatype::int()),
-            (8, 2, Datatype::double()),
-        ]);
+        let t = Datatype::structure(vec![(0, 1, Datatype::int()), (8, 2, Datatype::double())]);
         assert_eq!(segs(&t), vec![(0, 4), (8, 16)]);
     }
 
@@ -344,7 +359,10 @@ mod tests {
         // One instance: (0,1), (2,1); extent = 3. Instance 2 starts at 3, so
         // its first byte coalesces with the previous instance's last run.
         assert_eq!(
-            flatten_n(&t, 2).iter().map(|s| (s.offset, s.len)).collect::<Vec<_>>(),
+            flatten_n(&t, 2)
+                .iter()
+                .map(|s| (s.offset, s.len))
+                .collect::<Vec<_>>(),
             vec![(0, 1), (2, 2), (5, 1)]
         );
     }
@@ -353,7 +371,10 @@ mod tests {
     fn flatten_n_contiguous_coalesces_across_instances() {
         let t = Datatype::contiguous(2, Datatype::byte());
         assert_eq!(
-            flatten_n(&t, 3).iter().map(|s| (s.offset, s.len)).collect::<Vec<_>>(),
+            flatten_n(&t, 3)
+                .iter()
+                .map(|s| (s.offset, s.len))
+                .collect::<Vec<_>>(),
             vec![(0, 6)]
         );
     }
@@ -370,7 +391,10 @@ mod tests {
         assert_eq!(segs(&t), vec![(0, 4)]);
         // But repetition respects the new extent.
         assert_eq!(
-            flatten_n(&t, 2).iter().map(|s| (s.offset, s.len)).collect::<Vec<_>>(),
+            flatten_n(&t, 2)
+                .iter()
+                .map(|s| (s.offset, s.len))
+                .collect::<Vec<_>>(),
             vec![(0, 4), (64, 4)]
         );
     }

@@ -26,6 +26,7 @@ pub mod info;
 pub mod op;
 pub mod p2p;
 pub mod pack;
+pub mod request;
 pub mod runtime;
 
 pub use comm::{CollEnv, Comm};
@@ -35,4 +36,5 @@ pub use flatten::{flatten, flatten_n, Segment};
 pub use info::Info;
 pub use op::{ReduceOp, Reducible, Scalar};
 pub use p2p::{Status, ANY_SOURCE, ANY_TAG};
+pub use request::{Request, RequestTable};
 pub use runtime::{run_world, WorldRun};

@@ -113,7 +113,10 @@ mod tests {
         let t = Datatype::contiguous(8, Datatype::byte());
         assert!(matches!(
             pack(&buf, 1, &t),
-            Err(MpiError::Truncated { needed: 8, available: 4 })
+            Err(MpiError::Truncated {
+                needed: 8,
+                available: 4
+            })
         ));
     }
 

@@ -1,0 +1,85 @@
+//! Lightweight nonblocking-request handles (`MPI_Request`-shaped).
+//!
+//! The simulated MPI runs ranks as threads and completes operations at
+//! well-defined rendezvous points, so a request does not need to carry any
+//! progress machinery — it is an opaque ticket identifying a queued
+//! operation to the layer that queued it (PnetCDF's `iput`/`iget` queue,
+//! drained by `wait`/`wait_all`).
+
+use std::fmt;
+
+/// An opaque handle to a queued nonblocking operation.
+///
+/// Handles are `Copy` tickets: completing the operation does not mutate the
+/// handle, it removes the queue entry the handle names. The all-zero value
+/// is reserved as [`Request::NULL`] (`MPI_REQUEST_NULL`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Request(u64);
+
+impl Request {
+    /// The null request (`MPI_REQUEST_NULL`): never names a queued operation.
+    pub const NULL: Request = Request(0);
+
+    /// Does this handle name no operation?
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw ticket value (for queue keys and diagnostics).
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            f.write_str("Request::NULL")
+        } else {
+            write!(f, "Request({})", self.0)
+        }
+    }
+}
+
+/// Issues [`Request`] tickets with unique, monotonically increasing ids.
+/// Ticket order is enqueue order, which queue-draining layers rely on for
+/// deterministic conflict resolution (later request wins).
+#[derive(Debug, Default)]
+pub struct RequestTable {
+    next: u64,
+}
+
+impl RequestTable {
+    /// A table whose first ticket is `Request(1)`.
+    pub fn new() -> RequestTable {
+        RequestTable { next: 0 }
+    }
+
+    /// Issue the next ticket.
+    pub fn issue(&mut self) -> Request {
+        self.next += 1;
+        Request(self.next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tickets_are_unique_and_ordered() {
+        let mut t = RequestTable::new();
+        let a = t.issue();
+        let b = t.issue();
+        assert!(!a.is_null());
+        assert!(a < b);
+        assert_ne!(a, b);
+        assert_eq!(b.id(), 2);
+    }
+
+    #[test]
+    fn null_is_null() {
+        assert!(Request::NULL.is_null());
+        assert_eq!(format!("{:?}", Request::NULL), "Request::NULL");
+    }
+}

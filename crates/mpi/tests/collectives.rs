@@ -144,7 +144,9 @@ fn scatterv_distributes() {
 
 #[test]
 fn exscan_sum_prefixes() {
-    let run = run_world(4, cfg(), |c| c.exscan_sum(10 * (c.rank() as u64 + 1)).unwrap());
+    let run = run_world(4, cfg(), |c| {
+        c.exscan_sum(10 * (c.rank() as u64 + 1)).unwrap()
+    });
     assert_eq!(run.results[0], (0, 100));
     assert_eq!(run.results[1], (10, 100));
     assert_eq!(run.results[2], (30, 100));

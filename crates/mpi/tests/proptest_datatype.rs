@@ -20,8 +20,7 @@ fn arb_datatype() -> impl Strategy<Value = Datatype> {
     let leaf = arb_base();
     leaf.prop_recursive(3, 64, 8, |inner| {
         prop_oneof![
-            (1usize..5, inner.clone())
-                .prop_map(|(n, t)| Datatype::contiguous(n, t)),
+            (1usize..5, inner.clone()).prop_map(|(n, t)| Datatype::contiguous(n, t)),
             (1usize..4, 1usize..4, 0i64..4, inner.clone()).prop_map(|(c, b, extra, t)| {
                 // stride >= blocklen keeps displacements non-negative and
                 // non-overlapping.
@@ -39,7 +38,9 @@ fn arb_datatype() -> impl Strategy<Value = Datatype> {
                         }
                         next_free = *d + *l as i64;
                     }
-                    inner.clone().prop_map(move |t| Datatype::indexed(blocks.clone(), t))
+                    inner
+                        .clone()
+                        .prop_map(move |t| Datatype::indexed(blocks.clone(), t))
                 }
             }),
             (1u64..64, inner.clone()).prop_map(|(extra, t)| {

@@ -187,7 +187,63 @@ impl MpiFile {
         }
     }
 
+    /// Validate a caller-supplied run list: sorted, non-overlapping, and
+    /// totalling `data_len` bytes.
+    fn check_runs(runs: &[Run], data_len: usize) -> MpioResult<()> {
+        let mut prev_end = 0u64;
+        for &(off, len) in runs {
+            if off < prev_end {
+                return Err(MpioError::InvalidArgument(
+                    "run list must be sorted and non-overlapping".into(),
+                ));
+            }
+            prev_end = off + len;
+        }
+        let total = runs_total(runs);
+        if total != data_len as u64 {
+            return Err(MpioError::InvalidArgument(format!(
+                "run list covers {total} bytes but the buffer has {data_len}"
+            )));
+        }
+        Ok(())
+    }
+
     // ---- independent data access ------------------------------------------
+
+    /// Independent write of pre-resolved absolute file runs: the data-sieving
+    /// path without view mapping. `runs` must be sorted and non-overlapping;
+    /// `data` holds the run bytes concatenated in run order.
+    pub fn write_runs_at(&self, runs: &[Run], data: &[u8]) -> MpioResult<usize> {
+        self.check_writable()?;
+        Self::check_runs(runs, data.len())?;
+        let ds = self.hints.ds_write.resolve(true);
+        let t = sieve::write(
+            &self.file,
+            self.hints.ind_wr_buffer_size,
+            ds,
+            self.comm.now(),
+            runs,
+            data,
+        );
+        self.comm.advance_to(t);
+        Ok(data.len())
+    }
+
+    /// Independent read of pre-resolved absolute file runs; returns the run
+    /// bytes concatenated in run order.
+    pub fn read_runs_at(&self, runs: &[Run]) -> MpioResult<Vec<u8>> {
+        Self::check_runs(runs, runs_total(runs) as usize)?;
+        let ds = self.hints.ds_read.resolve(true);
+        let (data, t) = sieve::read(
+            &self.file,
+            self.hints.ind_rd_buffer_size,
+            ds,
+            self.comm.now(),
+            runs,
+        );
+        self.comm.advance_to(t);
+        Ok(data)
+    }
 
     /// Independent write at `offset` (in etypes of the current view)
     /// (`MPI_File_write_at`). Returns bytes written.
@@ -201,17 +257,7 @@ impl MpiFile {
         self.check_writable()?;
         let data = self.stage(buf, count, memtype)?;
         let runs = self.view.map(offset, data.len() as u64)?;
-        let ds = self.hints.ds_write.resolve(true);
-        let t = sieve::write(
-            &self.file,
-            self.hints.ind_wr_buffer_size,
-            ds,
-            self.comm.now(),
-            &runs,
-            &data,
-        );
-        self.comm.advance_to(t);
-        Ok(data.len())
+        self.write_runs_at(&runs, &data)
     }
 
     /// Independent read at `offset` (`MPI_File_read_at`). Returns bytes read.
@@ -224,15 +270,7 @@ impl MpiFile {
     ) -> MpioResult<usize> {
         let want = memtype.size() as usize * count;
         let runs = self.view.map(offset, want as u64)?;
-        let ds = self.hints.ds_read.resolve(true);
-        let (data, t) = sieve::read(
-            &self.file,
-            self.hints.ind_rd_buffer_size,
-            ds,
-            self.comm.now(),
-            &runs,
-        );
-        self.comm.advance_to(t);
+        let data = self.read_runs_at(&runs)?;
         if memtype.is_contiguous() && memtype.lb() == 0 {
             if buf.len() < data.len() {
                 return Err(MpioError::InvalidArgument(format!(
@@ -261,12 +299,20 @@ impl MpiFile {
         count: usize,
         memtype: &Datatype,
     ) -> MpioResult<usize> {
-        self.check_writable()?;
         let data = self.stage(buf, count, memtype)?;
+        let runs = self.view.map(offset, data.len() as u64)?;
+        self.write_runs_at_all(&runs, &data)
+    }
+
+    /// Collective write of pre-resolved absolute file runs: the two-phase
+    /// path without view mapping, for callers (such as PnetCDF's
+    /// `wait_all`) that have already merged many requests into one sorted
+    /// run list. Ranks may contribute empty lists but must all participate.
+    pub fn write_runs_at_all(&self, runs: &[Run], data: &[u8]) -> MpioResult<usize> {
+        self.check_writable()?;
+        Self::check_runs(runs, data.len())?;
         let nbytes = data.len();
-        let runs = self.view.map(offset, nbytes as u64)?;
-        let parcel = twophase::encode_write_req(&runs, &data);
-        drop(data);
+        let parcel = twophase::encode_write_req(runs, data);
 
         let env = self.comm.coll_env();
         let file = self.file.clone();
@@ -277,10 +323,8 @@ impl MpiFile {
             self.hints.ds_write.resolve(true),
         );
         self.comm.collective(vec![parcel], move |mut deps| {
-            let parcels: Vec<Vec<u8>> = deps
-                .iter_mut()
-                .map(|d| std::mem::take(&mut d[0]))
-                .collect();
+            let parcels: Vec<Vec<u8>> =
+                deps.iter_mut().map(|d| std::mem::take(&mut d[0])).collect();
             let reqs: Vec<(Vec<Run>, &[u8])> =
                 parcels.iter().map(|pc| twophase::decode_req(pc)).collect();
             if cb {
@@ -308,7 +352,30 @@ impl MpiFile {
     ) -> MpioResult<usize> {
         let want = memtype.size() as usize * count;
         let runs = self.view.map(offset, want as u64)?;
-        let parcel = twophase::encode_read_req(&runs);
+        let data = self.read_runs_at_all(&runs)?;
+        if memtype.is_contiguous() && memtype.lb() == 0 {
+            if buf.len() < data.len() {
+                return Err(MpioError::InvalidArgument(format!(
+                    "memory buffer has {} bytes, read produced {}",
+                    buf.len(),
+                    data.len()
+                )));
+            }
+            buf[..data.len()].copy_from_slice(&data);
+        } else {
+            pack::unpack(&data, buf, count, memtype)?;
+            self.comm
+                .advance(self.comm.config().cpu.pack(data.len(), 1.0));
+        }
+        Ok(want)
+    }
+
+    /// Collective read of pre-resolved absolute file runs; returns the run
+    /// bytes concatenated in run order. Ranks may contribute empty lists
+    /// but must all participate.
+    pub fn read_runs_at_all(&self, runs: &[Run]) -> MpioResult<Vec<u8>> {
+        Self::check_runs(runs, runs_total(runs) as usize)?;
+        let parcel = twophase::encode_read_req(runs);
 
         let env = self.comm.coll_env();
         let file = self.file.clone();
@@ -337,22 +404,8 @@ impl MpiFile {
                 outs
             }
         })?;
-        let data = &res[me];
-        debug_assert_eq!(data.len() as u64, runs_total(&runs));
-        if memtype.is_contiguous() && memtype.lb() == 0 {
-            if buf.len() < data.len() {
-                return Err(MpioError::InvalidArgument(format!(
-                    "memory buffer has {} bytes, read produced {}",
-                    buf.len(),
-                    data.len()
-                )));
-            }
-            buf[..data.len()].copy_from_slice(data);
-        } else {
-            pack::unpack(data, buf, count, memtype)?;
-            self.comm
-                .advance(self.comm.config().cpu.pack(data.len(), 1.0));
-        }
-        Ok(want)
+        let data = res[me].clone();
+        debug_assert_eq!(data.len() as u64, runs_total(runs));
+        Ok(data)
     }
 }

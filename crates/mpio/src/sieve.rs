@@ -188,13 +188,17 @@ mod tests {
         let f = file();
         f.write_at(Time::ZERO, 0, &[7u8; 64]);
         // Overwrite two pieces; the bytes between must stay 7.
-        write(&f, 1024, true, Time::ZERO, &[(4, 2), (10, 2)], &[1, 1, 2, 2]);
+        write(
+            &f,
+            1024,
+            true,
+            Time::ZERO,
+            &[(4, 2), (10, 2)],
+            &[1, 1, 2, 2],
+        );
         let mut buf = [0u8; 16];
         f.peek_at(0, &mut buf);
-        assert_eq!(
-            buf,
-            [7, 7, 7, 7, 1, 1, 7, 7, 7, 7, 2, 2, 7, 7, 7, 7]
-        );
+        assert_eq!(buf, [7, 7, 7, 7, 1, 1, 7, 7, 7, 7, 2, 2, 7, 7, 7, 7]);
     }
 
     #[test]

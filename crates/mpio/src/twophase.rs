@@ -165,10 +165,7 @@ fn exchange_cost(
     let n = env.size();
     let mut max_rank_wire = 0u64; // busiest non-aggregator-side endpoint
     for (r, runs) in all_runs.iter().enumerate() {
-        let local = domains
-            .get(r)
-            .map(|&d| overlap_bytes(runs, d))
-            .unwrap_or(0);
+        let local = domains.get(r).map(|&d| overlap_bytes(runs, d)).unwrap_or(0);
         max_rank_wire = max_rank_wire.max(totals[r] - local);
     }
     let per_domain = bytes_per_domain(all_runs, domains);
@@ -496,10 +493,7 @@ mod tests {
     #[test]
     fn merge_coverage_detects_holes() {
         assert_eq!(merge_coverage(vec![(0, 4), (4, 4)]), vec![(0, 8)]);
-        assert_eq!(
-            merge_coverage(vec![(10, 2), (0, 4)]),
-            vec![(0, 4), (10, 2)]
-        );
+        assert_eq!(merge_coverage(vec![(10, 2), (0, 4)]), vec![(0, 4), (10, 2)]);
         // Overlaps merge too.
         assert_eq!(merge_coverage(vec![(0, 6), (4, 4)]), vec![(0, 8)]);
     }

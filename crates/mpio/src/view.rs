@@ -164,8 +164,12 @@ mod tests {
 
     #[test]
     fn displacement_shifts_everything() {
-        let v = FileView::new(1000, &Datatype::byte(), &Datatype::contiguous(8, Datatype::byte()))
-            .unwrap();
+        let v = FileView::new(
+            1000,
+            &Datatype::byte(),
+            &Datatype::contiguous(8, Datatype::byte()),
+        )
+        .unwrap();
         assert_eq!(v.map(4, 10).unwrap(), vec![(1004, 10)]);
     }
 
@@ -216,10 +220,7 @@ mod tests {
     #[test]
     fn rejects_decreasing_filetype() {
         // Struct with fields out of order addresses backwards.
-        let ft = Datatype::structure(vec![
-            (8, 1, Datatype::int()),
-            (0, 1, Datatype::int()),
-        ]);
+        let ft = Datatype::structure(vec![(8, 1, Datatype::int()), (0, 1, Datatype::int())]);
         assert!(FileView::new(0, &Datatype::byte(), &ft).is_err());
     }
 

@@ -11,7 +11,9 @@ fn cfg() -> SimConfig {
 }
 
 fn byte_buf(n: usize, seed: u8) -> Vec<u8> {
-    (0..n).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    (0..n)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
 }
 
 #[test]
@@ -23,12 +25,8 @@ fn collective_open_create_and_reopen() {
         drop(f);
         let f2 = MpiFile::open(c, &pfs, "f.dat", OpenMode::ReadWrite, &Info::new()).unwrap();
         assert_eq!(f2.size(), 0);
-        assert!(
-            MpiFile::open(c, &pfs, "f.dat", OpenMode::CreateExcl, &Info::new()).is_err()
-        );
-        assert!(
-            MpiFile::open(c, &pfs, "nope.dat", OpenMode::ReadOnly, &Info::new()).is_err()
-        );
+        assert!(MpiFile::open(c, &pfs, "f.dat", OpenMode::CreateExcl, &Info::new()).is_err());
+        assert!(MpiFile::open(c, &pfs, "nope.dat", OpenMode::ReadOnly, &Info::new()).is_err());
     });
 }
 
@@ -53,7 +51,10 @@ fn contiguous_collective_write_then_read() {
     let bytes = pfs.open("cont.dat").unwrap().to_bytes();
     assert_eq!(bytes.len(), n * chunk);
     for r in 0..n {
-        assert_eq!(&bytes[r * chunk..(r + 1) * chunk], &byte_buf(chunk, r as u8)[..]);
+        assert_eq!(
+            &bytes[r * chunk..(r + 1) * chunk],
+            &byte_buf(chunk, r as u8)[..]
+        );
     }
 }
 
@@ -71,10 +72,7 @@ fn interleaved_views_collective_write() {
         let ft = Datatype::resized(
             0,
             (n * block) as u64,
-            Datatype::hindexed(
-                vec![((c.rank() * block) as i64, block)],
-                Datatype::byte(),
-            ),
+            Datatype::hindexed(vec![((c.rank() * block) as i64, block)], Datatype::byte()),
         );
         f.set_view(0, &Datatype::byte(), &ft).unwrap();
         let mine: Vec<u8> = (0..block * blocks_per_rank)
@@ -139,7 +137,10 @@ fn independent_write_with_noncontiguous_memory() {
         c.barrier().unwrap();
     });
     let bytes = pfs.open("m.dat").unwrap().to_bytes();
-    assert_eq!(bytes, vec![0, 1, 2, 3, 8, 9, 10, 11, 16, 17, 18, 19, 24, 25, 26, 27]);
+    assert_eq!(
+        bytes,
+        vec![0, 1, 2, 3, 8, 9, 10, 11, 16, 17, 18, 19, 24, 25, 26, 27]
+    );
 }
 
 #[test]
@@ -186,7 +187,11 @@ fn two_phase_beats_disabled_collective_buffering() {
     };
 
     let t_two_phase = time_with(Info::new());
-    let t_disabled = time_with(Info::new().with("romio_cb_write", "disable").with("romio_ds_write", "disable"));
+    let t_disabled = time_with(
+        Info::new()
+            .with("romio_cb_write", "disable")
+            .with("romio_ds_write", "disable"),
+    );
     assert!(
         t_two_phase < t_disabled,
         "two-phase {t_two_phase:?} should beat disabled {t_disabled:?}"
@@ -245,7 +250,9 @@ fn cb_nodes_hint_changes_aggregation() {
     // Sanity: restricting to 1 aggregator still produces correct bytes.
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     let n = 4;
-    let info = Info::new().with("cb_nodes", "1").with("cb_buffer_size", "256");
+    let info = Info::new()
+        .with("cb_nodes", "1")
+        .with("cb_buffer_size", "256");
     run_world(n, cfg(), move |c| {
         let f = MpiFile::open(c, &pfs, "z", OpenMode::Create, &info).unwrap();
         let mem = Datatype::contiguous(1000, Datatype::byte());

@@ -21,7 +21,10 @@ fn arb_filetype() -> impl Strategy<Value = (Datatype, Vec<(u64, u64)>, u64)> {
         }
         let extent = next_free + extra;
         let h = Datatype::hindexed(
-            blocks.iter().map(|&(o, l)| (o as i64, l as usize)).collect(),
+            blocks
+                .iter()
+                .map(|&(o, l)| (o as i64, l as usize))
+                .collect(),
             Datatype::byte(),
         );
         let ft = Datatype::resized(0, extent, h);

@@ -49,7 +49,10 @@ impl PfsFile {
         }
         let cfg = &self.inner.cfg;
         let metadata_sized = data.len() as u64 <= crate::storage::METADATA_REQUEST_LIMIT;
-        let mut by_server = self.inner.striping.split_by_server(offset, data.len() as u64);
+        let mut by_server = self
+            .inner
+            .striping
+            .split_by_server(offset, data.len() as u64);
         by_server.sort_by_key(|(_, chunks)| chunks[0].file_offset);
 
         let mut cum_bytes: u64 = 0;
@@ -117,13 +120,9 @@ impl PfsFile {
                 consumed = lo + c.len;
                 rest = tail;
             }
-            let outcome = self.inner.servers[*srv].lock().read(
-                &cfg.disk,
-                self.id,
-                arrival,
-                chunks,
-                &mut outs,
-            );
+            let outcome = self.inner.servers[*srv]
+                .lock()
+                .read(&cfg.disk, self.id, arrival, chunks, &mut outs);
             self.inner
                 .stats
                 .count_io(portion as usize, true, outcome.seeked);
@@ -289,7 +288,10 @@ mod tests {
     #[test]
     fn zero_length_ops_cost_nothing() {
         let f = file();
-        assert_eq!(f.write_at(Time::from_millis(5), 0, &[]), Time::from_millis(5));
+        assert_eq!(
+            f.write_at(Time::from_millis(5), 0, &[]),
+            Time::from_millis(5)
+        );
         let mut empty: [u8; 0] = [];
         assert_eq!(
             f.read_at(Time::from_millis(5), 0, &mut empty),

@@ -214,7 +214,14 @@ mod tests {
         let d = disk();
         let a = s.write(&d, 0, Time::ZERO, &[chunk(0, 1000)], &[&[0u8; 1000]], true);
         // Second request arrives "before" the first finishes: it queues.
-        let b = s.write(&d, 0, Time::ZERO, &[chunk(1024, 1000)], &[&[0u8; 1000]], true);
+        let b = s.write(
+            &d,
+            0,
+            Time::ZERO,
+            &[chunk(1024, 1000)],
+            &[&[0u8; 1000]],
+            true,
+        );
         assert!(b.done > a.done);
     }
 

@@ -131,7 +131,9 @@ mod tests {
         assert_eq!(*srv0, 0);
         assert_eq!(chunks0.iter().map(|c| c.len).sum::<u64>(), 20);
         // Within-server chunks stay in file order.
-        assert!(chunks0.windows(2).all(|w| w[0].file_offset < w[1].file_offset));
+        assert!(chunks0
+            .windows(2)
+            .all(|w| w[0].file_offset < w[1].file_offset));
     }
 
     #[test]

@@ -126,7 +126,9 @@ fn concurrent_writers_do_not_corrupt_disjoint_regions() {
     assert_eq!(bytes.len(), 8000);
     for r in 0..8usize {
         assert!(
-            bytes[r * 1000..(r + 1) * 1000].iter().all(|&b| b == r as u8 + 1),
+            bytes[r * 1000..(r + 1) * 1000]
+                .iter()
+                .all(|&b| b == r as u8 + 1),
             "region {r} corrupted"
         );
     }

@@ -421,7 +421,14 @@ impl NcFile {
             )));
         }
         let ext = to_external(vals, self.header.vars[varid].nctype)?;
-        let runs = layout::access_runs(&self.header, self.layout.recsize, varid, start, count, stride);
+        let runs = layout::access_runs(
+            &self.header,
+            self.layout.recsize,
+            varid,
+            start,
+            count,
+            stride,
+        );
         let mut pos = 0usize;
         for (off, len) in runs {
             self.store.write_at(off, &ext[pos..pos + len as usize]);
@@ -486,7 +493,14 @@ impl NcFile {
             stride,
             Some(self.header.numrecs),
         )?;
-        let runs = layout::access_runs(&self.header, self.layout.recsize, varid, start, count, stride);
+        let runs = layout::access_runs(
+            &self.header,
+            self.layout.recsize,
+            varid,
+            start,
+            count,
+            stride,
+        );
         let total: u64 = runs.iter().map(|r| r.1).sum();
         let mut ext = vec![0u8; total as usize];
         let mut pos = 0usize;
@@ -582,9 +596,10 @@ fn gather_by_imap<T: NcValue>(count: &[u64], imap: &[u64], vals: &[T]) -> NcResu
     let mut idx = vec![0u64; nd];
     loop {
         let mem: u64 = (0..nd).map(|d| idx[d] * imap[d]).sum();
-        let v = vals.get(mem as usize).copied().ok_or_else(|| {
-            NcError::NotFound(format!("imap index {mem} outside value buffer"))
-        })?;
+        let v = vals
+            .get(mem as usize)
+            .copied()
+            .ok_or_else(|| NcError::NotFound(format!("imap index {mem} outside value buffer")))?;
         out.push(v);
         let mut d = nd;
         loop {
@@ -754,11 +769,15 @@ mod tests {
         let mut f = NcFile::create(MemStore::new(), Version::Cdf1);
         let d = f.def_dim("x", 2).unwrap();
         let v = f.def_var("a", NcType::Short, &[d]).unwrap();
-        f.put_gatt("title", AttrValue::Char("hello".into())).unwrap();
+        f.put_gatt("title", AttrValue::Char("hello".into()))
+            .unwrap();
         f.put_vatt(v, "valid_range", AttrValue::Short(vec![0, 100]))
             .unwrap();
         f.enddef().unwrap();
-        assert_eq!(f.get_gatt("title").unwrap(), &AttrValue::Char("hello".into()));
+        assert_eq!(
+            f.get_gatt("title").unwrap(),
+            &AttrValue::Char("hello".into())
+        );
         assert_eq!(
             f.get_vatt(v, "valid_range").unwrap(),
             &AttrValue::Short(vec![0, 100])
@@ -791,10 +810,10 @@ mod tests {
         // Add a long-named dimension + variable so the header grows and
         // data must move.
         f.redef().unwrap();
-        let y = f
-            .def_dim("a_dimension_with_a_rather_long_name", 8)
+        let y = f.def_dim("a_dimension_with_a_rather_long_name", 8).unwrap();
+        let w = f
+            .def_var("another_variable_name", NcType::Double, &[y])
             .unwrap();
-        let w = f.def_var("another_variable_name", NcType::Double, &[y]).unwrap();
         f.enddef().unwrap();
 
         let back: Vec<i32> = f.get_vara(v, &[0], &[4]).unwrap();
@@ -806,7 +825,8 @@ mod tests {
     #[test]
     fn readonly_blocks_writes() {
         let mut f = simple_file();
-        f.put_vara::<f32>(0, &[0, 0, 0], &[1, 1, 1], &[5.0]).unwrap();
+        f.put_vara::<f32>(0, &[0, 0, 0], &[1, 1, 1], &[5.0])
+            .unwrap();
         // Round-trip through bytes into a read-only open.
         let _store = f.close().unwrap();
         // (We cannot recover the MemStore through the trait object; create
@@ -822,6 +842,8 @@ mod tests {
     #[test]
     fn value_count_mismatch_rejected() {
         let mut f = simple_file();
-        assert!(f.put_vara::<f32>(0, &[0, 0, 0], &[2, 3, 4], &[0.0; 23]).is_err());
+        assert!(f
+            .put_vara::<f32>(0, &[0, 0, 0], &[2, 3, 4], &[0.0; 23])
+            .is_err());
     }
 }

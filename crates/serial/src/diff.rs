@@ -80,7 +80,10 @@ pub fn diff(a: &mut NcFile, b: &mut NcFile, compare_data: bool) -> NcResult<Vec<
     }
     for d in &hb.dims {
         if !ha.dims.iter().any(|x| x.name == d.name) {
-            out.push(Difference::Dimension(format!("'{}' only in second", d.name)));
+            out.push(Difference::Dimension(format!(
+                "'{}' only in second",
+                d.name
+            )));
         }
     }
 
@@ -96,14 +99,20 @@ pub fn diff(a: &mut NcFile, b: &mut NcFile, compare_data: bool) -> NcResult<Vec<
     }
     for at in &hb.gatts {
         if !ha.gatts.iter().any(|x| x.name == at.name) {
-            out.push(Difference::Attribute(format!(":{} only in second", at.name)));
+            out.push(Difference::Attribute(format!(
+                ":{} only in second",
+                at.name
+            )));
         }
     }
 
     // Variables.
     for v in &ha.vars {
         let Some(w) = hb.vars.iter().find(|x| x.name == v.name) else {
-            out.push(Difference::Definition(format!("'{}' only in first", v.name)));
+            out.push(Difference::Definition(format!(
+                "'{}' only in first",
+                v.name
+            )));
             continue;
         };
         if v.nctype != w.nctype {
@@ -148,7 +157,10 @@ pub fn diff(a: &mut NcFile, b: &mut NcFile, compare_data: bool) -> NcResult<Vec<
     }
     for v in &hb.vars {
         if !ha.vars.iter().any(|x| x.name == v.name) {
-            out.push(Difference::Definition(format!("'{}' only in second", v.name)));
+            out.push(Difference::Definition(format!(
+                "'{}' only in second",
+                v.name
+            )));
         }
     }
     Ok(out)
@@ -207,7 +219,8 @@ mod tests {
         f.put_gatt("title", AttrValue::Char("t".into())).unwrap();
         f.put_vatt(v, "units", AttrValue::Char("m".into())).unwrap();
         f.enddef().unwrap();
-        f.put_vara(v, &[0], &[4], &[1i32, 2, 3, tweak as i32]).unwrap();
+        f.put_vara(v, &[0], &[4], &[1i32, 2, 3, tweak as i32])
+            .unwrap();
         f
     }
 

@@ -44,7 +44,12 @@ pub fn dump(f: &mut NcFile, name: &str, with_data: bool) -> NcResult<String> {
                 ));
             }
             for a in &v.atts {
-                out.push_str(&format!("\t\t{}:{} = {} ;\n", v.name, a.name, cdl_value(&a.value)));
+                out.push_str(&format!(
+                    "\t\t{}:{} = {} ;\n",
+                    v.name,
+                    a.name,
+                    cdl_value(&a.value)
+                ));
             }
         }
     }

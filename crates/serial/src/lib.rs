@@ -20,6 +20,6 @@ pub mod error;
 pub mod storage;
 
 pub use dataset::{Mode, NcFile};
-pub use error::{NcError, NcResult};
 pub use dump::dump as dump_cdl;
+pub use error::{NcError, NcResult};
 pub use storage::{ByteStore, MemStore, StdFileStore};

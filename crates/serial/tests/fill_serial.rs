@@ -36,7 +36,10 @@ fn record_growth_fills_all_record_vars() {
     let a2: Vec<i32> = f.get_vara(a, &[2, 0], &[1, 3]).unwrap();
     assert_eq!(a2, vec![1, 2, 3]);
     let b2: Vec<f32> = f.get_vara(b, &[2, 0], &[1, 3]).unwrap();
-    assert!(b2.iter().all(|&v| v > 9.9e35), "sibling record var filled: {b2:?}");
+    assert!(
+        b2.iter().all(|&v| v > 9.9e35),
+        "sibling record var filled: {b2:?}"
+    );
 }
 
 #[test]
@@ -45,7 +48,8 @@ fn fill_value_attribute_override() {
     f.set_fill(true).unwrap();
     let x = f.def_dim("x", 4).unwrap();
     let v = f.def_var("s", NcType::Short, &[x]).unwrap();
-    f.put_vatt(v, "_FillValue", AttrValue::Short(vec![-1])).unwrap();
+    f.put_vatt(v, "_FillValue", AttrValue::Short(vec![-1]))
+        .unwrap();
     f.enddef().unwrap();
     let vals: Vec<i16> = f.get_var(v).unwrap();
     assert_eq!(vals, vec![-1; 4]);
@@ -95,14 +99,9 @@ fn serial_and_parallel_fill_files_are_identical() {
     let pfs = Pfs::new(cfg.clone(), StorageMode::Full);
     let pfs2 = pfs.clone();
     run_world(4, cfg, move |c| {
-        let mut ds = pnetcdf::Dataset::create(
-            c,
-            &pfs2,
-            "p.nc",
-            Version::Cdf1,
-            &pnetcdf::Info::new(),
-        )
-        .unwrap();
+        let mut ds =
+            pnetcdf::Dataset::create(c, &pfs2, "p.nc", Version::Cdf1, &pnetcdf::Info::new())
+                .unwrap();
         ds.set_fill(true).unwrap();
         let x = ds.def_dim("x", 16).unwrap();
         let v = ds.def_var("a", NcType::Int, &[x]).unwrap();

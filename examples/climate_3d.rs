@@ -41,7 +41,10 @@ fn main() {
         "field tt({nz},{ny},{nx}) of f32 = {:.1} MB, {nprocs} processes, SDSC-like platform\n",
         (nz * ny * nx * 4) as f64 / 1e6
     );
-    println!("{:<10} {:>14} {:>14}", "partition", "write MB/s", "read MB/s");
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "partition", "write MB/s", "read MB/s"
+    );
 
     for (name, mask) in [
         ("Z", [true, false, false]),

@@ -54,6 +54,9 @@ fn main() {
     let vals: Vec<f64> = f.get_vara(dens, &[20, 0, 0, 0], &[1, 8, 8, 8]).unwrap();
     let expect = mesh.cell_value(0, 20, 0);
     assert_eq!(vals[0], expect);
-    println!("audit: dens[block 20][0,0,0] = {} (expected {expect}) OK", vals[0]);
+    println!(
+        "audit: dens[block 20][0,0,0] = {} (expected {expect}) OK",
+        vals[0]
+    );
     std::fs::remove_file(&path).ok();
 }

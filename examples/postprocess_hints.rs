@@ -42,7 +42,9 @@ fn main() {
             let temps: Vec<f32> = (0..slab)
                 .map(|i| 10.0 + m as f32 + (s0 + i) as f32 * 0.1)
                 .collect();
-            let rain: Vec<f32> = (0..slab).map(|i| (m as f32) * 2.0 + (s0 + i) as f32).collect();
+            let rain: Vec<f32> = (0..slab)
+                .map(|i| (m as f32) * 2.0 + (s0 + i) as f32)
+                .collect();
             ds.put_vara_all(t2m, &[s0], &[slab], &temps).unwrap();
             ds.put_vara_all(pr, &[s0], &[slab], &rain).unwrap();
             ds.close().unwrap();
@@ -58,14 +60,8 @@ fn main() {
         let my_station = (comm.rank() as u64 * 7) % STATIONS;
         let mut annual = 0.0f64;
         for m in 0..MONTHS {
-            let mut ds = Dataset::open(
-                comm,
-                &pfs_r,
-                &format!("month_{m:02}.nc"),
-                true,
-                &open_info,
-            )
-            .unwrap();
+            let mut ds =
+                Dataset::open(comm, &pfs_r, &format!("month_{m:02}.nc"), true, &open_info).unwrap();
             let t2m = ds.inq_varid("t2m_mean").unwrap();
             assert!(ds.is_prefetched(t2m));
             // Independent mode: every rank reads only its own station —
@@ -90,11 +86,11 @@ fn main() {
     let pfs_s = pfs.clone();
     let results = run.results.clone();
     run_world(nprocs, cfg, move |comm| {
-        let mut ds =
-            Dataset::create(comm, &pfs_s, "summary.nc", Version::Cdf1, &tuned).unwrap();
+        let mut ds = Dataset::create(comm, &pfs_s, "summary.nc", Version::Cdf1, &tuned).unwrap();
         let s = ds.def_dim("station", nprocs as u64).unwrap();
         let v = ds.def_var("annual_mean", NcType::Double, &[s]).unwrap();
-        ds.put_gatt_text("source", "postprocess_hints example").unwrap();
+        ds.put_gatt_text("source", "postprocess_hints example")
+            .unwrap();
         ds.enddef().unwrap();
         ds.put_vara_all(v, &[comm.rank() as u64], &[1], &[results[comm.rank()].1])
             .unwrap();

@@ -31,7 +31,9 @@ fn main() {
         // 2  ncmpi_def_dim / ncmpi_def_var / ncmpi_enddef
         let y = file.def_dim("y", (nprocs * 4) as u64).expect("def_dim");
         let x = file.def_dim("x", 8).expect("def_dim");
-        let var = file.def_var("field", NcType::Double, &[y, x]).expect("def_var");
+        let var = file
+            .def_var("field", NcType::Double, &[y, x])
+            .expect("def_var");
         file.put_vatt_text(var, "units", "meters").expect("att");
         file.enddef().expect("enddef");
 
@@ -41,7 +43,8 @@ fn main() {
         let buffer: Vec<f64> = (0..32)
             .map(|i| comm.rank() as f64 * 1000.0 + i as f64)
             .collect();
-        file.put_vara_all(var, &start, &count, &buffer).expect("put_vara_all");
+        file.put_vara_all(var, &start, &count, &buffer)
+            .expect("put_vara_all");
 
         // 4  ncmpi_close(file_id);
         file.close().expect("close");

@@ -22,19 +22,17 @@ fn main() {
     let pfs2 = pfs.clone();
 
     let run = run_world(nprocs, cfg, move |comm| {
-        let mut ds = Dataset::create(
-            comm,
-            &pfs2,
-            "observations.nc",
-            Version::Cdf1,
-            &Info::new(),
-        )
-        .unwrap();
+        let mut ds =
+            Dataset::create(comm, &pfs2, "observations.nc", Version::Cdf1, &Info::new()).unwrap();
         // time is unlimited; two record variables share it.
         let time = ds.def_dim("time", pnetcdf::NC_UNLIMITED).unwrap();
         let station = ds.def_dim("station", nstations).unwrap();
-        let temp = ds.def_var("temperature", NcType::Float, &[time, station]).unwrap();
-        let pres = ds.def_var("pressure", NcType::Double, &[time, station]).unwrap();
+        let temp = ds
+            .def_var("temperature", NcType::Float, &[time, station])
+            .unwrap();
+        let pres = ds
+            .def_var("pressure", NcType::Double, &[time, station])
+            .unwrap();
         let elev = ds.def_var("elevation", NcType::Short, &[station]).unwrap();
         ds.put_vatt_text(temp, "units", "celsius").unwrap();
         ds.put_vatt_text(pres, "units", "hPa").unwrap();
@@ -43,8 +41,11 @@ fn main() {
 
         // Fixed metadata once.
         let s0 = comm.rank() as u64 * stations_per_rank;
-        let elevs: Vec<i16> = (0..stations_per_rank).map(|i| ((s0 + i) * 10) as i16).collect();
-        ds.put_vara_all(elev, &[s0], &[stations_per_rank], &elevs).unwrap();
+        let elevs: Vec<i16> = (0..stations_per_rank)
+            .map(|i| ((s0 + i) * 10) as i16)
+            .collect();
+        ds.put_vara_all(elev, &[s0], &[stations_per_rank], &elevs)
+            .unwrap();
 
         // Append one record per timestep; each rank contributes its
         // stations' columns of the record.
@@ -55,8 +56,10 @@ fn main() {
             let press: Vec<f64> = (0..stations_per_rank)
                 .map(|i| 1013.0 - t as f64 + (s0 + i) as f64 * 0.5)
                 .collect();
-            ds.put_vara_all(temp, &[t, s0], &[1, stations_per_rank], &temps).unwrap();
-            ds.put_vara_all(pres, &[t, s0], &[1, stations_per_rank], &press).unwrap();
+            ds.put_vara_all(temp, &[t, s0], &[1, stations_per_rank], &temps)
+                .unwrap();
+            ds.put_vara_all(pres, &[t, s0], &[1, stations_per_rank], &press)
+                .unwrap();
         }
         assert_eq!(ds.numrecs(), nsteps);
         ds.close().unwrap();
@@ -74,9 +77,7 @@ fn main() {
     let mut f = NcFile::open(MemStore::from_bytes(bytes)).unwrap();
     assert_eq!(f.numrecs(), nsteps);
     let temp = f.var_id("temperature").unwrap();
-    let last: Vec<f32> = f
-        .get_vara(temp, &[nsteps - 1, 0], &[1, nstations])
-        .unwrap();
+    let last: Vec<f32> = f.get_vara(temp, &[nsteps - 1, 0], &[1, nstations]).unwrap();
     println!(
         "serial audit: record {} temperatures [{}..{}] = {:.2}..{:.2} °C",
         nsteps - 1,

@@ -24,8 +24,16 @@ fn dataset_on_sub_communicator() {
         let v = ds.def_var("a", NcType::Int, &[x]).unwrap();
         ds.enddef().unwrap();
         let s = sub.rank() as u64 * 2;
-        ds.put_vara_all(v, &[s], &[2], &[color as i32 * 100 + s as i32, color as i32 * 100 + s as i32 + 1])
-            .unwrap();
+        ds.put_vara_all(
+            v,
+            &[s],
+            &[2],
+            &[
+                color as i32 * 100 + s as i32,
+                color as i32 * 100 + s as i32 + 1,
+            ],
+        )
+        .unwrap();
         let all: Vec<i32> = ds.get_vara_all(v, &[0], &[sub.size() as u64 * 2]).unwrap();
         for (i, &got) in all.iter().enumerate() {
             assert_eq!(got, color as i32 * 100 + i as i32);

@@ -14,8 +14,7 @@ fn cfg() -> SimConfig {
 fn inconsistent_definitions_detected_at_enddef() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     let run = run_world(4, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "bad.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "bad.nc", Version::Cdf1, &Info::new()).unwrap();
         // Rank 2 defines a different dimension length.
         let len = if c.rank() == 2 { 5 } else { 4 };
         ds.def_dim("x", len).unwrap();
@@ -29,8 +28,7 @@ fn inconsistent_definitions_detected_at_enddef() {
 fn consistent_definitions_pass_enddef() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(4, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "ok.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "ok.nc", Version::Cdf1, &Info::new()).unwrap();
         ds.def_dim("x", 4).unwrap();
         ds.def_var("a", NcType::Int, &[0]).unwrap();
         ds.enddef().unwrap();
@@ -43,8 +41,7 @@ fn consistent_definitions_pass_enddef() {
 fn define_mode_rules() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(2, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "m.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "m.nc", Version::Cdf1, &Info::new()).unwrap();
         assert_eq!(ds.mode(), DataMode::Define);
         let x = ds.def_dim("x", 2).unwrap();
         let v = ds.def_var("a", NcType::Int, &[x]).unwrap();
@@ -76,8 +73,7 @@ fn define_mode_rules() {
 fn data_mode_switching() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(2, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "sw.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "sw.nc", Version::Cdf1, &Info::new()).unwrap();
         let x = ds.def_dim("x", 4).unwrap();
         let v = ds.def_var("a", NcType::Int, &[x]).unwrap();
         ds.enddef().unwrap();
@@ -110,8 +106,7 @@ fn create_same_name_twice_truncates() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(2, cfg(), |c| {
         {
-            let mut ds =
-                Dataset::create(c, &pfs, "t.nc", Version::Cdf1, &Info::new()).unwrap();
+            let mut ds = Dataset::create(c, &pfs, "t.nc", Version::Cdf1, &Info::new()).unwrap();
             let x = ds.def_dim("x", 2).unwrap();
             let v = ds.def_var("a", NcType::Int, &[x]).unwrap();
             ds.enddef().unwrap();
@@ -119,8 +114,7 @@ fn create_same_name_twice_truncates() {
             ds.close().unwrap();
         }
         {
-            let mut ds =
-                Dataset::create(c, &pfs, "t.nc", Version::Cdf1, &Info::new()).unwrap();
+            let mut ds = Dataset::create(c, &pfs, "t.nc", Version::Cdf1, &Info::new()).unwrap();
             let x = ds.def_dim("x", 2).unwrap();
             let v = ds.def_var("b", NcType::Int, &[x]).unwrap();
             ds.enddef().unwrap();
@@ -137,8 +131,7 @@ fn create_same_name_twice_truncates() {
 fn invalid_argument_errors() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(1, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "e.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "e.nc", Version::Cdf1, &Info::new()).unwrap();
         let x = ds.def_dim("x", 4).unwrap();
         let v = ds.def_var("a", NcType::Int, &[x]).unwrap();
         // Bad names and dims at definition time.
@@ -163,8 +156,7 @@ fn dataset_usable_across_many_collective_rounds() {
     // Stress the rendezvous reuse through a realistic op sequence.
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(4, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "many.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "many.nc", Version::Cdf1, &Info::new()).unwrap();
         let x = ds.def_dim("x", 64).unwrap();
         let v = ds.def_var("a", NcType::Int, &[x]).unwrap();
         ds.enddef().unwrap();

@@ -71,7 +71,10 @@ fn fill_var_rec_prefills_one_record() {
             .unwrap();
         let rec: Vec<f64> = ds.get_vara_all(v, &[2, 0], &[1, 8]).unwrap();
         assert_eq!(&rec[..4], &[1.0, 2.0, 1.0, 2.0]);
-        assert!(rec[4..].iter().all(|&f| f > 9.9e36), "unwritten half is fill");
+        assert!(
+            rec[4..].iter().all(|&f| f > 9.9e36),
+            "unwritten half is fill"
+        );
 
         // fill_var_rec on a fixed variable is an error.
         let mut ds2 = Dataset::create(c, &pfs, "r2.nc", Version::Cdf1, &Info::new()).unwrap();

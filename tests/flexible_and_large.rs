@@ -15,21 +15,22 @@ fn cdf1_rejects_large_files_cdf2_accepts() {
     // Two 3 GiB variables: begins exceed 32 bits.
     let pfs = Pfs::new(cfg(), StorageMode::CostOnly);
     let run = run_world(2, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "big.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "big.nc", Version::Cdf1, &Info::new()).unwrap();
         let x = ds.def_dim("x", 1 << 30).unwrap(); // 1 Gi elements = 4 GiB of i32
         ds.def_var("a", NcType::Int, &[x]).unwrap();
         ds.def_var("b", NcType::Int, &[x]).unwrap();
         matches!(ds.enddef(), Err(NcmpiError::Format(_)))
     });
-    assert!(run.results.iter().all(|&e| e), "CDF-1 must reject > 4 GiB begins");
+    assert!(
+        run.results.iter().all(|&e| e),
+        "CDF-1 must reject > 4 GiB begins"
+    );
 
     // MetadataOnly keeps the header and these byte-sized writes while
     // discarding bulk data, so a sparse 8 GiB file costs no real memory.
     let pfs = Pfs::new(cfg(), StorageMode::MetadataOnly);
     run_world(2, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "big2.nc", Version::Cdf2, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "big2.nc", Version::Cdf2, &Info::new()).unwrap();
         let x = ds.def_dim("x", 1 << 30).unwrap();
         let a = ds.def_var("a", NcType::Int, &[x]).unwrap();
         let b = ds.def_var("b", NcType::Int, &[x]).unwrap();
@@ -51,8 +52,7 @@ fn flexible_strided_write_matches_typed() {
         let pfs = Pfs::new(cfg(), StorageMode::Full);
         let pfs2 = pfs.clone();
         run_world(2, cfg(), move |c| {
-            let mut ds =
-                Dataset::create(c, &pfs2, "s.nc", Version::Cdf1, &Info::new()).unwrap();
+            let mut ds = Dataset::create(c, &pfs2, "s.nc", Version::Cdf1, &Info::new()).unwrap();
             let z = ds.def_dim("z", 4).unwrap();
             let x = ds.def_dim("x", 8).unwrap();
             let v = ds.def_var("a", NcType::Int, &[z, x]).unwrap();
@@ -128,7 +128,8 @@ fn char_variables_store_text() {
         let v = ds.def_var("label", NcType::Char, &[n]).unwrap();
         ds.enddef().unwrap();
         let text: &[u8] = if c.rank() == 0 { b"hello " } else { b"world!" };
-        ds.put_vara_all(v, &[c.rank() as u64 * 6], &[6], text).unwrap();
+        ds.put_vara_all(v, &[c.rank() as u64 * 6], &[6], text)
+            .unwrap();
         let back: Vec<u8> = ds.get_vara_all(v, &[0], &[12]).unwrap();
         assert_eq!(&back, b"hello world!");
         ds.close().unwrap();
@@ -173,7 +174,9 @@ fn many_variables_many_rounds_stress() {
         ds.enddef().unwrap();
         for (round, &v) in vars.iter().enumerate() {
             let s = c.rank() as u64 * 4;
-            let vals: Vec<i16> = (0..4).map(|i| (round * 100) as i16 + (s + i) as i16).collect();
+            let vals: Vec<i16> = (0..4)
+                .map(|i| (round * 100) as i16 + (s + i) as i16)
+                .collect();
             ds.put_vara_all(v, &[s], &[4], &vals).unwrap();
         }
         for (round, &v) in vars.iter().enumerate() {

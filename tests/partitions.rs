@@ -22,13 +22,62 @@ struct Split {
 }
 
 const PARTITIONS: [(&str, Split); 7] = [
-    ("Z", Split { z: true, y: false, x: false }),
-    ("Y", Split { z: false, y: true, x: false }),
-    ("X", Split { z: false, y: false, x: true }),
-    ("ZY", Split { z: true, y: true, x: false }),
-    ("ZX", Split { z: true, y: false, x: true }),
-    ("YX", Split { z: false, y: true, x: true }),
-    ("ZYX", Split { z: true, y: true, x: true }),
+    (
+        "Z",
+        Split {
+            z: true,
+            y: false,
+            x: false,
+        },
+    ),
+    (
+        "Y",
+        Split {
+            z: false,
+            y: true,
+            x: false,
+        },
+    ),
+    (
+        "X",
+        Split {
+            z: false,
+            y: false,
+            x: true,
+        },
+    ),
+    (
+        "ZY",
+        Split {
+            z: true,
+            y: true,
+            x: false,
+        },
+    ),
+    (
+        "ZX",
+        Split {
+            z: true,
+            y: false,
+            x: true,
+        },
+    ),
+    (
+        "YX",
+        Split {
+            z: false,
+            y: true,
+            x: true,
+        },
+    ),
+    (
+        "ZYX",
+        Split {
+            z: true,
+            y: true,
+            x: true,
+        },
+    ),
 ];
 
 /// Factor `nprocs` across the split axes (most significant axis gets the
@@ -91,8 +140,7 @@ fn all_seven_partitions_roundtrip() {
         let pfs = Pfs::new(cfg(), StorageMode::Full);
         let pfs2 = pfs.clone();
         run_world(nprocs, cfg(), move |c| {
-            let mut ds =
-                Dataset::create(c, &pfs2, "p.nc", Version::Cdf1, &Info::new()).unwrap();
+            let mut ds = Dataset::create(c, &pfs2, "p.nc", Version::Cdf1, &Info::new()).unwrap();
             let z = ds.def_dim("z", nz).unwrap();
             let y = ds.def_dim("y", ny).unwrap();
             let x = ds.def_dim("x", nx).unwrap();
@@ -113,9 +161,7 @@ fn all_seven_partitions_roundtrip() {
             // Read back with the *transposed* role: every rank reads one z
             // plane regardless of how it wrote.
             let zplane = c.rank() as u64 % nz;
-            let plane: Vec<f32> = ds
-                .get_vara_all(v, &[zplane, 0, 0], &[1, ny, nx])
-                .unwrap();
+            let plane: Vec<f32> = ds.get_vara_all(v, &[zplane, 0, 0], &[1, ny, nx]).unwrap();
             for (i, &got) in plane.iter().enumerate() {
                 let yy = i as u64 / nx;
                 let xx = i as u64 % nx;
@@ -126,8 +172,8 @@ fn all_seven_partitions_roundtrip() {
 
         // Whole-file verification of every element.
         let bytes = pfs.open("p.nc").unwrap().to_bytes();
-        let mut f = netcdf_serial::NcFile::open(netcdf_serial::MemStore::from_bytes(bytes))
-            .unwrap();
+        let mut f =
+            netcdf_serial::NcFile::open(netcdf_serial::MemStore::from_bytes(bytes)).unwrap();
         let v = f.var_id("tt").unwrap();
         let all: Vec<f32> = f.get_var(v).unwrap();
         let mut i = 0;
@@ -148,11 +194,24 @@ fn partitioned_read_after_partitioned_write() {
     let (nz, ny, nx) = (4u64, 4, 4);
     let nprocs = 4usize;
     let pfs = Pfs::new(cfg(), StorageMode::Full);
-    let pw = factors(nprocs, Split { z: true, y: true, x: false });
-    let pr = factors(nprocs, Split { z: false, y: false, x: true });
+    let pw = factors(
+        nprocs,
+        Split {
+            z: true,
+            y: true,
+            x: false,
+        },
+    );
+    let pr = factors(
+        nprocs,
+        Split {
+            z: false,
+            y: false,
+            x: true,
+        },
+    );
     run_world(nprocs, cfg(), move |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "c.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "c.nc", Version::Cdf1, &Info::new()).unwrap();
         let z = ds.def_dim("z", nz).unwrap();
         let y = ds.def_dim("y", ny).unwrap();
         let x = ds.def_dim("x", nx).unwrap();

@@ -14,8 +14,7 @@ fn cfg() -> SimConfig {
 fn records_interleave_on_disk() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(1, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "r.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "r.nc", Version::Cdf1, &Info::new()).unwrap();
         let t = ds.def_dim("time", 0).unwrap();
         let x = ds.def_dim("x", 2).unwrap();
         let a = ds.def_var("a", NcType::Int, &[t, x]).unwrap();
@@ -24,18 +23,25 @@ fn records_interleave_on_disk() {
         for r in 0..3u64 {
             ds.put_vara_all(a, &[r, 0], &[1, 2], &[(10 * r) as i32, (10 * r + 1) as i32])
                 .unwrap();
-            ds.put_vara_all(b, &[r, 0], &[1, 2], &[(100 * r) as i32, (100 * r + 1) as i32])
-                .unwrap();
+            ds.put_vara_all(
+                b,
+                &[r, 0],
+                &[1, 2],
+                &[(100 * r) as i32, (100 * r + 1) as i32],
+            )
+            .unwrap();
         }
         ds.close().unwrap();
     });
 
     // On disk: a record of `a` then a record of `b`, repeating.
     let bytes = pfs.open("r.nc").unwrap().to_bytes();
-    let mut f =
-        netcdf_serial::NcFile::open(netcdf_serial::MemStore::from_bytes(bytes)).unwrap();
+    let mut f = netcdf_serial::NcFile::open(netcdf_serial::MemStore::from_bytes(bytes)).unwrap();
     let layout = f.layout();
-    assert_eq!(layout.recsize, 16, "two vars x 2 ints each = 16 bytes/record");
+    assert_eq!(
+        layout.recsize, 16,
+        "two vars x 2 ints each = 16 bytes/record"
+    );
     let a = f.var_id("a").unwrap();
     let b = f.var_id("b").unwrap();
     let va: Vec<i32> = f.get_var(a).unwrap();
@@ -48,8 +54,7 @@ fn records_interleave_on_disk() {
 fn collective_record_growth_reconciles_numrecs() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(4, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "g.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "g.nc", Version::Cdf1, &Info::new()).unwrap();
         let t = ds.def_dim("time", 0).unwrap();
         let x = ds.def_dim("x", 4).unwrap();
         let v = ds.def_var("ts", NcType::Double, &[t, x]).unwrap();
@@ -57,7 +62,8 @@ fn collective_record_growth_reconciles_numrecs() {
 
         // Each rank writes a different record: rank r writes record r.
         let r = c.rank() as u64;
-        ds.put_vara_all(v, &[r, 0], &[1, 4], &[r as f64; 4]).unwrap();
+        ds.put_vara_all(v, &[r, 0], &[1, 4], &[r as f64; 4])
+            .unwrap();
         // After the collective write every rank agrees on numrecs.
         assert_eq!(ds.numrecs(), 4);
 
@@ -76,8 +82,7 @@ fn collective_record_growth_reconciles_numrecs() {
 fn independent_record_growth_reconciles_at_end_indep() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(3, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "i.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "i.nc", Version::Cdf1, &Info::new()).unwrap();
         let t = ds.def_dim("time", 0).unwrap();
         let v = ds.def_var("s", NcType::Int, &[t]).unwrap();
         ds.enddef().unwrap();
@@ -99,8 +104,7 @@ fn numrecs_persists_through_close_and_open() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(2, cfg(), |c| {
         {
-            let mut ds =
-                Dataset::create(c, &pfs, "n.nc", Version::Cdf1, &Info::new()).unwrap();
+            let mut ds = Dataset::create(c, &pfs, "n.nc", Version::Cdf1, &Info::new()).unwrap();
             let t = ds.def_dim("time", 0).unwrap();
             let v = ds.def_var("s", NcType::Short, &[t]).unwrap();
             ds.enddef().unwrap();
@@ -125,8 +129,7 @@ fn numrecs_persists_through_close_and_open() {
 fn record_reads_past_numrecs_fail() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(2, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "b.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "b.nc", Version::Cdf1, &Info::new()).unwrap();
         let t = ds.def_dim("time", 0).unwrap();
         let v = ds.def_var("s", NcType::Int, &[t]).unwrap();
         ds.enddef().unwrap();
@@ -140,8 +143,7 @@ fn record_reads_past_numrecs_fail() {
 fn mixed_fixed_and_record_vars() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(2, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "mix.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "mix.nc", Version::Cdf1, &Info::new()).unwrap();
         let t = ds.def_dim("time", 0).unwrap();
         let x = ds.def_dim("x", 4).unwrap();
         let fixed = ds.def_var("grid", NcType::Float, &[x]).unwrap();
@@ -152,8 +154,13 @@ fn mixed_fixed_and_record_vars() {
         ds.put_vara_all(fixed, &[half], &[2], &[half as f32, half as f32 + 1.0])
             .unwrap();
         for r in 0..2u64 {
-            ds.put_vara_all(rec, &[r, half], &[1, 2], &[r as f32 * 10.0, r as f32 * 10.0 + 1.0])
-                .unwrap();
+            ds.put_vara_all(
+                rec,
+                &[r, half],
+                &[1, 2],
+                &[r as f32 * 10.0, r as f32 * 10.0 + 1.0],
+            )
+            .unwrap();
         }
 
         let g: Vec<f32> = ds.get_vara_all(fixed, &[0], &[4]).unwrap();

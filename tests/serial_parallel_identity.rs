@@ -89,8 +89,7 @@ fn parallel_bytes(nprocs: usize) -> Vec<u8> {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     let pfs2 = pfs.clone();
     run_world(nprocs, cfg(), move |c| {
-        let mut ds =
-            Dataset::create(c, &pfs2, "id.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs2, "id.nc", Version::Cdf1, &Info::new()).unwrap();
         let (tt, ts) = define_parallel(&mut ds);
 
         // Partition the fixed variable along z across ranks.
@@ -198,8 +197,7 @@ fn collective_and_independent_writes_produce_identical_files() {
         let pfs = Pfs::new(cfg(), StorageMode::Full);
         let pfs2 = pfs.clone();
         run_world(4, cfg(), move |c| {
-            let mut ds =
-                Dataset::create(c, &pfs2, "x.nc", Version::Cdf1, &Info::new()).unwrap();
+            let mut ds = Dataset::create(c, &pfs2, "x.nc", Version::Cdf1, &Info::new()).unwrap();
             let z = ds.def_dim("z", 8).unwrap();
             let y = ds.def_dim("y", 10).unwrap();
             let v = ds.def_var("a", NcType::Int, &[z, y]).unwrap();

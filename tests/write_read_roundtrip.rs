@@ -16,8 +16,7 @@ fn collective_write_then_collective_read() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     let n = 4;
     run_world(n, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "a.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "a.nc", Version::Cdf1, &Info::new()).unwrap();
         let z = ds.def_dim("z", n as u64).unwrap();
         let y = ds.def_dim("y", 8).unwrap();
         let v = ds.def_var("tt", NcType::Double, &[z, y]).unwrap();
@@ -42,8 +41,7 @@ fn collective_write_then_collective_read() {
 fn independent_mode_roundtrip() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(3, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "ind.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "ind.nc", Version::Cdf1, &Info::new()).unwrap();
         let x = ds.def_dim("x", 30).unwrap();
         let v = ds.def_var("a", NcType::Int, &[x]).unwrap();
         ds.enddef().unwrap();
@@ -71,8 +69,7 @@ fn independent_mode_roundtrip() {
 fn all_external_types_roundtrip() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(2, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "types.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "types.nc", Version::Cdf1, &Info::new()).unwrap();
         let x = ds.def_dim("x", 4).unwrap();
         let vb = ds.def_var("vb", NcType::Byte, &[x]).unwrap();
         let vc = ds.def_var("vc", NcType::Char, &[x]).unwrap();
@@ -121,8 +118,7 @@ fn all_external_types_roundtrip() {
 fn flexible_api_noncontiguous_memory() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(2, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "flex.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "flex.nc", Version::Cdf1, &Info::new()).unwrap();
         let x = ds.def_dim("x", 8).unwrap();
         let v = ds.def_var("a", NcType::Int, &[x]).unwrap();
         ds.enddef().unwrap();
@@ -161,8 +157,7 @@ fn flexible_api_noncontiguous_memory() {
 fn varm_transposed_memory() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(1, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "m.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "m.nc", Version::Cdf1, &Info::new()).unwrap();
         let z = ds.def_dim("z", 2).unwrap();
         let y = ds.def_dim("y", 3).unwrap();
         let v = ds.def_var("a", NcType::Float, &[z, y]).unwrap();
@@ -175,9 +170,7 @@ fn varm_transposed_memory() {
         let canonical: Vec<f32> = ds.get_vara_all(v, &[0, 0], &[2, 3]).unwrap();
         assert_eq!(canonical, vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
 
-        let back: Vec<f32> = ds
-            .get_varm_all(v, &[0, 0], &[2, 3], None, &[1, 2])
-            .unwrap();
+        let back: Vec<f32> = ds.get_varm_all(v, &[0, 0], &[2, 3], None, &[1, 2]).unwrap();
         assert_eq!(back, mem);
         ds.close().unwrap();
     });
@@ -187,8 +180,7 @@ fn varm_transposed_memory() {
 fn attributes_and_inquiry() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(2, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "attr.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "attr.nc", Version::Cdf1, &Info::new()).unwrap();
         let t = ds.def_dim("time", pnetcdf::NC_UNLIMITED).unwrap();
         let x = ds.def_dim("x", 5).unwrap();
         let v = ds.def_var("ts", NcType::Float, &[t, x]).unwrap();
@@ -229,8 +221,7 @@ fn reopen_written_dataset() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(2, cfg(), |c| {
         {
-            let mut ds =
-                Dataset::create(c, &pfs, "re.nc", Version::Cdf2, &Info::new()).unwrap();
+            let mut ds = Dataset::create(c, &pfs, "re.nc", Version::Cdf2, &Info::new()).unwrap();
             let x = ds.def_dim("x", 6).unwrap();
             let v = ds.def_var("data", NcType::Short, &[x]).unwrap();
             ds.enddef().unwrap();
@@ -255,8 +246,7 @@ fn reopen_written_dataset() {
 fn redef_preserves_data_in_parallel() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(2, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "redef.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "redef.nc", Version::Cdf1, &Info::new()).unwrap();
         let x = ds.def_dim("x", 8).unwrap();
         let v = ds.def_var("first", NcType::Int, &[x]).unwrap();
         ds.enddef().unwrap();
@@ -265,7 +255,9 @@ fn redef_preserves_data_in_parallel() {
         ds.put_vara_all(v, &[s], &[4], &vals).unwrap();
 
         ds.redef().unwrap();
-        let y = ds.def_dim("extra_dimension_name_to_grow_header", 16).unwrap();
+        let y = ds
+            .def_dim("extra_dimension_name_to_grow_header", 16)
+            .unwrap();
         let w = ds.def_var("second_variable", NcType::Double, &[y]).unwrap();
         ds.enddef().unwrap();
 
@@ -281,8 +273,7 @@ fn redef_preserves_data_in_parallel() {
 fn range_errors_surface() {
     let pfs = Pfs::new(cfg(), StorageMode::Full);
     run_world(1, cfg(), |c| {
-        let mut ds =
-            Dataset::create(c, &pfs, "rng.nc", Version::Cdf1, &Info::new()).unwrap();
+        let mut ds = Dataset::create(c, &pfs, "rng.nc", Version::Cdf1, &Info::new()).unwrap();
         let x = ds.def_dim("x", 2).unwrap();
         let v = ds.def_var("b", NcType::Byte, &[x]).unwrap();
         ds.enddef().unwrap();

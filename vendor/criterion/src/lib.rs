@@ -1,0 +1,220 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! provides the subset of criterion's API the workspace's benches use
+//! (`Criterion`, benchmark groups, `BenchmarkId`, `Throughput`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros).
+//! It measures wall-clock time over a fixed warmup + sample loop and prints
+//! a one-line summary per benchmark — no statistics, plots, or baselines.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<P: fmt::Display>(function_name: impl Into<String>, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: u32,
+    /// Mean time per iteration of the last `iter` call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for warmup + `samples` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std_black_box(f()); // warmup
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed() / self.samples;
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Single benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        let group_name = name.to_string();
+        run_one(&group_name, "", None, 10, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u32).max(1);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        run_one(
+            &self.name,
+            &id.to_string(),
+            self.throughput,
+            self.sample_size,
+            f,
+        );
+    }
+
+    /// Benchmark a closure that receives an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(
+            &self.name,
+            &id.name,
+            self.throughput,
+            self.sample_size,
+            |b| f(b, input),
+        );
+    }
+
+    /// End the group (reporting is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    throughput: Option<Throughput>,
+    samples: u32,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let label = if id.is_empty() {
+        group.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let per_iter = b.elapsed;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+            format!(" {:>8.1} MB/s", n as f64 / per_iter.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            format!(" {:>8.1} Kelem/s", n as f64 / per_iter.as_secs_f64() / 1e3)
+        }
+        _ => String::new(),
+    };
+    println!("bench {label:<48} {per_iter:>12.2?}/iter{rate}");
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs_closures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("f", |b| b.iter(|| runs += 1));
+        g.bench_with_input(BenchmarkId::new("g2", 7), &7usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+        // warmup + 3 samples
+        assert_eq!(runs, 4);
+    }
+}

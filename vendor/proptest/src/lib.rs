@@ -1,0 +1,693 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! reimplements the subset of proptest that the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive`, range and tuple and `vec` and regex-string strategies,
+//! `prop_oneof!`, `Just`, `any::<T>()`, and the `proptest!` test macro.
+//!
+//! Semantics differ from real proptest in one deliberate way: failing cases
+//! are **not shrunk** — a failure panics with the generated inputs'
+//! `Debug` rendering (via the ordinary `assert!` machinery). Generation is
+//! fully deterministic: the RNG is seeded from the test-function name and
+//! the case index, so failures reproduce across runs.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+pub mod strategy {
+    pub use crate::{BoxedStrategy, Just, Strategy, Union};
+}
+
+/// Deterministic xorshift64* RNG used for all generation.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed the RNG; a zero seed is remapped to a fixed constant.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(if seed == 0 { 0x9e3779b97f4a7c15 } else { seed })
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform value in `[0, n)`; returns 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Run configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values — proptest's central abstraction, minus shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Recursive strategies: `self` is the leaf; `recurse` receives a
+    /// strategy for the previous depth and builds the next. `depth` bounds
+    /// the nesting (the size parameters of real proptest are accepted and
+    /// ignored).
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(cur).boxed();
+            cur = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        cur
+    }
+
+    /// Type-erase into a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A cheaply clonable type-erased strategy (`Arc`, not `Box`, so
+/// `prop_recursive` closures can clone it).
+pub struct BoxedStrategy<V>(Arc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+impl<V> fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice between type-erased alternatives (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from the (non-empty) list of alternatives.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+// ---- numeric ranges ---------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[allow(clippy::unnecessary_cast)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128 as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            #[allow(clippy::unnecessary_cast)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128 as u64;
+                if span == 0 {
+                    // Full-width inclusive range: any value.
+                    rng.next_u64() as $t
+                } else {
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[allow(clippy::unnecessary_cast)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// ---- tuples -----------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+
+// ---- collections ------------------------------------------------------------
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with uniformly chosen length in `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` of values from `elem`, length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + rng.below(span.max(1)) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+// ---- bool -------------------------------------------------------------------
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing each boolean with probability 1/2.
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolStrategy;
+
+    /// The canonical boolean strategy.
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+// ---- any::<T>() -------------------------------------------------------------
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::unnecessary_cast)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// `::std::primitive::bool` spelled out: the `bool` *module* above shadows
+// the primitive's name in this scope.
+impl Arbitrary for ::std::primitive::bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// Finite floats only: the workspace's tests round-trip values through codecs
+// and compare with `==`, which NaN would break spuriously.
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        ((rng.unit_f64() - 0.5) * 2e12) as f32
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T` (`any::<i32>()` etc).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---- regex-lite string strategies -------------------------------------------
+
+/// One element of a compiled string pattern.
+#[derive(Clone, Debug)]
+enum PatElem {
+    /// Character alternatives with a `{min,max}` repetition count.
+    Class {
+        chars: Vec<char>,
+        min: u32,
+        max: u32,
+    },
+}
+
+fn compile_pattern(pat: &str) -> Vec<PatElem> {
+    let mut elems = Vec::new();
+    let mut it = pat.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = it
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in {pat:?}"));
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                            let hi = it.next().unwrap();
+                            let lo = prev.take().unwrap();
+                            // `lo` was already pushed as a single; extend the run.
+                            for v in (lo as u32 + 1)..=(hi as u32) {
+                                set.push(char::from_u32(v).unwrap());
+                            }
+                        }
+                        c => {
+                            set.push(c);
+                            prev = Some(c);
+                        }
+                    }
+                }
+                set
+            }
+            '\\' => vec![it
+                .next()
+                .unwrap_or_else(|| panic!("dangling escape in {pat:?}"))],
+            c => vec![c],
+        };
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let mut spec = String::new();
+            for c in it.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let (lo, hi) = spec
+                .split_once(',')
+                .unwrap_or_else(|| panic!("unsupported quantifier {{{spec}}} in {pat:?}"));
+            (lo.parse().unwrap(), hi.parse().unwrap())
+        } else {
+            (1, 1)
+        };
+        elems.push(PatElem::Class { chars, min, max });
+    }
+    elems
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Compiling on every case keeps the impl allocation-simple; the
+        // patterns involved are a handful of characters.
+        let elems = compile_pattern(self);
+        let mut out = String::new();
+        for PatElem::Class { chars, min, max } in &elems {
+            let n = min + rng.below((max - min + 1) as u64) as u32;
+            for _ in 0..n {
+                out.push(chars[rng.below(chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+// ---- prelude & macros -------------------------------------------------------
+
+/// The usual glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection::vec as prop_vec;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// FNV-1a over the test name, for a per-test deterministic seed.
+#[doc(hidden)]
+pub fn seed_for(name: &str, case: u32) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+/// Uniform choice among strategies (boxed under the hood).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Assert within a property (no shrinking: forwards to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Discard the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// The property-test macro: declares `#[test]` functions whose arguments
+/// are drawn from strategies. Each test runs `config.cases` deterministic
+/// cases (seeded from the test name); failures panic with the generated
+/// inputs visible in the assertion message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut rng = $crate::TestRng::new($crate::seed_for(stringify!($name), case));
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let _case_result: ::core::result::Result<(), ()> = (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::generate(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let i = Strategy::generate(&(-5i64..5), &mut rng);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn string_pattern_generates_matching_names() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[A-Za-z_][A-Za-z0-9_]{0,14}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 15, "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_', "{s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = TestRng::new(9);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[Strategy::generate(&s, &mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let s = crate::collection::vec(0u64..10, 2..5);
+        let mut rng = TestRng::new(11);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        fn leaves_in_range(t: &Tree) -> bool {
+            match t {
+                Tree::Leaf(v) => *v < 255,
+                Tree::Node(a, b) => leaves_in_range(a) && leaves_in_range(b),
+            }
+        }
+        let s = (0u8..255)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::new(13);
+        for _ in 0..100 {
+            let t = Strategy::generate(&s, &mut rng);
+            assert!(depth(&t) <= 3);
+            assert!(leaves_in_range(&t));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_macro_itself_works(
+            (a, b) in (0u64..100, 0u64..100),
+            flip in crate::bool::ANY,
+            v in crate::collection::vec(any::<i32>(), 0..8),
+        ) {
+            prop_assume!(a + b < 190);
+            prop_assert!(a < 100 && b < 100);
+            prop_assert_eq!(v.len(), v.len());
+            let _ = flip;
+        }
+    }
+}
