@@ -16,4 +16,16 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> bench smoke: fig7_flashio --quick (profiling enabled)"
+report_dir=$(mktemp -d)
+PNETCDF_REPORT_DIR="$report_dir" ./target/release/fig7_flashio --quick >/dev/null
+report="$report_dir/fig7_flashio.profile.json"
+[ -f "$report" ] || { echo "FAIL: $report was not written"; exit 1; }
+for key in exchange_offsets exchange_data disk_write disk_read metadata wait \
+           collbuf_pack compute p2p coverage per_rank twophase; do
+    grep -q "\"$key\"" "$report" || { echo "FAIL: report missing key \"$key\""; exit 1; }
+done
+rm -rf "$report_dir"
+echo "    report OK: all phase keys present"
+
 echo "CI OK"

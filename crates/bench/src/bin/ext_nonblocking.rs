@@ -18,29 +18,37 @@
 
 use flash_io::writers::pnetcdf as flash_writer;
 use flash_io::{BlockMesh, OutputKind};
+use hpc_sim::trace::Json;
 use hpc_sim::SimConfig;
+use pnetcdf_bench::report::write_report;
 use pnetcdf_bench::table::print_series;
 use pnetcdf_mpi::run_world;
 use pnetcdf_pfs::{Pfs, StorageMode};
 
-/// One FLASH checkpoint write; returns (bytes, aggregate MB/s).
-fn checkpoint(nprocs: usize, blocks_per_proc: u64, aggregate: bool) -> (u64, f64) {
+/// One FLASH checkpoint write; returns (bytes, aggregate MB/s, profile).
+fn checkpoint(nprocs: usize, blocks_per_proc: u64, aggregate: bool) -> (u64, f64, Json) {
     let sim = SimConfig::asci_frost();
+    sim.profile.set_enabled(true);
     let pfs = Pfs::new(sim.clone(), StorageMode::CostOnly);
     let mesh = BlockMesh {
         nxb: 8,
         blocks_per_proc,
         nprocs,
     };
-    let run = run_world(nprocs, sim, move |comm| {
+    let run = run_world(nprocs, sim.clone(), move |comm| {
         if aggregate {
             flash_writer::write(comm, &pfs, &mesh, OutputKind::Checkpoint, "ckpt").unwrap()
         } else {
             flash_writer::write_blocking(comm, &pfs, &mesh, OutputKind::Checkpoint, "ckpt").unwrap()
         }
     });
+    let profile = sim.profile.snapshot().to_json(run.makespan.as_nanos());
     let bytes = run.results[0];
-    (bytes, bytes as f64 / run.makespan.as_secs_f64() / 1e6)
+    (
+        bytes,
+        bytes as f64 / run.makespan.as_secs_f64() / 1e6,
+        profile,
+    )
 }
 
 /// Write the checkpoint both ways on a small fully-stored PFS and return
@@ -78,9 +86,20 @@ fn main() {
     let xs: Vec<String> = procs.iter().map(|p| p.to_string()).collect();
     let mut blocking = Vec::new();
     let mut aggregated = Vec::new();
+    let mut runs = Vec::new();
     for &p in &procs {
-        let (bytes, bw_b) = checkpoint(p, blocks_per_proc, false);
-        let (_, bw_a) = checkpoint(p, blocks_per_proc, true);
+        let (bytes, bw_b, prof_b) = checkpoint(p, blocks_per_proc, false);
+        let (_, bw_a, prof_a) = checkpoint(p, blocks_per_proc, true);
+        for (path, bw, profile) in [("blocking", bw_b, prof_b), ("aggregated", bw_a, prof_a)] {
+            runs.push(
+                Json::obj()
+                    .with("path", path)
+                    .with("nprocs", p)
+                    .with("bytes", bytes)
+                    .with("bandwidth_mb_s", bw)
+                    .with("profile", profile),
+            );
+        }
         blocking.push(bw_b);
         aggregated.push(bw_a);
         eprintln!(
@@ -101,6 +120,12 @@ fn main() {
     );
     let ratio = aggregated.last().unwrap() / blocking.last().unwrap();
     println!("\naggregated/blocking at 64 procs: {ratio:.2}x (target >= 1.30x)");
+    write_report(
+        "ext_nonblocking.profile.json",
+        &Json::obj()
+            .with("benchmark", "ext_nonblocking")
+            .with("runs", Json::Arr(runs)),
+    );
 
     let (img_blocking, img_aggregated) = file_images();
     let identical = img_blocking == img_aggregated;

@@ -7,25 +7,28 @@
 //!
 //! Usage: `cargo run --release -p pnetcdf-bench --bin fig6_scalability [-- --quick]`
 
+use hpc_sim::trace::Json;
 use hpc_sim::{SimConfig, Time};
 use netcdf_serial::NcFile;
 use pnetcdf::{Dataset, Info, NcType, Version};
 use pnetcdf_bench::partition::{block_of, grid_for, PARTITIONS};
+use pnetcdf_bench::report::write_report;
 use pnetcdf_bench::table::print_series;
 use pnetcdf_mpi::run_world;
 use pnetcdf_pfs::{Pfs, PosixSim, StorageMode};
 
-/// One (write, read) timing for a parallel configuration. All data I/O is
-/// collective, as in the paper's tests.
+/// One (write, read) timing for a parallel configuration, plus the phase
+/// profile of the run. All data I/O is collective, as in the paper's tests.
 fn run_parallel(
     dims: (u64, u64, u64),
     partition: pnetcdf_bench::Partition,
     nprocs: usize,
-) -> (Time, Time) {
+) -> (Time, Time, Json) {
     let cfg = SimConfig::sdsc_blue_horizon();
+    cfg.profile.set_enabled(true);
     let pfs = Pfs::new(cfg.clone(), StorageMode::CostOnly);
     let grid = grid_for(partition, nprocs);
-    let run = run_world(nprocs, cfg, move |comm| {
+    let run = run_world(nprocs, cfg.clone(), move |comm| {
         let mut ds = Dataset::create(comm, &pfs, "tt.nc", Version::Cdf2, &Info::new()).unwrap();
         let z = ds.def_dim("level", dims.0).unwrap();
         let y = ds.def_dim("latitude", dims.1).unwrap();
@@ -49,9 +52,11 @@ fn run_parallel(
         ds.close().unwrap();
         (t_write, t_read)
     });
+    let profile = cfg.profile.snapshot().to_json(run.makespan.as_nanos());
     (
         run.results.iter().map(|r| r.0).max().unwrap(),
         run.results.iter().map(|r| r.1).max().unwrap(),
+        profile,
     )
 }
 
@@ -108,6 +113,7 @@ fn main() {
     println!("# Figure 6: serial vs parallel netCDF (SDSC Blue Horizon-like platform)");
     println!("# 12 I/O servers, 1.5 GB/s peak aggregate; bandwidth in MB/s (virtual time)");
 
+    let mut runs = Vec::new();
     for (label, dims, procs) in charts {
         let total_bytes = (dims.0 * dims.1 * dims.2 * 4) as f64;
         let mb = |t: Time| total_bytes / t.as_secs_f64() / 1e6;
@@ -123,7 +129,16 @@ fn main() {
             let mut wrow = vec![mb(ts_w)];
             let mut rrow = vec![mb(ts_r)];
             for &p in &procs {
-                let (tw, tr) = run_parallel(dims, part, p);
+                let (tw, tr, profile) = run_parallel(dims, part, p);
+                runs.push(
+                    Json::obj()
+                        .with("chart", label)
+                        .with("partition", part.label())
+                        .with("nprocs", p)
+                        .with("write_mb_s", mb(tw))
+                        .with("read_mb_s", mb(tr))
+                        .with("profile", profile),
+                );
                 wrow.push(mb(tw));
                 rrow.push(mb(tr));
             }
@@ -146,4 +161,10 @@ fn main() {
             "MB/s",
         );
     }
+    write_report(
+        "fig6_scalability.profile.json",
+        &Json::obj()
+            .with("benchmark", "fig6_scalability")
+            .with("runs", Json::Arr(runs)),
+    );
 }

@@ -15,6 +15,7 @@
 //! `ablation_hdf5_overheads` (dataset-count decomposition of the HDF5 gap).
 
 pub mod partition;
+pub mod report;
 pub mod table;
 
 pub use partition::{block_of, grid_for, Partition, PARTITIONS};

@@ -1,0 +1,47 @@
+//! Profile-JSON report files written next to the benchmark text tables.
+//!
+//! Each figure binary that runs with tracing enabled collects one report
+//! object per configuration (the [`hpc_sim::ProfileSnapshot::to_json`]
+//! output, per-rank rows included) and writes them all to a single
+//! `<binary>.profile.json` file so the phase breakdowns can be inspected
+//! without re-running the benchmark.
+
+use std::path::PathBuf;
+
+use hpc_sim::trace::Json;
+
+/// Destination for report file `name`: `$PNETCDF_REPORT_DIR` if set, else
+/// the current directory.
+pub fn report_path(name: &str) -> PathBuf {
+    match std::env::var_os("PNETCDF_REPORT_DIR") {
+        Some(dir) => PathBuf::from(dir).join(name),
+        None => PathBuf::from(name),
+    }
+}
+
+/// Write `report` to [`report_path`]`(name)` as pretty JSON and announce
+/// where it went on stderr (stdout carries the text tables).
+pub fn write_report(name: &str, report: &Json) -> PathBuf {
+    let path = report_path(name);
+    std::fs::write(&path, report.pretty())
+        .unwrap_or_else(|e| panic!("writing report {}: {e}", path.display()));
+    eprintln!("  profile report: {}", path.display());
+    path
+}
+
+/// Assert that the critical rank's attributed phase time explains the
+/// reported makespan to within `tol` (0.05 = 5%). Every simulated clock
+/// advance is charged to exactly one phase, so real coverage should be
+/// 1.0; a miss means an attribution hole in some layer.
+pub fn check_coverage(report: &Json, tol: f64) {
+    let coverage = report
+        .get("coverage")
+        .and_then(Json::as_f64)
+        .expect("report has a coverage field");
+    assert!(
+        (coverage - 1.0).abs() <= tol,
+        "phase attribution covers {:.2}% of the makespan (tolerance {:.0}%)",
+        coverage * 100.0,
+        tol * 100.0
+    );
+}

@@ -259,6 +259,8 @@ impl Dataset {
         } else {
             self.file.write_runs_at(&req.runs, &req.buffer)?;
         }
+        self.profile
+            .record(req.varid, true, false, req.buffer.len() as u64);
         Ok(())
     }
 
@@ -274,6 +276,8 @@ impl Dataset {
         } else {
             self.file.read_runs_at(&req.runs)?
         };
+        self.profile
+            .record(req.varid, false, false, data.len() as u64);
         Ok(data)
     }
 
@@ -524,6 +528,12 @@ impl Dataset {
             } else {
                 self.file.write_runs_at(&runs, &staging)?;
             }
+            // Attribute per queued request (pre-merge sizes), so the same
+            // workload reports the same put_size via either access mode.
+            for req in reqs.iter().filter(|r| r.kind == AccessKind::Put) {
+                self.profile
+                    .record(req.varid, true, true, req.buffer.len() as u64);
+            }
         }
         if do_gets {
             let cov = merge_gets(&reqs);
@@ -535,6 +545,8 @@ impl Dataset {
             let pos = coverage_positions(&cov);
             for req in reqs.iter().filter(|r| r.kind == AccessKind::Get) {
                 let bytes = extract_runs(&cov, &pos, &data, &req.runs);
+                self.profile
+                    .record(req.varid, false, true, bytes.len() as u64);
                 self.results.insert(req.id.id(), (req.nctype, bytes));
             }
         }

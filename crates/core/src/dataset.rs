@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use hpc_sim::Time;
+use hpc_sim::{Phase, PhaseScope, Time};
 use pnetcdf_format::layout::{self, Layout};
 use pnetcdf_format::{Header, NcType, Version};
 use pnetcdf_mpi::{Comm, Datatype, Info, ReduceOp, RequestTable};
@@ -19,6 +19,7 @@ use pnetcdf_pfs::Pfs;
 use crate::access::request::AccessReq;
 use crate::consistency;
 use crate::error::{NcmpiError, NcmpiResult};
+use crate::profile::DatasetProfile;
 
 /// Dataset mode. Data mode starts collective; `begin_indep_data` switches
 /// to independent (paper §4.1: "the split of data mode into two distinct
@@ -52,6 +53,11 @@ pub struct Dataset {
     pub(crate) req_table: RequestTable,
     /// Completed get results awaiting `take_result`, keyed by ticket id.
     pub(crate) results: HashMap<u64, (NcType, Vec<u8>)>,
+    /// Per-variable access counters for this rank (`ncmpi_inq_put_size`
+    /// and friends); rolled up across ranks at `close`.
+    pub(crate) profile: DatasetProfile,
+    /// The PFS path, kept to key the close-time trace roll-up.
+    pub(crate) path: String,
 }
 
 impl Dataset {
@@ -86,6 +92,8 @@ impl Dataset {
             pending: Vec::new(),
             req_table: RequestTable::new(),
             results: HashMap::new(),
+            profile: DatasetProfile::default(),
+            path: path.to_string(),
         })
     }
 
@@ -108,6 +116,8 @@ impl Dataset {
         // header length is not known up front, so read a small chunk and
         // grow geometrically until it decodes (real netCDF does the same).
         let header_bytes = if comm.rank() == 0 {
+            // Header fetches are metadata work, not data-path disk reads.
+            let _meta = PhaseScope::enter(Phase::Metadata);
             let mut probe = 8192u64;
             let buf = loop {
                 let take = probe.min(file.size()).max(32) as usize;
@@ -159,6 +169,8 @@ impl Dataset {
             pending: Vec::new(),
             req_table: RequestTable::new(),
             results: HashMap::new(),
+            profile: DatasetProfile::default(),
+            path: path.to_string(),
         };
         // PnetCDF-level hint: prefetch named variables at open time.
         if let Some(hint) = info.get("nc_prefetch_vars") {
@@ -234,6 +246,7 @@ impl Dataset {
 
         // Rank 0 writes the header (plus alignment padding).
         if self.comm.rank() == 0 {
+            let _meta = PhaseScope::enter(Phase::Metadata);
             let mut padded = header_bytes;
             padded.resize(self.layout.data_start as usize, 0);
             let mem = Datatype::contiguous(padded.len(), Datatype::byte());
@@ -342,6 +355,7 @@ impl Dataset {
         self.require_no_pending("sync")?;
         self.reconcile_numrecs()?;
         if self.writable && self.comm.rank() == 0 {
+            let _meta = PhaseScope::enter(Phase::Metadata);
             let nr = (self.header.numrecs.min(u32::MAX as u64 - 1)) as u32;
             let mem = Datatype::contiguous(4, Datatype::byte());
             self.file
@@ -369,6 +383,52 @@ impl Dataset {
             }
         }
         self.sync()?;
+        self.rollup_profile()?;
+        Ok(())
+    }
+
+    // ---- access profiling ---------------------------------------------------------
+
+    /// This rank's per-variable access counters.
+    pub fn profile(&self) -> &DatasetProfile {
+        &self.profile
+    }
+
+    /// Bytes this rank has written to the dataset so far
+    /// (`ncmpi_inq_put_size`).
+    pub fn inq_put_size(&self) -> u64 {
+        self.profile.put_size()
+    }
+
+    /// Bytes this rank has read from the dataset so far
+    /// (`ncmpi_inq_get_size`).
+    pub fn inq_get_size(&self) -> u64 {
+        self.profile.get_size()
+    }
+
+    /// This rank's access counters as a report fragment, with variables
+    /// labelled by name.
+    pub fn inq_profile(&self) -> hpc_sim::trace::Json {
+        let names: Vec<String> = self.header.vars.iter().map(|v| v.name.clone()).collect();
+        self.profile.to_json(&names)
+    }
+
+    /// Collective: sum the per-rank dataset profiles and attach the global
+    /// roll-up to the shared trace profile (rank 0 only), keyed by the
+    /// dataset path. A no-op while tracing is disabled, so `close` costs
+    /// nothing extra in the common case.
+    fn rollup_profile(&mut self) -> NcmpiResult<()> {
+        let trace = self.comm.config().profile.clone();
+        if !trace.is_enabled() {
+            return Ok(());
+        }
+        let flat = self.profile.flatten(self.header.vars.len());
+        let sum = self.comm.allreduce(ReduceOp::Sum, &flat)?;
+        if self.comm.rank() == 0 {
+            let global = DatasetProfile::unflatten(&sum);
+            let names: Vec<String> = self.header.vars.iter().map(|v| v.name.clone()).collect();
+            trace.attach_extra(&format!("dataset:{}", self.path), global.to_json(&names));
+        }
         Ok(())
     }
 

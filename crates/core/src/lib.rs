@@ -51,10 +51,12 @@ pub mod define;
 pub mod error;
 pub mod fill;
 pub mod inquiry;
+pub mod profile;
 
 pub use dataset::{DataMode, Dataset};
 pub use error::{NcmpiError, NcmpiResult};
 pub use inquiry::{DatasetInfo, VarInfo};
+pub use profile::{AccessCounters, DatasetProfile, VarAccess};
 
 // Re-export the pieces a typical application needs, so `use pnetcdf::*`
 // style programs mirror the C library's single header.

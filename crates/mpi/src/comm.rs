@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use hpc_sim::{SharedClocks, SimConfig, SimStats, Time};
+use hpc_sim::{CollKind, Phase, SharedClocks, SimConfig, SimStats, Time};
 
 use crate::collective::{CollContext, Deposits};
 use crate::error::{MpiError, MpiResult};
@@ -35,6 +35,39 @@ impl CollEnv {
     /// time. This is the standard clock effect of a collective operation.
     pub fn sync_max(&self, extra: Time) -> Time {
         self.clocks.sync_max(&self.group, extra)
+    }
+
+    /// [`sync_max`](CollEnv::sync_max) with profile attribution: each
+    /// member's entry skew (distance to the latest arriver) is charged to
+    /// [`Phase::Wait`] and the operation cost itself to `phase`. Charging
+    /// both sides keeps per-rank phase sums equal to the clocks. The
+    /// two-phase I/O engine uses this directly with its own phases.
+    pub fn sync_phase(&self, phase: Phase, cost: Time) -> Time {
+        let profile = &self.config.profile;
+        if profile.is_enabled() {
+            let snap = self.clocks.snapshot();
+            let entry = self
+                .group
+                .iter()
+                .map(|&r| snap[r])
+                .max()
+                .unwrap_or(Time::ZERO);
+            for &r in self.group.iter() {
+                profile.record_phase(r, Phase::Wait, (entry - snap[r]).as_nanos());
+                profile.record_phase(r, phase, cost.as_nanos());
+            }
+        }
+        self.sync_max(cost)
+    }
+
+    /// [`sync_phase`](CollEnv::sync_phase) against [`Phase::Metadata`],
+    /// additionally tallying the op in the per-kind collective table. All
+    /// predefined MPI collectives route through here.
+    pub fn sync_collective(&self, kind: CollKind, bytes: u64, cost: Time) -> Time {
+        self.config
+            .profile
+            .record_collective(kind, bytes, cost.as_nanos());
+        self.sync_phase(Phase::Metadata, cost)
     }
 
     /// Set every group member's clock to exactly `t` (used by collective
@@ -110,13 +143,36 @@ impl Comm {
     }
 
     /// Advance this rank's clock by `dt` (local work: packing, compute).
+    ///
+    /// The delta is charged to the ambient [`hpc_sim::PhaseScope`]
+    /// (defaulting to [`Phase::Compute`]), which is how most local work in
+    /// the stack gets attributed without per-call-site instrumentation.
     pub fn advance(&self, dt: Time) -> Time {
-        self.world.clocks.advance(self.world_rank(), dt)
+        self.advance_attr(dt, Phase::Compute)
     }
 
     /// Move this rank's clock forward to `t` if later.
     pub fn advance_to(&self, t: Time) -> Time {
-        self.world.clocks.advance_to(self.world_rank(), t)
+        self.advance_to_attr(t, Phase::Compute)
+    }
+
+    fn advance_attr(&self, dt: Time, default: Phase) -> Time {
+        let w = self.world_rank();
+        let profile = &self.world.config.profile;
+        if profile.is_enabled() {
+            profile.record_scoped(w, default, dt.as_nanos());
+        }
+        self.world.clocks.advance(w, dt)
+    }
+
+    fn advance_to_attr(&self, t: Time, default: Phase) -> Time {
+        let w = self.world_rank();
+        let profile = &self.world.config.profile;
+        if profile.is_enabled() {
+            let dt = t.saturating_sub(self.world.clocks.now(w));
+            profile.record_scoped(w, default, dt.as_nanos());
+        }
+        self.world.clocks.advance_to(w, t)
     }
 
     /// Clone of the shared clock array (for the I/O layers).
@@ -158,7 +214,7 @@ impl Comm {
         let env = self.coll_env();
         self.collective(Vec::new(), move |_| {
             let cost = env.config.network.barrier(env.size());
-            env.sync_max(cost);
+            env.sync_collective(CollKind::Barrier, 0, cost);
         })
         .map(|_| ())
     }
@@ -171,7 +227,7 @@ impl Comm {
         let res = self.collective(vec![mine], move |mut deps: Deposits| {
             let payload = std::mem::take(&mut deps[root][0]);
             let cost = env.config.network.bcast(payload.len(), env.size());
-            env.sync_max(cost);
+            env.sync_collective(CollKind::Bcast, payload.len() as u64, cost);
             payload
         })?;
         Ok((*res).clone())
@@ -190,8 +246,9 @@ impl Comm {
         let res = self.collective(vec![mine], move |mut deps: Deposits| {
             let all: Vec<Vec<u8>> = deps.iter_mut().map(|d| std::mem::take(&mut d[0])).collect();
             let maxlen = all.iter().map(Vec::len).max().unwrap_or(0);
+            let total: usize = all.iter().map(Vec::len).sum();
             let cost = env.config.network.allgather(maxlen, env.size());
-            env.sync_max(cost);
+            env.sync_collective(CollKind::Allgather, total as u64, cost);
             all
         })?;
         Ok((*res).clone())
@@ -226,8 +283,12 @@ impl Comm {
                 .map(|dst| deps.iter().map(|row| row[dst].len()).sum::<usize>())
                 .max()
                 .unwrap_or(0);
+            let total: usize = deps
+                .iter()
+                .map(|row| row.iter().map(Vec::len).sum::<usize>())
+                .sum();
             let cost = env.config.network.alltoallv(max_send, max_recv, n);
-            env.sync_max(cost);
+            env.sync_collective(CollKind::Alltoallv, total as u64, cost);
             deps // [src][dst]
         })?;
         Ok(res.iter().map(|row| row[me].clone()).collect())
@@ -240,8 +301,9 @@ impl Comm {
         let res = self.collective(vec![mine], move |mut deps: Deposits| {
             let all: Vec<Vec<u8>> = deps.iter_mut().map(|d| std::mem::take(&mut d[0])).collect();
             let maxlen = all.iter().map(Vec::len).max().unwrap_or(0);
+            let total: usize = all.iter().map(Vec::len).sum();
             let cost = env.config.network.allgather(maxlen, env.size());
-            env.sync_max(cost);
+            env.sync_collective(CollKind::Gather, total as u64, cost);
             all
         })?;
         Ok(if self.my_index == root {
@@ -270,8 +332,9 @@ impl Comm {
         let res = self.collective(deposit, move |mut deps: Deposits| {
             let row = std::mem::take(&mut deps[root]);
             let maxlen = row.iter().map(Vec::len).max().unwrap_or(0);
+            let total: usize = row.iter().map(Vec::len).sum();
             let cost = env.config.network.bcast(maxlen, env.size());
-            env.sync_max(cost);
+            env.sync_collective(CollKind::Scatter, total as u64, cost);
             row
         })?;
         Ok(res[me].clone())
@@ -296,7 +359,7 @@ impl Comm {
                 });
             }
             let cost = env.config.network.allreduce(nvals * T::WIDTH, env.size());
-            env.sync_max(cost);
+            env.sync_collective(CollKind::Allreduce, (nvals * T::WIDTH) as u64, cost);
             acc.expect("at least one rank")
         })?;
         Ok((*res).clone())
@@ -333,7 +396,7 @@ impl Comm {
             }
             // Binomial-tree reduction: same cost shape as a broadcast.
             let cost = env.config.network.bcast(nvals * T::WIDTH, env.size());
-            env.sync_max(cost);
+            env.sync_collective(CollKind::Reduce, (nvals * T::WIDTH) as u64, cost);
             acc.expect("at least one rank")
         })?;
         Ok(if self.my_index == root {
@@ -360,9 +423,10 @@ impl Comm {
         self.check_rank(dest)?;
         let len = data.len();
         self.world.stats.count_message(len);
+        self.world.config.profile.record_msg_size(len as u64);
         // Eager model: the sender pays the wire occupancy, the message
         // becomes visible at sender_time + latency.
-        let send_done = self.advance(self.world.config.network.transfer(len));
+        let send_done = self.advance_attr(self.world.config.network.transfer(len), Phase::P2p);
         let arrival = send_done + self.world.config.network.latency;
         let world_dest = self.group[dest];
         self.world.mailboxes[world_dest].deposit(Envelope {
@@ -392,7 +456,7 @@ impl Comm {
             tag,
             &self.world.poisoned,
         )?;
-        self.advance_to(env.arrival);
+        self.advance_to_attr(env.arrival, Phase::P2p);
         let status = Status {
             source: env.src_group_rank,
             tag: env.tag,
@@ -422,7 +486,7 @@ impl Comm {
         let n = self.size();
         let ctx = self.collective(Vec::new(), move |_| {
             let cost = env.config.network.barrier(env.size());
-            env.sync_max(cost);
+            env.sync_collective(CollKind::Barrier, 0, cost);
             world.new_context(n)
         })?;
         Ok(Comm {
@@ -468,7 +532,7 @@ impl Comm {
                 }
             }
             let cost = env.config.network.barrier(env.size());
-            env.sync_max(cost);
+            env.sync_collective(CollKind::Barrier, 0, cost);
             (out, me) // me unused; keeps closure simple
         })?;
         if color < 0 {

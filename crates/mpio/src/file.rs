@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use hpc_sim::{CollKind, Phase, PhaseScope};
 use pnetcdf_mpi::{pack, Comm, Datatype, Info};
 use pnetcdf_pfs::{Pfs, PfsFile};
 
@@ -50,7 +51,7 @@ impl MpiFile {
         let name_owned = name.to_string();
         let res: Arc<Result<PfsFile, String>> = comm.collective(Vec::new(), move |_| {
             let cost = env.config.network.barrier(env.size()) + env.config.cpu.metadata_op;
-            env.sync_max(cost);
+            env.sync_collective(CollKind::Barrier, 0, cost);
             match mode {
                 OpenMode::Create => Ok(pfs.create(&name_owned)),
                 OpenMode::CreateExcl => {
@@ -105,7 +106,7 @@ impl MpiFile {
             .collective(Vec::new(), move |_| {
                 file.grow_to(size);
                 let cost = env.config.network.barrier(env.size()) + env.config.cpu.metadata_op;
-                env.sync_max(cost);
+                env.sync_collective(CollKind::Barrier, 0, cost);
             })
             .map(|_| ())
             .map_err(MpioError::from)
@@ -118,7 +119,7 @@ impl MpiFile {
         self.comm
             .collective(Vec::new(), move |_| {
                 let cost = env.config.network.barrier(env.size()) + env.config.cpu.metadata_op;
-                env.sync_max(cost);
+                env.sync_collective(CollKind::Barrier, 0, cost);
             })
             .map(|_| ())
             .map_err(MpioError::from)
@@ -217,6 +218,7 @@ impl MpiFile {
         self.check_writable()?;
         Self::check_runs(runs, data.len())?;
         let ds = self.hints.ds_write.resolve(true);
+        let _attr = PhaseScope::enter(Phase::DiskWrite);
         let t = sieve::write(
             &self.file,
             self.hints.ind_wr_buffer_size,
@@ -234,6 +236,7 @@ impl MpiFile {
     pub fn read_runs_at(&self, runs: &[Run]) -> MpioResult<Vec<u8>> {
         Self::check_runs(runs, runs_total(runs) as usize)?;
         let ds = self.hints.ds_read.resolve(true);
+        let _attr = PhaseScope::enter(Phase::DiskRead);
         let (data, t) = sieve::read(
             &self.file,
             self.hints.ind_rd_buffer_size,
@@ -322,23 +325,36 @@ impl MpiFile {
             self.hints.ind_wr_buffer_size,
             self.hints.ds_write.resolve(true),
         );
-        self.comm.collective(vec![parcel], move |mut deps| {
-            let parcels: Vec<Vec<u8>> =
-                deps.iter_mut().map(|d| std::mem::take(&mut d[0])).collect();
-            let reqs: Vec<(Vec<Run>, &[u8])> =
-                parcels.iter().map(|pc| twophase::decode_req(pc)).collect();
-            if cb {
-                twophase::write_all(&env, &file, &p, &reqs);
-            } else {
-                // Collective buffering disabled: every rank writes its own
-                // pieces independently (the ablation baseline).
-                for (i, (runs, data)) in reqs.iter().enumerate() {
-                    let w = env.group[i];
-                    let t = sieve::write(&file, wr_buf, ds, env.clocks.now(w), runs, data);
-                    env.clocks.advance_to(w, t);
-                }
-            }
-        })?;
+        let res: Arc<MpioResult<()>> =
+            self.comm
+                .collective(vec![parcel], move |mut deps| -> MpioResult<()> {
+                    let parcels: Vec<Vec<u8>> =
+                        deps.iter_mut().map(|d| std::mem::take(&mut d[0])).collect();
+                    let mut reqs: Vec<(Vec<Run>, &[u8])> = Vec::with_capacity(parcels.len());
+                    for pc in &parcels {
+                        reqs.push(twophase::decode_req(pc)?);
+                    }
+                    if cb {
+                        twophase::write_all(&env, &file, &p, &reqs);
+                    } else {
+                        // Collective buffering disabled: every rank writes its
+                        // own pieces independently (the ablation baseline).
+                        let profile = &env.config.profile;
+                        for (i, (runs, data)) in reqs.iter().enumerate() {
+                            let w = env.group[i];
+                            let before = env.clocks.now(w);
+                            let t = sieve::write(&file, wr_buf, ds, before, runs, data);
+                            profile.record_phase(
+                                w,
+                                Phase::DiskWrite,
+                                t.saturating_sub(before).as_nanos(),
+                            );
+                            env.clocks.advance_to(w, t);
+                        }
+                    }
+                    Ok(())
+                })?;
+        (*res).clone()?;
         Ok(nbytes)
     }
 
@@ -386,25 +402,38 @@ impl MpiFile {
             self.hints.ds_read.resolve(true),
         );
         let me = self.comm.rank();
-        let res: Arc<Vec<Vec<u8>>> = self.comm.collective(vec![parcel], move |mut deps| {
-            let reqs: Vec<Vec<Run>> = deps
-                .iter_mut()
-                .map(|d| twophase::decode_req(&std::mem::take(&mut d[0])).0)
-                .collect();
-            if cb {
-                twophase::read_all(&env, &file, &p, &reqs).0
-            } else {
-                let mut outs = Vec::with_capacity(reqs.len());
-                for (i, runs) in reqs.iter().enumerate() {
-                    let w = env.group[i];
-                    let (data, t) = sieve::read(&file, rd_buf, ds, env.clocks.now(w), runs);
-                    env.clocks.advance_to(w, t);
-                    outs.push(data);
-                }
-                outs
-            }
-        })?;
-        let data = res[me].clone();
+        let res: Arc<MpioResult<Vec<Vec<u8>>>> =
+            self.comm
+                .collective(vec![parcel], move |mut deps| -> MpioResult<Vec<Vec<u8>>> {
+                    let mut reqs: Vec<Vec<Run>> = Vec::with_capacity(deps.len());
+                    for d in deps.iter_mut() {
+                        let parcel = std::mem::take(&mut d[0]);
+                        reqs.push(twophase::decode_req(&parcel)?.0);
+                    }
+                    if cb {
+                        Ok(twophase::read_all(&env, &file, &p, &reqs).0)
+                    } else {
+                        let profile = &env.config.profile;
+                        let mut outs = Vec::with_capacity(reqs.len());
+                        for (i, runs) in reqs.iter().enumerate() {
+                            let w = env.group[i];
+                            let before = env.clocks.now(w);
+                            let (data, t) = sieve::read(&file, rd_buf, ds, before, runs);
+                            profile.record_phase(
+                                w,
+                                Phase::DiskRead,
+                                t.saturating_sub(before).as_nanos(),
+                            );
+                            env.clocks.advance_to(w, t);
+                            outs.push(data);
+                        }
+                        Ok(outs)
+                    }
+                })?;
+        let data = match &*res {
+            Ok(all) => all[me].clone(),
+            Err(e) => return Err(e.clone()),
+        };
         debug_assert_eq!(data.len() as u64, runs_total(runs));
         Ok(data)
     }

@@ -39,10 +39,13 @@ pub fn write(
             now = file.write_at(now, off, &data[pos..pos + len as usize]);
             pos += len as usize;
         }
+        file.profile()
+            .record_sieve(false, data.len() as u64, data.len() as u64);
         return now;
     }
 
     // Sieving: process the covered extent window by window.
+    let mut transferred = 0u64; // bytes moved to/from the file system
     let mut idx = 0usize; // current run
     let mut consumed = 0u64; // bytes of runs[idx] already handled
     let mut pos = 0usize; // position in `data`
@@ -73,11 +76,13 @@ pub fn write(
         }
         if pieces.len() == 1 {
             let (off, len, dpos) = pieces[0];
+            transferred += len as u64;
             now = file.write_at(now, off, &data[dpos..dpos + len]);
             continue;
         }
         // Read-modify-write the extent [wlo, whi).
         let span = (whi - wlo) as usize;
+        transferred += 2 * span as u64; // read the extent, write it back
         let mut buf = vec![0u8; span];
         now = file.read_at(now, wlo, &mut buf);
         for &(off, len, dpos) in &pieces {
@@ -86,6 +91,8 @@ pub fn write(
         }
         now = file.write_at(now, wlo, &buf);
     }
+    file.profile()
+        .record_sieve(false, transferred, data.len() as u64);
     now
 }
 
@@ -113,9 +120,12 @@ pub fn read(
             now = file.read_at(now, off, &mut out[pos..pos + len as usize]);
             pos += len as usize;
         }
+        file.profile()
+            .record_sieve(true, total as u64, total as u64);
         return (out, now);
     }
 
+    let mut transferred = 0u64;
     let mut idx = 0usize;
     let mut consumed = 0u64;
     let mut pos = 0usize;
@@ -145,10 +155,12 @@ pub fn read(
         }
         if pieces.len() == 1 {
             let (off, len, dpos) = pieces[0];
+            transferred += len as u64;
             now = file.read_at(now, off, &mut out[dpos..dpos + len]);
             continue;
         }
         let span = (whi - wlo) as usize;
+        transferred += span as u64;
         let mut buf = vec![0u8; span];
         now = file.read_at(now, wlo, &mut buf);
         for &(off, len, dpos) in &pieces {
@@ -156,6 +168,7 @@ pub fn read(
             out[dpos..dpos + len].copy_from_slice(&buf[lo..lo + len]);
         }
     }
+    file.profile().record_sieve(true, transferred, total as u64);
     (out, now)
 }
 

@@ -21,10 +21,11 @@
 //! the synchronized time `t0` and advance through the shared server queues
 //! in rank order.
 
-use hpc_sim::Time;
+use hpc_sim::{Phase, Profile, Time};
 use pnetcdf_mpi::CollEnv;
 use pnetcdf_pfs::PfsFile;
 
+use crate::error::{MpioError, MpioResult};
 use crate::view::{runs_total, Run};
 
 /// Parameters resolved from hints at the call site.
@@ -58,17 +59,37 @@ pub fn encode_read_req(runs: &[Run]) -> Vec<u8> {
 }
 
 /// Decode a parcel into `(runs, data)`; `data` borrows the parcel.
-pub fn decode_req(parcel: &[u8]) -> (Vec<Run>, &[u8]) {
+///
+/// A parcel arrives from another rank's deposit, so its length is
+/// validated before any slice is taken: a truncated or corrupt exchange
+/// parcel yields [`MpioError::InvalidArgument`] rather than a panic.
+pub fn decode_req(parcel: &[u8]) -> MpioResult<(Vec<Run>, &[u8])> {
+    if parcel.len() < 8 {
+        return Err(MpioError::InvalidArgument(format!(
+            "exchange parcel too short: {} bytes, need at least 8",
+            parcel.len()
+        )));
+    }
     let n = u64::from_ne_bytes(parcel[..8].try_into().unwrap()) as usize;
+    let runs_end = n
+        .checked_mul(16)
+        .and_then(|b| b.checked_add(8))
+        .filter(|&need| need <= parcel.len())
+        .ok_or_else(|| {
+            MpioError::InvalidArgument(format!(
+                "exchange parcel declares {n} runs but holds only {} bytes",
+                parcel.len()
+            ))
+        })?;
     let mut runs = Vec::with_capacity(n);
     let mut pos = 8;
-    for _ in 0..n {
+    while pos < runs_end {
         let off = u64::from_ne_bytes(parcel[pos..pos + 8].try_into().unwrap());
         let len = u64::from_ne_bytes(parcel[pos + 8..pos + 16].try_into().unwrap());
         runs.push((off, len));
         pos += 16;
     }
-    (runs, &parcel[pos..])
+    Ok((runs, &parcel[runs_end..]))
 }
 
 // ---- file domains -----------------------------------------------------------
@@ -164,9 +185,11 @@ fn exchange_cost(
 ) -> Time {
     let n = env.size();
     let mut max_rank_wire = 0u64; // busiest non-aggregator-side endpoint
+    let mut total_wire = 0u64;
     for (r, runs) in all_runs.iter().enumerate() {
         let local = domains.get(r).map(|&d| overlap_bytes(runs, d)).unwrap_or(0);
         max_rank_wire = max_rank_wire.max(totals[r] - local);
+        total_wire += totals[r] - local;
     }
     let per_domain = bytes_per_domain(all_runs, domains);
     let mut max_agg_wire = 0u64;
@@ -177,6 +200,9 @@ fn exchange_cost(
             .unwrap_or(0);
         max_agg_wire = max_agg_wire.max(bytes - local);
     }
+    env.config
+        .profile
+        .record_twophase(|t| t.exchange_wire_bytes += total_wire);
     env.config
         .network
         .alltoallv(max_rank_wire as usize, max_agg_wire as usize, n)
@@ -257,9 +283,10 @@ pub fn write_all(
     reqs: &[(Vec<Run>, &[u8])],
 ) -> Time {
     let n = env.size();
+    let profile = env.config.profile.clone();
     let total: u64 = reqs.iter().map(|(r, _)| runs_total(r)).sum();
     if total == 0 {
-        return env.sync_max(env.config.network.barrier(n));
+        return env.sync_phase(Phase::Metadata, env.config.network.barrier(n));
     }
     let gmin = reqs
         .iter()
@@ -273,11 +300,21 @@ pub fn write_all(
         .unwrap();
     let domains = file_domains(gmin, gmax, p.naggs, p.stripe);
 
+    profile.record_twophase(|t| {
+        t.collective_writes += 1;
+        t.file_domains += domains.len() as u64;
+    });
+
     // Phase 1: exchange. Every rank ships the parts of its data that do not
-    // already live at their aggregator (aggregator a = rank a).
+    // already live at their aggregator (aggregator a = rank a). The single
+    // alltoallv models offset lists and data moving together, so the whole
+    // cost is charged to the data-exchange phase.
     let all_runs: Vec<Vec<Run>> = reqs.iter().map(|(r, _)| r.clone()).collect();
     let totals: Vec<u64> = reqs.iter().map(|(r, _)| runs_total(r)).collect();
-    let t0 = env.sync_max(exchange_cost(env, &all_runs, &totals, &domains));
+    let t0 = env.sync_phase(
+        Phase::DataExchange,
+        exchange_cost(env, &all_runs, &totals, &domains),
+    );
 
     // Phase 2: each aggregator walks its domain window by window. The
     // aggregators run *concurrently*, so their requests must reach the
@@ -288,15 +325,19 @@ pub fn write_all(
     let windows = gather_windows(&all_runs, &domains, p.cb_buffer_size);
     let rounds = windows.iter().map(Vec::len).max().unwrap_or(0);
     let mut t_agg = vec![t0; windows.len()];
+    let mut split = AccessSplit::new(windows.len());
     for j in 0..rounds {
         for (a, agg_windows) in windows.iter().enumerate() {
             let Some(pieces) = agg_windows.get(j) else {
                 continue;
             };
             let mut t_a = t_agg[a];
+            split.windows += 1;
             let piece_bytes: u64 = pieces.iter().map(|pc| pc.len).sum();
             // Assembling the collective buffer is memcpy work.
-            t_a += env.config.cpu.pack(piece_bytes as usize, 1.0);
+            let pack = env.config.cpu.pack(piece_bytes as usize, 1.0);
+            t_a += pack;
+            split.pack[a] += pack.as_nanos();
 
             let coverage = merge_coverage(pieces.iter().map(|pc| (pc.off, pc.len)).collect());
             if coverage.len() == 1 {
@@ -304,22 +345,92 @@ pub fn write_all(
                 let (clo, clen) = coverage[0];
                 let mut buf = vec![0u8; clen as usize];
                 overlay(&mut buf, clo, pieces, reqs);
+                let before = t_a;
                 t_a = file.write_at(t_a, clo, &buf);
+                split.write[a] += (t_a - before).as_nanos();
             } else {
                 // Holes: read-modify-write the covered extent.
+                split.rmw += 1;
                 let clo = coverage[0].0;
                 let cend = coverage.last().map(|&(o, l)| o + l).unwrap();
                 let mut buf = vec![0u8; (cend - clo) as usize];
+                let before = t_a;
                 t_a = file.read_at(t_a, clo, &mut buf);
+                split.read[a] += (t_a - before).as_nanos();
                 overlay(&mut buf, clo, pieces, reqs);
+                let before = t_a;
                 t_a = file.write_at(t_a, clo, &buf);
+                split.write[a] += (t_a - before).as_nanos();
             }
             t_agg[a] = t_a;
         }
     }
-    let t_end = t_agg.into_iter().fold(t0, Time::max);
+    let t_end = t_agg.iter().copied().fold(t0, Time::max);
+    split.attribute(&profile, env, t_end, &t_agg);
     env.set_all(t_end);
     t_end
+}
+
+/// Per-aggregator breakdown of the access phase, accumulated along each
+/// aggregator's own timeline, plus engine window counters.
+struct AccessSplit {
+    pack: Vec<u64>,
+    write: Vec<u64>,
+    read: Vec<u64>,
+    windows: u64,
+    rmw: u64,
+}
+
+impl AccessSplit {
+    fn new(naggs: usize) -> AccessSplit {
+        AccessSplit {
+            pack: vec![0; naggs],
+            write: vec![0; naggs],
+            read: vec![0; naggs],
+            windows: 0,
+            rmw: 0,
+        }
+    }
+
+    /// Charge the access phase (`t0 → t_end`, applied to every rank by
+    /// `set_all`) to profile phases so per-rank sums stay exact:
+    ///
+    /// * aggregator `a` gets its own pack/write/read split plus
+    ///   [`Phase::Wait`] for `t_end - t_agg[a]` (idle behind the slowest
+    ///   aggregator);
+    /// * a non-aggregator rank spends the same wall of virtual time blocked
+    ///   on the aggregators, so it is credited with the *critical*
+    ///   aggregator's split — the one that actually determines `t_end` —
+    ///   which keeps the makespan rank's breakdown meaningful instead of
+    ///   reading as one opaque wait.
+    fn attribute(&self, profile: &Profile, env: &CollEnv, t_end: Time, t_agg: &[Time]) {
+        profile.record_twophase(|t| {
+            t.windows += self.windows;
+            t.rmw_windows += self.rmw;
+        });
+        if !profile.is_enabled() || t_agg.is_empty() {
+            return;
+        }
+        // Stripe-aligned boundaries can yield one more domain than there
+        // are ranks; domains past the group size are *virtual* aggregators
+        // whose concurrent timelines belong to no rank — charging their
+        // split to a rank that already owns a domain would double-count
+        // that rank's clock advance.
+        for (a, &t_a) in t_agg.iter().enumerate().take(env.group.len()) {
+            let w = env.group[a];
+            profile.record_phase(w, Phase::CollBufPack, self.pack[a]);
+            profile.record_phase(w, Phase::DiskWrite, self.write[a]);
+            profile.record_phase(w, Phase::DiskRead, self.read[a]);
+            profile.record_phase(w, Phase::Wait, (t_end - t_a).as_nanos());
+        }
+        let crit = (0..t_agg.len()).max_by_key(|&a| t_agg[a]).unwrap();
+        for &w in env.group.iter().skip(t_agg.len()) {
+            profile.record_phase(w, Phase::CollBufPack, self.pack[crit]);
+            profile.record_phase(w, Phase::DiskWrite, self.write[crit]);
+            profile.record_phase(w, Phase::DiskRead, self.read[crit]);
+            profile.record_phase(w, Phase::Wait, (t_end - t_agg[crit]).as_nanos());
+        }
+    }
 }
 
 /// Pre-gather every aggregator's windows' piece lists: one offset-ordered
@@ -375,11 +486,12 @@ pub fn read_all(
     reqs: &[Vec<Run>],
 ) -> (Vec<Vec<u8>>, Time) {
     let n = env.size();
+    let profile = env.config.profile.clone();
     let totals: Vec<u64> = reqs.iter().map(|r| runs_total(r)).collect();
     let grand: u64 = totals.iter().sum();
     let mut outs: Vec<Vec<u8>> = totals.iter().map(|&t| vec![0u8; t as usize]).collect();
     if grand == 0 {
-        let t = env.sync_max(env.config.network.barrier(n));
+        let t = env.sync_phase(Phase::Metadata, env.config.network.barrier(n));
         return (outs, t);
     }
     let gmin = reqs
@@ -394,29 +506,43 @@ pub fn read_all(
         .unwrap();
     let domains = file_domains(gmin, gmax, p.naggs, p.stripe);
 
+    profile.record_twophase(|t| {
+        t.collective_reads += 1;
+        t.file_domains += domains.len() as u64;
+    });
+
     // Offset lists are exchanged up front (small).
     let meta_bytes = reqs.iter().map(|r| r.len() * 16).max().unwrap_or(0);
-    let t0 = env.sync_max(env.config.network.alltoallv(meta_bytes, meta_bytes, n));
+    let t0 = env.sync_phase(
+        Phase::OffsetExchange,
+        env.config.network.alltoallv(meta_bytes, meta_bytes, n),
+    );
 
     // Aggregators read their domains concurrently (round-robin timing, as
     // in `write_all`).
     let windows = gather_windows(reqs, &domains, p.cb_buffer_size);
     let rounds = windows.iter().map(Vec::len).max().unwrap_or(0);
     let mut t_agg = vec![t0; windows.len()];
+    let mut split = AccessSplit::new(windows.len());
     for j in 0..rounds {
         for (a, agg_windows) in windows.iter().enumerate() {
             let Some(pieces) = agg_windows.get(j) else {
                 continue;
             };
             let mut t_a = t_agg[a];
+            split.windows += 1;
             // One spanning read covers every piece in the window (data
             // sieving at the aggregator).
             let clo = pieces.iter().map(|pc| pc.off).min().unwrap();
             let cend = pieces.iter().map(|pc| pc.off + pc.len).max().unwrap();
             let mut buf = vec![0u8; (cend - clo) as usize];
+            let before = t_a;
             t_a = file.read_at(t_a, clo, &mut buf);
+            split.read[a] += (t_a - before).as_nanos();
             let piece_bytes: u64 = pieces.iter().map(|pc| pc.len).sum();
-            t_a += env.config.cpu.pack(piece_bytes as usize, 1.0);
+            let pack = env.config.cpu.pack(piece_bytes as usize, 1.0);
+            t_a += pack;
+            split.pack[a] += pack.as_nanos();
             for pc in pieces {
                 let lo = (pc.off - clo) as usize;
                 outs[pc.rank][pc.src_pos as usize..(pc.src_pos + pc.len) as usize]
@@ -425,10 +551,17 @@ pub fn read_all(
             t_agg[a] = t_a;
         }
     }
-    let t_end = t_agg.into_iter().fold(t0, Time::max);
+    let t_end = t_agg.iter().copied().fold(t0, Time::max);
+    split.attribute(&profile, env, t_end, &t_agg);
 
     // Ship the data back to the requesting ranks (local shares stay put).
-    let t_final = t_end + exchange_cost(env, reqs, &totals, &domains);
+    let ship = exchange_cost(env, reqs, &totals, &domains);
+    if profile.is_enabled() {
+        for &w in env.group.iter() {
+            profile.record_phase(w, Phase::DataExchange, ship.as_nanos());
+        }
+    }
+    let t_final = t_end + ship;
     env.set_all(t_final);
     (outs, t_final)
 }
@@ -442,14 +575,43 @@ mod tests {
         let runs: Vec<Run> = vec![(5, 10), (100, 3)];
         let data = vec![1u8; 13];
         let parcel = encode_write_req(&runs, &data);
-        let (r2, d2) = decode_req(&parcel);
+        let (r2, d2) = decode_req(&parcel).unwrap();
         assert_eq!(r2, runs);
         assert_eq!(d2, &data[..]);
 
         let parcel = encode_read_req(&runs);
-        let (r3, d3) = decode_req(&parcel);
+        let (r3, d3) = decode_req(&parcel).unwrap();
         assert_eq!(r3, runs);
         assert!(d3.is_empty());
+    }
+
+    #[test]
+    fn short_parcel_is_an_error_not_a_panic() {
+        assert!(decode_req(&[]).is_err());
+        assert!(decode_req(&[0u8; 7]).is_err());
+    }
+
+    #[test]
+    fn truncated_run_list_is_an_error() {
+        let parcel = encode_write_req(&[(5, 10), (100, 3)], &[1u8; 13]);
+        // Cut into the middle of the run table.
+        assert!(decode_req(&parcel[..20]).is_err());
+    }
+
+    #[test]
+    fn absurd_run_count_is_an_error() {
+        // Header claims u64::MAX runs: length math must not overflow.
+        let mut parcel = u64::MAX.to_ne_bytes().to_vec();
+        parcel.extend_from_slice(&[0u8; 64]);
+        assert!(decode_req(&parcel).is_err());
+    }
+
+    #[test]
+    fn zero_runs_with_trailing_data_decodes() {
+        let parcel = encode_write_req(&[], &[]);
+        let (runs, data) = decode_req(&parcel).unwrap();
+        assert!(runs.is_empty());
+        assert!(data.is_empty());
     }
 
     #[test]

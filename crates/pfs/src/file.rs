@@ -26,6 +26,12 @@ impl PfsFile {
         &self.name
     }
 
+    /// The profile shared by this file system instance (the one in the
+    /// `SimConfig` it was built from).
+    pub fn profile(&self) -> &hpc_sim::Profile {
+        &self.inner.cfg.profile
+    }
+
     /// Current size in bytes (highest byte ever written + 1).
     pub fn size(&self) -> u64 {
         self.inner
@@ -81,6 +87,8 @@ impl PfsFile {
             self.inner
                 .stats
                 .count_io(portion as usize, false, outcome.seeked);
+            cfg.profile
+                .record_io(*srv, portion, false, outcome.seeked, outcome.seek_distance);
             done = done.max(outcome.done);
         }
         self.grow_to(offset + data.len() as u64);
@@ -126,6 +134,8 @@ impl PfsFile {
             self.inner
                 .stats
                 .count_io(portion as usize, true, outcome.seeked);
+            cfg.profile
+                .record_io(*srv, portion, true, outcome.seeked, outcome.seek_distance);
             disks_done = disks_done.max(outcome.done);
         }
         // The client cannot have all the bytes before its NIC has carried

@@ -32,6 +32,10 @@ pub struct ServiceOutcome {
     pub done: Time,
     /// Whether the positioning cost was charged.
     pub seeked: bool,
+    /// Distance (bytes) between the previous request's end and this
+    /// request's start on the same file; 0 when sequential or when this is
+    /// the file's first request on this server.
+    pub seek_distance: u64,
 }
 
 impl Server {
@@ -89,7 +93,7 @@ impl Server {
             self.next_free += rmw;
             ServiceOutcome {
                 done: out.done + rmw,
-                seeked: out.seeked,
+                ..out
             }
         } else {
             out
@@ -131,11 +135,13 @@ impl Server {
             return ServiceOutcome {
                 done: arrival,
                 seeked: false,
+                seek_distance: 0,
             };
         }
         let first = chunks[0].file_offset;
         let last_end = chunks.last().map(|c| c.file_offset + c.len).unwrap();
-        let sequential = self.last_end.get(&file).copied() == Some(first);
+        let prev_end = self.last_end.get(&file).copied();
+        let sequential = prev_end == Some(first);
         self.last_end.insert(file, last_end);
 
         let start = self.next_free.max(arrival);
@@ -144,6 +150,7 @@ impl Server {
         ServiceOutcome {
             done,
             seeked: !sequential,
+            seek_distance: prev_end.map(|e| e.abs_diff(first)).unwrap_or(0),
         }
     }
 

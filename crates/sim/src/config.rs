@@ -16,6 +16,7 @@ use crate::cpu::CpuModel;
 use crate::disk::DiskModel;
 use crate::network::NetworkModel;
 use crate::time::Time;
+use pnetcdf_trace::Profile;
 
 /// Complete description of a simulated platform.
 #[derive(Clone, Debug)]
@@ -36,6 +37,11 @@ pub struct SimConfig {
     pub client_link_bw: f64,
     /// One-way latency between a client and an I/O server.
     pub client_link_latency: Time,
+    /// Shared profiling sink. Cloning a `SimConfig` clones the handle, not
+    /// the counters, so the MPI runtime, the MPI-IO layer and the file
+    /// system servers built from one config all record into the same
+    /// profile. Disabled (and essentially free) by default.
+    pub profile: Profile,
 }
 
 impl SimConfig {
@@ -63,6 +69,7 @@ impl SimConfig {
             stripe_size: 256 * 1024,
             client_link_bw: 110e6,
             client_link_latency: Time::from_micros(30),
+            profile: Profile::new(),
         }
     }
 
@@ -89,6 +96,7 @@ impl SimConfig {
             stripe_size: 256 * 1024,
             client_link_bw: 90e6,
             client_link_latency: Time::from_micros(35),
+            profile: Profile::new(),
         }
     }
 
@@ -113,6 +121,7 @@ impl SimConfig {
             stripe_size: 1024,
             client_link_bw: 400e6,
             client_link_latency: Time::from_micros(10),
+            profile: Profile::new(),
         }
     }
 

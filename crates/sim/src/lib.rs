@@ -37,3 +37,7 @@ pub use disk::DiskModel;
 pub use network::NetworkModel;
 pub use stats::SimStats;
 pub use time::Time;
+
+/// Re-export of the profiling layer every consumer of [`SimConfig`] sees.
+pub use pnetcdf_trace as trace;
+pub use pnetcdf_trace::{CollKind, Phase, PhaseScope, Profile, ProfileSnapshot};

@@ -1,0 +1,148 @@
+//! The phase and operation taxonomies time is attributed to.
+
+/// Where a slice of virtual time went.
+///
+/// Phases partition the virtual timeline of each rank: every clock advance
+/// in the stack is charged to exactly one phase, chosen either by the
+/// instrumented call site (collective closures account their own deltas) or
+/// by the innermost-ambient [`crate::PhaseScope`] for local work that flows
+/// through generic primitives (`Comm::advance`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Phase {
+    /// Header/metadata synchronization: metadata collectives (barrier,
+    /// bcast, allreduce, ...), namespace operations, and header I/O.
+    Metadata = 0,
+    /// Collective entry skew: time a rank spends waiting for the slowest
+    /// participant before a collective's own cost starts.
+    Wait = 1,
+    /// Two-phase request/offset-list exchange.
+    OffsetExchange = 2,
+    /// Two-phase data shipping between ranks and aggregators.
+    DataExchange = 3,
+    /// Aggregator collective-buffer assembly (memcpy in the window loop).
+    CollBufPack = 4,
+    /// Disk write time: aggregator window writes and independent writes
+    /// (including the write half of read-modify-write).
+    DiskWrite = 5,
+    /// Disk read time: sieve reads, read-modify-write reads, aggregator
+    /// window reads.
+    DiskRead = 6,
+    /// Client-side CPU work: packing, type conversion, staging memcpy.
+    Compute = 7,
+    /// Point-to-point messaging.
+    P2p = 8,
+}
+
+impl Phase {
+    /// Number of phases (array sizing).
+    pub const COUNT: usize = 9;
+
+    /// All phases, index order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Metadata,
+        Phase::Wait,
+        Phase::OffsetExchange,
+        Phase::DataExchange,
+        Phase::CollBufPack,
+        Phase::DiskWrite,
+        Phase::DiskRead,
+        Phase::Compute,
+        Phase::P2p,
+    ];
+
+    /// Stable snake_case name used as the JSON key.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Phase::Metadata => "metadata",
+            Phase::Wait => "wait",
+            Phase::OffsetExchange => "exchange_offsets",
+            Phase::DataExchange => "exchange_data",
+            Phase::CollBufPack => "collbuf_pack",
+            Phase::DiskWrite => "disk_write",
+            Phase::DiskRead => "disk_read",
+            Phase::Compute => "compute",
+            Phase::P2p => "p2p",
+        }
+    }
+
+    /// Array index of this phase.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Kind of a predefined MPI collective, for the per-op table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CollKind {
+    Barrier = 0,
+    Bcast = 1,
+    Allgather = 2,
+    Alltoallv = 3,
+    Allreduce = 4,
+    Reduce = 5,
+    Scatter = 6,
+    Gather = 7,
+}
+
+impl CollKind {
+    /// Number of collective kinds (array sizing).
+    pub const COUNT: usize = 8;
+
+    /// All kinds, index order.
+    pub const ALL: [CollKind; CollKind::COUNT] = [
+        CollKind::Barrier,
+        CollKind::Bcast,
+        CollKind::Allgather,
+        CollKind::Alltoallv,
+        CollKind::Allreduce,
+        CollKind::Reduce,
+        CollKind::Scatter,
+        CollKind::Gather,
+    ];
+
+    /// Stable name used as the JSON key.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CollKind::Barrier => "barrier",
+            CollKind::Bcast => "bcast",
+            CollKind::Allgather => "allgather",
+            CollKind::Alltoallv => "alltoallv",
+            CollKind::Allreduce => "allreduce",
+            CollKind::Reduce => "reduce",
+            CollKind::Scatter => "scatter",
+            CollKind::Gather => "gather",
+        }
+    }
+
+    /// Array index of this kind.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_indices_match_all_order() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        for (i, k) in CollKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Phase::COUNT);
+    }
+}

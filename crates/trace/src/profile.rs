@@ -1,0 +1,515 @@
+//! The shared profile: counters, phase timers, scopes, snapshots.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::phase::{CollKind, Phase};
+
+/// Number of power-of-two size-histogram buckets. Bucket `i` counts
+/// requests with `2^(i-1) < size <= 2^i` (bucket 0 counts size 0 and 1);
+/// the last bucket absorbs everything larger.
+pub const HIST_BUCKETS: usize = 32;
+
+thread_local! {
+    static SCOPE: std::cell::Cell<Option<Phase>> = const { std::cell::Cell::new(None) };
+}
+
+/// Ambient phase override for the current thread (= the current simulated
+/// rank, since the MPI runtime is ranks-as-threads).
+///
+/// The *outermost* scope wins: entering a scope while one is already active
+/// is a no-op, so a high layer (core charging header I/O to
+/// [`Phase::Metadata`]) keeps its attribution even when a lower layer
+/// (mpio defaulting file writes to [`Phase::DiskWrite`]) opens its own
+/// scope on the way down.
+pub struct PhaseScope {
+    installed: bool,
+}
+
+impl PhaseScope {
+    /// Enter `phase` as the ambient phase if no scope is active.
+    pub fn enter(phase: Phase) -> PhaseScope {
+        SCOPE.with(|s| {
+            if s.get().is_none() {
+                s.set(Some(phase));
+                PhaseScope { installed: true }
+            } else {
+                PhaseScope { installed: false }
+            }
+        })
+    }
+
+    /// The ambient phase, or `default` when no scope is active.
+    pub fn current(default: Phase) -> Phase {
+        SCOPE.with(|s| s.get()).unwrap_or(default)
+    }
+}
+
+impl Drop for PhaseScope {
+    fn drop(&mut self) {
+        if self.installed {
+            SCOPE.with(|s| s.set(None));
+        }
+    }
+}
+
+/// Wall-clock timer for a region: records elapsed real time against a
+/// phase when dropped. Used around the expensive engine loops so reports
+/// can contrast simulated cost with simulator cost.
+pub struct WallScope<'a> {
+    profile: &'a Profile,
+    phase: Phase,
+    start: Instant,
+}
+
+impl<'a> WallScope<'a> {
+    pub fn new(profile: &'a Profile, phase: Phase) -> WallScope<'a> {
+        WallScope {
+            profile,
+            phase,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for WallScope<'_> {
+    fn drop(&mut self) {
+        if self.profile.is_enabled() {
+            let nanos = self.start.elapsed().as_nanos() as u64;
+            self.profile.inner.wall_nanos[self.phase.index()].fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+}
+
+#[derive(Default)]
+struct OpCell {
+    count: AtomicU64,
+    bytes: AtomicU64,
+    nanos: AtomicU64,
+}
+
+/// Per-server PFS counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    pub requests: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub seeks: u64,
+    /// Sum of absolute distances (bytes) between the end of one request
+    /// and the start of the next on the same file.
+    pub seek_distance: u64,
+}
+
+/// Data-sieving amplification counters, one direction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SieveCounters {
+    /// Bytes moved to/from the file system (whole sieve windows).
+    pub transferred: u64,
+    /// Bytes the application actually asked for.
+    pub useful: u64,
+}
+
+/// Two-phase collective-I/O engine counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TwophaseCounters {
+    pub collective_writes: u64,
+    pub collective_reads: u64,
+    /// Non-empty file domains assigned to aggregators.
+    pub file_domains: u64,
+    /// Collective-buffer windows processed by aggregators.
+    pub windows: u64,
+    /// Windows with holes: the aggregator had to read-modify-write.
+    pub rmw_windows: u64,
+    /// Bytes of request metadata + data shipped in the exchange phases.
+    pub exchange_wire_bytes: u64,
+}
+
+struct Inner {
+    enabled: AtomicBool,
+    /// Per-rank, per-phase simulated nanoseconds. Grown on demand.
+    phase_nanos: Mutex<Vec<[u64; Phase::COUNT]>>,
+    /// Wall-clock nanoseconds per phase (whole world, not per rank).
+    wall_nanos: [AtomicU64; Phase::COUNT],
+    /// Count / bytes / simulated latency per collective kind.
+    collectives: [OpCell; CollKind::COUNT],
+    /// Power-of-two size histograms.
+    io_write_hist: [AtomicU64; HIST_BUCKETS],
+    io_read_hist: [AtomicU64; HIST_BUCKETS],
+    msg_hist: [AtomicU64; HIST_BUCKETS],
+    servers: Mutex<Vec<ServerCounters>>,
+    sieve_read: Mutex<SieveCounters>,
+    sieve_write: Mutex<SieveCounters>,
+    twophase: Mutex<TwophaseCounters>,
+    /// Named report fragments attached by higher layers (dataset roll-ups).
+    extras: Mutex<Vec<(String, Json)>>,
+}
+
+/// The shared profile. Cloning is cheap (one `Arc`); every layer of one
+/// simulation sees the same instance because it rides inside
+/// `hpc_sim::SimConfig`. Disabled by default: every recording method is a
+/// single relaxed atomic load followed by an early return.
+#[derive(Clone)]
+pub struct Profile {
+    inner: Arc<Inner>,
+}
+
+impl Default for Profile {
+    fn default() -> Profile {
+        Profile::new()
+    }
+}
+
+impl std::fmt::Debug for Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profile")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Profile {
+    /// New disabled profile.
+    pub fn new() -> Profile {
+        Profile {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(false),
+                phase_nanos: Mutex::new(Vec::new()),
+                wall_nanos: Default::default(),
+                collectives: Default::default(),
+                io_write_hist: [0u64; HIST_BUCKETS].map(AtomicU64::new),
+                io_read_hist: [0u64; HIST_BUCKETS].map(AtomicU64::new),
+                msg_hist: [0u64; HIST_BUCKETS].map(AtomicU64::new),
+                servers: Mutex::new(Vec::new()),
+                sieve_read: Mutex::new(SieveCounters::default()),
+                sieve_write: Mutex::new(SieveCounters::default()),
+                twophase: Mutex::new(TwophaseCounters::default()),
+                extras: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// New profile with recording on.
+    pub fn enabled() -> Profile {
+        let p = Profile::new();
+        p.set_enabled(true);
+        p
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on. This is the fast-path guard.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Whether two profiles share the same storage.
+    pub fn same_as(&self, other: &Profile) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Charge `nanos` of simulated time on `rank` to `phase`.
+    pub fn record_phase(&self, rank: usize, phase: Phase, nanos: u64) {
+        if !self.is_enabled() || nanos == 0 {
+            return;
+        }
+        let mut ranks = self.inner.phase_nanos.lock().unwrap();
+        if ranks.len() <= rank {
+            ranks.resize(rank + 1, [0; Phase::COUNT]);
+        }
+        ranks[rank][phase.index()] += nanos;
+    }
+
+    /// Charge `nanos` on `rank` to the ambient [`PhaseScope`], falling back
+    /// to `default` when no scope is active. This is what generic
+    /// primitives (`Comm::advance`) call so every local clock advance gets
+    /// attributed without editing each call site.
+    pub fn record_scoped(&self, rank: usize, default: Phase, nanos: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record_phase(rank, PhaseScope::current(default), nanos);
+    }
+
+    /// Record one predefined collective: participant count is irrelevant;
+    /// `bytes` is the total payload moved, `nanos` its simulated cost.
+    pub fn record_collective(&self, kind: CollKind, bytes: u64, nanos: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let cell = &self.inner.collectives[kind.index()];
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.bytes.fetch_add(bytes, Ordering::Relaxed);
+        cell.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record a point-to-point message size.
+    pub fn record_msg_size(&self, bytes: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.msg_hist[bucket(bytes)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request serviced by PFS server `server`.
+    pub fn record_io(&self, server: usize, bytes: u64, read: bool, seeked: bool, distance: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let hist = if read {
+            &self.inner.io_read_hist
+        } else {
+            &self.inner.io_write_hist
+        };
+        hist[bucket(bytes)].fetch_add(1, Ordering::Relaxed);
+        let mut servers = self.inner.servers.lock().unwrap();
+        if servers.len() <= server {
+            servers.resize(server + 1, ServerCounters::default());
+        }
+        let s = &mut servers[server];
+        s.requests += 1;
+        if read {
+            s.bytes_read += bytes;
+        } else {
+            s.bytes_written += bytes;
+        }
+        if seeked {
+            s.seeks += 1;
+            s.seek_distance += distance;
+        }
+    }
+
+    /// Record sieving amplification: one window moved `transferred` bytes
+    /// of which `useful` were requested by the application.
+    pub fn record_sieve(&self, read: bool, transferred: u64, useful: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let lock = if read {
+            &self.inner.sieve_read
+        } else {
+            &self.inner.sieve_write
+        };
+        let mut c = lock.lock().unwrap();
+        c.transferred += transferred;
+        c.useful += useful;
+    }
+
+    /// Update the two-phase engine counters.
+    pub fn record_twophase(&self, f: impl FnOnce(&mut TwophaseCounters)) {
+        if !self.is_enabled() {
+            return;
+        }
+        f(&mut self.inner.twophase.lock().unwrap());
+    }
+
+    /// Attach a named report fragment (e.g. a dataset roll-up at close).
+    /// Replaces an existing fragment with the same name.
+    pub fn attach_extra(&self, name: &str, value: Json) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut extras = self.inner.extras.lock().unwrap();
+        if let Some(e) = extras.iter_mut().find(|(n, _)| n == name) {
+            e.1 = value;
+        } else {
+            extras.push((name.to_string(), value));
+        }
+    }
+
+    /// Copy out all counters.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        ProfileSnapshot {
+            enabled: self.is_enabled(),
+            phase_nanos: self.inner.phase_nanos.lock().unwrap().clone(),
+            wall_nanos: std::array::from_fn(|i| self.inner.wall_nanos[i].load(Ordering::Relaxed)),
+            collectives: std::array::from_fn(|i| {
+                let c = &self.inner.collectives[i];
+                (
+                    c.count.load(Ordering::Relaxed),
+                    c.bytes.load(Ordering::Relaxed),
+                    c.nanos.load(Ordering::Relaxed),
+                )
+            }),
+            io_write_hist: std::array::from_fn(|i| {
+                self.inner.io_write_hist[i].load(Ordering::Relaxed)
+            }),
+            io_read_hist: std::array::from_fn(|i| {
+                self.inner.io_read_hist[i].load(Ordering::Relaxed)
+            }),
+            msg_hist: std::array::from_fn(|i| self.inner.msg_hist[i].load(Ordering::Relaxed)),
+            servers: self.inner.servers.lock().unwrap().clone(),
+            sieve_read: *self.inner.sieve_read.lock().unwrap(),
+            sieve_write: *self.inner.sieve_write.lock().unwrap(),
+            twophase: *self.inner.twophase.lock().unwrap(),
+            extras: self.inner.extras.lock().unwrap().clone(),
+        }
+    }
+
+    /// Zero every counter, keeping the enabled flag. Benchmarks call this
+    /// between configurations.
+    pub fn reset(&self) {
+        self.inner.phase_nanos.lock().unwrap().clear();
+        for w in &self.inner.wall_nanos {
+            w.store(0, Ordering::Relaxed);
+        }
+        for c in &self.inner.collectives {
+            c.count.store(0, Ordering::Relaxed);
+            c.bytes.store(0, Ordering::Relaxed);
+            c.nanos.store(0, Ordering::Relaxed);
+        }
+        for h in [
+            &self.inner.io_write_hist,
+            &self.inner.io_read_hist,
+            &self.inner.msg_hist,
+        ] {
+            for b in h.iter() {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+        self.inner.servers.lock().unwrap().clear();
+        *self.inner.sieve_read.lock().unwrap() = SieveCounters::default();
+        *self.inner.sieve_write.lock().unwrap() = SieveCounters::default();
+        *self.inner.twophase.lock().unwrap() = TwophaseCounters::default();
+        self.inner.extras.lock().unwrap().clear();
+    }
+}
+
+/// Histogram bucket for a request size: bucket `i` holds
+/// `2^(i-1) < size <= 2^i` (0 and 1 share bucket 0).
+pub fn bucket(size: u64) -> usize {
+    if size <= 1 {
+        0
+    } else {
+        let b = 64 - (size - 1).leading_zeros() as usize;
+        b.min(HIST_BUCKETS - 1)
+    }
+}
+
+/// A point-in-time copy of every counter in a [`Profile`].
+#[derive(Clone, Debug)]
+pub struct ProfileSnapshot {
+    pub enabled: bool,
+    /// `[rank][phase] -> simulated nanoseconds`.
+    pub phase_nanos: Vec<[u64; Phase::COUNT]>,
+    pub wall_nanos: [u64; Phase::COUNT],
+    /// `(count, bytes, nanos)` per [`CollKind`].
+    pub collectives: [(u64, u64, u64); CollKind::COUNT],
+    pub io_write_hist: [u64; HIST_BUCKETS],
+    pub io_read_hist: [u64; HIST_BUCKETS],
+    pub msg_hist: [u64; HIST_BUCKETS],
+    pub servers: Vec<ServerCounters>,
+    pub sieve_read: SieveCounters,
+    pub sieve_write: SieveCounters,
+    pub twophase: TwophaseCounters,
+    pub extras: Vec<(String, Json)>,
+}
+
+impl ProfileSnapshot {
+    /// Total simulated nanoseconds attributed on `rank`.
+    pub fn rank_total(&self, rank: usize) -> u64 {
+        self.phase_nanos
+            .get(rank)
+            .map(|p| p.iter().sum())
+            .unwrap_or(0)
+    }
+
+    /// The rank with the largest attributed time — the critical rank whose
+    /// phase breakdown explains the makespan.
+    pub fn critical_rank(&self) -> usize {
+        (0..self.phase_nanos.len())
+            .max_by_key(|&r| self.rank_total(r))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profile_records_nothing() {
+        let p = Profile::new();
+        p.record_phase(0, Phase::Compute, 100);
+        p.record_collective(CollKind::Barrier, 0, 10);
+        p.record_io(0, 64, false, true, 5);
+        let s = p.snapshot();
+        assert!(s.phase_nanos.is_empty());
+        assert_eq!(s.collectives[CollKind::Barrier.index()], (0, 0, 0));
+        assert!(s.servers.is_empty());
+    }
+
+    #[test]
+    fn phase_accounting_sums_per_rank() {
+        let p = Profile::enabled();
+        p.record_phase(1, Phase::DiskWrite, 30);
+        p.record_phase(1, Phase::Wait, 20);
+        p.record_phase(0, Phase::Compute, 5);
+        let s = p.snapshot();
+        assert_eq!(s.rank_total(1), 50);
+        assert_eq!(s.rank_total(0), 5);
+        assert_eq!(s.critical_rank(), 1);
+    }
+
+    #[test]
+    fn scopes_are_outermost_wins() {
+        let p = Profile::enabled();
+        {
+            let _outer = PhaseScope::enter(Phase::Metadata);
+            {
+                let _inner = PhaseScope::enter(Phase::DiskWrite);
+                p.record_scoped(0, Phase::Compute, 7);
+            }
+            p.record_scoped(0, Phase::Compute, 3);
+        }
+        p.record_scoped(0, Phase::Compute, 1);
+        let s = p.snapshot();
+        assert_eq!(s.phase_nanos[0][Phase::Metadata.index()], 10);
+        assert_eq!(s.phase_nanos[0][Phase::Compute.index()], 1);
+        assert_eq!(s.phase_nanos[0][Phase::DiskWrite.index()], 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 0);
+        assert_eq!(bucket(2), 1);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 2);
+        assert_eq!(bucket(1024), 10);
+        assert_eq!(bucket(1025), 11);
+        assert_eq!(bucket(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_enabled() {
+        let p = Profile::enabled();
+        p.record_phase(0, Phase::Compute, 9);
+        p.record_io(2, 128, true, false, 0);
+        p.reset();
+        let s = p.snapshot();
+        assert!(s.enabled);
+        assert!(s.phase_nanos.is_empty());
+        assert!(s.servers.is_empty());
+    }
+
+    #[test]
+    fn server_counters_accumulate() {
+        let p = Profile::enabled();
+        p.record_io(1, 100, false, true, 40);
+        p.record_io(1, 50, true, false, 0);
+        let s = p.snapshot();
+        assert_eq!(s.servers.len(), 2);
+        let c = s.servers[1];
+        assert_eq!(c.requests, 2);
+        assert_eq!(c.bytes_written, 100);
+        assert_eq!(c.bytes_read, 50);
+        assert_eq!(c.seeks, 1);
+        assert_eq!(c.seek_distance, 40);
+    }
+}

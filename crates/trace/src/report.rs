@@ -1,0 +1,189 @@
+//! Turning a [`ProfileSnapshot`] into the structured JSON report.
+
+use crate::json::Json;
+use crate::phase::{CollKind, Phase};
+use crate::profile::{ProfileSnapshot, HIST_BUCKETS};
+
+impl ProfileSnapshot {
+    /// Build the full report object.
+    ///
+    /// `sim_total_nanos` is the externally-measured makespan the breakdown
+    /// should explain; the report carries both it and the attributed sum of
+    /// the critical rank so consumers can check coverage.
+    pub fn to_json(&self, sim_total_nanos: u64) -> Json {
+        let critical = self.critical_rank();
+
+        let mut phases = Json::obj();
+        for p in Phase::ALL {
+            let agg = self
+                .phase_nanos
+                .get(critical)
+                .map(|r| r[p.index()])
+                .unwrap_or(0);
+            phases.set(
+                p.name(),
+                Json::obj()
+                    .with("sim_s", Json::from(nanos_to_s(agg)))
+                    .with("wall_s", Json::from(nanos_to_s(self.wall_nanos[p.index()]))),
+            );
+        }
+
+        let mut per_rank = Vec::new();
+        for (rank, counts) in self.phase_nanos.iter().enumerate() {
+            let mut row = Json::obj().with("rank", Json::from(rank));
+            for p in Phase::ALL {
+                row.set(p.name(), Json::from(nanos_to_s(counts[p.index()])));
+            }
+            row.set("total_s", Json::from(nanos_to_s(self.rank_total(rank))));
+            per_rank.push(row);
+        }
+
+        let mut collectives = Json::obj();
+        for k in CollKind::ALL {
+            let (count, bytes, nanos) = self.collectives[k.index()];
+            if count == 0 {
+                continue;
+            }
+            collectives.set(
+                k.name(),
+                Json::obj()
+                    .with("count", Json::from(count))
+                    .with("bytes", Json::from(bytes))
+                    .with("sim_s", Json::from(nanos_to_s(nanos))),
+            );
+        }
+
+        let mut servers = Vec::new();
+        for (id, s) in self.servers.iter().enumerate() {
+            servers.push(
+                Json::obj()
+                    .with("server", Json::from(id))
+                    .with("requests", Json::from(s.requests))
+                    .with("bytes_read", Json::from(s.bytes_read))
+                    .with("bytes_written", Json::from(s.bytes_written))
+                    .with("seeks", Json::from(s.seeks))
+                    .with("seek_distance", Json::from(s.seek_distance)),
+            );
+        }
+
+        let sieve = Json::obj()
+            .with(
+                "read",
+                sieve_json(self.sieve_read.transferred, self.sieve_read.useful),
+            )
+            .with(
+                "write",
+                sieve_json(self.sieve_write.transferred, self.sieve_write.useful),
+            );
+
+        let tp = &self.twophase;
+        let twophase = Json::obj()
+            .with("collective_writes", Json::from(tp.collective_writes))
+            .with("collective_reads", Json::from(tp.collective_reads))
+            .with("file_domains", Json::from(tp.file_domains))
+            .with("windows", Json::from(tp.windows))
+            .with("rmw_windows", Json::from(tp.rmw_windows))
+            .with("exchange_wire_bytes", Json::from(tp.exchange_wire_bytes));
+
+        let attributed = self.rank_total(critical);
+        let mut report = Json::obj()
+            .with("sim_total_s", Json::from(nanos_to_s(sim_total_nanos)))
+            .with("attributed_s", Json::from(nanos_to_s(attributed)))
+            .with(
+                "coverage",
+                Json::from(if sim_total_nanos > 0 {
+                    attributed as f64 / sim_total_nanos as f64
+                } else {
+                    1.0
+                }),
+            )
+            .with("critical_rank", Json::from(critical))
+            .with("nranks", Json::from(self.phase_nanos.len()))
+            .with("phases", phases)
+            .with("per_rank", Json::Arr(per_rank))
+            .with("collectives", collectives)
+            .with("request_sizes", self.histograms_json())
+            .with("servers", Json::Arr(servers))
+            .with("sieve", sieve)
+            .with("twophase", twophase);
+        for (name, value) in &self.extras {
+            report.set(name, value.clone());
+        }
+        report
+    }
+
+    fn histograms_json(&self) -> Json {
+        Json::obj()
+            .with("io_write", hist_json(&self.io_write_hist))
+            .with("io_read", hist_json(&self.io_read_hist))
+            .with("messages", hist_json(&self.msg_hist))
+    }
+}
+
+fn sieve_json(transferred: u64, useful: u64) -> Json {
+    Json::obj()
+        .with("transferred_bytes", Json::from(transferred))
+        .with("useful_bytes", Json::from(useful))
+        .with(
+            "amplification",
+            Json::from(if useful > 0 {
+                transferred as f64 / useful as f64
+            } else {
+                1.0
+            }),
+        )
+}
+
+/// Histogram as an object of `"<=2^i": count` entries, empty buckets
+/// omitted.
+fn hist_json(hist: &[u64; HIST_BUCKETS]) -> Json {
+    let mut obj = Json::obj();
+    for (i, &count) in hist.iter().enumerate() {
+        if count > 0 {
+            obj.set(&format!("<=2^{}", i), Json::from(count));
+        }
+    }
+    obj
+}
+
+fn nanos_to_s(n: u64) -> f64 {
+    n as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+
+    #[test]
+    fn report_has_all_phase_keys() {
+        let p = Profile::enabled();
+        p.record_phase(0, Phase::DiskWrite, 600);
+        p.record_phase(0, Phase::Metadata, 400);
+        p.record_collective(CollKind::Barrier, 0, 50);
+        let report = p.snapshot().to_json(1000);
+        let phases = report.get("phases").unwrap();
+        for ph in Phase::ALL {
+            assert!(phases.get(ph.name()).is_some(), "missing {}", ph.name());
+        }
+        assert_eq!(report.get("coverage").and_then(Json::as_f64), Some(1.0));
+        assert!(report
+            .get("collectives")
+            .and_then(|c| c.get("barrier"))
+            .is_some());
+    }
+
+    #[test]
+    fn extras_are_spliced_into_report() {
+        let p = Profile::enabled();
+        p.attach_extra("dataset", Json::obj().with("put_size", Json::from(42u64)));
+        let report = p.snapshot().to_json(0);
+        assert_eq!(
+            report
+                .get("dataset")
+                .and_then(|d| d.get("put_size"))
+                .and_then(Json::as_f64),
+            Some(42.0)
+        );
+    }
+}

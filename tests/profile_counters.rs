@@ -1,0 +1,159 @@
+//! Multi-rank assertions on the `pnetcdf-trace` observability layer: the
+//! two-phase engine counts exactly one collective write with the expected
+//! aggregator disk requests, both access modes report identical
+//! `put_size` for byte-identical output, and `close` rolls the per-rank
+//! dataset counters up into the shared trace profile.
+
+use hpc_sim::SimConfig;
+use pnetcdf::{Dataset, Info, NcType, Version};
+use pnetcdf_mpi::run_world;
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+const NPROCS: usize = 4;
+/// One stripe of `SimConfig::test_small` per rank, in f32 elements.
+const PER_RANK: u64 = 256;
+
+/// Align the data section to the stripe size so the collective write's
+/// file domains land exactly on stripe (= server) boundaries, making the
+/// expected request counts derivable by hand.
+fn aligned_info() -> Info {
+    Info::new().with("nc_header_align_size", "1024")
+}
+
+#[test]
+fn collective_write_counts_one_collective_and_expected_aggregator_io() {
+    let cfg = SimConfig::test_small();
+    cfg.profile.set_enabled(true);
+    let pfs = Pfs::new(cfg.clone(), StorageMode::CostOnly);
+    run_world(NPROCS, cfg.clone(), move |comm| {
+        let mut ds =
+            Dataset::create(comm, &pfs, "prof.nc", Version::Cdf1, &aligned_info()).unwrap();
+        let d = ds.def_dim("x", NPROCS as u64 * PER_RANK).unwrap();
+        let v = ds.def_var("v", NcType::Float, &[d]).unwrap();
+        ds.enddef().unwrap();
+        assert_eq!(
+            ds.layout().data_start % 1024,
+            0,
+            "test premise: data section starts on a stripe boundary"
+        );
+        // Drop the creation/enddef traffic so the counters below describe
+        // the one collective data write alone. The barriers put every rank
+        // at the same point; the reset happens before any rank can record
+        // post-barrier work because the second rendezvous waits for rank 0.
+        comm.barrier().unwrap();
+        if comm.rank() == 0 {
+            comm.config().profile.reset();
+        }
+        comm.barrier().unwrap();
+
+        let r = comm.rank() as u64;
+        let vals = vec![r as f32; PER_RANK as usize];
+        ds.put_vara_all(v, &[r * PER_RANK], &[PER_RANK], &vals)
+            .unwrap();
+        assert_eq!(ds.inq_put_size(), PER_RANK * 4);
+    });
+
+    let snap = cfg.profile.snapshot();
+    // Exactly one collective write round.
+    assert_eq!(snap.twophase.collective_writes, 1);
+    assert_eq!(snap.twophase.collective_reads, 0);
+    // The 4 KiB region splits into 4 stripe-aligned file domains (one per
+    // aggregator with test_small's 4 I/O servers), each fully covered —
+    // one buffered window each, no read-modify-write.
+    assert_eq!(snap.twophase.file_domains, 4);
+    assert_eq!(snap.twophase.windows, 4);
+    assert_eq!(snap.twophase.rmw_windows, 0);
+    // Each aggregator's 1 KiB domain is exactly one stripe, so each of the
+    // 4 servers services exactly one write request of one stripe.
+    assert_eq!(snap.servers.len(), 4);
+    for s in &snap.servers {
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.bytes_written, 1024);
+        assert_eq!(s.bytes_read, 0);
+    }
+}
+
+/// The same FLASH-style workload issued through blocking `put_vara_all`
+/// and through `iput_vara` + `wait_all` must produce the same file bytes
+/// AND report the same per-rank `put_size`.
+#[test]
+fn blocking_and_nonblocking_put_size_agree_on_identical_output() {
+    let mut images = Vec::new();
+    let mut put_sizes = Vec::new();
+    for nonblocking in [false, true] {
+        let cfg = SimConfig::test_small();
+        let pfs = Pfs::new(cfg.clone(), StorageMode::Full);
+        let pfs2 = pfs.clone();
+        let run = run_world(NPROCS, cfg, move |comm| {
+            let mut ds =
+                Dataset::create(comm, &pfs2, "id.nc", Version::Cdf1, &aligned_info()).unwrap();
+            let d = ds.def_dim("x", NPROCS as u64 * PER_RANK).unwrap();
+            let a = ds.def_var("a", NcType::Float, &[d]).unwrap();
+            let b = ds.def_var("b", NcType::Int, &[d]).unwrap();
+            ds.enddef().unwrap();
+            let r = comm.rank() as u64;
+            let start = [r * PER_RANK];
+            let count = [PER_RANK];
+            let fa = vec![r as f32 + 0.5; PER_RANK as usize];
+            let ib = vec![r as i32 - 7; PER_RANK as usize];
+            if nonblocking {
+                ds.iput_vara(a, &start, &count, &fa).unwrap();
+                ds.iput_vara(b, &start, &count, &ib).unwrap();
+                ds.wait_all().unwrap();
+            } else {
+                ds.put_vara_all(a, &start, &count, &fa).unwrap();
+                ds.put_vara_all(b, &start, &count, &ib).unwrap();
+            }
+            let put_size = ds.inq_put_size();
+            // Per-variable attribution: both variables carry 4-byte types.
+            assert_eq!(ds.profile().var(a).total().put_bytes, PER_RANK * 4);
+            assert_eq!(ds.profile().var(b).total().put_bytes, PER_RANK * 4);
+            ds.close().unwrap();
+            put_size
+        });
+        images.push(pfs.open("id.nc").unwrap().to_bytes());
+        put_sizes.push(run.results);
+    }
+    assert_eq!(
+        images[0], images[1],
+        "blocking and nonblocking paths must write identical bytes"
+    );
+    assert_eq!(
+        put_sizes[0], put_sizes[1],
+        "identical output must report identical put_size"
+    );
+    assert_eq!(put_sizes[0], vec![2 * PER_RANK * 4; NPROCS]);
+}
+
+/// `close` reduces the per-rank dataset counters across the communicator
+/// and rank 0 attaches the global roll-up to the shared trace profile.
+#[test]
+fn close_rolls_dataset_counters_into_trace() {
+    let cfg = SimConfig::test_small();
+    cfg.profile.set_enabled(true);
+    let pfs = Pfs::new(cfg.clone(), StorageMode::CostOnly);
+    run_world(NPROCS, cfg.clone(), move |comm| {
+        let mut ds =
+            Dataset::create(comm, &pfs, "roll.nc", Version::Cdf1, &aligned_info()).unwrap();
+        let d = ds.def_dim("x", NPROCS as u64 * PER_RANK).unwrap();
+        let v = ds.def_var("v", NcType::Float, &[d]).unwrap();
+        ds.enddef().unwrap();
+        let r = comm.rank() as u64;
+        let vals = vec![1.0f32; PER_RANK as usize];
+        ds.put_vara_all(v, &[r * PER_RANK], &[PER_RANK], &vals)
+            .unwrap();
+        let back: Vec<f32> = ds.get_vara_all(v, &[r * PER_RANK], &[PER_RANK]).unwrap();
+        assert_eq!(back.len(), PER_RANK as usize);
+        ds.close().unwrap();
+    });
+
+    let snap = cfg.profile.snapshot();
+    let (_, rollup) = snap
+        .extras
+        .iter()
+        .find(|(name, _)| name == "dataset:roll.nc")
+        .expect("close attaches the dataset roll-up");
+    let get = |key: &str| rollup.get(key).and_then(|j| j.as_f64()).map(|f| f as u64);
+    assert_eq!(get("put_bytes"), Some(NPROCS as u64 * PER_RANK * 4));
+    assert_eq!(get("get_bytes"), Some(NPROCS as u64 * PER_RANK * 4));
+}
