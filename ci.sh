@@ -28,4 +28,16 @@ done
 rm -rf "$report_dir"
 echo "    report OK: all phase keys present"
 
+echo "==> fault smoke: FLASH checkpoint under injected faults"
+report_dir=$(mktemp -d)
+PNETCDF_REPORT_DIR="$report_dir" ./target/release/fault_smoke
+report="$report_dir/fault_smoke.profile.json"
+[ -f "$report" ] || { echo "FAIL: $report was not written"; exit 1; }
+for key in faults faults_injected retries backoff_time short_completions \
+           agreed_errors byte_identical; do
+    grep -q "\"$key\"" "$report" || { echo "FAIL: report missing key \"$key\""; exit 1; }
+done
+rm -rf "$report_dir"
+echo "    fault report OK: injection and recovery counters present"
+
 echo "CI OK"

@@ -1,0 +1,159 @@
+//! Robustness smoke: the FLASH checkpoint under injected storage faults.
+//!
+//! Three runs of the Figure 7 checkpoint workload on the Frost-like
+//! platform, 64 processors:
+//!
+//! 1. **Baseline** — fault-free, file bytes exported.
+//! 2. **Recovered faults** — `transient=0.05,short=0.05` on every server
+//!    op. The retry/backoff layer must hide all of it: the produced file is
+//!    byte-identical to the baseline, `faults_injected` and `retries` are
+//!    nonzero, and the phase breakdown still explains the whole makespan
+//!    (backoff time is charged inside the disk phases).
+//! 3. **Permanent crash** — one server dies mid-write and never restarts.
+//!    Every rank must return the *same* error (collective error agreement)
+//!    in bounded virtual time — no hang, no divergent returns.
+//!
+//! Usage: `cargo run --release -p pnetcdf-bench --bin fault_smoke`
+
+use flash_io::{run_flash_io_on, writers, BlockMesh, FlashConfig, IoLibrary, OutputKind};
+use hpc_sim::trace::Json;
+use hpc_sim::{FaultPlan, SimConfig, Time};
+use pnetcdf_bench::report::{check_coverage, write_report};
+use pnetcdf_mpi::run_world;
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+const NPROCS: usize = 64;
+const NXB: u64 = 8;
+const BLOCKS_PER_PROC: u64 = 4;
+
+fn config() -> FlashConfig {
+    FlashConfig {
+        nxb: NXB,
+        nprocs: NPROCS,
+        kind: OutputKind::Checkpoint,
+        lib: IoLibrary::Pnetcdf,
+        blocks_per_proc: BLOCKS_PER_PROC,
+        attributes: false,
+    }
+}
+
+/// Run the checkpoint on a full-storage PFS and return (file bytes, result).
+fn checkpoint_bytes(sim: SimConfig) -> (Vec<u8>, flash_io::FlashResult) {
+    let pfs = Pfs::new(sim.clone(), StorageMode::Full);
+    let res = run_flash_io_on(config(), sim, &pfs);
+    let bytes = pfs
+        .open("flash_out")
+        .expect("checkpoint written")
+        .to_bytes();
+    (bytes, res)
+}
+
+fn main() {
+    println!("# Fault-injection smoke: FLASH checkpoint, {NPROCS} procs, Frost platform");
+
+    // 1. Fault-free baseline.
+    let base_sim = SimConfig::asci_frost();
+    base_sim.profile.set_enabled(true);
+    let (clean_bytes, clean) = checkpoint_bytes(base_sim.clone());
+    println!(
+        "  baseline:  {:.1} MB/s, {} file bytes",
+        clean.bandwidth_mb_s,
+        clean_bytes.len()
+    );
+
+    // 2. Transient + short faults; recovery must be byte-exact.
+    let plan = FaultPlan::from_spec("transient=0.05,short=0.05").expect("valid spec");
+    let faulty_sim = SimConfig::asci_frost().builder().faults(plan).build();
+    faulty_sim.profile.set_enabled(true);
+    let (faulty_bytes, faulty) = checkpoint_bytes(faulty_sim.clone());
+    assert_eq!(
+        clean_bytes, faulty_bytes,
+        "FAIL: recovered faults changed the file contents"
+    );
+    let fc = faulty_sim.profile.fault_counters();
+    assert!(fc.faults_injected > 0, "FAIL: no faults injected: {fc:?}");
+    assert!(fc.retries > 0, "FAIL: recovery never retried: {fc:?}");
+    assert_eq!(fc.exhausted, 0, "FAIL: a retry budget exhausted: {fc:?}");
+    let profile = faulty_sim
+        .profile
+        .snapshot()
+        .to_json(faulty.time.as_nanos());
+    check_coverage(&profile, 0.05);
+    println!(
+        "  faulty:    {:.1} MB/s, byte-identical; {} faults hidden by {} retries",
+        faulty.bandwidth_mb_s, fc.faults_injected, fc.retries
+    );
+
+    // 3. Permanent crash mid-write: identical error everywhere, bounded time.
+    let crash_at = Time::from_nanos(clean.time.as_nanos() / 2);
+    let plan = FaultPlan {
+        crash: Some(hpc_sim::CrashSpec {
+            server: 0,
+            at: crash_at,
+            restart: None,
+        }),
+        ..FaultPlan::default()
+    };
+    let crash_sim = SimConfig::asci_frost().builder().faults(plan).build();
+    crash_sim.profile.set_enabled(true);
+    let pfs = Pfs::new(crash_sim.clone(), StorageMode::Full);
+    let pfs2 = pfs.clone();
+    let mesh = BlockMesh {
+        nxb: NXB,
+        blocks_per_proc: BLOCKS_PER_PROC,
+        nprocs: NPROCS,
+    };
+    let run = run_world(
+        NPROCS,
+        crash_sim.clone(),
+        move |comm| match writers::pnetcdf::write_with(
+            comm,
+            &pfs2,
+            &mesh,
+            OutputKind::Checkpoint,
+            "flash_out",
+            false,
+        ) {
+            Ok(_) => panic!("FAIL: write succeeded with a permanently dead server"),
+            Err(e) => format!("{e:?}"),
+        },
+    );
+    for (rank, err) in run.results.iter().enumerate() {
+        assert_eq!(
+            err, &run.results[0],
+            "FAIL: rank {rank} returned a different error than rank 0"
+        );
+    }
+    assert!(
+        run.results[0].contains("Exhausted"),
+        "FAIL: expected retry exhaustion, got {}",
+        run.results[0]
+    );
+    let bound = crash_at + Time::from_secs_f64(60.0);
+    assert!(
+        run.makespan < bound,
+        "FAIL: ranks gave up only at {:?} (bound {:?})",
+        run.makespan,
+        bound
+    );
+    let cc = crash_sim.profile.fault_counters();
+    assert!(cc.exhausted > 0 && cc.agreed_errors > 0, "FAIL: {cc:?}");
+    println!(
+        "  crash:     identical error on all {NPROCS} ranks after {:?} virtual",
+        run.makespan
+    );
+
+    write_report(
+        "fault_smoke.profile.json",
+        &Json::obj()
+            .with("benchmark", "fault_smoke")
+            .with("nprocs", NPROCS as u64)
+            .with("blocks_per_proc", BLOCKS_PER_PROC)
+            .with("baseline_mb_s", clean.bandwidth_mb_s)
+            .with("faulty_mb_s", faulty.bandwidth_mb_s)
+            .with("byte_identical", true)
+            .with("crash_error", run.results[0].clone())
+            .with("profile", profile),
+    );
+    println!("fault smoke OK");
+}

@@ -29,17 +29,35 @@ impl Dataset {
         } else {
             self.require_independent()?;
         }
-        self.require_writable()?;
-        self.check_count(count, vals.len())?;
-        let nctype = self.var_nctype(varid)?;
-        let ext = to_external(vals, nctype)?;
-        // Native→external conversion is real CPU work.
-        self.comm
-            .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
-        // Lower into the unified request engine and execute immediately:
-        // a blocking call is a queue-depth-one flush.
-        let req = self.lower_put(varid, start, count, stride, ext)?;
-        self.execute_put_now(req, collective)
+        // Validate and lower locally, then (in collective mode) agree on the
+        // outcome *before* entering the collective execution: if any rank
+        // failed validation, every rank returns that same error and nobody
+        // enters the two-phase exchange alone.
+        let lowered = (|| {
+            self.require_writable()?;
+            self.check_count(count, vals.len())?;
+            let nctype = self.var_nctype(varid)?;
+            let ext = to_external(vals, nctype)?;
+            // Native→external conversion is real CPU work.
+            self.comm
+                .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
+            // Lower into the unified request engine and execute immediately:
+            // a blocking call is a queue-depth-one flush.
+            self.lower_put(varid, start, count, stride, ext)
+        })();
+        let req = if collective {
+            self.agree(lowered)?
+        } else {
+            lowered?
+        };
+        let done = self.execute_put_now(req, collective);
+        // Execution faults can be aggregator-local (a storage fault that
+        // exhausted one rank's retry budget), so agree on those too.
+        if collective {
+            self.agree(done)
+        } else {
+            done
+        }
     }
 
     fn get_region<T: NcValue>(
@@ -75,8 +93,16 @@ impl Dataset {
                 .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
             return Ok(from_external(&ext, nctype)?);
         }
-        let req = self.lower_get(varid, start, count, stride)?;
-        let ext = self.execute_get_now(&req, collective)?;
+        // Agree on the lowering before the collective execution, then on the
+        // execution outcome itself (see `put_region`).
+        let lowered = self.lower_get(varid, start, count, stride);
+        let req = if collective {
+            self.agree(lowered)?
+        } else {
+            lowered?
+        };
+        let got = self.execute_get_now(&req, collective);
+        let ext = if collective { self.agree(got)? } else { got? };
         self.comm
             .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
         Ok(from_external(&ext, nctype)?)

@@ -48,7 +48,7 @@ impl Dataset {
         // same requests and participate symmetrically.
         self.wait_all()?;
         for (varid, req) in queued {
-            if let Some((_, ext)) = self.results.remove(&req.id()) {
+            if let Some(Ok((_, ext))) = self.results.remove(&req.id()) {
                 self.prefetch.insert(varid, ext);
             }
         }

@@ -176,6 +176,35 @@ fn extract_runs(cov: &[Run], pos: &[u64], data: &[u8], runs: &[Run]) -> Vec<u8> 
 // ---- the engine ------------------------------------------------------------
 
 impl Dataset {
+    /// Collectively agree on the outcome of a local step (see
+    /// [`crate::agree`]): every rank contributes its local result, the
+    /// maximum-severity error wins (ties → lowest rank), and *all* ranks —
+    /// including those whose local step succeeded — return the same
+    /// reconstructed error. Called after local validation/lowering and
+    /// before the data collective, so a rank that failed validation never
+    /// leaves the others hanging in the collective.
+    pub(crate) fn agree<T>(&mut self, local: NcmpiResult<T>) -> NcmpiResult<T> {
+        let payload = match &local {
+            Ok(_) => Vec::new(),
+            Err(e) => crate::agree::encode(e),
+        };
+        let all = self.comm.allgather_bytes(payload)?;
+        match crate::agree::pick(&all) {
+            None => local,
+            Some(err) => {
+                // One agreement event per world, not per rank: the profile
+                // is shared by every rank thread.
+                if self.comm.rank() == 0 {
+                    self.comm
+                        .config()
+                        .profile
+                        .record_fault(|f| f.agreed_errors += 1);
+                }
+                Err(err)
+            }
+        }
+    }
+
     /// The variable's external type, or `NotFound`.
     pub(crate) fn var_nctype(&self, varid: usize) -> NcmpiResult<NcType> {
         self.header
@@ -443,12 +472,13 @@ impl Dataset {
         self.pending.len()
     }
 
-    /// Retrieve (and consume) a completed get's values.
+    /// Retrieve (and consume) a completed get's values. A get whose flush
+    /// failed yields the per-request error recorded at flush time.
     pub fn take_result<T: NcValue>(&mut self, req: Request) -> NcmpiResult<Vec<T>> {
         let (nctype, ext) = self
             .results
             .remove(&req.id())
-            .ok_or_else(|| NcmpiError::NotFound(format!("completed request {req:?}")))?;
+            .ok_or_else(|| NcmpiError::NotFound(format!("completed request {req:?}")))??;
         self.comm
             .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
         Ok(from_external(&ext, nctype)?)
@@ -466,7 +496,7 @@ impl Dataset {
         let (nctype, ext) = self
             .results
             .remove(&req.id())
-            .ok_or_else(|| NcmpiError::NotFound(format!("completed request {req:?}")))?;
+            .ok_or_else(|| NcmpiError::NotFound(format!("completed request {req:?}")))??;
         let native = convert::external_to_native(&ext, nctype);
         self.comm
             .advance(self.comm.config().cpu.pack(native.len(), 1.0));
@@ -492,11 +522,15 @@ impl Dataset {
             reqs.iter().any(|r| r.kind == AccessKind::Put && r.record) as u64,
         ];
         let global = self.comm.allreduce(ReduceOp::Max, &local)?;
-        self.flush_merged(reqs, global[0] != 0, global[1] != 0, true)?;
-        if global[2] != 0 {
+        // The queue is already drained (`mem::take`) and `flush_merged`
+        // records a per-request error result for every get it could not
+        // serve, so even a failed flush leaves no stale requests behind.
+        let flushed = self.flush_merged(reqs, global[0] != 0, global[1] != 0, true);
+        let flushed = self.agree(flushed);
+        if flushed.is_ok() && global[2] != 0 {
             self.reconcile_numrecs()?;
         }
-        Ok(())
+        flushed
     }
 
     /// Independently complete every pending request (`ncmpi_wait`).
@@ -518,39 +552,69 @@ impl Dataset {
         do_gets: bool,
         collective: bool,
     ) -> NcmpiResult<()> {
+        let mut failure: Option<NcmpiError> = None;
         if do_puts {
             let (runs, staging) = merge_puts(&reqs);
             // Merging N staged buffers into one is memcpy work.
             self.comm
                 .advance(self.comm.config().cpu.pack(staging.len(), 1.0));
-            if collective {
-                self.file.write_runs_at_all(&runs, &staging)?;
+            let wrote = if collective {
+                self.file.write_runs_at_all(&runs, &staging).map(|_| ())
             } else {
-                self.file.write_runs_at(&runs, &staging)?;
-            }
-            // Attribute per queued request (pre-merge sizes), so the same
-            // workload reports the same put_size via either access mode.
-            for req in reqs.iter().filter(|r| r.kind == AccessKind::Put) {
-                self.profile
-                    .record(req.varid, true, true, req.buffer.len() as u64);
+                self.file.write_runs_at(&runs, &staging).map(|_| ())
+            };
+            match wrote {
+                Ok(()) => {
+                    // Attribute per queued request (pre-merge sizes), so the
+                    // same workload reports the same put_size via either
+                    // access mode.
+                    for req in reqs.iter().filter(|r| r.kind == AccessKind::Put) {
+                        self.profile
+                            .record(req.varid, true, true, req.buffer.len() as u64);
+                    }
+                }
+                Err(e) => failure = Some(e.into()),
             }
         }
         if do_gets {
-            let cov = merge_gets(&reqs);
-            let data = if collective {
-                self.file.read_runs_at_all(&cov)?
+            if let Some(e) = failure.clone() {
+                // The write flush already failed: complete every queued get
+                // with that error rather than attempting the read, so the
+                // drained queue reports per-request outcomes.
+                for req in reqs.iter().filter(|r| r.kind == AccessKind::Get) {
+                    self.results.insert(req.id.id(), Err(e.clone()));
+                }
             } else {
-                self.file.read_runs_at(&cov)?
-            };
-            let pos = coverage_positions(&cov);
-            for req in reqs.iter().filter(|r| r.kind == AccessKind::Get) {
-                let bytes = extract_runs(&cov, &pos, &data, &req.runs);
-                self.profile
-                    .record(req.varid, false, true, bytes.len() as u64);
-                self.results.insert(req.id.id(), (req.nctype, bytes));
+                let cov = merge_gets(&reqs);
+                let read = if collective {
+                    self.file.read_runs_at_all(&cov)
+                } else {
+                    self.file.read_runs_at(&cov)
+                };
+                match read {
+                    Ok(data) => {
+                        let pos = coverage_positions(&cov);
+                        for req in reqs.iter().filter(|r| r.kind == AccessKind::Get) {
+                            let bytes = extract_runs(&cov, &pos, &data, &req.runs);
+                            self.profile
+                                .record(req.varid, false, true, bytes.len() as u64);
+                            self.results.insert(req.id.id(), Ok((req.nctype, bytes)));
+                        }
+                    }
+                    Err(e) => {
+                        let e: NcmpiError = e.into();
+                        for req in reqs.iter().filter(|r| r.kind == AccessKind::Get) {
+                            self.results.insert(req.id.id(), Err(e.clone()));
+                        }
+                        failure = Some(e);
+                    }
+                }
             }
         }
-        Ok(())
+        match failure {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 }
 

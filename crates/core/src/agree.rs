@@ -1,0 +1,203 @@
+//! Collective error agreement.
+//!
+//! A collective data access can fail for reasons only one rank can see —
+//! an out-of-bounds region on that rank, a validation failure, a storage
+//! fault that exhausted its retry budget. If the failing rank simply
+//! returned early, the surviving ranks would enter the collective alone
+//! and hang. Instead, every collective read/write agrees on one outcome:
+//! each rank contributes its local result (encoded), the ranks pick the
+//! **maximum-severity** error (ties broken by lowest rank), and every rank
+//! — including the one whose local call succeeded — returns the *same*
+//! reconstructed [`NcmpiError`]. No hangs, no divergent returns.
+//!
+//! The winner is reconstructed *from the encoding on every rank*, the
+//! originator included, so lossy encodings still yield bit-identical
+//! errors everywhere.
+
+use pnetcdf_format::FormatError;
+use pnetcdf_mpi::MpiError;
+use pnetcdf_mpio::MpioError;
+
+use crate::error::NcmpiError;
+
+/// Severity ranking used by the max-reduction: higher loses less
+/// information when it wins. Infrastructure failures outrank storage
+/// exhaustion, which outranks format/argument trouble, which outranks
+/// mode bookkeeping.
+pub(crate) fn severity(e: &NcmpiError) -> u8 {
+    match e {
+        NcmpiError::NotInDefineMode
+        | NcmpiError::InDefineMode
+        | NcmpiError::WrongDataMode(_)
+        | NcmpiError::ReadOnly => 1,
+        NcmpiError::NotFound(_) => 2,
+        NcmpiError::InvalidArgument(_) => 3,
+        NcmpiError::InconsistentDefinitions => 4,
+        NcmpiError::Format(_) => 5,
+        NcmpiError::Mpio(MpioError::Access(_))
+        | NcmpiError::Mpio(MpioError::InvalidArgument(_)) => 6,
+        NcmpiError::Mpio(MpioError::Exhausted { .. }) => 7,
+        NcmpiError::Mpio(MpioError::Mpi(_)) | NcmpiError::Mpi(_) => 8,
+    }
+}
+
+// Wire tags. The payload layout is:
+//   [severity u8][tag u8][extra u32 BE][message utf8...]
+// An `Ok` outcome is the empty payload.
+const T_NOT_IN_DEFINE: u8 = 0;
+const T_IN_DEFINE: u8 = 1;
+const T_WRONG_MODE_COLL: u8 = 2;
+const T_WRONG_MODE_INDEP: u8 = 3;
+const T_READ_ONLY: u8 = 4;
+const T_NOT_FOUND: u8 = 5;
+const T_INVALID_ARG: u8 = 6;
+const T_INCONSISTENT: u8 = 7;
+const T_FORMAT: u8 = 8;
+const T_MPIO_ACCESS: u8 = 9;
+const T_MPIO_INVALID: u8 = 10;
+const T_MPIO_EXHAUSTED: u8 = 11;
+const T_MPI_POISONED: u8 = 12;
+const T_MPI_OTHER: u8 = 13;
+
+/// Encode a local error for the agreement exchange.
+pub(crate) fn encode(e: &NcmpiError) -> Vec<u8> {
+    let (tag, extra, msg): (u8, u32, String) = match e {
+        NcmpiError::NotInDefineMode => (T_NOT_IN_DEFINE, 0, String::new()),
+        NcmpiError::InDefineMode => (T_IN_DEFINE, 0, String::new()),
+        NcmpiError::WrongDataMode("independent") => (T_WRONG_MODE_INDEP, 0, String::new()),
+        NcmpiError::WrongDataMode(_) => (T_WRONG_MODE_COLL, 0, String::new()),
+        NcmpiError::ReadOnly => (T_READ_ONLY, 0, String::new()),
+        NcmpiError::NotFound(m) => (T_NOT_FOUND, 0, m.clone()),
+        NcmpiError::InvalidArgument(m) => (T_INVALID_ARG, 0, m.clone()),
+        NcmpiError::InconsistentDefinitions => (T_INCONSISTENT, 0, String::new()),
+        NcmpiError::Format(fe) => (T_FORMAT, 0, fe.to_string()),
+        NcmpiError::Mpio(MpioError::Access(m)) => (T_MPIO_ACCESS, 0, m.clone()),
+        NcmpiError::Mpio(MpioError::InvalidArgument(m)) => (T_MPIO_INVALID, 0, m.clone()),
+        NcmpiError::Mpio(MpioError::Exhausted { attempts, message }) => {
+            (T_MPIO_EXHAUSTED, *attempts, message.clone())
+        }
+        NcmpiError::Mpi(MpiError::Poisoned)
+        | NcmpiError::Mpio(MpioError::Mpi(MpiError::Poisoned)) => {
+            (T_MPI_POISONED, 0, String::new())
+        }
+        NcmpiError::Mpi(me) => (T_MPI_OTHER, 0, me.to_string()),
+        NcmpiError::Mpio(MpioError::Mpi(me)) => (T_MPI_OTHER, 0, me.to_string()),
+    };
+    let mut out = Vec::with_capacity(6 + msg.len());
+    out.push(severity(e));
+    out.push(tag);
+    out.extend_from_slice(&extra.to_be_bytes());
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+/// Decode an agreement payload back into an error. Total: a malformed
+/// payload (which would indicate a bug, not data corruption) decodes to an
+/// `InvalidArgument` rather than panicking.
+pub(crate) fn decode(bytes: &[u8]) -> NcmpiError {
+    if bytes.len() < 6 {
+        return NcmpiError::InvalidArgument("corrupt error-agreement payload".into());
+    }
+    let tag = bytes[1];
+    let extra = u32::from_be_bytes(bytes[2..6].try_into().unwrap());
+    let msg = String::from_utf8_lossy(&bytes[6..]).into_owned();
+    match tag {
+        T_NOT_IN_DEFINE => NcmpiError::NotInDefineMode,
+        T_IN_DEFINE => NcmpiError::InDefineMode,
+        T_WRONG_MODE_COLL => NcmpiError::WrongDataMode("collective"),
+        T_WRONG_MODE_INDEP => NcmpiError::WrongDataMode("independent"),
+        T_READ_ONLY => NcmpiError::ReadOnly,
+        T_NOT_FOUND => NcmpiError::NotFound(msg),
+        T_INVALID_ARG => NcmpiError::InvalidArgument(msg),
+        T_INCONSISTENT => NcmpiError::InconsistentDefinitions,
+        T_FORMAT => NcmpiError::Format(FormatError::Corrupt(msg)),
+        T_MPIO_ACCESS => NcmpiError::Mpio(MpioError::Access(msg)),
+        T_MPIO_INVALID => NcmpiError::Mpio(MpioError::InvalidArgument(msg)),
+        T_MPIO_EXHAUSTED => NcmpiError::Mpio(MpioError::Exhausted {
+            attempts: extra,
+            message: msg,
+        }),
+        T_MPI_POISONED => NcmpiError::Mpi(MpiError::Poisoned),
+        _ => NcmpiError::Mpi(MpiError::CollectiveMismatch(msg)),
+    }
+}
+
+/// Pick the agreed error from the gathered payloads: the maximum severity,
+/// ties broken by the lowest rank. `None` when every rank reported success.
+pub(crate) fn pick(all: &[Vec<u8>]) -> Option<NcmpiError> {
+    let mut best: Option<(u8, &Vec<u8>)> = None;
+    for payload in all {
+        if payload.is_empty() {
+            continue;
+        }
+        let sev = payload[0];
+        if best.map(|(s, _)| sev > s).unwrap_or(true) {
+            best = Some((sev, payload));
+        }
+    }
+    best.map(|(_, payload)| decode(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(e: NcmpiError) {
+        let back = decode(&encode(&e));
+        assert_eq!(back, e, "agreement encoding must round-trip {e:?}");
+    }
+
+    #[test]
+    fn exact_roundtrips() {
+        roundtrip(NcmpiError::NotInDefineMode);
+        roundtrip(NcmpiError::InDefineMode);
+        roundtrip(NcmpiError::WrongDataMode("collective"));
+        roundtrip(NcmpiError::WrongDataMode("independent"));
+        roundtrip(NcmpiError::ReadOnly);
+        roundtrip(NcmpiError::NotFound("variable id 7".into()));
+        roundtrip(NcmpiError::InvalidArgument("start beyond shape".into()));
+        roundtrip(NcmpiError::InconsistentDefinitions);
+        roundtrip(NcmpiError::Mpio(MpioError::Access("no such file".into())));
+        roundtrip(NcmpiError::Mpio(MpioError::Exhausted {
+            attempts: 12,
+            message: "write of 42 bytes".into(),
+        }));
+        roundtrip(NcmpiError::Mpi(MpiError::Poisoned));
+    }
+
+    #[test]
+    fn decode_is_deterministic_for_lossy_variants() {
+        // Format errors reconstruct as Corrupt with the display text: every
+        // rank decodes the same bytes, so the agreed value is identical
+        // everywhere even though the variant collapsed.
+        let e = NcmpiError::Format(FormatError::BadMagic);
+        let d1 = decode(&encode(&e));
+        let d2 = decode(&encode(&e));
+        assert_eq!(d1, d2);
+        assert!(matches!(d1, NcmpiError::Format(FormatError::Corrupt(_))));
+    }
+
+    #[test]
+    fn pick_prefers_severity_then_lowest_rank() {
+        let ok = Vec::new();
+        let arg = encode(&NcmpiError::InvalidArgument("rank 1 bad".into()));
+        let arg2 = encode(&NcmpiError::InvalidArgument("rank 2 bad".into()));
+        let exhausted = encode(&NcmpiError::Mpio(MpioError::Exhausted {
+            attempts: 3,
+            message: "dead server".into(),
+        }));
+        // All success → no agreed error.
+        assert!(pick(&[ok.clone(), ok.clone()]).is_none());
+        // Highest severity wins regardless of rank position.
+        let got = pick(&[ok.clone(), arg.clone(), exhausted.clone()]).unwrap();
+        assert!(matches!(got, NcmpiError::Mpio(MpioError::Exhausted { .. })));
+        // Equal severity: lowest rank wins.
+        let got = pick(&[ok, arg, arg2]).unwrap();
+        assert_eq!(got, NcmpiError::InvalidArgument("rank 1 bad".into()));
+    }
+
+    #[test]
+    fn malformed_payload_decodes_cleanly() {
+        assert!(matches!(decode(&[1, 2]), NcmpiError::InvalidArgument(_)));
+    }
+}

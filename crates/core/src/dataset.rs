@@ -52,7 +52,10 @@ pub struct Dataset {
     /// Ticket issuer for nonblocking requests.
     pub(crate) req_table: RequestTable,
     /// Completed get results awaiting `take_result`, keyed by ticket id.
-    pub(crate) results: HashMap<u64, (NcType, Vec<u8>)>,
+    /// A flush failure completes its gets with the (agreed) error, so the
+    /// queue is always fully drained — a later `wait_all` never sees stale
+    /// requests.
+    pub(crate) results: HashMap<u64, NcmpiResult<(NcType, Vec<u8>)>>,
     /// Per-variable access counters for this rank (`ncmpi_inq_put_size`
     /// and friends); rolled up across ranks at `close`.
     pub(crate) profile: DatasetProfile,

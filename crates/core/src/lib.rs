@@ -44,6 +44,7 @@
 //! ```
 
 pub mod access;
+pub(crate) mod agree;
 pub mod consistency;
 pub mod convert;
 pub mod dataset;

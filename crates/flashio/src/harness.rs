@@ -93,6 +93,14 @@ pub struct FlashResult {
 /// aggregate-bandwidth result.
 pub fn run_flash_io(config: FlashConfig, sim: SimConfig, storage: StorageMode) -> FlashResult {
     let pfs = Pfs::new(sim.clone(), storage);
+    run_flash_io_on(config, sim, &pfs)
+}
+
+/// Run one configuration against a caller-supplied PFS. The caller keeps a
+/// handle on the file system, so it can inspect the produced file bytes
+/// afterwards (e.g. to compare a faulty run against a fault-free one).
+pub fn run_flash_io_on(config: FlashConfig, sim: SimConfig, pfs: &Pfs) -> FlashResult {
+    let pfs = pfs.clone();
     let mesh = BlockMesh {
         nxb: config.nxb,
         blocks_per_proc: config.blocks_per_proc,

@@ -23,5 +23,5 @@ pub mod mesh;
 pub mod readers;
 pub mod writers;
 
-pub use harness::{run_flash_io, FlashConfig, FlashResult, IoLibrary, OutputKind};
+pub use harness::{run_flash_io, run_flash_io_on, FlashConfig, FlashResult, IoLibrary, OutputKind};
 pub use mesh::BlockMesh;

@@ -111,6 +111,7 @@ impl Attr {
         let name = r.get_name()?;
         let t = NcType::from_code(r.get_u32()?)?;
         let n = r.get_u32()? as usize;
+        r.check_count(n, t.size() as usize)?;
         let value = match t {
             NcType::Byte => {
                 let mut v = Vec::with_capacity(n);
@@ -179,7 +180,11 @@ pub(crate) fn decode_list(r: &mut Reader<'_>) -> FormatResult<Vec<Attr>> {
     let n = r.get_u32()? as usize;
     match (tag, n) {
         (0, 0) => Ok(Vec::new()),
-        (0x0C, _) => (0..n).map(|_| Attr::decode(r)).collect(),
+        (0x0C, _) => {
+            // Smallest attribute: name (4) + type (4) + count (4).
+            r.check_count(n, 12)?;
+            (0..n).map(|_| Attr::decode(r)).collect()
+        }
         _ => Err(FormatError::Corrupt(format!(
             "bad attribute list tag {tag:#x} with count {n}"
         ))),

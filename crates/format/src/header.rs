@@ -218,9 +218,13 @@ impl Header {
         let n = r.get_u32()? as usize;
         let dims = match (tag, n) {
             (0, 0) => Vec::new(),
-            (0x0A, _) => (0..n)
-                .map(|_| Dim::decode(&mut r))
-                .collect::<FormatResult<Vec<_>>>()?,
+            (0x0A, _) => {
+                // Smallest dimension: name (4) + length (4).
+                r.check_count(n, 8)?;
+                (0..n)
+                    .map(|_| Dim::decode(&mut r))
+                    .collect::<FormatResult<Vec<_>>>()?
+            }
             _ => {
                 return Err(FormatError::Corrupt(format!(
                     "bad dimension list tag {tag:#x} with count {n}"
@@ -229,6 +233,28 @@ impl Header {
         };
         let gatts = attr::decode_list(&mut r)?;
         let vars = var::decode_list(&mut r, version)?;
+        // Every dimension id must resolve: the accessors index `dims`
+        // directly, so a dangling id from a corrupt file must be caught
+        // here. The unlimited dimension may only lead a shape (the classic
+        // format stores record slabs along the *first* dimension).
+        for v in &vars {
+            for (i, &d) in v.dimids.iter().enumerate() {
+                let dim = dims.get(d).ok_or_else(|| {
+                    FormatError::Corrupt(format!(
+                        "variable '{}' references dimension id {d} but only {} dimensions exist",
+                        v.name,
+                        dims.len()
+                    ))
+                })?;
+                if i > 0 && dim.is_unlimited() {
+                    return Err(FormatError::Corrupt(format!(
+                        "variable '{}' uses the unlimited dimension at position {i}; \
+                         it may only be the first dimension",
+                        v.name
+                    )));
+                }
+            }
+        }
         Ok((
             Header {
                 version,

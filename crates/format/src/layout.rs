@@ -9,7 +9,6 @@
 
 use crate::error::{FormatError, FormatResult};
 use crate::header::Header;
-use crate::xdr::pad4;
 use crate::Version;
 
 /// Computed file layout.
@@ -28,14 +27,31 @@ pub struct Layout {
 /// padding is skipped when the file has exactly one record variable (the
 /// spec's special case, which lets a lone byte/short record variable pack
 /// tightly).
-fn vsize_of(h: &Header, varid: usize, skip_padding: bool) -> u64 {
-    let elems = h.record_elems(varid);
-    let raw = elems * h.vars[varid].nctype.size();
-    if skip_padding {
-        raw
-    } else {
-        pad4(raw)
+fn vsize_of(h: &Header, varid: usize, skip_padding: bool) -> FormatResult<u64> {
+    // Checked arithmetic throughout: a corrupt header can carry dimension
+    // lengths whose product overflows u64, and that must surface as an
+    // error, not wraparound (or a debug-build panic).
+    let mut elems: u64 = 1;
+    for len in h.record_shape(varid) {
+        elems = elems.checked_mul(len).ok_or_else(|| too_large(h, varid))?;
     }
+    let raw = elems
+        .checked_mul(h.vars[varid].nctype.size())
+        .ok_or_else(|| too_large(h, varid))?;
+    if skip_padding {
+        Ok(raw)
+    } else {
+        raw.checked_add(3)
+            .map(|r| r & !3)
+            .ok_or_else(|| too_large(h, varid))
+    }
+}
+
+fn too_large(h: &Header, varid: usize) -> FormatError {
+    FormatError::TooLarge(format!(
+        "variable '{}' is larger than the file format can address",
+        h.vars[varid].name
+    ))
 }
 
 /// Assign `vsize` and `begin` to every variable and return the [`Layout`].
@@ -50,7 +66,7 @@ pub fn compute(h: &mut Header, align: u64) -> FormatResult<Layout> {
     // vsize for every variable.
     for v in 0..h.vars.len() {
         let skip_pad = single_record_var && h.is_record_var(v);
-        h.vars[v].vsize = vsize_of(h, v, skip_pad);
+        h.vars[v].vsize = vsize_of(h, v, skip_pad)?;
     }
 
     // The header length is independent of the begin values (fixed-width
@@ -63,7 +79,9 @@ pub fn compute(h: &mut Header, align: u64) -> FormatResult<Layout> {
     for v in 0..h.vars.len() {
         if !h.is_record_var(v) {
             h.vars[v].begin = cur;
-            cur += h.vars[v].vsize;
+            cur = cur
+                .checked_add(h.vars[v].vsize)
+                .ok_or_else(|| too_large(h, v))?;
         }
     }
     // Then the record section.
@@ -71,8 +89,12 @@ pub fn compute(h: &mut Header, align: u64) -> FormatResult<Layout> {
     let mut recsize = 0u64;
     for &v in &record_vars {
         h.vars[v].begin = cur;
-        cur += h.vars[v].vsize;
-        recsize += h.vars[v].vsize;
+        cur = cur
+            .checked_add(h.vars[v].vsize)
+            .ok_or_else(|| too_large(h, v))?;
+        recsize = recsize
+            .checked_add(h.vars[v].vsize)
+            .ok_or_else(|| too_large(h, v))?;
     }
 
     if h.version == Version::Cdf1 {
@@ -140,7 +162,15 @@ pub fn check_access(
             continue;
         }
         let step = stride.map_or(1, |s| s[d]);
-        let last = start[d] + (count[d] - 1) * step;
+        let last = (count[d] - 1)
+            .checked_mul(step)
+            .and_then(|span| start[d].checked_add(span))
+            .ok_or_else(|| {
+                FormatError::InvalidDefinition(format!(
+                    "access to variable '{}' dim {d}: index arithmetic overflows",
+                    v.name
+                ))
+            })?;
         if last >= limit && limit != u64::MAX {
             return Err(FormatError::InvalidDefinition(format!(
                 "access to variable '{}' dim {d}: last index {last} >= limit {limit}",

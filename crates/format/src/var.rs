@@ -67,6 +67,7 @@ impl Var {
     pub(crate) fn decode(r: &mut Reader<'_>, version: Version) -> FormatResult<Var> {
         let name = r.get_name()?;
         let ndims = r.get_u32()? as usize;
+        r.check_count(ndims, 4)?;
         let mut dimids = Vec::with_capacity(ndims);
         for _ in 0..ndims {
             dimids.push(r.get_u32()? as usize);
@@ -109,7 +110,12 @@ pub(crate) fn decode_list(r: &mut Reader<'_>, version: Version) -> FormatResult<
     let n = r.get_u32()? as usize;
     match (tag, n) {
         (0, 0) => Ok(Vec::new()),
-        (0x0B, _) => (0..n).map(|_| Var::decode(r, version)).collect(),
+        (0x0B, _) => {
+            // Smallest variable: name (4) + ndims (4) + attr tag/count (8)
+            // + type (4) + vsize (4) + begin (4).
+            r.check_count(n, 28)?;
+            (0..n).map(|_| Var::decode(r, version)).collect()
+        }
         _ => Err(FormatError::Corrupt(format!(
             "bad variable list tag {tag:#x} with count {n}"
         ))),

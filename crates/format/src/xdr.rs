@@ -109,6 +109,22 @@ impl<'a> Reader<'a> {
         self.buf.len() - self.pos
     }
 
+    /// Bound a decoded item count against the bytes actually remaining.
+    /// Each item occupies at least `min_size` encoded bytes, so a count
+    /// that could not possibly fit is rejected *before* any allocation is
+    /// sized from it — a corrupt 32-bit count must never drive a
+    /// multi-gigabyte `Vec::with_capacity`.
+    pub fn check_count(&self, n: usize, min_size: usize) -> FormatResult<()> {
+        match n.checked_mul(min_size.max(1)) {
+            Some(need) if need <= self.remaining() => Ok(()),
+            _ => Err(FormatError::Corrupt(format!(
+                "count {n} of >={min_size}-byte items at offset {} exceeds the {} bytes remaining",
+                self.pos,
+                self.remaining()
+            ))),
+        }
+    }
+
     fn take(&mut self, n: usize) -> FormatResult<&'a [u8]> {
         if self.remaining() < n {
             return Err(FormatError::Corrupt(format!(

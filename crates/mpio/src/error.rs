@@ -13,6 +13,14 @@ pub enum MpioError {
     Access(String),
     /// Bad argument (negative offset, view mismatch, buffer too small...).
     InvalidArgument(String),
+    /// The retry budget ran out while recovering from injected storage
+    /// faults (e.g. a server crashed and never restarted).
+    Exhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Human-readable description of the failing operation.
+        message: String,
+    },
 }
 
 impl fmt::Display for MpioError {
@@ -21,6 +29,12 @@ impl fmt::Display for MpioError {
             MpioError::Mpi(e) => write!(f, "MPI error: {e}"),
             MpioError::Access(msg) => write!(f, "file access error: {msg}"),
             MpioError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            MpioError::Exhausted { attempts, message } => {
+                write!(
+                    f,
+                    "I/O retry budget exhausted after {attempts} attempts: {message}"
+                )
+            }
         }
     }
 }

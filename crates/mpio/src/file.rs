@@ -226,7 +226,7 @@ impl MpiFile {
             self.comm.now(),
             runs,
             data,
-        );
+        )?;
         self.comm.advance_to(t);
         Ok(data.len())
     }
@@ -243,7 +243,7 @@ impl MpiFile {
             ds,
             self.comm.now(),
             runs,
-        );
+        )?;
         self.comm.advance_to(t);
         Ok(data)
     }
@@ -335,7 +335,7 @@ impl MpiFile {
                         reqs.push(twophase::decode_req(pc)?);
                     }
                     if cb {
-                        twophase::write_all(&env, &file, &p, &reqs);
+                        twophase::write_all(&env, &file, &p, &reqs)?;
                     } else {
                         // Collective buffering disabled: every rank writes its
                         // own pieces independently (the ablation baseline).
@@ -343,7 +343,7 @@ impl MpiFile {
                         for (i, (runs, data)) in reqs.iter().enumerate() {
                             let w = env.group[i];
                             let before = env.clocks.now(w);
-                            let t = sieve::write(&file, wr_buf, ds, before, runs, data);
+                            let t = sieve::write(&file, wr_buf, ds, before, runs, data)?;
                             profile.record_phase(
                                 w,
                                 Phase::DiskWrite,
@@ -411,14 +411,14 @@ impl MpiFile {
                         reqs.push(twophase::decode_req(&parcel)?.0);
                     }
                     if cb {
-                        Ok(twophase::read_all(&env, &file, &p, &reqs).0)
+                        Ok(twophase::read_all(&env, &file, &p, &reqs)?.0)
                     } else {
                         let profile = &env.config.profile;
                         let mut outs = Vec::with_capacity(reqs.len());
                         for (i, runs) in reqs.iter().enumerate() {
                             let w = env.group[i];
                             let before = env.clocks.now(w);
-                            let (data, t) = sieve::read(&file, rd_buf, ds, before, runs);
+                            let (data, t) = sieve::read(&file, rd_buf, ds, before, runs)?;
                             profile.record_phase(
                                 w,
                                 Phase::DiskRead,

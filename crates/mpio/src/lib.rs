@@ -20,6 +20,7 @@
 pub mod error;
 pub mod file;
 pub mod hints;
+pub mod recover;
 pub mod sieve;
 pub mod twophase;
 pub mod view;
@@ -27,4 +28,5 @@ pub mod view;
 pub use error::{MpioError, MpioResult};
 pub use file::{MpiFile, OpenMode};
 pub use hints::{Hints, Toggle};
+pub use recover::RetryPolicy;
 pub use view::{FileView, Run};

@@ -1,0 +1,233 @@
+//! Fault recovery for the MPI-IO layer: bounded retry with exponential
+//! backoff in *virtual* time, plus short-I/O completion loops.
+//!
+//! The simulated PFS ([`pnetcdf_pfs`]) can inject typed faults (transient
+//! EIO, short transfers, latency stalls, server crashes) through its
+//! fallible `try_write_at` / `try_read_at` API. This module is the ROMIO-ish
+//! recovery policy layered on top:
+//!
+//! * **Transient / crashed**: retry the remaining bytes after an
+//!   exponentially growing backoff (charged to the caller's virtual clock,
+//!   so recovery time shows up in the disk phases of the profile).
+//! * **Short transfer**: resume at `offset + completed` — the PFS
+//!   guarantees `completed` is a contiguous file-order prefix — and a
+//!   resumed attempt that made progress refills the attempt budget, so a
+//!   long request trickling forward is never misclassified as dead.
+//! * **Budget exhausted**: give up with [`MpioError::Exhausted`] carrying
+//!   the attempt count; collective paths turn this into one agreed error
+//!   on every rank (no hangs, no divergent returns).
+//!
+//! All recovery activity is tallied in the shared
+//! [`hpc_sim::Profile`] fault counters (`retries`, `backoff_time`,
+//! `short_completions`, `exhausted`).
+
+use hpc_sim::Time;
+use pnetcdf_pfs::{IoFailure, PfsFile};
+
+use crate::error::{MpioError, MpioResult};
+
+/// Bounded-retry policy. The budget is per *stall*: any attempt that moves
+/// bytes forward (a short completion) resets the remaining-attempt counter,
+/// so only consecutive zero-progress failures count against it.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Consecutive zero-progress attempts tolerated before giving up.
+    pub attempts: u32,
+    /// First backoff delay.
+    pub base_backoff: Time,
+    /// Backoff ceiling (doubling stops here).
+    pub max_backoff: Time,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 12,
+            base_backoff: Time::from_micros(50),
+            max_backoff: Time::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn next_backoff(&self, b: Time) -> Time {
+        Time::from_nanos((b.as_nanos() * 2).min(self.max_backoff.as_nanos()))
+    }
+}
+
+/// Record one recovery step in the shared profile.
+fn record_retry(file: &PfsFile, failure: &IoFailure, backoff: Time) {
+    file.profile().record_fault(|f| {
+        f.retries += 1;
+        f.backoff_nanos += backoff.as_nanos();
+        if failure.completed > 0 {
+            f.short_completions += 1;
+        }
+    });
+}
+
+/// Record a final give-up in the shared profile.
+fn record_exhausted(file: &PfsFile) {
+    file.profile().record_fault(|f| f.exhausted += 1);
+}
+
+/// Write `data` at `offset` with fault recovery. Returns the completion
+/// time, or [`MpioError::Exhausted`] once `policy.attempts` consecutive
+/// zero-progress attempts have failed.
+pub fn write_at(
+    file: &PfsFile,
+    policy: &RetryPolicy,
+    start: Time,
+    offset: u64,
+    data: &[u8],
+) -> MpioResult<Time> {
+    let mut t = start;
+    let mut resume = 0usize;
+    let mut backoff = policy.base_backoff;
+    let mut left = policy.attempts;
+    let mut made = 0u32;
+    while left > 0 {
+        match file.try_write_at(t, offset + resume as u64, &data[resume..]) {
+            Ok(done) => return Ok(done),
+            Err(f) => {
+                record_retry(file, &f, backoff);
+                t = f.time + backoff;
+                if f.completed > 0 {
+                    resume += f.completed as usize;
+                    backoff = policy.base_backoff;
+                    left = policy.attempts; // progress refills the budget
+                } else {
+                    backoff = policy.next_backoff(backoff);
+                    left -= 1;
+                }
+                made += 1;
+            }
+        }
+    }
+    record_exhausted(file);
+    Err(MpioError::Exhausted {
+        attempts: made,
+        message: format!(
+            "write of {} bytes at offset {offset} of '{}'",
+            data.len(),
+            file.name()
+        ),
+    })
+}
+
+/// Read into `buf` from `offset` with fault recovery; same policy as
+/// [`write_at`].
+pub fn read_at(
+    file: &PfsFile,
+    policy: &RetryPolicy,
+    start: Time,
+    offset: u64,
+    buf: &mut [u8],
+) -> MpioResult<Time> {
+    let len = buf.len();
+    let mut t = start;
+    let mut resume = 0usize;
+    let mut backoff = policy.base_backoff;
+    let mut left = policy.attempts;
+    let mut made = 0u32;
+    while left > 0 {
+        match file.try_read_at(t, offset + resume as u64, &mut buf[resume..]) {
+            Ok(done) => return Ok(done),
+            Err(f) => {
+                record_retry(file, &f, backoff);
+                t = f.time + backoff;
+                if f.completed > 0 {
+                    resume += f.completed as usize;
+                    backoff = policy.base_backoff;
+                    left = policy.attempts;
+                } else {
+                    backoff = policy.next_backoff(backoff);
+                    left -= 1;
+                }
+                made += 1;
+            }
+        }
+    }
+    record_exhausted(file);
+    Err(MpioError::Exhausted {
+        attempts: made,
+        message: format!(
+            "read of {len} bytes at offset {offset} of '{}'",
+            file.name()
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpc_sim::{CrashSpec, FaultPlan, SimConfig};
+    use pnetcdf_pfs::{Pfs, StorageMode};
+
+    fn faulty_file(plan: FaultPlan) -> (PfsFile, SimConfig) {
+        let mut cfg = SimConfig::test_small();
+        cfg.faults = plan;
+        cfg.profile.set_enabled(true);
+        let f = Pfs::new(cfg.clone(), StorageMode::Full).create("r");
+        (f, cfg)
+    }
+
+    #[test]
+    fn recovers_transients_and_shorts() {
+        let (f, cfg) = faulty_file(FaultPlan {
+            transient: 0.25,
+            short: 0.25,
+            ..FaultPlan::default()
+        });
+        let policy = RetryPolicy::default();
+        let data: Vec<u8> = (0..30_000u32).map(|i| (i % 253) as u8).collect();
+        let t = write_at(&f, &policy, Time::ZERO, 7, &data).expect("write should recover");
+        let mut out = vec![0u8; data.len()];
+        read_at(&f, &policy, t, 7, &mut out).expect("read should recover");
+        assert_eq!(out, data);
+        let fc = cfg.profile.fault_counters();
+        assert!(fc.retries > 0);
+        assert!(fc.backoff_nanos > 0);
+        assert_eq!(fc.exhausted, 0);
+    }
+
+    #[test]
+    fn permanent_crash_exhausts_in_bounded_virtual_time() {
+        let (f, cfg) = faulty_file(FaultPlan {
+            crash: Some(CrashSpec {
+                server: 0,
+                at: Time::ZERO,
+                restart: None,
+            }),
+            ..FaultPlan::default()
+        });
+        let policy = RetryPolicy::default();
+        let err = write_at(&f, &policy, Time::ZERO, 0, &[1u8; 8192]).unwrap_err();
+        match err {
+            MpioError::Exhausted { attempts, .. } => assert!(attempts >= policy.attempts),
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        assert!(cfg.profile.fault_counters().exhausted > 0);
+    }
+
+    #[test]
+    fn crash_with_restart_recovers() {
+        // Server 0 is down from t=0 and restarts at 1 ms; the backoff
+        // schedule walks past the outage and the write completes.
+        let (f, _cfg) = faulty_file(FaultPlan {
+            crash: Some(CrashSpec {
+                server: 0,
+                at: Time::ZERO,
+                restart: Some(Time::from_millis(1)),
+            }),
+            ..FaultPlan::default()
+        });
+        let policy = RetryPolicy::default();
+        let data = vec![9u8; 8192];
+        let t = write_at(&f, &policy, Time::ZERO, 0, &data).expect("restart should save it");
+        assert!(t >= Time::from_millis(1));
+        let mut out = vec![0u8; data.len()];
+        read_at(&f, &policy, t, 0, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+}

@@ -10,6 +10,8 @@
 use hpc_sim::Time;
 use pnetcdf_pfs::PfsFile;
 
+use crate::error::MpioResult;
+use crate::recover::{self, RetryPolicy};
 use crate::view::Run;
 
 /// Sieved (or direct) write of `runs` carrying `data` (packed in run
@@ -17,7 +19,9 @@ use crate::view::Run;
 ///
 /// `sieve` enables read-modify-write sieving; when disabled every run is
 /// written with its own request (the "many small requests" behaviour the
-/// paper's serialized baselines suffer from).
+/// paper's serialized baselines suffer from). Storage faults are recovered
+/// by the bounded-retry policy in [`crate::recover`]; an exhausted budget
+/// surfaces as [`crate::MpioError::Exhausted`].
 pub fn write(
     file: &PfsFile,
     buffer_size: usize,
@@ -25,23 +29,24 @@ pub fn write(
     mut now: Time,
     runs: &[Run],
     data: &[u8],
-) -> Time {
+) -> MpioResult<Time> {
+    let policy = RetryPolicy::default();
     debug_assert_eq!(crate::view::runs_total(runs) as usize, data.len());
     if runs.is_empty() {
-        return now;
+        return Ok(now);
     }
     if runs.len() == 1 {
-        return file.write_at(now, runs[0].0, data);
+        return recover::write_at(file, &policy, now, runs[0].0, data);
     }
     if !sieve {
         let mut pos = 0usize;
         for &(off, len) in runs {
-            now = file.write_at(now, off, &data[pos..pos + len as usize]);
+            now = recover::write_at(file, &policy, now, off, &data[pos..pos + len as usize])?;
             pos += len as usize;
         }
         file.profile()
             .record_sieve(false, data.len() as u64, data.len() as u64);
-        return now;
+        return Ok(now);
     }
 
     // Sieving: process the covered extent window by window.
@@ -77,23 +82,23 @@ pub fn write(
         if pieces.len() == 1 {
             let (off, len, dpos) = pieces[0];
             transferred += len as u64;
-            now = file.write_at(now, off, &data[dpos..dpos + len]);
+            now = recover::write_at(file, &policy, now, off, &data[dpos..dpos + len])?;
             continue;
         }
         // Read-modify-write the extent [wlo, whi).
         let span = (whi - wlo) as usize;
         transferred += 2 * span as u64; // read the extent, write it back
         let mut buf = vec![0u8; span];
-        now = file.read_at(now, wlo, &mut buf);
+        now = recover::read_at(file, &policy, now, wlo, &mut buf)?;
         for &(off, len, dpos) in &pieces {
             let lo = (off - wlo) as usize;
             buf[lo..lo + len].copy_from_slice(&data[dpos..dpos + len]);
         }
-        now = file.write_at(now, wlo, &buf);
+        now = recover::write_at(file, &policy, now, wlo, &buf)?;
     }
     file.profile()
         .record_sieve(false, transferred, data.len() as u64);
-    now
+    Ok(now)
 }
 
 /// Sieved (or direct) read of `runs` into a fresh buffer packed in run
@@ -104,25 +109,26 @@ pub fn read(
     sieve: bool,
     mut now: Time,
     runs: &[Run],
-) -> (Vec<u8>, Time) {
+) -> MpioResult<(Vec<u8>, Time)> {
+    let policy = RetryPolicy::default();
     let total = crate::view::runs_total(runs) as usize;
     let mut out = vec![0u8; total];
     if runs.is_empty() {
-        return (out, now);
+        return Ok((out, now));
     }
     if runs.len() == 1 {
-        now = file.read_at(now, runs[0].0, &mut out);
-        return (out, now);
+        now = recover::read_at(file, &policy, now, runs[0].0, &mut out)?;
+        return Ok((out, now));
     }
     if !sieve {
         let mut pos = 0usize;
         for &(off, len) in runs {
-            now = file.read_at(now, off, &mut out[pos..pos + len as usize]);
+            now = recover::read_at(file, &policy, now, off, &mut out[pos..pos + len as usize])?;
             pos += len as usize;
         }
         file.profile()
             .record_sieve(true, total as u64, total as u64);
-        return (out, now);
+        return Ok((out, now));
     }
 
     let mut transferred = 0u64;
@@ -156,20 +162,20 @@ pub fn read(
         if pieces.len() == 1 {
             let (off, len, dpos) = pieces[0];
             transferred += len as u64;
-            now = file.read_at(now, off, &mut out[dpos..dpos + len]);
+            now = recover::read_at(file, &policy, now, off, &mut out[dpos..dpos + len])?;
             continue;
         }
         let span = (whi - wlo) as usize;
         transferred += span as u64;
         let mut buf = vec![0u8; span];
-        now = file.read_at(now, wlo, &mut buf);
+        now = recover::read_at(file, &policy, now, wlo, &mut buf)?;
         for &(off, len, dpos) in &pieces {
             let lo = (off - wlo) as usize;
             out[dpos..dpos + len].copy_from_slice(&buf[lo..lo + len]);
         }
     }
     file.profile().record_sieve(true, transferred, total as u64);
-    (out, now)
+    Ok((out, now))
 }
 
 #[cfg(test)]
@@ -187,8 +193,8 @@ mod tests {
         let f = file();
         let runs: Vec<Run> = vec![(10, 4), (20, 4), (30, 4)];
         let data: Vec<u8> = (1..=12).collect();
-        write(&f, 1024, true, Time::ZERO, &runs, &data);
-        let (got, _) = read(&f, 1024, true, Time::ZERO, &runs);
+        write(&f, 1024, true, Time::ZERO, &runs, &data).unwrap();
+        let (got, _) = read(&f, 1024, true, Time::ZERO, &runs).unwrap();
         assert_eq!(got, data);
         // Holes are untouched (zero).
         let mut hole = [9u8; 6];
@@ -208,7 +214,8 @@ mod tests {
             Time::ZERO,
             &[(4, 2), (10, 2)],
             &[1, 1, 2, 2],
-        );
+        )
+        .unwrap();
         let mut buf = [0u8; 16];
         f.peek_at(0, &mut buf);
         assert_eq!(buf, [7, 7, 7, 7, 1, 1, 7, 7, 7, 7, 2, 2, 7, 7, 7, 7]);
@@ -220,9 +227,9 @@ mod tests {
         let data = [1u8, 2, 3, 4, 5, 6, 7, 8, 9];
 
         let f1 = file();
-        write(&f1, 1024, true, Time::ZERO, &runs, &data);
+        write(&f1, 1024, true, Time::ZERO, &runs, &data).unwrap();
         let f2 = file();
-        write(&f2, 1024, false, Time::ZERO, &runs, &data);
+        write(&f2, 1024, false, Time::ZERO, &runs, &data).unwrap();
         assert_eq!(f1.to_bytes(), f2.to_bytes());
     }
 
@@ -233,11 +240,11 @@ mod tests {
         let data = vec![5u8; 128];
 
         let pfs1 = Pfs::new(cfg.clone(), StorageMode::Full);
-        let t_sieved = write(&pfs1.create("a"), 4096, true, Time::ZERO, &runs, &data);
+        let t_sieved = write(&pfs1.create("a"), 4096, true, Time::ZERO, &runs, &data).unwrap();
         let reqs_sieved = pfs1.stats().snapshot().io_requests;
 
         let pfs2 = Pfs::new(cfg, StorageMode::Full);
-        let t_direct = write(&pfs2.create("b"), 4096, false, Time::ZERO, &runs, &data);
+        let t_direct = write(&pfs2.create("b"), 4096, false, Time::ZERO, &runs, &data).unwrap();
         let reqs_direct = pfs2.stats().snapshot().io_requests;
 
         assert!(reqs_sieved < reqs_direct);
@@ -250,17 +257,17 @@ mod tests {
         let f = file();
         let runs: Vec<Run> = vec![(0, 100), (200, 100)];
         let data: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
-        write(&f, 64, true, Time::ZERO, &runs, &data);
-        let (got, _) = read(&f, 64, true, Time::ZERO, &runs);
+        write(&f, 64, true, Time::ZERO, &runs, &data).unwrap();
+        let (got, _) = read(&f, 64, true, Time::ZERO, &runs).unwrap();
         assert_eq!(got, data);
     }
 
     #[test]
     fn empty_request_is_noop() {
         let f = file();
-        let t = write(&f, 1024, true, Time::from_millis(1), &[], &[]);
+        let t = write(&f, 1024, true, Time::from_millis(1), &[], &[]).unwrap();
         assert_eq!(t, Time::from_millis(1));
-        let (d, t) = read(&f, 1024, true, Time::from_millis(1), &[]);
+        let (d, t) = read(&f, 1024, true, Time::from_millis(1), &[]).unwrap();
         assert!(d.is_empty());
         assert_eq!(t, Time::from_millis(1));
     }

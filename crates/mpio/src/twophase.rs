@@ -26,6 +26,7 @@ use pnetcdf_mpi::CollEnv;
 use pnetcdf_pfs::PfsFile;
 
 use crate::error::{MpioError, MpioResult};
+use crate::recover::{self, RetryPolicy};
 use crate::view::{runs_total, Run};
 
 /// Parameters resolved from hints at the call site.
@@ -276,17 +277,23 @@ fn merge_coverage(mut intervals: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
 
 /// Collective write: the finish-closure body. `reqs[r]` is rank `r`'s
 /// `(runs, packed data)`. Returns the synchronized completion time.
+///
+/// Aggregator-side storage faults are recovered by [`crate::recover`];
+/// when the budget runs out the error is returned *after* every rank's
+/// clock has been synchronized (`set_all`), so the collective never leaves
+/// a rank stranded in the past — the caller then agrees on the error.
 pub fn write_all(
     env: &CollEnv,
     file: &PfsFile,
     p: &TwoPhaseParams,
     reqs: &[(Vec<Run>, &[u8])],
-) -> Time {
+) -> MpioResult<Time> {
     let n = env.size();
+    let policy = RetryPolicy::default();
     let profile = env.config.profile.clone();
     let total: u64 = reqs.iter().map(|(r, _)| runs_total(r)).sum();
     if total == 0 {
-        return env.sync_phase(Phase::Metadata, env.config.network.barrier(n));
+        return Ok(env.sync_phase(Phase::Metadata, env.config.network.barrier(n)));
     }
     let gmin = reqs
         .iter()
@@ -326,49 +333,62 @@ pub fn write_all(
     let rounds = windows.iter().map(Vec::len).max().unwrap_or(0);
     let mut t_agg = vec![t0; windows.len()];
     let mut split = AccessSplit::new(windows.len());
-    for j in 0..rounds {
-        for (a, agg_windows) in windows.iter().enumerate() {
-            let Some(pieces) = agg_windows.get(j) else {
-                continue;
-            };
-            let mut t_a = t_agg[a];
-            split.windows += 1;
-            let piece_bytes: u64 = pieces.iter().map(|pc| pc.len).sum();
-            // Assembling the collective buffer is memcpy work.
-            let pack = env.config.cpu.pack(piece_bytes as usize, 1.0);
-            t_a += pack;
-            split.pack[a] += pack.as_nanos();
+    let access = (|| -> MpioResult<()> {
+        for j in 0..rounds {
+            for (a, agg_windows) in windows.iter().enumerate() {
+                let Some(pieces) = agg_windows.get(j) else {
+                    continue;
+                };
+                let mut t_a = t_agg[a];
+                split.windows += 1;
+                let piece_bytes: u64 = pieces.iter().map(|pc| pc.len).sum();
+                // Assembling the collective buffer is memcpy work.
+                let pack = env.config.cpu.pack(piece_bytes as usize, 1.0);
+                t_a += pack;
+                split.pack[a] += pack.as_nanos();
 
-            let coverage = merge_coverage(pieces.iter().map(|pc| (pc.off, pc.len)).collect());
-            if coverage.len() == 1 {
-                // Fully contiguous: assemble and write once.
-                let (clo, clen) = coverage[0];
-                let mut buf = vec![0u8; clen as usize];
-                overlay(&mut buf, clo, pieces, reqs);
-                let before = t_a;
-                t_a = file.write_at(t_a, clo, &buf);
-                split.write[a] += (t_a - before).as_nanos();
-            } else {
-                // Holes: read-modify-write the covered extent.
-                split.rmw += 1;
-                let clo = coverage[0].0;
-                let cend = coverage.last().map(|&(o, l)| o + l).unwrap();
-                let mut buf = vec![0u8; (cend - clo) as usize];
-                let before = t_a;
-                t_a = file.read_at(t_a, clo, &mut buf);
-                split.read[a] += (t_a - before).as_nanos();
-                overlay(&mut buf, clo, pieces, reqs);
-                let before = t_a;
-                t_a = file.write_at(t_a, clo, &buf);
-                split.write[a] += (t_a - before).as_nanos();
+                let coverage = merge_coverage(pieces.iter().map(|pc| (pc.off, pc.len)).collect());
+                if coverage.len() == 1 {
+                    // Fully contiguous: assemble and write once.
+                    let (clo, clen) = coverage[0];
+                    let mut buf = vec![0u8; clen as usize];
+                    overlay(&mut buf, clo, pieces, reqs);
+                    let before = t_a;
+                    t_a = recover::write_at(file, &policy, t_a, clo, &buf)?;
+                    split.write[a] += (t_a - before).as_nanos();
+                } else {
+                    // Holes: read-modify-write the covered extent.
+                    split.rmw += 1;
+                    let clo = coverage[0].0;
+                    let cend = coverage.last().map(|&(o, l)| o + l).unwrap();
+                    let mut buf = vec![0u8; (cend - clo) as usize];
+                    let before = t_a;
+                    t_a = recover::read_at(file, &policy, t_a, clo, &mut buf)?;
+                    split.read[a] += (t_a - before).as_nanos();
+                    overlay(&mut buf, clo, pieces, reqs);
+                    let before = t_a;
+                    t_a = recover::write_at(file, &policy, t_a, clo, &buf)?;
+                    split.write[a] += (t_a - before).as_nanos();
+                }
+                t_agg[a] = t_a;
             }
-            t_agg[a] = t_a;
+        }
+        Ok(())
+    })();
+    let t_end = t_agg.iter().copied().fold(t0, Time::max);
+    match access {
+        Ok(()) => {
+            split.attribute(&profile, env, t_end, &t_agg);
+            env.set_all(t_end);
+            Ok(t_end)
+        }
+        Err(e) => {
+            // Synchronize the clocks even on failure: no rank may be left
+            // behind a collective, successful or not.
+            env.set_all(t_end);
+            Err(e)
         }
     }
-    let t_end = t_agg.iter().copied().fold(t0, Time::max);
-    split.attribute(&profile, env, t_end, &t_agg);
-    env.set_all(t_end);
-    t_end
 }
 
 /// Per-aggregator breakdown of the access phase, accumulated along each
@@ -478,21 +498,22 @@ fn overlay(buf: &mut [u8], base: u64, pieces: &[Piece], reqs: &[(Vec<Run>, &[u8]
 
 /// Collective read: the finish-closure body. `reqs[r]` is rank `r`'s run
 /// list. Returns each rank's data (packed in run order) and the completion
-/// time.
+/// time. Faults are handled as in [`write_all`].
 pub fn read_all(
     env: &CollEnv,
     file: &PfsFile,
     p: &TwoPhaseParams,
     reqs: &[Vec<Run>],
-) -> (Vec<Vec<u8>>, Time) {
+) -> MpioResult<(Vec<Vec<u8>>, Time)> {
     let n = env.size();
+    let policy = RetryPolicy::default();
     let profile = env.config.profile.clone();
     let totals: Vec<u64> = reqs.iter().map(|r| runs_total(r)).collect();
     let grand: u64 = totals.iter().sum();
     let mut outs: Vec<Vec<u8>> = totals.iter().map(|&t| vec![0u8; t as usize]).collect();
     if grand == 0 {
         let t = env.sync_phase(Phase::Metadata, env.config.network.barrier(n));
-        return (outs, t);
+        return Ok((outs, t));
     }
     let gmin = reqs
         .iter()
@@ -524,34 +545,41 @@ pub fn read_all(
     let rounds = windows.iter().map(Vec::len).max().unwrap_or(0);
     let mut t_agg = vec![t0; windows.len()];
     let mut split = AccessSplit::new(windows.len());
-    for j in 0..rounds {
-        for (a, agg_windows) in windows.iter().enumerate() {
-            let Some(pieces) = agg_windows.get(j) else {
-                continue;
-            };
-            let mut t_a = t_agg[a];
-            split.windows += 1;
-            // One spanning read covers every piece in the window (data
-            // sieving at the aggregator).
-            let clo = pieces.iter().map(|pc| pc.off).min().unwrap();
-            let cend = pieces.iter().map(|pc| pc.off + pc.len).max().unwrap();
-            let mut buf = vec![0u8; (cend - clo) as usize];
-            let before = t_a;
-            t_a = file.read_at(t_a, clo, &mut buf);
-            split.read[a] += (t_a - before).as_nanos();
-            let piece_bytes: u64 = pieces.iter().map(|pc| pc.len).sum();
-            let pack = env.config.cpu.pack(piece_bytes as usize, 1.0);
-            t_a += pack;
-            split.pack[a] += pack.as_nanos();
-            for pc in pieces {
-                let lo = (pc.off - clo) as usize;
-                outs[pc.rank][pc.src_pos as usize..(pc.src_pos + pc.len) as usize]
-                    .copy_from_slice(&buf[lo..lo + pc.len as usize]);
+    let access = (|| -> MpioResult<()> {
+        for j in 0..rounds {
+            for (a, agg_windows) in windows.iter().enumerate() {
+                let Some(pieces) = agg_windows.get(j) else {
+                    continue;
+                };
+                let mut t_a = t_agg[a];
+                split.windows += 1;
+                // One spanning read covers every piece in the window (data
+                // sieving at the aggregator).
+                let clo = pieces.iter().map(|pc| pc.off).min().unwrap();
+                let cend = pieces.iter().map(|pc| pc.off + pc.len).max().unwrap();
+                let mut buf = vec![0u8; (cend - clo) as usize];
+                let before = t_a;
+                t_a = recover::read_at(file, &policy, t_a, clo, &mut buf)?;
+                split.read[a] += (t_a - before).as_nanos();
+                let piece_bytes: u64 = pieces.iter().map(|pc| pc.len).sum();
+                let pack = env.config.cpu.pack(piece_bytes as usize, 1.0);
+                t_a += pack;
+                split.pack[a] += pack.as_nanos();
+                for pc in pieces {
+                    let lo = (pc.off - clo) as usize;
+                    outs[pc.rank][pc.src_pos as usize..(pc.src_pos + pc.len) as usize]
+                        .copy_from_slice(&buf[lo..lo + pc.len as usize]);
+                }
+                t_agg[a] = t_a;
             }
-            t_agg[a] = t_a;
         }
-    }
+        Ok(())
+    })();
     let t_end = t_agg.iter().copied().fold(t0, Time::max);
+    if let Err(e) = access {
+        env.set_all(t_end);
+        return Err(e);
+    }
     split.attribute(&profile, env, t_end, &t_agg);
 
     // Ship the data back to the requesting ranks (local shares stay put).
@@ -563,7 +591,7 @@ pub fn read_all(
     }
     let t_final = t_end + ship;
     env.set_all(t_final);
-    (outs, t_final)
+    Ok((outs, t_final))
 }
 
 #[cfg(test)]

@@ -50,7 +50,7 @@ proptest! {
             if prefill {
                 f.write_at(Time::ZERO, 0, &[0xAB; 2048]);
             }
-            sieve::write(&f, bufsize, sieved, Time::ZERO, &runs, &data);
+            sieve::write(&f, bufsize, sieved, Time::ZERO, &runs, &data).unwrap();
             f.to_bytes()
         };
         prop_assert_eq!(mk(true), mk(false));
@@ -65,9 +65,9 @@ proptest! {
         let data = data_for(&runs, 99);
         let pfs = Pfs::new(cfg.clone(), StorageMode::Full);
         let f = pfs.create("x");
-        sieve::write(&f, 4096, true, Time::ZERO, &runs, &data);
-        let (sieved, _) = sieve::read(&f, bufsize, true, Time::ZERO, &runs);
-        let (direct, _) = sieve::read(&f, bufsize, false, Time::ZERO, &runs);
+        sieve::write(&f, 4096, true, Time::ZERO, &runs, &data).unwrap();
+        let (sieved, _) = sieve::read(&f, bufsize, true, Time::ZERO, &runs).unwrap();
+        let (direct, _) = sieve::read(&f, bufsize, false, Time::ZERO, &runs).unwrap();
         prop_assert_eq!(&sieved, &data);
         prop_assert_eq!(&direct, &data);
     }

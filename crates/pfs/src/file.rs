@@ -2,10 +2,33 @@
 
 use std::sync::Arc;
 
-use hpc_sim::Time;
+use hpc_sim::{FaultKind, Time};
 
 use crate::filesystem::PfsInner;
 use crate::stripe::StripeChunk;
+
+/// A failed timed I/O request against the PFS.
+///
+/// Requests are issued per server in file order and stop at the first
+/// fault, so `completed` is a contiguous prefix of the request: a recovery
+/// layer can resume at `offset + completed`.
+#[derive(Clone, Copy, Debug)]
+pub struct IoFailure {
+    /// The injected fault that stopped the request.
+    pub kind: FaultKind,
+    /// Bytes (contiguous, in file order) transferred before the fault.
+    pub completed: u64,
+    /// Virtual time at which the failure was detected by the client.
+    pub time: Time,
+    /// Index of the faulting server.
+    pub server: usize,
+}
+
+/// Attempt budget of the *legacy* infallible [`PfsFile::write_at`] /
+/// [`PfsFile::read_at`] wrappers (the serial baseline has no recovery
+/// layer of its own). The MPI-IO layer uses its own policy on the
+/// fallible API instead.
+const LEGACY_ATTEMPTS: u32 = 25;
 
 /// Handle to one file in the parallel file system. Cheap to clone; all
 /// clones address the same bytes and the same server queues.
@@ -43,15 +66,20 @@ impl PfsFile {
     }
 
     /// Timed write of `data` at `offset`, starting at virtual time `start`.
-    /// Returns the completion time.
+    /// Returns the completion time, or the first injected fault.
     ///
     /// The request is split across servers; a client pushes bytes through
     /// its NIC (`client_link_bw`) in file order, so server `k`'s portion
     /// arrives after the portions before it have been transmitted. Each
-    /// server coalesces its portion into one disk request.
-    pub fn write_at(&self, start: Time, offset: u64, data: &[u8]) -> Time {
+    /// server coalesces its portion into one disk request. All portions
+    /// are issued (they are in flight by the time a fault is detected);
+    /// a failure's `completed` count is the contiguous file-order prefix
+    /// that is *guaranteed* transferred, so a recovery layer can resume at
+    /// `offset + completed` — later scattered chunks that happened to land
+    /// are simply rewritten with the same bytes.
+    pub fn try_write_at(&self, start: Time, offset: u64, data: &[u8]) -> Result<Time, IoFailure> {
         if data.is_empty() {
-            return start;
+            return Ok(start);
         }
         let cfg = &self.inner.cfg;
         let metadata_sized = data.len() as u64 <= crate::storage::METADATA_REQUEST_LIMIT;
@@ -63,6 +91,9 @@ impl PfsFile {
 
         let mut cum_bytes: u64 = 0;
         let mut done = start;
+        // Per-portion transfer status: (chunks, bytes transferred in
+        // file-order within the portion, fault if any, server).
+        let mut portions = Vec::with_capacity(by_server.len());
         for (srv, chunks) in &by_server {
             let portion: u64 = chunks.iter().map(|c| c.len).sum();
             cum_bytes += portion;
@@ -84,38 +115,89 @@ impl PfsFile {
                 &slices,
                 metadata_sized,
             );
+            self.record_injected(outcome.injected);
             self.inner
                 .stats
-                .count_io(portion as usize, false, outcome.seeked);
-            cfg.profile
-                .record_io(*srv, portion, false, outcome.seeked, outcome.seek_distance);
+                .count_io(outcome.bytes_done as usize, false, outcome.seeked);
+            cfg.profile.record_io(
+                *srv,
+                outcome.bytes_done,
+                false,
+                outcome.seeked,
+                outcome.seek_distance,
+            );
             done = done.max(outcome.done);
+            let fault = (!outcome.is_complete()).then(|| outcome.injected.unwrap());
+            portions.push((chunks.clone(), outcome.bytes_done, fault, *srv));
         }
-        self.grow_to(offset + data.len() as u64);
-        done
+        match completed_prefix(offset, &portions) {
+            None => {
+                self.grow_to(offset + data.len() as u64);
+                Ok(done)
+            }
+            Some((completed, kind, server)) => {
+                // Record what actually landed, scattered chunks included.
+                self.grow_to(transferred_end(&portions));
+                Err(IoFailure {
+                    kind,
+                    completed,
+                    time: done,
+                    server,
+                })
+            }
+        }
     }
 
-    /// Timed read into `buf` from `offset`, starting at `start`. Returns the
-    /// completion time. Bytes beyond the file size read as zeros (the
-    /// underlying stores return zeros for unwritten stripes).
-    pub fn read_at(&self, start: Time, offset: u64, buf: &mut [u8]) -> Time {
+    /// Timed write that hides faults behind a bounded retry/short-resume
+    /// loop (the recovery policy of callers without one of their own: the
+    /// serialized baseline and direct PFS users). Panics when the attempt
+    /// budget is exhausted — a permanently crashed server with no recovery
+    /// layer above is fatal, exactly like ENOSPC for the real serial API.
+    pub fn write_at(&self, start: Time, offset: u64, data: &[u8]) -> Time {
+        let mut t = start;
+        let mut resume = 0usize;
+        let mut backoff = Time::from_micros(50);
+        for _ in 0..LEGACY_ATTEMPTS {
+            match self.try_write_at(t, offset + resume as u64, &data[resume..]) {
+                Ok(done) => return done,
+                Err(f) => {
+                    resume += f.completed as usize;
+                    t = f.time + backoff;
+                    self.record_legacy_retry(&f, backoff);
+                    backoff = next_backoff(backoff);
+                }
+            }
+        }
+        panic!(
+            "PFS write of {} bytes at offset {offset} of '{}' still failing after \
+             {LEGACY_ATTEMPTS} attempts (fault plan too hostile for the legacy path)",
+            data.len(),
+            self.name
+        );
+    }
+
+    /// Timed read into `buf` from `offset`, starting at `start`. Returns
+    /// the completion time, or the first injected fault. Bytes beyond the
+    /// file size read as zeros (the underlying stores return zeros for
+    /// unwritten stripes). On failure the first `completed` bytes of `buf`
+    /// are valid.
+    pub fn try_read_at(&self, start: Time, offset: u64, buf: &mut [u8]) -> Result<Time, IoFailure> {
         if buf.is_empty() {
-            return start;
+            return Ok(start);
         }
         let cfg = &self.inner.cfg;
         let total = buf.len() as u64;
-        let by_server = self.inner.striping.split_by_server(offset, total);
+        let mut by_server = self.inner.striping.split_by_server(offset, total);
+        by_server.sort_by_key(|(_, chunks)| chunks[0].file_offset);
 
         // The read request message reaches every server after one latency;
         // servers then stream from disk in parallel.
         let arrival = start + cfg.client_link_latency;
         let mut disks_done = start;
-        // Split the output buffer per server without aliasing: collect
-        // per-chunk ranges first.
+        let mut portions = Vec::with_capacity(by_server.len());
+        // Split the output buffer per server without aliasing: carve
+        // per-chunk slices out of `buf` one server at a time.
         for (srv, chunks) in &by_server {
-            let portion: u64 = chunks.iter().map(|c| c.len).sum();
-            // Safety-free split: carve per-chunk slices out of `buf` one
-            // server at a time using split_at_mut bookkeeping.
             let mut outs: Vec<&mut [u8]> = Vec::with_capacity(chunks.len());
             let mut rest: &mut [u8] = buf;
             let mut consumed = 0u64;
@@ -131,19 +213,88 @@ impl PfsFile {
             let outcome = self.inner.servers[*srv]
                 .lock()
                 .read(&cfg.disk, self.id, arrival, chunks, &mut outs);
+            self.record_injected(outcome.injected);
             self.inner
                 .stats
-                .count_io(portion as usize, true, outcome.seeked);
-            cfg.profile
-                .record_io(*srv, portion, true, outcome.seeked, outcome.seek_distance);
+                .count_io(outcome.bytes_done as usize, true, outcome.seeked);
+            cfg.profile.record_io(
+                *srv,
+                outcome.bytes_done,
+                true,
+                outcome.seeked,
+                outcome.seek_distance,
+            );
             disks_done = disks_done.max(outcome.done);
+            let fault = (!outcome.is_complete()).then(|| outcome.injected.unwrap());
+            portions.push((chunks.clone(), outcome.bytes_done, fault, *srv));
         }
-        // The client cannot have all the bytes before its NIC has carried
-        // them.
-        let link_done = start
-            + cfg.client_link_latency
-            + Time::from_secs_f64(total as f64 / cfg.client_link_bw);
-        disks_done.max(link_done)
+        match completed_prefix(offset, &portions) {
+            None => {
+                // The client cannot have all the bytes before its NIC has
+                // carried them.
+                let link_done = start
+                    + cfg.client_link_latency
+                    + Time::from_secs_f64(total as f64 / cfg.client_link_bw);
+                Ok(disks_done.max(link_done))
+            }
+            Some((completed, kind, server)) => Err(IoFailure {
+                kind,
+                completed,
+                time: disks_done,
+                server,
+            }),
+        }
+    }
+
+    /// Timed read with the same bounded legacy recovery as
+    /// [`PfsFile::write_at`].
+    pub fn read_at(&self, start: Time, offset: u64, buf: &mut [u8]) -> Time {
+        let len = buf.len();
+        let mut t = start;
+        let mut resume = 0usize;
+        let mut backoff = Time::from_micros(50);
+        for _ in 0..LEGACY_ATTEMPTS {
+            match self.try_read_at(t, offset + resume as u64, &mut buf[resume..]) {
+                Ok(done) => return done,
+                Err(f) => {
+                    resume += f.completed as usize;
+                    t = f.time + backoff;
+                    self.record_legacy_retry(&f, backoff);
+                    backoff = next_backoff(backoff);
+                }
+            }
+        }
+        panic!(
+            "PFS read of {len} bytes at offset {offset} of '{}' still failing after \
+             {LEGACY_ATTEMPTS} attempts (fault plan too hostile for the legacy path)",
+            self.name
+        );
+    }
+
+    /// Tally an injected fault (no-op while profiling is disabled).
+    fn record_injected(&self, injected: Option<FaultKind>) {
+        let Some(kind) = injected else { return };
+        self.inner.cfg.profile.record_fault(|f| {
+            f.faults_injected += 1;
+            match kind {
+                FaultKind::Transient => f.transient += 1,
+                FaultKind::Short { .. } => f.short += 1,
+                FaultKind::Stall { .. } => f.stalls += 1,
+                FaultKind::Crashed => f.crashed += 1,
+                FaultKind::None => {}
+            }
+        });
+    }
+
+    /// Tally one legacy-wrapper recovery step.
+    fn record_legacy_retry(&self, failure: &IoFailure, backoff: Time) {
+        self.inner.cfg.profile.record_fault(|f| {
+            f.retries += 1;
+            f.backoff_nanos += backoff.as_nanos();
+            if failure.completed > 0 {
+                f.short_completions += 1;
+            }
+        });
     }
 
     /// Extend the recorded file size to at least `new_size`.
@@ -217,6 +368,81 @@ impl PfsFile {
     pub fn chunks_for(&self, offset: u64, len: u64) -> Vec<StripeChunk> {
         self.inner.striping.split(offset, len)
     }
+}
+
+/// Double the backoff up to a 50 ms ceiling.
+fn next_backoff(b: Time) -> Time {
+    Time::from_nanos((b.as_nanos() * 2).min(Time::from_millis(50).as_nanos()))
+}
+
+/// Per-portion transfer record: the portion's stripe chunks (in file order
+/// within the portion), the bytes the server actually transferred across
+/// those chunks (a prefix in that order), the fault that cut it short (if
+/// any), and the server index.
+type PortionStatus = (Vec<StripeChunk>, u64, Option<FaultKind>, usize);
+
+/// Compute the contiguous file-order prefix of a striped request that is
+/// guaranteed transferred.
+///
+/// One server's portion consists of round-robin stripes that *interleave*
+/// with other servers' stripes in file order, so "sum of completed
+/// portions" is not a prefix. Instead, flatten every issued chunk with its
+/// transferred length and walk them in file order from `offset`,
+/// accumulating while each chunk is fully transferred; a partially
+/// transferred chunk contributes its prefix and stops the walk.
+///
+/// Returns `None` when every portion completed, otherwise
+/// `Some((prefix_bytes, fault, server))` where the fault is the one that
+/// bounds the prefix.
+fn completed_prefix(offset: u64, portions: &[PortionStatus]) -> Option<(u64, FaultKind, usize)> {
+    if portions.iter().all(|(_, _, fault, _)| fault.is_none()) {
+        return None;
+    }
+    // Flatten to (file_offset, len, transferred, portion fault, server).
+    let mut chunks: Vec<(u64, u64, u64, Option<FaultKind>, usize)> = Vec::new();
+    for (cs, bytes_done, fault, srv) in portions {
+        let mut remaining = *bytes_done;
+        for c in cs {
+            let take = remaining.min(c.len);
+            remaining -= take;
+            chunks.push((c.file_offset, c.len, take, *fault, *srv));
+        }
+    }
+    chunks.sort_by_key(|&(off, ..)| off);
+    let mut end = offset;
+    for (off, len, transferred, fault, srv) in chunks {
+        debug_assert_eq!(off, end, "striped chunks must tile the request");
+        end = off + transferred;
+        if transferred < len {
+            let fault = fault.expect("an under-transferred chunk belongs to a faulted portion");
+            return Some((end - offset, fault, srv));
+        }
+    }
+    // Every chunk fully transferred yet some portion faulted: the fault hit
+    // at the very end (e.g. a short fault whose prefix covered everything
+    // issued so far). Report zero remaining credit past the full request.
+    let (_, _, fault, srv) = portions
+        .iter()
+        .find(|(_, _, fault, _)| fault.is_some())
+        .expect("checked above");
+    Some((end - offset, fault.expect("is_some checked"), *srv))
+}
+
+/// Highest file offset any transferred byte reached (for growing the file
+/// size after a partially failed write). Zero when nothing landed.
+fn transferred_end(portions: &[PortionStatus]) -> u64 {
+    let mut end = 0u64;
+    for (cs, bytes_done, _, _) in portions {
+        let mut remaining = *bytes_done;
+        for c in cs {
+            let take = remaining.min(c.len);
+            remaining -= take;
+            if take > 0 {
+                end = end.max(c.file_offset + take);
+            }
+        }
+    }
+    end
 }
 
 #[cfg(test)]
@@ -306,6 +532,61 @@ mod tests {
         assert_eq!(
             f.read_at(Time::from_millis(5), 0, &mut empty),
             Time::from_millis(5)
+        );
+    }
+
+    #[test]
+    fn legacy_wrappers_recover_from_transient_faults() {
+        let mut cfg = SimConfig::test_small();
+        cfg.faults = hpc_sim::FaultPlan {
+            transient: 0.3,
+            short: 0.2,
+            ..hpc_sim::FaultPlan::default()
+        };
+        cfg.profile.set_enabled(true);
+        let f = Pfs::new(cfg.clone(), StorageMode::Full).create("faulty");
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 241) as u8).collect();
+        let t = f.write_at(Time::ZERO, 64, &data);
+        let mut out = vec![0u8; data.len()];
+        f.read_at(t, 64, &mut out);
+        assert_eq!(out, data, "recovered write/read must be byte-identical");
+        let fc = cfg.profile.fault_counters();
+        assert!(fc.faults_injected > 0, "plan should have fired");
+        assert!(fc.retries > 0);
+        assert!(fc.backoff_nanos > 0);
+    }
+
+    #[test]
+    fn try_write_reports_contiguous_prefix() {
+        let mut cfg = SimConfig::test_small();
+        cfg.faults = hpc_sim::FaultPlan {
+            short: 1.0,
+            ..hpc_sim::FaultPlan::default()
+        };
+        let f = Pfs::new(cfg, StorageMode::Full).create("short");
+        let data = vec![7u8; 4000];
+        let err = f.try_write_at(Time::ZERO, 0, &data).unwrap_err();
+        assert!(err.completed < 4000);
+        assert!(err.time > Time::ZERO);
+        // The reported prefix really landed. (Bytes *beyond* it may also
+        // have landed — portions interleave across servers — which is fine:
+        // recovery rewrites them with identical bytes.)
+        let mut buf = vec![1u8; 4000];
+        f.peek_at(0, &mut buf);
+        let c = err.completed as usize;
+        assert_eq!(&buf[..c], &data[..c]);
+    }
+
+    #[test]
+    fn inert_plan_leaves_timings_unchanged() {
+        // The fault machinery must cost nothing when inactive: identical
+        // completion times with and without the (default) plan wired in.
+        let f1 = file();
+        let f2 = file();
+        let data = vec![3u8; 9000];
+        assert_eq!(
+            f1.try_write_at(Time::ZERO, 128, &data).unwrap(),
+            f2.write_at(Time::ZERO, 128, &data)
         );
     }
 

@@ -39,7 +39,14 @@ impl Pfs {
     pub fn new(cfg: SimConfig, mode: StorageMode) -> Pfs {
         let striping = Striping::new(cfg.stripe_size as u64, cfg.io_servers);
         let servers = (0..cfg.io_servers)
-            .map(|_| Mutex::new(Server::new(cfg.stripe_size as u64, mode)))
+            .map(|i| {
+                Mutex::new(Server::with_faults(
+                    cfg.stripe_size as u64,
+                    mode,
+                    cfg.faults.clone(),
+                    i,
+                ))
+            })
             .collect();
         Pfs {
             inner: Arc::new(PfsInner {

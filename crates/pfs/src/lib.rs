@@ -27,8 +27,9 @@ pub mod server;
 pub mod storage;
 pub mod stripe;
 
-pub use file::PfsFile;
+pub use file::{IoFailure, PfsFile};
 pub use filesystem::Pfs;
 pub use posix::PosixSim;
+pub use server::{Server, ServiceOutcome};
 pub use storage::StorageMode;
 pub use stripe::{StripeChunk, Striping};

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use hpc_sim::{DiskModel, Time};
+use hpc_sim::{DiskModel, FaultKind, FaultPlan, Time};
 
 use crate::storage::{StorageMode, StripeStore};
 use crate::stripe::StripeChunk;
@@ -23,12 +23,19 @@ pub struct Server {
     store: StripeStore,
     mode: StorageMode,
     stripe_size: u64,
+    /// Fault-injection plan (inert by default).
+    plan: FaultPlan,
+    /// This server's index (keys the fault decisions).
+    server_id: usize,
+    /// Monotonic operation counter; serialized under the server's mutex,
+    /// so `(seed, server_id, ops)` fully determines each fault decision.
+    ops: u64,
 }
 
 /// Timing outcome of one server request.
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceOutcome {
-    /// When the request completed.
+    /// When the request completed (or the failure was reported).
     pub done: Time,
     /// Whether the positioning cost was charged.
     pub seeked: bool,
@@ -36,17 +43,48 @@ pub struct ServiceOutcome {
     /// request's start on the same file; 0 when sequential or when this is
     /// the file's first request on this server.
     pub seek_distance: u64,
+    /// The fault injected while servicing, if any. Stalls complete the
+    /// request (the delay is inside `done`); transient/short/crashed
+    /// outcomes transferred only `bytes_done` bytes.
+    pub injected: Option<FaultKind>,
+    /// Bytes actually transferred — the full request normally and for
+    /// stalls, a strict prefix for short I/O, zero for transient/crashed.
+    pub bytes_done: u64,
+}
+
+impl ServiceOutcome {
+    /// Whether the request fully transferred (stalls count as success).
+    pub fn is_complete(&self) -> bool {
+        !matches!(
+            self.injected,
+            Some(FaultKind::Transient) | Some(FaultKind::Short { .. }) | Some(FaultKind::Crashed)
+        )
+    }
 }
 
 impl Server {
-    /// New idle server.
+    /// New idle server with fault injection disabled.
     pub fn new(stripe_size: u64, mode: StorageMode) -> Server {
+        Server::with_faults(stripe_size, mode, FaultPlan::default(), 0)
+    }
+
+    /// New idle server injecting faults per `plan`, identified as
+    /// `server_id` in the plan's decisions.
+    pub fn with_faults(
+        stripe_size: u64,
+        mode: StorageMode,
+        plan: FaultPlan,
+        server_id: usize,
+    ) -> Server {
         Server {
             next_free: Time::ZERO,
             last_end: HashMap::new(),
             store: StripeStore::new(stripe_size),
             mode,
             stripe_size,
+            plan,
+            server_id,
+            ops: 0,
         }
     }
 
@@ -65,6 +103,80 @@ impl Server {
         metadata_sized: bool,
     ) -> ServiceOutcome {
         debug_assert_eq!(chunks.len(), data.len());
+        let bytes: u64 = chunks.iter().map(|c| c.len).sum();
+        match self.decide(arrival, bytes) {
+            FaultKind::None => {
+                self.write_serviced(disk, file, arrival, chunks, data, metadata_sized, None)
+            }
+            FaultKind::Stall { delay } => {
+                let out = self.write_serviced(
+                    disk,
+                    file,
+                    arrival,
+                    chunks,
+                    data,
+                    metadata_sized,
+                    Some(FaultKind::Stall { delay }),
+                );
+                self.next_free += delay;
+                ServiceOutcome {
+                    done: out.done + delay,
+                    ..out
+                }
+            }
+            FaultKind::Transient => self.refuse(disk, arrival, FaultKind::Transient),
+            FaultKind::Crashed => ServiceOutcome {
+                // The server does not respond; the client detects the
+                // failure after a request-timeout's worth of virtual time.
+                // The disk queue is untouched — the machine is down.
+                done: arrival + disk.per_request,
+                seeked: false,
+                seek_distance: 0,
+                injected: Some(FaultKind::Crashed),
+                bytes_done: 0,
+            },
+            FaultKind::Short { bytes_done } => {
+                // Transfer only the first `bytes_done` bytes of the request
+                // (in file order), exactly like a short write(2).
+                let mut remaining = bytes_done;
+                let mut tchunks = Vec::new();
+                let mut tdata: Vec<&[u8]> = Vec::new();
+                for (c, d) in chunks.iter().zip(data) {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let take = c.len.min(remaining);
+                    tchunks.push(StripeChunk { len: take, ..*c });
+                    tdata.push(&d[..take as usize]);
+                    remaining -= take;
+                }
+                let out = self.write_serviced(
+                    disk,
+                    file,
+                    arrival,
+                    &tchunks,
+                    &tdata,
+                    metadata_sized,
+                    Some(FaultKind::Short { bytes_done }),
+                );
+                ServiceOutcome { bytes_done, ..out }
+            }
+        }
+    }
+
+    /// The fault-free write path: store (mode permitting), charge disk
+    /// time, apply the partial-stripe penalty.
+    #[allow(clippy::too_many_arguments)]
+    fn write_serviced(
+        &mut self,
+        disk: &DiskModel,
+        file: u64,
+        arrival: Time,
+        chunks: &[StripeChunk],
+        data: &[&[u8]],
+        metadata_sized: bool,
+        injected: Option<FaultKind>,
+    ) -> ServiceOutcome {
         let keep = match self.mode {
             StorageMode::Full => true,
             StorageMode::CostOnly => false,
@@ -87,7 +199,7 @@ impl Server {
             .iter()
             .filter(|c| c.offset_in_stripe != 0 || c.len < self.stripe_size)
             .count();
-        let out = self.service(disk, file, arrival, chunks);
+        let out = self.service(disk, file, arrival, chunks, injected);
         if partial > 0 {
             let rmw = disk.stream(partial * self.stripe_size as usize);
             self.next_free += rmw;
@@ -110,6 +222,75 @@ impl Server {
         out: &mut [&mut [u8]],
     ) -> ServiceOutcome {
         debug_assert_eq!(chunks.len(), out.len());
+        let bytes: u64 = chunks.iter().map(|c| c.len).sum();
+        match self.decide(arrival, bytes) {
+            FaultKind::None => self.read_serviced(disk, file, arrival, chunks, out, None),
+            FaultKind::Stall { delay } => {
+                let o = self.read_serviced(
+                    disk,
+                    file,
+                    arrival,
+                    chunks,
+                    out,
+                    Some(FaultKind::Stall { delay }),
+                );
+                self.next_free += delay;
+                ServiceOutcome {
+                    done: o.done + delay,
+                    ..o
+                }
+            }
+            FaultKind::Transient => self.refuse(disk, arrival, FaultKind::Transient),
+            FaultKind::Crashed => ServiceOutcome {
+                done: arrival + disk.per_request,
+                seeked: false,
+                seek_distance: 0,
+                injected: Some(FaultKind::Crashed),
+                bytes_done: 0,
+            },
+            FaultKind::Short { bytes_done } => {
+                // Deliver only the first `bytes_done` bytes; the suffix of
+                // the output buffers is untouched so the recovery layer can
+                // resume at the partial offset.
+                let mut remaining = bytes_done;
+                let mut tchunks = Vec::new();
+                for (c, o) in chunks.iter().zip(out.iter_mut()) {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let take = c.len.min(remaining);
+                    let prefix = &mut o[..take as usize];
+                    match self.mode {
+                        StorageMode::Full | StorageMode::MetadataOnly => {
+                            self.store.read(file, c.stripe, c.offset_in_stripe, prefix)
+                        }
+                        StorageMode::CostOnly => prefix.fill(0),
+                    }
+                    tchunks.push(StripeChunk { len: take, ..*c });
+                    remaining -= take;
+                }
+                let o = self.service(
+                    disk,
+                    file,
+                    arrival,
+                    &tchunks,
+                    Some(FaultKind::Short { bytes_done }),
+                );
+                ServiceOutcome { bytes_done, ..o }
+            }
+        }
+    }
+
+    /// The fault-free read path.
+    fn read_serviced(
+        &mut self,
+        disk: &DiskModel,
+        file: u64,
+        arrival: Time,
+        chunks: &[StripeChunk],
+        out: &mut [&mut [u8]],
+        injected: Option<FaultKind>,
+    ) -> ServiceOutcome {
         for (c, o) in chunks.iter().zip(out.iter_mut()) {
             debug_assert_eq!(c.len as usize, o.len());
             match self.mode {
@@ -119,7 +300,33 @@ impl Server {
                 StorageMode::CostOnly => o.fill(0),
             }
         }
-        self.service(disk, file, arrival, chunks)
+        self.service(disk, file, arrival, chunks, injected)
+    }
+
+    /// Draw the fault decision for the next operation. Free when the plan
+    /// is inert.
+    fn decide(&mut self, arrival: Time, bytes: u64) -> FaultKind {
+        if !self.plan.is_active() {
+            return FaultKind::None;
+        }
+        let op = self.ops;
+        self.ops += 1;
+        self.plan.decide(self.server_id, op, arrival, bytes)
+    }
+
+    /// A failed attempt: the request reached the disk queue and bounced.
+    /// The per-request overhead is charged so fault storms cost time.
+    fn refuse(&mut self, disk: &DiskModel, arrival: Time, kind: FaultKind) -> ServiceOutcome {
+        let start = self.next_free.max(arrival);
+        let done = start + disk.per_request;
+        self.next_free = done;
+        ServiceOutcome {
+            done,
+            seeked: false,
+            seek_distance: 0,
+            injected: Some(kind),
+            bytes_done: 0,
+        }
     }
 
     /// Charge the disk time for one coalesced request over `chunks`.
@@ -129,6 +336,7 @@ impl Server {
         file: u64,
         arrival: Time,
         chunks: &[StripeChunk],
+        injected: Option<FaultKind>,
     ) -> ServiceOutcome {
         let bytes: u64 = chunks.iter().map(|c| c.len).sum();
         if chunks.is_empty() {
@@ -136,6 +344,8 @@ impl Server {
                 done: arrival,
                 seeked: false,
                 seek_distance: 0,
+                injected,
+                bytes_done: 0,
             };
         }
         let first = chunks[0].file_offset;
@@ -151,6 +361,8 @@ impl Server {
             done,
             seeked: !sequential,
             seek_distance: prev_end.map(|e| e.abs_diff(first)).unwrap_or(0),
+            injected,
+            bytes_done: bytes,
         }
     }
 
@@ -252,6 +464,96 @@ mod tests {
         let mut outs: Vec<&mut [u8]> = vec![&mut buf];
         s.read(&d, 0, Time::ZERO, &[chunk(0, 4)], &mut outs);
         assert_eq!(buf, [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn transient_fault_transfers_nothing_and_costs_time() {
+        let plan = FaultPlan {
+            transient: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut s = Server::with_faults(1024, StorageMode::Full, plan, 0);
+        let d = disk();
+        let out = s.write(&d, 0, Time::ZERO, &[chunk(0, 100)], &[&[1u8; 100]], true);
+        assert_eq!(out.injected, Some(FaultKind::Transient));
+        assert_eq!(out.bytes_done, 0);
+        assert!(!out.is_complete());
+        assert!(out.done > Time::ZERO);
+        // Nothing was stored.
+        let mut buf = [9u8; 100];
+        s.peek(0, 0, 0, &mut buf);
+        assert_eq!(buf, [0u8; 100]);
+    }
+
+    #[test]
+    fn short_write_stores_exact_prefix() {
+        let plan = FaultPlan {
+            short: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut s = Server::with_faults(1024, StorageMode::Full, plan, 0);
+        let d = disk();
+        let data: Vec<u8> = (1..=200).map(|i| (i % 251) as u8).collect();
+        let out = s.write(&d, 0, Time::ZERO, &[chunk(0, 200)], &[&data], true);
+        let done = match out.injected {
+            Some(FaultKind::Short { bytes_done }) => bytes_done,
+            other => panic!("expected short fault, got {other:?}"),
+        };
+        assert_eq!(out.bytes_done, done);
+        assert!(done > 0 && done < 200);
+        let mut buf = vec![0u8; 200];
+        s.peek(0, 0, 0, &mut buf);
+        assert_eq!(&buf[..done as usize], &data[..done as usize]);
+        assert_eq!(&buf[done as usize..], &vec![0u8; 200 - done as usize][..]);
+    }
+
+    #[test]
+    fn stall_completes_but_takes_longer() {
+        let d = disk();
+        let mut plain = Server::new(1024, StorageMode::Full);
+        let base = plain.write(&d, 0, Time::ZERO, &[chunk(0, 100)], &[&[1u8; 100]], true);
+        let plan = FaultPlan {
+            stall: 1.0,
+            stall_time: Time::from_millis(10),
+            ..FaultPlan::default()
+        };
+        let mut s = Server::with_faults(1024, StorageMode::Full, plan, 0);
+        let out = s.write(&d, 0, Time::ZERO, &[chunk(0, 100)], &[&[1u8; 100]], true);
+        assert!(matches!(out.injected, Some(FaultKind::Stall { .. })));
+        assert!(out.is_complete());
+        assert_eq!(out.bytes_done, 100);
+        assert!(out.done >= base.done + Time::from_millis(10));
+        // The payload still landed.
+        let mut buf = [0u8; 100];
+        s.peek(0, 0, 0, &mut buf);
+        assert_eq!(buf, [1u8; 100]);
+    }
+
+    #[test]
+    fn crashed_server_refuses_until_restart() {
+        let plan = FaultPlan {
+            crash: Some(hpc_sim::CrashSpec {
+                server: 0,
+                at: Time::ZERO,
+                restart: Some(Time::from_millis(1)),
+            }),
+            ..FaultPlan::default()
+        };
+        let mut s = Server::with_faults(1024, StorageMode::Full, plan, 0);
+        let d = disk();
+        let out = s.write(&d, 0, Time::ZERO, &[chunk(0, 50)], &[&[3u8; 50]], true);
+        assert_eq!(out.injected, Some(FaultKind::Crashed));
+        assert_eq!(out.bytes_done, 0);
+        // After restart the same write succeeds.
+        let out = s.write(
+            &d,
+            0,
+            Time::from_millis(2),
+            &[chunk(0, 50)],
+            &[&[3u8; 50]],
+            true,
+        );
+        assert!(out.is_complete());
     }
 
     #[test]

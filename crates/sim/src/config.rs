@@ -14,6 +14,7 @@
 
 use crate::cpu::CpuModel;
 use crate::disk::DiskModel;
+use crate::fault::FaultPlan;
 use crate::network::NetworkModel;
 use crate::time::Time;
 use pnetcdf_trace::Profile;
@@ -42,6 +43,8 @@ pub struct SimConfig {
     /// system servers built from one config all record into the same
     /// profile. Disabled (and essentially free) by default.
     pub profile: Profile,
+    /// Fault-injection plan applied by the PFS servers; inert by default.
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -70,6 +73,7 @@ impl SimConfig {
             client_link_bw: 110e6,
             client_link_latency: Time::from_micros(30),
             profile: Profile::new(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -97,6 +101,7 @@ impl SimConfig {
             client_link_bw: 90e6,
             client_link_latency: Time::from_micros(35),
             profile: Profile::new(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -122,6 +127,7 @@ impl SimConfig {
             client_link_bw: 400e6,
             client_link_latency: Time::from_micros(10),
             profile: Profile::new(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -172,6 +178,12 @@ impl SimConfigBuilder {
     /// Override the interconnect model.
     pub fn network(mut self, network: NetworkModel) -> Self {
         self.cfg.network = network;
+        self
+    }
+
+    /// Install a fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = plan;
         self
     }
 

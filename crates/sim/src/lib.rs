@@ -26,6 +26,7 @@ pub mod clock;
 pub mod config;
 pub mod cpu;
 pub mod disk;
+pub mod fault;
 pub mod network;
 pub mod stats;
 pub mod time;
@@ -34,10 +35,11 @@ pub use clock::SharedClocks;
 pub use config::{SimConfig, SimConfigBuilder};
 pub use cpu::CpuModel;
 pub use disk::DiskModel;
+pub use fault::{CrashSpec, FaultKind, FaultPlan};
 pub use network::NetworkModel;
 pub use stats::SimStats;
 pub use time::Time;
 
 /// Re-export of the profiling layer every consumer of [`SimConfig`] sees.
 pub use pnetcdf_trace as trace;
-pub use pnetcdf_trace::{CollKind, Phase, PhaseScope, Profile, ProfileSnapshot};
+pub use pnetcdf_trace::{CollKind, FaultCounters, Phase, PhaseScope, Profile, ProfileSnapshot};

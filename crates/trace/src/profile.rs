@@ -126,6 +126,32 @@ pub struct TwophaseCounters {
     pub exchange_wire_bytes: u64,
 }
 
+/// Fault-injection and recovery counters (PFS faults and the MPI-IO
+/// retry/backoff layer that hides them).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Total faults the PFS servers injected (all kinds).
+    pub faults_injected: u64,
+    /// Transient EIO faults injected.
+    pub transient: u64,
+    /// Short (partial byte count) reads/writes injected.
+    pub short: u64,
+    /// Latency stalls injected (charged to virtual time, not errors).
+    pub stalls: u64,
+    /// Requests refused because the server was crashed.
+    pub crashed: u64,
+    /// Recovery-layer retries after a transient or crash fault.
+    pub retries: u64,
+    /// Virtual nanoseconds spent in exponential backoff before retries.
+    pub backoff_nanos: u64,
+    /// Short-I/O completion resumptions at the partial offset.
+    pub short_completions: u64,
+    /// Retry budgets exhausted (`MpioError::Exhausted` surfaced).
+    pub exhausted: u64,
+    /// Collective error agreements that propagated a fault to all ranks.
+    pub agreed_errors: u64,
+}
+
 struct Inner {
     enabled: AtomicBool,
     /// Per-rank, per-phase simulated nanoseconds. Grown on demand.
@@ -142,6 +168,7 @@ struct Inner {
     sieve_read: Mutex<SieveCounters>,
     sieve_write: Mutex<SieveCounters>,
     twophase: Mutex<TwophaseCounters>,
+    faults: Mutex<FaultCounters>,
     /// Named report fragments attached by higher layers (dataset roll-ups).
     extras: Mutex<Vec<(String, Json)>>,
 }
@@ -185,6 +212,7 @@ impl Profile {
                 sieve_read: Mutex::new(SieveCounters::default()),
                 sieve_write: Mutex::new(SieveCounters::default()),
                 twophase: Mutex::new(TwophaseCounters::default()),
+                faults: Mutex::new(FaultCounters::default()),
                 extras: Mutex::new(Vec::new()),
             }),
         }
@@ -308,6 +336,20 @@ impl Profile {
         f(&mut self.inner.twophase.lock().unwrap());
     }
 
+    /// Update the fault-injection/recovery counters.
+    pub fn record_fault(&self, f: impl FnOnce(&mut FaultCounters)) {
+        if !self.is_enabled() {
+            return;
+        }
+        f(&mut self.inner.faults.lock().unwrap());
+    }
+
+    /// Copy of the fault-injection/recovery counters (tests and smoke
+    /// assertions read these directly).
+    pub fn fault_counters(&self) -> FaultCounters {
+        *self.inner.faults.lock().unwrap()
+    }
+
     /// Attach a named report fragment (e.g. a dataset roll-up at close).
     /// Replaces an existing fragment with the same name.
     pub fn attach_extra(&self, name: &str, value: Json) {
@@ -347,6 +389,7 @@ impl Profile {
             sieve_read: *self.inner.sieve_read.lock().unwrap(),
             sieve_write: *self.inner.sieve_write.lock().unwrap(),
             twophase: *self.inner.twophase.lock().unwrap(),
+            faults: *self.inner.faults.lock().unwrap(),
             extras: self.inner.extras.lock().unwrap().clone(),
         }
     }
@@ -376,6 +419,7 @@ impl Profile {
         *self.inner.sieve_read.lock().unwrap() = SieveCounters::default();
         *self.inner.sieve_write.lock().unwrap() = SieveCounters::default();
         *self.inner.twophase.lock().unwrap() = TwophaseCounters::default();
+        *self.inner.faults.lock().unwrap() = FaultCounters::default();
         self.inner.extras.lock().unwrap().clear();
     }
 }
@@ -407,6 +451,7 @@ pub struct ProfileSnapshot {
     pub sieve_read: SieveCounters,
     pub sieve_write: SieveCounters,
     pub twophase: TwophaseCounters,
+    pub faults: FaultCounters,
     pub extras: Vec<(String, Json)>,
 }
 

@@ -85,6 +85,19 @@ impl ProfileSnapshot {
             .with("rmw_windows", Json::from(tp.rmw_windows))
             .with("exchange_wire_bytes", Json::from(tp.exchange_wire_bytes));
 
+        let fc = &self.faults;
+        let faults = Json::obj()
+            .with("faults_injected", Json::from(fc.faults_injected))
+            .with("transient", Json::from(fc.transient))
+            .with("short", Json::from(fc.short))
+            .with("stalls", Json::from(fc.stalls))
+            .with("crashed", Json::from(fc.crashed))
+            .with("retries", Json::from(fc.retries))
+            .with("backoff_time", Json::from(nanos_to_s(fc.backoff_nanos)))
+            .with("short_completions", Json::from(fc.short_completions))
+            .with("exhausted", Json::from(fc.exhausted))
+            .with("agreed_errors", Json::from(fc.agreed_errors));
+
         let attributed = self.rank_total(critical);
         let mut report = Json::obj()
             .with("sim_total_s", Json::from(nanos_to_s(sim_total_nanos)))
@@ -105,7 +118,8 @@ impl ProfileSnapshot {
             .with("request_sizes", self.histograms_json())
             .with("servers", Json::Arr(servers))
             .with("sieve", sieve)
-            .with("twophase", twophase);
+            .with("twophase", twophase)
+            .with("faults", faults);
         for (name, value) in &self.extras {
             report.set(name, value.clone());
         }
