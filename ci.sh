@@ -22,11 +22,12 @@ PNETCDF_REPORT_DIR="$report_dir" ./target/release/fig7_flashio --quick >/dev/nul
 report="$report_dir/fig7_flashio.profile.json"
 [ -f "$report" ] || { echo "FAIL: $report was not written"; exit 1; }
 for key in exchange_offsets exchange_data disk_write disk_read metadata wait \
-           collbuf_pack compute p2p coverage per_rank twophase; do
+           collbuf_pack compute p2p cache coverage per_rank twophase; do
     grep -q "\"$key\"" "$report" || { echo "FAIL: report missing key \"$key\""; exit 1; }
 done
 rm -rf "$report_dir"
-echo "    report OK: all phase keys present"
+[ -f BENCH_fig7.json ] || { echo "FAIL: BENCH_fig7.json was not written"; exit 1; }
+echo "    report OK: all phase keys present; BENCH_fig7.json written"
 
 echo "==> fault smoke: FLASH checkpoint under injected faults"
 report_dir=$(mktemp -d)
@@ -39,5 +40,27 @@ for key in faults faults_injected retries backoff_time short_completions \
 done
 rm -rf "$report_dir"
 echo "    fault report OK: injection and recovery counters present"
+
+echo "==> cache smoke: FLASH checkpoint through the client page cache"
+report_dir=$(mktemp -d)
+PNETCDF_REPORT_DIR="$report_dir" ./target/release/cache_smoke
+report="$report_dir/cache_smoke.profile.json"
+[ -f "$report" ] || { echo "FAIL: $report was not written"; exit 1; }
+for key in hits hit_bytes misses evictions write_behind_flushes \
+           write_behind_bytes readahead_issued invalidations \
+           byte_identical cached_mb_s uncached_mb_s; do
+    grep -q "\"$key\"" "$report" || { echo "FAIL: report missing key \"$key\""; exit 1; }
+done
+grep -q '"byte_identical": true' "$report" \
+    || { echo "FAIL: cached output not byte-identical"; exit 1; }
+rm -rf "$report_dir"
+echo "    cache report OK: hit/write-behind counters present, bytes identical"
+
+echo "==> bench results: fig6_scalability --quick (BENCH_fig6.json)"
+report_dir=$(mktemp -d)
+PNETCDF_REPORT_DIR="$report_dir" ./target/release/fig6_scalability --quick >/dev/null
+rm -rf "$report_dir"
+[ -f BENCH_fig6.json ] || { echo "FAIL: BENCH_fig6.json was not written"; exit 1; }
+echo "    BENCH_fig6.json written"
 
 echo "CI OK"

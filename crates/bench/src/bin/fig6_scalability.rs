@@ -91,6 +91,56 @@ fn run_serial(dims: (u64, u64, u64)) -> (Time, Time) {
     (t_write, t_read)
 }
 
+/// Small-strided independent variant for the client-cache comparison: each
+/// rank owns a band of z-planes and writes it one y-row (512 B) at a time
+/// in independent data mode, then reads it back plane by plane. Returns
+/// (write, read) times for the critical rank.
+fn run_indep_chunked(dims: (u64, u64, u64), nprocs: usize, cached: bool) -> (Time, Time) {
+    let cfg = SimConfig::sdsc_blue_horizon();
+    let pfs = Pfs::new(cfg.clone(), StorageMode::CostOnly);
+    let info = if cached {
+        Info::new().with("pnc_cache", "enable")
+    } else {
+        Info::new()
+    };
+    let run = run_world(nprocs, cfg, move |comm| {
+        let mut ds = Dataset::create(comm, &pfs, "tt.nc", Version::Cdf2, &info).unwrap();
+        let z = ds.def_dim("level", dims.0).unwrap();
+        let y = ds.def_dim("latitude", dims.1).unwrap();
+        let x = ds.def_dim("longitude", dims.2).unwrap();
+        let tt = ds.def_var("tt", NcType::Float, &[z, y, x]).unwrap();
+        ds.enddef().unwrap();
+
+        let per = dims.0 / nprocs as u64;
+        let z0 = comm.rank() as u64 * per;
+        let row = vec![1.0f32; dims.2 as usize];
+        ds.begin_indep_data().unwrap();
+        let t0 = comm.now();
+        for zp in z0..z0 + per {
+            for yp in 0..dims.1 {
+                ds.put_vara(tt, &[zp, yp, 0], &[1, 1, dims.2], &row)
+                    .unwrap();
+            }
+        }
+        ds.end_indep_data().unwrap();
+        let t_write = comm.now() - t0;
+
+        ds.begin_indep_data().unwrap();
+        let t1 = comm.now();
+        for zp in z0..z0 + per {
+            let _plane: Vec<f32> = ds.get_vara(tt, &[zp, 0, 0], &[1, dims.1, dims.2]).unwrap();
+        }
+        ds.end_indep_data().unwrap();
+        let t_read = comm.now() - t1;
+        ds.close().unwrap();
+        (t_write, t_read)
+    });
+    (
+        run.results.iter().map(|r| r.0).max().unwrap(),
+        run.results.iter().map(|r| r.1).max().unwrap(),
+    )
+}
+
 /// Chart spec: label, array dims, process counts.
 type Chart = (&'static str, (u64, u64, u64), Vec<usize>);
 
@@ -161,6 +211,61 @@ fn main() {
             "MB/s",
         );
     }
+    // Client page cache on the small-strided independent pattern the
+    // collective charts above deliberately avoid: y-row writes, plane
+    // reads, cached vs uncached. Machine-readable results land in
+    // BENCH_fig6.json in the working directory.
+    println!();
+    println!("# Client page cache: independent y-row writes / plane reads");
+    let cache_dims = (64u64, 128, 128);
+    let cache_procs: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 4, 8, 16] };
+    let cache_bytes = (cache_dims.0 * cache_dims.1 * cache_dims.2 * 4) as f64;
+    let cmb = |t: Time| cache_bytes / t.as_secs_f64() / 1e6;
+    let mut bench_rows = Vec::new();
+    let mut wseries = (Vec::new(), Vec::new());
+    for &p in &cache_procs {
+        let (uw, ur) = run_indep_chunked(cache_dims, p, false);
+        let (cw, cr) = run_indep_chunked(cache_dims, p, true);
+        eprintln!(
+            "  done: cache compare {p} procs: write {:.1} -> {:.1} MB/s, read {:.1} -> {:.1} MB/s",
+            cmb(uw),
+            cmb(cw),
+            cmb(ur),
+            cmb(cr)
+        );
+        bench_rows.push(
+            Json::obj()
+                .with("ranks", p)
+                .with("uncached_write_mb_s", cmb(uw))
+                .with("cached_write_mb_s", cmb(cw))
+                .with("uncached_read_mb_s", cmb(ur))
+                .with("cached_read_mb_s", cmb(cr))
+                .with("write_speedup", cmb(cw) / cmb(uw)),
+        );
+        wseries.0.push(cmb(uw));
+        wseries.1.push(cmb(cw));
+    }
+    let cxs: Vec<String> = cache_procs.iter().map(|p| p.to_string()).collect();
+    print_series(
+        "Independent y-row write (4 MB)",
+        "mode",
+        &cxs,
+        &[
+            ("uncached".to_string(), wseries.0),
+            ("cached".to_string(), wseries.1),
+        ],
+        "MB/s",
+    );
+    let bench = Json::obj()
+        .with("benchmark", "fig6_scalability_cache")
+        .with(
+            "dims",
+            format!("{}x{}x{}", cache_dims.0, cache_dims.1, cache_dims.2),
+        )
+        .with("rows", Json::Arr(bench_rows));
+    std::fs::write("BENCH_fig6.json", bench.pretty()).expect("writing BENCH_fig6.json");
+    eprintln!("  bench results: BENCH_fig6.json");
+
     write_report(
         "fig6_scalability.profile.json",
         &Json::obj()

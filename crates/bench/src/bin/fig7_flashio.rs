@@ -17,12 +17,12 @@
 //!   --quick  fewer blocks/proc and processors (smoke test)
 //!   --full   extends to 512 processors on the 8³ corner chart, as plotted
 
-use flash_io::{run_flash_io, FlashConfig, IoLibrary, OutputKind};
+use flash_io::{run_flash_io, run_flash_io_mode, FlashConfig, IoLibrary, OutputKind, WriteMode};
 use hpc_sim::trace::Json;
 use hpc_sim::SimConfig;
 use pnetcdf_bench::report::{check_coverage, write_report};
 use pnetcdf_bench::table::print_series;
-use pnetcdf_pfs::StorageMode;
+use pnetcdf_pfs::{Pfs, StorageMode};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -102,6 +102,90 @@ fn main() {
             );
         }
     }
+    // Client-cache trajectory: the checkpoint written the way FLASH emits
+    // it natively (independent per-block puts), with and without the page
+    // cache, against the collective port. Machine-readable results land in
+    // BENCH_fig7.json in the working directory.
+    println!();
+    println!("# Client page cache: checkpoint 8x8x8, independent per-block puts");
+    let mut bench_rows = Vec::new();
+    let mut cached_series = (Vec::new(), Vec::new(), Vec::new());
+    for &p in &procs {
+        let config = FlashConfig {
+            nxb: 8,
+            nprocs: p,
+            kind: OutputKind::Checkpoint,
+            lib: IoLibrary::Pnetcdf,
+            blocks_per_proc,
+            attributes: false,
+        };
+        let coll = run_flash_io(config, SimConfig::asci_frost(), StorageMode::CostOnly);
+
+        let sim_u = SimConfig::asci_frost();
+        let pfs_u = Pfs::new(sim_u.clone(), StorageMode::CostOnly);
+        let uncached = run_flash_io_mode(config, sim_u, &pfs_u, WriteMode::uncached());
+
+        let sim_c = SimConfig::asci_frost();
+        sim_c.profile.set_enabled(true);
+        let pfs_c = Pfs::new(sim_c.clone(), StorageMode::CostOnly);
+        let cached = run_flash_io_mode(config, sim_c.clone(), &pfs_c, WriteMode::cached(8 << 20));
+        let cc = sim_c.profile.cache_counters();
+        assert!(cc.hits > 0, "cached run must hit its cache: {cc:?}");
+        assert!(
+            cc.write_behind_bytes > 0,
+            "cached run must flush via write-behind: {cc:?}"
+        );
+        assert!(
+            cached.bandwidth_mb_s > uncached.bandwidth_mb_s,
+            "page cache must beat uncached per-block writes at {p} procs \
+             ({:.1} vs {:.1} MB/s)",
+            cached.bandwidth_mb_s,
+            uncached.bandwidth_mb_s
+        );
+        let profile = sim_c.profile.snapshot().to_json(cached.time.as_nanos());
+        check_coverage(&profile, 0.05);
+        eprintln!(
+            "  done: cache trajectory {p} procs: collective {:.1}, uncached {:.1}, cached {:.1} MB/s",
+            coll.bandwidth_mb_s, uncached.bandwidth_mb_s, cached.bandwidth_mb_s
+        );
+        bench_rows.push(
+            Json::obj()
+                .with("ranks", p)
+                .with("collective_mb_s", coll.bandwidth_mb_s)
+                .with("indep_uncached_mb_s", uncached.bandwidth_mb_s)
+                .with("indep_cached_mb_s", cached.bandwidth_mb_s)
+                .with(
+                    "cache_speedup",
+                    cached.bandwidth_mb_s / uncached.bandwidth_mb_s,
+                )
+                .with("cache_hits", cc.hits)
+                .with("cache_write_behind_bytes", cc.write_behind_bytes)
+                .with("cache_evictions", cc.evictions),
+        );
+        cached_series.0.push(coll.bandwidth_mb_s);
+        cached_series.1.push(uncached.bandwidth_mb_s);
+        cached_series.2.push(cached.bandwidth_mb_s);
+    }
+    print_series(
+        "FLASH I/O checkpoint (8x8x8), per-block independent puts",
+        "mode",
+        &xs,
+        &[
+            ("collective".to_string(), cached_series.0),
+            ("indep uncached".to_string(), cached_series.1),
+            ("indep cached".to_string(), cached_series.2),
+        ],
+        "MB/s",
+    );
+    let bench = Json::obj()
+        .with("benchmark", "fig7_flashio_cache")
+        .with("kind", "checkpoint")
+        .with("nxb", 8u64)
+        .with("blocks_per_proc", blocks_per_proc)
+        .with("rows", Json::Arr(bench_rows));
+    std::fs::write("BENCH_fig7.json", bench.pretty()).expect("writing BENCH_fig7.json");
+    eprintln!("  bench results: BENCH_fig7.json");
+
     write_report(
         "fig7_flashio.profile.json",
         &Json::obj()

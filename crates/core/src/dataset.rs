@@ -270,6 +270,9 @@ impl Dataset {
             };
             self.prefill_fixed_vars(&new_vars)?;
         }
+        // Leaving define mode: publish the header, relocation and prefill
+        // bytes so data-mode reads on any rank observe the new layout.
+        self.file.cache_boundary()?;
         Ok(())
     }
 
@@ -331,6 +334,10 @@ impl Dataset {
         self.require_writable()?;
         self.require_no_pending("re-enter define mode")?;
         self.comm.barrier()?;
+        // Entering define mode is a netCDF sync point: publish cached dirty
+        // pages and revalidate, so relocation reads see every rank's data.
+        // (No-op when the page cache is disabled.)
+        self.file.cache_boundary()?;
         self.invalidate_all_caches();
         self.pre_redef = Some((self.header.clone(), self.layout));
         self.mode = DataMode::Define;

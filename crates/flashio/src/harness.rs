@@ -2,6 +2,7 @@
 
 use hpc_sim::{SimConfig, Time};
 use pnetcdf_mpi::run_world;
+use pnetcdf_mpi::Info;
 use pnetcdf_pfs::{Pfs, StorageMode};
 
 use crate::mesh::BlockMesh;
@@ -78,6 +79,38 @@ impl FlashConfig {
     }
 }
 
+/// How the PnetCDF writer issues its data-mode accesses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WriteMode {
+    /// The paper's port: aggregated nonblocking puts flushed collectively.
+    Collective,
+    /// Independent data mode, one put per AMR block, with the given MPI_Info
+    /// hint pairs passed to `ncmpi_create` (e.g. `pnc_cache=enable`).
+    /// PnetCDF only — HDF5 has no independent-block port here.
+    IndependentBlocks {
+        /// `(key, value)` hint pairs for the info object.
+        info: Vec<(String, String)>,
+    },
+}
+
+impl WriteMode {
+    /// Independent-block mode with the client page cache enabled and the
+    /// given byte budget.
+    pub fn cached(cache_size: usize) -> WriteMode {
+        WriteMode::IndependentBlocks {
+            info: vec![
+                ("pnc_cache".into(), "enable".into()),
+                ("pnc_cache_size".into(), cache_size.to_string()),
+            ],
+        }
+    }
+
+    /// Independent-block mode without the cache (the uncached baseline).
+    pub fn uncached() -> WriteMode {
+        WriteMode::IndependentBlocks { info: Vec::new() }
+    }
+}
+
 /// Result of one run.
 #[derive(Clone, Copy, Debug)]
 pub struct FlashResult {
@@ -100,6 +133,17 @@ pub fn run_flash_io(config: FlashConfig, sim: SimConfig, storage: StorageMode) -
 /// handle on the file system, so it can inspect the produced file bytes
 /// afterwards (e.g. to compare a faulty run against a fault-free one).
 pub fn run_flash_io_on(config: FlashConfig, sim: SimConfig, pfs: &Pfs) -> FlashResult {
+    run_flash_io_mode(config, sim, pfs, WriteMode::Collective)
+}
+
+/// Run one configuration with an explicit data-mode access strategy.
+/// `WriteMode::IndependentBlocks` is PnetCDF-only and panics on HDF5.
+pub fn run_flash_io_mode(
+    config: FlashConfig,
+    sim: SimConfig,
+    pfs: &Pfs,
+    mode: WriteMode,
+) -> FlashResult {
     let pfs = pfs.clone();
     let mesh = BlockMesh {
         nxb: config.nxb,
@@ -109,13 +153,26 @@ pub fn run_flash_io_on(config: FlashConfig, sim: SimConfig, pfs: &Pfs) -> FlashR
     let kind = config.kind;
     let lib = config.lib;
     let attrs = config.attributes;
-    let run = run_world(config.nprocs, sim, move |comm| match lib {
-        IoLibrary::Pnetcdf => {
+    let run = run_world(config.nprocs, sim, move |comm| match (lib, &mode) {
+        (IoLibrary::Pnetcdf, WriteMode::Collective) => {
             writers::pnetcdf::write_with(comm, &pfs, &mesh, kind, "flash_out", attrs)
                 .expect("pnetcdf write")
         }
-        IoLibrary::Hdf5 => writers::hdf5::write_with(comm, &pfs, &mesh, kind, "flash_out", attrs)
-            .expect("hdf5 write"),
+        (IoLibrary::Pnetcdf, WriteMode::IndependentBlocks { info }) => {
+            let mut i = Info::new();
+            for (k, v) in info {
+                i = i.with(k, v);
+            }
+            writers::pnetcdf::write_indep_blocks(comm, &pfs, &mesh, kind, "flash_out", &i)
+                .expect("pnetcdf independent write")
+        }
+        (IoLibrary::Hdf5, WriteMode::Collective) => {
+            writers::hdf5::write_with(comm, &pfs, &mesh, kind, "flash_out", attrs)
+                .expect("hdf5 write")
+        }
+        (IoLibrary::Hdf5, WriteMode::IndependentBlocks { .. }) => {
+            panic!("independent-block mode is implemented for the PnetCDF writer only")
+        }
     });
     let bytes = run.results[0];
     let time = run.makespan;

@@ -23,5 +23,8 @@ pub mod mesh;
 pub mod readers;
 pub mod writers;
 
-pub use harness::{run_flash_io, run_flash_io_on, FlashConfig, FlashResult, IoLibrary, OutputKind};
+pub use harness::{
+    run_flash_io, run_flash_io_mode, run_flash_io_on, FlashConfig, FlashResult, IoLibrary,
+    OutputKind, WriteMode,
+};
 pub use mesh::BlockMesh;

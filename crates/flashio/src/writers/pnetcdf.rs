@@ -9,6 +9,19 @@ use pnetcdf_pfs::Pfs;
 use crate::harness::OutputKind;
 use crate::mesh::{BlockMesh, NPLOT, NUNK, UNK_NAMES};
 
+/// How the data-mode accesses are issued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PutMode {
+    /// Nonblocking `iput` per access, one collective `wait_all` flush.
+    Aggregate,
+    /// One blocking collective per variable (the pre-aggregation port).
+    Blocking,
+    /// Independent data mode, one `put_vara` per AMR *block*: the
+    /// small-strided pattern FLASH emits natively, served by the client
+    /// page cache when `pnc_cache=enable` is in the info object.
+    IndepBlocks,
+}
+
 /// Write one FLASH output file through PnetCDF (no attributes, as in the
 /// paper's port). Returns the bytes of array data written by all ranks.
 pub fn write(
@@ -32,7 +45,16 @@ pub fn write_with(
     path: &str,
     attributes: bool,
 ) -> NcmpiResult<u64> {
-    write_impl(comm, pfs, mesh, kind, path, attributes, true)
+    write_impl(
+        comm,
+        pfs,
+        mesh,
+        kind,
+        path,
+        attributes,
+        PutMode::Aggregate,
+        &Info::new(),
+    )
 }
 
 /// The pre-aggregation port: one blocking collective per variable (~29
@@ -45,9 +67,44 @@ pub fn write_blocking(
     kind: OutputKind,
     path: &str,
 ) -> NcmpiResult<u64> {
-    write_impl(comm, pfs, mesh, kind, path, false, false)
+    write_impl(
+        comm,
+        pfs,
+        mesh,
+        kind,
+        path,
+        false,
+        PutMode::Blocking,
+        &Info::new(),
+    )
 }
 
+/// Independent-mode port: each rank writes its metadata and then every AMR
+/// block with its own `put_vara` in independent data mode — the small,
+/// per-block access pattern FLASH produces before any aggregation. `info`
+/// reaches `ncmpi_create`, so `pnc_cache=enable` turns the client page
+/// cache on underneath this traffic.
+pub fn write_indep_blocks(
+    comm: &Comm,
+    pfs: &Pfs,
+    mesh: &BlockMesh,
+    kind: OutputKind,
+    path: &str,
+    info: &Info,
+) -> NcmpiResult<u64> {
+    write_impl(
+        comm,
+        pfs,
+        mesh,
+        kind,
+        path,
+        false,
+        PutMode::IndepBlocks,
+        info,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn write_impl(
     comm: &Comm,
     pfs: &Pfs,
@@ -55,7 +112,8 @@ fn write_impl(
     kind: OutputKind,
     path: &str,
     attributes: bool,
-    aggregate: bool,
+    mode: PutMode,
+    info: &Info,
 ) -> NcmpiResult<u64> {
     let tot = mesh.total_blocks();
     let bpp = mesh.blocks_per_proc;
@@ -69,7 +127,7 @@ fn write_impl(
         _ => NPLOT,
     };
 
-    let mut ds = Dataset::create(comm, pfs, path, Version::Cdf2, &Info::new())?;
+    let mut ds = Dataset::create(comm, pfs, path, Version::Cdf2, info)?;
     let d_blocks = ds.def_dim("blocks", tot)?;
     let d_z = ds.def_dim("z", side)?;
     let d_y = ds.def_dim("y", side)?;
@@ -107,13 +165,17 @@ fn write_impl(
     // Block metadata and unknowns. On the aggregated path every access is
     // queued as a nonblocking write and flushed by one collective `wait_all`
     // — a single two-phase round replaces the ~29 per-variable collective
-    // rounds (5 metadata + NUNK/NPLOT unknowns) of the blocking port.
+    // rounds (5 metadata + NUNK/NPLOT unknowns) of the blocking port. The
+    // independent port issues each access on its own in independent mode.
+    if mode == PutMode::IndepBlocks {
+        ds.begin_indep_data()?;
+    }
     macro_rules! put {
         ($vid:expr, $start:expr, $count:expr, $vals:expr) => {
-            if aggregate {
-                ds.iput_vara($vid, $start, $count, $vals).map(|_| ())?
-            } else {
-                ds.put_vara_all($vid, $start, $count, $vals)?
+            match mode {
+                PutMode::Aggregate => ds.iput_vara($vid, $start, $count, $vals).map(|_| ())?,
+                PutMode::Blocking => ds.put_vara_all($vid, $start, $count, $vals)?,
+                PutMode::IndepBlocks => ds.put_vara($vid, $start, $count, $vals)?,
             }
         };
     }
@@ -138,21 +200,41 @@ fn write_impl(
         &mesh.bounding_boxes(comm.rank())
     );
 
-    // Unknowns, one access each, from contiguous stripped buffers.
+    // Unknowns. The aggregate/blocking ports issue one access per variable
+    // from a contiguous stripped buffer; the independent port issues one
+    // access per block, which is what FLASH's own loop structure produces.
     let start = [first, 0, 0, 0];
     let count = [bpp, side, side, side];
+    let s3 = (side * side * side) as usize;
     for (var, &vid) in unk_ids.iter().enumerate() {
         let buf = mesh.interior_buffer(comm.rank(), var, side);
-        match kind {
-            OutputKind::Checkpoint => put!(vid, &start, &count, &buf),
-            _ => {
-                let f32buf: Vec<f32> = buf.iter().map(|&v| v as f32).collect();
-                put!(vid, &start, &count, &f32buf)
+        if mode == PutMode::IndepBlocks {
+            for b in 0..bpp {
+                let bstart = [first + b, 0, 0, 0];
+                let bcount = [1, side, side, side];
+                let block = &buf[b as usize * s3..(b as usize + 1) * s3];
+                match kind {
+                    OutputKind::Checkpoint => ds.put_vara(vid, &bstart, &bcount, block)?,
+                    _ => {
+                        let f32buf: Vec<f32> = block.iter().map(|&v| v as f32).collect();
+                        ds.put_vara(vid, &bstart, &bcount, &f32buf)?
+                    }
+                }
             }
-        };
+        } else {
+            match kind {
+                OutputKind::Checkpoint => put!(vid, &start, &count, &buf),
+                _ => {
+                    let f32buf: Vec<f32> = buf.iter().map(|&v| v as f32).collect();
+                    put!(vid, &start, &count, &f32buf)
+                }
+            };
+        }
     }
-    if aggregate {
-        ds.wait_all()?;
+    match mode {
+        PutMode::Aggregate => ds.wait_all()?,
+        PutMode::IndepBlocks => ds.end_indep_data()?,
+        PutMode::Blocking => {}
     }
     ds.close()?;
 

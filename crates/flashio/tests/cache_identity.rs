@@ -1,0 +1,39 @@
+//! The page cache must be invisible in the bytes: a FLASH checkpoint
+//! written through the cached independent path must equal the uncached
+//! independent run and the collective (two-phase) run bit for bit.
+
+use flash_io::{run_flash_io_mode, FlashConfig, FlashResult, IoLibrary, OutputKind, WriteMode};
+use hpc_sim::SimConfig;
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+fn checkpoint_bytes(mode: WriteMode) -> (Vec<u8>, FlashResult) {
+    let sim = SimConfig::test_small();
+    let config = FlashConfig {
+        nxb: 8,
+        nprocs: 8,
+        kind: OutputKind::Checkpoint,
+        lib: IoLibrary::Pnetcdf,
+        blocks_per_proc: 4,
+        attributes: false,
+    };
+    let pfs = Pfs::new(sim.clone(), StorageMode::Full);
+    let res = run_flash_io_mode(config, sim, &pfs, mode);
+    let bytes = pfs.open("flash_out").expect("output exists").to_bytes();
+    (bytes, res)
+}
+
+#[test]
+fn cached_checkpoint_is_byte_identical() {
+    let (collective, _) = checkpoint_bytes(WriteMode::Collective);
+    let (uncached, _) = checkpoint_bytes(WriteMode::uncached());
+    let (cached, _) = checkpoint_bytes(WriteMode::cached(4 * 1024 * 1024));
+    // A tiny cache forces evictions mid-write; the bytes must still match.
+    let (tiny, _) = checkpoint_bytes(WriteMode::cached(64 * 1024));
+    assert!(!collective.is_empty());
+    assert_eq!(
+        uncached, collective,
+        "independent and collective ports must produce the same file"
+    );
+    assert_eq!(cached, uncached, "cache must not change file contents");
+    assert_eq!(tiny, uncached, "evicting cache must not change contents");
+}

@@ -2,10 +2,12 @@
 
 use std::sync::Arc;
 
-use hpc_sim::{CollKind, Phase, PhaseScope};
+use hpc_sim::{CollKind, Phase, PhaseScope, Time};
+use parking_lot::Mutex;
 use pnetcdf_mpi::{pack, Comm, Datatype, Info};
 use pnetcdf_pfs::{Pfs, PfsFile};
 
+use crate::cache::{CacheConfig, CacheLedger, PageCache};
 use crate::error::{MpioError, MpioResult};
 use crate::hints::Hints;
 use crate::sieve;
@@ -32,6 +34,10 @@ pub struct MpiFile {
     view: FileView,
     hints: Hints,
     readonly: bool,
+    /// Client-side page cache (`pnc_cache=enable`); per rank, so no lock
+    /// contention — the mutex only provides interior mutability behind the
+    /// `&self` data-access methods.
+    cache: Option<Mutex<PageCache>>,
 }
 
 impl MpiFile {
@@ -67,13 +73,33 @@ impl MpiFile {
             }
         })?;
         match &*res {
-            Ok(f) => Ok(MpiFile {
-                comm: comm.clone(),
-                file: f.clone(),
-                view: FileView::contiguous(),
-                hints,
-                readonly: mode == OpenMode::ReadOnly,
-            }),
+            Ok(f) => {
+                let cfg = comm.config();
+                let cache = hints.cache.resolve(false).then(|| {
+                    let page_size = if hints.cache_page_size > 0 {
+                        hints.cache_page_size
+                    } else {
+                        cfg.stripe_size
+                    };
+                    Mutex::new(PageCache::new(
+                        CacheConfig {
+                            page_size,
+                            capacity_bytes: hints.cache_size,
+                            readahead_pages: hints.cache_readahead,
+                        },
+                        cfg.cpu,
+                        f,
+                    ))
+                });
+                Ok(MpiFile {
+                    comm: comm.clone(),
+                    file: f.clone(),
+                    view: FileView::contiguous(),
+                    hints,
+                    readonly: mode == OpenMode::ReadOnly,
+                    cache,
+                })
+            }
             Err(e) => Err(MpioError::Access(e.clone())),
         }
     }
@@ -115,6 +141,9 @@ impl MpiFile {
     /// `MPI_File_sync`: flush + synchronize. The simulated PFS has no
     /// volatile cache, so this is a barrier plus a metadata operation.
     pub fn sync(&self) -> MpioResult<()> {
+        // Publish cached dirty pages before the rendezvous so every rank's
+        // bytes are on the PFS once the barrier completes.
+        self.cache_pre()?;
         let env = self.comm.coll_env();
         self.comm
             .collective(Vec::new(), move |_| {
@@ -122,7 +151,9 @@ impl MpiFile {
                 env.sync_collective(CollKind::Barrier, 0, cost);
             })
             .map(|_| ())
-            .map_err(MpioError::from)
+            .map_err(MpioError::from)?;
+        self.cache_post();
+        Ok(())
     }
 
     /// Collectively set the file view (`MPI_File_set_view`).
@@ -150,6 +181,66 @@ impl MpiFile {
     /// The current view.
     pub fn view(&self) -> &FileView {
         &self.view
+    }
+
+    /// Is the client-side page cache active on this handle
+    /// (`pnc_cache=enable`)?
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Charge a cache operation's virtual time to the trace: memcpy work to
+    /// [`Phase::Cache`], miss fills and write-behind to the disk phases.
+    /// Three scoped advances keep the coverage invariant exact.
+    fn apply_ledger(&self, led: &CacheLedger) {
+        if led.cache_nanos > 0 {
+            let _s = PhaseScope::enter(Phase::Cache);
+            self.comm.advance(Time::from_nanos(led.cache_nanos));
+        }
+        if led.read_nanos > 0 {
+            let _s = PhaseScope::enter(Phase::DiskRead);
+            self.comm.advance(Time::from_nanos(led.read_nanos));
+        }
+        if led.write_nanos > 0 {
+            let _s = PhaseScope::enter(Phase::DiskWrite);
+            self.comm.advance(Time::from_nanos(led.write_nanos));
+        }
+    }
+
+    /// Pre-synchronization cache work: publish dirty pages (write-behind)
+    /// and advance the file's coherence epoch if anything was published.
+    /// Must run *before* the collective rendezvous.
+    fn cache_pre(&self) -> MpioResult<()> {
+        if let Some(cache) = &self.cache {
+            let mut led = CacheLedger::new(self.comm.now());
+            let res = cache.lock().sync_prepare(&self.file, &mut led);
+            self.apply_ledger(&led);
+            res?;
+        }
+        Ok(())
+    }
+
+    /// Post-synchronization cache work: drop clean cached bytes if any rank
+    /// advanced the epoch. Must run *after* the collective rendezvous, so
+    /// every rank's [`Self::cache_pre`] happens-before this check.
+    fn cache_post(&self) {
+        if let Some(cache) = &self.cache {
+            cache.lock().sync_complete(&self.file);
+        }
+    }
+
+    /// A coherence boundary without other I/O semantics: flush, rendezvous,
+    /// revalidate. PnetCDF calls this where netCDF semantics promise
+    /// visibility (e.g. entering define mode). No-op when the cache is
+    /// disabled, so uncached runs keep their exact timings.
+    pub fn cache_boundary(&self) -> MpioResult<()> {
+        if self.cache.is_none() {
+            return Ok(());
+        }
+        self.cache_pre()?;
+        self.comm.barrier()?;
+        self.cache_post();
+        Ok(())
     }
 
     fn check_writable(&self) -> MpioResult<()> {
@@ -217,6 +308,15 @@ impl MpiFile {
     pub fn write_runs_at(&self, runs: &[Run], data: &[u8]) -> MpioResult<usize> {
         self.check_writable()?;
         Self::check_runs(runs, data.len())?;
+        if let Some(cache) = &self.cache {
+            // Write-allocate into the page cache; bytes reach the PFS at
+            // the next flush point (eviction, sync, collective entry).
+            let mut led = CacheLedger::new(self.comm.now());
+            let res = cache.lock().write_runs(&self.file, &mut led, runs, data);
+            self.apply_ledger(&led);
+            res?;
+            return Ok(data.len());
+        }
         let ds = self.hints.ds_write.resolve(true);
         let _attr = PhaseScope::enter(Phase::DiskWrite);
         let t = sieve::write(
@@ -235,6 +335,12 @@ impl MpiFile {
     /// bytes concatenated in run order.
     pub fn read_runs_at(&self, runs: &[Run]) -> MpioResult<Vec<u8>> {
         Self::check_runs(runs, runs_total(runs) as usize)?;
+        if let Some(cache) = &self.cache {
+            let mut led = CacheLedger::new(self.comm.now());
+            let res = cache.lock().read_runs(&self.file, &mut led, runs);
+            self.apply_ledger(&led);
+            return res;
+        }
         let ds = self.hints.ds_read.resolve(true);
         let _attr = PhaseScope::enter(Phase::DiskRead);
         let (data, t) = sieve::read(
@@ -314,6 +420,9 @@ impl MpiFile {
     pub fn write_runs_at_all(&self, runs: &[Run], data: &[u8]) -> MpioResult<usize> {
         self.check_writable()?;
         Self::check_runs(runs, data.len())?;
+        // Collective entry is a coherence boundary: publish cached dirty
+        // bytes first so the two-phase engine reads/writes a settled file.
+        self.cache_pre()?;
         let nbytes = data.len();
         let parcel = twophase::encode_write_req(runs, data);
 
@@ -352,9 +461,15 @@ impl MpiFile {
                             env.clocks.advance_to(w, t);
                         }
                     }
+                    // The file changed under every client cache: advance the
+                    // epoch once (the closure runs at the last arriver).
+                    if reqs.iter().any(|(_, d)| !d.is_empty()) {
+                        file.bump_coherence_epoch();
+                    }
                     Ok(())
                 })?;
         (*res).clone()?;
+        self.cache_post();
         Ok(nbytes)
     }
 
@@ -391,6 +506,9 @@ impl MpiFile {
     /// but must all participate.
     pub fn read_runs_at_all(&self, runs: &[Run]) -> MpioResult<Vec<u8>> {
         Self::check_runs(runs, runs_total(runs) as usize)?;
+        // Publish this rank's cached dirty bytes before the rendezvous so
+        // the collective read observes them (and every peer's).
+        self.cache_pre()?;
         let parcel = twophase::encode_read_req(runs);
 
         let env = self.comm.coll_env();
@@ -434,6 +552,7 @@ impl MpiFile {
             Ok(all) => all[me].clone(),
             Err(e) => return Err(e.clone()),
         };
+        self.cache_post();
         debug_assert_eq!(data.len() as u64, runs_total(runs));
         Ok(data)
     }

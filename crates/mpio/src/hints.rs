@@ -55,6 +55,15 @@ pub struct Hints {
     pub ds_write: Toggle,
     /// Enable data sieving on independent reads (`romio_ds_read`).
     pub ds_read: Toggle,
+    /// Enable the client-side page cache (`pnc_cache`). Default: disabled
+    /// (`Auto` resolves to off so uncached timings stay comparable).
+    pub cache: Toggle,
+    /// Page-cache byte budget (`pnc_cache_size`).
+    pub cache_size: usize,
+    /// Cache page size (`pnc_page_size`); 0 = use the PFS stripe unit.
+    pub cache_page_size: usize,
+    /// Pages of sequential readahead (`pnc_readahead`); 0 disables.
+    pub cache_readahead: usize,
 }
 
 impl Default for Hints {
@@ -68,6 +77,10 @@ impl Default for Hints {
             ind_wr_buffer_size: 512 * 1024,
             ds_write: Toggle::Auto,
             ds_read: Toggle::Auto,
+            cache: Toggle::Auto,
+            cache_size: 8 * 1024 * 1024,
+            cache_page_size: 0,
+            cache_readahead: 2,
         }
     }
 }
@@ -94,6 +107,14 @@ impl Hints {
                 .unwrap_or(d.ind_wr_buffer_size),
             ds_write: Toggle::parse(info.get("romio_ds_write")),
             ds_read: Toggle::parse(info.get("romio_ds_read")),
+            cache: Toggle::parse(info.get("pnc_cache")),
+            cache_size: info
+                .get_usize("pnc_cache_size")
+                .filter(|&v| v > 0)
+                .unwrap_or(d.cache_size),
+            cache_page_size: info.get_usize("pnc_page_size").unwrap_or(d.cache_page_size),
+            // 0 is a meaningful value here (readahead off), so no filter.
+            cache_readahead: info.get_usize("pnc_readahead").unwrap_or(d.cache_readahead),
         }
     }
 
@@ -149,6 +170,26 @@ mod tests {
         let h = Hints::from_info(&info);
         assert_eq!(h.cb_buffer_size, 4 * 1024 * 1024);
         assert_eq!(h.cb_nodes, None);
+    }
+
+    #[test]
+    fn cache_hints() {
+        let d = Hints::from_info(&Info::new());
+        assert_eq!(d.cache, Toggle::Auto);
+        assert!(!d.cache.resolve(false), "cache defaults off");
+        assert_eq!(d.cache_size, 8 * 1024 * 1024);
+        assert_eq!(d.cache_page_size, 0);
+        assert_eq!(d.cache_readahead, 2);
+        let info = Info::new()
+            .with("pnc_cache", "enable")
+            .with("pnc_cache_size", "65536")
+            .with("pnc_page_size", "4096")
+            .with("pnc_readahead", "0");
+        let h = Hints::from_info(&info);
+        assert!(h.cache.resolve(false));
+        assert_eq!(h.cache_size, 65536);
+        assert_eq!(h.cache_page_size, 4096);
+        assert_eq!(h.cache_readahead, 0, "explicit 0 must stick");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! performance ("we benefit from ... data sieving and two-phase I/O in
 //! ROMIO, which we would otherwise need to implement ourselves").
 
+pub mod cache;
 pub mod error;
 pub mod file;
 pub mod hints;
@@ -25,6 +26,7 @@ pub mod sieve;
 pub mod twophase;
 pub mod view;
 
+pub use cache::{CacheConfig, CacheLedger, PageCache};
 pub use error::{MpioError, MpioResult};
 pub use file::{MpiFile, OpenMode};
 pub use hints::{Hints, Toggle};

@@ -297,6 +297,27 @@ impl PfsFile {
         });
     }
 
+    /// The shared coherence-epoch cell for this file (every handle to the
+    /// same file id gets the same atomic). Created on first use.
+    fn epoch_cell(&self) -> Arc<std::sync::atomic::AtomicU64> {
+        self.inner.epochs.lock().entry(self.id).or_default().clone()
+    }
+
+    /// Current coherence epoch of this file. Client caches remember the
+    /// epoch they last synchronized at; a different value means some rank
+    /// has published new bytes since, so cached clean pages may be stale.
+    pub fn coherence_epoch(&self) -> u64 {
+        self.epoch_cell().load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Advance the coherence epoch (called after publishing dirty pages or
+    /// completing a collective write); returns the new epoch.
+    pub fn bump_coherence_epoch(&self) -> u64 {
+        self.epoch_cell()
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel)
+            + 1
+    }
+
     /// Extend the recorded file size to at least `new_size`.
     pub fn grow_to(&self, new_size: u64) {
         let mut files = self.inner.files.lock();

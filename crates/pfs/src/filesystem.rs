@@ -18,6 +18,12 @@ pub(crate) struct PfsInner {
     pub striping: Striping,
     pub servers: Vec<Mutex<Server>>,
     pub files: Mutex<HashMap<String, FileEntry>>,
+    /// Per-file coherence epochs, keyed by file id. A client cache bumps a
+    /// file's epoch whenever it publishes dirty pages; other clients compare
+    /// their last-seen epoch at synchronization points and invalidate.
+    /// Lives here (not in `FileEntry`) so every handle to the same file
+    /// shares one atomic.
+    pub epochs: Mutex<HashMap<u64, Arc<AtomicU64>>>,
     next_id: AtomicU64,
 }
 
@@ -55,6 +61,7 @@ impl Pfs {
                 striping,
                 servers,
                 files: Mutex::new(HashMap::new()),
+                epochs: Mutex::new(HashMap::new()),
                 next_id: AtomicU64::new(1),
             }),
         }
@@ -77,6 +84,7 @@ impl Pfs {
             for s in &self.inner.servers {
                 s.lock().remove_file(old.id);
             }
+            self.inner.epochs.lock().remove(&old.id);
         }
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         files.insert(name.to_string(), FileEntry { id, size: 0 });
@@ -103,6 +111,7 @@ impl Pfs {
             for s in &self.inner.servers {
                 s.lock().remove_file(e.id);
             }
+            self.inner.epochs.lock().remove(&e.id);
             true
         } else {
             false

@@ -42,4 +42,6 @@ pub use time::Time;
 
 /// Re-export of the profiling layer every consumer of [`SimConfig`] sees.
 pub use pnetcdf_trace as trace;
-pub use pnetcdf_trace::{CollKind, FaultCounters, Phase, PhaseScope, Profile, ProfileSnapshot};
+pub use pnetcdf_trace::{
+    CacheCounters, CollKind, FaultCounters, Phase, PhaseScope, Profile, ProfileSnapshot,
+};

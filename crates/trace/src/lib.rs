@@ -32,4 +32,4 @@ pub mod report;
 
 pub use json::Json;
 pub use phase::{CollKind, Phase};
-pub use profile::{FaultCounters, PhaseScope, Profile, ProfileSnapshot, WallScope};
+pub use profile::{CacheCounters, FaultCounters, PhaseScope, Profile, ProfileSnapshot, WallScope};

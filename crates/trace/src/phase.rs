@@ -32,11 +32,15 @@ pub enum Phase {
     Compute = 7,
     /// Point-to-point messaging.
     P2p = 8,
+    /// Client page-cache work: hit/miss bookkeeping and the memcpy into
+    /// or out of cached pages (the disk halves of misses and flushes are
+    /// charged to [`Phase::DiskRead`]/[`Phase::DiskWrite`]).
+    Cache = 9,
 }
 
 impl Phase {
     /// Number of phases (array sizing).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// All phases, index order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -49,6 +53,7 @@ impl Phase {
         Phase::DiskRead,
         Phase::Compute,
         Phase::P2p,
+        Phase::Cache,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -63,6 +68,7 @@ impl Phase {
             Phase::DiskRead => "disk_read",
             Phase::Compute => "compute",
             Phase::P2p => "p2p",
+            Phase::Cache => "cache",
         }
     }
 

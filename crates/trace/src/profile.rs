@@ -152,6 +152,31 @@ pub struct FaultCounters {
     pub agreed_errors: u64,
 }
 
+/// Client page-cache counters (hits, misses, write-behind, readahead,
+/// coherence invalidations), summed over all ranks of a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Page lookups fully served from cached bytes.
+    pub hits: u64,
+    /// Bytes served from cached pages without touching the PFS.
+    pub hit_bytes: u64,
+    /// Page lookups that needed a disk fill (or created a fresh page).
+    pub misses: u64,
+    /// Pages evicted by the LRU policy to stay under the byte budget.
+    pub evictions: u64,
+    /// Write-behind flush rounds (eviction, sync, close, collective entry).
+    pub write_behind_flushes: u64,
+    /// Dirty bytes pushed to the PFS by write-behind flushes.
+    pub write_behind_bytes: u64,
+    /// Pages fetched speculatively by sequential-detection readahead.
+    pub readahead_issued: u64,
+    /// Readahead pages later hit by a demand read.
+    pub readahead_hits: u64,
+    /// Pages (or clean page fractions) dropped by the coherence protocol
+    /// after another rank's epoch advanced.
+    pub invalidations: u64,
+}
+
 struct Inner {
     enabled: AtomicBool,
     /// Per-rank, per-phase simulated nanoseconds. Grown on demand.
@@ -169,6 +194,7 @@ struct Inner {
     sieve_write: Mutex<SieveCounters>,
     twophase: Mutex<TwophaseCounters>,
     faults: Mutex<FaultCounters>,
+    cache: Mutex<CacheCounters>,
     /// Named report fragments attached by higher layers (dataset roll-ups).
     extras: Mutex<Vec<(String, Json)>>,
 }
@@ -213,6 +239,7 @@ impl Profile {
                 sieve_write: Mutex::new(SieveCounters::default()),
                 twophase: Mutex::new(TwophaseCounters::default()),
                 faults: Mutex::new(FaultCounters::default()),
+                cache: Mutex::new(CacheCounters::default()),
                 extras: Mutex::new(Vec::new()),
             }),
         }
@@ -350,6 +377,20 @@ impl Profile {
         *self.inner.faults.lock().unwrap()
     }
 
+    /// Update the client page-cache counters.
+    pub fn record_cache(&self, f: impl FnOnce(&mut CacheCounters)) {
+        if !self.is_enabled() {
+            return;
+        }
+        f(&mut self.inner.cache.lock().unwrap());
+    }
+
+    /// Copy of the client page-cache counters (tests and smoke assertions
+    /// read these directly).
+    pub fn cache_counters(&self) -> CacheCounters {
+        *self.inner.cache.lock().unwrap()
+    }
+
     /// Attach a named report fragment (e.g. a dataset roll-up at close).
     /// Replaces an existing fragment with the same name.
     pub fn attach_extra(&self, name: &str, value: Json) {
@@ -390,6 +431,7 @@ impl Profile {
             sieve_write: *self.inner.sieve_write.lock().unwrap(),
             twophase: *self.inner.twophase.lock().unwrap(),
             faults: *self.inner.faults.lock().unwrap(),
+            cache: *self.inner.cache.lock().unwrap(),
             extras: self.inner.extras.lock().unwrap().clone(),
         }
     }
@@ -420,6 +462,7 @@ impl Profile {
         *self.inner.sieve_write.lock().unwrap() = SieveCounters::default();
         *self.inner.twophase.lock().unwrap() = TwophaseCounters::default();
         *self.inner.faults.lock().unwrap() = FaultCounters::default();
+        *self.inner.cache.lock().unwrap() = CacheCounters::default();
         self.inner.extras.lock().unwrap().clear();
     }
 }
@@ -452,6 +495,7 @@ pub struct ProfileSnapshot {
     pub sieve_write: SieveCounters,
     pub twophase: TwophaseCounters,
     pub faults: FaultCounters,
+    pub cache: CacheCounters,
     pub extras: Vec<(String, Json)>,
 }
 

@@ -98,6 +98,26 @@ impl ProfileSnapshot {
             .with("exhausted", Json::from(fc.exhausted))
             .with("agreed_errors", Json::from(fc.agreed_errors));
 
+        let cc = &self.cache;
+        let cache = Json::obj()
+            .with("hits", Json::from(cc.hits))
+            .with("hit_bytes", Json::from(cc.hit_bytes))
+            .with("misses", Json::from(cc.misses))
+            .with(
+                "hit_rate",
+                Json::from(if cc.hits + cc.misses > 0 {
+                    cc.hits as f64 / (cc.hits + cc.misses) as f64
+                } else {
+                    0.0
+                }),
+            )
+            .with("evictions", Json::from(cc.evictions))
+            .with("write_behind_flushes", Json::from(cc.write_behind_flushes))
+            .with("write_behind_bytes", Json::from(cc.write_behind_bytes))
+            .with("readahead_issued", Json::from(cc.readahead_issued))
+            .with("readahead_hits", Json::from(cc.readahead_hits))
+            .with("invalidations", Json::from(cc.invalidations));
+
         let attributed = self.rank_total(critical);
         let mut report = Json::obj()
             .with("sim_total_s", Json::from(nanos_to_s(sim_total_nanos)))
@@ -119,7 +139,8 @@ impl ProfileSnapshot {
             .with("servers", Json::Arr(servers))
             .with("sieve", sieve)
             .with("twophase", twophase)
-            .with("faults", faults);
+            .with("faults", faults)
+            .with("cache", cache);
         for (name, value) in &self.extras {
             report.set(name, value.clone());
         }

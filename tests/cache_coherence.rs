@@ -1,0 +1,259 @@
+//! End-to-end behavior of the client page cache: netCDF-style coherence
+//! (independent writes become visible at sync points, not before),
+//! eviction under a tiny budget, write-behind surviving injected faults,
+//! and the cached write path retiring the sieve's read-modify-write reads.
+
+use hpc_sim::{FaultPlan, SimConfig};
+use pnetcdf::{Dataset, Info, NcType, Version};
+use pnetcdf_mpi::run_world;
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+fn profiled_cfg() -> SimConfig {
+    let cfg = SimConfig::test_small();
+    cfg.profile.set_enabled(true);
+    cfg
+}
+
+fn cached_info() -> Info {
+    Info::new().with("pnc_cache", "enable")
+}
+
+/// Rank 0 writes independently while rank 1 holds the region in its cache.
+/// netCDF promises nothing until a sync point — and the write-behind cache
+/// makes the "nothing" deterministic: rank 0's bytes live only in its own
+/// cache until `end_indep_data`, so rank 1 re-reads its stale value no
+/// matter how the threads interleave. After the sync point both ranks must
+/// see the new data.
+#[test]
+fn independent_write_visible_after_sync_not_before() {
+    let cfg = profiled_cfg();
+    let pfs = Pfs::new(cfg.clone(), StorageMode::Full);
+    let pfs2 = pfs.clone();
+    let n = 64u64;
+    run_world(2, cfg.clone(), move |c| {
+        let mut ds = Dataset::create(c, &pfs2, "coh.nc", Version::Cdf1, &cached_info()).unwrap();
+        let d = ds.def_dim("x", n).unwrap();
+        let v = ds.def_var("vv", NcType::Float, &[d]).unwrap();
+        ds.enddef().unwrap();
+
+        // Baseline contents, written collectively by rank 0 (two-phase
+        // writes land on the PFS directly and bump the coherence epoch).
+        let base: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        if c.rank() == 0 {
+            ds.put_vara_all(v, &[0], &[n], &base).unwrap();
+        } else {
+            ds.put_vara_all::<f32>(v, &[0], &[0], &[]).unwrap();
+        }
+
+        ds.begin_indep_data().unwrap();
+        if c.rank() == 1 {
+            // Cache the whole variable, then re-read: both reads must see
+            // the baseline, whatever rank 0 is doing concurrently.
+            let got: Vec<f32> = ds.get_vara(v, &[0], &[n]).unwrap();
+            assert_eq!(got, base);
+            let again: Vec<f32> = ds.get_vara(v, &[0], &[n]).unwrap();
+            assert_eq!(again, base, "no visibility before the sync point");
+        } else {
+            // These bytes stay in rank 0's cache until the sync point.
+            let new: Vec<f32> = (0..n).map(|i| (1000 + i) as f32).collect();
+            ds.put_vara(v, &[0], &[n], &new).unwrap();
+        }
+        // Sync point: rank 0 flushes (write-behind) and bumps the epoch;
+        // rank 1 notices and drops its clean pages.
+        ds.end_indep_data().unwrap();
+
+        let got: Vec<f32> = ds.get_vara_all(v, &[0], &[n]).unwrap();
+        let want: Vec<f32> = (0..n).map(|i| (1000 + i) as f32).collect();
+        assert_eq!(got, want, "sync point must publish rank 0's writes");
+        ds.close().unwrap();
+    });
+    let c = cfg.profile.cache_counters();
+    assert!(c.hits > 0, "rank 1's re-read must hit its cache: {c:?}");
+    assert!(
+        c.write_behind_bytes > 0,
+        "rank 0's independent writes must flush via write-behind: {c:?}"
+    );
+    assert!(
+        c.invalidations > 0,
+        "the epoch change must invalidate rank 1's pages: {c:?}"
+    );
+}
+
+/// A 2-page budget against a 16 KiB working set: the cache must evict
+/// (flushing dirty victims) and still produce exactly the right bytes.
+#[test]
+fn eviction_under_tiny_budget_preserves_data() {
+    let cfg = profiled_cfg();
+    let pfs = Pfs::new(cfg.clone(), StorageMode::Full);
+    let pfs2 = pfs.clone();
+    let n = 4096u64; // 16 KiB of f32
+    let info = cached_info()
+        .with("pnc_page_size", "1024")
+        .with("pnc_cache_size", "2048");
+    run_world(1, cfg.clone(), move |c| {
+        let mut ds = Dataset::create(c, &pfs2, "ev.nc", Version::Cdf1, &info).unwrap();
+        let d = ds.def_dim("x", n).unwrap();
+        let v = ds.def_var("vv", NcType::Float, &[d]).unwrap();
+        ds.enddef().unwrap();
+        ds.begin_indep_data().unwrap();
+        for chunk in 0..(n / 128) {
+            let vals: Vec<f32> = (0..128).map(|i| (chunk * 128 + i) as f32).collect();
+            ds.put_vara(v, &[chunk * 128], &[128], &vals).unwrap();
+        }
+        let got: Vec<f32> = ds.get_vara(v, &[0], &[n]).unwrap();
+        let want: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        assert_eq!(got, want);
+        ds.end_indep_data().unwrap();
+        ds.close().unwrap();
+    });
+    let c = cfg.profile.cache_counters();
+    assert!(c.evictions > 0, "2 KiB budget must evict: {c:?}");
+    assert!(c.write_behind_bytes > 0, "dirty victims must flush: {c:?}");
+}
+
+/// Transient and short faults while the cache is flushing: the retry layer
+/// must absorb them, so a cached faulty run produces the same file as a
+/// cached clean run — the dirty page survives the failed attempt.
+#[test]
+fn write_behind_survives_transient_faults() {
+    fn run(spec: Option<&str>) -> (Vec<u8>, SimConfig) {
+        let mut b = SimConfig::test_small().builder();
+        if let Some(s) = spec {
+            b = b.faults(FaultPlan::from_spec(s).unwrap());
+        }
+        let cfg = b.build();
+        cfg.profile.set_enabled(true);
+        let pfs = Pfs::new(cfg.clone(), StorageMode::Full);
+        let pfs2 = pfs.clone();
+        run_world(2, cfg.clone(), move |c| {
+            let mut ds = Dataset::create(c, &pfs2, "wb.nc", Version::Cdf1, &cached_info()).unwrap();
+            let d = ds.def_dim("x", 512).unwrap();
+            let v = ds.def_var("vv", NcType::Double, &[d]).unwrap();
+            ds.enddef().unwrap();
+            ds.begin_indep_data().unwrap();
+            let lo = c.rank() as u64 * 256;
+            let vals: Vec<f64> = (0..256).map(|i| (lo + i) as f64 * 0.5).collect();
+            ds.put_vara(v, &[lo], &[256], &vals).unwrap();
+            ds.end_indep_data().unwrap();
+            ds.close().unwrap();
+        });
+        (pfs.open("wb.nc").unwrap().to_bytes(), cfg)
+    }
+    let (clean, _) = run(None);
+    let (faulty, cfg) = run(Some("transient=0.2,short=0.2"));
+    assert_eq!(faulty, clean, "recovered flushes must not corrupt bytes");
+    let f = cfg.profile.fault_counters();
+    assert!(f.faults_injected > 0, "spec must actually inject: {f:?}");
+    assert!(
+        f.retries + f.short_completions > 0,
+        "recovery must run: {f:?}"
+    );
+    assert_eq!(f.exhausted, 0, "no retry budget may run out: {f:?}");
+    let c = cfg.profile.cache_counters();
+    assert!(
+        c.write_behind_bytes > 0,
+        "flushes must go write-behind: {c:?}"
+    );
+}
+
+/// The sieve's read-modify-write tax, retired: consecutive overlapping
+/// strided writes through the *uncached* sieve re-read the sieve window
+/// from the PFS on every access, while the cached path issues no server
+/// reads at all for the same pattern — and a later partial-page get costs
+/// exactly one page-granular server read.
+#[test]
+fn cached_writes_retire_sieve_rmw_reads() {
+    fn run(cached: bool) -> (u64, u64, SimConfig) {
+        let cfg = profiled_cfg();
+        let pfs = Pfs::new(cfg.clone(), StorageMode::Full);
+        let pfs2 = pfs.clone();
+        let stats = pfs.stats().clone();
+        let stats_in = stats.clone();
+        let info = if cached {
+            cached_info().with("pnc_page_size", "4096")
+        } else {
+            Info::new()
+        };
+        run_world(1, cfg.clone(), move |c| {
+            let mut ds = Dataset::create(c, &pfs2, "rmw.nc", Version::Cdf1, &info).unwrap();
+            let d = ds.def_dim("x", 2048).unwrap();
+            let v = ds.def_var("vv", NcType::Float, &[d]).unwrap();
+            ds.enddef().unwrap();
+            ds.begin_indep_data().unwrap();
+            let before = stats_in.snapshot().io_bytes_read;
+            // Strided overlapping pattern: every write straddles bytes the
+            // previous one populated, so the sieve must RMW each window.
+            for i in 0..32u64 {
+                let vals = vec![i as f32; 96];
+                ds.put_vara(v, &[i * 32], &[96], &vals).unwrap();
+            }
+            let after_writes = stats_in.snapshot().io_bytes_read;
+            // One small get spanning a single page.
+            let _: Vec<f32> = ds.get_vara(v, &[8], &[16]).unwrap();
+            let after_read = stats_in.snapshot().io_bytes_read;
+            ds.end_indep_data().unwrap();
+            ds.close().unwrap();
+            // Report via the closure's captured atomics (stats is shared).
+            assert!(after_read >= after_writes && after_writes >= before);
+        });
+        let snap = stats.snapshot();
+        (snap.io_bytes_read, cfg.profile.cache_counters().hits, cfg)
+    }
+    let (uncached_reads, _, _) = run(false);
+    let (cached_reads, cached_hits, _) = run(true);
+    assert!(
+        uncached_reads > 0,
+        "the sieve path must RMW-read on overlapping strided writes"
+    );
+    // The cached path never reads for writes; its only server read is the
+    // single page-granular fill for the one get (the variable data starts
+    // inside the header page, so at most two pages are touched).
+    assert!(
+        cached_reads <= 2 * 4096,
+        "cached read traffic must be page-granular: {cached_reads} bytes"
+    );
+    assert!(
+        cached_reads < uncached_reads,
+        "cache must retire RMW reads ({cached_reads} vs {uncached_reads})"
+    );
+    assert!(cached_hits > 0);
+}
+
+/// Whole-workload identity: the same mixed independent/collective workload
+/// with the cache on and off must leave identical file bytes.
+#[test]
+fn cached_and_uncached_files_are_identical() {
+    fn run(info: Info) -> Vec<u8> {
+        let cfg = SimConfig::test_small();
+        let pfs = Pfs::new(cfg.clone(), StorageMode::Full);
+        let pfs2 = pfs.clone();
+        run_world(4, cfg, move |c| {
+            let mut ds = Dataset::create(c, &pfs2, "id.nc", Version::Cdf1, &info).unwrap();
+            let d = ds.def_dim("x", 1024).unwrap();
+            let v = ds.def_var("vv", NcType::Float, &[d]).unwrap();
+            let w = ds.def_var("ww", NcType::Int, &[d]).unwrap();
+            ds.enddef().unwrap();
+            let lo = c.rank() as u64 * 256;
+            let vals: Vec<f32> = (0..256).map(|i| (lo + i) as f32).collect();
+            ds.put_vara_all(v, &[lo], &[256], &vals).unwrap();
+            ds.begin_indep_data().unwrap();
+            let ints: Vec<i32> = (0..256).map(|i| (lo + i) as i32).collect();
+            // Two halves so the cache coalesces them in write-behind.
+            ds.put_vara(w, &[lo], &[128], &ints[..128]).unwrap();
+            ds.put_vara(w, &[lo + 128], &[128], &ints[128..]).unwrap();
+            ds.end_indep_data().unwrap();
+            let got: Vec<f32> = ds.get_vara_all(v, &[(lo + 256) % 1024], &[256]).unwrap();
+            assert_eq!(got[0], ((lo + 256) % 1024) as f32);
+            ds.close().unwrap();
+        });
+        pfs.open("id.nc").unwrap().to_bytes()
+    }
+    let plain = run(Info::new());
+    let cached = run(cached_info());
+    let tiny = run(cached_info()
+        .with("pnc_page_size", "512")
+        .with("pnc_cache_size", "1024"));
+    assert!(!plain.is_empty());
+    assert_eq!(cached, plain);
+    assert_eq!(tiny, plain, "evicting cache must preserve identity");
+}
