@@ -56,6 +56,22 @@ grep -q '"byte_identical": true' "$report" \
 rm -rf "$report_dir"
 echo "    cache report OK: hit/write-behind counters present, bytes identical"
 
+echo "==> twophase smoke: pipelined vs serial collective engines"
+report_dir=$(mktemp -d)
+PNETCDF_REPORT_DIR="$report_dir" ./target/release/twophase_smoke
+report="$report_dir/twophase_smoke.profile.json"
+[ -f "$report" ] || { echo "FAIL: $report was not written"; exit 1; }
+for key in rounds overlap_saved_ns serial_mb_s pipelined_mb_s \
+           byte_identical; do
+    grep -q "\"$key\"" "$report" || { echo "FAIL: report missing key \"$key\""; exit 1; }
+done
+grep -q '"byte_identical": true' "$report" \
+    || { echo "FAIL: pipelined output not byte-identical"; exit 1; }
+grep -q '"overlap_saved_ns": 0' "$report" \
+    && { echo "FAIL: pipelining hid no exchange time"; exit 1; }
+rm -rf "$report_dir"
+echo "    twophase report OK: overlap recorded, bytes identical"
+
 echo "==> bench results: fig6_scalability --quick (BENCH_fig6.json)"
 report_dir=$(mktemp -d)
 PNETCDF_REPORT_DIR="$report_dir" ./target/release/fig6_scalability --quick >/dev/null

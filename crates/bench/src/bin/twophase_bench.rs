@@ -1,0 +1,113 @@
+//! Two-phase pipelining sweep: serial vs pipelined collective engines over
+//! collective-buffer sizes and scales.
+//!
+//! The FLASH checkpoint workload (8³ blocks, Frost-like platform) at 16
+//! and 64 processors, with `cb_buffer_size` ∈ {256 KiB, 1 MiB, 4 MiB} and
+//! the round engine toggled via `pnc_cb_pipeline`. Smaller buffers mean
+//! more rounds and therefore more exchange time the pipeline can hide
+//! behind disk. Machine-readable results land in `BENCH_twophase.json`.
+//!
+//! Usage: `cargo run --release -p pnetcdf-bench --bin twophase_bench`
+
+use flash_io::{run_flash_io_mode, FlashConfig, IoLibrary, OutputKind, WriteMode};
+use hpc_sim::trace::Json;
+use hpc_sim::SimConfig;
+use pnetcdf_bench::report::check_coverage;
+use pnetcdf_bench::table::print_series;
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+const BLOCKS_PER_PROC: u64 = 8;
+
+fn main() {
+    println!("# Two-phase pipelining sweep: FLASH checkpoint 8x8x8, Frost platform");
+    println!("# blocks/proc = {BLOCKS_PER_PROC}; aggregate bandwidth in MB/s (virtual time)");
+
+    let buffers: [usize; 3] = [256 * 1024, 1024 * 1024, 4 * 1024 * 1024];
+    let xs: Vec<String> = buffers.iter().map(|b| format!("{}KiB", b / 1024)).collect();
+    let mut rows = Vec::new();
+    for nprocs in [16usize, 64] {
+        let config = FlashConfig {
+            nxb: 8,
+            nprocs,
+            kind: OutputKind::Checkpoint,
+            lib: IoLibrary::Pnetcdf,
+            blocks_per_proc: BLOCKS_PER_PROC,
+            attributes: false,
+        };
+        let mut serial_row = Vec::new();
+        let mut pipelined_row = Vec::new();
+        for &cb in &buffers {
+            let mut mb_s = [0.0f64; 2];
+            let mut saved_ns = 0u64;
+            let mut rounds = 0u64;
+            for (i, pipeline) in [false, true].into_iter().enumerate() {
+                let sim = SimConfig::asci_frost();
+                sim.profile.set_enabled(true);
+                let pfs = Pfs::new(sim.clone(), StorageMode::CostOnly);
+                let res = run_flash_io_mode(
+                    config,
+                    sim.clone(),
+                    &pfs,
+                    WriteMode::collective_hints(cb, pipeline),
+                );
+                let profile = sim.profile.snapshot().to_json(res.time.as_nanos());
+                check_coverage(&profile, 0.05);
+                mb_s[i] = res.bandwidth_mb_s;
+                if pipeline {
+                    let tp = sim.profile.twophase_counters();
+                    saved_ns = tp.overlap_saved_nanos;
+                    rounds = tp.pipelined_rounds;
+                }
+            }
+            // Pipelining is not free (per-round collective latency, offset
+            // exchange); allow it to trail serial by <1% where rounds are
+            // few, but never more.
+            assert!(
+                mb_s[1] >= mb_s[0] * 0.99,
+                "pipelined lost >1% to serial at {nprocs} procs, cb={cb} \
+                 ({:.1} vs {:.1} MB/s)",
+                mb_s[1],
+                mb_s[0]
+            );
+            eprintln!(
+                "  done: {nprocs} procs cb={}KiB: serial {:.1}, pipelined {:.1} MB/s \
+                 ({} rounds, {:.3} s hidden)",
+                cb / 1024,
+                mb_s[0],
+                mb_s[1],
+                rounds,
+                saved_ns as f64 / 1e9
+            );
+            rows.push(
+                Json::obj()
+                    .with("ranks", nprocs)
+                    .with("cb_buffer_size", cb as u64)
+                    .with("serial_mb_s", mb_s[0])
+                    .with("pipelined_mb_s", mb_s[1])
+                    .with("speedup", mb_s[1] / mb_s[0])
+                    .with("rounds", rounds)
+                    .with("overlap_saved_ns", saved_ns),
+            );
+            serial_row.push(mb_s[0]);
+            pipelined_row.push(mb_s[1]);
+        }
+        print_series(
+            &format!("FLASH I/O checkpoint (8x8x8), {nprocs} procs"),
+            "engine",
+            &xs,
+            &[
+                ("serial".to_string(), serial_row),
+                ("pipelined".to_string(), pipelined_row),
+            ],
+            "MB/s",
+        );
+    }
+    let bench = Json::obj()
+        .with("benchmark", "twophase_pipeline")
+        .with("kind", "checkpoint")
+        .with("nxb", 8u64)
+        .with("blocks_per_proc", BLOCKS_PER_PROC)
+        .with("rows", Json::Arr(rows));
+    std::fs::write("BENCH_twophase.json", bench.pretty()).expect("writing BENCH_twophase.json");
+    eprintln!("  bench results: BENCH_twophase.json");
+}

@@ -84,6 +84,13 @@ impl FlashConfig {
 pub enum WriteMode {
     /// The paper's port: aggregated nonblocking puts flushed collectively.
     Collective,
+    /// Collective mode with MPI_Info hint pairs passed to `ncmpi_create`,
+    /// for steering the two-phase engine (`cb_buffer_size`,
+    /// `pnc_cb_pipeline`, ...). PnetCDF only.
+    CollectiveHints {
+        /// `(key, value)` hint pairs for the info object.
+        info: Vec<(String, String)>,
+    },
     /// Independent data mode, one put per AMR block, with the given MPI_Info
     /// hint pairs passed to `ncmpi_create` (e.g. `pnc_cache=enable`).
     /// PnetCDF only — HDF5 has no independent-block port here.
@@ -108,6 +115,16 @@ impl WriteMode {
     /// Independent-block mode without the cache (the uncached baseline).
     pub fn uncached() -> WriteMode {
         WriteMode::IndependentBlocks { info: Vec::new() }
+    }
+
+    /// Collective mode with explicit two-phase hints. `pipeline=false`
+    /// adds `pnc_cb_pipeline=disable` (the serial A/B baseline).
+    pub fn collective_hints(cb_buffer_size: usize, pipeline: bool) -> WriteMode {
+        let mut info = vec![("cb_buffer_size".to_string(), cb_buffer_size.to_string())];
+        if !pipeline {
+            info.push(("pnc_cb_pipeline".into(), "disable".into()));
+        }
+        WriteMode::CollectiveHints { info }
     }
 }
 
@@ -158,6 +175,14 @@ pub fn run_flash_io_mode(
             writers::pnetcdf::write_with(comm, &pfs, &mesh, kind, "flash_out", attrs)
                 .expect("pnetcdf write")
         }
+        (IoLibrary::Pnetcdf, WriteMode::CollectiveHints { info }) => {
+            let mut i = Info::new();
+            for (k, v) in info {
+                i = i.with(k, v);
+            }
+            writers::pnetcdf::write_collective(comm, &pfs, &mesh, kind, "flash_out", &i)
+                .expect("pnetcdf collective write")
+        }
         (IoLibrary::Pnetcdf, WriteMode::IndependentBlocks { info }) => {
             let mut i = Info::new();
             for (k, v) in info {
@@ -170,8 +195,9 @@ pub fn run_flash_io_mode(
             writers::hdf5::write_with(comm, &pfs, &mesh, kind, "flash_out", attrs)
                 .expect("hdf5 write")
         }
-        (IoLibrary::Hdf5, WriteMode::IndependentBlocks { .. }) => {
-            panic!("independent-block mode is implemented for the PnetCDF writer only")
+        (IoLibrary::Hdf5, WriteMode::IndependentBlocks { .. })
+        | (IoLibrary::Hdf5, WriteMode::CollectiveHints { .. }) => {
+            panic!("hinted and independent-block modes are implemented for the PnetCDF writer only")
         }
     });
     let bytes = run.results[0];

@@ -57,6 +57,20 @@ pub fn write_with(
     )
 }
 
+/// Like [`write`], but with caller-supplied MPI_Info hints reaching
+/// `ncmpi_create` — the knob benchmarks use to steer the two-phase engine
+/// (`cb_buffer_size`, `pnc_cb_pipeline=disable`, ...).
+pub fn write_collective(
+    comm: &Comm,
+    pfs: &Pfs,
+    mesh: &BlockMesh,
+    kind: OutputKind,
+    path: &str,
+    info: &Info,
+) -> NcmpiResult<u64> {
+    write_impl(comm, pfs, mesh, kind, path, false, PutMode::Aggregate, info)
+}
+
 /// The pre-aggregation port: one blocking collective per variable (~29
 /// collective rounds per checkpoint). Kept as the baseline the
 /// `ext_nonblocking` benchmark compares the aggregated path against.

@@ -70,6 +70,24 @@ impl CollEnv {
         self.sync_phase(Phase::Metadata, cost)
     }
 
+    /// Cost of one alltoallv round over this group, from the α–β network
+    /// model: `max_send`/`max_recv` are the busiest endpoints' byte counts.
+    /// The round is tallied in the per-kind collective table (so pipelined
+    /// two-phase exchange rounds show up next to the predefined
+    /// collectives), but no clock or phase timer is touched — callers that
+    /// overlap rounds with other work own their timeline and charge phases
+    /// along the critical path themselves.
+    pub fn alltoallv_cost(&self, max_send: usize, max_recv: usize, total_bytes: u64) -> Time {
+        let cost = self
+            .config
+            .network
+            .alltoallv(max_send, max_recv, self.size());
+        self.config
+            .profile
+            .record_collective(CollKind::Alltoallv, total_bytes, cost.as_nanos());
+        cost
+    }
+
     /// Set every group member's clock to exactly `t` (used by collective
     /// I/O, which computes its own completion time).
     pub fn set_all(&self, t: Time) {

@@ -12,7 +12,7 @@ use crate::error::{MpioError, MpioResult};
 use crate::hints::Hints;
 use crate::sieve;
 use crate::twophase::{self, TwoPhaseParams};
-use crate::view::{runs_total, FileView, Run};
+use crate::view::{runs_total, FileView, FlattenCache, Run};
 
 /// How to open the file (`MPI_MODE_*` combinations we support).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,6 +38,9 @@ pub struct MpiFile {
     /// contention — the mutex only provides interior mutability behind the
     /// `&self` data-access methods.
     cache: Option<Mutex<PageCache>>,
+    /// Memoized view-flattening results; keyed by view signature, so
+    /// `set_view` needs no invalidation.
+    flatten: Mutex<FlattenCache>,
 }
 
 impl MpiFile {
@@ -98,6 +101,7 @@ impl MpiFile {
                     hints,
                     readonly: mode == OpenMode::ReadOnly,
                     cache,
+                    flatten: Mutex::new(FlattenCache::new()),
                 })
             }
             Err(e) => Err(MpioError::Access(e.clone())),
@@ -276,7 +280,19 @@ impl MpiFile {
             cb_buffer_size: self.hints.cb_buffer_size,
             naggs: self.hints.aggregators(self.comm.size(), cfg.io_servers),
             stripe: cfg.stripe_size as u64,
+            pipeline: self.hints.cb_pipeline.resolve(true),
         }
+    }
+
+    /// Map a view-relative access to absolute file runs through the
+    /// memoizing flatten cache.
+    fn mapped(&self, offset_etypes: u64, len: u64) -> MpioResult<Arc<Vec<Run>>> {
+        self.flatten.lock().map(&self.view, offset_etypes, len)
+    }
+
+    /// `(hits, misses)` of the view-flattening memoization cache.
+    pub fn flatten_stats(&self) -> (u64, u64) {
+        self.flatten.lock().stats()
     }
 
     /// Validate a caller-supplied run list: sorted, non-overlapping, and
@@ -365,7 +381,7 @@ impl MpiFile {
     ) -> MpioResult<usize> {
         self.check_writable()?;
         let data = self.stage(buf, count, memtype)?;
-        let runs = self.view.map(offset, data.len() as u64)?;
+        let runs = self.mapped(offset, data.len() as u64)?;
         self.write_runs_at(&runs, &data)
     }
 
@@ -378,7 +394,7 @@ impl MpiFile {
         memtype: &Datatype,
     ) -> MpioResult<usize> {
         let want = memtype.size() as usize * count;
-        let runs = self.view.map(offset, want as u64)?;
+        let runs = self.mapped(offset, want as u64)?;
         let data = self.read_runs_at(&runs)?;
         if memtype.is_contiguous() && memtype.lb() == 0 {
             if buf.len() < data.len() {
@@ -409,7 +425,7 @@ impl MpiFile {
         memtype: &Datatype,
     ) -> MpioResult<usize> {
         let data = self.stage(buf, count, memtype)?;
-        let runs = self.view.map(offset, data.len() as u64)?;
+        let runs = self.mapped(offset, data.len() as u64)?;
         self.write_runs_at_all(&runs, &data)
     }
 
@@ -482,7 +498,7 @@ impl MpiFile {
         memtype: &Datatype,
     ) -> MpioResult<usize> {
         let want = memtype.size() as usize * count;
-        let runs = self.view.map(offset, want as u64)?;
+        let runs = self.mapped(offset, want as u64)?;
         let data = self.read_runs_at_all(&runs)?;
         if memtype.is_contiguous() && memtype.lb() == 0 {
             if buf.len() < data.len() {

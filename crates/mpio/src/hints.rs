@@ -47,6 +47,12 @@ pub struct Hints {
     pub cb_write: Toggle,
     /// Enable two-phase on collective reads (`romio_cb_read`).
     pub cb_read: Toggle,
+    /// Pipeline the two-phase rounds (`pnc_cb_pipeline`): with double
+    /// collective buffers per aggregator, round `j+1`'s data exchange
+    /// overlaps round `j`'s disk access. Default: enabled (`Auto` resolves
+    /// to on); `disable` reproduces the serial exchange-then-access timing
+    /// for A/B comparisons.
+    pub cb_pipeline: Toggle,
     /// Data-sieving buffer for independent reads (`ind_rd_buffer_size`).
     pub ind_rd_buffer_size: usize,
     /// Data-sieving buffer for independent writes (`ind_wr_buffer_size`).
@@ -73,6 +79,7 @@ impl Default for Hints {
             cb_nodes: None,
             cb_write: Toggle::Auto,
             cb_read: Toggle::Auto,
+            cb_pipeline: Toggle::Auto,
             ind_rd_buffer_size: 4 * 1024 * 1024,
             ind_wr_buffer_size: 512 * 1024,
             ds_write: Toggle::Auto,
@@ -97,6 +104,7 @@ impl Hints {
             cb_nodes: info.get_usize("cb_nodes").filter(|&v| v > 0),
             cb_write: Toggle::parse(info.get("romio_cb_write")),
             cb_read: Toggle::parse(info.get("romio_cb_read")),
+            cb_pipeline: Toggle::parse(info.get("pnc_cb_pipeline")),
             ind_rd_buffer_size: info
                 .get_usize("ind_rd_buffer_size")
                 .filter(|&v| v > 0)
@@ -145,6 +153,18 @@ mod tests {
         assert_eq!(h.cb_write, Toggle::Auto);
         assert!(h.cb_write.resolve(true));
         assert!(!h.cb_write.resolve(false));
+        // Pipelining defaults on.
+        assert_eq!(h.cb_pipeline, Toggle::Auto);
+        assert!(h.cb_pipeline.resolve(true));
+    }
+
+    #[test]
+    fn pipeline_hint_parses() {
+        let h = Hints::from_info(&Info::new().with("pnc_cb_pipeline", "disable"));
+        assert_eq!(h.cb_pipeline, Toggle::Disable);
+        assert!(!h.cb_pipeline.resolve(true));
+        let h = Hints::from_info(&Info::new().with("pnc_cb_pipeline", "enable"));
+        assert_eq!(h.cb_pipeline, Toggle::Enable);
     }
 
     #[test]

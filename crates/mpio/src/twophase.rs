@@ -38,6 +38,11 @@ pub struct TwoPhaseParams {
     pub naggs: usize,
     /// File system stripe size (domain boundaries align to it).
     pub stripe: u64,
+    /// Pipeline the rounds (`pnc_cb_pipeline`): each aggregator holds two
+    /// collective buffers, so round `j`'s data exchange overlaps round
+    /// `j-1`'s disk access. Off reproduces the serial exchange-then-access
+    /// timing exactly.
+    pub pipeline: bool,
 }
 
 // ---- request parcels ------------------------------------------------------
@@ -209,6 +214,48 @@ fn exchange_cost(
         .alltoallv(max_rank_wire as usize, max_agg_wire as usize, n)
 }
 
+/// Per-round exchange wire statistics for the pipelined engine: round `j`
+/// ships only the bytes that land in (writes) or come out of (reads) the
+/// round-`j` windows.
+#[derive(Clone, Copy, Debug, Default)]
+struct RoundWire {
+    /// Busiest non-aggregator endpoint: bytes one rank moves this round.
+    max_send: u64,
+    /// Busiest aggregator endpoint: bytes arriving from other ranks.
+    max_recv: u64,
+    /// Total bytes crossing the network this round.
+    total: u64,
+}
+
+/// Compute each round's wire traffic from the gathered window pieces.
+/// A piece whose owning rank *is* the window's aggregator moves by memcpy
+/// and costs no wire, exactly as in the monolithic [`exchange_cost`] — the
+/// per-round totals sum to the same `exchange_wire_bytes`.
+fn round_wire(windows: &[Vec<Vec<Piece>>], nranks: usize, rounds: usize) -> Vec<RoundWire> {
+    let mut out = Vec::with_capacity(rounds);
+    for j in 0..rounds {
+        let mut send = vec![0u64; nranks];
+        let mut w = RoundWire::default();
+        for (a, agg_windows) in windows.iter().enumerate() {
+            let Some(pieces) = agg_windows.get(j) else {
+                continue;
+            };
+            let mut recv = 0u64;
+            for pc in pieces {
+                if pc.rank != a {
+                    send[pc.rank] += pc.len;
+                    recv += pc.len;
+                }
+            }
+            w.max_recv = w.max_recv.max(recv);
+            w.total += recv;
+        }
+        w.max_send = send.into_iter().max().unwrap_or(0);
+        out.push(w);
+    }
+    out
+}
+
 // ---- window piece gathering -------------------------------------------------
 
 /// A contiguous piece of one rank's request inside the current window.
@@ -312,83 +359,177 @@ pub fn write_all(
         t.file_domains += domains.len() as u64;
     });
 
-    // Phase 1: exchange. Every rank ships the parts of its data that do not
-    // already live at their aggregator (aggregator a = rank a). The single
-    // alltoallv models offset lists and data moving together, so the whole
-    // cost is charged to the data-exchange phase.
+    // Pieces are gathered first in one offset-ordered cursor pass; the
+    // windows are then timed in round-robin order across aggregators, so
+    // their concurrent requests reach the shared server queues interleaved
+    // in time order — identically in both engines, which is what keeps the
+    // produced file bytes independent of the pipeline hint.
     let all_runs: Vec<Vec<Run>> = reqs.iter().map(|(r, _)| r.clone()).collect();
-    let totals: Vec<u64> = reqs.iter().map(|(r, _)| runs_total(r)).collect();
-    let t0 = env.sync_phase(
-        Phase::DataExchange,
-        exchange_cost(env, &all_runs, &totals, &domains),
-    );
-
-    // Phase 2: each aggregator walks its domain window by window. The
-    // aggregators run *concurrently*, so their requests must reach the
-    // shared server queues interleaved in time order, not domain-major
-    // order (which would falsely serialize the whole access phase).
-    // Pieces are gathered first in one offset-ordered cursor pass, then the
-    // windows are timed in round-robin order across aggregators.
     let windows = gather_windows(&all_runs, &domains, p.cb_buffer_size);
     let rounds = windows.iter().map(Vec::len).max().unwrap_or(0);
-    let mut t_agg = vec![t0; windows.len()];
     let mut split = AccessSplit::new(windows.len());
+
+    // With fewer than two rounds there is nothing to overlap, so the
+    // pipelined engine would only pay its extra offset exchange; fall back
+    // to the serial timing.
+    if !p.pipeline || rounds < 2 {
+        // Serial engine (`pnc_cb_pipeline=disable`): ONE monolithic
+        // alltoallv models offset lists and data moving together up front,
+        // charged whole to the data-exchange phase; every disk window is
+        // timed after it. Exchange and disk time add.
+        let totals: Vec<u64> = reqs.iter().map(|(r, _)| runs_total(r)).collect();
+        let t0 = env.sync_phase(
+            Phase::DataExchange,
+            exchange_cost(env, &all_runs, &totals, &domains),
+        );
+        let mut t_agg = vec![t0; windows.len()];
+        let access = (|| -> MpioResult<()> {
+            for j in 0..rounds {
+                for (a, agg_windows) in windows.iter().enumerate() {
+                    let Some(pieces) = agg_windows.get(j) else {
+                        continue;
+                    };
+                    t_agg[a] =
+                        write_window(env, file, &policy, t_agg[a], a, pieces, reqs, &mut split)?;
+                }
+            }
+            Ok(())
+        })();
+        let t_end = t_agg.iter().copied().fold(t0, Time::max);
+        return match access {
+            Ok(()) => {
+                split.attribute(&profile, env, t_end, &t_agg, Phase::Wait);
+                env.set_all(t_end);
+                Ok(t_end)
+            }
+            Err(e) => {
+                // Synchronize the clocks even on failure: no rank may be
+                // left behind a collective, successful or not.
+                env.set_all(t_end);
+                Err(e)
+            }
+        };
+    }
+
+    // Pipelined engine: offset lists are exchanged up front (small) so the
+    // rounds can be planned; each round then ships only the bytes landing
+    // in that round's windows. With two collective buffers per aggregator,
+    // round j's exchange may start as soon as round j-1's exchange has
+    // drained AND round j-2's disk pass has freed its buffer, so
+    // communication genuinely hides disk time (and vice versa).
+    let meta_bytes = all_runs.iter().map(|r| r.len() * 16).max().unwrap_or(0);
+    let entry = env.sync_phase(
+        Phase::OffsetExchange,
+        env.config.network.alltoallv(meta_bytes, meta_bytes, n),
+    );
+    let wire = round_wire(&windows, n, rounds);
+    profile.record_twophase(|t| {
+        t.exchange_wire_bytes += wire.iter().map(|w| w.total).sum::<u64>();
+        t.pipelined_rounds += rounds as u64;
+    });
+
+    let mut t_agg = vec![entry; windows.len()];
+    let mut x_done = vec![entry; rounds]; // per-round exchange completion
+    let mut d_done = vec![entry; rounds]; // per-round disk completion (all aggs)
+    let mut costs: Vec<Time> = Vec::with_capacity(rounds);
     let access = (|| -> MpioResult<()> {
         for j in 0..rounds {
+            let mut xs = if j > 0 { x_done[j - 1] } else { entry };
+            if j >= 2 {
+                // Double buffering: the buffer receiving round j is the one
+                // round j-2 drained to disk.
+                xs = xs.max(d_done[j - 2]);
+            }
+            let cost = env.alltoallv_cost(
+                wire[j].max_send as usize,
+                wire[j].max_recv as usize,
+                wire[j].total,
+            );
+            costs.push(cost);
+            x_done[j] = xs + cost;
+            let mut dmax = entry;
             for (a, agg_windows) in windows.iter().enumerate() {
                 let Some(pieces) = agg_windows.get(j) else {
                     continue;
                 };
-                let mut t_a = t_agg[a];
-                split.windows += 1;
-                let piece_bytes: u64 = pieces.iter().map(|pc| pc.len).sum();
-                // Assembling the collective buffer is memcpy work.
-                let pack = env.config.cpu.pack(piece_bytes as usize, 1.0);
-                t_a += pack;
-                split.pack[a] += pack.as_nanos();
-
-                let coverage = merge_coverage(pieces.iter().map(|pc| (pc.off, pc.len)).collect());
-                if coverage.len() == 1 {
-                    // Fully contiguous: assemble and write once.
-                    let (clo, clen) = coverage[0];
-                    let mut buf = vec![0u8; clen as usize];
-                    overlay(&mut buf, clo, pieces, reqs);
-                    let before = t_a;
-                    t_a = recover::write_at(file, &policy, t_a, clo, &buf)?;
-                    split.write[a] += (t_a - before).as_nanos();
-                } else {
-                    // Holes: read-modify-write the covered extent.
-                    split.rmw += 1;
-                    let clo = coverage[0].0;
-                    let cend = coverage.last().map(|&(o, l)| o + l).unwrap();
-                    let mut buf = vec![0u8; (cend - clo) as usize];
-                    let before = t_a;
-                    t_a = recover::read_at(file, &policy, t_a, clo, &mut buf)?;
-                    split.read[a] += (t_a - before).as_nanos();
-                    overlay(&mut buf, clo, pieces, reqs);
-                    let before = t_a;
-                    t_a = recover::write_at(file, &policy, t_a, clo, &buf)?;
-                    split.write[a] += (t_a - before).as_nanos();
-                }
-                t_agg[a] = t_a;
+                // Aggregator a starts round j once its previous window is
+                // on disk and round j's data has arrived; time spent
+                // waiting on the wire is the exchange cost that survives
+                // on this aggregator's critical path.
+                let ready = t_agg[a].max(x_done[j]);
+                split.exchange[a] += (ready - t_agg[a]).as_nanos();
+                t_agg[a] = write_window(env, file, &policy, ready, a, pieces, reqs, &mut split)?;
+                dmax = dmax.max(t_agg[a]);
             }
+            d_done[j] = dmax;
         }
         Ok(())
     })();
-    let t_end = t_agg.iter().copied().fold(t0, Time::max);
+    let t_end = t_agg
+        .iter()
+        .copied()
+        .fold(x_done.last().copied().unwrap_or(entry), Time::max);
     match access {
         Ok(()) => {
-            split.attribute(&profile, env, t_end, &t_agg);
+            split.record_overlap(&profile, &costs, entry, t_end, &t_agg);
+            split.attribute(&profile, env, t_end, &t_agg, Phase::Wait);
             env.set_all(t_end);
             Ok(t_end)
         }
         Err(e) => {
-            // Synchronize the clocks even on failure: no rank may be left
-            // behind a collective, successful or not.
             env.set_all(t_end);
             Err(e)
         }
     }
+}
+
+/// Time one write window on aggregator `a` starting at `t_start`:
+/// collective-buffer assembly (memcpy), then either a single contiguous
+/// write or a read-modify-write of the covered extent when the pieces
+/// leave holes. Returns the aggregator's completion time.
+#[allow(clippy::too_many_arguments)]
+fn write_window(
+    env: &CollEnv,
+    file: &PfsFile,
+    policy: &RetryPolicy,
+    t_start: Time,
+    a: usize,
+    pieces: &[Piece],
+    reqs: &[(Vec<Run>, &[u8])],
+    split: &mut AccessSplit,
+) -> MpioResult<Time> {
+    let mut t_a = t_start;
+    split.windows += 1;
+    let piece_bytes: u64 = pieces.iter().map(|pc| pc.len).sum();
+    // Assembling the collective buffer is memcpy work.
+    let pack = env.config.cpu.pack(piece_bytes as usize, 1.0);
+    t_a += pack;
+    split.pack[a] += pack.as_nanos();
+
+    let coverage = merge_coverage(pieces.iter().map(|pc| (pc.off, pc.len)).collect());
+    if coverage.len() == 1 {
+        // Fully contiguous: assemble and write once.
+        let (clo, clen) = coverage[0];
+        let mut buf = vec![0u8; clen as usize];
+        overlay(&mut buf, clo, pieces, reqs);
+        let before = t_a;
+        t_a = recover::write_at(file, policy, t_a, clo, &buf)?;
+        split.write[a] += (t_a - before).as_nanos();
+    } else {
+        // Holes: read-modify-write the covered extent.
+        split.rmw += 1;
+        let clo = coverage[0].0;
+        let cend = coverage.last().map(|&(o, l)| o + l).unwrap();
+        let mut buf = vec![0u8; (cend - clo) as usize];
+        let before = t_a;
+        t_a = recover::read_at(file, policy, t_a, clo, &mut buf)?;
+        split.read[a] += (t_a - before).as_nanos();
+        overlay(&mut buf, clo, pieces, reqs);
+        let before = t_a;
+        t_a = recover::write_at(file, policy, t_a, clo, &buf)?;
+        split.write[a] += (t_a - before).as_nanos();
+    }
+    Ok(t_a)
 }
 
 /// Per-aggregator breakdown of the access phase, accumulated along each
@@ -397,6 +538,11 @@ struct AccessSplit {
     pack: Vec<u64>,
     write: Vec<u64>,
     read: Vec<u64>,
+    /// Pipelined engine only: time an aggregator spent *waiting on the
+    /// wire* for its round's data (the exchange cost that was not hidden
+    /// behind disk). Serial engine leaves this zero — its exchange is
+    /// charged whole by `sync_phase` before the access loop.
+    exchange: Vec<u64>,
     windows: u64,
     rmw: u64,
 }
@@ -407,23 +553,56 @@ impl AccessSplit {
             pack: vec![0; naggs],
             write: vec![0; naggs],
             read: vec![0; naggs],
+            exchange: vec![0; naggs],
             windows: 0,
             rmw: 0,
         }
     }
 
+    /// Record how much the pipelined rounds saved: the difference between
+    /// running this collective's exchange rounds and the critical
+    /// aggregator's disk work back to back (the serial schedule of the
+    /// same rounds) and the overlapped makespan actually achieved.
+    fn record_overlap(
+        &self,
+        profile: &Profile,
+        costs: &[Time],
+        entry: Time,
+        t_end: Time,
+        t_agg: &[Time],
+    ) {
+        let Some(crit) = (0..t_agg.len()).max_by_key(|&a| t_agg[a]) else {
+            return;
+        };
+        let busy = self.pack[crit] + self.write[crit] + self.read[crit];
+        let serialized = costs.iter().map(|c| c.as_nanos()).sum::<u64>() + busy;
+        let saved = serialized.saturating_sub((t_end - entry).as_nanos());
+        profile.record_twophase(|t| t.overlap_saved_nanos += saved);
+    }
+
     /// Charge the access phase (`t0 → t_end`, applied to every rank by
     /// `set_all`) to profile phases so per-rank sums stay exact:
     ///
-    /// * aggregator `a` gets its own pack/write/read split plus
-    ///   [`Phase::Wait`] for `t_end - t_agg[a]` (idle behind the slowest
-    ///   aggregator);
+    /// * aggregator `a` gets its own pack/write/read split, its unhidden
+    ///   exchange waits as [`Phase::DataExchange`] (pipelined engine), and
+    ///   `trailing` (usually [`Phase::Wait`]) for `t_end - t_agg[a]` —
+    ///   idle behind the slowest aggregator, or, for pipelined reads,
+    ///   still shipping rounds back;
     /// * a non-aggregator rank spends the same wall of virtual time blocked
     ///   on the aggregators, so it is credited with the *critical*
     ///   aggregator's split — the one that actually determines `t_end` —
     ///   which keeps the makespan rank's breakdown meaningful instead of
-    ///   reading as one opaque wait.
-    fn attribute(&self, profile: &Profile, env: &CollEnv, t_end: Time, t_agg: &[Time]) {
+    ///   reading as one opaque wait. With overlap this is exactly the
+    ///   "charged along the critical path only" rule: exchange time hidden
+    ///   behind disk appears in no rank's breakdown.
+    fn attribute(
+        &self,
+        profile: &Profile,
+        env: &CollEnv,
+        t_end: Time,
+        t_agg: &[Time],
+        trailing: Phase,
+    ) {
         profile.record_twophase(|t| {
             t.windows += self.windows;
             t.rmw_windows += self.rmw;
@@ -441,14 +620,16 @@ impl AccessSplit {
             profile.record_phase(w, Phase::CollBufPack, self.pack[a]);
             profile.record_phase(w, Phase::DiskWrite, self.write[a]);
             profile.record_phase(w, Phase::DiskRead, self.read[a]);
-            profile.record_phase(w, Phase::Wait, (t_end - t_a).as_nanos());
+            profile.record_phase(w, Phase::DataExchange, self.exchange[a]);
+            profile.record_phase(w, trailing, (t_end - t_a).as_nanos());
         }
         let crit = (0..t_agg.len()).max_by_key(|&a| t_agg[a]).unwrap();
         for &w in env.group.iter().skip(t_agg.len()) {
             profile.record_phase(w, Phase::CollBufPack, self.pack[crit]);
             profile.record_phase(w, Phase::DiskWrite, self.write[crit]);
             profile.record_phase(w, Phase::DiskRead, self.read[crit]);
-            profile.record_phase(w, Phase::Wait, (t_end - t_agg[crit]).as_nanos());
+            profile.record_phase(w, Phase::DataExchange, self.exchange[crit]);
+            profile.record_phase(w, trailing, (t_end - t_agg[crit]).as_nanos());
         }
     }
 }
@@ -545,53 +726,134 @@ pub fn read_all(
     let rounds = windows.iter().map(Vec::len).max().unwrap_or(0);
     let mut t_agg = vec![t0; windows.len()];
     let mut split = AccessSplit::new(windows.len());
+
+    // A single round has nothing to overlap: fall back to serial timing
+    // (identical for one round), as in `write_all`.
+    if !p.pipeline || rounds < 2 {
+        // Serial engine: every window is read first, then ONE monolithic
+        // alltoallv ships all the data back (local shares stay put).
+        let access = (|| -> MpioResult<()> {
+            for j in 0..rounds {
+                for (a, agg_windows) in windows.iter().enumerate() {
+                    let Some(pieces) = agg_windows.get(j) else {
+                        continue;
+                    };
+                    t_agg[a] = read_window(
+                        env, file, &policy, t_agg[a], a, pieces, &mut outs, &mut split,
+                    )?;
+                }
+            }
+            Ok(())
+        })();
+        let t_end = t_agg.iter().copied().fold(t0, Time::max);
+        if let Err(e) = access {
+            env.set_all(t_end);
+            return Err(e);
+        }
+        split.attribute(&profile, env, t_end, &t_agg, Phase::Wait);
+
+        let ship = exchange_cost(env, reqs, &totals, &domains);
+        if profile.is_enabled() {
+            for &w in env.group.iter() {
+                profile.record_phase(w, Phase::DataExchange, ship.as_nanos());
+            }
+        }
+        let t_final = t_end + ship;
+        env.set_all(t_final);
+        return Ok((outs, t_final));
+    }
+
+    // Pipelined engine: round j ships back to the requesting ranks while
+    // round j+1 is still being read from disk.
+    let wire = round_wire(&windows, n, rounds);
+    profile.record_twophase(|t| {
+        t.exchange_wire_bytes += wire.iter().map(|w| w.total).sum::<u64>();
+        t.pipelined_rounds += rounds as u64;
+    });
+    let mut x_done = vec![t0; rounds]; // per-round ship completion
+    let mut costs: Vec<Time> = Vec::with_capacity(rounds);
     let access = (|| -> MpioResult<()> {
         for j in 0..rounds {
+            let mut dmax = t0;
             for (a, agg_windows) in windows.iter().enumerate() {
                 let Some(pieces) = agg_windows.get(j) else {
                     continue;
                 };
-                let mut t_a = t_agg[a];
-                split.windows += 1;
-                // One spanning read covers every piece in the window (data
-                // sieving at the aggregator).
-                let clo = pieces.iter().map(|pc| pc.off).min().unwrap();
-                let cend = pieces.iter().map(|pc| pc.off + pc.len).max().unwrap();
-                let mut buf = vec![0u8; (cend - clo) as usize];
-                let before = t_a;
-                t_a = recover::read_at(file, &policy, t_a, clo, &mut buf)?;
-                split.read[a] += (t_a - before).as_nanos();
-                let piece_bytes: u64 = pieces.iter().map(|pc| pc.len).sum();
-                let pack = env.config.cpu.pack(piece_bytes as usize, 1.0);
-                t_a += pack;
-                split.pack[a] += pack.as_nanos();
-                for pc in pieces {
-                    let lo = (pc.off - clo) as usize;
-                    outs[pc.rank][pc.src_pos as usize..(pc.src_pos + pc.len) as usize]
-                        .copy_from_slice(&buf[lo..lo + pc.len as usize]);
-                }
-                t_agg[a] = t_a;
+                // Double buffering: round j refills the buffer round j-2
+                // shipped; waiting for that ship to drain is wire time on
+                // this aggregator's critical path.
+                let ready = if j >= 2 {
+                    t_agg[a].max(x_done[j - 2])
+                } else {
+                    t_agg[a]
+                };
+                split.exchange[a] += (ready - t_agg[a]).as_nanos();
+                t_agg[a] =
+                    read_window(env, file, &policy, ready, a, pieces, &mut outs, &mut split)?;
+                dmax = dmax.max(t_agg[a]);
             }
+            // Round j ships once every aggregator's round-j read is done
+            // and the previous ship has drained the wire.
+            let xs = if j > 0 { dmax.max(x_done[j - 1]) } else { dmax };
+            let cost = env.alltoallv_cost(
+                wire[j].max_send as usize,
+                wire[j].max_recv as usize,
+                wire[j].total,
+            );
+            costs.push(cost);
+            x_done[j] = xs + cost;
         }
         Ok(())
     })();
-    let t_end = t_agg.iter().copied().fold(t0, Time::max);
+    let t_final = t_agg
+        .iter()
+        .copied()
+        .fold(x_done.last().copied().unwrap_or(t0), Time::max);
     if let Err(e) = access {
-        env.set_all(t_end);
+        env.set_all(t_final);
         return Err(e);
     }
-    split.attribute(&profile, env, t_end, &t_agg);
-
-    // Ship the data back to the requesting ranks (local shares stay put).
-    let ship = exchange_cost(env, reqs, &totals, &domains);
-    if profile.is_enabled() {
-        for &w in env.group.iter() {
-            profile.record_phase(w, Phase::DataExchange, ship.as_nanos());
-        }
-    }
-    let t_final = t_end + ship;
+    split.record_overlap(&profile, &costs, t0, t_final, &t_agg);
+    // Each rank's trailing tail is spent shipping the last rounds back, so
+    // it is data-exchange time, not idle wait.
+    split.attribute(&profile, env, t_final, &t_agg, Phase::DataExchange);
     env.set_all(t_final);
     Ok((outs, t_final))
+}
+
+/// Time one read window on aggregator `a` starting at `t_start`: one
+/// spanning read covers every piece in the window (data sieving at the
+/// aggregator), then the pieces are scattered into the requesting ranks'
+/// output buffers (memcpy). Returns the aggregator's completion time.
+#[allow(clippy::too_many_arguments)]
+fn read_window(
+    env: &CollEnv,
+    file: &PfsFile,
+    policy: &RetryPolicy,
+    t_start: Time,
+    a: usize,
+    pieces: &[Piece],
+    outs: &mut [Vec<u8>],
+    split: &mut AccessSplit,
+) -> MpioResult<Time> {
+    let mut t_a = t_start;
+    split.windows += 1;
+    let clo = pieces.iter().map(|pc| pc.off).min().unwrap();
+    let cend = pieces.iter().map(|pc| pc.off + pc.len).max().unwrap();
+    let mut buf = vec![0u8; (cend - clo) as usize];
+    let before = t_a;
+    t_a = recover::read_at(file, policy, t_a, clo, &mut buf)?;
+    split.read[a] += (t_a - before).as_nanos();
+    let piece_bytes: u64 = pieces.iter().map(|pc| pc.len).sum();
+    let pack = env.config.cpu.pack(piece_bytes as usize, 1.0);
+    t_a += pack;
+    split.pack[a] += pack.as_nanos();
+    for pc in pieces {
+        let lo = (pc.off - clo) as usize;
+        outs[pc.rank][pc.src_pos as usize..(pc.src_pos + pc.len) as usize]
+            .copy_from_slice(&buf[lo..lo + pc.len as usize]);
+    }
+    Ok(t_a)
 }
 
 #[cfg(test)]
@@ -654,6 +916,69 @@ mod tests {
         }
         // Alignment of the ragged first domain may cost one extra domain.
         assert!(d.len() <= 5, "{d:?}");
+    }
+
+    /// Every domain must be non-empty (`hi > lo`) and together they must
+    /// tile `[gmin, gmax)` exactly, with interior boundaries on absolute
+    /// stripe multiples.
+    fn check_domains(gmin: u64, gmax: u64, naggs: usize, stripe: u64) -> Vec<(u64, u64)> {
+        let d = file_domains(gmin, gmax, naggs, stripe);
+        if gmax == gmin {
+            assert!(d.is_empty());
+            return d;
+        }
+        assert_eq!(d.first().unwrap().0, gmin, "{d:?}");
+        assert_eq!(d.last().unwrap().1, gmax, "{d:?}");
+        for &(lo, hi) in &d {
+            assert!(hi > lo, "empty domain in {d:?}");
+        }
+        for w in d.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "gap/overlap in {d:?}");
+            assert_eq!(w[0].1 % stripe, 0, "unaligned boundary in {d:?}");
+        }
+        d
+    }
+
+    #[test]
+    fn domains_more_aggregators_than_stripes() {
+        // Span of 3 stripes split over 8 aggregators: some aggregators get
+        // nothing, but no domain may be empty.
+        let d = check_domains(0, 3000, 8, 1000);
+        assert!(d.len() <= 3, "{d:?}");
+        // Span smaller than one stripe.
+        let d = check_domains(10, 250, 8, 1000);
+        assert_eq!(d, vec![(10, 250)]);
+    }
+
+    #[test]
+    fn domains_single_byte_span() {
+        let d = check_domains(999, 1000, 4, 1000);
+        assert_eq!(d, vec![(999, 1000)]);
+        // A single byte exactly at a stripe boundary.
+        let d = check_domains(1000, 1001, 4, 1000);
+        assert_eq!(d, vec![(1000, 1001)]);
+    }
+
+    #[test]
+    fn domains_aligned_edges() {
+        // gmin and gmax both exactly on stripe boundaries.
+        let d = check_domains(2000, 10_000, 4, 1000);
+        assert_eq!(d.len(), 4, "{d:?}");
+        for &(lo, hi) in &d {
+            assert_eq!(lo % 1000, 0);
+            assert_eq!(hi % 1000, 0);
+        }
+    }
+
+    #[test]
+    fn domains_empty_span_and_stripe_one() {
+        assert!(check_domains(42, 42, 4, 1000).is_empty());
+        // stripe=1 degenerates to an even split with no alignment slack.
+        let d = check_domains(0, 10, 4, 1);
+        assert_eq!(d.len(), 4, "{d:?}");
+        // Ragged: span not divisible by naggs, still exact.
+        check_domains(3, 10, 4, 1);
+        check_domains(0, 1, 64, 1);
     }
 
     #[test]

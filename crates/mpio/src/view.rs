@@ -7,6 +7,10 @@
 //! arguments (paper §4.2.2); this module maps logical (view-relative)
 //! positions to absolute file runs.
 
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
 use pnetcdf_mpi::{flatten, Datatype};
 
 use crate::error::{MpioError, MpioResult};
@@ -44,17 +48,33 @@ pub struct FileView {
     tile_data: u64,
     /// Tile stride (the filetype's extent).
     tile_extent: u64,
+    /// Structural fingerprint, computed once at construction so
+    /// [`FlattenCache`] can key memoized run lists without comparing the
+    /// whole segment list.
+    signature: u64,
+}
+
+fn view_signature(disp: u64, etype_size: u64, segs: &[(u64, u64)], tile_extent: u64) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    disp.hash(&mut h);
+    etype_size.hash(&mut h);
+    segs.hash(&mut h);
+    tile_extent.hash(&mut h);
+    h.finish()
 }
 
 impl FileView {
     /// The default view: the whole file as a byte stream from offset 0.
     pub fn contiguous() -> FileView {
+        let segs = vec![(0, u64::MAX)];
+        let signature = view_signature(0, 1, &segs, u64::MAX);
         FileView {
             disp: 0,
             etype_size: 1,
-            segs: vec![(0, u64::MAX)],
+            segs,
             tile_data: u64::MAX,
             tile_extent: u64::MAX,
+            signature,
         }
     }
 
@@ -89,13 +109,22 @@ impl FileView {
                 "filetype size {tile_data} is not a multiple of etype size {etype_size}"
             )));
         }
+        let tile_extent = filetype.extent();
+        let signature = view_signature(disp, etype_size, &segs, tile_extent);
         Ok(FileView {
             disp,
             etype_size,
             segs,
             tile_data,
-            tile_extent: filetype.extent(),
+            tile_extent,
+            signature,
         })
+    }
+
+    /// Structural fingerprint of this view (displacement, etype, segments,
+    /// extent). Two views with equal signatures flatten identically.
+    pub fn signature(&self) -> u64 {
+        self.signature
     }
 
     /// Bytes of data visible per filetype tile.
@@ -147,6 +176,59 @@ impl FileView {
             tile += 1;
         }
         Ok(out)
+    }
+}
+
+/// Memoizes [`FileView::map`] results keyed by `(view signature, offset,
+/// len)`.
+///
+/// PnetCDF record-variable access patterns flatten the same view at the
+/// same offsets over and over (one call per record per timestep); the run
+/// list depends only on the view structure and the access window, so the
+/// walk over tiles and segments can be reused. Results are shared as
+/// `Arc<Vec<Run>>` so a hit costs one hash lookup and a refcount bump.
+#[derive(Debug, Default)]
+pub struct FlattenCache {
+    map: HashMap<(u64, u64, u64), Arc<Vec<Run>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl FlattenCache {
+    /// Bound on cached entries; the map is cleared wholesale when full
+    /// (flatten results are cheap to recompute, so eviction bookkeeping
+    /// would cost more than it saves).
+    const MAX_ENTRIES: usize = 1024;
+
+    pub fn new() -> FlattenCache {
+        FlattenCache::default()
+    }
+
+    /// Map a logical access through `view`, reusing a memoized run list
+    /// when the same `(view, offset, len)` was flattened before.
+    pub fn map(
+        &mut self,
+        view: &FileView,
+        offset_etypes: u64,
+        len: u64,
+    ) -> MpioResult<Arc<Vec<Run>>> {
+        let key = (view.signature, offset_etypes, len);
+        if let Some(runs) = self.map.get(&key) {
+            self.hits += 1;
+            return Ok(Arc::clone(runs));
+        }
+        self.misses += 1;
+        let runs = Arc::new(view.map(offset_etypes, len)?);
+        if self.map.len() >= Self::MAX_ENTRIES {
+            self.map.clear();
+        }
+        self.map.insert(key, Arc::clone(&runs));
+        Ok(runs)
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 }
 
@@ -228,6 +310,33 @@ mod tests {
     fn rejects_etype_mismatch() {
         let ft = Datatype::contiguous(3, Datatype::byte());
         assert!(FileView::new(0, &Datatype::int(), &ft).is_err());
+    }
+
+    #[test]
+    fn flatten_cache_hits_and_distinguishes_views() {
+        let ft = Datatype::resized(0, 4, Datatype::contiguous(2, Datatype::byte()));
+        let strided = FileView::new(0, &Datatype::byte(), &ft).unwrap();
+        let contig = FileView::contiguous();
+        assert_ne!(strided.signature(), contig.signature());
+
+        let mut cache = FlattenCache::new();
+        let a = cache.map(&strided, 0, 6).unwrap();
+        assert_eq!(*a, vec![(0, 2), (4, 2), (8, 2)]);
+        assert_eq!(cache.stats(), (0, 1));
+        // Same view+access: served from the cache, same result.
+        let b = cache.map(&strided, 0, 6).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), (1, 1));
+        // Same access through a different view must not collide.
+        let c = cache.map(&contig, 0, 6).unwrap();
+        assert_eq!(*c, vec![(0, 6)]);
+        assert_eq!(cache.stats(), (1, 2));
+        // A rebuilt identical view shares the signature and therefore hits.
+        let ft2 = Datatype::resized(0, 4, Datatype::contiguous(2, Datatype::byte()));
+        let strided2 = FileView::new(0, &Datatype::byte(), &ft2).unwrap();
+        assert_eq!(strided.signature(), strided2.signature());
+        cache.map(&strided2, 0, 6).unwrap();
+        assert_eq!(cache.stats(), (2, 2));
     }
 
     #[test]

@@ -124,6 +124,13 @@ pub struct TwophaseCounters {
     pub rmw_windows: u64,
     /// Bytes of request metadata + data shipped in the exchange phases.
     pub exchange_wire_bytes: u64,
+    /// Exchange/disk rounds executed by the pipelined engine
+    /// (`pnc_cb_pipeline`); serial collectives leave this at zero.
+    pub pipelined_rounds: u64,
+    /// Virtual nanoseconds the pipelined engine saved by overlapping
+    /// per-round exchange with the previous round's disk access, relative
+    /// to running the same rounds back to back.
+    pub overlap_saved_nanos: u64,
 }
 
 /// Fault-injection and recovery counters (PFS faults and the MPI-IO
@@ -361,6 +368,12 @@ impl Profile {
             return;
         }
         f(&mut self.inner.twophase.lock().unwrap());
+    }
+
+    /// Copy of the two-phase engine counters (tests and smoke assertions
+    /// read these directly).
+    pub fn twophase_counters(&self) -> TwophaseCounters {
+        *self.inner.twophase.lock().unwrap()
     }
 
     /// Update the fault-injection/recovery counters.

@@ -83,7 +83,9 @@ impl ProfileSnapshot {
             .with("file_domains", Json::from(tp.file_domains))
             .with("windows", Json::from(tp.windows))
             .with("rmw_windows", Json::from(tp.rmw_windows))
-            .with("exchange_wire_bytes", Json::from(tp.exchange_wire_bytes));
+            .with("exchange_wire_bytes", Json::from(tp.exchange_wire_bytes))
+            .with("rounds", Json::from(tp.pipelined_rounds))
+            .with("overlap_saved_ns", Json::from(tp.overlap_saved_nanos));
 
         let fc = &self.faults;
         let faults = Json::obj()

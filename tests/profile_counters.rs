@@ -125,6 +125,51 @@ fn blocking_and_nonblocking_put_size_agree_on_identical_output() {
     assert_eq!(put_sizes[0], vec![2 * PER_RANK * 4; NPROCS]);
 }
 
+/// The pipelined round engine must keep the exact-attribution invariant:
+/// with profiling on from the start, every rank's per-phase sums add up to
+/// the whole makespan (coverage == 1.0), even though exchange and disk
+/// phases overlap in the timeline.
+#[test]
+fn pipelined_rounds_keep_exact_phase_attribution() {
+    let cfg = SimConfig::test_small();
+    cfg.profile.set_enabled(true);
+    let pfs = Pfs::new(cfg.clone(), StorageMode::Full);
+    // A 512-byte collective buffer halves each 1 KiB file domain: two
+    // rounds per aggregator, so the pipeline genuinely overlaps.
+    let info = aligned_info().with("cb_buffer_size", "512");
+    let run = run_world(NPROCS, cfg.clone(), move |comm| {
+        let mut ds = Dataset::create(comm, &pfs, "pipe.nc", Version::Cdf1, &info).unwrap();
+        let d = ds.def_dim("x", NPROCS as u64 * PER_RANK).unwrap();
+        let v = ds.def_var("v", NcType::Float, &[d]).unwrap();
+        ds.enddef().unwrap();
+        let r = comm.rank() as u64;
+        let vals = vec![r as f32; PER_RANK as usize];
+        ds.put_vara_all(v, &[r * PER_RANK], &[PER_RANK], &vals)
+            .unwrap();
+        let back: Vec<f32> = ds.get_vara_all(v, &[r * PER_RANK], &[PER_RANK]).unwrap();
+        assert_eq!(back, vals);
+        ds.close().unwrap();
+    });
+
+    let snap = cfg.profile.snapshot();
+    assert!(
+        snap.twophase.pipelined_rounds >= 2,
+        "workload must span multiple rounds: {:?}",
+        snap.twophase
+    );
+    // Every simulated nanosecond of every rank is attributed to a phase.
+    let makespan = run.makespan.as_nanos();
+    for rank in 0..NPROCS {
+        assert_eq!(
+            snap.rank_total(rank),
+            makespan,
+            "rank {rank} phase sums must equal the makespan exactly \
+             (coverage == 1.0); per-phase: {:?}",
+            snap.phase_nanos[rank]
+        );
+    }
+}
+
 /// `close` reduces the per-rank dataset counters across the communicator
 /// and rank 0 attaches the global roll-up to the shared trace profile.
 #[test]
