@@ -65,12 +65,25 @@ for key in rounds overlap_saved_ns serial_mb_s pipelined_mb_s \
            byte_identical; do
     grep -q "\"$key\"" "$report" || { echo "FAIL: report missing key \"$key\""; exit 1; }
 done
+# Dual-resource server engine: per-server queue/stage counters and the
+# dynamically chosen aggregator count must land in the profile.
+for key in nic_busy_s disk_busy_s overlap_s queue_stall_s max_queue_depth \
+           cb_nodes; do
+    grep -q "\"$key\"" "$report" || { echo "FAIL: report missing key \"$key\""; exit 1; }
+done
 grep -q '"byte_identical": true' "$report" \
     || { echo "FAIL: pipelined output not byte-identical"; exit 1; }
 grep -q '"overlap_saved_ns": 0' "$report" \
     && { echo "FAIL: pipelining hid no exchange time"; exit 1; }
 rm -rf "$report_dir"
-echo "    twophase report OK: overlap recorded, bytes identical"
+echo "    twophase report OK: overlap + server pipeline counters, bytes identical"
+
+echo "==> bench results: twophase_bench (BENCH_twophase.json)"
+./target/release/twophase_bench >/dev/null
+[ -f BENCH_twophase.json ] || { echo "FAIL: BENCH_twophase.json was not written"; exit 1; }
+grep -q '"speedup"' BENCH_twophase.json \
+    || { echo "FAIL: BENCH_twophase.json missing speedup rows"; exit 1; }
+echo "    BENCH_twophase.json written (the bench itself asserts >1.2x at 64 ranks)"
 
 echo "==> bench results: fig6_scalability --quick (BENCH_fig6.json)"
 report_dir=$(mktemp -d)

@@ -69,6 +69,19 @@ fn main() {
                 mb_s[1],
                 mb_s[0]
             );
+            // At scale the dual-resource servers + server-affine domains
+            // must genuinely win: one aggregator stream per server keeps
+            // each NIC+disk pipeline full, so hand-off-acknowledged rounds
+            // beat wait-for-durability rounds by well over 20%.
+            if nprocs == 64 {
+                assert!(
+                    mb_s[1] > mb_s[0] * 1.2,
+                    "pipelined must beat serial by >1.2x at {nprocs} procs, cb={cb} \
+                     ({:.1} vs {:.1} MB/s)",
+                    mb_s[1],
+                    mb_s[0]
+                );
+            }
             eprintln!(
                 "  done: {nprocs} procs cb={}KiB: serial {:.1}, pipelined {:.1} MB/s \
                  ({} rounds, {:.3} s hidden)",

@@ -55,6 +55,12 @@ impl MpiFile {
         info: &Info,
     ) -> MpioResult<MpiFile> {
         let hints = Hints::from_info(info);
+        if let Some(depth) = hints.server_queue_depth {
+            // `pnc_server_queue_depth`: resize every server's bounded
+            // admission queue. The servers are shared, so the hint is
+            // global — exactly like striping parameters on a real PFS.
+            pfs.set_queue_depth(depth);
+        }
         let env = comm.coll_env();
         let pfs = pfs.clone();
         let name_owned = name.to_string();
@@ -278,9 +284,14 @@ impl MpiFile {
         let cfg = self.comm.config();
         TwoPhaseParams {
             cb_buffer_size: self.hints.cb_buffer_size,
-            naggs: self.hints.aggregators(self.comm.size(), cfg.io_servers),
+            cb_nodes: self
+                .hints
+                .cb_nodes
+                .map(|_| self.hints.aggregators(self.comm.size(), cfg.io_servers)),
+            io_servers: cfg.io_servers,
             stripe: cfg.stripe_size as u64,
             pipeline: self.hints.cb_pipeline.resolve(true),
+            affinity: self.hints.cb_affinity.resolve(true),
         }
     }
 

@@ -70,6 +70,16 @@ pub struct Hints {
     pub cache_page_size: usize,
     /// Pages of sequential readahead (`pnc_readahead`); 0 disables.
     pub cache_readahead: usize,
+    /// Bounded admission queue depth on every PFS server
+    /// (`pnc_server_queue_depth`); `None` keeps the platform default,
+    /// `Some(0)` makes the queue unbounded. Applied at open time.
+    pub server_queue_depth: Option<usize>,
+    /// Server-affine collective-buffer domains (`pnc_cb_affinity`): assign
+    /// each file stripe to the aggregator that owns its server, so every
+    /// server sees exactly one aggregator stream and the dual-resource
+    /// pipeline can overlap NIC with disk. Default: enabled (`Auto`
+    /// resolves to on); `disable` restores contiguous block domains.
+    pub cb_affinity: Toggle,
 }
 
 impl Default for Hints {
@@ -88,6 +98,8 @@ impl Default for Hints {
             cache_size: 8 * 1024 * 1024,
             cache_page_size: 0,
             cache_readahead: 2,
+            server_queue_depth: None,
+            cb_affinity: Toggle::Auto,
         }
     }
 }
@@ -123,21 +135,23 @@ impl Hints {
             cache_page_size: info.get_usize("pnc_page_size").unwrap_or(d.cache_page_size),
             // 0 is a meaningful value here (readahead off), so no filter.
             cache_readahead: info.get_usize("pnc_readahead").unwrap_or(d.cache_readahead),
+            // 0 is meaningful (unbounded queue), so no filter.
+            server_queue_depth: info.get_usize("pnc_server_queue_depth"),
+            cb_affinity: Toggle::parse(info.get("pnc_cb_affinity")),
         }
     }
 
     /// Number of aggregators for a communicator of `nprocs` over
-    /// `io_servers` servers.
+    /// `io_servers` servers, before the per-collective volume cap.
     ///
-    /// ROMIO's default is one aggregator per compute *node*; with the
-    /// multi-way SMP nodes of the paper's testbeds that is at least 8 even
-    /// on small runs, and never fewer than the I/O server count. We use
-    /// `max(io_servers, 8)` capped at the communicator size.
+    /// With the dual-resource servers, more aggregator streams per server
+    /// only queue behind one disk, so the default matches aggregators to
+    /// I/O servers (one stream each keeps every NIC+disk pipeline full).
+    /// A `cb_nodes` hint overrides; collectives that know their request
+    /// volume shrink the unhinted default further
+    /// (`twophase::dynamic_cb_nodes`).
     pub fn aggregators(&self, nprocs: usize, io_servers: usize) -> usize {
-        self.cb_nodes
-            .unwrap_or_else(|| io_servers.max(8))
-            .min(nprocs)
-            .max(1)
+        self.cb_nodes.unwrap_or(io_servers).min(nprocs).max(1)
     }
 }
 
@@ -217,14 +231,34 @@ mod tests {
         let h = Hints::default();
         assert_eq!(h.aggregators(32, 12), 12);
         assert_eq!(h.aggregators(4, 12), 4);
-        // Few I/O servers: the per-node floor of 8 applies.
-        assert_eq!(h.aggregators(32, 2), 8);
-        assert_eq!(h.aggregators(4, 2), 4);
+        // One aggregator stream per I/O server: no per-node floor.
+        assert_eq!(h.aggregators(32, 2), 2);
+        assert_eq!(h.aggregators(4, 2), 2);
         let h2 = Hints {
             cb_nodes: Some(2),
             ..Hints::default()
         };
         assert_eq!(h2.aggregators(32, 12), 2);
         assert_eq!(h2.aggregators(1, 12), 1);
+    }
+
+    #[test]
+    fn server_engine_hints() {
+        let d = Hints::from_info(&Info::new());
+        assert_eq!(d.server_queue_depth, None);
+        assert_eq!(d.cb_affinity, Toggle::Auto);
+        assert!(d.cb_affinity.resolve(true), "affinity defaults on");
+        let info = Info::new()
+            .with("pnc_server_queue_depth", "0")
+            .with("pnc_cb_affinity", "disable");
+        let h = Hints::from_info(&info);
+        assert_eq!(
+            h.server_queue_depth,
+            Some(0),
+            "explicit 0 (unbounded) sticks"
+        );
+        assert!(!h.cb_affinity.resolve(true));
+        let h = Hints::from_info(&Info::new().with("pnc_server_queue_depth", "16"));
+        assert_eq!(h.server_queue_depth, Some(16));
     }
 }

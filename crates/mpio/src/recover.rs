@@ -22,7 +22,7 @@
 //! `short_completions`, `exhausted`).
 
 use hpc_sim::Time;
-use pnetcdf_pfs::{IoFailure, PfsFile};
+use pnetcdf_pfs::{IoFailure, PfsFile, WriteCompletion};
 
 use crate::error::{MpioError, MpioResult};
 
@@ -115,6 +115,118 @@ pub fn write_at(
     })
 }
 
+/// Like [`write_at`] but keeps the two-stage completion: `handoff` (server
+/// NIC owns the bytes, the bounded admission queue is the backpressure) and
+/// `durable` (disk has them). Pipelined two-phase advances an aggregator's
+/// clock on `handoff` and only drains `durable` at the end of the
+/// collective.
+pub fn write_at_detailed(
+    file: &PfsFile,
+    policy: &RetryPolicy,
+    start: Time,
+    offset: u64,
+    data: &[u8],
+) -> MpioResult<WriteCompletion> {
+    let mut t = start;
+    let mut resume = 0usize;
+    let mut backoff = policy.base_backoff;
+    let mut left = policy.attempts;
+    let mut made = 0u32;
+    while left > 0 {
+        match file.try_write_at_detailed(t, offset + resume as u64, &data[resume..]) {
+            Ok(done) => return Ok(done),
+            Err(f) => {
+                record_retry(file, &f, backoff);
+                t = f.time + backoff;
+                if f.completed > 0 {
+                    resume += f.completed as usize;
+                    backoff = policy.base_backoff;
+                    left = policy.attempts;
+                } else {
+                    backoff = policy.next_backoff(backoff);
+                    left -= 1;
+                }
+                made += 1;
+            }
+        }
+    }
+    record_exhausted(file);
+    Err(MpioError::Exhausted {
+        attempts: made,
+        message: format!(
+            "write of {} bytes at offset {offset} of '{}'",
+            data.len(),
+            file.name()
+        ),
+    })
+}
+
+/// Drop the leading `skip` payload bytes from `runs` (run order), returning
+/// the trimmed tail. Resuming a short vectored write re-issues exactly the
+/// bytes the PFS has not guaranteed.
+fn trim_runs(runs: &[(u64, u64)], skip: u64) -> Vec<(u64, u64)> {
+    let mut out = Vec::with_capacity(runs.len());
+    let mut remaining = skip;
+    for &(off, len) in runs {
+        if remaining >= len {
+            remaining -= len;
+        } else {
+            out.push((off + remaining, len - remaining));
+            remaining = 0;
+        }
+    }
+    out
+}
+
+/// Vectored write of sorted disjoint `(offset, len)` runs holding the
+/// concatenated `data`, with the same fault recovery as [`write_at`]. The
+/// runs are coalesced into one PFS request per server
+/// ([`PfsFile::try_write_runs`]) — this is the aggregator fast path for
+/// server-affine collective-buffer windows.
+pub fn write_runs(
+    file: &PfsFile,
+    policy: &RetryPolicy,
+    start: Time,
+    runs: &[(u64, u64)],
+    data: &[u8],
+) -> MpioResult<WriteCompletion> {
+    let total: u64 = runs.iter().map(|&(_, len)| len).sum();
+    let mut t = start;
+    let mut resume = 0u64;
+    let mut backoff = policy.base_backoff;
+    let mut left = policy.attempts;
+    let mut made = 0u32;
+    let mut tail: Vec<(u64, u64)> = runs.to_vec();
+    while left > 0 {
+        match file.try_write_runs(t, &tail, &data[resume as usize..]) {
+            Ok(done) => return Ok(done),
+            Err(f) => {
+                record_retry(file, &f, backoff);
+                t = f.time + backoff;
+                if f.completed > 0 {
+                    resume += f.completed;
+                    tail = trim_runs(runs, resume);
+                    backoff = policy.base_backoff;
+                    left = policy.attempts;
+                } else {
+                    backoff = policy.next_backoff(backoff);
+                    left -= 1;
+                }
+                made += 1;
+            }
+        }
+    }
+    record_exhausted(file);
+    Err(MpioError::Exhausted {
+        attempts: made,
+        message: format!(
+            "vectored write of {total} bytes in {} runs of '{}'",
+            runs.len(),
+            file.name()
+        ),
+    })
+}
+
 /// Read into `buf` from `offset` with fault recovery; same policy as
 /// [`write_at`].
 pub fn read_at(
@@ -189,6 +301,28 @@ mod tests {
         assert!(fc.retries > 0);
         assert!(fc.backoff_nanos > 0);
         assert_eq!(fc.exhausted, 0);
+    }
+
+    #[test]
+    fn vectored_write_recovers_and_matches() {
+        let (f, cfg) = faulty_file(FaultPlan {
+            transient: 0.25,
+            short: 0.25,
+            ..FaultPlan::default()
+        });
+        let policy = RetryPolicy::default();
+        let runs = [(0u64, 3000u64), (5000, 2000), (9000, 4000)];
+        let data: Vec<u8> = (0..9000u32).map(|i| (i * 11 % 251) as u8).collect();
+        let c = write_runs(&f, &policy, Time::ZERO, &runs, &data).expect("should recover");
+        assert!(c.handoff <= c.durable);
+        let mut pos = 0usize;
+        for &(off, len) in &runs {
+            let mut out = vec![0u8; len as usize];
+            read_at(&f, &policy, c.durable, off, &mut out).unwrap();
+            assert_eq!(out, &data[pos..pos + len as usize]);
+            pos += len as usize;
+        }
+        assert!(cfg.profile.fault_counters().retries > 0);
     }
 
     #[test]

@@ -46,9 +46,11 @@ impl Pfs {
         let striping = Striping::new(cfg.stripe_size as u64, cfg.io_servers);
         let servers = (0..cfg.io_servers)
             .map(|i| {
-                Mutex::new(Server::with_faults(
+                Mutex::new(Server::configure(
                     cfg.stripe_size as u64,
+                    cfg.io_servers,
                     mode,
+                    cfg.service_model(),
                     cfg.faults.clone(),
                     i,
                 ))
@@ -130,6 +132,15 @@ impl Pfs {
     pub fn reset_timing(&self) {
         for s in &self.inner.servers {
             s.lock().reset_timing();
+        }
+    }
+
+    /// Override every server's bounded admission queue depth (the
+    /// `pnc_server_queue_depth` hint, applied at file open; `0` =
+    /// unbounded). The servers are shared, so this affects all files.
+    pub fn set_queue_depth(&self, depth: usize) {
+        for s in &self.inner.servers {
+            s.lock().set_queue_depth(depth);
         }
     }
 }

@@ -9,12 +9,15 @@
 //!    written through the whole parallel stack can be exported and re-read —
 //!    correctness is testable end to end. For large benchmarks,
 //!    [`StorageMode::CostOnly`] discards payloads and keeps only timing.
-//! 2. **Virtual-time cost accounting.** Each server owns a disk with the
-//!    [`hpc_sim::DiskModel`] cost function and a `next_free` availability
-//!    time; clients reach servers through a bandwidth-limited NIC. A single
-//!    client therefore cannot saturate the array (the serial-netCDF
-//!    bottleneck of Figure 2(a)), while many clients saturate at the fixed
-//!    aggregate disk bandwidth (the flattening curves of Figure 6).
+//! 2. **Virtual-time cost accounting.** Each server is a dual-resource
+//!    pipeline ([`hpc_sim::ServiceEngine`]): a server NIC stage and a disk
+//!    stage charged by the [`hpc_sim::DiskModel`], joined by a bounded
+//!    admission queue, so the NIC receives request *k+1* while the disk
+//!    services request *k*. Clients reach servers through their own
+//!    bandwidth-limited NIC. A single client therefore cannot saturate the
+//!    array (the serial-netCDF bottleneck of Figure 2(a)), while many
+//!    clients saturate at the fixed aggregate disk bandwidth (the
+//!    flattening curves of Figure 6).
 //!
 //! Operations take an explicit *start time* and return a *completion time*;
 //! the caller (MPI-IO layer, or the serial library's POSIX adapter) owns the
@@ -27,7 +30,7 @@ pub mod server;
 pub mod storage;
 pub mod stripe;
 
-pub use file::{IoFailure, PfsFile};
+pub use file::{IoFailure, PfsFile, WriteCompletion};
 pub use filesystem::Pfs;
 pub use posix::PosixSim;
 pub use server::{Server, ServiceOutcome};

@@ -1,28 +1,39 @@
-//! One I/O server: a disk queue plus its stripe store.
+//! One I/O server: a dual-resource service engine plus its stripe store.
 //!
-//! A server services requests one at a time (`next_free` models the queue);
-//! each request is charged by the [`hpc_sim::DiskModel`]. A request that
-//! starts at the file offset where the server's previous request on that
-//! file ended is *sequential* and skips the positioning cost — this is what
-//! rewards the large ordered writes produced by two-phase collective I/O.
+//! A server runs two pipelined stages (see [`hpc_sim::service`]): a NIC
+//! that transfers request payloads and a disk charged by the
+//! [`hpc_sim::DiskModel`], connected by a bounded admission queue — while
+//! the disk services request *k*, the NIC already receives request *k+1*.
+//! A request that starts at the **server-local** disk address where the
+//! server's previous request on that file ended is *sequential* and skips
+//! the positioning cost. Local addressing (stripe index divided by the
+//! server count) means a client streaming the file in order — or an
+//! aggregator writing the consecutive stripes it owns — stays sequential
+//! on every server even though the file offsets it touches there are
+//! strided; this is what rewards the large ordered writes produced by
+//! two-phase collective I/O.
 
 use std::collections::HashMap;
 
-use hpc_sim::{DiskModel, FaultKind, FaultPlan, Time};
+use hpc_sim::{DiskModel, FaultKind, FaultPlan, ServiceEngine, ServiceModel, StageTiming, Time};
 
 use crate::storage::{StorageMode, StripeStore};
 use crate::stripe::StripeChunk;
 
 /// State of one I/O server. Wrapped in a mutex by the file system.
 pub struct Server {
-    /// When the disk becomes idle.
-    next_free: Time,
-    /// Per-file end offset of the last request (sequentiality detection).
+    /// NIC + disk stage clocks and the bounded admission queue.
+    engine: ServiceEngine,
+    /// Per-file *local* end address of the last request (sequentiality
+    /// detection in the server's own address space).
     last_end: HashMap<u64, u64>,
     /// Stripe payload storage.
     store: StripeStore,
     mode: StorageMode,
     stripe_size: u64,
+    /// How many servers the file system stripes across; maps a stripe
+    /// index to this server's local address space.
+    nservers: u64,
     /// Fault-injection plan (inert by default).
     plan: FaultPlan,
     /// This server's index (keys the fault decisions).
@@ -35,13 +46,18 @@ pub struct Server {
 /// Timing outcome of one server request.
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceOutcome {
-    /// When the request completed (or the failure was reported).
+    /// When the request completed from the client's point of view: the
+    /// durable (disk) point for writes, the NIC ship-back for reads, the
+    /// failure report for faults.
     pub done: Time,
+    /// Stage breakdown: arrival, admission, NIC interval, disk interval,
+    /// queue stall and NIC/disk overlap.
+    pub stages: StageTiming,
     /// Whether the positioning cost was charged.
     pub seeked: bool,
-    /// Distance (bytes) between the previous request's end and this
-    /// request's start on the same file; 0 when sequential or when this is
-    /// the file's first request on this server.
+    /// Distance (bytes, local address space) between the previous
+    /// request's end and this request's start on the same file; 0 when
+    /// sequential or when this is the file's first request on this server.
     pub seek_distance: u64,
     /// The fault injected while servicing, if any. Stalls complete the
     /// request (the delay is inside `done`); transient/short/crashed
@@ -60,32 +76,85 @@ impl ServiceOutcome {
             Some(FaultKind::Transient) | Some(FaultKind::Short { .. }) | Some(FaultKind::Crashed)
         )
     }
+
+    /// When the server's NIC finished receiving a write — the earliest
+    /// point a handoff-acknowledging client may proceed. The payload is
+    /// not durable until [`ServiceOutcome::done`].
+    pub fn handoff(&self) -> Time {
+        self.stages.nic_done
+    }
 }
 
 impl Server {
-    /// New idle server with fault injection disabled.
+    /// New idle single-resource-equivalent server (pass-through NIC,
+    /// unbounded queue) with fault injection disabled.
     pub fn new(stripe_size: u64, mode: StorageMode) -> Server {
         Server::with_faults(stripe_size, mode, FaultPlan::default(), 0)
     }
 
     /// New idle server injecting faults per `plan`, identified as
-    /// `server_id` in the plan's decisions.
+    /// `server_id` in the plan's decisions. Pass-through service model.
     pub fn with_faults(
         stripe_size: u64,
         mode: StorageMode,
         plan: FaultPlan,
         server_id: usize,
     ) -> Server {
+        Server::configure(
+            stripe_size,
+            1,
+            mode,
+            ServiceModel::passthrough(),
+            plan,
+            server_id,
+        )
+    }
+
+    /// Fully configured server: one of `nservers` peers, servicing
+    /// requests through the dual-resource `service` model.
+    pub fn configure(
+        stripe_size: u64,
+        nservers: usize,
+        mode: StorageMode,
+        service: ServiceModel,
+        plan: FaultPlan,
+        server_id: usize,
+    ) -> Server {
+        assert!(nservers > 0, "at least one I/O server is required");
         Server {
-            next_free: Time::ZERO,
+            engine: ServiceEngine::new(service),
             last_end: HashMap::new(),
             store: StripeStore::new(stripe_size),
             mode,
             stripe_size,
+            nservers: nservers as u64,
             plan,
             server_id,
             ops: 0,
         }
+    }
+
+    /// Override the bounded admission queue depth
+    /// (`pnc_server_queue_depth`; `0` = unbounded).
+    pub fn set_queue_depth(&mut self, depth: usize) {
+        self.engine.set_queue_depth(depth);
+    }
+
+    /// This server's local disk address of a chunk: consecutive stripes
+    /// owned by the server are physically adjacent on its platter.
+    fn local_of(&self, c: &StripeChunk) -> u64 {
+        (c.stripe / self.nservers) * self.stripe_size + c.offset_in_stripe
+    }
+
+    /// Update position state and decide sequentiality for one coalesced
+    /// request (`chunks` non-empty, file order).
+    fn position(&mut self, file: u64, chunks: &[StripeChunk]) -> (bool, u64) {
+        let first = self.local_of(&chunks[0]);
+        let last = chunks.last().map(|c| self.local_of(c) + c.len).unwrap();
+        let prev_end = self.last_end.get(&file).copied();
+        let sequential = prev_end == Some(first);
+        self.last_end.insert(file, last);
+        (sequential, prev_end.map(|e| e.abs_diff(first)).unwrap_or(0))
     }
 
     /// Service a write of `chunks` (all owned by this server, file order)
@@ -103,38 +172,29 @@ impl Server {
         metadata_sized: bool,
     ) -> ServiceOutcome {
         debug_assert_eq!(chunks.len(), data.len());
-        let bytes: u64 = chunks.iter().map(|c| c.len).sum();
-        match self.decide(arrival, bytes) {
-            FaultKind::None => {
-                self.write_serviced(disk, file, arrival, chunks, data, metadata_sized, None)
-            }
-            FaultKind::Stall { delay } => {
-                let out = self.write_serviced(
-                    disk,
-                    file,
-                    arrival,
-                    chunks,
-                    data,
-                    metadata_sized,
-                    Some(FaultKind::Stall { delay }),
-                );
-                self.next_free += delay;
-                ServiceOutcome {
-                    done: out.done + delay,
-                    ..out
-                }
-            }
-            FaultKind::Transient => self.refuse(disk, arrival, FaultKind::Transient),
-            FaultKind::Crashed => ServiceOutcome {
-                // The server does not respond; the client detects the
-                // failure after a request-timeout's worth of virtual time.
-                // The disk queue is untouched — the machine is down.
-                done: arrival + disk.per_request,
-                seeked: false,
-                seek_distance: 0,
-                injected: Some(FaultKind::Crashed),
-                bytes_done: 0,
-            },
+        match self.decide(arrival, chunks) {
+            FaultKind::None => self.write_serviced(
+                disk,
+                file,
+                arrival,
+                chunks,
+                data,
+                metadata_sized,
+                None,
+                Time::ZERO,
+            ),
+            FaultKind::Stall { delay } => self.write_serviced(
+                disk,
+                file,
+                arrival,
+                chunks,
+                data,
+                metadata_sized,
+                Some(FaultKind::Stall { delay }),
+                delay,
+            ),
+            FaultKind::Transient => self.refuse(disk, arrival, false, FaultKind::Transient),
+            FaultKind::Crashed => self.crashed(disk, arrival),
             FaultKind::Short { bytes_done } => {
                 // Transfer only the first `bytes_done` bytes of the request
                 // (in file order), exactly like a short write(2).
@@ -158,14 +218,16 @@ impl Server {
                     &tdata,
                     metadata_sized,
                     Some(FaultKind::Short { bytes_done }),
+                    Time::ZERO,
                 );
                 ServiceOutcome { bytes_done, ..out }
             }
         }
     }
 
-    /// The fault-free write path: store (mode permitting), charge disk
-    /// time, apply the partial-stripe penalty.
+    /// The write service path: store (mode permitting), then run the NIC
+    /// and disk stages. The disk stage carries positioning, streaming, the
+    /// partial-stripe penalty and any fault `extra_delay` (stalls).
     #[allow(clippy::too_many_arguments)]
     fn write_serviced(
         &mut self,
@@ -176,6 +238,7 @@ impl Server {
         data: &[&[u8]],
         metadata_sized: bool,
         injected: Option<FaultKind>,
+        extra_delay: Time,
     ) -> ServiceOutcome {
         let keep = match self.mode {
             StorageMode::Full => true,
@@ -188,27 +251,41 @@ impl Server {
                 self.store.write(file, c.stripe, c.offset_in_stripe, d);
             }
         }
+        let bytes: u64 = chunks.iter().map(|c| c.len).sum();
+        if chunks.is_empty() {
+            return ServiceOutcome {
+                done: arrival,
+                stages: idle_stages(arrival),
+                seeked: false,
+                seek_distance: 0,
+                injected,
+                bytes_done: 0,
+            };
+        }
         // GPFS-style partial-block penalty: a write that does not cover a
         // whole stripe forces the server to read-modify-write that stripe.
-        // Of one coalesced request only the first and last chunks can be
-        // partial. This is precisely why ROMIO aligns collective-buffering
-        // file domains to the file system boundary: aligned two-phase
-        // writes avoid the penalty that unaligned independent writes pay on
-        // every request.
+        // Of one coalesced contiguous request only the first and last
+        // chunks can be partial. This is precisely why ROMIO aligns
+        // collective-buffering file domains to the file system boundary:
+        // aligned two-phase writes avoid the penalty that unaligned
+        // independent writes pay on every request.
         let partial = chunks
             .iter()
             .filter(|c| c.offset_in_stripe != 0 || c.len < self.stripe_size)
             .count();
-        let out = self.service(disk, file, arrival, chunks, injected);
+        let (sequential, seek_distance) = self.position(file, chunks);
+        let mut disk_time = disk.request(bytes as usize, sequential) + extra_delay;
         if partial > 0 {
-            let rmw = disk.stream(partial * self.stripe_size as usize);
-            self.next_free += rmw;
-            ServiceOutcome {
-                done: out.done + rmw,
-                ..out
-            }
-        } else {
-            out
+            disk_time += disk.stream(partial * self.stripe_size as usize);
+        }
+        let stages = self.engine.write(arrival, bytes as usize, disk_time);
+        ServiceOutcome {
+            done: stages.disk_done,
+            stages,
+            seeked: !sequential,
+            seek_distance,
+            injected,
+            bytes_done: bytes,
         }
     }
 
@@ -222,32 +299,21 @@ impl Server {
         out: &mut [&mut [u8]],
     ) -> ServiceOutcome {
         debug_assert_eq!(chunks.len(), out.len());
-        let bytes: u64 = chunks.iter().map(|c| c.len).sum();
-        match self.decide(arrival, bytes) {
-            FaultKind::None => self.read_serviced(disk, file, arrival, chunks, out, None),
-            FaultKind::Stall { delay } => {
-                let o = self.read_serviced(
-                    disk,
-                    file,
-                    arrival,
-                    chunks,
-                    out,
-                    Some(FaultKind::Stall { delay }),
-                );
-                self.next_free += delay;
-                ServiceOutcome {
-                    done: o.done + delay,
-                    ..o
-                }
+        match self.decide(arrival, chunks) {
+            FaultKind::None => {
+                self.read_serviced(disk, file, arrival, chunks, out, None, Time::ZERO)
             }
-            FaultKind::Transient => self.refuse(disk, arrival, FaultKind::Transient),
-            FaultKind::Crashed => ServiceOutcome {
-                done: arrival + disk.per_request,
-                seeked: false,
-                seek_distance: 0,
-                injected: Some(FaultKind::Crashed),
-                bytes_done: 0,
-            },
+            FaultKind::Stall { delay } => self.read_serviced(
+                disk,
+                file,
+                arrival,
+                chunks,
+                out,
+                Some(FaultKind::Stall { delay }),
+                delay,
+            ),
+            FaultKind::Transient => self.refuse(disk, arrival, true, FaultKind::Transient),
+            FaultKind::Crashed => self.crashed(disk, arrival),
             FaultKind::Short { bytes_done } => {
                 // Deliver only the first `bytes_done` bytes; the suffix of
                 // the output buffers is untouched so the recovery layer can
@@ -269,19 +335,21 @@ impl Server {
                     tchunks.push(StripeChunk { len: take, ..*c });
                     remaining -= take;
                 }
-                let o = self.service(
+                let o = self.read_cost(
                     disk,
                     file,
                     arrival,
                     &tchunks,
                     Some(FaultKind::Short { bytes_done }),
+                    Time::ZERO,
                 );
                 ServiceOutcome { bytes_done, ..o }
             }
         }
     }
 
-    /// The fault-free read path.
+    /// The fault-free read path: fill buffers, then charge the stages.
+    #[allow(clippy::too_many_arguments)]
     fn read_serviced(
         &mut self,
         disk: &DiskModel,
@@ -290,6 +358,7 @@ impl Server {
         chunks: &[StripeChunk],
         out: &mut [&mut [u8]],
         injected: Option<FaultKind>,
+        extra_delay: Time,
     ) -> ServiceOutcome {
         for (c, o) in chunks.iter().zip(out.iter_mut()) {
             debug_assert_eq!(c.len as usize, o.len());
@@ -300,28 +369,99 @@ impl Server {
                 StorageMode::CostOnly => o.fill(0),
             }
         }
-        self.service(disk, file, arrival, chunks, injected)
+        self.read_cost(disk, file, arrival, chunks, injected, extra_delay)
     }
 
-    /// Draw the fault decision for the next operation. Free when the plan
-    /// is inert.
-    fn decide(&mut self, arrival: Time, bytes: u64) -> FaultKind {
+    /// Charge one coalesced read: disk stage first (positioning +
+    /// streaming + `extra_delay`), then the NIC ships the payload back.
+    fn read_cost(
+        &mut self,
+        disk: &DiskModel,
+        file: u64,
+        arrival: Time,
+        chunks: &[StripeChunk],
+        injected: Option<FaultKind>,
+        extra_delay: Time,
+    ) -> ServiceOutcome {
+        let bytes: u64 = chunks.iter().map(|c| c.len).sum();
+        if chunks.is_empty() {
+            return ServiceOutcome {
+                done: arrival,
+                stages: idle_stages(arrival),
+                seeked: false,
+                seek_distance: 0,
+                injected,
+                bytes_done: 0,
+            };
+        }
+        let (sequential, seek_distance) = self.position(file, chunks);
+        let disk_time = disk.request(bytes as usize, sequential) + extra_delay;
+        let stages = self.engine.read(arrival, bytes as usize, disk_time);
+        ServiceOutcome {
+            done: stages.nic_done,
+            stages,
+            seeked: !sequential,
+            seek_distance,
+            injected,
+            bytes_done: bytes,
+        }
+    }
+
+    /// Draw the fault decision for one coalesced request: one draw per
+    /// stripe chunk, in file order. Vectored coalescing must not shrink
+    /// the fault surface — each stripe a request touches is an
+    /// independent opportunity to fail, exactly as when every stripe was
+    /// its own request. The first faulting chunk decides the outcome; a
+    /// failure past the first chunk completes the prefix, like a partial
+    /// `writev`. Free when the plan is inert; deterministic under
+    /// `(seed, server_id, ops)` because both collective engines issue
+    /// identical chunk sequences.
+    fn decide(&mut self, arrival: Time, chunks: &[StripeChunk]) -> FaultKind {
         if !self.plan.is_active() {
             return FaultKind::None;
         }
-        let op = self.ops;
-        self.ops += 1;
-        self.plan.decide(self.server_id, op, arrival, bytes)
+        let mut prefix = 0u64;
+        for c in chunks {
+            let op = self.ops;
+            self.ops += 1;
+            match self.plan.decide(self.server_id, op, arrival, c.len) {
+                FaultKind::None => prefix += c.len,
+                FaultKind::Crashed => return FaultKind::Crashed,
+                FaultKind::Stall { delay } => return FaultKind::Stall { delay },
+                FaultKind::Transient if prefix == 0 => return FaultKind::Transient,
+                FaultKind::Transient => return FaultKind::Short { bytes_done: prefix },
+                FaultKind::Short { bytes_done } => {
+                    return FaultKind::Short {
+                        bytes_done: prefix + bytes_done,
+                    }
+                }
+            }
+        }
+        FaultKind::None
     }
 
-    /// A failed attempt: the request reached the disk queue and bounced.
-    /// The per-request overhead is charged so fault storms cost time.
-    fn refuse(&mut self, disk: &DiskModel, arrival: Time, kind: FaultKind) -> ServiceOutcome {
-        let start = self.next_free.max(arrival);
-        let done = start + disk.per_request;
-        self.next_free = done;
+    /// A failed attempt: the request reached the server and bounced. The
+    /// per-request overhead still occupies the disk stage so fault storms
+    /// cost time.
+    fn refuse(
+        &mut self,
+        disk: &DiskModel,
+        arrival: Time,
+        read: bool,
+        kind: FaultKind,
+    ) -> ServiceOutcome {
+        let stages = if read {
+            self.engine.read(arrival, 0, disk.per_request)
+        } else {
+            self.engine.write(arrival, 0, disk.per_request)
+        };
         ServiceOutcome {
-            done,
+            done: if read {
+                stages.nic_done
+            } else {
+                stages.disk_done
+            },
+            stages,
             seeked: false,
             seek_distance: 0,
             injected: Some(kind),
@@ -329,40 +469,17 @@ impl Server {
         }
     }
 
-    /// Charge the disk time for one coalesced request over `chunks`.
-    fn service(
-        &mut self,
-        disk: &DiskModel,
-        file: u64,
-        arrival: Time,
-        chunks: &[StripeChunk],
-        injected: Option<FaultKind>,
-    ) -> ServiceOutcome {
-        let bytes: u64 = chunks.iter().map(|c| c.len).sum();
-        if chunks.is_empty() {
-            return ServiceOutcome {
-                done: arrival,
-                seeked: false,
-                seek_distance: 0,
-                injected,
-                bytes_done: 0,
-            };
-        }
-        let first = chunks[0].file_offset;
-        let last_end = chunks.last().map(|c| c.file_offset + c.len).unwrap();
-        let prev_end = self.last_end.get(&file).copied();
-        let sequential = prev_end == Some(first);
-        self.last_end.insert(file, last_end);
-
-        let start = self.next_free.max(arrival);
-        let done = start + disk.request(bytes as usize, sequential);
-        self.next_free = done;
+    /// The server does not respond; the client detects the failure after
+    /// a request-timeout's worth of virtual time. Neither stage clock is
+    /// touched — the machine is down.
+    fn crashed(&mut self, disk: &DiskModel, arrival: Time) -> ServiceOutcome {
         ServiceOutcome {
-            done,
-            seeked: !sequential,
-            seek_distance: prev_end.map(|e| e.abs_diff(first)).unwrap_or(0),
-            injected,
-            bytes_done: bytes,
+            done: arrival + disk.per_request,
+            stages: idle_stages(arrival),
+            seeked: false,
+            seek_distance: 0,
+            injected: Some(FaultKind::Crashed),
+            bytes_done: 0,
         }
     }
 
@@ -385,17 +502,38 @@ impl Server {
         }
     }
 
-    /// Reset the disk queue and position state (benchmark phases), keeping
-    /// stored data.
+    /// Reset the stage clocks, queue, position state **and the fault
+    /// operation counter** (benchmark phases), keeping stored data. The
+    /// `ops` reset matters: a phase run after `reset_timing` must draw the
+    /// same `(seed, server_id, ops)` fault sequence as a fresh run, or
+    /// per-phase results would not be reproducible in isolation.
     pub fn reset_timing(&mut self) {
-        self.next_free = Time::ZERO;
+        self.engine.reset();
         self.last_end.clear();
+        self.ops = 0;
+    }
+}
+
+/// Stage breakdown of a request that never occupied either stage (empty
+/// request, crashed server).
+fn idle_stages(arrival: Time) -> StageTiming {
+    StageTiming {
+        arrival,
+        admit: arrival,
+        nic_start: arrival,
+        nic_done: arrival,
+        disk_start: arrival,
+        disk_done: arrival,
+        queue_stall: Time::ZERO,
+        overlap: Time::ZERO,
+        depth: 0,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpc_sim::NetworkModel;
 
     fn disk() -> DiskModel {
         DiskModel {
@@ -567,5 +705,82 @@ mod tests {
         // Original file continues sequentially.
         let c = s.write(&d, 1, b.done, &[chunk(100, 100)], &[&[0u8; 100]], true);
         assert!(!c.seeked);
+    }
+
+    #[test]
+    fn strided_stripes_are_sequential_in_local_space() {
+        // Server 1 of 4: it owns stripes 1, 5, 9, ... A client streaming
+        // the file in order hands this server file offsets 1024, 5120,
+        // 9216 — strided in file space, adjacent on the local platter.
+        let service = ServiceModel::passthrough();
+        let mut s = Server::configure(1024, 4, StorageMode::Full, service, FaultPlan::default(), 1);
+        let d = disk();
+        let mk = |stripe: u64| StripeChunk {
+            server: 1,
+            stripe,
+            file_offset: stripe * 1024,
+            offset_in_stripe: 0,
+            len: 1024,
+        };
+        let a = s.write(&d, 0, Time::ZERO, &[mk(1)], &[&[0u8; 1024]], true);
+        let b = s.write(&d, 0, a.done, &[mk(5)], &[&[0u8; 1024]], true);
+        assert!(!b.seeked, "next owned stripe is local-sequential");
+        let c = s.write(&d, 0, b.done, &[mk(13)], &[&[0u8; 1024]], true);
+        assert!(c.seeked, "skipping an owned stripe seeks");
+        assert_eq!(c.seek_distance, 1024, "one local stripe was skipped");
+    }
+
+    #[test]
+    fn write_overlaps_nic_with_busy_disk() {
+        let service = ServiceModel {
+            nic: NetworkModel {
+                latency: Time::from_micros(10),
+                bandwidth: 2e8,
+            },
+            queue_depth: 4,
+        };
+        let mut s = Server::configure(
+            1024,
+            1,
+            StorageMode::CostOnly,
+            service,
+            FaultPlan::default(),
+            0,
+        );
+        let d = disk();
+        let chunks = [chunk(0, 1024)];
+        let data: [&[u8]; 1] = [&[0u8; 1024]];
+        let a = s.write(&d, 0, Time::ZERO, &chunks, &data, true);
+        let chunks2 = [chunk(1024, 1024)];
+        let b = s.write(&d, 0, Time::ZERO, &chunks2, &data, true);
+        assert!(b.handoff() < a.done, "NIC of b finished inside a's disk");
+        assert!(b.stages.overlap > Time::ZERO);
+        assert_eq!(b.done, a.done + d.request(1024, true));
+    }
+
+    #[test]
+    fn reset_timing_resets_fault_ops_counter() {
+        let plan = FaultPlan {
+            transient: 0.3,
+            short: 0.2,
+            ..FaultPlan::default()
+        };
+        let d = disk();
+        let run = |s: &mut Server| -> Vec<Option<FaultKind>> {
+            (0..16)
+                .map(|i| {
+                    let c = [chunk(i * 1024, 512)];
+                    let data: [&[u8]; 1] = [&[0u8; 512]];
+                    s.write(&d, 0, Time::ZERO, &c, &data, true).injected
+                })
+                .collect()
+        };
+        let mut fresh = Server::with_faults(1024, StorageMode::Full, plan.clone(), 3);
+        let first = run(&mut fresh);
+        // Same server after a timing reset must draw the same faults as a
+        // fresh run.
+        fresh.reset_timing();
+        let second = run(&mut fresh);
+        assert_eq!(first, second, "reset_timing must rewind the ops counter");
     }
 }

@@ -16,8 +16,13 @@ use crate::cpu::CpuModel;
 use crate::disk::DiskModel;
 use crate::fault::FaultPlan;
 use crate::network::NetworkModel;
+use crate::service::ServiceModel;
 use crate::time::Time;
 use pnetcdf_trace::Profile;
+
+/// Default bounded admission queue depth of one I/O server (see
+/// [`crate::service`]); overridable per file with `pnc_server_queue_depth`.
+pub const DEFAULT_SERVER_QUEUE_DEPTH: usize = 4;
 
 /// Complete description of a simulated platform.
 #[derive(Clone, Debug)]
@@ -26,6 +31,13 @@ pub struct SimConfig {
     pub network: NetworkModel,
     /// Disk behaviour of one I/O server.
     pub disk: DiskModel,
+    /// The NIC of one I/O server: the other half of the dual-resource
+    /// service engine. While the disk streams request *k*, this NIC can
+    /// already be receiving request *k+1*.
+    pub server_nic: NetworkModel,
+    /// Bounded server admission queue depth (writes past the NIC awaiting
+    /// the disk); `0` = unbounded.
+    pub server_queue_depth: usize,
     /// CPU costs for in-memory data movement.
     pub cpu: CpuModel,
     /// Number of I/O server nodes the parallel file system stripes across.
@@ -64,6 +76,11 @@ impl SimConfig {
                 seek: Time::from_millis(4),
                 bandwidth: 125e6,
             },
+            server_nic: NetworkModel {
+                latency: Time::from_micros(20),
+                bandwidth: 250e6,
+            },
+            server_queue_depth: DEFAULT_SERVER_QUEUE_DEPTH,
             cpu: CpuModel {
                 copy_per_byte_ns: 0.35,
                 metadata_op: Time::from_micros(50),
@@ -92,6 +109,11 @@ impl SimConfig {
                 seek: Time::from_millis(5),
                 bandwidth: 60e6,
             },
+            server_nic: NetworkModel {
+                latency: Time::from_micros(25),
+                bandwidth: 150e6,
+            },
+            server_queue_depth: DEFAULT_SERVER_QUEUE_DEPTH,
             cpu: CpuModel {
                 copy_per_byte_ns: 0.4,
                 metadata_op: Time::from_micros(60),
@@ -118,6 +140,11 @@ impl SimConfig {
                 seek: Time::from_millis(1),
                 bandwidth: 200e6,
             },
+            server_nic: NetworkModel {
+                latency: Time::from_micros(10),
+                bandwidth: 400e6,
+            },
+            server_queue_depth: DEFAULT_SERVER_QUEUE_DEPTH,
             cpu: CpuModel {
                 copy_per_byte_ns: 0.2,
                 metadata_op: Time::from_micros(10),
@@ -139,6 +166,14 @@ impl SimConfig {
     /// Peak aggregate disk bandwidth of the whole I/O subsystem, bytes/s.
     pub fn peak_aggregate_bw(&self) -> f64 {
         self.disk.bandwidth * self.io_servers as f64
+    }
+
+    /// The dual-resource service model of one I/O server.
+    pub fn service_model(&self) -> ServiceModel {
+        ServiceModel {
+            nic: self.server_nic,
+            queue_depth: self.server_queue_depth,
+        }
     }
 }
 
@@ -181,6 +216,18 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Override the server-side NIC model.
+    pub fn server_nic(mut self, nic: NetworkModel) -> Self {
+        self.cfg.server_nic = nic;
+        self
+    }
+
+    /// Override the server admission queue depth (`0` = unbounded).
+    pub fn server_queue_depth(mut self, depth: usize) -> Self {
+        self.cfg.server_queue_depth = depth;
+        self
+    }
+
     /// Install a fault-injection plan.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.cfg.faults = plan;
@@ -207,6 +254,12 @@ mod tests {
         let frost = SimConfig::asci_frost();
         assert_eq!(frost.io_servers, 2);
         assert!(frost.peak_aggregate_bw() < sdsc.peak_aggregate_bw());
+        // Every preset's server NIC outruns its disk, so the NIC stage can
+        // hide behind the disk stage rather than become the new bottleneck.
+        for cfg in [&sdsc, &frost, &SimConfig::test_small()] {
+            assert!(cfg.server_nic.bandwidth >= 2.0 * cfg.disk.bandwidth);
+            assert!(cfg.server_queue_depth > 0);
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod cpu;
 pub mod disk;
 pub mod fault;
 pub mod network;
+pub mod service;
 pub mod stats;
 pub mod time;
 
@@ -37,11 +38,12 @@ pub use cpu::CpuModel;
 pub use disk::DiskModel;
 pub use fault::{CrashSpec, FaultKind, FaultPlan};
 pub use network::NetworkModel;
+pub use service::{ServiceEngine, ServiceModel, StageTiming};
 pub use stats::SimStats;
 pub use time::Time;
 
 /// Re-export of the profiling layer every consumer of [`SimConfig`] sees.
 pub use pnetcdf_trace as trace;
 pub use pnetcdf_trace::{
-    CacheCounters, CollKind, FaultCounters, Phase, PhaseScope, Profile, ProfileSnapshot,
+    CacheCounters, CollKind, FaultCounters, IoStages, Phase, PhaseScope, Profile, ProfileSnapshot,
 };

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use hpc_sim::{DiskModel, NetworkModel, SharedClocks, Time};
+use hpc_sim::{DiskModel, NetworkModel, ServiceEngine, ServiceModel, SharedClocks, Time};
 
 fn net() -> NetworkModel {
     NetworkModel {
@@ -74,6 +74,50 @@ proptest! {
         let per = bytes / pieces;
         let many = Time::from_nanos(d.request(per, false).as_nanos() * pieces as u64);
         prop_assert!(one < many, "one={one:?} many={many:?}");
+    }
+
+    /// The dual-resource server pipeline can never beat its busiest stage
+    /// run alone, and can never lose to the fully serialized (NIC then
+    /// disk, one request at a time) schedule — for ANY arrival schedule,
+    /// request mix, and queue depth (0 = unbounded).
+    #[test]
+    fn service_engine_bounded_by_stage_and_serial_sums(
+        ops in proptest::collection::vec(
+            (0u64..2_000_000, 1usize..1 << 20, 0u64..5_000_000),
+            1..40,
+        ),
+        depth in 0usize..8,
+    ) {
+        let model = ServiceModel { nic: net(), queue_depth: depth };
+        let mut eng = ServiceEngine::new(model);
+        let mut arrival = Time::ZERO;
+        let mut a0 = Time::ZERO;
+        let mut t_serial = Time::ZERO;
+        let mut pipelined = Time::ZERO;
+        let mut sum_disk = 0u64;
+        for (i, &(delta, bytes, disk_ns)) in ops.iter().enumerate() {
+            arrival += Time::from_nanos(delta);
+            if i == 0 {
+                a0 = arrival;
+                t_serial = arrival;
+            }
+            let disk_time = Time::from_nanos(disk_ns);
+            let st = eng.write(arrival, bytes, disk_time);
+            prop_assert!(st.nic_start >= arrival);
+            prop_assert!(st.disk_start >= st.nic_done);
+            pipelined = pipelined.max(st.disk_done);
+            sum_disk += disk_ns;
+            t_serial = t_serial.max(arrival) + net().p2p(bytes) + disk_time;
+        }
+        // Upper bound: the pipeline never loses to the serial sum.
+        prop_assert!(pipelined <= t_serial, "pipelined {pipelined:?} > serial {t_serial:?}");
+        // Lower bound: each stage is a serial resource, so the makespan is
+        // at least the busier stage's total work after the first arrival.
+        let stage_floor = eng.nic_busy_total.as_nanos().max(sum_disk);
+        prop_assert!(
+            pipelined >= a0 + Time::from_nanos(stage_floor),
+            "pipelined {pipelined:?} beats stage floor {stage_floor} ns"
+        );
     }
 
     #[test]

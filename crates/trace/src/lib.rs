@@ -32,4 +32,7 @@ pub mod report;
 
 pub use json::Json;
 pub use phase::{CollKind, Phase};
-pub use profile::{CacheCounters, FaultCounters, PhaseScope, Profile, ProfileSnapshot, WallScope};
+pub use profile::{
+    CacheCounters, FaultCounters, IoStages, PhaseScope, Profile, ProfileSnapshot, ServerCounters,
+    TwophaseCounters, WallScope,
+};

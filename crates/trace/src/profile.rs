@@ -100,6 +100,30 @@ pub struct ServerCounters {
     /// Sum of absolute distances (bytes) between the end of one request
     /// and the start of the next on the same file.
     pub seek_distance: u64,
+    /// Nanoseconds the server's NIC stage spent transferring payloads.
+    pub nic_busy_nanos: u64,
+    /// Nanoseconds the server's disk stage spent servicing requests.
+    pub disk_busy_nanos: u64,
+    /// Disk busy time that overlapped NIC transfers — what the
+    /// dual-resource service engine hides relative to a serial server.
+    pub overlap_nanos: u64,
+    /// Time requests stalled at the full bounded admission queue.
+    pub queue_stall_nanos: u64,
+    /// Deepest admission-queue occupancy observed.
+    pub max_queue_depth: u64,
+}
+
+/// Per-request stage breakdown of the dual-resource service engine,
+/// attached to [`Profile::record_io_stages`]. Raw nanoseconds so this
+/// crate stays independent of the simulator's `Time` type.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStages {
+    pub nic_busy_nanos: u64,
+    pub disk_busy_nanos: u64,
+    pub overlap_nanos: u64,
+    pub queue_stall_nanos: u64,
+    /// Admission-queue depth observed by this request.
+    pub depth: u64,
 }
 
 /// Data-sieving amplification counters, one direction.
@@ -116,6 +140,10 @@ pub struct SieveCounters {
 pub struct TwophaseCounters {
     pub collective_writes: u64,
     pub collective_reads: u64,
+    /// Aggregator count chosen by the most recent collective (the
+    /// `cb_nodes` hint, or the dynamic default derived from `io_servers`
+    /// and request volume). Recorded so sweeps can audit the choice.
+    pub cb_nodes: u64,
     /// Non-empty file domains assigned to aggregators.
     pub file_domains: u64,
     /// Collective-buffer windows processed by aggregators.
@@ -320,6 +348,20 @@ impl Profile {
 
     /// Record one request serviced by PFS server `server`.
     pub fn record_io(&self, server: usize, bytes: u64, read: bool, seeked: bool, distance: u64) {
+        self.record_io_stages(server, bytes, read, seeked, distance, IoStages::default());
+    }
+
+    /// Record one request serviced by PFS server `server`, including the
+    /// dual-resource stage breakdown.
+    pub fn record_io_stages(
+        &self,
+        server: usize,
+        bytes: u64,
+        read: bool,
+        seeked: bool,
+        distance: u64,
+        stages: IoStages,
+    ) {
         if !self.is_enabled() {
             return;
         }
@@ -344,6 +386,11 @@ impl Profile {
             s.seeks += 1;
             s.seek_distance += distance;
         }
+        s.nic_busy_nanos += stages.nic_busy_nanos;
+        s.disk_busy_nanos += stages.disk_busy_nanos;
+        s.overlap_nanos += stages.overlap_nanos;
+        s.queue_stall_nanos += stages.queue_stall_nanos;
+        s.max_queue_depth = s.max_queue_depth.max(stages.depth);
     }
 
     /// Record sieving amplification: one window moved `transferred` bytes
@@ -613,5 +660,25 @@ mod tests {
         assert_eq!(c.bytes_read, 50);
         assert_eq!(c.seeks, 1);
         assert_eq!(c.seek_distance, 40);
+    }
+
+    #[test]
+    fn io_stage_counters_accumulate() {
+        let p = Profile::enabled();
+        let stages = IoStages {
+            nic_busy_nanos: 10,
+            disk_busy_nanos: 30,
+            overlap_nanos: 7,
+            queue_stall_nanos: 2,
+            depth: 3,
+        };
+        p.record_io_stages(0, 64, false, false, 0, stages);
+        p.record_io_stages(0, 64, false, false, 0, stages);
+        let c = p.snapshot().servers[0];
+        assert_eq!(c.nic_busy_nanos, 20);
+        assert_eq!(c.disk_busy_nanos, 60);
+        assert_eq!(c.overlap_nanos, 14);
+        assert_eq!(c.queue_stall_nanos, 4);
+        assert_eq!(c.max_queue_depth, 3, "depth is a high-water mark");
     }
 }

@@ -62,7 +62,12 @@ impl ProfileSnapshot {
                     .with("bytes_read", Json::from(s.bytes_read))
                     .with("bytes_written", Json::from(s.bytes_written))
                     .with("seeks", Json::from(s.seeks))
-                    .with("seek_distance", Json::from(s.seek_distance)),
+                    .with("seek_distance", Json::from(s.seek_distance))
+                    .with("nic_busy_s", Json::from(nanos_to_s(s.nic_busy_nanos)))
+                    .with("disk_busy_s", Json::from(nanos_to_s(s.disk_busy_nanos)))
+                    .with("overlap_s", Json::from(nanos_to_s(s.overlap_nanos)))
+                    .with("queue_stall_s", Json::from(nanos_to_s(s.queue_stall_nanos)))
+                    .with("max_queue_depth", Json::from(s.max_queue_depth)),
             );
         }
 
@@ -80,6 +85,7 @@ impl ProfileSnapshot {
         let twophase = Json::obj()
             .with("collective_writes", Json::from(tp.collective_writes))
             .with("collective_reads", Json::from(tp.collective_reads))
+            .with("cb_nodes", Json::from(tp.cb_nodes))
             .with("file_domains", Json::from(tp.file_domains))
             .with("windows", Json::from(tp.windows))
             .with("rmw_windows", Json::from(tp.rmw_windows))

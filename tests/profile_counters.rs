@@ -57,13 +57,14 @@ fn collective_write_counts_one_collective_and_expected_aggregator_io() {
     // Exactly one collective write round.
     assert_eq!(snap.twophase.collective_writes, 1);
     assert_eq!(snap.twophase.collective_reads, 0);
-    // The 4 KiB region splits into 4 stripe-aligned file domains (one per
-    // aggregator with test_small's 4 I/O servers), each fully covered —
-    // one buffered window each, no read-modify-write.
-    assert_eq!(snap.twophase.file_domains, 4);
-    assert_eq!(snap.twophase.windows, 4);
+    // 4 KiB fits in one collective buffer, so the dynamic default picks a
+    // single aggregator (recorded in the trace), which owns one fully
+    // covered window — no read-modify-write.
+    assert_eq!(snap.twophase.cb_nodes, 1);
+    assert_eq!(snap.twophase.file_domains, 1);
+    assert_eq!(snap.twophase.windows, 1);
     assert_eq!(snap.twophase.rmw_windows, 0);
-    // Each aggregator's 1 KiB domain is exactly one stripe, so each of the
+    // The window is one vectored request coalesced per server: each of the
     // 4 servers services exactly one write request of one stripe.
     assert_eq!(snap.servers.len(), 4);
     for s in &snap.servers {
