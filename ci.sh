@@ -78,6 +78,36 @@ grep -q '"overlap_saved_ns": 0' "$report" \
 rm -rf "$report_dir"
 echo "    twophase report OK: overlap + server pipeline counters, bytes identical"
 
+echo "==> trace smoke: 64-rank FLASH checkpoint with pnc_trace_events on"
+report_dir=$(mktemp -d)
+PNETCDF_REPORT_DIR="$report_dir" ./target/release/trace_smoke >/dev/null
+trace="$report_dir/trace_smoke.trace.json"
+report="$report_dir/trace_smoke.critical_path.json"
+[ -f "$trace" ] || { echo "FAIL: $trace was not written"; exit 1; }
+[ -f "$report" ] || { echo "FAIL: $report was not written"; exit 1; }
+# The Chrome export must be well-formed JSON whose complete (X) spans are
+# all balanced (non-negative durations) and whose only other events are
+# metadata and flow links.
+python3 - "$trace" <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))
+evs = t["traceEvents"]
+assert evs, "empty traceEvents"
+spans = [e for e in evs if e["ph"] == "X"]
+assert spans, "no complete spans"
+bad = [e for e in spans if e.get("dur", -1) < 0]
+assert not bad, f"unbalanced spans: {bad[:3]}"
+other = {e["ph"] for e in evs} - {"X", "M", "s", "f"}
+assert not other, f"unexpected event phases: {other}"
+print(f"    trace JSON OK: {len(spans)} balanced spans")
+EOF
+for key in windows stage_totals_ns bound_counts dominant_stage \
+           disk nic exchange pack queue retry cache bound_by; do
+    grep -q "\"$key\"" "$report" || { echo "FAIL: critical-path report missing key \"$key\""; exit 1; }
+done
+rm -rf "$report_dir"
+echo "    critical-path report OK: stage keys and per-window attribution present"
+
 echo "==> bench results: twophase_bench (BENCH_twophase.json)"
 ./target/release/twophase_bench >/dev/null
 [ -f BENCH_twophase.json ] || { echo "FAIL: BENCH_twophase.json was not written"; exit 1; }

@@ -20,7 +20,7 @@
 use flash_io::{run_flash_io, run_flash_io_mode, FlashConfig, IoLibrary, OutputKind, WriteMode};
 use hpc_sim::trace::Json;
 use hpc_sim::SimConfig;
-use pnetcdf_bench::report::{check_coverage, write_report};
+use pnetcdf_bench::report::{check_coverage, write_report, write_trace};
 use pnetcdf_bench::table::print_series;
 use pnetcdf_pfs::{Pfs, StorageMode};
 
@@ -193,4 +193,40 @@ fn main() {
             .with("blocks_per_proc", blocks_per_proc)
             .with("runs", Json::Arr(runs)),
     );
+
+    // Request tracing: re-run one representative configuration with the
+    // event tracer on (what `pnc_trace_events=enable` switches on at open),
+    // export the span timeline as Chrome trace JSON, and print which stage
+    // bounds each collective window.
+    let tp = procs
+        .iter()
+        .copied()
+        .find(|&p| p >= 64)
+        .unwrap_or(*procs.last().expect("procs nonempty"));
+    println!();
+    println!("# Request tracing: checkpoint 8x8x8, {tp} procs, pnc_trace_events=enable");
+    let config = FlashConfig {
+        nxb: 8,
+        nprocs: tp,
+        kind: OutputKind::Checkpoint,
+        lib: IoLibrary::Pnetcdf,
+        blocks_per_proc,
+        attributes: false,
+    };
+    let sim = SimConfig::asci_frost();
+    sim.events.set_enabled(true);
+    let res = run_flash_io(config, sim.clone(), StorageMode::CostOnly);
+    let snap = sim.events.snapshot();
+    for r in 0..tp {
+        let cov = snap.rank_coverage(r, res.time.as_nanos());
+        assert!(
+            cov >= 0.95,
+            "rank {r} trace spans cover {:.1}% of its wall clock (< 95%)",
+            cov * 100.0
+        );
+    }
+    write_trace("fig7_flashio.trace.json", &snap.to_chrome());
+    let cp = hpc_sim::trace::events::critical_path(&snap);
+    print!("{}", cp.render());
+    write_report("fig7_flashio.critical_path.json", &cp.to_json());
 }

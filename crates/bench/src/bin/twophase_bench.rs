@@ -12,7 +12,7 @@
 use flash_io::{run_flash_io_mode, FlashConfig, IoLibrary, OutputKind, WriteMode};
 use hpc_sim::trace::Json;
 use hpc_sim::SimConfig;
-use pnetcdf_bench::report::check_coverage;
+use pnetcdf_bench::report::{check_coverage, write_report, write_trace};
 use pnetcdf_bench::table::print_series;
 use pnetcdf_pfs::{Pfs, StorageMode};
 
@@ -123,4 +123,55 @@ fn main() {
         .with("rows", Json::Arr(rows));
     std::fs::write("BENCH_twophase.json", bench.pretty()).expect("writing BENCH_twophase.json");
     eprintln!("  bench results: BENCH_twophase.json");
+
+    // Request tracing: the 64-proc pipelined run at the largest collective
+    // buffer, with per-request event spans on. At a large cb_buffer the
+    // rounds are few and fat, so the critical-path analyzer must attribute
+    // the windows to the disk stage.
+    let cb = buffers[buffers.len() - 1];
+    println!();
+    println!(
+        "# Request tracing: 64 procs, cb={}KiB, pipelined",
+        cb / 1024
+    );
+    let config = FlashConfig {
+        nxb: 8,
+        nprocs: 64,
+        kind: OutputKind::Checkpoint,
+        lib: IoLibrary::Pnetcdf,
+        blocks_per_proc: BLOCKS_PER_PROC,
+        attributes: false,
+    };
+    let sim = SimConfig::asci_frost();
+    sim.events.set_enabled(true);
+    let pfs = Pfs::new(sim.clone(), StorageMode::CostOnly);
+    let res = run_flash_io_mode(
+        config,
+        sim.clone(),
+        &pfs,
+        WriteMode::collective_hints(cb, true),
+    );
+    let snap = sim.events.snapshot();
+    for r in 0..64 {
+        let cov = snap.rank_coverage(r, res.time.as_nanos());
+        assert!(
+            cov >= 0.95,
+            "rank {r} trace spans cover {:.1}% of its wall clock (< 95%)",
+            cov * 100.0
+        );
+    }
+    write_trace("twophase_bench.trace.json", &snap.to_chrome());
+    let cp = hpc_sim::trace::events::critical_path(&snap);
+    print!("{}", cp.render());
+    assert!(
+        !cp.windows.is_empty(),
+        "traced run must produce collective windows"
+    );
+    assert_eq!(
+        cp.dominant,
+        Some("disk"),
+        "large cb_buffer windows must be disk-bound: {:?}",
+        cp.bound_counts
+    );
+    write_report("twophase_bench.critical_path.json", &cp.to_json());
 }

@@ -7,6 +7,7 @@
 //! without re-running the benchmark.
 
 use std::path::PathBuf;
+use std::sync::Once;
 
 use hpc_sim::trace::Json;
 
@@ -19,13 +20,39 @@ pub fn report_path(name: &str) -> PathBuf {
     }
 }
 
+/// Log the resolved report destination once per process, so every run
+/// states where its `.profile.json` / `.trace.json` artifacts land.
+fn announce_report_dir() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let dir = match std::env::var_os("PNETCDF_REPORT_DIR") {
+            Some(d) => PathBuf::from(d),
+            None => PathBuf::from("."),
+        };
+        eprintln!("  report dir: {} (PNETCDF_REPORT_DIR)", dir.display());
+    });
+}
+
 /// Write `report` to [`report_path`]`(name)` as pretty JSON and announce
 /// where it went on stderr (stdout carries the text tables).
 pub fn write_report(name: &str, report: &Json) -> PathBuf {
+    announce_report_dir();
     let path = report_path(name);
     std::fs::write(&path, report.pretty())
         .unwrap_or_else(|e| panic!("writing report {}: {e}", path.display()));
     eprintln!("  profile report: {}", path.display());
+    path
+}
+
+/// Write a Chrome `trace_event` export (the [`hpc_sim::TraceSnapshot::to_chrome`]
+/// object) to [`report_path`]`(name)`; view it in Perfetto
+/// (<https://ui.perfetto.dev>) or `chrome://tracing`.
+pub fn write_trace(name: &str, trace: &Json) -> PathBuf {
+    announce_report_dir();
+    let path = report_path(name);
+    std::fs::write(&path, trace.pretty())
+        .unwrap_or_else(|e| panic!("writing trace {}: {e}", path.display()));
+    eprintln!("  chrome trace: {}", path.display());
     path
 }
 

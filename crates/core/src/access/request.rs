@@ -16,6 +16,8 @@
 //! collective read. N queued variable accesses cost one or two collective
 //! rounds instead of N.
 
+use hpc_sim::trace::events::layer;
+use hpc_sim::{Span, Time, TraceCtx};
 use pnetcdf_format::types::{from_external, to_external};
 use pnetcdf_format::{NcType, NcValue};
 use pnetcdf_mpi::{pack, Datatype, ReduceOp, Request};
@@ -48,6 +50,11 @@ pub(crate) struct AccessReq {
     /// Whether the variable is a record variable (drives `numrecs`
     /// reconciliation at flush time).
     pub record: bool,
+    /// Event-trace id issued at enqueue time (0 when tracing is off or the
+    /// request runs on the blocking path, which issues its own span).
+    pub trace_id: u64,
+    /// Virtual time the request was queued (span begin for `iput`/`iget`).
+    pub queued: Time,
 }
 
 // ---- request merging --------------------------------------------------------
@@ -253,6 +260,8 @@ impl Dataset {
             buffer: ext,
             nctype,
             record: self.header.is_record_var(varid),
+            trace_id: 0,
+            queued: Time::ZERO,
         })
     }
 
@@ -275,18 +284,39 @@ impl Dataset {
             buffer: Vec::new(),
             nctype,
             record: self.header.is_record_var(varid),
+            trace_id: 0,
+            queued: Time::ZERO,
         })
     }
 
     /// Execute one put immediately (the blocking path).
     pub(crate) fn execute_put_now(&mut self, req: AccessReq, collective: bool) -> NcmpiResult<()> {
-        if collective {
-            self.file.write_runs_at_all(&req.runs, &req.buffer)?;
-            if req.record {
-                self.reconcile_numrecs()?;
+        let events = self.comm.config().events.clone();
+        let rid = events.is_enabled().then(|| events.next_id());
+        let t0 = self.comm.now();
+        {
+            let _ctx = rid.map(|r| TraceCtx::enter(self.comm.world_rank(), r));
+            if collective {
+                self.file.write_runs_at_all(&req.runs, &req.buffer)?;
+                if req.record {
+                    self.reconcile_numrecs()?;
+                }
+            } else {
+                self.file.write_runs_at(&req.runs, &req.buffer)?;
             }
-        } else {
-            self.file.write_runs_at(&req.runs, &req.buffer)?;
+        }
+        if let Some(r) = rid {
+            events.record(
+                Span::new(
+                    self.comm.world_rank(),
+                    layer::CORE,
+                    "put",
+                    t0.as_nanos(),
+                    self.comm.now().as_nanos(),
+                )
+                .with_id(r)
+                .with_arg("bytes", req.buffer.len() as u64),
+            );
         }
         self.profile
             .record(req.varid, true, false, req.buffer.len() as u64);
@@ -300,11 +330,30 @@ impl Dataset {
         req: &AccessReq,
         collective: bool,
     ) -> NcmpiResult<Vec<u8>> {
-        let data = if collective {
-            self.file.read_runs_at_all(&req.runs)?
-        } else {
-            self.file.read_runs_at(&req.runs)?
+        let events = self.comm.config().events.clone();
+        let rid = events.is_enabled().then(|| events.next_id());
+        let t0 = self.comm.now();
+        let data = {
+            let _ctx = rid.map(|r| TraceCtx::enter(self.comm.world_rank(), r));
+            if collective {
+                self.file.read_runs_at_all(&req.runs)?
+            } else {
+                self.file.read_runs_at(&req.runs)?
+            }
         };
+        if let Some(r) = rid {
+            events.record(
+                Span::new(
+                    self.comm.world_rank(),
+                    layer::CORE,
+                    "get",
+                    t0.as_nanos(),
+                    self.comm.now().as_nanos(),
+                )
+                .with_id(r)
+                .with_arg("bytes", data.len() as u64),
+            );
+        }
         self.profile
             .record(req.varid, false, false, data.len() as u64);
         Ok(data)
@@ -313,6 +362,11 @@ impl Dataset {
     pub(crate) fn enqueue(&mut self, mut req: AccessReq) -> Request {
         let id = self.req_table.issue();
         req.id = id;
+        let events = &self.comm.config().events;
+        if events.is_enabled() {
+            req.trace_id = events.next_id();
+            req.queued = self.comm.now();
+        }
         self.pending.push(req);
         id
     }
@@ -552,17 +606,54 @@ impl Dataset {
         do_gets: bool,
         collective: bool,
     ) -> NcmpiResult<()> {
+        let events = self.comm.config().events.clone();
+        let tracing = events.is_enabled();
+        let rank = self.comm.world_rank();
         let mut failure: Option<NcmpiError> = None;
         if do_puts {
             let (runs, staging) = merge_puts(&reqs);
             // Merging N staged buffers into one is memcpy work.
             self.comm
                 .advance(self.comm.config().cpu.pack(staging.len(), 1.0));
-            let wrote = if collective {
-                self.file.write_runs_at_all(&runs, &staging).map(|_| ())
-            } else {
-                self.file.write_runs_at(&runs, &staging).map(|_| ())
+            let rid = if tracing { events.next_id() } else { 0 };
+            let t0 = self.comm.now();
+            let wrote = {
+                let _ctx = tracing.then(|| TraceCtx::enter(rank, rid));
+                if collective {
+                    self.file.write_runs_at_all(&runs, &staging).map(|_| ())
+                } else {
+                    self.file.write_runs_at(&runs, &staging).map(|_| ())
+                }
             };
+            if tracing {
+                let t1 = self.comm.now();
+                let nputs = reqs.iter().filter(|r| r.kind == AccessKind::Put).count();
+                events.record(
+                    Span::new(rank, layer::CORE, "flush_put", t0.as_nanos(), t1.as_nanos())
+                        .with_id(rid)
+                        .with_arg("reqs", nputs as u64)
+                        .with_arg("bytes", staging.len() as u64),
+                );
+                // One span per queued request: queue time through the merged
+                // flush that carried its bytes, linked to the flush span.
+                for req in reqs.iter().filter(|r| r.kind == AccessKind::Put) {
+                    if req.trace_id == 0 {
+                        continue;
+                    }
+                    events.record(
+                        Span::new(
+                            rank,
+                            layer::CORE,
+                            "iput",
+                            req.queued.as_nanos(),
+                            t1.as_nanos(),
+                        )
+                        .with_id(req.trace_id)
+                        .with_parent(rid)
+                        .with_arg("bytes", req.buffer.len() as u64),
+                    );
+                }
+            }
             match wrote {
                 Ok(()) => {
                     // Attribute per queued request (pre-merge sizes), so the
@@ -586,11 +677,43 @@ impl Dataset {
                 }
             } else {
                 let cov = merge_gets(&reqs);
-                let read = if collective {
-                    self.file.read_runs_at_all(&cov)
-                } else {
-                    self.file.read_runs_at(&cov)
+                let rid = if tracing { events.next_id() } else { 0 };
+                let t0 = self.comm.now();
+                let read = {
+                    let _ctx = tracing.then(|| TraceCtx::enter(rank, rid));
+                    if collective {
+                        self.file.read_runs_at_all(&cov)
+                    } else {
+                        self.file.read_runs_at(&cov)
+                    }
                 };
+                if tracing {
+                    let t1 = self.comm.now();
+                    let ngets = reqs.iter().filter(|r| r.kind == AccessKind::Get).count();
+                    let bytes: u64 = cov.iter().map(|r| r.1).sum();
+                    events.record(
+                        Span::new(rank, layer::CORE, "flush_get", t0.as_nanos(), t1.as_nanos())
+                            .with_id(rid)
+                            .with_arg("reqs", ngets as u64)
+                            .with_arg("bytes", bytes),
+                    );
+                    for req in reqs.iter().filter(|r| r.kind == AccessKind::Get) {
+                        if req.trace_id == 0 {
+                            continue;
+                        }
+                        events.record(
+                            Span::new(
+                                rank,
+                                layer::CORE,
+                                "iget",
+                                req.queued.as_nanos(),
+                                t1.as_nanos(),
+                            )
+                            .with_id(req.trace_id)
+                            .with_parent(rid),
+                        );
+                    }
+                }
                 match read {
                     Ok(data) => {
                         let pos = coverage_positions(&cov);
@@ -674,6 +797,8 @@ mod tests {
             buffer: Vec::new(),
             nctype: NcType::Byte,
             record: false,
+            trace_id: 0,
+            queued: Time::ZERO,
         };
         let b = AccessReq {
             id: Request::NULL,
@@ -683,6 +808,8 @@ mod tests {
             buffer: Vec::new(),
             nctype: NcType::Byte,
             record: false,
+            trace_id: 0,
+            queued: Time::ZERO,
         };
         let cov = merge_gets(&[a, b]);
         assert_eq!(cov, vec![(0, 6), (10, 2)]);

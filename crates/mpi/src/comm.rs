@@ -8,7 +8,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use hpc_sim::{CollKind, Phase, SharedClocks, SimConfig, SimStats, Time};
+use hpc_sim::trace::events::layer;
+use hpc_sim::{CollKind, Phase, PhaseScope, SharedClocks, SimConfig, SimStats, Span, Time};
 
 use crate::collective::{CollContext, Deposits};
 use crate::error::{MpiError, MpiResult};
@@ -44,7 +45,8 @@ impl CollEnv {
     /// two-phase I/O engine uses this directly with its own phases.
     pub fn sync_phase(&self, phase: Phase, cost: Time) -> Time {
         let profile = &self.config.profile;
-        if profile.is_enabled() {
+        let events = &self.config.events;
+        if profile.is_enabled() || events.is_enabled() {
             let snap = self.clocks.snapshot();
             let entry = self
                 .group
@@ -53,8 +55,33 @@ impl CollEnv {
                 .max()
                 .unwrap_or(Time::ZERO);
             for &r in self.group.iter() {
-                profile.record_phase(r, Phase::Wait, (entry - snap[r]).as_nanos());
-                profile.record_phase(r, phase, cost.as_nanos());
+                if profile.is_enabled() {
+                    profile.record_phase(r, Phase::Wait, (entry - snap[r]).as_nanos());
+                    profile.record_phase(r, phase, cost.as_nanos());
+                }
+                if events.is_enabled() {
+                    // Mirror the attribution as timeline spans: the entry
+                    // skew and then the operation cost, tiling each
+                    // member's clock across the collective.
+                    if entry > snap[r] {
+                        events.record(Span::new(
+                            r,
+                            layer::PHASE,
+                            Phase::Wait.name(),
+                            snap[r].as_nanos(),
+                            entry.as_nanos(),
+                        ));
+                    }
+                    if cost > Time::ZERO {
+                        events.record(Span::new(
+                            r,
+                            layer::PHASE,
+                            phase.name(),
+                            entry.as_nanos(),
+                            (entry + cost).as_nanos(),
+                        ));
+                    }
+                }
             }
         }
         self.sync_max(cost)
@@ -176,19 +203,41 @@ impl Comm {
 
     fn advance_attr(&self, dt: Time, default: Phase) -> Time {
         let w = self.world_rank();
-        let profile = &self.world.config.profile;
-        if profile.is_enabled() {
-            profile.record_scoped(w, default, dt.as_nanos());
+        let cfg = &self.world.config;
+        if cfg.profile.is_enabled() {
+            cfg.profile.record_scoped(w, default, dt.as_nanos());
+        }
+        if cfg.events.is_enabled() && dt > Time::ZERO {
+            let begin = self.world.clocks.now(w).as_nanos();
+            let phase = PhaseScope::current(default);
+            cfg.events.record(Span::new(
+                w,
+                layer::PHASE,
+                phase.name(),
+                begin,
+                begin + dt.as_nanos(),
+            ));
         }
         self.world.clocks.advance(w, dt)
     }
 
     fn advance_to_attr(&self, t: Time, default: Phase) -> Time {
         let w = self.world_rank();
-        let profile = &self.world.config.profile;
-        if profile.is_enabled() {
-            let dt = t.saturating_sub(self.world.clocks.now(w));
-            profile.record_scoped(w, default, dt.as_nanos());
+        let cfg = &self.world.config;
+        let now = self.world.clocks.now(w);
+        if cfg.profile.is_enabled() {
+            cfg.profile
+                .record_scoped(w, default, t.saturating_sub(now).as_nanos());
+        }
+        if cfg.events.is_enabled() && t > now {
+            let phase = PhaseScope::current(default);
+            cfg.events.record(Span::new(
+                w,
+                layer::PHASE,
+                phase.name(),
+                now.as_nanos(),
+                t.as_nanos(),
+            ));
         }
         self.world.clocks.advance_to(w, t)
     }

@@ -41,7 +41,8 @@
 
 use std::collections::HashMap;
 
-use hpc_sim::{CpuModel, Time};
+use hpc_sim::trace::events::{layer, stage};
+use hpc_sim::{CpuModel, Span, Time, TraceCtx};
 use pnetcdf_pfs::PfsFile;
 
 use crate::error::MpioResult;
@@ -183,6 +184,24 @@ fn covers(list: &[PageRun], lo: u32, hi: u32) -> bool {
     list.iter().any(|&(a, b)| a <= lo && hi <= b)
 }
 
+/// Record a CACHE-layer event span, parented to the ambient request (if
+/// any) so cache work shows up on the request's flow in the Chrome trace.
+/// Free when tracing is off: one relaxed atomic load.
+fn trace_cache_span(file: &PfsFile, name: &'static str, begin: Time, end: Time, bytes: u64) {
+    let events = file.events();
+    if end <= begin || !events.is_enabled() {
+        return;
+    }
+    if let Some((rank, parent)) = TraceCtx::current() {
+        events.record(
+            Span::new(rank, layer::CACHE, name, begin.as_nanos(), end.as_nanos())
+                .with_parent(parent)
+                .with_stage(stage::CACHE)
+                .with_arg("bytes", bytes),
+        );
+    }
+}
+
 /// The sub-ranges of `[lo, hi)` *not* covered by the run list.
 fn gaps(list: &[PageRun], lo: u32, hi: u32) -> Vec<PageRun> {
     let mut out = Vec::new();
@@ -277,6 +296,7 @@ impl PageCache {
         data: &[u8],
     ) -> MpioResult<()> {
         let profile = file.profile().clone();
+        let t0 = led.now;
         let mut pos = 0usize;
         let (mut hits, mut hit_bytes, mut misses) = (0u64, 0u64, 0u64);
         for &(off, len) in runs {
@@ -311,6 +331,7 @@ impl PageCache {
             c.hit_bytes += hit_bytes;
             c.misses += misses;
         });
+        trace_cache_span(file, "cache_write", t0, led.now, pos as u64);
         self.evict_to_capacity(file, led)?;
         Ok(())
     }
@@ -329,6 +350,7 @@ impl PageCache {
         let total: u64 = runs.iter().map(|r| r.1).sum();
         let mut out = vec![0u8; total as usize];
         let profile = file.profile().clone();
+        let t0 = led.now;
         let mut pos = 0usize;
         for &(off, len) in runs {
             let pieces = self.pieces(off, len);
@@ -356,7 +378,7 @@ impl PageCache {
                 }
             }
             for group in consecutive_groups(&need) {
-                self.fill_pages(file, led, group)?;
+                self.fill_pages(file, led, group, "cache_fill")?;
             }
             // Everything requested is now valid; copy out.
             for (pidx, lo, hi) in pieces {
@@ -382,6 +404,7 @@ impl PageCache {
                 self.readahead(file, led, end)?;
             }
         }
+        trace_cache_span(file, "cache_read", t0, led.now, total);
         self.evict_to_capacity(file, led)?;
         Ok(out)
     }
@@ -394,13 +417,16 @@ impl PageCache {
         file: &PfsFile,
         led: &mut CacheLedger,
         group: &[u64],
+        span_name: &'static str,
     ) -> MpioResult<()> {
         let (first, last) = (group[0], group[group.len() - 1]);
         let ps = self.cfg.page_size as u64;
         let lo = first * ps;
         let hi = ((last + 1) * ps).min(file.size().max(lo + 1));
         let mut buf = vec![0u8; (hi - lo) as usize];
+        let t0 = led.now;
         led.disk_read(file, &self.policy, lo, &mut buf)?;
+        trace_cache_span(file, span_name, t0, led.now, hi - lo);
         for &pidx in group {
             let ps32 = self.cfg.page_size as u32;
             let page_lo = pidx * ps;
@@ -448,7 +474,7 @@ impl PageCache {
         }
         let profile = file.profile().clone();
         for group in consecutive_groups(&want) {
-            self.fill_pages(file, led, group)?;
+            self.fill_pages(file, led, group, "readahead_fill")?;
             for &pidx in group {
                 if let Some(p) = self.pages.get_mut(&pidx) {
                     p.readahead = true;
@@ -494,6 +520,7 @@ impl PageCache {
             }
         }
         let mut bytes = 0u64;
+        let t0 = led.now;
         for (lo, hi) in merged {
             let mut buf = vec![0u8; (hi - lo) as usize];
             for (pidx, plo, phi) in self.pieces(lo, hi - lo) {
@@ -505,6 +532,7 @@ impl PageCache {
             led.disk_write(file, &self.policy, lo, &buf)?;
             bytes += buf.len() as u64;
         }
+        trace_cache_span(file, "write_behind", t0, led.now, bytes);
         for &i in &idxs {
             if let Some(p) = self.pages.get_mut(&i) {
                 p.dirty.clear();
@@ -533,6 +561,7 @@ impl PageCache {
             let page = self.pages.remove(&victim).expect("chosen from keys");
             if !page.dirty.is_empty() {
                 let mut bytes = 0u64;
+                let t0 = led.now;
                 let mut runs = page.dirty.clone();
                 // Coalesce adjacent dirty runs within the page.
                 runs.dedup_by(|b, a| {
@@ -556,6 +585,7 @@ impl PageCache {
                     c.write_behind_flushes += 1;
                     c.write_behind_bytes += bytes;
                 });
+                trace_cache_span(file, "evict_flush", t0, led.now, bytes);
                 published = true;
             }
             file.profile().record_cache(|c| c.evictions += 1);

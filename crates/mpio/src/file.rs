@@ -2,7 +2,8 @@
 
 use std::sync::Arc;
 
-use hpc_sim::{CollKind, Phase, PhaseScope, Time};
+use hpc_sim::trace::events::layer;
+use hpc_sim::{CollKind, Phase, PhaseScope, Span, Time, TraceCtx};
 use parking_lot::Mutex;
 use pnetcdf_mpi::{pack, Comm, Datatype, Info};
 use pnetcdf_pfs::{Pfs, PfsFile};
@@ -55,6 +56,12 @@ impl MpiFile {
         info: &Info,
     ) -> MpioResult<MpiFile> {
         let hints = Hints::from_info(info);
+        if hints.trace_events.resolve(false) {
+            // `pnc_trace_events`: turn on the shared span recorder. The
+            // log rides in the SimConfig, so (like the queue-depth hint)
+            // enabling it is global to the simulated platform.
+            comm.config().events.set_enabled(true);
+        }
         if let Some(depth) = hints.server_queue_depth {
             // `pnc_server_queue_depth`: resize every server's bounded
             // admission queue. The servers are shared, so the hint is
@@ -253,6 +260,18 @@ impl MpiFile {
         Ok(())
     }
 
+    /// Ambient trace context for this rank's independent I/O: keeps the
+    /// caller's request id (core installs one around its blocking and
+    /// flush paths) while pinning the world rank, so pfs / cache / retry
+    /// spans recorded below land on this rank's timeline.
+    fn trace_ctx(&self) -> Option<TraceCtx> {
+        self.comm
+            .config()
+            .events
+            .is_enabled()
+            .then(|| TraceCtx::enter(self.comm.world_rank(), TraceCtx::current_id()))
+    }
+
     fn check_writable(&self) -> MpioResult<()> {
         if self.readonly {
             return Err(MpioError::Access("file is opened read-only".into()));
@@ -335,6 +354,7 @@ impl MpiFile {
     pub fn write_runs_at(&self, runs: &[Run], data: &[u8]) -> MpioResult<usize> {
         self.check_writable()?;
         Self::check_runs(runs, data.len())?;
+        let _tc = self.trace_ctx();
         if let Some(cache) = &self.cache {
             // Write-allocate into the page cache; bytes reach the PFS at
             // the next flush point (eviction, sync, collective entry).
@@ -362,6 +382,7 @@ impl MpiFile {
     /// bytes concatenated in run order.
     pub fn read_runs_at(&self, runs: &[Run]) -> MpioResult<Vec<u8>> {
         Self::check_runs(runs, runs_total(runs) as usize)?;
+        let _tc = self.trace_ctx();
         if let Some(cache) = &self.cache {
             let mut led = CacheLedger::new(self.comm.now());
             let res = cache.lock().read_runs(&self.file, &mut led, runs);
@@ -451,7 +472,10 @@ impl MpiFile {
         // bytes first so the two-phase engine reads/writes a settled file.
         self.cache_pre()?;
         let nbytes = data.len();
-        let parcel = twophase::encode_write_req(runs, data);
+        // The sender's ambient trace id rides the parcel: the finish
+        // closure runs on one thread for all ranks, so thread-local
+        // context cannot carry per-rank ids across the rendezvous.
+        let parcel = twophase::encode_write_req(runs, data, TraceCtx::current_id());
 
         let env = self.comm.coll_env();
         let file = self.file.clone();
@@ -467,17 +491,22 @@ impl MpiFile {
                     let parcels: Vec<Vec<u8>> =
                         deps.iter_mut().map(|d| std::mem::take(&mut d[0])).collect();
                     let mut reqs: Vec<(Vec<Run>, &[u8])> = Vec::with_capacity(parcels.len());
+                    let mut ids: Vec<u64> = Vec::with_capacity(parcels.len());
                     for pc in &parcels {
-                        reqs.push(twophase::decode_req(pc)?);
+                        let (r, d, id) = twophase::decode_req(pc)?;
+                        reqs.push((r, d));
+                        ids.push(id);
                     }
                     if cb {
-                        twophase::write_all(&env, &file, &p, &reqs)?;
+                        twophase::write_all(&env, &file, &p, &reqs, &ids)?;
                     } else {
                         // Collective buffering disabled: every rank writes its
                         // own pieces independently (the ablation baseline).
                         let profile = &env.config.profile;
+                        let events = &env.config.events;
                         for (i, (runs, data)) in reqs.iter().enumerate() {
                             let w = env.group[i];
+                            let _ctx = events.is_enabled().then(|| TraceCtx::enter(w, ids[i]));
                             let before = env.clocks.now(w);
                             let t = sieve::write(&file, wr_buf, ds, before, runs, data)?;
                             profile.record_phase(
@@ -485,6 +514,18 @@ impl MpiFile {
                                 Phase::DiskWrite,
                                 t.saturating_sub(before).as_nanos(),
                             );
+                            if events.is_enabled() && t > before {
+                                events.record(
+                                    Span::new(
+                                        w,
+                                        layer::MPIO,
+                                        "ind_write",
+                                        before.as_nanos(),
+                                        t.as_nanos(),
+                                    )
+                                    .with_parent(ids[i]),
+                                );
+                            }
                             env.clocks.advance_to(w, t);
                         }
                     }
@@ -536,7 +577,7 @@ impl MpiFile {
         // Publish this rank's cached dirty bytes before the rendezvous so
         // the collective read observes them (and every peer's).
         self.cache_pre()?;
-        let parcel = twophase::encode_read_req(runs);
+        let parcel = twophase::encode_read_req(runs, TraceCtx::current_id());
 
         let env = self.comm.coll_env();
         let file = self.file.clone();
@@ -551,17 +592,22 @@ impl MpiFile {
             self.comm
                 .collective(vec![parcel], move |mut deps| -> MpioResult<Vec<Vec<u8>>> {
                     let mut reqs: Vec<Vec<Run>> = Vec::with_capacity(deps.len());
+                    let mut ids: Vec<u64> = Vec::with_capacity(deps.len());
                     for d in deps.iter_mut() {
                         let parcel = std::mem::take(&mut d[0]);
-                        reqs.push(twophase::decode_req(&parcel)?.0);
+                        let (r, _, id) = twophase::decode_req(&parcel)?;
+                        reqs.push(r);
+                        ids.push(id);
                     }
                     if cb {
-                        Ok(twophase::read_all(&env, &file, &p, &reqs)?.0)
+                        Ok(twophase::read_all(&env, &file, &p, &reqs, &ids)?.0)
                     } else {
                         let profile = &env.config.profile;
+                        let events = &env.config.events;
                         let mut outs = Vec::with_capacity(reqs.len());
                         for (i, runs) in reqs.iter().enumerate() {
                             let w = env.group[i];
+                            let _ctx = events.is_enabled().then(|| TraceCtx::enter(w, ids[i]));
                             let before = env.clocks.now(w);
                             let (data, t) = sieve::read(&file, rd_buf, ds, before, runs)?;
                             profile.record_phase(
@@ -569,6 +615,18 @@ impl MpiFile {
                                 Phase::DiskRead,
                                 t.saturating_sub(before).as_nanos(),
                             );
+                            if events.is_enabled() && t > before {
+                                events.record(
+                                    Span::new(
+                                        w,
+                                        layer::MPIO,
+                                        "ind_read",
+                                        before.as_nanos(),
+                                        t.as_nanos(),
+                                    )
+                                    .with_parent(ids[i]),
+                                );
+                            }
                             env.clocks.advance_to(w, t);
                             outs.push(data);
                         }

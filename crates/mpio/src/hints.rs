@@ -80,6 +80,11 @@ pub struct Hints {
     /// pipeline can overlap NIC with disk. Default: enabled (`Auto`
     /// resolves to on); `disable` restores contiguous block domains.
     pub cb_affinity: Toggle,
+    /// Per-request event tracing (`pnc_trace_events`): record
+    /// sim-clock-stamped spans from `iput` down to the server disk into
+    /// the shared `hpc_sim::TraceLog`. Default: disabled (`Auto` resolves
+    /// to off — tracing is opt-in per run).
+    pub trace_events: Toggle,
 }
 
 impl Default for Hints {
@@ -100,6 +105,7 @@ impl Default for Hints {
             cache_readahead: 2,
             server_queue_depth: None,
             cb_affinity: Toggle::Auto,
+            trace_events: Toggle::Auto,
         }
     }
 }
@@ -138,6 +144,7 @@ impl Hints {
             // 0 is meaningful (unbounded queue), so no filter.
             server_queue_depth: info.get_usize("pnc_server_queue_depth"),
             cb_affinity: Toggle::parse(info.get("pnc_cb_affinity")),
+            trace_events: Toggle::parse(info.get("pnc_trace_events")),
         }
     }
 
@@ -260,5 +267,17 @@ mod tests {
         assert!(!h.cb_affinity.resolve(true));
         let h = Hints::from_info(&Info::new().with("pnc_server_queue_depth", "16"));
         assert_eq!(h.server_queue_depth, Some(16));
+    }
+
+    #[test]
+    fn trace_events_hint() {
+        let d = Hints::from_info(&Info::new());
+        assert_eq!(d.trace_events, Toggle::Auto);
+        assert!(!d.trace_events.resolve(false), "tracing defaults off");
+        let h = Hints::from_info(&Info::new().with("pnc_trace_events", "enable"));
+        assert_eq!(h.trace_events, Toggle::Enable);
+        assert!(h.trace_events.resolve(false));
+        let h = Hints::from_info(&Info::new().with("pnc_trace_events", "true"));
+        assert!(h.trace_events.resolve(false));
     }
 }

@@ -21,7 +21,8 @@
 //! [`hpc_sim::Profile`] fault counters (`retries`, `backoff_time`,
 //! `short_completions`, `exhausted`).
 
-use hpc_sim::Time;
+use hpc_sim::trace::events::{layer, stage};
+use hpc_sim::{Span, Time, TraceCtx};
 use pnetcdf_pfs::{IoFailure, PfsFile, WriteCompletion};
 
 use crate::error::{MpioError, MpioResult};
@@ -55,7 +56,10 @@ impl RetryPolicy {
     }
 }
 
-/// Record one recovery step in the shared profile.
+/// Record one recovery step in the shared profile, and span the backoff
+/// interval on the ambient request's timeline (parented to its window or
+/// independent-request span, so the critical-path analyzer can charge
+/// retry backoff against the right collective window).
 fn record_retry(file: &PfsFile, failure: &IoFailure, backoff: Time) {
     file.profile().record_fault(|f| {
         f.retries += 1;
@@ -64,6 +68,24 @@ fn record_retry(file: &PfsFile, failure: &IoFailure, backoff: Time) {
             f.short_completions += 1;
         }
     });
+    let events = file.events();
+    if events.is_enabled() {
+        if let Some((rank, parent)) = TraceCtx::current() {
+            events.record(
+                Span::new(
+                    rank,
+                    layer::RETRY,
+                    "backoff",
+                    failure.time.as_nanos(),
+                    (failure.time + backoff).as_nanos(),
+                )
+                .with_parent(parent)
+                .with_stage(stage::RETRY)
+                .with_arg("server", failure.server as u64)
+                .with_arg("completed", failure.completed),
+            );
+        }
+    }
 }
 
 /// Record a final give-up in the shared profile.

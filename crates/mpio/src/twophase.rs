@@ -21,7 +21,8 @@
 //! the synchronized time `t0` and advance through the shared server queues
 //! in rank order.
 
-use hpc_sim::{Phase, Profile, Time};
+use hpc_sim::trace::events::{layer, stage};
+use hpc_sim::{Phase, Profile, Span, Time, TraceCtx, TraceLog};
 use pnetcdf_mpi::CollEnv;
 use pnetcdf_pfs::{PfsFile, WriteCompletion};
 
@@ -83,8 +84,14 @@ pub fn dynamic_cb_nodes(
 // ---- request parcels ------------------------------------------------------
 
 /// Encode a write request (runs + packed data) into a deposit parcel.
-pub fn encode_write_req(runs: &[Run], data: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(8 + runs.len() * 16 + data.len());
+///
+/// `trace_id` is the sender's ambient trace id (0 while tracing is off).
+/// It rides the parcel because the collective's finish closure runs on ONE
+/// thread for all ranks — thread-local [`TraceCtx`] cannot carry a rank's
+/// id across the rendezvous, so the wire format does.
+pub fn encode_write_req(runs: &[Run], data: &[u8], trace_id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + runs.len() * 16 + data.len());
+    out.extend_from_slice(&trace_id.to_ne_bytes());
     out.extend_from_slice(&(runs.len() as u64).to_ne_bytes());
     for &(off, len) in runs {
         out.extend_from_slice(&off.to_ne_bytes());
@@ -95,26 +102,28 @@ pub fn encode_write_req(runs: &[Run], data: &[u8]) -> Vec<u8> {
 }
 
 /// Encode a read request (runs only).
-pub fn encode_read_req(runs: &[Run]) -> Vec<u8> {
-    encode_write_req(runs, &[])
+pub fn encode_read_req(runs: &[Run], trace_id: u64) -> Vec<u8> {
+    encode_write_req(runs, &[], trace_id)
 }
 
-/// Decode a parcel into `(runs, data)`; `data` borrows the parcel.
+/// Decode a parcel into `(runs, data, trace_id)`; `data` borrows the
+/// parcel.
 ///
 /// A parcel arrives from another rank's deposit, so its length is
 /// validated before any slice is taken: a truncated or corrupt exchange
 /// parcel yields [`MpioError::InvalidArgument`] rather than a panic.
-pub fn decode_req(parcel: &[u8]) -> MpioResult<(Vec<Run>, &[u8])> {
-    if parcel.len() < 8 {
+pub fn decode_req(parcel: &[u8]) -> MpioResult<(Vec<Run>, &[u8], u64)> {
+    if parcel.len() < 16 {
         return Err(MpioError::InvalidArgument(format!(
-            "exchange parcel too short: {} bytes, need at least 8",
+            "exchange parcel too short: {} bytes, need at least 16",
             parcel.len()
         )));
     }
-    let n = u64::from_ne_bytes(parcel[..8].try_into().unwrap()) as usize;
+    let trace_id = u64::from_ne_bytes(parcel[..8].try_into().unwrap());
+    let n = u64::from_ne_bytes(parcel[8..16].try_into().unwrap()) as usize;
     let runs_end = n
         .checked_mul(16)
-        .and_then(|b| b.checked_add(8))
+        .and_then(|b| b.checked_add(16))
         .filter(|&need| need <= parcel.len())
         .ok_or_else(|| {
             MpioError::InvalidArgument(format!(
@@ -123,14 +132,14 @@ pub fn decode_req(parcel: &[u8]) -> MpioResult<(Vec<Run>, &[u8])> {
             ))
         })?;
     let mut runs = Vec::with_capacity(n);
-    let mut pos = 8;
+    let mut pos = 16;
     while pos < runs_end {
         let off = u64::from_ne_bytes(parcel[pos..pos + 8].try_into().unwrap());
         let len = u64::from_ne_bytes(parcel[pos + 8..pos + 16].try_into().unwrap());
         runs.push((off, len));
         pos += 16;
     }
-    Ok((runs, &parcel[runs_end..]))
+    Ok((runs, &parcel[runs_end..], trace_id))
 }
 
 // ---- file domains -----------------------------------------------------------
@@ -490,10 +499,78 @@ fn gather_affine_windows(
     }
 }
 
+// ---- event tracing ----------------------------------------------------------
+
+/// Tracing identity of one collective-buffer window: its round index, its
+/// pre-allocated span id, and the owning aggregator's collective-span id
+/// (the window span's parent). All zeros while tracing is off.
+#[derive(Clone, Copy, Default)]
+struct WinTrace {
+    round: usize,
+    wid: u64,
+    parent: u64,
+}
+
+/// Allocate the trace identity for window `(a, round)`.
+fn win_trace(
+    events: &TraceLog,
+    tracing: bool,
+    round: usize,
+    coll_ids: &[u64],
+    a: usize,
+) -> WinTrace {
+    if !tracing {
+        return WinTrace::default();
+    }
+    WinTrace {
+        round,
+        wid: events.next_id(),
+        parent: coll_ids.get(a).copied().unwrap_or(0),
+    }
+}
+
+/// World rank a window's spans are attributed to. Domains past the group
+/// size are *virtual* aggregators (see [`AccessSplit::attribute`]); their
+/// spans land on the last real rank's timeline rather than a phantom one.
+fn agg_world(env: &CollEnv, a: usize) -> usize {
+    env.group
+        .get(a)
+        .copied()
+        .unwrap_or_else(|| env.group.last().copied().unwrap_or(0))
+}
+
+/// Emit each rank's whole-collective span `[t0, t_end]` — the region
+/// `set_all` jumps every clock across, which the per-advance phase tiling
+/// cannot see. Span `coll_ids[r]` parents rank `r`'s windows; its own
+/// parent is the request trace id that rode in rank `r`'s parcel, which
+/// closes the core → mpio link of the id chain.
+fn record_coll_spans(
+    env: &CollEnv,
+    events: &TraceLog,
+    name: &'static str,
+    t0: Time,
+    t_end: Time,
+    ids: &[u64],
+    coll_ids: &[u64],
+) {
+    if coll_ids.is_empty() {
+        return;
+    }
+    for (r, &w) in env.group.iter().enumerate() {
+        events.record(
+            Span::new(w, layer::MPIO, name, t0.as_nanos(), t_end.as_nanos())
+                .with_id(coll_ids.get(r).copied().unwrap_or(0))
+                .with_parent(ids.get(r).copied().unwrap_or(0)),
+        );
+    }
+}
+
 // ---- the two phases -----------------------------------------------------------
 
 /// Collective write: the finish-closure body. `reqs[r]` is rank `r`'s
-/// `(runs, packed data)`. Returns the synchronized completion time.
+/// `(runs, packed data)`, `ids[r]` the trace id that rode rank `r`'s
+/// parcel (empty while tracing is off). Returns the synchronized
+/// completion time.
 ///
 /// Aggregator-side storage faults are recovered by [`crate::recover`];
 /// when the budget runs out the error is returned *after* every rank's
@@ -504,10 +581,18 @@ pub fn write_all(
     file: &PfsFile,
     p: &TwoPhaseParams,
     reqs: &[(Vec<Run>, &[u8])],
+    ids: &[u64],
 ) -> MpioResult<Time> {
     let n = env.size();
     let policy = RetryPolicy::default();
     let profile = env.config.profile.clone();
+    let events = env.config.events.clone();
+    let tracing = events.is_enabled();
+    let coll_ids: Vec<u64> = if tracing {
+        env.group.iter().map(|_| events.next_id()).collect()
+    } else {
+        Vec::new()
+    };
     let total: u64 = reqs.iter().map(|(r, _)| runs_total(r)).sum();
     if total == 0 {
         return Ok(env.sync_phase(Phase::Metadata, env.config.network.barrier(n)));
@@ -584,6 +669,7 @@ pub fn write_all(
                     let Some(pieces) = agg_windows.get(j) else {
                         continue;
                     };
+                    let wt = win_trace(&events, tracing, j, &coll_ids, a);
                     let (_, durable) = write_window(
                         env,
                         file,
@@ -595,6 +681,7 @@ pub fn write_all(
                         &mut split,
                         window_extents(a, j),
                         true,
+                        wt,
                     )?;
                     t_agg[a] = durable;
                 }
@@ -602,6 +689,7 @@ pub fn write_all(
             Ok(())
         })();
         let t_end = t_agg.iter().copied().fold(t0, Time::max);
+        record_coll_spans(env, &events, "coll_write", t0, t_end, ids, &coll_ids);
         return match access {
             Ok(()) => {
                 split.attribute(&profile, env, t_end, &t_agg, Phase::Wait);
@@ -666,8 +754,23 @@ pub fn write_all(
                 // handed off and round j's data has arrived; time spent
                 // waiting on the wire is the exchange cost that survives
                 // on this aggregator's critical path.
+                let wt = win_trace(&events, tracing, j, &coll_ids, a);
                 let ready = t_agg[a].max(x_done[j]);
                 split.exchange[a] += (ready - t_agg[a]).as_nanos();
+                if tracing && ready > t_agg[a] {
+                    events.record(
+                        Span::new(
+                            agg_world(env, a),
+                            layer::MPIO,
+                            "exchange_wait",
+                            t_agg[a].as_nanos(),
+                            ready.as_nanos(),
+                        )
+                        .with_parent(wt.wid)
+                        .with_stage(stage::EXCHANGE)
+                        .with_arg("round", j as u64),
+                    );
+                }
                 let (handoff, durable) = write_window(
                     env,
                     file,
@@ -679,6 +782,7 @@ pub fn write_all(
                     &mut split,
                     window_extents(a, j),
                     false,
+                    wt,
                 )?;
                 t_agg[a] = handoff;
                 durable_max = durable_max.max(durable);
@@ -696,6 +800,7 @@ pub fn write_all(
         x_done.last().copied().unwrap_or(entry).max(durable_max),
         Time::max,
     );
+    record_coll_spans(env, &events, "coll_write", entry, t_end, ids, &coll_ids);
     match access {
         Ok(()) => {
             split.record_overlap(&profile, &costs, entry, t_end, &t_agg);
@@ -734,7 +839,14 @@ fn write_window(
     split: &mut AccessSplit,
     extents: Option<&[(u64, u64)]>,
     wait_durable: bool,
+    wt: WinTrace,
 ) -> MpioResult<(Time, Time)> {
+    let events = &env.config.events;
+    let tracing = wt.wid != 0 && events.is_enabled();
+    let w = agg_world(env, a);
+    // Ambient context: the pfs ServiceEngine stages and any retry backoffs
+    // taken on this window's behalf parent themselves to the window span.
+    let _ctx = tracing.then(|| TraceCtx::enter(w, wt.wid));
     let mut t_a = t_start;
     split.windows += 1;
     let piece_bytes: u64 = pieces.iter().map(|pc| pc.len).sum();
@@ -742,6 +854,14 @@ fn write_window(
     let pack = env.config.cpu.pack(piece_bytes as usize, 1.0);
     t_a += pack;
     split.pack[a] += pack.as_nanos();
+    if tracing && pack > Time::ZERO {
+        events.record(
+            Span::new(w, layer::MPIO, "pack", t_start.as_nanos(), t_a.as_nanos())
+                .with_parent(wt.wid)
+                .with_stage(stage::PACK)
+                .with_arg("round", wt.round as u64),
+        );
+    }
 
     let coverage = merge_coverage(pieces.iter().map(|pc| (pc.off, pc.len)).collect());
     let completion: WriteCompletion = match extents {
@@ -812,6 +932,22 @@ fn write_window(
     };
     split.write[a] += (advance - t_a).as_nanos();
     split.serial_busy[a] += (completion.durable - t_start).as_nanos();
+    if tracing {
+        events.record(
+            Span::new(
+                w,
+                layer::MPIO,
+                "window",
+                t_start.as_nanos(),
+                completion.durable.as_nanos(),
+            )
+            .with_id(wt.wid)
+            .with_parent(wt.parent)
+            .with_arg("round", wt.round as u64)
+            .with_arg("agg", a as u64)
+            .with_arg("bytes", piece_bytes),
+        );
+    }
     Ok((advance, completion.durable))
 }
 
@@ -993,10 +1129,18 @@ pub fn read_all(
     file: &PfsFile,
     p: &TwoPhaseParams,
     reqs: &[Vec<Run>],
+    ids: &[u64],
 ) -> MpioResult<(Vec<Vec<u8>>, Time)> {
     let n = env.size();
     let policy = RetryPolicy::default();
     let profile = env.config.profile.clone();
+    let events = env.config.events.clone();
+    let tracing = events.is_enabled();
+    let coll_ids: Vec<u64> = if tracing {
+        env.group.iter().map(|_| events.next_id()).collect()
+    } else {
+        Vec::new()
+    };
     let totals: Vec<u64> = reqs.iter().map(|r| runs_total(r)).collect();
     let grand: u64 = totals.iter().sum();
     let mut outs: Vec<Vec<u8>> = totals.iter().map(|&t| vec![0u8; t as usize]).collect();
@@ -1051,8 +1195,9 @@ pub fn read_all(
                     let Some(pieces) = agg_windows.get(j) else {
                         continue;
                     };
+                    let wt = win_trace(&events, tracing, j, &coll_ids, a);
                     t_agg[a] = read_window(
-                        env, file, &policy, t_agg[a], a, pieces, &mut outs, &mut split,
+                        env, file, &policy, t_agg[a], a, pieces, &mut outs, &mut split, wt,
                     )?;
                 }
             }
@@ -1060,6 +1205,7 @@ pub fn read_all(
         })();
         let t_end = t_agg.iter().copied().fold(t0, Time::max);
         if let Err(e) = access {
+            record_coll_spans(env, &events, "coll_read", t0, t_end, ids, &coll_ids);
             env.set_all(t_end);
             return Err(e);
         }
@@ -1072,6 +1218,7 @@ pub fn read_all(
             }
         }
         let t_final = t_end + ship;
+        record_coll_spans(env, &events, "coll_read", t0, t_final, ids, &coll_ids);
         env.set_all(t_final);
         return Ok((outs, t_final));
     }
@@ -1095,14 +1242,30 @@ pub fn read_all(
                 // Double buffering: round j refills the buffer round j-2
                 // shipped; waiting for that ship to drain is wire time on
                 // this aggregator's critical path.
+                let wt = win_trace(&events, tracing, j, &coll_ids, a);
                 let ready = if j >= 2 {
                     t_agg[a].max(x_done[j - 2])
                 } else {
                     t_agg[a]
                 };
                 split.exchange[a] += (ready - t_agg[a]).as_nanos();
-                t_agg[a] =
-                    read_window(env, file, &policy, ready, a, pieces, &mut outs, &mut split)?;
+                if tracing && ready > t_agg[a] {
+                    events.record(
+                        Span::new(
+                            agg_world(env, a),
+                            layer::MPIO,
+                            "exchange_wait",
+                            t_agg[a].as_nanos(),
+                            ready.as_nanos(),
+                        )
+                        .with_parent(wt.wid)
+                        .with_stage(stage::EXCHANGE)
+                        .with_arg("round", j as u64),
+                    );
+                }
+                t_agg[a] = read_window(
+                    env, file, &policy, ready, a, pieces, &mut outs, &mut split, wt,
+                )?;
                 dmax = dmax.max(t_agg[a]);
             }
             // Round j ships once every aggregator's round-j read is done
@@ -1122,6 +1285,7 @@ pub fn read_all(
         .iter()
         .copied()
         .fold(x_done.last().copied().unwrap_or(t0), Time::max);
+    record_coll_spans(env, &events, "coll_read", t0, t_final, ids, &coll_ids);
     if let Err(e) = access {
         env.set_all(t_final);
         return Err(e);
@@ -1148,7 +1312,12 @@ fn read_window(
     pieces: &[Piece],
     outs: &mut [Vec<u8>],
     split: &mut AccessSplit,
+    wt: WinTrace,
 ) -> MpioResult<Time> {
+    let events = &env.config.events;
+    let tracing = wt.wid != 0 && events.is_enabled();
+    let w = agg_world(env, a);
+    let _ctx = tracing.then(|| TraceCtx::enter(w, wt.wid));
     let mut t_a = t_start;
     split.windows += 1;
     let clo = pieces.iter().map(|pc| pc.off).min().unwrap();
@@ -1159,6 +1328,20 @@ fn read_window(
     split.read[a] += (t_a - before).as_nanos();
     let piece_bytes: u64 = pieces.iter().map(|pc| pc.len).sum();
     let pack = env.config.cpu.pack(piece_bytes as usize, 1.0);
+    if tracing && pack > Time::ZERO {
+        events.record(
+            Span::new(
+                w,
+                layer::MPIO,
+                "pack",
+                t_a.as_nanos(),
+                (t_a + pack).as_nanos(),
+            )
+            .with_parent(wt.wid)
+            .with_stage(stage::PACK)
+            .with_arg("round", wt.round as u64),
+        );
+    }
     t_a += pack;
     split.pack[a] += pack.as_nanos();
     for pc in pieces {
@@ -1167,6 +1350,16 @@ fn read_window(
             .copy_from_slice(&buf[lo..lo + pc.len as usize]);
     }
     split.serial_busy[a] += (t_a - t_start).as_nanos();
+    if tracing {
+        events.record(
+            Span::new(w, layer::MPIO, "window", t_start.as_nanos(), t_a.as_nanos())
+                .with_id(wt.wid)
+                .with_parent(wt.parent)
+                .with_arg("round", wt.round as u64)
+                .with_arg("agg", a as u64)
+                .with_arg("bytes", piece_bytes),
+        );
+    }
     Ok(t_a)
 }
 
@@ -1178,42 +1371,46 @@ mod tests {
     fn parcel_roundtrip() {
         let runs: Vec<Run> = vec![(5, 10), (100, 3)];
         let data = vec![1u8; 13];
-        let parcel = encode_write_req(&runs, &data);
-        let (r2, d2) = decode_req(&parcel).unwrap();
+        let parcel = encode_write_req(&runs, &data, 42);
+        let (r2, d2, id2) = decode_req(&parcel).unwrap();
         assert_eq!(r2, runs);
         assert_eq!(d2, &data[..]);
+        assert_eq!(id2, 42, "trace id survives the wire");
 
-        let parcel = encode_read_req(&runs);
-        let (r3, d3) = decode_req(&parcel).unwrap();
+        let parcel = encode_read_req(&runs, 0);
+        let (r3, d3, id3) = decode_req(&parcel).unwrap();
         assert_eq!(r3, runs);
         assert!(d3.is_empty());
+        assert_eq!(id3, 0);
     }
 
     #[test]
     fn short_parcel_is_an_error_not_a_panic() {
         assert!(decode_req(&[]).is_err());
         assert!(decode_req(&[0u8; 7]).is_err());
+        assert!(decode_req(&[0u8; 15]).is_err());
     }
 
     #[test]
     fn truncated_run_list_is_an_error() {
-        let parcel = encode_write_req(&[(5, 10), (100, 3)], &[1u8; 13]);
+        let parcel = encode_write_req(&[(5, 10), (100, 3)], &[1u8; 13], 1);
         // Cut into the middle of the run table.
-        assert!(decode_req(&parcel[..20]).is_err());
+        assert!(decode_req(&parcel[..28]).is_err());
     }
 
     #[test]
     fn absurd_run_count_is_an_error() {
         // Header claims u64::MAX runs: length math must not overflow.
-        let mut parcel = u64::MAX.to_ne_bytes().to_vec();
+        let mut parcel = 0u64.to_ne_bytes().to_vec();
+        parcel.extend_from_slice(&u64::MAX.to_ne_bytes());
         parcel.extend_from_slice(&[0u8; 64]);
         assert!(decode_req(&parcel).is_err());
     }
 
     #[test]
     fn zero_runs_with_trailing_data_decodes() {
-        let parcel = encode_write_req(&[], &[]);
-        let (runs, data) = decode_req(&parcel).unwrap();
+        let parcel = encode_write_req(&[], &[], 0);
+        let (runs, data, _) = decode_req(&parcel).unwrap();
         assert!(runs.is_empty());
         assert!(data.is_empty());
     }

@@ -2,7 +2,8 @@
 
 use std::sync::Arc;
 
-use hpc_sim::{FaultKind, IoStages, Time};
+use hpc_sim::trace::events::{layer, stage};
+use hpc_sim::{FaultKind, IoStages, Span, Time, TraceCtx};
 
 use crate::filesystem::PfsInner;
 use crate::server::ServiceOutcome;
@@ -67,6 +68,12 @@ impl PfsFile {
     /// `SimConfig` it was built from).
     pub fn profile(&self) -> &hpc_sim::Profile {
         &self.inner.cfg.profile
+    }
+
+    /// The span recorder shared by this file system instance (same handle
+    /// semantics as [`PfsFile::profile`]).
+    pub fn events(&self) -> &hpc_sim::TraceLog {
+        &self.inner.cfg.events
     }
 
     /// Current size in bytes (highest byte ever written + 1).
@@ -414,6 +421,75 @@ impl PfsFile {
                 depth: st.depth as u64,
             },
         );
+        // Span the request's passage through the dual-resource engine:
+        // one queue-residency container (arrival → durable on disk) with
+        // the stall, NIC, and disk stages nested inside it. The ambient
+        // TraceCtx names the rank whose request this is and the window
+        // (or independent request) span to hang the container off — with
+        // no context there is no timeline to put the spans on, so the
+        // request goes untraced rather than misattributed.
+        let events = &self.inner.cfg.events;
+        if events.is_enabled() {
+            if let Some((rank, parent)) = TraceCtx::current() {
+                let qid = events.next_id();
+                let name = if read { "srv_read" } else { "srv_write" };
+                // Writes finish on the disk; reads finish when the NIC has
+                // shipped the bytes back. The container covers both orders.
+                let served = st.disk_done.max(st.nic_done);
+                events.record(
+                    Span::new(
+                        rank,
+                        layer::PFS,
+                        name,
+                        st.arrival.as_nanos(),
+                        served.as_nanos(),
+                    )
+                    .with_id(qid)
+                    .with_parent(parent)
+                    .with_arg("server", srv as u64)
+                    .with_arg("bytes", outcome.bytes_done)
+                    .with_arg("depth", st.depth as u64),
+                );
+                if st.admit > st.arrival {
+                    events.record(
+                        Span::new(
+                            rank,
+                            layer::PFS,
+                            "queue_stall",
+                            st.arrival.as_nanos(),
+                            st.admit.as_nanos(),
+                        )
+                        .with_parent(qid)
+                        .with_stage(stage::QUEUE)
+                        .with_arg("server", srv as u64),
+                    );
+                }
+                events.record(
+                    Span::new(
+                        rank,
+                        layer::PFS,
+                        "srv_nic",
+                        st.nic_start.as_nanos(),
+                        st.nic_done.as_nanos(),
+                    )
+                    .with_parent(qid)
+                    .with_stage(stage::NIC)
+                    .with_arg("server", srv as u64),
+                );
+                events.record(
+                    Span::new(
+                        rank,
+                        layer::PFS,
+                        "srv_disk",
+                        st.disk_start.as_nanos(),
+                        st.disk_done.as_nanos(),
+                    )
+                    .with_parent(qid)
+                    .with_stage(stage::DISK)
+                    .with_arg("server", srv as u64),
+                );
+            }
+        }
     }
 
     /// Tally an injected fault (no-op while profiling is disabled).

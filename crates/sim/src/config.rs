@@ -18,7 +18,7 @@ use crate::fault::FaultPlan;
 use crate::network::NetworkModel;
 use crate::service::ServiceModel;
 use crate::time::Time;
-use pnetcdf_trace::Profile;
+use pnetcdf_trace::{Profile, TraceLog};
 
 /// Default bounded admission queue depth of one I/O server (see
 /// [`crate::service`]); overridable per file with `pnc_server_queue_depth`.
@@ -55,6 +55,12 @@ pub struct SimConfig {
     /// system servers built from one config all record into the same
     /// profile. Disabled (and essentially free) by default.
     pub profile: Profile,
+    /// Shared per-request span recorder (same handle semantics as
+    /// `profile`): every layer records sim-clock-stamped spans into the
+    /// same log, linked across layers by trace ids. Off by default —
+    /// enabled per file via the `pnc_trace_events` hint or directly with
+    /// `events.set_enabled(true)`.
+    pub events: TraceLog,
     /// Fault-injection plan applied by the PFS servers; inert by default.
     pub faults: FaultPlan,
 }
@@ -90,6 +96,7 @@ impl SimConfig {
             client_link_bw: 110e6,
             client_link_latency: Time::from_micros(30),
             profile: Profile::new(),
+            events: TraceLog::new(),
             faults: FaultPlan::default(),
         }
     }
@@ -123,6 +130,7 @@ impl SimConfig {
             client_link_bw: 90e6,
             client_link_latency: Time::from_micros(35),
             profile: Profile::new(),
+            events: TraceLog::new(),
             faults: FaultPlan::default(),
         }
     }
@@ -154,6 +162,7 @@ impl SimConfig {
             client_link_bw: 400e6,
             client_link_latency: Time::from_micros(10),
             profile: Profile::new(),
+            events: TraceLog::new(),
             faults: FaultPlan::default(),
         }
     }

@@ -46,4 +46,5 @@ pub use time::Time;
 pub use pnetcdf_trace as trace;
 pub use pnetcdf_trace::{
     CacheCounters, CollKind, FaultCounters, IoStages, Phase, PhaseScope, Profile, ProfileSnapshot,
+    Span, TraceCtx, TraceLog, TraceSnapshot,
 };

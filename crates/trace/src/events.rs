@@ -1,0 +1,931 @@
+//! Per-request event tracing: sim-clock-stamped spans from `iput` to the
+//! server disk, Chrome `trace_event` export, and a critical-path analyzer.
+//!
+//! Where [`crate::Profile`] answers "where did the time go *in aggregate*",
+//! this module answers "which request, round, or server stalled *this*
+//! `wait_all`". Every layer of one simulation records [`Span`]s into the
+//! shared [`TraceLog`] riding inside `hpc_sim::SimConfig`:
+//!
+//! * **core** issues a trace id per `AccessReq` and wraps each nonblocking
+//!   flush in a per-rank flush span;
+//! * **mpio** spans the collective window loop (exchange / pack / disk
+//!   sub-spans per pipelined round), the page cache (miss fills, readahead,
+//!   write-behind), and every retry backoff of the recovery layer;
+//! * **pfs** spans each request's passage through the dual-resource
+//!   `ServiceEngine`: queue entry → NIC handoff → durable on disk;
+//! * **mpi** tiles every rank's virtual clock with phase spans so the
+//!   timeline has no holes.
+//!
+//! Spans are linked across layers by trace ids: a child span stores its
+//! parent's id, and the ambient [`TraceCtx`] carries the current id down
+//! through layers (pfs and the recovery loops never see core's request
+//! objects). The recorder is a bounded per-rank ring — when full, the
+//! oldest spans are overwritten and counted as dropped — and is off by
+//! default: with tracing disabled every call site pays one relaxed atomic
+//! load. Recording never touches a virtual clock, so enabling tracing
+//! cannot perturb simulated time.
+//!
+//! [`TraceSnapshot::to_chrome`] serializes the Chrome `trace_event` JSON
+//! (ranks as processes, layers as threads, ids linked by flow events;
+//! viewable in Perfetto or `chrome://tracing`), and [`critical_path`]
+//! walks the span DAG of each collective window to name the stage — NIC,
+//! disk, exchange, pack, queue stall, retry backoff — that bounds it.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::json::Json;
+
+/// Default per-rank ring capacity (spans). At ~100 bytes a span this
+/// bounds a runaway rank at a few megabytes while holding every span of
+/// the benchmark workloads with room to spare.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// Layer names — the Chrome "threads" within each rank's "process".
+pub mod layer {
+    /// Phase tiling of the rank's clock (every attributed advance).
+    pub const PHASE: &str = "phase";
+    /// Core access engine: requests, nonblocking flushes.
+    pub const CORE: &str = "core";
+    /// MPI-IO: collective windows, rounds, independent I/O.
+    pub const MPIO: &str = "mpio";
+    /// Client page cache.
+    pub const CACHE: &str = "cache";
+    /// Fault-recovery retry loop.
+    pub const RETRY: &str = "retry";
+    /// PFS `ServiceEngine` stages.
+    pub const PFS: &str = "pfs";
+}
+
+/// Critical-path stage keys. A span carrying one of these contributes its
+/// duration to that stage of its window's attribution.
+pub mod stage {
+    /// Waiting for the round's alltoallv exchange to deliver data.
+    pub const EXCHANGE: &str = "exchange";
+    /// Collective-buffer assembly (memcpy into the window).
+    pub const PACK: &str = "pack";
+    /// Disk stage of the server engine / aggregator disk access.
+    pub const DISK: &str = "disk";
+    /// NIC transfer stage of the server engine.
+    pub const NIC: &str = "nic";
+    /// Stall at the bounded server admission queue.
+    pub const QUEUE: &str = "queue";
+    /// Exponential backoff between fault-recovery attempts.
+    pub const RETRY: &str = "retry";
+    /// Page-cache work (fills, write-behind, readahead).
+    pub const CACHE: &str = "cache";
+
+    /// All stages, report order.
+    pub const ALL: [&str; 7] = [DISK, NIC, EXCHANGE, PACK, QUEUE, RETRY, CACHE];
+}
+
+/// One closed interval of simulated time on one rank.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// World rank whose timeline this span lives on.
+    pub rank: usize,
+    /// Layer (Chrome thread) — one of the [`layer`] constants.
+    pub layer: &'static str,
+    /// Event name shown in the viewer.
+    pub name: &'static str,
+    /// Begin, simulated nanoseconds.
+    pub begin: u64,
+    /// End, simulated nanoseconds (`end >= begin`; recording clamps).
+    pub end: u64,
+    /// This span's trace id (0 = anonymous).
+    pub id: u64,
+    /// Trace id of the parent span (0 = root). Links layers: request →
+    /// flush → window → server stage.
+    pub parent: u64,
+    /// Critical-path stage this span contributes to, if any.
+    pub stage: Option<&'static str>,
+    /// Small numeric payload (round index, server, bytes, ...).
+    pub args: Vec<(&'static str, u64)>,
+}
+
+impl Span {
+    /// Anonymous root span with no stage or args.
+    pub fn new(rank: usize, layer: &'static str, name: &'static str, begin: u64, end: u64) -> Span {
+        Span {
+            rank,
+            layer,
+            name,
+            begin,
+            end,
+            id: 0,
+            parent: 0,
+            stage: None,
+            args: Vec::new(),
+        }
+    }
+
+    /// Builder-style trace id.
+    pub fn with_id(mut self, id: u64) -> Span {
+        self.id = id;
+        self
+    }
+
+    /// Builder-style parent id.
+    pub fn with_parent(mut self, parent: u64) -> Span {
+        self.parent = parent;
+        self
+    }
+
+    /// Builder-style critical-path stage.
+    pub fn with_stage(mut self, stage: &'static str) -> Span {
+        self.stage = Some(stage);
+        self
+    }
+
+    /// Builder-style argument.
+    pub fn with_arg(mut self, key: &'static str, value: u64) -> Span {
+        self.args.push((key, value));
+        self
+    }
+
+    /// Duration in nanoseconds.
+    pub fn nanos(&self) -> u64 {
+        self.end.saturating_sub(self.begin)
+    }
+
+    /// First value of the named argument, if present.
+    pub fn arg(&self, key: &str) -> Option<u64> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+}
+
+/// Bounded per-rank span storage: a ring that overwrites the oldest span
+/// once `capacity` is reached (keeping the end of the run, which is what
+/// the critical-path analyzer needs) and counts what it dropped.
+#[derive(Default)]
+struct RankRing {
+    spans: Vec<Span>,
+    /// Index of the logically first span once the ring has wrapped.
+    start: usize,
+    dropped: u64,
+}
+
+impl RankRing {
+    fn push(&mut self, span: Span, capacity: usize) {
+        if self.spans.len() < capacity {
+            self.spans.push(span);
+        } else {
+            self.spans[self.start] = span;
+            self.start = (self.start + 1) % self.spans.len();
+            self.dropped += 1;
+        }
+    }
+
+    fn in_order(&self) -> Vec<Span> {
+        let mut out = Vec::with_capacity(self.spans.len());
+        out.extend_from_slice(&self.spans[self.start..]);
+        out.extend_from_slice(&self.spans[..self.start]);
+        out
+    }
+}
+
+struct LogInner {
+    enabled: AtomicBool,
+    next_id: AtomicU64,
+    capacity: usize,
+    rings: Mutex<Vec<RankRing>>,
+}
+
+/// Lock a trace mutex, recovering from poisoning: a panicking rank thread
+/// can die mid-record, but every update leaves the rings structurally
+/// valid, so surviving ranks keep tracing instead of cascading the panic.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The shared span recorder. Cloning is cheap (one `Arc`); every layer of
+/// one simulation sees the same instance because it rides inside
+/// `hpc_sim::SimConfig`. Disabled by default: recording methods are a
+/// single relaxed atomic load followed by an early return, and call sites
+/// guard span construction behind [`TraceLog::is_enabled`].
+#[derive(Clone)]
+pub struct TraceLog {
+    inner: Arc<LogInner>,
+}
+
+impl Default for TraceLog {
+    fn default() -> TraceLog {
+        TraceLog::new()
+    }
+}
+
+impl std::fmt::Debug for TraceLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceLog")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl TraceLog {
+    /// New disabled log with the default ring capacity.
+    pub fn new() -> TraceLog {
+        TraceLog::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// New disabled log holding at most `capacity` spans per rank.
+    pub fn with_capacity(capacity: usize) -> TraceLog {
+        TraceLog {
+            inner: Arc::new(LogInner {
+                enabled: AtomicBool::new(false),
+                next_id: AtomicU64::new(0),
+                capacity: capacity.max(1),
+                rings: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on. This is the fast-path guard; call sites
+    /// check it before building a [`Span`].
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Whether two logs share the same storage.
+    pub fn same_as(&self, other: &TraceLog) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Issue a fresh nonzero trace id (0 means "no id" everywhere).
+    pub fn next_id(&self) -> u64 {
+        self.inner.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Record one span on its rank's ring. No-op while disabled. Never
+    /// touches a virtual clock, so tracing cannot perturb simulated time.
+    pub fn record(&self, mut span: Span) {
+        if !self.is_enabled() {
+            return;
+        }
+        span.end = span.end.max(span.begin);
+        let mut rings = lock(&self.inner.rings);
+        let rank = span.rank;
+        if rings.len() <= rank {
+            rings.resize_with(rank + 1, RankRing::default);
+        }
+        rings[rank].push(span, self.inner.capacity);
+    }
+
+    /// Copy out every recorded span, ring order per rank.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let rings = lock(&self.inner.rings);
+        let mut spans = Vec::new();
+        let mut dropped = 0;
+        for ring in rings.iter() {
+            spans.extend(ring.in_order());
+            dropped += ring.dropped;
+        }
+        TraceSnapshot {
+            nranks: rings.len(),
+            spans,
+            dropped,
+        }
+    }
+
+    /// Drop every recorded span, keeping the enabled flag and the id
+    /// counter (ids stay unique across resets).
+    pub fn reset(&self) {
+        lock(&self.inner.rings).clear();
+    }
+}
+
+thread_local! {
+    static CTX: Cell<Option<(usize, u64)>> = const { Cell::new(None) };
+}
+
+/// Ambient `(rank, trace id)` for the current thread, innermost-wins.
+///
+/// The MPI runtime is ranks-as-threads, but a collective's finish closure
+/// runs on *one* thread for all ranks — so layers that cross the
+/// rendezvous (twophase) re-enter the context per aggregator, and layers
+/// below mpio (pfs servers, the recovery loop, the page cache) read it
+/// instead of threading ids through every signature.
+pub struct TraceCtx {
+    prev: Option<(usize, u64)>,
+}
+
+impl TraceCtx {
+    /// Install `(rank, id)` as the ambient context until drop.
+    pub fn enter(rank: usize, id: u64) -> TraceCtx {
+        let prev = CTX.with(|c| c.replace(Some((rank, id))));
+        TraceCtx { prev }
+    }
+
+    /// The ambient `(rank, id)`, if a context is installed.
+    pub fn current() -> Option<(usize, u64)> {
+        CTX.with(|c| c.get())
+    }
+
+    /// The ambient trace id, or 0 when no context is installed.
+    pub fn current_id() -> u64 {
+        Self::current().map(|(_, id)| id).unwrap_or(0)
+    }
+}
+
+impl Drop for TraceCtx {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        CTX.with(|c| c.set(prev));
+    }
+}
+
+/// A point-in-time copy of every span in a [`TraceLog`].
+#[derive(Clone, Debug)]
+pub struct TraceSnapshot {
+    /// Number of rank rings that recorded at least one span.
+    pub nranks: usize,
+    /// All spans, grouped by rank, ring order within a rank.
+    pub spans: Vec<Span>,
+    /// Spans overwritten by full rings.
+    pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// Spans on `rank`'s timeline.
+    pub fn rank_spans(&self, rank: usize) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.rank == rank)
+    }
+
+    /// Fraction of `[0, total_nanos]` on `rank`'s timeline covered by the
+    /// union of its spans. The phase tiling alone should put this at ~1.0;
+    /// a hole means some layer advanced a clock without attribution.
+    pub fn rank_coverage(&self, rank: usize, total_nanos: u64) -> f64 {
+        if total_nanos == 0 {
+            return 1.0;
+        }
+        let mut iv: Vec<(u64, u64)> = self
+            .rank_spans(rank)
+            .map(|s| (s.begin, s.end.min(total_nanos)))
+            .filter(|&(b, e)| e > b)
+            .collect();
+        iv.sort_unstable();
+        let mut covered = 0u64;
+        let mut cur: Option<(u64, u64)> = None;
+        for (b, e) in iv {
+            match cur {
+                None => cur = Some((b, e)),
+                Some((cb, ce)) if b <= ce => cur = Some((cb, ce.max(e))),
+                Some((cb, ce)) => {
+                    covered += ce - cb;
+                    cur = Some((b, e));
+                }
+            }
+        }
+        if let Some((cb, ce)) = cur {
+            covered += ce - cb;
+        }
+        covered as f64 / total_nanos as f64
+    }
+
+    /// Serialize as Chrome `trace_event` JSON: one "process" per rank, one
+    /// "thread" per layer (overlapping spans within a layer fan out into
+    /// numbered lanes so every track stays non-overlapping), complete
+    /// (`"ph": "X"`) events in microseconds, and flow events (`"s"`/`"f"`)
+    /// linking each span to its parent across layers. Load the output in
+    /// Perfetto (ui.perfetto.dev) or `chrome://tracing`.
+    pub fn to_chrome(&self) -> Json {
+        let mut events = Vec::new();
+        // Group spans per rank, keyed into per-layer lanes.
+        let mut ranks: Vec<usize> = self.spans.iter().map(|s| s.rank).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        // Index of the first span (arbitrary) carrying each nonzero id,
+        // for flow-event sources.
+        let by_id: std::collections::HashMap<u64, usize> = self
+            .spans
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.id != 0)
+            .map(|(i, s)| (s.id, i))
+            .collect();
+        // tid assigned to each span, for flow endpoints.
+        let mut span_tid: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        for &rank in &ranks {
+            events.push(meta_event("process_name", rank, 0, format!("rank {rank}")));
+            // Stable layer order, then lanes within a layer.
+            let mut order: Vec<usize> = (0..self.spans.len())
+                .filter(|&i| self.spans[i].rank == rank)
+                .collect();
+            order.sort_by_key(|&i| (layer_index(self.spans[i].layer), self.spans[i].begin));
+            // (layer, lane) -> (tid, last end). Greedy lane assignment
+            // keeps each Chrome thread's slices disjoint.
+            let mut lanes: Vec<(&'static str, u64, u64)> = Vec::new(); // (layer, tid, last_end)
+            let mut next_tid = 1u64;
+            for i in order {
+                let s = &self.spans[i];
+                let mut tid = None;
+                for lane in lanes.iter_mut() {
+                    if lane.0 == s.layer && lane.2 <= s.begin {
+                        lane.2 = s.end;
+                        tid = Some(lane.1);
+                        break;
+                    }
+                }
+                let tid = tid.unwrap_or_else(|| {
+                    let t = next_tid;
+                    next_tid += 1;
+                    let lane_no = lanes.iter().filter(|l| l.0 == s.layer).count();
+                    let name = if lane_no == 0 {
+                        s.layer.to_string()
+                    } else {
+                        format!("{}#{}", s.layer, lane_no + 1)
+                    };
+                    events.push(meta_event("thread_name", rank, t, name));
+                    lanes.push((s.layer, t, s.end));
+                    t
+                });
+                span_tid.insert(i, tid);
+                events.push(complete_event(s, tid));
+            }
+        }
+        // Flow events: parent begin -> child begin, id = parent trace id.
+        let mut flow_started: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            if s.parent == 0 {
+                continue;
+            }
+            let Some(&pi) = by_id.get(&s.parent) else {
+                continue;
+            };
+            let p = &self.spans[pi];
+            if flow_started.insert(s.parent) {
+                events.push(flow_event("s", s.parent, p.rank, span_tid[&pi], p.begin));
+            }
+            events.push(flow_event("f", s.parent, s.rank, span_tid[&i], s.begin));
+        }
+        Json::obj()
+            .with("traceEvents", Json::Arr(events))
+            .with("displayTimeUnit", "ns")
+            .with(
+                "otherData",
+                Json::obj()
+                    .with("dropped_spans", self.dropped)
+                    .with("ranks", self.nranks as u64),
+            )
+    }
+}
+
+/// Stable display order for layers (top to bottom in the viewer).
+fn layer_index(layer: &str) -> usize {
+    match layer {
+        l if l == layer::PHASE => 0,
+        l if l == layer::CORE => 1,
+        l if l == layer::MPIO => 2,
+        l if l == layer::CACHE => 3,
+        l if l == layer::RETRY => 4,
+        l if l == layer::PFS => 5,
+        _ => 6,
+    }
+}
+
+fn meta_event(name: &str, pid: usize, tid: u64, value: String) -> Json {
+    Json::obj()
+        .with("name", name)
+        .with("ph", "M")
+        .with("pid", pid as u64)
+        .with("tid", tid)
+        .with("args", Json::obj().with("name", value))
+}
+
+fn complete_event(s: &Span, tid: u64) -> Json {
+    let mut args = Json::obj();
+    if s.id != 0 {
+        args.set("trace_id", s.id);
+    }
+    if s.parent != 0 {
+        args.set("parent", s.parent);
+    }
+    if let Some(stage) = s.stage {
+        args.set("stage", stage);
+    }
+    for (k, v) in &s.args {
+        args.set(k, *v);
+    }
+    Json::obj()
+        .with("name", s.name)
+        .with("cat", s.layer)
+        .with("ph", "X")
+        .with("pid", s.rank as u64)
+        .with("tid", tid)
+        .with("ts", s.begin as f64 / 1000.0)
+        .with("dur", s.nanos() as f64 / 1000.0)
+        .with("args", args)
+}
+
+fn flow_event(ph: &str, id: u64, pid: usize, tid: u64, ts: u64) -> Json {
+    let mut e = Json::obj()
+        .with("name", "trace")
+        .with("cat", "flow")
+        .with("ph", ph)
+        .with("id", id)
+        .with("pid", pid as u64)
+        .with("tid", tid)
+        .with("ts", ts as f64 / 1000.0);
+    if ph == "f" {
+        e.set("bp", "e");
+    }
+    e
+}
+
+/// Per-window critical-path attribution: the stage sums of every span
+/// hanging off one collective-buffer window, and the stage that bounds it.
+#[derive(Clone, Debug)]
+pub struct WindowAttribution {
+    /// The window's trace id.
+    pub window: u64,
+    /// Aggregator world rank that owned the window.
+    pub rank: usize,
+    /// Round index within the collective (0 for serial windows).
+    pub round: u64,
+    /// Window span begin/end, simulated nanoseconds.
+    pub begin: u64,
+    pub end: u64,
+    /// Summed nanoseconds per stage key ([`stage::ALL`] order, zeros kept).
+    pub stage_nanos: Vec<(&'static str, u64)>,
+    /// The stage with the largest sum — what bounds this window.
+    pub bound_by: &'static str,
+    /// Lead of the bounding stage over the runner-up.
+    pub margin_nanos: u64,
+}
+
+/// Whole-run critical-path report.
+#[derive(Clone, Debug)]
+pub struct CriticalPath {
+    pub windows: Vec<WindowAttribution>,
+    /// Stage sums across all windows.
+    pub totals: Vec<(&'static str, u64)>,
+    /// Windows bounded per stage.
+    pub bound_counts: Vec<(&'static str, u64)>,
+    /// The stage bounding the most windows (ties break toward the larger
+    /// total), or `None` when no windows were traced.
+    pub dominant: Option<&'static str>,
+}
+
+/// Walk the span DAG and attribute each collective window to the stage
+/// that bounds it. A window is a span named `"window"`; its descendants
+/// (spans reachable through `parent` links — direct children like the
+/// exchange wait and the pack memcpy, and grandchildren like the server
+/// NIC / disk / queue stages nested in their queue-residency containers)
+/// carry [`stage`] keys. Stages overlap in wall time (that is the point
+/// of the pipeline), so sums are *occupancy*, and the argmax names the
+/// resource that bounds the window end to end.
+pub fn critical_path(snap: &TraceSnapshot) -> CriticalPath {
+    let mut children: std::collections::HashMap<u64, Vec<&Span>> = std::collections::HashMap::new();
+    for s in &snap.spans {
+        if s.parent != 0 {
+            children.entry(s.parent).or_default().push(s);
+        }
+    }
+    let mut windows = Vec::new();
+    for root in snap
+        .spans
+        .iter()
+        .filter(|s| s.name == "window" && s.id != 0)
+    {
+        let mut sums: Vec<(&'static str, u64)> = stage::ALL.iter().map(|&k| (k, 0)).collect();
+        let mut stack = vec![root.id];
+        let mut visited = std::collections::HashSet::new();
+        visited.insert(root.id);
+        while let Some(id) = stack.pop() {
+            for child in children.get(&id).into_iter().flatten() {
+                if let Some(st) = child.stage {
+                    if let Some(e) = sums.iter_mut().find(|(k, _)| *k == st) {
+                        e.1 += child.nanos();
+                    }
+                }
+                if child.id != 0 && visited.insert(child.id) {
+                    stack.push(child.id);
+                }
+            }
+        }
+        let (top_i, &(bound_by, top)) = sums
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, (_, ns))| *ns)
+            .expect("stage::ALL is nonempty");
+        let runner_up = sums
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != top_i)
+            .map(|(_, (_, ns))| *ns)
+            .max()
+            .unwrap_or(0);
+        windows.push(WindowAttribution {
+            window: root.id,
+            rank: root.rank,
+            round: root.arg("round").unwrap_or(0),
+            begin: root.begin,
+            end: root.end,
+            stage_nanos: sums,
+            bound_by,
+            margin_nanos: top - runner_up,
+        });
+    }
+    windows.sort_by_key(|w| (w.begin, w.window));
+    let mut totals: Vec<(&'static str, u64)> = stage::ALL.iter().map(|&k| (k, 0)).collect();
+    let mut bound_counts: Vec<(&'static str, u64)> = stage::ALL.iter().map(|&k| (k, 0)).collect();
+    for w in &windows {
+        for (k, ns) in &w.stage_nanos {
+            if let Some(e) = totals.iter_mut().find(|(tk, _)| tk == k) {
+                e.1 += ns;
+            }
+        }
+        if let Some(e) = bound_counts.iter_mut().find(|(k, _)| *k == w.bound_by) {
+            e.1 += 1;
+        }
+    }
+    let dominant = bound_counts
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .max_by_key(|(k, n)| {
+            let total = totals.iter().find(|(tk, _)| tk == k).map_or(0, |(_, t)| *t);
+            (*n, total)
+        })
+        .map(|(k, _)| *k);
+    CriticalPath {
+        windows,
+        totals,
+        bound_counts,
+        dominant,
+    }
+}
+
+impl CriticalPath {
+    /// Serialize the report.
+    pub fn to_json(&self) -> Json {
+        let mut windows = Vec::new();
+        for w in &self.windows {
+            let mut stages = Json::obj();
+            for (k, ns) in &w.stage_nanos {
+                stages.set(k, *ns);
+            }
+            windows.push(
+                Json::obj()
+                    .with("window", w.window)
+                    .with("rank", w.rank as u64)
+                    .with("round", w.round)
+                    .with("begin_ns", w.begin)
+                    .with("end_ns", w.end)
+                    .with("stage_nanos", stages)
+                    .with("bound_by", w.bound_by)
+                    .with("margin_ns", w.margin_nanos),
+            );
+        }
+        let mut totals = Json::obj();
+        for (k, ns) in &self.totals {
+            totals.set(k, *ns);
+        }
+        let mut counts = Json::obj();
+        for (k, n) in &self.bound_counts {
+            counts.set(k, *n);
+        }
+        Json::obj()
+            .with("windows", Json::Arr(windows))
+            .with("stage_totals_ns", totals)
+            .with("bound_counts", counts)
+            .with(
+                "dominant_stage",
+                self.dominant.map(Json::from).unwrap_or(Json::Null),
+            )
+    }
+
+    /// Human-readable report for benchmark stdout.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "critical path: {} windows", self.windows.len());
+        for w in &self.windows {
+            let stages: Vec<String> = w
+                .stage_nanos
+                .iter()
+                .filter(|(_, ns)| *ns > 0)
+                .map(|(k, ns)| format!("{k}={:.3}ms", *ns as f64 / 1e6))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  window {} rank {} round {} [{:.3}..{:.3} ms] bound by {} \
+                 (margin {:.3} ms; {})",
+                w.window,
+                w.rank,
+                w.round,
+                w.begin as f64 / 1e6,
+                w.end as f64 / 1e6,
+                w.bound_by,
+                w.margin_nanos as f64 / 1e6,
+                stages.join(" "),
+            );
+        }
+        let totals: Vec<String> = self
+            .totals
+            .iter()
+            .map(|(k, ns)| format!("{k}={:.3}ms", *ns as f64 / 1e6))
+            .collect();
+        let _ = writeln!(out, "  stage totals: {}", totals.join(" "));
+        match self.dominant {
+            Some(d) => {
+                let n = self
+                    .bound_counts
+                    .iter()
+                    .find(|(k, _)| *k == d)
+                    .map_or(0, |(_, n)| *n);
+                let _ = writeln!(
+                    out,
+                    "  dominant stage: {d} (bounds {n}/{} windows)",
+                    self.windows.len()
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  dominant stage: none (no windows traced)");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(rank: usize, begin: u64, end: u64) -> Span {
+        Span {
+            rank,
+            layer: layer::MPIO,
+            name: "t",
+            begin,
+            end,
+            id: 0,
+            parent: 0,
+            stage: None,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = TraceLog::new();
+        log.record(span(0, 0, 10));
+        assert!(log.snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let log = TraceLog::new();
+        let a = log.next_id();
+        let b = log.next_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_dropped() {
+        let log = TraceLog::with_capacity(3);
+        log.set_enabled(true);
+        for i in 0..5u64 {
+            log.record(span(0, i * 10, i * 10 + 5));
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.spans.len(), 3);
+        assert_eq!(snap.dropped, 2);
+        let begins: Vec<u64> = snap.spans.iter().map(|s| s.begin).collect();
+        assert_eq!(begins, vec![20, 30, 40], "oldest spans overwritten");
+    }
+
+    #[test]
+    fn ctx_is_innermost_wins_and_restores() {
+        assert_eq!(TraceCtx::current(), None);
+        {
+            let _a = TraceCtx::enter(1, 7);
+            assert_eq!(TraceCtx::current(), Some((1, 7)));
+            {
+                let _b = TraceCtx::enter(2, 9);
+                assert_eq!(TraceCtx::current_id(), 9);
+            }
+            assert_eq!(TraceCtx::current(), Some((1, 7)));
+        }
+        assert_eq!(TraceCtx::current(), None);
+    }
+
+    #[test]
+    fn coverage_merges_overlaps() {
+        let log = TraceLog::new();
+        log.set_enabled(true);
+        log.record(span(0, 0, 50));
+        log.record(span(0, 40, 80));
+        log.record(span(0, 90, 100));
+        let snap = log.snapshot();
+        let cov = snap.rank_coverage(0, 100);
+        assert!((cov - 0.9).abs() < 1e-9, "covered 90 of 100: {cov}");
+    }
+
+    #[test]
+    fn chrome_export_assigns_disjoint_lanes() {
+        let log = TraceLog::new();
+        log.set_enabled(true);
+        // Two overlapping spans on one layer must land on distinct tids.
+        log.record(span(0, 0, 100));
+        log.record(span(0, 50, 150));
+        log.record(span(0, 100, 200));
+        let chrome = log.snapshot().to_chrome();
+        let Some(Json::Arr(events)) = chrome.get("traceEvents").cloned() else {
+            panic!("traceEvents array");
+        };
+        let xs: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").map(|p| p == &Json::from("X")).unwrap_or(false))
+            .collect();
+        assert_eq!(xs.len(), 3);
+        let tid = |e: &Json| e.get("tid").and_then(Json::as_f64).unwrap() as u64;
+        assert_ne!(tid(xs[0]), tid(xs[1]), "overlap forces a second lane");
+        assert_eq!(tid(xs[0]), tid(xs[2]), "disjoint span reuses lane 1");
+    }
+
+    #[test]
+    fn chrome_export_links_parents_with_flows() {
+        let log = TraceLog::new();
+        log.set_enabled(true);
+        let parent = log.next_id();
+        log.record(Span {
+            id: parent,
+            ..span(0, 0, 100)
+        });
+        log.record(Span {
+            parent,
+            ..span(1, 20, 80)
+        });
+        let chrome = log.snapshot().to_chrome();
+        let Some(Json::Arr(events)) = chrome.get("traceEvents").cloned() else {
+            panic!("traceEvents array");
+        };
+        let phs: Vec<String> = events
+            .iter()
+            .filter_map(|e| match e.get("ph") {
+                Some(Json::Str(s)) if s == "s" || s == "f" => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phs, vec!["s", "f"], "one flow start, one flow end");
+    }
+
+    #[test]
+    fn critical_path_names_bounding_stage() {
+        let log = TraceLog::new();
+        log.set_enabled(true);
+        let w = log.next_id();
+        log.record(Span {
+            name: "window",
+            id: w,
+            args: vec![("round", 2)],
+            ..span(1, 0, 1000)
+        });
+        for (st, ns) in [
+            (stage::DISK, 600u64),
+            (stage::EXCHANGE, 250),
+            (stage::NIC, 150),
+        ] {
+            log.record(Span {
+                parent: w,
+                stage: Some(st),
+                ..span(1, 0, ns)
+            });
+        }
+        let cp = critical_path(&log.snapshot());
+        assert_eq!(cp.windows.len(), 1);
+        let win = &cp.windows[0];
+        assert_eq!(win.bound_by, stage::DISK);
+        assert_eq!(win.round, 2);
+        assert_eq!(win.margin_nanos, 350);
+        assert_eq!(cp.dominant, Some(stage::DISK));
+        let rendered = cp.render();
+        assert!(rendered.contains("bound by disk"));
+        assert!(rendered.contains("dominant stage: disk"));
+        let json = cp.to_json();
+        assert_eq!(
+            json.get("dominant_stage").cloned(),
+            Some(Json::from(stage::DISK))
+        );
+    }
+
+    #[test]
+    fn reset_keeps_enabled_and_id_uniqueness() {
+        let log = TraceLog::new();
+        log.set_enabled(true);
+        let a = log.next_id();
+        log.record(span(0, 0, 1));
+        log.reset();
+        assert!(log.is_enabled());
+        assert!(log.snapshot().spans.is_empty());
+        assert_ne!(log.next_id(), a, "ids stay unique across resets");
+    }
+}

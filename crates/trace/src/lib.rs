@@ -24,12 +24,20 @@
 //! method begins with one relaxed atomic load and returns immediately when
 //! profiling is off. Reports serialize through the dependency-free
 //! [`json::Json`] value type.
+//!
+//! Aggregate counters answer *where* time went; the [`events`] module
+//! answers *which request* it went to: a per-rank span recorder
+//! ([`TraceLog`]) stamps sim-clock intervals from `iput` down to the PFS
+//! server disk, exports Chrome `trace_event` JSON, and attributes each
+//! collective window to the stage that bounds it ([`events::critical_path`]).
 
+pub mod events;
 pub mod json;
 pub mod phase;
 pub mod profile;
 pub mod report;
 
+pub use events::{critical_path, CriticalPath, Span, TraceCtx, TraceLog, TraceSnapshot};
 pub use json::Json;
 pub use phase::{CollKind, Phase};
 pub use profile::{

@@ -1,11 +1,22 @@
 //! The shared profile: counters, phase timers, scopes, snapshots.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use crate::json::Json;
 use crate::phase::{CollKind, Phase};
+
+/// Lock a profile mutex, recovering from poisoning instead of panicking.
+///
+/// Invariant: every critical section in this module performs only in-place
+/// arithmetic or container growth, so even if the owning rank thread
+/// panicked mid-update the data stays structurally valid — at worst one
+/// partial increment is lost. Recovering here means a malformed profile
+/// can never cascade a panic into the surviving ranks of a run.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Number of power-of-two size-histogram buckets. Bucket `i` counts
 /// requests with `2^(i-1) < size <= 2^i` (bucket 0 counts size 0 and 1);
@@ -308,7 +319,7 @@ impl Profile {
         if !self.is_enabled() || nanos == 0 {
             return;
         }
-        let mut ranks = self.inner.phase_nanos.lock().unwrap();
+        let mut ranks = lock(&self.inner.phase_nanos);
         if ranks.len() <= rank {
             ranks.resize(rank + 1, [0; Phase::COUNT]);
         }
@@ -371,7 +382,7 @@ impl Profile {
             &self.inner.io_write_hist
         };
         hist[bucket(bytes)].fetch_add(1, Ordering::Relaxed);
-        let mut servers = self.inner.servers.lock().unwrap();
+        let mut servers = lock(&self.inner.servers);
         if servers.len() <= server {
             servers.resize(server + 1, ServerCounters::default());
         }
@@ -399,12 +410,12 @@ impl Profile {
         if !self.is_enabled() {
             return;
         }
-        let lock = if read {
+        let cell = if read {
             &self.inner.sieve_read
         } else {
             &self.inner.sieve_write
         };
-        let mut c = lock.lock().unwrap();
+        let mut c = lock(cell);
         c.transferred += transferred;
         c.useful += useful;
     }
@@ -414,13 +425,13 @@ impl Profile {
         if !self.is_enabled() {
             return;
         }
-        f(&mut self.inner.twophase.lock().unwrap());
+        f(&mut lock(&self.inner.twophase));
     }
 
     /// Copy of the two-phase engine counters (tests and smoke assertions
     /// read these directly).
     pub fn twophase_counters(&self) -> TwophaseCounters {
-        *self.inner.twophase.lock().unwrap()
+        *lock(&self.inner.twophase)
     }
 
     /// Update the fault-injection/recovery counters.
@@ -428,13 +439,13 @@ impl Profile {
         if !self.is_enabled() {
             return;
         }
-        f(&mut self.inner.faults.lock().unwrap());
+        f(&mut lock(&self.inner.faults));
     }
 
     /// Copy of the fault-injection/recovery counters (tests and smoke
     /// assertions read these directly).
     pub fn fault_counters(&self) -> FaultCounters {
-        *self.inner.faults.lock().unwrap()
+        *lock(&self.inner.faults)
     }
 
     /// Update the client page-cache counters.
@@ -442,13 +453,13 @@ impl Profile {
         if !self.is_enabled() {
             return;
         }
-        f(&mut self.inner.cache.lock().unwrap());
+        f(&mut lock(&self.inner.cache));
     }
 
     /// Copy of the client page-cache counters (tests and smoke assertions
     /// read these directly).
     pub fn cache_counters(&self) -> CacheCounters {
-        *self.inner.cache.lock().unwrap()
+        *lock(&self.inner.cache)
     }
 
     /// Attach a named report fragment (e.g. a dataset roll-up at close).
@@ -457,7 +468,7 @@ impl Profile {
         if !self.is_enabled() {
             return;
         }
-        let mut extras = self.inner.extras.lock().unwrap();
+        let mut extras = lock(&self.inner.extras);
         if let Some(e) = extras.iter_mut().find(|(n, _)| n == name) {
             e.1 = value;
         } else {
@@ -469,7 +480,7 @@ impl Profile {
     pub fn snapshot(&self) -> ProfileSnapshot {
         ProfileSnapshot {
             enabled: self.is_enabled(),
-            phase_nanos: self.inner.phase_nanos.lock().unwrap().clone(),
+            phase_nanos: lock(&self.inner.phase_nanos).clone(),
             wall_nanos: std::array::from_fn(|i| self.inner.wall_nanos[i].load(Ordering::Relaxed)),
             collectives: std::array::from_fn(|i| {
                 let c = &self.inner.collectives[i];
@@ -486,20 +497,20 @@ impl Profile {
                 self.inner.io_read_hist[i].load(Ordering::Relaxed)
             }),
             msg_hist: std::array::from_fn(|i| self.inner.msg_hist[i].load(Ordering::Relaxed)),
-            servers: self.inner.servers.lock().unwrap().clone(),
-            sieve_read: *self.inner.sieve_read.lock().unwrap(),
-            sieve_write: *self.inner.sieve_write.lock().unwrap(),
-            twophase: *self.inner.twophase.lock().unwrap(),
-            faults: *self.inner.faults.lock().unwrap(),
-            cache: *self.inner.cache.lock().unwrap(),
-            extras: self.inner.extras.lock().unwrap().clone(),
+            servers: lock(&self.inner.servers).clone(),
+            sieve_read: *lock(&self.inner.sieve_read),
+            sieve_write: *lock(&self.inner.sieve_write),
+            twophase: *lock(&self.inner.twophase),
+            faults: *lock(&self.inner.faults),
+            cache: *lock(&self.inner.cache),
+            extras: lock(&self.inner.extras).clone(),
         }
     }
 
     /// Zero every counter, keeping the enabled flag. Benchmarks call this
     /// between configurations.
     pub fn reset(&self) {
-        self.inner.phase_nanos.lock().unwrap().clear();
+        lock(&self.inner.phase_nanos).clear();
         for w in &self.inner.wall_nanos {
             w.store(0, Ordering::Relaxed);
         }
@@ -517,13 +528,13 @@ impl Profile {
                 b.store(0, Ordering::Relaxed);
             }
         }
-        self.inner.servers.lock().unwrap().clear();
-        *self.inner.sieve_read.lock().unwrap() = SieveCounters::default();
-        *self.inner.sieve_write.lock().unwrap() = SieveCounters::default();
-        *self.inner.twophase.lock().unwrap() = TwophaseCounters::default();
-        *self.inner.faults.lock().unwrap() = FaultCounters::default();
-        *self.inner.cache.lock().unwrap() = CacheCounters::default();
-        self.inner.extras.lock().unwrap().clear();
+        lock(&self.inner.servers).clear();
+        *lock(&self.inner.sieve_read) = SieveCounters::default();
+        *lock(&self.inner.sieve_write) = SieveCounters::default();
+        *lock(&self.inner.twophase) = TwophaseCounters::default();
+        *lock(&self.inner.faults) = FaultCounters::default();
+        *lock(&self.inner.cache) = CacheCounters::default();
+        lock(&self.inner.extras).clear();
     }
 }
 

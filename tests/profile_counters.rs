@@ -171,6 +171,69 @@ fn pipelined_rounds_keep_exact_phase_attribution() {
     }
 }
 
+/// Event tracing must be a pure observer: running the same workload with
+/// `pnc_trace_events` enabled and unset (the seed behavior) produces
+/// identical makespans, identical per-rank phase sums, and identical
+/// server byte counts — span recording never touches a virtual clock, and
+/// with the hint unset the recorder stays completely empty.
+#[test]
+fn tracing_does_not_perturb_phase_sums_or_byte_counts() {
+    let mut makespans = Vec::new();
+    let mut snaps = Vec::new();
+    for traced in [false, true] {
+        let cfg = SimConfig::test_small();
+        cfg.profile.set_enabled(true);
+        let pfs = Pfs::new(cfg.clone(), StorageMode::Full);
+        // Pipelined rounds, so the traced run exercises every span site.
+        let mut info = aligned_info()
+            .with("cb_buffer_size", "512")
+            .with("pnc_cb_pipeline", "enable");
+        if traced {
+            info = info.with("pnc_trace_events", "enable");
+        }
+        let run = run_world(NPROCS, cfg.clone(), move |comm| {
+            let mut ds = Dataset::create(comm, &pfs, "obs.nc", Version::Cdf1, &info).unwrap();
+            let d = ds.def_dim("x", NPROCS as u64 * PER_RANK).unwrap();
+            let v = ds.def_var("v", NcType::Float, &[d]).unwrap();
+            ds.enddef().unwrap();
+            let r = comm.rank() as u64;
+            let vals = vec![r as f32; PER_RANK as usize];
+            ds.iput_vara(v, &[r * PER_RANK], &[PER_RANK], &vals)
+                .unwrap();
+            ds.wait_all().unwrap();
+            let req = ds.iget_vara(v, &[r * PER_RANK], &[PER_RANK]).unwrap();
+            ds.wait_all().unwrap();
+            let back: Vec<f32> = ds.take_result(req).unwrap();
+            assert_eq!(back, vals);
+            ds.close().unwrap();
+        });
+        let spans = cfg.events.snapshot().spans.len();
+        if traced {
+            assert!(spans > 0, "traced run must record spans");
+        } else {
+            assert_eq!(spans, 0, "seed behavior: hint unset records nothing");
+        }
+        makespans.push(run.makespan);
+        snaps.push(cfg.profile.snapshot());
+    }
+    assert_eq!(
+        makespans[0], makespans[1],
+        "tracing must not move any virtual clock"
+    );
+    for rank in 0..NPROCS {
+        assert_eq!(
+            snaps[0].phase_nanos[rank], snaps[1].phase_nanos[rank],
+            "rank {rank} phase sums must be identical with tracing on/off"
+        );
+    }
+    assert_eq!(snaps[0].servers.len(), snaps[1].servers.len());
+    for (a, b) in snaps[0].servers.iter().zip(snaps[1].servers.iter()) {
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.bytes_written, b.bytes_written);
+        assert_eq!(a.bytes_read, b.bytes_read);
+    }
+}
+
 /// `close` reduces the per-rank dataset counters across the communicator
 /// and rank 0 attaches the global roll-up to the shared trace profile.
 #[test]

@@ -70,16 +70,18 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn parcel_codec_roundtrips(runs in arb_runs(), seed in any::<u8>()) {
+    fn parcel_codec_roundtrips(runs in arb_runs(), seed in any::<u8>(), trace_id in any::<u64>()) {
         let data = data_for(&runs, seed);
-        let write_parcel = encode_write_req(&runs, &data);
-        let (r2, d2) = decode_req(&write_parcel).unwrap();
+        let write_parcel = encode_write_req(&runs, &data, trace_id);
+        let (r2, d2, id2) = decode_req(&write_parcel).unwrap();
         prop_assert_eq!(&r2, &runs);
         prop_assert_eq!(d2, &data[..]);
-        let read_parcel = encode_read_req(&runs);
-        let (r3, d3) = decode_req(&read_parcel).unwrap();
+        prop_assert_eq!(id2, trace_id);
+        let read_parcel = encode_read_req(&runs, trace_id);
+        let (r3, d3, id3) = decode_req(&read_parcel).unwrap();
         prop_assert_eq!(&r3, &runs);
         prop_assert!(d3.is_empty());
+        prop_assert_eq!(id3, trace_id);
     }
 
     #[test]
