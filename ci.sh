@@ -41,6 +41,26 @@ done
 rm -rf "$report_dir"
 echo "    fault report OK: injection and recovery counters present"
 
+echo "==> failover smoke: parity carries the checkpoint through a server crash"
+report_dir=$(mktemp -d)
+PNETCDF_REPORT_DIR="$report_dir" ./target/release/failover_smoke
+report="$report_dir/failover_smoke.profile.json"
+[ -f "$report" ] || { echo "FAIL: $report was not written"; exit 1; }
+for key in degraded_reads reconstructed_bytes redirected_writes rebuilds \
+           rebuilt_bytes parity_updates epochs rebuild_time; do
+    grep -q "\"$key\"" "$report" || { echo "FAIL: report missing key \"$key\""; exit 1; }
+done
+# The degraded-mode counters must actually have moved: a zero here means
+# the crash never engaged the parity layer.
+for key in degraded_reads reconstructed_bytes redirected_writes rebuilds; do
+    grep -q "\"$key\": 0\b" "$report" \
+        && { echo "FAIL: failover counter \"$key\" is zero"; exit 1; }
+done
+grep -q '"byte_identical": true' "$report" \
+    || { echo "FAIL: degraded/rebuilt file diverged from fault-free run"; exit 1; }
+rm -rf "$report_dir"
+echo "    failover report OK: degraded reads, redirects, and rebuild all engaged"
+
 echo "==> cache smoke: FLASH checkpoint through the client page cache"
 report_dir=$(mktemp -d)
 PNETCDF_REPORT_DIR="$report_dir" ./target/release/cache_smoke

@@ -84,16 +84,18 @@ fn main() {
         faulty.bandwidth_mb_s, fc.faults_injected, fc.retries
     );
 
-    // 3. Permanent crash mid-write: identical error everywhere, bounded time.
+    // 3. Crash-without-restart mid-write, NO parity (the redundancy-free
+    //    baseline the failover_smoke contrasts with): identical agreed
+    //    error on every rank, bounded virtual time, and the failover
+    //    machinery never engages.
     let crash_at = Time::from_nanos(clean.time.as_nanos() / 2);
-    let plan = FaultPlan {
-        crash: Some(hpc_sim::CrashSpec {
-            server: 0,
-            at: crash_at,
-            restart: None,
-        }),
-        ..FaultPlan::default()
-    };
+    let spec = format!("crash=server:0@t>{}", crash_at.as_nanos());
+    let plan = FaultPlan::from_spec(&spec).expect("valid crash spec");
+    assert_eq!(
+        FaultPlan::from_spec(&plan.to_string()).expect("display reparses"),
+        plan,
+        "FAIL: crash spec does not round-trip through Display"
+    );
     let crash_sim = SimConfig::asci_frost().builder().faults(plan).build();
     crash_sim.profile.set_enabled(true);
     let pfs = Pfs::new(crash_sim.clone(), StorageMode::Full);
@@ -138,9 +140,52 @@ fn main() {
     );
     let cc = crash_sim.profile.fault_counters();
     assert!(cc.exhausted > 0 && cc.agreed_errors > 0, "FAIL: {cc:?}");
+    assert_eq!(
+        crash_sim.profile.failover_counters(),
+        Default::default(),
+        "FAIL: failover engaged without parity"
+    );
     println!(
         "  crash:     identical error on all {NPROCS} ranks after {:?} virtual",
         run.makespan
+    );
+
+    // 4. Two crash windows, each with a restart short enough for the
+    //    retry ladder to wait out (no parity needed): the multi-window
+    //    plan recovers to a byte-identical file.
+    // The aggregated flush issues server requests at a handful of round
+    // instants, so each window spans a broad slice of the flush period —
+    // 90 ms, still inside the ~100 ms the backoff ladder can wait out.
+    let w1 = Time::from_nanos(clean.time.as_nanos() * 35 / 100);
+    let w2 = Time::from_nanos(clean.time.as_nanos() * 70 / 100);
+    let outage = Time::from_millis(90);
+    let spec = format!(
+        "crash=server:0@t>{},restart={},crash=server:1@t>{},restart={}",
+        w1.as_nanos(),
+        (w1 + outage).as_nanos(),
+        w2.as_nanos(),
+        (w2 + outage).as_nanos(),
+    );
+    let plan = FaultPlan::from_spec(&spec).expect("valid multi-window spec");
+    assert_eq!(
+        FaultPlan::from_spec(&plan.to_string()).expect("display reparses"),
+        plan,
+        "FAIL: multi-window spec does not round-trip through Display"
+    );
+    let windows_sim = SimConfig::asci_frost().builder().faults(plan).build();
+    windows_sim.profile.set_enabled(true);
+    let (windowed_bytes, windowed) = checkpoint_bytes(windows_sim.clone());
+    assert_eq!(
+        clean_bytes, windowed_bytes,
+        "FAIL: crash windows with restarts changed the file contents"
+    );
+    let wc = windows_sim.profile.fault_counters();
+    assert!(wc.crashed > 0, "FAIL: no window was ever hit: {wc:?}");
+    assert!(wc.retries > 0, "FAIL: recovery never retried: {wc:?}");
+    assert_eq!(wc.exhausted, 0, "FAIL: a short outage exhausted: {wc:?}");
+    println!(
+        "  windows:   {:.1} MB/s through two {:?} outages, byte-identical",
+        windowed.bandwidth_mb_s, outage
     );
 
     write_report(

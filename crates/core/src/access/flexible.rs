@@ -129,7 +129,7 @@ impl Dataset {
             .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
 
         let req = self.lower_put(varid, start, count, stride, ext)?;
-        self.execute_put_now(req, collective)
+        self.execute_put_now(&req, collective)
     }
 
     /// Collective flexible read (`ncmpi_get_vara_all`).

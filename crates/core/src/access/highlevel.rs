@@ -11,6 +11,7 @@ use pnetcdf_format::types::{from_external, to_external};
 use pnetcdf_format::NcValue;
 
 use crate::access::map::{gather_by_imap, scatter_by_imap};
+use crate::access::request;
 use crate::dataset::Dataset;
 use crate::error::{NcmpiError, NcmpiResult};
 
@@ -50,14 +51,23 @@ impl Dataset {
         } else {
             lowered?
         };
-        let done = self.execute_put_now(req, collective);
+        let done = self.execute_put_now(&req, collective);
         // Execution faults can be aggregator-local (a storage fault that
         // exhausted one rank's retry budget), so agree on those too.
-        if collective {
-            self.agree(done)
-        } else {
-            done
+        let mut done = if collective { self.agree(done) } else { done };
+        // Server failover: the agreed (or, independently, local) verdict
+        // says a crashed server is coverable by parity — mark it down
+        // (idempotent) and re-issue the same write once in degraded mode.
+        if let Some(server) = request::agreed_server_lost(&done) {
+            self.file.raw().mark_server_down(server);
+            let retried = self.execute_put_now(&req, collective);
+            done = if collective {
+                self.agree(retried)
+            } else {
+                retried
+            };
         }
+        done
     }
 
     fn get_region<T: NcValue>(
@@ -102,7 +112,19 @@ impl Dataset {
             lowered?
         };
         let got = self.execute_get_now(&req, collective);
-        let ext = if collective { self.agree(got)? } else { got? };
+        let mut got = if collective { self.agree(got) } else { got };
+        // Server failover on reads: degraded mode reconstructs the lost
+        // server's chunks from surviving data + parity.
+        if let Some(server) = request::agreed_server_lost(&got) {
+            self.file.raw().mark_server_down(server);
+            let retried = self.execute_get_now(&req, collective);
+            got = if collective {
+                self.agree(retried)
+            } else {
+                retried
+            };
+        }
+        let ext = got?;
         self.comm
             .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
         Ok(from_external(&ext, nctype)?)

@@ -21,7 +21,7 @@ use hpc_sim::{Span, Time, TraceCtx};
 use pnetcdf_format::types::{from_external, to_external};
 use pnetcdf_format::{NcType, NcValue};
 use pnetcdf_mpi::{pack, Datatype, ReduceOp, Request};
-use pnetcdf_mpio::Run;
+use pnetcdf_mpio::{MpioError, Run};
 
 use crate::convert;
 use crate::dataset::{DataMode, Dataset};
@@ -180,6 +180,15 @@ fn extract_runs(cov: &[Run], pos: &[u64], data: &[u8], runs: &[Run]) -> Vec<u8> 
     out
 }
 
+/// The agreed (or local, in independent mode) server index when `res` is
+/// the failover-eligible lost-server verdict, `None` otherwise.
+pub(crate) fn agreed_server_lost<T>(res: &NcmpiResult<T>) -> Option<usize> {
+    match res {
+        Err(NcmpiError::Mpio(MpioError::ServerLost { server, .. })) => Some(*server),
+        _ => None,
+    }
+}
+
 // ---- the engine ------------------------------------------------------------
 
 impl Dataset {
@@ -290,7 +299,7 @@ impl Dataset {
     }
 
     /// Execute one put immediately (the blocking path).
-    pub(crate) fn execute_put_now(&mut self, req: AccessReq, collective: bool) -> NcmpiResult<()> {
+    pub(crate) fn execute_put_now(&mut self, req: &AccessReq, collective: bool) -> NcmpiResult<()> {
         let events = self.comm.config().events.clone();
         let rid = events.is_enabled().then(|| events.next_id());
         let t0 = self.comm.now();
@@ -579,8 +588,18 @@ impl Dataset {
         // The queue is already drained (`mem::take`) and `flush_merged`
         // records a per-request error result for every get it could not
         // serve, so even a failed flush leaves no stale requests behind.
-        let flushed = self.flush_merged(reqs, global[0] != 0, global[1] != 0, true);
-        let flushed = self.agree(flushed);
+        let flushed = self.flush_merged(&reqs, global[0] != 0, global[1] != 0, true);
+        let mut flushed = self.agree(flushed);
+        // Server failover: when the *agreed* outcome is a lost-but-
+        // coverable server, every rank — driven by the same agreed error,
+        // so at the same operation — marks it down (idempotently) and the
+        // whole collective retries once in degraded mode. Puts re-issue
+        // the same bytes (idempotent); gets overwrite their error results.
+        if let Some(server) = agreed_server_lost(&flushed) {
+            self.file.raw().mark_server_down(server);
+            let retried = self.flush_merged(&reqs, global[0] != 0, global[1] != 0, true);
+            flushed = self.agree(retried);
+        }
         if flushed.is_ok() && global[2] != 0 {
             self.reconcile_numrecs()?;
         }
@@ -593,7 +612,15 @@ impl Dataset {
         let reqs = std::mem::take(&mut self.pending);
         let do_puts = reqs.iter().any(|r| r.kind == AccessKind::Put);
         let do_gets = reqs.iter().any(|r| r.kind == AccessKind::Get);
-        self.flush_merged(reqs, do_puts, do_gets, false)
+        let flushed = self.flush_merged(&reqs, do_puts, do_gets, false);
+        // Independent-mode failover: no agreement round — the shared mark
+        // is idempotent, so whichever rank escalates first flips it and
+        // the others find it already down.
+        if let Some(server) = agreed_server_lost(&flushed) {
+            self.file.raw().mark_server_down(server);
+            return self.flush_merged(&reqs, do_puts, do_gets, false);
+        }
+        flushed
     }
 
     /// Merge and issue the pending queue: at most one write and one read.
@@ -601,7 +628,7 @@ impl Dataset {
     /// observes the new data.
     fn flush_merged(
         &mut self,
-        reqs: Vec<AccessReq>,
+        reqs: &[AccessReq],
         do_puts: bool,
         do_gets: bool,
         collective: bool,
@@ -611,7 +638,7 @@ impl Dataset {
         let rank = self.comm.world_rank();
         let mut failure: Option<NcmpiError> = None;
         if do_puts {
-            let (runs, staging) = merge_puts(&reqs);
+            let (runs, staging) = merge_puts(reqs);
             // Merging N staged buffers into one is memcpy work.
             self.comm
                 .advance(self.comm.config().cpu.pack(staging.len(), 1.0));
@@ -676,7 +703,7 @@ impl Dataset {
                     self.results.insert(req.id.id(), Err(e.clone()));
                 }
             } else {
-                let cov = merge_gets(&reqs);
+                let cov = merge_gets(reqs);
                 let rid = if tracing { events.next_id() } else { 0 };
                 let t0 = self.comm.now();
                 let read = {

@@ -37,7 +37,11 @@ pub(crate) fn severity(e: &NcmpiError) -> u8 {
         NcmpiError::Mpio(MpioError::Access(_))
         | NcmpiError::Mpio(MpioError::InvalidArgument(_)) => 6,
         NcmpiError::Mpio(MpioError::Exhausted { .. }) => 7,
-        NcmpiError::Mpio(MpioError::Mpi(_)) | NcmpiError::Mpi(_) => 8,
+        // A lost server outranks plain exhaustion: if any rank saw a
+        // failover-eligible crash, the whole collective should escalate
+        // to the degraded-mode retry rather than give up.
+        NcmpiError::Mpio(MpioError::ServerLost { .. }) => 8,
+        NcmpiError::Mpio(MpioError::Mpi(_)) | NcmpiError::Mpi(_) => 9,
     }
 }
 
@@ -58,6 +62,7 @@ const T_MPIO_INVALID: u8 = 10;
 const T_MPIO_EXHAUSTED: u8 = 11;
 const T_MPI_POISONED: u8 = 12;
 const T_MPI_OTHER: u8 = 13;
+const T_MPIO_SERVER_LOST: u8 = 14;
 
 /// Encode a local error for the agreement exchange.
 pub(crate) fn encode(e: &NcmpiError) -> Vec<u8> {
@@ -75,6 +80,9 @@ pub(crate) fn encode(e: &NcmpiError) -> Vec<u8> {
         NcmpiError::Mpio(MpioError::InvalidArgument(m)) => (T_MPIO_INVALID, 0, m.clone()),
         NcmpiError::Mpio(MpioError::Exhausted { attempts, message }) => {
             (T_MPIO_EXHAUSTED, *attempts, message.clone())
+        }
+        NcmpiError::Mpio(MpioError::ServerLost { server, message }) => {
+            (T_MPIO_SERVER_LOST, *server as u32, message.clone())
         }
         NcmpiError::Mpi(MpiError::Poisoned)
         | NcmpiError::Mpio(MpioError::Mpi(MpiError::Poisoned)) => {
@@ -115,6 +123,10 @@ pub(crate) fn decode(bytes: &[u8]) -> NcmpiError {
         T_MPIO_INVALID => NcmpiError::Mpio(MpioError::InvalidArgument(msg)),
         T_MPIO_EXHAUSTED => NcmpiError::Mpio(MpioError::Exhausted {
             attempts: extra,
+            message: msg,
+        }),
+        T_MPIO_SERVER_LOST => NcmpiError::Mpio(MpioError::ServerLost {
+            server: extra as usize,
             message: msg,
         }),
         T_MPI_POISONED => NcmpiError::Mpi(MpiError::Poisoned),
@@ -162,6 +174,10 @@ mod tests {
             attempts: 12,
             message: "write of 42 bytes".into(),
         }));
+        roundtrip(NcmpiError::Mpio(MpioError::ServerLost {
+            server: 3,
+            message: "write of 42 bytes".into(),
+        }));
         roundtrip(NcmpiError::Mpi(MpiError::Poisoned));
     }
 
@@ -191,6 +207,20 @@ mod tests {
         // Highest severity wins regardless of rank position.
         let got = pick(&[ok.clone(), arg.clone(), exhausted.clone()]).unwrap();
         assert!(matches!(got, NcmpiError::Mpio(MpioError::Exhausted { .. })));
+        // A failover-eligible lost server outranks exhaustion, so one
+        // escalating rank carries the whole collective into failover.
+        let lost = encode(&NcmpiError::Mpio(MpioError::ServerLost {
+            server: 2,
+            message: "crashed".into(),
+        }));
+        let got = pick(&[exhausted.clone(), lost]).unwrap();
+        assert_eq!(
+            got,
+            NcmpiError::Mpio(MpioError::ServerLost {
+                server: 2,
+                message: "crashed".into(),
+            })
+        );
         // Equal severity: lowest rank wins.
         let got = pick(&[ok, arg, arg2]).unwrap();
         assert_eq!(got, NcmpiError::InvalidArgument("rank 1 bad".into()));

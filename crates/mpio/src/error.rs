@@ -21,6 +21,16 @@ pub enum MpioError {
         /// Human-readable description of the failing operation.
         message: String,
     },
+    /// The retry budget ran out against a single crashed server *and* the
+    /// parity layer can route around it: the collective error agreement
+    /// turns this into one agreed verdict, every rank marks the server
+    /// down, and the operation is retried in degraded mode.
+    ServerLost {
+        /// Index of the crashed server.
+        server: usize,
+        /// Human-readable description of the failing operation.
+        message: String,
+    },
 }
 
 impl fmt::Display for MpioError {
@@ -34,6 +44,9 @@ impl fmt::Display for MpioError {
                     f,
                     "I/O retry budget exhausted after {attempts} attempts: {message}"
                 )
+            }
+            MpioError::ServerLost { server, message } => {
+                write!(f, "I/O server {server} lost (failover eligible): {message}")
             }
         }
     }

@@ -10,7 +10,7 @@ use pnetcdf_pfs::{Pfs, PfsFile};
 
 use crate::cache::{CacheConfig, CacheLedger, PageCache};
 use crate::error::{MpioError, MpioResult};
-use crate::hints::Hints;
+use crate::hints::{Hints, Toggle};
 use crate::sieve;
 use crate::twophase::{self, TwoPhaseParams};
 use crate::view::{runs_total, FileView, FlattenCache, Run};
@@ -67,6 +67,12 @@ impl MpiFile {
             // admission queue. The servers are shared, so the hint is
             // global — exactly like striping parameters on a real PFS.
             pfs.set_queue_depth(depth);
+        }
+        if hints.parity != Toggle::Auto {
+            // `pnc_parity`: toggle the declustered-parity failover layer.
+            // Like the queue depth, the redundancy scheme is a property of
+            // the shared storage array, so the hint is global.
+            pfs.set_parity(hints.parity.resolve(false));
         }
         let env = comm.coll_env();
         let pfs = pfs.clone();

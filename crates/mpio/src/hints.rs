@@ -85,6 +85,12 @@ pub struct Hints {
     /// the shared `hpc_sim::TraceLog`. Default: disabled (`Auto` resolves
     /// to off — tracing is opt-in per run).
     pub trace_events: Toggle,
+    /// Declustered-parity redundancy across the I/O servers
+    /// (`pnc_parity`): RAID-5-style rotated parity plus server failover —
+    /// degraded reads, redirected writes, online rebuild. Default:
+    /// disabled (`Auto` resolves to off; the parity-off stack is
+    /// byte- and timing-identical to a build without the layer).
+    pub parity: Toggle,
 }
 
 impl Default for Hints {
@@ -106,6 +112,7 @@ impl Default for Hints {
             server_queue_depth: None,
             cb_affinity: Toggle::Auto,
             trace_events: Toggle::Auto,
+            parity: Toggle::Auto,
         }
     }
 }
@@ -145,6 +152,7 @@ impl Hints {
             server_queue_depth: info.get_usize("pnc_server_queue_depth"),
             cb_affinity: Toggle::parse(info.get("pnc_cb_affinity")),
             trace_events: Toggle::parse(info.get("pnc_trace_events")),
+            parity: Toggle::parse(info.get("pnc_parity")),
         }
     }
 
@@ -267,6 +275,18 @@ mod tests {
         assert!(!h.cb_affinity.resolve(true));
         let h = Hints::from_info(&Info::new().with("pnc_server_queue_depth", "16"));
         assert_eq!(h.server_queue_depth, Some(16));
+    }
+
+    #[test]
+    fn parity_hint() {
+        let d = Hints::from_info(&Info::new());
+        assert_eq!(d.parity, Toggle::Auto);
+        assert!(!d.parity.resolve(false), "parity defaults off");
+        let h = Hints::from_info(&Info::new().with("pnc_parity", "enable"));
+        assert_eq!(h.parity, Toggle::Enable);
+        assert!(h.parity.resolve(false));
+        let h = Hints::from_info(&Info::new().with("pnc_parity", "disable"));
+        assert!(!h.parity.resolve(false));
     }
 
     #[test]

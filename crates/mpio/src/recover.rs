@@ -22,7 +22,7 @@
 //! `short_completions`, `exhausted`).
 
 use hpc_sim::trace::events::{layer, stage};
-use hpc_sim::{Span, Time, TraceCtx};
+use hpc_sim::{FaultKind, Span, Time, TraceCtx};
 use pnetcdf_pfs::{IoFailure, PfsFile, WriteCompletion};
 
 use crate::error::{MpioError, MpioResult};
@@ -93,6 +93,40 @@ fn record_exhausted(file: &PfsFile) {
     file.profile().record_fault(|f| f.exhausted += 1);
 }
 
+/// Tracks whether the failure streak that is about to exhaust the budget
+/// was caused by *one crashed server* — the precondition for escalating to
+/// server failover instead of a terminal `Exhausted`.
+#[derive(Clone, Copy, Default)]
+struct Escalation {
+    crash: Option<usize>,
+}
+
+impl Escalation {
+    fn observe(&mut self, f: &IoFailure) {
+        self.crash = match (f.kind, self.crash) {
+            (FaultKind::Crashed, None) => Some(f.server),
+            (FaultKind::Crashed, Some(s)) if s == f.server => Some(s),
+            // Two distinct crashed servers, or a non-crash fault broke the
+            // streak: single-parity failover cannot help.
+            _ => None,
+        };
+    }
+
+    /// The terminal error once the budget is gone: `ServerLost` when the
+    /// whole streak hit one crashed server and the parity layer can cover
+    /// it, plain `Exhausted` otherwise. Either way the ladder *did*
+    /// exhaust, so the fault counter records it.
+    fn give_up(self, file: &PfsFile, attempts: u32, message: String) -> MpioError {
+        record_exhausted(file);
+        if let Some(server) = self.crash {
+            if file.can_failover(server) {
+                return MpioError::ServerLost { server, message };
+            }
+        }
+        MpioError::Exhausted { attempts, message }
+    }
+}
+
 /// Write `data` at `offset` with fault recovery. Returns the completion
 /// time, or [`MpioError::Exhausted`] once `policy.attempts` consecutive
 /// zero-progress attempts have failed.
@@ -108,10 +142,12 @@ pub fn write_at(
     let mut backoff = policy.base_backoff;
     let mut left = policy.attempts;
     let mut made = 0u32;
+    let mut esc = Escalation::default();
     while left > 0 {
         match file.try_write_at(t, offset + resume as u64, &data[resume..]) {
             Ok(done) => return Ok(done),
             Err(f) => {
+                esc.observe(&f);
                 record_retry(file, &f, backoff);
                 t = f.time + backoff;
                 if f.completed > 0 {
@@ -126,15 +162,15 @@ pub fn write_at(
             }
         }
     }
-    record_exhausted(file);
-    Err(MpioError::Exhausted {
-        attempts: made,
-        message: format!(
+    Err(esc.give_up(
+        file,
+        made,
+        format!(
             "write of {} bytes at offset {offset} of '{}'",
             data.len(),
             file.name()
         ),
-    })
+    ))
 }
 
 /// Like [`write_at`] but keeps the two-stage completion: `handoff` (server
@@ -154,10 +190,12 @@ pub fn write_at_detailed(
     let mut backoff = policy.base_backoff;
     let mut left = policy.attempts;
     let mut made = 0u32;
+    let mut esc = Escalation::default();
     while left > 0 {
         match file.try_write_at_detailed(t, offset + resume as u64, &data[resume..]) {
             Ok(done) => return Ok(done),
             Err(f) => {
+                esc.observe(&f);
                 record_retry(file, &f, backoff);
                 t = f.time + backoff;
                 if f.completed > 0 {
@@ -172,15 +210,15 @@ pub fn write_at_detailed(
             }
         }
     }
-    record_exhausted(file);
-    Err(MpioError::Exhausted {
-        attempts: made,
-        message: format!(
+    Err(esc.give_up(
+        file,
+        made,
+        format!(
             "write of {} bytes at offset {offset} of '{}'",
             data.len(),
             file.name()
         ),
-    })
+    ))
 }
 
 /// Drop the leading `skip` payload bytes from `runs` (run order), returning
@@ -218,11 +256,13 @@ pub fn write_runs(
     let mut backoff = policy.base_backoff;
     let mut left = policy.attempts;
     let mut made = 0u32;
+    let mut esc = Escalation::default();
     let mut tail: Vec<(u64, u64)> = runs.to_vec();
     while left > 0 {
         match file.try_write_runs(t, &tail, &data[resume as usize..]) {
             Ok(done) => return Ok(done),
             Err(f) => {
+                esc.observe(&f);
                 record_retry(file, &f, backoff);
                 t = f.time + backoff;
                 if f.completed > 0 {
@@ -238,15 +278,15 @@ pub fn write_runs(
             }
         }
     }
-    record_exhausted(file);
-    Err(MpioError::Exhausted {
-        attempts: made,
-        message: format!(
+    Err(esc.give_up(
+        file,
+        made,
+        format!(
             "vectored write of {total} bytes in {} runs of '{}'",
             runs.len(),
             file.name()
         ),
-    })
+    ))
 }
 
 /// Read into `buf` from `offset` with fault recovery; same policy as
@@ -264,10 +304,12 @@ pub fn read_at(
     let mut backoff = policy.base_backoff;
     let mut left = policy.attempts;
     let mut made = 0u32;
+    let mut esc = Escalation::default();
     while left > 0 {
         match file.try_read_at(t, offset + resume as u64, &mut buf[resume..]) {
             Ok(done) => return Ok(done),
             Err(f) => {
+                esc.observe(&f);
                 record_retry(file, &f, backoff);
                 t = f.time + backoff;
                 if f.completed > 0 {
@@ -282,14 +324,14 @@ pub fn read_at(
             }
         }
     }
-    record_exhausted(file);
-    Err(MpioError::Exhausted {
-        attempts: made,
-        message: format!(
+    Err(esc.give_up(
+        file,
+        made,
+        format!(
             "read of {len} bytes at offset {offset} of '{}'",
             file.name()
         ),
-    })
+    ))
 }
 
 #[cfg(test)]
@@ -350,11 +392,11 @@ mod tests {
     #[test]
     fn permanent_crash_exhausts_in_bounded_virtual_time() {
         let (f, cfg) = faulty_file(FaultPlan {
-            crash: Some(CrashSpec {
+            crashes: vec![CrashSpec {
                 server: 0,
                 at: Time::ZERO,
                 restart: None,
-            }),
+            }],
             ..FaultPlan::default()
         });
         let policy = RetryPolicy::default();
@@ -371,11 +413,11 @@ mod tests {
         // Server 0 is down from t=0 and restarts at 1 ms; the backoff
         // schedule walks past the outage and the write completes.
         let (f, _cfg) = faulty_file(FaultPlan {
-            crash: Some(CrashSpec {
+            crashes: vec![CrashSpec {
                 server: 0,
                 at: Time::ZERO,
                 restart: Some(Time::from_millis(1)),
-            }),
+            }],
             ..FaultPlan::default()
         });
         let policy = RetryPolicy::default();

@@ -113,14 +113,8 @@ pub fn encode_read_req(runs: &[Run], trace_id: u64) -> Vec<u8> {
 /// validated before any slice is taken: a truncated or corrupt exchange
 /// parcel yields [`MpioError::InvalidArgument`] rather than a panic.
 pub fn decode_req(parcel: &[u8]) -> MpioResult<(Vec<Run>, &[u8], u64)> {
-    if parcel.len() < 16 {
-        return Err(MpioError::InvalidArgument(format!(
-            "exchange parcel too short: {} bytes, need at least 16",
-            parcel.len()
-        )));
-    }
-    let trace_id = u64::from_ne_bytes(parcel[..8].try_into().unwrap());
-    let n = u64::from_ne_bytes(parcel[8..16].try_into().unwrap()) as usize;
+    let trace_id = read_u64(parcel, 0)?;
+    let n = read_u64(parcel, 8)? as usize;
     let runs_end = n
         .checked_mul(16)
         .and_then(|b| b.checked_add(16))
@@ -132,14 +126,42 @@ pub fn decode_req(parcel: &[u8]) -> MpioResult<(Vec<Run>, &[u8], u64)> {
             ))
         })?;
     let mut runs = Vec::with_capacity(n);
+    let mut total = 0u64;
     let mut pos = 16;
     while pos < runs_end {
-        let off = u64::from_ne_bytes(parcel[pos..pos + 8].try_into().unwrap());
-        let len = u64::from_ne_bytes(parcel[pos + 8..pos + 16].try_into().unwrap());
+        let off = read_u64(parcel, pos)?;
+        let len = read_u64(parcel, pos + 8)?;
+        total = total.checked_add(len).ok_or_else(|| {
+            MpioError::InvalidArgument("exchange parcel run lengths overflow u64".to_string())
+        })?;
         runs.push((off, len));
         pos += 16;
     }
-    Ok((runs, &parcel[runs_end..], trace_id))
+    let data = &parcel[runs_end..];
+    // A write parcel carries exactly the runs' payload; a read parcel
+    // carries none. Anything else is a truncated or oversized exchange.
+    if !data.is_empty() && data.len() as u64 != total {
+        return Err(MpioError::InvalidArgument(format!(
+            "exchange parcel payload is {} bytes but its runs cover {total}",
+            data.len()
+        )));
+    }
+    Ok((runs, data, trace_id))
+}
+
+/// Checked little-slice read used by [`decode_req`]: a parcel crossing the
+/// rank boundary is untrusted input, so every fixed-width field goes
+/// through a bounds check instead of a panicking `try_into().unwrap()`.
+fn read_u64(parcel: &[u8], pos: usize) -> MpioResult<u64> {
+    parcel
+        .get(pos..pos + 8)
+        .map(|b| u64::from_ne_bytes(b.try_into().expect("slice is 8 bytes")))
+        .ok_or_else(|| {
+            MpioError::InvalidArgument(format!(
+                "exchange parcel truncated: field at byte {pos} needs 8 bytes, parcel holds {}",
+                parcel.len()
+            ))
+        })
 }
 
 // ---- file domains -----------------------------------------------------------

@@ -1,0 +1,91 @@
+//! Fuzzing for the two-phase exchange parcel codec: a parcel crosses the
+//! rank boundary, so [`decode_req`] must reject truncated, oversized, or
+//! corrupt input with an error — never a panic — and must round-trip
+//! everything [`encode_write_req`] produces.
+
+use proptest::prelude::*;
+
+use pnetcdf_mpio::twophase::{decode_req, encode_read_req, encode_write_req};
+
+fn runs_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..1 << 40, 0u64..4096), 0..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn write_parcels_round_trip(runs in runs_strategy(), trace_id in any::<u64>()) {
+        let total: u64 = runs.iter().map(|&(_, len)| len).sum();
+        let data: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+        let parcel = encode_write_req(&runs, &data, trace_id);
+        let (got_runs, got_data, got_id) = decode_req(&parcel).expect("valid parcel");
+        prop_assert_eq!(got_runs, runs);
+        prop_assert_eq!(got_data, &data[..]);
+        prop_assert_eq!(got_id, trace_id);
+    }
+
+    #[test]
+    fn read_parcels_round_trip(runs in runs_strategy(), trace_id in any::<u64>()) {
+        let parcel = encode_read_req(&runs, trace_id);
+        let (got_runs, got_data, got_id) = decode_req(&parcel).expect("valid parcel");
+        prop_assert_eq!(got_runs, runs);
+        prop_assert!(got_data.is_empty());
+        prop_assert_eq!(got_id, trace_id);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(parcel in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Error or success, but never a panic or an out-of-bounds slice.
+        let _ = decode_req(&parcel);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic(
+        runs in runs_strategy(),
+        trace_id in any::<u64>(),
+        cut in 0usize..100,
+    ) {
+        let total: u64 = runs.iter().map(|&(_, len)| len).sum();
+        let data: Vec<u8> = vec![7u8; total as usize];
+        let parcel = encode_write_req(&runs, &data, trace_id);
+        let cut = cut.min(parcel.len());
+        let trimmed = &parcel[..parcel.len() - cut];
+        match decode_req(trimmed) {
+            // A cut confined to the payload of the *last* runs can only be
+            // detected by the payload-length check; any cut into the header
+            // or run table must fail too. Whatever succeeds must describe
+            // a consistent parcel.
+            Ok((got_runs, got_data, _)) => {
+                let got_total: u64 = got_runs.iter().map(|&(_, len)| len).sum();
+                prop_assert!(got_data.is_empty() || got_data.len() as u64 == got_total);
+            }
+            Err(e) => {
+                prop_assert!(e.to_string().contains("parcel"), "unexpected error: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected(
+        runs in runs_strategy(),
+        trace_id in any::<u64>(),
+        extra in 1usize..64,
+    ) {
+        let total: u64 = runs.iter().map(|&(_, len)| len).sum();
+        let data: Vec<u8> = vec![9u8; total as usize];
+        let mut parcel = encode_write_req(&runs, &data, trace_id);
+        parcel.extend(std::iter::repeat_n(0xAAu8, extra));
+        prop_assert!(decode_req(&parcel).is_err(), "trailing junk must not decode");
+    }
+
+    #[test]
+    fn declared_run_count_cannot_overrun(header_n in any::<u64>(), tail in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Hand-build a parcel whose run count is unrelated to its size.
+        let mut parcel = Vec::new();
+        parcel.extend_from_slice(&0u64.to_ne_bytes());
+        parcel.extend_from_slice(&header_n.to_ne_bytes());
+        parcel.extend_from_slice(&tail);
+        let _ = decode_req(&parcel); // must not panic or overflow
+    }
+}

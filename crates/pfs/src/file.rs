@@ -49,8 +49,8 @@ const LEGACY_ATTEMPTS: u32 = 25;
 /// clones address the same bytes and the same server queues.
 #[derive(Clone)]
 pub struct PfsFile {
-    inner: Arc<PfsInner>,
-    id: u64,
+    pub(crate) inner: Arc<PfsInner>,
+    pub(crate) id: u64,
     name: String,
 }
 
@@ -120,6 +120,9 @@ impl PfsFile {
             });
         }
         let cfg = &self.inner.cfg;
+        let parity = self.parity_enabled();
+        let start = self.maybe_rebuild(start);
+        let down = self.active_down();
         let metadata_sized = data.len() as u64 <= crate::storage::METADATA_REQUEST_LIMIT;
         let mut by_server = self
             .inner
@@ -130,6 +133,8 @@ impl PfsFile {
         let mut cum_bytes: u64 = 0;
         let mut done = start;
         let mut handoff = start;
+        let mut rows = std::collections::BTreeSet::new();
+        let mut redirected = false;
         // Per-portion transfer status: (chunks, bytes transferred in
         // file-order within the portion, fault if any, server).
         let mut portions = Vec::with_capacity(by_server.len());
@@ -146,6 +151,20 @@ impl PfsFile {
                     &data[lo..lo + c.len as usize]
                 })
                 .collect();
+            if parity {
+                for c in chunks {
+                    rows.insert(self.inner.striping.parity_row_of(c.stripe));
+                }
+            }
+            if down == Some(*srv) {
+                // Degraded mode: the down server's engine is never
+                // touched; the payload is covered by the parity update
+                // after the data phase.
+                self.redirect_write_portion(*srv, chunks, &slices);
+                redirected = true;
+                portions.push((chunks.clone(), portion, None, *srv));
+                continue;
+            }
             let outcome = self.inner.servers[*srv].lock().write(
                 &cfg.disk,
                 self.id,
@@ -159,6 +178,15 @@ impl PfsFile {
             handoff = handoff.max(outcome.handoff());
             let fault = (!outcome.is_complete()).then(|| outcome.injected.unwrap());
             portions.push((chunks.clone(), outcome.bytes_done, fault, *srv));
+        }
+        if parity {
+            // A write is not durable until its parity is; a redirected
+            // portion additionally has no NIC handoff of its own, so the
+            // client may only proceed once parity holds its bytes.
+            done = done.max(self.update_parity_rows(&rows, done));
+            if redirected {
+                handoff = handoff.max(done);
+            }
         }
         match completed_prefix(&portions) {
             None => {
@@ -204,6 +232,9 @@ impl PfsFile {
             });
         }
         let cfg = &self.inner.cfg;
+        let parity = self.parity_enabled();
+        let start = self.maybe_rebuild(start);
+        let down = self.active_down();
         let metadata_sized = total <= crate::storage::METADATA_REQUEST_LIMIT;
 
         // Flatten every run's stripe chunks in file order, remembering each
@@ -240,6 +271,8 @@ impl PfsFile {
 
         let mut done = start;
         let mut handoff = start;
+        let mut rows = std::collections::BTreeSet::new();
+        let mut redirected = false;
         let mut portions = Vec::with_capacity(order.len());
         for &srv in &order {
             let group = &groups[srv];
@@ -252,6 +285,18 @@ impl PfsFile {
                 .iter()
                 .map(|&(c, pos, _)| &data[pos..pos + c.len as usize])
                 .collect();
+            if parity {
+                for c in &chunks {
+                    rows.insert(self.inner.striping.parity_row_of(c.stripe));
+                }
+            }
+            if down == Some(srv) {
+                let portion: u64 = chunks.iter().map(|c| c.len).sum();
+                self.redirect_write_portion(srv, &chunks, &slices);
+                redirected = true;
+                portions.push((chunks, portion, None, srv));
+                continue;
+            }
             let outcome = self.inner.servers[srv].lock().write(
                 &cfg.disk,
                 self.id,
@@ -265,6 +310,12 @@ impl PfsFile {
             handoff = handoff.max(outcome.handoff());
             let fault = (!outcome.is_complete()).then(|| outcome.injected.unwrap());
             portions.push((chunks, outcome.bytes_done, fault, srv));
+        }
+        if parity {
+            done = done.max(self.update_parity_rows(&rows, done));
+            if redirected {
+                handoff = handoff.max(done);
+            }
         }
         match completed_prefix(&portions) {
             None => {
@@ -324,6 +375,8 @@ impl PfsFile {
             return Ok(start);
         }
         let cfg = &self.inner.cfg;
+        let start = self.maybe_rebuild(start);
+        let down = self.active_down();
         let total = buf.len() as u64;
         let mut by_server = self.inner.striping.split_by_server(offset, total);
         by_server.sort_by_key(|(_, chunks)| chunks[0].file_offset);
@@ -347,6 +400,15 @@ impl PfsFile {
                 outs.push(mine);
                 consumed = lo + c.len;
                 rest = tail;
+            }
+            if down == Some(*srv) {
+                // Degraded mode: XOR-reconstruct this server's chunks from
+                // the surviving data + parity.
+                let portion: u64 = chunks.iter().map(|c| c.len).sum();
+                let t = self.reconstruct_read(*srv, chunks, &mut outs, arrival);
+                disks_done = disks_done.max(t);
+                portions.push((chunks.clone(), portion, None, *srv));
+                continue;
             }
             let outcome = self.inner.servers[*srv]
                 .lock()

@@ -2,7 +2,7 @@
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hpc_sim::{SimConfig, SimStats};
@@ -24,7 +24,34 @@ pub(crate) struct PfsInner {
     /// Lives here (not in `FileEntry`) so every handle to the same file
     /// shares one atomic.
     pub epochs: Mutex<HashMap<u64, Arc<AtomicU64>>>,
+    /// Whether the declustered-parity redundancy layer is on
+    /// (`pnc_parity` hint). Off by default: the parity-off stack is byte-
+    /// and timing-identical to a build without the layer.
+    pub parity: AtomicBool,
+    /// Declared-down server and the degraded-mode write log. Locked
+    /// *before* any server mutex (fixed order, no deadlock).
+    pub failover: Mutex<FailoverState>,
     next_id: AtomicU64,
+}
+
+/// Failover bookkeeping shared by every handle to the file system.
+/// Ordered maps keep rebuild replay deterministic.
+#[derive(Default)]
+pub(crate) struct FailoverState {
+    /// The server the ranks collectively agreed is down, if any.
+    pub down: Option<usize>,
+    /// Monotonic count of server-down epochs declared (profile fodder and
+    /// a cheap "did anything change" check for tests).
+    pub epoch: u64,
+    /// Per-file extents `(stripe, offset_in_stripe, len)` destined to the
+    /// down server while degraded. The payload is covered by parity on the
+    /// surviving servers; the restart rebuild replays exactly these
+    /// extents onto the returning server.
+    pub log: std::collections::BTreeMap<u64, Vec<(u64, u64, u64)>>,
+    /// Parity rows *owned by* the down server whose data changed while it
+    /// was out: their stored parity is stale and must be recomputed at
+    /// rebuild, or a later crash window would reconstruct garbage.
+    pub parity_dirty: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -64,6 +91,8 @@ impl Pfs {
                 servers,
                 files: Mutex::new(HashMap::new()),
                 epochs: Mutex::new(HashMap::new()),
+                parity: AtomicBool::new(false),
+                failover: Mutex::new(FailoverState::default()),
                 next_id: AtomicU64::new(1),
             }),
         }
@@ -142,6 +171,63 @@ impl Pfs {
         for s in &self.inner.servers {
             s.lock().set_queue_depth(depth);
         }
+    }
+
+    /// Turn the declustered-parity layer on or off (the `pnc_parity`
+    /// hint, applied at file open). Requires at least two servers to
+    /// enable — with one there is nowhere to decluster.
+    pub fn set_parity(&self, on: bool) {
+        let on = on && self.inner.striping.nservers >= 2;
+        self.inner.parity.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the parity layer is on.
+    pub fn parity_enabled(&self) -> bool {
+        self.inner.parity.load(Ordering::Relaxed)
+    }
+
+    /// Whether a retry ladder that exhausted against `server` may escalate
+    /// to failover instead of surfacing `Exhausted`: parity must be on and
+    /// no *other* server may already be down (single-parity survives one
+    /// loss). A server that is already marked down can keep failing over —
+    /// the mark is idempotent.
+    pub fn can_failover(&self, server: usize) -> bool {
+        if !self.parity_enabled() {
+            return false;
+        }
+        let fo = self.inner.failover.lock();
+        fo.down.map(|d| d == server).unwrap_or(true)
+    }
+
+    /// Declare `server` down, opening a degraded-mode epoch. Idempotent:
+    /// returns `true` only on the transition. Every rank calls this after
+    /// the collective error agreement picks the same `ServerLost`, so the
+    /// flip happens at the same operation on all ranks; callers must drive
+    /// control flow off the *agreed error*, not this return value.
+    pub fn mark_server_down(&self, server: usize) -> bool {
+        assert!(server < self.inner.striping.nservers);
+        let mut fo = self.inner.failover.lock();
+        if fo.down == Some(server) {
+            return false;
+        }
+        assert!(
+            fo.down.is_none(),
+            "single-parity failover cannot cover a second down server"
+        );
+        fo.down = Some(server);
+        fo.epoch += 1;
+        self.inner.cfg.profile.record_failover(|c| c.epochs += 1);
+        true
+    }
+
+    /// The server currently marked down, if any.
+    pub fn down_server(&self) -> Option<usize> {
+        self.inner.failover.lock().down
+    }
+
+    /// Count of server-down epochs declared so far.
+    pub fn failover_epoch(&self) -> u64 {
+        self.inner.failover.lock().epoch
     }
 }
 

@@ -23,6 +23,7 @@
 //! the caller (MPI-IO layer, or the serial library's POSIX adapter) owns the
 //! clock.
 
+pub mod failover;
 pub mod file;
 pub mod filesystem;
 pub mod posix;

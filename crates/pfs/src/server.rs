@@ -483,6 +483,34 @@ impl Server {
         }
     }
 
+    /// Charge a parity/rebuild *write* of `bytes` to this server's engine
+    /// without drawing a fault decision or advancing the `ops` counter:
+    /// redundancy maintenance must not perturb the `(seed, server_id, ops)`
+    /// fault sequence of the data path, so a parity-on run injects exactly
+    /// the faults a parity-off run would. Returns the durable (disk) time.
+    pub fn aux_write(&mut self, disk: &DiskModel, arrival: Time, bytes: u64) -> Time {
+        if bytes == 0 {
+            return arrival;
+        }
+        let disk_time = disk.request(bytes as usize, false);
+        self.engine
+            .write(arrival, bytes as usize, disk_time)
+            .disk_done
+    }
+
+    /// Charge a reconstruction/rebuild *read* of `bytes` (same no-fault,
+    /// no-`ops` contract as [`Server::aux_write`]). Returns the NIC
+    /// ship-back time.
+    pub fn aux_read(&mut self, disk: &DiskModel, arrival: Time, bytes: u64) -> Time {
+        if bytes == 0 {
+            return arrival;
+        }
+        let disk_time = disk.request(bytes as usize, false);
+        self.engine
+            .read(arrival, bytes as usize, disk_time)
+            .nic_done
+    }
+
     /// Drop stored stripes of `file` and forget its position state.
     pub fn remove_file(&mut self, file: u64) {
         self.store.remove_file(file);
@@ -670,11 +698,11 @@ mod tests {
     #[test]
     fn crashed_server_refuses_until_restart() {
         let plan = FaultPlan {
-            crash: Some(hpc_sim::CrashSpec {
+            crashes: vec![hpc_sim::CrashSpec {
                 server: 0,
                 at: Time::ZERO,
                 restart: Some(Time::from_millis(1)),
-            }),
+            }],
             ..FaultPlan::default()
         };
         let mut s = Server::with_faults(1024, StorageMode::Full, plan, 0);

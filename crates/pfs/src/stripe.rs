@@ -67,6 +67,35 @@ impl Striping {
         out
     }
 
+    /// Data stripes covered by one parity row: `N-1`, so a row's
+    /// consecutive stripes occupy `N-1` *distinct* servers and the one
+    /// server the row skips can hold its parity. Requires `nservers >= 2`
+    /// (with 2 servers each row is a single stripe and parity degenerates
+    /// to mirroring).
+    pub fn parity_row_width(&self) -> u64 {
+        assert!(self.nservers >= 2, "parity needs at least two servers");
+        (self.nservers - 1) as u64
+    }
+
+    /// Parity row covering data stripe `stripe`.
+    pub fn parity_row_of(&self, stripe: u64) -> u64 {
+        stripe / self.parity_row_width()
+    }
+
+    /// First data stripe of parity row `row`.
+    pub fn row_first_stripe(&self, row: u64) -> u64 {
+        row * self.parity_row_width()
+    }
+
+    /// Server holding the parity stripe of `row`: the one server none of
+    /// the row's `N-1` consecutive data stripes land on. Because
+    /// consecutive stripes walk the servers round-robin, this rotates
+    /// RAID-5-style — no dedicated parity server bottleneck.
+    pub fn parity_server_of(&self, row: u64) -> usize {
+        let n = self.nservers as u64;
+        ((self.row_first_stripe(row) + n - 1) % n) as usize
+    }
+
     /// Group a request's chunks by server, preserving file order within each
     /// server. Returns `(server, chunks)` for servers that are touched.
     pub fn split_by_server(&self, offset: u64, len: u64) -> Vec<(usize, Vec<StripeChunk>)> {
@@ -134,6 +163,36 @@ mod tests {
         assert!(chunks0
             .windows(2)
             .all(|w| w[0].file_offset < w[1].file_offset));
+    }
+
+    #[test]
+    fn parity_rows_never_collide_with_their_data() {
+        for n in 2..=8usize {
+            let s = Striping::new(64, n);
+            for row in 0..64u64 {
+                let p = s.parity_server_of(row);
+                let first = s.row_first_stripe(row);
+                let data: Vec<usize> = (first..first + s.parity_row_width())
+                    .map(|k| (k % n as u64) as usize)
+                    .collect();
+                // The row's data stripes cover N-1 distinct servers, none
+                // of them the parity server — a single server loss costs
+                // at most one unit per row, so every row reconstructs.
+                assert!(!data.contains(&p), "n={n} row={row}");
+                let mut uniq = data.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                assert_eq!(uniq.len(), n - 1, "n={n} row={row}");
+                for k in first..first + s.parity_row_width() {
+                    assert_eq!(s.parity_row_of(k), row);
+                }
+            }
+            // Parity rotates: over N consecutive rows every server takes a
+            // turn.
+            let mut seen: Vec<usize> = (0..n as u64).map(|r| s.parity_server_of(r)).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -66,8 +66,9 @@ pub struct FaultPlan {
     pub stall: f64,
     /// Extra latency of one stall.
     pub stall_time: Time,
-    /// Optional server crash window.
-    pub crash: Option<CrashSpec>,
+    /// Server crash windows, in spec order. Windows may overlap or target
+    /// the same server more than once (crash, restart, crash again).
+    pub crashes: Vec<CrashSpec>,
 }
 
 impl Default for FaultPlan {
@@ -78,7 +79,7 @@ impl Default for FaultPlan {
             short: 0.0,
             stall: 0.0,
             stall_time: Time::from_micros(500),
-            crash: None,
+            crashes: Vec::new(),
         }
     }
 }
@@ -86,7 +87,14 @@ impl Default for FaultPlan {
 impl FaultPlan {
     /// Whether this plan can ever inject a fault.
     pub fn is_active(&self) -> bool {
-        self.transient > 0.0 || self.short > 0.0 || self.stall > 0.0 || self.crash.is_some()
+        self.transient > 0.0 || self.short > 0.0 || self.stall > 0.0 || !self.crashes.is_empty()
+    }
+
+    /// Whether `server` is inside any crash window at virtual time `at`.
+    pub fn is_down(&self, server: usize, at: Time) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| server == c.server && at >= c.at && c.restart.map(|r| at < r).unwrap_or(true))
     }
 
     /// Decide the fault (if any) for one server operation.
@@ -99,13 +107,8 @@ impl FaultPlan {
     /// Crash windows dominate probabilistic faults: a request arriving
     /// while the server is down is always [`FaultKind::Crashed`].
     pub fn decide(&self, server: usize, op: u64, arrival: Time, bytes: u64) -> FaultKind {
-        if let Some(c) = self.crash {
-            let down = server == c.server
-                && arrival >= c.at
-                && c.restart.map(|r| arrival < r).unwrap_or(true);
-            if down {
-                return FaultKind::Crashed;
-            }
+        if self.is_down(server, arrival) {
+            return FaultKind::Crashed;
         }
         if self.transient <= 0.0 && self.short <= 0.0 && self.stall <= 0.0 {
             return FaultKind::None;
@@ -141,14 +144,16 @@ impl FaultPlan {
     /// Comma-separated `key=value` pairs:
     ///
     /// * `transient=<p>` / `short=<p>` / `stall=<p>` — per-op probabilities;
-    /// * `stall_us=<micros>` — stall latency (default 500µs);
+    /// * `stall_us=<micros>` / `stall_ns=<nanos>` — stall latency
+    ///   (default 500µs);
     /// * `seed=<u64>` — decision seed;
     /// * `crash=server:<idx>@t><nanos>` — crash server `idx` at the given
     ///   virtual nanosecond (scientific notation accepted, e.g. `t>1e6`);
-    /// * `restart=<nanos>` — bring the crashed server back at that time.
+    ///   may repeat, each occurrence opening a new crash window;
+    /// * `restart=<nanos>` — bring the most recently crashed server back at
+    ///   that time; binds to the preceding `crash=` item.
     pub fn from_spec(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
-        let mut restart: Option<Time> = None;
         for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
             let (key, value) = item
                 .split_once('=')
@@ -160,6 +165,9 @@ impl FaultPlan {
                 "stall_us" => {
                     plan.stall_time = Time::from_micros(parse_u64(value)?);
                 }
+                "stall_ns" => {
+                    plan.stall_time = Time::from_nanos(parse_nanos(value)?);
+                }
                 "seed" => plan.seed = parse_u64(value)?,
                 "crash" => {
                     let rest = value.strip_prefix("server:").ok_or_else(|| {
@@ -168,20 +176,23 @@ impl FaultPlan {
                     let (idx, at) = rest.split_once("@t>").ok_or_else(|| {
                         format!("crash spec {value:?} must look like server:<idx>@t><nanos>")
                     })?;
-                    plan.crash = Some(CrashSpec {
+                    plan.crashes.push(CrashSpec {
                         server: parse_u64(idx)? as usize,
                         at: Time::from_nanos(parse_nanos(at)?),
                         restart: None,
                     });
                 }
-                "restart" => restart = Some(Time::from_nanos(parse_nanos(value)?)),
+                "restart" => {
+                    let r = Time::from_nanos(parse_nanos(value)?);
+                    match plan.crashes.last_mut() {
+                        Some(c) if c.restart.is_none() => c.restart = Some(r),
+                        Some(_) => {
+                            return Err("restart= repeated for the same crash= window".to_string());
+                        }
+                        None => return Err("restart= given without crash=".to_string()),
+                    }
+                }
                 other => return Err(format!("unknown fault spec key {other:?}")),
-            }
-        }
-        if let Some(r) = restart {
-            match &mut plan.crash {
-                Some(c) => c.restart = Some(r),
-                None => return Err("restart= given without crash=".to_string()),
             }
         }
         Ok(plan)
@@ -195,6 +206,44 @@ impl FaultPlan {
             Ok(spec) => FaultPlan::from_spec(&spec),
             Err(_) => Ok(FaultPlan::default()),
         }
+    }
+}
+
+/// The canonical spec string: `FaultPlan::from_spec(&plan.to_string())`
+/// reproduces `plan` exactly. Only non-default fields are emitted, in a
+/// fixed order; times are plain nanoseconds (whole-microsecond stall
+/// latencies use `stall_us`, anything finer falls back to `stall_ns`).
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let d = FaultPlan::default();
+        let mut parts: Vec<String> = Vec::new();
+        if self.seed != d.seed {
+            parts.push(format!("seed={}", self.seed));
+        }
+        if self.transient != d.transient {
+            parts.push(format!("transient={}", self.transient));
+        }
+        if self.short != d.short {
+            parts.push(format!("short={}", self.short));
+        }
+        if self.stall != d.stall {
+            parts.push(format!("stall={}", self.stall));
+        }
+        if self.stall_time != d.stall_time {
+            let ns = self.stall_time.as_nanos();
+            if ns % 1000 == 0 {
+                parts.push(format!("stall_us={}", ns / 1000));
+            } else {
+                parts.push(format!("stall_ns={ns}"));
+            }
+        }
+        for c in &self.crashes {
+            parts.push(format!("crash=server:{}@t>{}", c.server, c.at.as_nanos()));
+            if let Some(r) = c.restart {
+                parts.push(format!("restart={}", r.as_nanos()));
+            }
+        }
+        write!(f, "{}", parts.join(","))
     }
 }
 
@@ -294,11 +343,11 @@ mod tests {
     #[test]
     fn crash_window_applies_to_one_server() {
         let plan = FaultPlan {
-            crash: Some(CrashSpec {
+            crashes: vec![CrashSpec {
                 server: 2,
                 at: Time::from_nanos(100),
                 restart: Some(Time::from_nanos(200)),
-            }),
+            }],
             ..FaultPlan::default()
         };
         assert!(plan.is_active());
@@ -315,6 +364,58 @@ mod tests {
             plan.decide(1, 0, Time::from_nanos(150), 64),
             FaultKind::None
         );
+        assert!(plan.is_down(2, Time::from_nanos(100)));
+        assert!(!plan.is_down(2, Time::from_nanos(200)));
+        assert!(!plan.is_down(1, Time::from_nanos(150)));
+    }
+
+    #[test]
+    fn multiple_crash_windows_cover_independent_spans() {
+        let plan = FaultPlan::from_spec(
+            "crash=server:1@t>100,restart=200,crash=server:1@t>400,restart=500,\
+             crash=server:3@t>50",
+        )
+        .unwrap();
+        assert_eq!(plan.crashes.len(), 3);
+        // Server 1 is down in two disjoint windows.
+        assert!(plan.is_down(1, Time::from_nanos(150)));
+        assert!(!plan.is_down(1, Time::from_nanos(300)));
+        assert!(plan.is_down(1, Time::from_nanos(450)));
+        assert!(!plan.is_down(1, Time::from_nanos(600)));
+        // Server 3 never restarts.
+        assert!(plan.is_down(3, Time::from_nanos(1_000_000)));
+        assert_eq!(
+            plan.decide(1, 7, Time::from_nanos(450), 64),
+            FaultKind::Crashed
+        );
+    }
+
+    #[test]
+    fn display_emits_canonical_spec_that_reparses() {
+        let plan = FaultPlan {
+            seed: 42,
+            transient: 0.01,
+            short: 0.5,
+            stall: 0.125,
+            stall_time: Time::from_nanos(1_234_567),
+            crashes: vec![
+                CrashSpec {
+                    server: 3,
+                    at: Time::from_nanos(1_000_000),
+                    restart: Some(Time::from_nanos(2_000_000)),
+                },
+                CrashSpec {
+                    server: 0,
+                    at: Time::from_nanos(5),
+                    restart: None,
+                },
+            ],
+        };
+        let spec = plan.to_string();
+        assert_eq!(FaultPlan::from_spec(&spec).unwrap(), plan);
+        // Default plan prints empty and reparses inert.
+        assert_eq!(FaultPlan::default().to_string(), "");
+        assert!(!FaultPlan::from_spec("").unwrap().is_active());
     }
 
     #[test]
@@ -325,7 +426,7 @@ mod tests {
         assert_eq!(plan.transient, 0.01);
         assert_eq!(plan.short, 0.02);
         assert_eq!(plan.stall, 0.005);
-        let c = plan.crash.unwrap();
+        let c = plan.crashes[0];
         assert_eq!(c.server, 3);
         assert_eq!(c.at, Time::from_nanos(1_000_000));
         assert_eq!(c.restart, None);
@@ -338,13 +439,16 @@ mod tests {
         assert!(FaultPlan::from_spec("transient").is_err());
         assert!(FaultPlan::from_spec("crash=3").is_err());
         assert!(FaultPlan::from_spec("restart=5").is_err());
+        // A second restart for the same window is an error, not a silent
+        // overwrite.
+        assert!(FaultPlan::from_spec("crash=server:0@t>1,restart=2,restart=3").is_err());
     }
 
     #[test]
     fn spec_with_restart_and_seed() {
         let plan = FaultPlan::from_spec("seed=42,crash=server:0@t>1000,restart=2000").unwrap();
         assert_eq!(plan.seed, 42);
-        let c = plan.crash.unwrap();
+        let c = plan.crashes[0];
         assert_eq!(c.restart, Some(Time::from_nanos(2000)));
     }
 

@@ -198,6 +198,35 @@ pub struct FaultCounters {
     pub agreed_errors: u64,
 }
 
+/// Parity/failover counters: what the redundancy layer did after the ranks
+/// agreed a server was down (degraded reads, redirected writes, parity
+/// maintenance, rebuild).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FailoverCounters {
+    /// Read requests that had chunks reconstructed from data + parity.
+    pub degraded_reads: u64,
+    /// Bytes XOR-reconstructed from surviving servers instead of read from
+    /// the down server.
+    pub reconstructed_bytes: u64,
+    /// Write requests with chunks redirected away from the down server.
+    pub redirected_writes: u64,
+    /// Bytes destined to the down server that were covered by parity
+    /// instead of stored there.
+    pub redirected_bytes: u64,
+    /// Parity rows recomputed and written after data writes.
+    pub parity_updates: u64,
+    /// Parity bytes written to surviving servers.
+    pub parity_bytes: u64,
+    /// Server-down epochs the ranks collectively agreed on.
+    pub epochs: u64,
+    /// Online rebuilds completed after a server restart.
+    pub rebuilds: u64,
+    /// Bytes replayed onto the restarted server from the parity log.
+    pub rebuilt_bytes: u64,
+    /// Virtual nanoseconds the rebuild replay occupied.
+    pub rebuild_nanos: u64,
+}
+
 /// Client page-cache counters (hits, misses, write-behind, readahead,
 /// coherence invalidations), summed over all ranks of a run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -240,6 +269,7 @@ struct Inner {
     sieve_write: Mutex<SieveCounters>,
     twophase: Mutex<TwophaseCounters>,
     faults: Mutex<FaultCounters>,
+    failover: Mutex<FailoverCounters>,
     cache: Mutex<CacheCounters>,
     /// Named report fragments attached by higher layers (dataset roll-ups).
     extras: Mutex<Vec<(String, Json)>>,
@@ -285,6 +315,7 @@ impl Profile {
                 sieve_write: Mutex::new(SieveCounters::default()),
                 twophase: Mutex::new(TwophaseCounters::default()),
                 faults: Mutex::new(FaultCounters::default()),
+                failover: Mutex::new(FailoverCounters::default()),
                 cache: Mutex::new(CacheCounters::default()),
                 extras: Mutex::new(Vec::new()),
             }),
@@ -448,6 +479,20 @@ impl Profile {
         *lock(&self.inner.faults)
     }
 
+    /// Update the parity/failover counters.
+    pub fn record_failover(&self, f: impl FnOnce(&mut FailoverCounters)) {
+        if !self.is_enabled() {
+            return;
+        }
+        f(&mut lock(&self.inner.failover));
+    }
+
+    /// Copy of the parity/failover counters (tests and smoke assertions
+    /// read these directly).
+    pub fn failover_counters(&self) -> FailoverCounters {
+        *lock(&self.inner.failover)
+    }
+
     /// Update the client page-cache counters.
     pub fn record_cache(&self, f: impl FnOnce(&mut CacheCounters)) {
         if !self.is_enabled() {
@@ -502,6 +547,7 @@ impl Profile {
             sieve_write: *lock(&self.inner.sieve_write),
             twophase: *lock(&self.inner.twophase),
             faults: *lock(&self.inner.faults),
+            failover: *lock(&self.inner.failover),
             cache: *lock(&self.inner.cache),
             extras: lock(&self.inner.extras).clone(),
         }
@@ -533,6 +579,7 @@ impl Profile {
         *lock(&self.inner.sieve_write) = SieveCounters::default();
         *lock(&self.inner.twophase) = TwophaseCounters::default();
         *lock(&self.inner.faults) = FaultCounters::default();
+        *lock(&self.inner.failover) = FailoverCounters::default();
         *lock(&self.inner.cache) = CacheCounters::default();
         lock(&self.inner.extras).clear();
     }
@@ -566,6 +613,7 @@ pub struct ProfileSnapshot {
     pub sieve_write: SieveCounters,
     pub twophase: TwophaseCounters,
     pub faults: FaultCounters,
+    pub failover: FailoverCounters,
     pub cache: CacheCounters,
     pub extras: Vec<(String, Json)>,
 }

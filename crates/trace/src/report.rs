@@ -106,6 +106,19 @@ impl ProfileSnapshot {
             .with("exhausted", Json::from(fc.exhausted))
             .with("agreed_errors", Json::from(fc.agreed_errors));
 
+        let fo = &self.failover;
+        let failover = Json::obj()
+            .with("degraded_reads", Json::from(fo.degraded_reads))
+            .with("reconstructed_bytes", Json::from(fo.reconstructed_bytes))
+            .with("redirected_writes", Json::from(fo.redirected_writes))
+            .with("redirected_bytes", Json::from(fo.redirected_bytes))
+            .with("parity_updates", Json::from(fo.parity_updates))
+            .with("parity_bytes", Json::from(fo.parity_bytes))
+            .with("epochs", Json::from(fo.epochs))
+            .with("rebuilds", Json::from(fo.rebuilds))
+            .with("rebuilt_bytes", Json::from(fo.rebuilt_bytes))
+            .with("rebuild_time", Json::from(nanos_to_s(fo.rebuild_nanos)));
+
         let cc = &self.cache;
         let cache = Json::obj()
             .with("hits", Json::from(cc.hits))
@@ -148,6 +161,7 @@ impl ProfileSnapshot {
             .with("sieve", sieve)
             .with("twophase", twophase)
             .with("faults", faults)
+            .with("failover", failover)
             .with("cache", cache);
         for (name, value) in &self.extras {
             report.set(name, value.clone());
