@@ -128,6 +128,28 @@ done
 rm -rf "$report_dir"
 echo "    critical-path report OK: stage keys and per-window attribution present"
 
+echo "==> service smoke: 16 sessions on a shared 4-server cluster"
+report_dir=$(mktemp -d)
+PNETCDF_REPORT_DIR="$report_dir" ./target/release/service_smoke >/dev/null 2>&1
+report="$report_dir/service_smoke.profile.json"
+[ -f "$report" ] || { echo "FAIL: $report was not written"; exit 1; }
+for key in aggregate_mb_s max_session_mb_s cross_file_stall_total_nanos \
+           cross_file_stall_s hints_rejected deterministic; do
+    grep -q "\"$key\"" "$report" || { echo "FAIL: report missing key \"$key\""; exit 1; }
+done
+# The fleet must actually contend across files, beat its best single
+# session in aggregate, and notice the deliberately misspelled hint.
+grep -q '"cross_file_stall_total_nanos": 0\b' "$report" \
+    && { echo "FAIL: no cross-file contention on the shared servers"; exit 1; }
+grep -q '"aggregate_ge_max_session": true' "$report" \
+    || { echo "FAIL: aggregate throughput below best single session"; exit 1; }
+grep -q '"hints_rejected": 0\b' "$report" \
+    && { echo "FAIL: misspelled pnc_ hint was not rejected"; exit 1; }
+grep -q '"deterministic": true' "$report" \
+    || { echo "FAIL: session fleet not deterministic across reruns"; exit 1; }
+rm -rf "$report_dir"
+echo "    service report OK: cross-file stall, aggregate >= best session, hint audit"
+
 echo "==> bench results: twophase_bench (BENCH_twophase.json)"
 ./target/release/twophase_bench >/dev/null
 [ -f BENCH_twophase.json ] || { echo "FAIL: BENCH_twophase.json was not written"; exit 1; }

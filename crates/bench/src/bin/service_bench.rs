@@ -1,0 +1,148 @@
+//! Service-cluster benchmark: 64 concurrent client sessions on one shared
+//! 8-server PFS cluster.
+//!
+//! Models the machine-room scenario the paper's testbeds served: many
+//! independent applications — FLASH-style checkpoint writers and strided
+//! analytics readers — each opening *different* netCDF datasets against the
+//! *same* I/O servers. The run reports aggregate and per-session
+//! throughput, per-server cross-file contention (queue/NIC/disk stalls
+//! attributable to *other* files' traffic) and metadata-shard activity,
+//! and proves the whole schedule deterministic: a second run on a fresh
+//! cluster with the same seed must reproduce every session's byte count
+//! and final sim clock exactly.
+//!
+//! Usage: `cargo run --release -p pnetcdf-bench --bin service_bench`
+
+use hpc_sim::trace::Json;
+use hpc_sim::SimConfig;
+use pnetcdf_bench::report::write_report;
+use pnetcdf_bench::service::{mixed_specs, prepare_shared_datasets, run_sessions, ServiceRun};
+use pnetcdf_bench::table::fmt_bytes;
+use pnetcdf_pfs::{PfsCluster, StorageMode};
+
+const NSESSIONS: usize = 64;
+const NSHARED: usize = 8;
+const STEPS: usize = 6;
+const VALUES_PER_STEP: usize = 8192; // 64 KiB records
+const NSERVERS: usize = 8;
+
+fn platform() -> SimConfig {
+    let mut cfg = SimConfig::sdsc_blue_horizon();
+    cfg.io_servers = NSERVERS;
+    cfg
+}
+
+fn one_run(cfg: &SimConfig) -> (ServiceRun, PfsCluster) {
+    let cluster = PfsCluster::new(cfg.clone(), StorageMode::Full);
+    let (specs, shared) = mixed_specs(NSESSIONS, NSHARED, STEPS, VALUES_PER_STEP);
+    prepare_shared_datasets(&cluster, &shared, STEPS, VALUES_PER_STEP);
+    // Quiescent point: bill the sessions from a cold, time-zero cluster
+    // and keep setup traffic out of the profile.
+    cluster.reset_timing();
+    cfg.profile.reset();
+    let run = run_sessions(&cluster, &specs);
+    (run, cluster)
+}
+
+fn main() {
+    println!(
+        "# Service cluster: {NSESSIONS} sessions ({} writers / {} readers), \
+         {NSERVERS} servers, {NSHARED} shared datasets",
+        NSESSIONS / 2,
+        NSESSIONS / 2
+    );
+
+    let cfg = platform();
+    cfg.profile.set_enabled(true);
+    let (run, cluster) = one_run(&cfg);
+
+    let ndatasets = cluster.meta().len();
+    assert!(
+        ndatasets >= 16,
+        "FAIL: expected >= 16 datasets on the cluster, found {ndatasets}"
+    );
+
+    let profile = cfg.profile.snapshot();
+    let cross_total: u64 = profile
+        .servers
+        .iter()
+        .map(|s| s.cross_file_stall_nanos)
+        .sum();
+    assert!(
+        cross_total > 0,
+        "FAIL: 64 sessions over shared servers produced no cross-file contention"
+    );
+
+    // Determinism: fresh cluster, same seed, identical everything.
+    let cfg2 = platform();
+    let (run2, _) = one_run(&cfg2);
+    assert_eq!(
+        run.aggregate_bytes, run2.aggregate_bytes,
+        "FAIL: aggregate bytes differ across identical runs"
+    );
+    for (a, b) in run.sessions.iter().zip(&run2.sessions) {
+        assert_eq!(
+            (a.id, a.bytes, a.end),
+            (b.id, b.bytes, b.end),
+            "FAIL: session {} not deterministic",
+            a.id
+        );
+    }
+
+    println!(
+        "  aggregate: {} over {} -> {:.1} MB/s (best single session {:.1} MB/s)",
+        fmt_bytes(run.aggregate_bytes),
+        run.makespan,
+        run.aggregate_mb_s(),
+        run.max_session_mb_s()
+    );
+    println!(
+        "  cross-file stall: {:.3} s summed over {NSERVERS} servers; deterministic across reruns",
+        cross_total as f64 / 1e9
+    );
+
+    let sessions: Vec<Json> = run
+        .sessions
+        .iter()
+        .map(|s| {
+            Json::obj()
+                .with("session", s.id as u64)
+                .with("kind", format!("{:?}", s.kind))
+                .with("dataset", s.dataset.clone())
+                .with("bytes", s.bytes)
+                .with("sim_s", s.end.as_nanos() as f64 / 1e9)
+                .with("mb_s", s.mb_s())
+        })
+        .collect();
+    let shards: Vec<Json> = cluster
+        .meta()
+        .stats()
+        .iter()
+        .enumerate()
+        .map(|(i, st)| {
+            Json::obj()
+                .with("shard", i as u64)
+                .with("creates", st.creates)
+                .with("opens", st.opens)
+                .with("files", st.files)
+        })
+        .collect();
+
+    write_report(
+        "service_bench.profile.json",
+        &Json::obj()
+            .with("benchmark", "service_bench")
+            .with("sessions", NSESSIONS as u64)
+            .with("servers", NSERVERS as u64)
+            .with("datasets", ndatasets as u64)
+            .with("aggregate_bytes", run.aggregate_bytes)
+            .with("aggregate_mb_s", run.aggregate_mb_s())
+            .with("max_session_mb_s", run.max_session_mb_s())
+            .with("cross_file_stall_total_nanos", cross_total)
+            .with("deterministic", true)
+            .with("per_session", Json::Arr(sessions))
+            .with("meta_shards", Json::Arr(shards))
+            .with("profile", profile.to_json(run.makespan.as_nanos())),
+    );
+    println!("service bench OK");
+}

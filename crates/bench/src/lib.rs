@@ -16,6 +16,7 @@
 
 pub mod partition;
 pub mod report;
+pub mod service;
 pub mod table;
 
 pub use partition::{block_of, grid_for, Partition, PARTITIONS};

@@ -55,7 +55,18 @@ impl MpiFile {
         mode: OpenMode,
         info: &Info,
     ) -> MpioResult<MpiFile> {
-        let hints = Hints::from_info(info);
+        let (hints, rejected) = Hints::from_info_audited(info);
+        // Unknown `pnc_*` keys and malformed values never change behavior
+        // (the parser falls back to defaults), but they are almost always a
+        // misspelling the user would want to know about: count them in the
+        // profile and leave a debug line. Rank 0 only, so a 64-rank open
+        // with one bad hint counts it once.
+        if comm.rank() == 0 {
+            for r in &rejected {
+                comm.config().profile.record_hint_rejected();
+                eprintln!("pnetcdf: rejected hint {r} for {name}");
+            }
+        }
         if hints.trace_events.resolve(false) {
             // `pnc_trace_events`: turn on the shared span recorder. The
             // log rides in the SimConfig, so (like the queue-depth hint)

@@ -117,6 +117,38 @@ impl Default for Hints {
     }
 }
 
+/// Every hint key this implementation consumes. Keys outside this list are
+/// ignored per the MPI standard — except unknown `pnc_`-prefixed keys, which
+/// the audit flags (they were addressed at *this* library and can only be a
+/// misspelling).
+const KNOWN_KEYS: &[&str] = &[
+    "cb_buffer_size",
+    "cb_nodes",
+    "romio_cb_write",
+    "romio_cb_read",
+    "pnc_cb_pipeline",
+    "ind_rd_buffer_size",
+    "ind_wr_buffer_size",
+    "romio_ds_write",
+    "romio_ds_read",
+    "pnc_cache",
+    "pnc_cache_size",
+    "pnc_page_size",
+    "pnc_readahead",
+    "pnc_server_queue_depth",
+    "pnc_cb_affinity",
+    "pnc_trace_events",
+    "pnc_parity",
+];
+
+/// Is `v` a well-formed value for the tri-state toggles?
+fn valid_toggle(v: &str) -> bool {
+    matches!(
+        v,
+        "enable" | "disable" | "true" | "false" | "automatic" | "auto"
+    )
+}
+
 impl Hints {
     /// Parse hints from an info object, falling back to defaults.
     pub fn from_info(info: &Info) -> Hints {
@@ -154,6 +186,44 @@ impl Hints {
             trace_events: Toggle::parse(info.get("pnc_trace_events")),
             parity: Toggle::parse(info.get("pnc_parity")),
         }
+    }
+
+    /// Parse hints and audit the info object: returns the parsed hints
+    /// (identical to [`Hints::from_info`] — a bad value never changes
+    /// behavior, it falls back) plus a human-readable description of every
+    /// rejected entry. Rejected means an unknown `pnc_*` key, or a known
+    /// key whose value is malformed (unparseable number, zero where zero
+    /// is meaningless, unrecognized toggle word).
+    pub fn from_info_audited(info: &Info) -> (Hints, Vec<String>) {
+        let mut rejected = Vec::new();
+        // Info iterates a BTreeMap, so the audit order is deterministic.
+        for (k, v) in info.iter() {
+            if !KNOWN_KEYS.contains(&k) {
+                if k.starts_with("pnc_") {
+                    rejected.push(format!("{k}={v} (unknown pnc_ hint)"));
+                }
+                continue;
+            }
+            let ok = match k {
+                "romio_cb_write" | "romio_cb_read" | "pnc_cb_pipeline" | "romio_ds_write"
+                | "romio_ds_read" | "pnc_cache" | "pnc_cb_affinity" | "pnc_trace_events"
+                | "pnc_parity" => valid_toggle(v),
+                // Zero-sized buffers and zero aggregators are meaningless;
+                // from_info filters them out, so the audit flags them.
+                "cb_buffer_size" | "cb_nodes" | "ind_rd_buffer_size" | "ind_wr_buffer_size"
+                | "pnc_cache_size" => v.parse::<usize>().map(|n| n > 0).unwrap_or(false),
+                // Zero is meaningful here (stripe-sized pages, readahead
+                // off, unbounded queue) — only unparseable values reject.
+                "pnc_page_size" | "pnc_readahead" | "pnc_server_queue_depth" => {
+                    v.parse::<usize>().is_ok()
+                }
+                _ => unreachable!("key {k} is in KNOWN_KEYS but not audited"),
+            };
+            if !ok {
+                rejected.push(format!("{k}={v} (malformed value)"));
+            }
+        }
+        (Hints::from_info(info), rejected)
     }
 
     /// Number of aggregators for a communicator of `nprocs` over
@@ -287,6 +357,42 @@ mod tests {
         assert!(h.parity.resolve(false));
         let h = Hints::from_info(&Info::new().with("pnc_parity", "disable"));
         assert!(!h.parity.resolve(false));
+    }
+
+    #[test]
+    fn audit_flags_unknown_pnc_and_malformed_values() {
+        let info = Info::new()
+            .with("pnc_cachesize", "65536") // misspelled pnc_ key
+            .with("cb_buffer_size", "zero") // unparseable number
+            .with("cb_nodes", "0") // zero aggregators
+            .with("pnc_parity", "yes") // bad toggle word
+            .with("striping_factor", "4") // foreign hint: silently ignored
+            .with("romio_ds_read", "enable"); // well-formed: accepted
+        let (h, rejected) = Hints::from_info_audited(&info);
+        assert_eq!(
+            rejected,
+            vec![
+                "cb_buffer_size=zero (malformed value)",
+                "cb_nodes=0 (malformed value)",
+                "pnc_cachesize=65536 (unknown pnc_ hint)",
+                "pnc_parity=yes (malformed value)",
+            ]
+        );
+        // Rejects never change behavior: same fallbacks as from_info.
+        assert_eq!(h.cb_buffer_size, 4 * 1024 * 1024);
+        assert_eq!(h.cb_nodes, None);
+        assert_eq!(h.parity, Toggle::Auto);
+        assert_eq!(h.ds_read, Toggle::Enable);
+    }
+
+    #[test]
+    fn audit_accepts_clean_info() {
+        let info = Info::new()
+            .with("pnc_server_queue_depth", "0")
+            .with("pnc_readahead", "0")
+            .with("romio_cb_write", "automatic");
+        let (_, rejected) = Hints::from_info_audited(&info);
+        assert!(rejected.is_empty(), "got rejects: {rejected:?}");
     }
 
     #[test]

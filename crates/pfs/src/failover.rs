@@ -63,9 +63,7 @@ pub(crate) const PARITY_BASE: u64 = 1 << 63;
 
 impl PfsFile {
     fn fs(&self) -> Pfs {
-        Pfs {
-            inner: self.inner.clone(),
-        }
+        Pfs::view(self.inner.clone())
     }
 
     /// Whether the parity layer is on for this file system
@@ -145,7 +143,7 @@ impl PfsFile {
                 debug_assert_parity(self, file, stripe, off, &recon);
                 let mut srv = self.inner.servers[s].lock();
                 srv.poke(file, stripe, off, &recon);
-                done = done.max(srv.aux_write(&cfg.disk, recon_done, len));
+                done = done.max(srv.aux_write(&cfg.disk, file, recon_done, len));
                 bytes += len;
             }
         }
@@ -160,7 +158,7 @@ impl PfsFile {
                 let read_done = self.xor_row_extent(file, row, None, 0, &mut parity, start);
                 let mut srv = self.inner.servers[s].lock();
                 srv.poke(file, PARITY_BASE | row, 0, &parity);
-                done = done.max(srv.aux_write(&cfg.disk, read_done, stripe_size));
+                done = done.max(srv.aux_write(&cfg.disk, file, read_done, stripe_size));
                 bytes += stripe_size;
             }
         }
@@ -257,7 +255,7 @@ impl PfsFile {
             self.xor_row_extent_untimed(self.id, row, None, 0, &mut parity);
             let mut srv = self.inner.servers[psrv].lock();
             srv.poke(self.id, PARITY_BASE | row, 0, &parity);
-            done = done.max(srv.aux_write(&cfg.disk, base, stripe_size));
+            done = done.max(srv.aux_write(&cfg.disk, self.id, base, stripe_size));
             written += stripe_size;
         }
         drop(fo);
@@ -354,7 +352,7 @@ impl PfsFile {
             let psrv = striping.parity_server_of(row);
             let mut srv = self.inner.servers[psrv].lock();
             srv.peek(file, PARITY_BASE | row, off, &mut buf);
-            done = done.max(srv.aux_read(&cfg.disk, arrival, len));
+            done = done.max(srv.aux_read(&cfg.disk, file, arrival, len));
             drop(srv);
             for (a, b) in acc.iter_mut().zip(&buf) {
                 *a ^= *b;
@@ -368,7 +366,7 @@ impl PfsFile {
             let sid = (k % striping.nservers as u64) as usize;
             let mut srv = self.inner.servers[sid].lock();
             srv.peek(file, k, off, &mut buf);
-            done = done.max(srv.aux_read(&cfg.disk, arrival, len));
+            done = done.max(srv.aux_read(&cfg.disk, file, arrival, len));
             drop(srv);
             for (a, b) in acc.iter_mut().zip(&buf) {
                 *a ^= *b;

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use hpc_sim::trace::events::{layer, stage};
 use hpc_sim::{FaultKind, IoStages, Span, Time, TraceCtx};
 
-use crate::filesystem::PfsInner;
+use crate::cluster::ClusterInner;
 use crate::server::ServiceOutcome;
 use crate::stripe::StripeChunk;
 
@@ -49,13 +49,13 @@ const LEGACY_ATTEMPTS: u32 = 25;
 /// clones address the same bytes and the same server queues.
 #[derive(Clone)]
 pub struct PfsFile {
-    pub(crate) inner: Arc<PfsInner>,
+    pub(crate) inner: Arc<ClusterInner>,
     pub(crate) id: u64,
     name: String,
 }
 
 impl PfsFile {
-    pub(crate) fn new(inner: Arc<PfsInner>, id: u64, name: String) -> PfsFile {
+    pub(crate) fn new(inner: Arc<ClusterInner>, id: u64, name: String) -> PfsFile {
         PfsFile { inner, id, name }
     }
 
@@ -79,9 +79,8 @@ impl PfsFile {
     /// Current size in bytes (highest byte ever written + 1).
     pub fn size(&self) -> u64 {
         self.inner
-            .files
-            .lock()
-            .get(&self.name)
+            .meta
+            .lookup(&self.name)
             .map(|e| e.size)
             .unwrap_or(0)
     }
@@ -480,6 +479,7 @@ impl PfsFile {
                 disk_busy_nanos: (st.disk_done - st.disk_start).as_nanos(),
                 overlap_nanos: st.overlap.as_nanos(),
                 queue_stall_nanos: st.queue_stall.as_nanos(),
+                cross_stall_nanos: st.cross_stall.as_nanos(),
                 depth: st.depth as u64,
             },
         );
@@ -603,12 +603,7 @@ impl PfsFile {
 
     /// Extend the recorded file size to at least `new_size`.
     pub fn grow_to(&self, new_size: u64) {
-        let mut files = self.inner.files.lock();
-        if let Some(e) = files.get_mut(&self.name) {
-            if e.size < new_size {
-                e.size = new_size;
-            }
-        }
+        self.inner.meta.grow_to(&self.name, new_size);
     }
 
     /// Untimed export of the full file contents (correctness checks,

@@ -1,100 +1,50 @@
-//! The file system object: a namespace of striped files over shared servers.
+//! The file system object: a per-mount *view* of a service cluster.
+//!
+//! `Pfs` used to own the servers and the file table; since the cluster
+//! refactor those live in [`crate::cluster::ClusterInner`] with a lifetime
+//! that outlives any single open/close. A `Pfs` is now a cheap handle
+//! handed out by [`PfsCluster::mount`] — every view shares the cluster's
+//! server queues, fault determinism and failover epochs. `Pfs::new`
+//! constructs a private one-mount cluster, so single-file callers are
+//! untouched and byte-identical to the pre-cluster code.
 
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use hpc_sim::{SimConfig, SimStats};
 
+use crate::cluster::{ClusterInner, PfsCluster};
 use crate::file::PfsFile;
-use crate::server::Server;
 use crate::storage::StorageMode;
-use crate::stripe::Striping;
 
-pub(crate) struct PfsInner {
-    pub cfg: SimConfig,
-    pub stats: SimStats,
-    pub striping: Striping,
-    pub servers: Vec<Mutex<Server>>,
-    pub files: Mutex<HashMap<String, FileEntry>>,
-    /// Per-file coherence epochs, keyed by file id. A client cache bumps a
-    /// file's epoch whenever it publishes dirty pages; other clients compare
-    /// their last-seen epoch at synchronization points and invalidate.
-    /// Lives here (not in `FileEntry`) so every handle to the same file
-    /// shares one atomic.
-    pub epochs: Mutex<HashMap<u64, Arc<AtomicU64>>>,
-    /// Whether the declustered-parity redundancy layer is on
-    /// (`pnc_parity` hint). Off by default: the parity-off stack is byte-
-    /// and timing-identical to a build without the layer.
-    pub parity: AtomicBool,
-    /// Declared-down server and the degraded-mode write log. Locked
-    /// *before* any server mutex (fixed order, no deadlock).
-    pub failover: Mutex<FailoverState>,
-    next_id: AtomicU64,
-}
-
-/// Failover bookkeeping shared by every handle to the file system.
-/// Ordered maps keep rebuild replay deterministic.
-#[derive(Default)]
-pub(crate) struct FailoverState {
-    /// The server the ranks collectively agreed is down, if any.
-    pub down: Option<usize>,
-    /// Monotonic count of server-down epochs declared (profile fodder and
-    /// a cheap "did anything change" check for tests).
-    pub epoch: u64,
-    /// Per-file extents `(stripe, offset_in_stripe, len)` destined to the
-    /// down server while degraded. The payload is covered by parity on the
-    /// surviving servers; the restart rebuild replays exactly these
-    /// extents onto the returning server.
-    pub log: std::collections::BTreeMap<u64, Vec<(u64, u64, u64)>>,
-    /// Parity rows *owned by* the down server whose data changed while it
-    /// was out: their stored parity is stale and must be recomputed at
-    /// rebuild, or a later crash window would reconstruct garbage.
-    pub parity_dirty: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>>,
-}
-
-#[derive(Clone, Copy, Debug)]
-pub(crate) struct FileEntry {
-    pub id: u64,
-    pub size: u64,
-}
-
-/// Handle to the shared parallel file system. Cheap to clone.
+/// Handle to the shared parallel file system. Cheap to clone; all clones
+/// (and all sibling mounts of the same cluster) address the same servers
+/// and the same namespace.
 #[derive(Clone)]
 pub struct Pfs {
-    pub(crate) inner: Arc<PfsInner>,
+    pub(crate) inner: Arc<ClusterInner>,
 }
 
 impl Pfs {
-    /// Create a file system with `cfg.io_servers` servers and
-    /// `cfg.stripe_size` stripes.
+    /// Create a private cluster with `cfg.io_servers` servers and
+    /// `cfg.stripe_size` stripes, and mount it. The degenerate one-file
+    /// path: identical behavior to the pre-cluster `Pfs`.
     pub fn new(cfg: SimConfig, mode: StorageMode) -> Pfs {
-        let striping = Striping::new(cfg.stripe_size as u64, cfg.io_servers);
-        let servers = (0..cfg.io_servers)
-            .map(|i| {
-                Mutex::new(Server::configure(
-                    cfg.stripe_size as u64,
-                    cfg.io_servers,
-                    mode,
-                    cfg.service_model(),
-                    cfg.faults.clone(),
-                    i,
-                ))
-            })
-            .collect();
-        Pfs {
-            inner: Arc::new(PfsInner {
-                cfg,
-                stats: SimStats::new(),
-                striping,
-                servers,
-                files: Mutex::new(HashMap::new()),
-                epochs: Mutex::new(HashMap::new()),
-                parity: AtomicBool::new(false),
-                failover: Mutex::new(FailoverState::default()),
-                next_id: AtomicU64::new(1),
-            }),
+        PfsCluster::new(cfg, mode).mount()
+    }
+
+    /// A view sharing `inner` without counting a mount (internal handles:
+    /// `PfsFile::fs()`, tests poking at the innards).
+    pub(crate) fn view(inner: Arc<ClusterInner>) -> Pfs {
+        Pfs { inner }
+    }
+
+    /// The cluster this view is mounted on (to reach cluster-wide
+    /// operations like [`PfsCluster::reset_timing`] or the metadata
+    /// shard counters).
+    pub fn cluster(&self) -> PfsCluster {
+        PfsCluster {
+            inner: self.inner.clone(),
         }
     }
 
@@ -108,37 +58,36 @@ impl Pfs {
         &self.inner.stats
     }
 
-    /// Create (or truncate) a file and return its handle.
+    /// Create (or truncate) a file and return its handle. Routed through
+    /// the metadata shard owning the path — creates on different shards
+    /// never contend.
     pub fn create(&self, name: &str) -> PfsFile {
-        let mut files = self.inner.files.lock();
-        if let Some(old) = files.remove(name) {
+        let (old, id) = self.inner.meta.create(name);
+        if let Some(old) = old {
             for s in &self.inner.servers {
                 s.lock().remove_file(old.id);
             }
             self.inner.epochs.lock().remove(&old.id);
         }
-        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
-        files.insert(name.to_string(), FileEntry { id, size: 0 });
         PfsFile::new(self.inner.clone(), id, name.to_string())
     }
 
     /// Open an existing file.
     pub fn open(&self, name: &str) -> Option<PfsFile> {
-        let files = self.inner.files.lock();
-        files
-            .get(name)
+        self.inner
+            .meta
+            .open(name)
             .map(|e| PfsFile::new(self.inner.clone(), e.id, name.to_string()))
     }
 
     /// Does `name` exist?
     pub fn exists(&self, name: &str) -> bool {
-        self.inner.files.lock().contains_key(name)
+        self.inner.meta.lookup(name).is_some()
     }
 
     /// Delete a file, freeing its stripes. Returns whether it existed.
     pub fn delete(&self, name: &str) -> bool {
-        let mut files = self.inner.files.lock();
-        if let Some(e) = files.remove(name) {
+        if let Some(e) = self.inner.meta.remove(name) {
             for s in &self.inner.servers {
                 s.lock().remove_file(e.id);
             }
@@ -151,39 +100,47 @@ impl Pfs {
 
     /// Names of all files (sorted, for deterministic listings).
     pub fn list(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.inner.files.lock().keys().cloned().collect();
-        names.sort();
-        names
+        self.inner.meta.list()
     }
 
-    /// Reset all server queues and position state to virtual time zero,
-    /// keeping file contents. Benchmarks call this between phases.
+    /// Reset all server queues, position state and fault `ops` counters to
+    /// virtual time zero, keeping file contents. Benchmarks call this
+    /// between phases.
+    ///
+    /// This is a **cluster-wide** operation — the view has no private
+    /// timing state — so on a cluster that has handed out more than one
+    /// mount it would silently rewind *other sessions'* server clocks and
+    /// `(seed, server_id, ops)` fault sequences. A shared cluster
+    /// therefore refuses the per-view reset (panics); drivers that own a
+    /// quiescent point call [`PfsCluster::reset_timing`] instead.
     pub fn reset_timing(&self) {
-        for s in &self.inner.servers {
-            s.lock().reset_timing();
-        }
+        let mounts = self.inner.mounts.load(Ordering::Relaxed);
+        assert!(
+            mounts <= 1,
+            "Pfs::reset_timing on a cluster with {mounts} mounts would corrupt other \
+             sessions' timing and fault determinism; use PfsCluster::reset_timing \
+             from a quiescent point instead"
+        );
+        self.cluster().reset_timing();
     }
 
     /// Override every server's bounded admission queue depth (the
     /// `pnc_server_queue_depth` hint, applied at file open; `0` =
     /// unbounded). The servers are shared, so this affects all files.
     pub fn set_queue_depth(&self, depth: usize) {
-        for s in &self.inner.servers {
-            s.lock().set_queue_depth(depth);
-        }
+        self.cluster().set_queue_depth(depth);
     }
 
     /// Turn the declustered-parity layer on or off (the `pnc_parity`
     /// hint, applied at file open). Requires at least two servers to
     /// enable — with one there is nowhere to decluster.
     pub fn set_parity(&self, on: bool) {
-        let on = on && self.inner.striping.nservers >= 2;
-        self.inner.parity.store(on, Ordering::Relaxed);
+        self.cluster().set_parity(on);
     }
 
     /// Whether the parity layer is on.
     pub fn parity_enabled(&self) -> bool {
-        self.inner.parity.load(Ordering::Relaxed)
+        self.cluster().parity_enabled()
     }
 
     /// Whether a retry ladder that exhausted against `server` may escalate
@@ -199,10 +156,11 @@ impl Pfs {
         fo.down.map(|d| d == server).unwrap_or(true)
     }
 
-    /// Declare `server` down, opening a degraded-mode epoch. Idempotent:
-    /// returns `true` only on the transition. Every rank calls this after
-    /// the collective error agreement picks the same `ServerLost`, so the
-    /// flip happens at the same operation on all ranks; callers must drive
+    /// Declare `server` down, opening a degraded-mode epoch — for *every*
+    /// file open on the cluster, in the same epoch. Idempotent: returns
+    /// `true` only on the transition. Every rank calls this after the
+    /// collective error agreement picks the same `ServerLost`, so the flip
+    /// happens at the same operation on all ranks; callers must drive
     /// control flow off the *agreed error*, not this return value.
     pub fn mark_server_down(&self, server: usize) -> bool {
         assert!(server < self.inner.striping.nservers);

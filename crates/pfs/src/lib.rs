@@ -23,16 +23,28 @@
 //! the caller (MPI-IO layer, or the serial library's POSIX adapter) owns the
 //! clock.
 
+//!
+//! Since the cluster refactor the servers, metadata and failover state
+//! live in a [`PfsCluster`] with a lifetime that outlives any single
+//! open/close; a [`Pfs`] is a per-mount view ([`PfsCluster::mount`]) and
+//! `Pfs::new` builds the degenerate one-mount cluster. The namespace is a
+//! sharded metadata layer ([`meta::MetaShards`]) hashed by path, so
+//! hundreds of datasets coexist without a global table lock.
+
+pub mod cluster;
 pub mod failover;
 pub mod file;
 pub mod filesystem;
+pub mod meta;
 pub mod posix;
 pub mod server;
 pub mod storage;
 pub mod stripe;
 
+pub use cluster::PfsCluster;
 pub use file::{IoFailure, PfsFile, WriteCompletion};
 pub use filesystem::Pfs;
+pub use meta::{MetaShardStats, MetaShards, META_SHARDS};
 pub use posix::PosixSim;
 pub use server::{Server, ServiceOutcome};
 pub use storage::StorageMode;

@@ -1,0 +1,236 @@
+//! Sharded metadata layer: the cluster's file table.
+//!
+//! A service cluster hosts hundreds of datasets; funnelling every
+//! `create`/`open`/`delete` through one global table lock would serialize
+//! unrelated sessions at the metadata server, the bottleneck the ViPIOS
+//! architecture splits I/O servers away from. Instead the namespace is
+//! partitioned into [`META_SHARDS`] shards hashed by path (FNV-1a): two
+//! sessions touching different shards never contend, and two paths that
+//! *do* collide on a shard only share that shard's lock.
+//!
+//! Determinism: file ids are allocated per shard as
+//! `id = 1 + shard + META_SHARDS * local_counter`, so the id a path
+//! receives depends only on the sequence of creates *within its own
+//! shard* — never on how creates interleave across shards in real time.
+//! Sessions that create disjoint paths therefore get identical ids no
+//! matter how the scheduler orders them.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Number of metadata shards per cluster. A small power of two: enough to
+/// keep concurrent sessions off each other's locks, small enough that
+/// `list()` stays cheap.
+pub const META_SHARDS: usize = 16;
+
+/// One file's metadata entry.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FileEntry {
+    pub id: u64,
+    pub size: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    files: HashMap<String, FileEntry>,
+    /// Creates ever performed on this shard; drives id allocation.
+    created: u64,
+}
+
+/// Cumulative metadata-operation counters, per shard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetaShardStats {
+    pub creates: u64,
+    pub opens: u64,
+    pub deletes: u64,
+    /// Live files currently on the shard.
+    pub files: u64,
+}
+
+/// The sharded file table. Create/open/delete take only the owning
+/// shard's lock.
+pub struct MetaShards {
+    shards: Vec<Mutex<Shard>>,
+    stats: Vec<Mutex<MetaShardStats>>,
+}
+
+/// FNV-1a over the path bytes: stable, platform-independent shard choice.
+fn fnv1a(path: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl MetaShards {
+    pub fn new() -> MetaShards {
+        MetaShards {
+            shards: (0..META_SHARDS).map(|_| Mutex::default()).collect(),
+            stats: (0..META_SHARDS).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    /// The shard owning `path`.
+    pub fn shard_of(&self, path: &str) -> usize {
+        (fnv1a(path) % META_SHARDS as u64) as usize
+    }
+
+    /// Create (or truncate) `path`: allocates a fresh id and returns
+    /// `(old_entry, new_id)` so the caller can free the old id's stripes.
+    pub(crate) fn create(&self, path: &str) -> (Option<FileEntry>, u64) {
+        let sh = self.shard_of(path);
+        let mut shard = self.shards[sh].lock();
+        let old = shard.files.remove(path);
+        let id = 1 + sh as u64 + (META_SHARDS as u64) * shard.created;
+        shard.created += 1;
+        shard
+            .files
+            .insert(path.to_string(), FileEntry { id, size: 0 });
+        let nfiles = shard.files.len() as u64;
+        drop(shard);
+        let mut st = self.stats[sh].lock();
+        st.creates += 1;
+        st.files = nfiles;
+        (old, id)
+    }
+
+    /// Look up `path`, counting the open.
+    pub(crate) fn open(&self, path: &str) -> Option<FileEntry> {
+        let sh = self.shard_of(path);
+        let e = self.shards[sh].lock().files.get(path).copied();
+        if e.is_some() {
+            self.stats[sh].lock().opens += 1;
+        }
+        e
+    }
+
+    /// Look up `path` without counting (internal size queries).
+    pub(crate) fn lookup(&self, path: &str) -> Option<FileEntry> {
+        let sh = self.shard_of(path);
+        self.shards[sh].lock().files.get(path).copied()
+    }
+
+    /// Remove `path`, returning its entry so the caller can free stripes.
+    pub(crate) fn remove(&self, path: &str) -> Option<FileEntry> {
+        let sh = self.shard_of(path);
+        let mut shard = self.shards[sh].lock();
+        let old = shard.files.remove(path);
+        let nfiles = shard.files.len() as u64;
+        drop(shard);
+        if old.is_some() {
+            let mut st = self.stats[sh].lock();
+            st.deletes += 1;
+            st.files = nfiles;
+        }
+        old
+    }
+
+    /// Grow `path` to at least `size` bytes (writes past EOF).
+    pub(crate) fn grow_to(&self, path: &str, size: u64) {
+        let sh = self.shard_of(path);
+        if let Some(e) = self.shards[sh].lock().files.get_mut(path) {
+            e.size = e.size.max(size);
+        }
+    }
+
+    /// All paths, sorted for deterministic listings.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().files.keys().cloned().collect::<Vec<_>>())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Live file count across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().files.len()).sum()
+    }
+
+    /// Whether the namespace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-shard operation counters (index = shard).
+    pub fn stats(&self) -> Vec<MetaShardStats> {
+        self.stats.iter().map(|s| *s.lock()).collect()
+    }
+}
+
+impl Default for MetaShards {
+    fn default() -> Self {
+        MetaShards::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_shard_local() {
+        let m = MetaShards::new();
+        let mut ids = std::collections::HashSet::new();
+        for i in 0..200 {
+            let (_, id) = m.create(&format!("f{i}.nc"));
+            assert!(ids.insert(id), "duplicate id {id}");
+            assert_eq!(
+                (id - 1) % META_SHARDS as u64,
+                m.shard_of(&format!("f{i}.nc")) as u64,
+                "id encodes the owning shard"
+            );
+        }
+        assert_eq!(m.len(), 200);
+    }
+
+    #[test]
+    fn id_allocation_independent_of_other_shards() {
+        // Creating a path yields the same id regardless of how much
+        // traffic other shards saw first.
+        let quiet = MetaShards::new();
+        let (_, id_quiet) = quiet.create("target.nc");
+        let busy = MetaShards::new();
+        let target_shard = busy.shard_of("target.nc");
+        let mut i = 0;
+        let mut planted = 0;
+        while planted < 50 {
+            let p = format!("noise{i}.nc");
+            i += 1;
+            if busy.shard_of(&p) != target_shard {
+                busy.create(&p);
+                planted += 1;
+            }
+        }
+        let (_, id_busy) = busy.create("target.nc");
+        assert_eq!(id_quiet, id_busy);
+    }
+
+    #[test]
+    fn recreate_allocates_fresh_id() {
+        let m = MetaShards::new();
+        let (_, a) = m.create("x");
+        let (old, b) = m.create("x");
+        assert_eq!(old.unwrap().id, a);
+        assert_ne!(a, b, "truncating create must not reuse the stale id");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn counters_track_ops() {
+        let m = MetaShards::new();
+        m.create("a");
+        m.open("a");
+        m.open("a");
+        m.remove("a");
+        assert!(m.open("a").is_none());
+        let totals = m.stats().iter().fold((0, 0, 0), |acc, s| {
+            (acc.0 + s.creates, acc.1 + s.opens, acc.2 + s.deletes)
+        });
+        assert_eq!(totals, (1, 2, 1));
+    }
+}

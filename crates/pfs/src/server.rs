@@ -193,7 +193,7 @@ impl Server {
                 Some(FaultKind::Stall { delay }),
                 delay,
             ),
-            FaultKind::Transient => self.refuse(disk, arrival, false, FaultKind::Transient),
+            FaultKind::Transient => self.refuse(disk, file, arrival, false, FaultKind::Transient),
             FaultKind::Crashed => self.crashed(disk, arrival),
             FaultKind::Short { bytes_done } => {
                 // Transfer only the first `bytes_done` bytes of the request
@@ -278,7 +278,9 @@ impl Server {
         if partial > 0 {
             disk_time += disk.stream(partial * self.stripe_size as usize);
         }
-        let stages = self.engine.write(arrival, bytes as usize, disk_time);
+        let stages = self
+            .engine
+            .write_tagged(arrival, bytes as usize, disk_time, file);
         ServiceOutcome {
             done: stages.disk_done,
             stages,
@@ -312,7 +314,7 @@ impl Server {
                 Some(FaultKind::Stall { delay }),
                 delay,
             ),
-            FaultKind::Transient => self.refuse(disk, arrival, true, FaultKind::Transient),
+            FaultKind::Transient => self.refuse(disk, file, arrival, true, FaultKind::Transient),
             FaultKind::Crashed => self.crashed(disk, arrival),
             FaultKind::Short { bytes_done } => {
                 // Deliver only the first `bytes_done` bytes; the suffix of
@@ -396,7 +398,9 @@ impl Server {
         }
         let (sequential, seek_distance) = self.position(file, chunks);
         let disk_time = disk.request(bytes as usize, sequential) + extra_delay;
-        let stages = self.engine.read(arrival, bytes as usize, disk_time);
+        let stages = self
+            .engine
+            .read_tagged(arrival, bytes as usize, disk_time, file);
         ServiceOutcome {
             done: stages.nic_done,
             stages,
@@ -446,14 +450,15 @@ impl Server {
     fn refuse(
         &mut self,
         disk: &DiskModel,
+        file: u64,
         arrival: Time,
         read: bool,
         kind: FaultKind,
     ) -> ServiceOutcome {
         let stages = if read {
-            self.engine.read(arrival, 0, disk.per_request)
+            self.engine.read_tagged(arrival, 0, disk.per_request, file)
         } else {
-            self.engine.write(arrival, 0, disk.per_request)
+            self.engine.write_tagged(arrival, 0, disk.per_request, file)
         };
         ServiceOutcome {
             done: if read {
@@ -487,27 +492,28 @@ impl Server {
     /// without drawing a fault decision or advancing the `ops` counter:
     /// redundancy maintenance must not perturb the `(seed, server_id, ops)`
     /// fault sequence of the data path, so a parity-on run injects exactly
-    /// the faults a parity-off run would. Returns the durable (disk) time.
-    pub fn aux_write(&mut self, disk: &DiskModel, arrival: Time, bytes: u64) -> Time {
+    /// the faults a parity-off run would. `file` tags the request for
+    /// cross-file contention accounting. Returns the durable (disk) time.
+    pub fn aux_write(&mut self, disk: &DiskModel, file: u64, arrival: Time, bytes: u64) -> Time {
         if bytes == 0 {
             return arrival;
         }
         let disk_time = disk.request(bytes as usize, false);
         self.engine
-            .write(arrival, bytes as usize, disk_time)
+            .write_tagged(arrival, bytes as usize, disk_time, file)
             .disk_done
     }
 
     /// Charge a reconstruction/rebuild *read* of `bytes` (same no-fault,
     /// no-`ops` contract as [`Server::aux_write`]). Returns the NIC
     /// ship-back time.
-    pub fn aux_read(&mut self, disk: &DiskModel, arrival: Time, bytes: u64) -> Time {
+    pub fn aux_read(&mut self, disk: &DiskModel, file: u64, arrival: Time, bytes: u64) -> Time {
         if bytes == 0 {
             return arrival;
         }
         let disk_time = disk.request(bytes as usize, false);
         self.engine
-            .read(arrival, bytes as usize, disk_time)
+            .read_tagged(arrival, bytes as usize, disk_time, file)
             .nic_done
     }
 
@@ -555,6 +561,7 @@ fn idle_stages(arrival: Time) -> StageTiming {
         queue_stall: Time::ZERO,
         overlap: Time::ZERO,
         depth: 0,
+        cross_stall: Time::ZERO,
     }
 }
 

@@ -68,6 +68,10 @@ pub struct StageTiming {
     pub overlap: Time,
     /// Queue depth observed at admission (this request included).
     pub depth: usize,
+    /// Portion of this request's wait time (queue stall, NIC wait, disk
+    /// wait) spent behind occupants carrying a *different* tag — on a
+    /// shared cluster, stalls attributable to other files' traffic.
+    pub cross_stall: Time,
 }
 
 /// Timing state of one server's two service stages.
@@ -78,16 +82,22 @@ pub struct ServiceEngine {
     nic_free: Time,
     /// When the disk finishes its current request.
     disk_free: Time,
-    /// Disk completion times of admitted writes not yet retired.
-    inflight: VecDeque<Time>,
+    /// Disk completion times of admitted writes not yet retired, with the
+    /// tag (file id) of the request that produced each.
+    inflight: VecDeque<(Time, u64)>,
     /// Recent disk busy intervals, for overlap accounting. Pruned against
     /// the (monotone) NIC start time.
     disk_busy: VecDeque<(Time, Time)>,
+    /// Tag of the request that last occupied the NIC / disk stage, for
+    /// cross-file wait attribution. `None` until the first request.
+    nic_last: Option<u64>,
+    disk_last: Option<u64>,
     /// Cumulative stage counters.
     pub nic_busy_total: Time,
     pub disk_busy_total: Time,
     pub overlap_total: Time,
     pub queue_stall_total: Time,
+    pub cross_stall_total: Time,
     pub max_depth: usize,
 }
 
@@ -99,10 +109,13 @@ impl ServiceEngine {
             disk_free: Time::ZERO,
             inflight: VecDeque::new(),
             disk_busy: VecDeque::new(),
+            nic_last: None,
+            disk_last: None,
             nic_busy_total: Time::ZERO,
             disk_busy_total: Time::ZERO,
             overlap_total: Time::ZERO,
             queue_stall_total: Time::ZERO,
+            cross_stall_total: Time::ZERO,
             max_depth: 0,
         }
     }
@@ -118,19 +131,23 @@ impl ServiceEngine {
     }
 
     /// Admit a request: drain retired writes, then wait for the oldest
-    /// in-flight write when the queue is full.
-    fn admit(&mut self, arrival: Time) -> Time {
+    /// in-flight write when the queue is full. Returns the admit time and
+    /// the tag of the blocking in-flight write, if the request had to wait.
+    fn admit(&mut self, arrival: Time) -> (Time, Option<u64>) {
         let mut admit = arrival;
-        while self.inflight.front().is_some_and(|&d| d <= admit) {
+        let mut blocker = None;
+        while self.inflight.front().is_some_and(|&(d, _)| d <= admit) {
             self.inflight.pop_front();
         }
         if self.model.queue_depth > 0 && self.inflight.len() >= self.model.queue_depth {
-            admit = self.inflight.pop_front().expect("queue_depth > 0");
-            while self.inflight.front().is_some_and(|&d| d <= admit) {
+            let (done, tag) = self.inflight.pop_front().expect("queue_depth > 0");
+            admit = done;
+            blocker = Some(tag);
+            while self.inflight.front().is_some_and(|&(d, _)| d <= admit) {
                 self.inflight.pop_front();
             }
         }
-        admit
+        (admit, blocker)
     }
 
     /// Disk busy time overlapping `[lo, hi)`, pruning intervals that can
@@ -158,24 +175,54 @@ impl ServiceEngine {
         self.disk_busy_total += t.disk_done - t.disk_start;
         self.overlap_total += t.overlap;
         self.queue_stall_total += t.queue_stall;
+        self.cross_stall_total += t.cross_stall;
         self.max_depth = self.max_depth.max(t.depth);
     }
 
     /// Service a write of `bytes` whose disk stage costs `disk_time`
     /// (positioning, streaming and any fault penalties, computed by the
     /// caller). The NIC receives the payload first; the disk stage follows.
+    /// Untagged convenience wrapper over [`ServiceEngine::write_tagged`].
     pub fn write(&mut self, arrival: Time, bytes: usize, disk_time: Time) -> StageTiming {
-        let admit = self.admit(arrival);
+        self.write_tagged(arrival, bytes, disk_time, 0)
+    }
+
+    /// Tagged write: identical timing to [`ServiceEngine::write`], but wait
+    /// time spent behind occupants with a different `tag` (another file's
+    /// traffic on a shared cluster) is attributed to `cross_stall`. The tag
+    /// is pure accounting — it never changes the stage clocks.
+    pub fn write_tagged(
+        &mut self,
+        arrival: Time,
+        bytes: usize,
+        disk_time: Time,
+        tag: u64,
+    ) -> StageTiming {
+        let (admit, blocker) = self.admit(arrival);
         let depth = self.inflight.len() + 1;
         let nic_start = self.nic_free.max(admit);
         let nic_done = nic_start + self.model.nic.p2p(bytes);
+        let nic_wait = nic_start - admit;
         self.nic_free = nic_done;
         let disk_start = self.disk_free.max(nic_done);
         let disk_done = disk_start + disk_time;
+        let disk_wait = disk_start - nic_done;
         self.disk_free = disk_done;
-        self.inflight.push_back(disk_done);
+        self.inflight.push_back((disk_done, tag));
         let overlap = self.overlap_with(nic_start, nic_done);
         self.disk_busy.push_back((disk_start, disk_done));
+        let mut cross_stall = Time::ZERO;
+        if admit > arrival && blocker.is_some() && blocker != Some(tag) {
+            cross_stall += admit - arrival;
+        }
+        if nic_wait > Time::ZERO && self.nic_last.is_some() && self.nic_last != Some(tag) {
+            cross_stall += nic_wait;
+        }
+        if disk_wait > Time::ZERO && self.disk_last.is_some() && self.disk_last != Some(tag) {
+            cross_stall += disk_wait;
+        }
+        self.nic_last = Some(tag);
+        self.disk_last = Some(tag);
         let t = StageTiming {
             arrival,
             admit,
@@ -186,6 +233,7 @@ impl ServiceEngine {
             queue_stall: admit - arrival,
             overlap,
             depth,
+            cross_stall,
         };
         self.tally(&t);
         t
@@ -194,15 +242,39 @@ impl ServiceEngine {
     /// Service a read of `bytes` whose disk stage costs `disk_time`. The
     /// disk runs first, then the NIC ships the payload back; reads are
     /// synchronous (the client waits), so they bypass the admission queue.
+    /// Untagged convenience wrapper over [`ServiceEngine::read_tagged`].
     pub fn read(&mut self, arrival: Time, bytes: usize, disk_time: Time) -> StageTiming {
+        self.read_tagged(arrival, bytes, disk_time, 0)
+    }
+
+    /// Tagged read: identical timing to [`ServiceEngine::read`], with
+    /// cross-file wait attribution as in [`ServiceEngine::write_tagged`].
+    pub fn read_tagged(
+        &mut self,
+        arrival: Time,
+        bytes: usize,
+        disk_time: Time,
+        tag: u64,
+    ) -> StageTiming {
         let disk_start = self.disk_free.max(arrival);
         let disk_done = disk_start + disk_time;
+        let disk_wait = disk_start - arrival;
         self.disk_free = disk_done;
         let nic_start = self.nic_free.max(disk_done);
         let nic_done = nic_start + self.model.nic.p2p(bytes);
+        let nic_wait = nic_start - disk_done;
         self.nic_free = nic_done;
         self.disk_busy.push_back((disk_start, disk_done));
         let overlap = self.overlap_with(nic_start, nic_done);
+        let mut cross_stall = Time::ZERO;
+        if disk_wait > Time::ZERO && self.disk_last.is_some() && self.disk_last != Some(tag) {
+            cross_stall += disk_wait;
+        }
+        if nic_wait > Time::ZERO && self.nic_last.is_some() && self.nic_last != Some(tag) {
+            cross_stall += nic_wait;
+        }
+        self.disk_last = Some(tag);
+        self.nic_last = Some(tag);
         let t = StageTiming {
             arrival,
             admit: arrival,
@@ -213,6 +285,7 @@ impl ServiceEngine {
             queue_stall: Time::ZERO,
             overlap,
             depth: self.inflight.len(),
+            cross_stall,
         };
         self.tally(&t);
         t
@@ -225,6 +298,8 @@ impl ServiceEngine {
         self.disk_free = Time::ZERO;
         self.inflight.clear();
         self.disk_busy.clear();
+        self.nic_last = None;
+        self.disk_last = None;
     }
 }
 
@@ -289,6 +364,42 @@ mod tests {
         assert_eq!(r.disk_start, Time::from_millis(1));
         assert!(r.nic_start >= r.disk_done);
         assert_eq!(r.nic_done, r.disk_done + e.model().nic.p2p(4096));
+    }
+
+    #[test]
+    fn cross_stall_attributed_to_other_tags_only() {
+        let disk_t = Time::from_millis(5);
+        // Same tag back to back: waiting behind your own file is not
+        // cross-file contention.
+        let mut same = engine(4);
+        same.write_tagged(Time::ZERO, 4096, disk_t, 7);
+        let b = same.write_tagged(Time::ZERO, 4096, disk_t, 7);
+        assert!(b.disk_start > b.nic_done, "second write waits for the disk");
+        assert_eq!(b.cross_stall, Time::ZERO);
+        assert_eq!(same.cross_stall_total, Time::ZERO);
+        // Different tags: the same waits are attributed cross-file, and the
+        // stage clocks are identical to the same-tag run.
+        let mut diff = engine(4);
+        diff.write_tagged(Time::ZERO, 4096, disk_t, 7);
+        let c = diff.write_tagged(Time::ZERO, 4096, disk_t, 8);
+        assert_eq!(c.disk_done, b.disk_done, "tags never change timing");
+        assert_eq!(
+            c.cross_stall,
+            (c.nic_start - c.admit) + (c.disk_start - c.nic_done)
+        );
+        assert!(diff.cross_stall_total > Time::ZERO);
+    }
+
+    #[test]
+    fn cross_stall_on_queue_blocker_and_reads() {
+        let disk_t = Time::from_millis(5);
+        let mut e = engine(1);
+        e.write_tagged(Time::ZERO, 1024, disk_t, 1);
+        let b = e.write_tagged(Time::ZERO, 1024, disk_t, 2);
+        assert!(b.queue_stall > Time::ZERO);
+        assert!(b.cross_stall >= b.queue_stall, "queue blocker was file 1");
+        let r = e.read_tagged(Time::ZERO, 1024, disk_t, 3);
+        assert!(r.cross_stall > Time::ZERO, "read waited behind file 2");
     }
 
     #[test]

@@ -120,6 +120,9 @@ pub struct ServerCounters {
     pub overlap_nanos: u64,
     /// Time requests stalled at the full bounded admission queue.
     pub queue_stall_nanos: u64,
+    /// Wait time (queue, NIC, disk) spent behind *other files'* requests —
+    /// cross-file contention on a shared service cluster.
+    pub cross_file_stall_nanos: u64,
     /// Deepest admission-queue occupancy observed.
     pub max_queue_depth: u64,
 }
@@ -133,6 +136,9 @@ pub struct IoStages {
     pub disk_busy_nanos: u64,
     pub overlap_nanos: u64,
     pub queue_stall_nanos: u64,
+    /// Wait time attributable to other files' traffic (see
+    /// [`ServerCounters::cross_file_stall_nanos`]).
+    pub cross_stall_nanos: u64,
     /// Admission-queue depth observed by this request.
     pub depth: u64,
 }
@@ -271,6 +277,8 @@ struct Inner {
     faults: Mutex<FaultCounters>,
     failover: Mutex<FailoverCounters>,
     cache: Mutex<CacheCounters>,
+    /// Unknown or malformed `pnc_*`/MPI-IO hints rejected at file open.
+    hints_rejected: AtomicU64,
     /// Named report fragments attached by higher layers (dataset roll-ups).
     extras: Mutex<Vec<(String, Json)>>,
 }
@@ -317,6 +325,7 @@ impl Profile {
                 faults: Mutex::new(FaultCounters::default()),
                 failover: Mutex::new(FailoverCounters::default()),
                 cache: Mutex::new(CacheCounters::default()),
+                hints_rejected: AtomicU64::new(0),
                 extras: Mutex::new(Vec::new()),
             }),
         }
@@ -432,6 +441,7 @@ impl Profile {
         s.disk_busy_nanos += stages.disk_busy_nanos;
         s.overlap_nanos += stages.overlap_nanos;
         s.queue_stall_nanos += stages.queue_stall_nanos;
+        s.cross_file_stall_nanos += stages.cross_stall_nanos;
         s.max_queue_depth = s.max_queue_depth.max(stages.depth);
     }
 
@@ -507,6 +517,18 @@ impl Profile {
         *lock(&self.inner.cache)
     }
 
+    /// Count one rejected (unknown or malformed) hint key/value observed
+    /// at file open. Counted even while profiling is off: a misspelled
+    /// hint should be discoverable without enabling the full profile.
+    pub fn record_hint_rejected(&self) {
+        self.inner.hints_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Hints rejected so far.
+    pub fn hints_rejected(&self) -> u64 {
+        self.inner.hints_rejected.load(Ordering::Relaxed)
+    }
+
     /// Attach a named report fragment (e.g. a dataset roll-up at close).
     /// Replaces an existing fragment with the same name.
     pub fn attach_extra(&self, name: &str, value: Json) {
@@ -549,6 +571,7 @@ impl Profile {
             faults: *lock(&self.inner.faults),
             failover: *lock(&self.inner.failover),
             cache: *lock(&self.inner.cache),
+            hints_rejected: self.inner.hints_rejected.load(Ordering::Relaxed),
             extras: lock(&self.inner.extras).clone(),
         }
     }
@@ -581,6 +604,7 @@ impl Profile {
         *lock(&self.inner.faults) = FaultCounters::default();
         *lock(&self.inner.failover) = FailoverCounters::default();
         *lock(&self.inner.cache) = CacheCounters::default();
+        self.inner.hints_rejected.store(0, Ordering::Relaxed);
         lock(&self.inner.extras).clear();
     }
 }
@@ -615,6 +639,7 @@ pub struct ProfileSnapshot {
     pub faults: FaultCounters,
     pub failover: FailoverCounters,
     pub cache: CacheCounters,
+    pub hints_rejected: u64,
     pub extras: Vec<(String, Json)>,
 }
 
@@ -729,6 +754,7 @@ mod tests {
             disk_busy_nanos: 30,
             overlap_nanos: 7,
             queue_stall_nanos: 2,
+            cross_stall_nanos: 1,
             depth: 3,
         };
         p.record_io_stages(0, 64, false, false, 0, stages);
@@ -738,6 +764,7 @@ mod tests {
         assert_eq!(c.disk_busy_nanos, 60);
         assert_eq!(c.overlap_nanos, 14);
         assert_eq!(c.queue_stall_nanos, 4);
+        assert_eq!(c.cross_file_stall_nanos, 2);
         assert_eq!(c.max_queue_depth, 3, "depth is a high-water mark");
     }
 }

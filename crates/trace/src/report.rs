@@ -67,6 +67,10 @@ impl ProfileSnapshot {
                     .with("disk_busy_s", Json::from(nanos_to_s(s.disk_busy_nanos)))
                     .with("overlap_s", Json::from(nanos_to_s(s.overlap_nanos)))
                     .with("queue_stall_s", Json::from(nanos_to_s(s.queue_stall_nanos)))
+                    .with(
+                        "cross_file_stall_s",
+                        Json::from(nanos_to_s(s.cross_file_stall_nanos)),
+                    )
                     .with("max_queue_depth", Json::from(s.max_queue_depth)),
             );
         }
@@ -158,6 +162,7 @@ impl ProfileSnapshot {
             .with("collectives", collectives)
             .with("request_sizes", self.histograms_json())
             .with("servers", Json::Arr(servers))
+            .with("hints_rejected", Json::from(self.hints_rejected))
             .with("sieve", sieve)
             .with("twophase", twophase)
             .with("faults", faults)
