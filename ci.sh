@@ -22,7 +22,9 @@ PNETCDF_REPORT_DIR="$report_dir" ./target/release/fig7_flashio --quick >/dev/nul
 report="$report_dir/fig7_flashio.profile.json"
 [ -f "$report" ] || { echo "FAIL: $report was not written"; exit 1; }
 for key in exchange_offsets exchange_data disk_write disk_read metadata wait \
-           collbuf_pack compute p2p cache coverage per_rank twophase; do
+           collbuf_pack compute p2p cache coverage per_rank twophase \
+           bytepath flatten_hits flatten_hit_rate fused_pack_bytes \
+           copies_elided borrowed_bytes; do
     grep -q "\"$key\"" "$report" || { echo "FAIL: report missing key \"$key\""; exit 1; }
 done
 rm -rf "$report_dir"
@@ -149,6 +151,21 @@ grep -q '"deterministic": true' "$report" \
     || { echo "FAIL: session fleet not deterministic across reruns"; exit 1; }
 rm -rf "$report_dir"
 echo "    service report OK: cross-file stall, aggregate >= best session, hint audit"
+
+echo "==> microbench smoke: byte-path criterion suite (quick mode)"
+report_dir=$(mktemp -d)
+MICROBENCH_QUICK=1 PNETCDF_REPORT_DIR="$report_dir" \
+    cargo bench -q -p pnetcdf-bench --bench microbench >/dev/null
+report="$report_dir/BENCH_microbench.json"
+[ -f "$report" ] || { echo "FAIL: $report was not written"; exit 1; }
+# Quick mode gates at "not slower": the fused pack and the chunked swap
+# kernels must not regress below their staged/per-element baselines.
+for key in gate_swap4_ok gate_swap8_ok gate_pack_ok; do
+    grep -q "\"$key\": true" "$report" \
+        || { echo "FAIL: microbench gate \"$key\" did not pass"; exit 1; }
+done
+rm -rf "$report_dir"
+echo "    microbench OK: swap kernels and fused pack at or above baseline"
 
 echo "==> bench results: twophase_bench (BENCH_twophase.json)"
 ./target/release/twophase_bench >/dev/null

@@ -1,0 +1,259 @@
+//! Microbenchmarks of the zero-copy byte path: chunked byteswap kernels vs
+//! the old per-element reference, fused gather+swap packing vs the staged
+//! pack-then-swap pair, datatype flattening, and the sieve read-modify-write
+//! loop.
+//!
+//! Besides the usual criterion report lines, this suite writes
+//! `BENCH_microbench.json` (honouring `PNETCDF_REPORT_DIR`) with measured
+//! throughputs, speedups, and pass/fail gates:
+//!
+//! - `gate_swap4_ok` / `gate_swap8_ok`: the chunked swap kernels beat the
+//!   per-element baseline by >= 2x on 4- and 8-byte elements (full mode).
+//! - `gate_pack_ok`: the fused pack beats staged pack+swap by >= 1.3x at a
+//!   FLASH-checkpoint-sized noncontiguous access (full mode).
+//!
+//! `MICROBENCH_QUICK=1` shrinks the working set and relaxes the gates to
+//! "not slower" so CI smoke runs stay fast and noise-tolerant.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hpc_sim::trace::Json;
+use hpc_sim::{SimConfig, Time};
+use pnetcdf_bench::report::report_path;
+use pnetcdf_format::swap;
+use pnetcdf_format::NcValue;
+use pnetcdf_mpi::pack::{pack, pack_with};
+use pnetcdf_mpi::{flatten, Datatype};
+use pnetcdf_mpio::sieve;
+use pnetcdf_pfs::{Pfs, StorageMode};
+
+fn quick() -> bool {
+    std::env::var_os("MICROBENCH_QUICK").is_some()
+}
+
+/// Working-set size: a FLASH checkpoint moves ~8 MiB per process.
+fn working_set() -> usize {
+    if quick() {
+        1 << 20
+    } else {
+        8 << 20
+    }
+}
+
+fn samples() -> u32 {
+    if quick() {
+        5
+    } else {
+        20
+    }
+}
+
+/// Minimum time per iteration over `samples()` runs (after one warmup).
+/// The minimum is the least noise-sensitive estimator for short,
+/// allocation-free payloads.
+fn timeit<O>(mut f: impl FnMut() -> O) -> Duration {
+    criterion::black_box(f());
+    let mut best = Duration::MAX;
+    for _ in 0..samples() {
+        let start = Instant::now();
+        criterion::black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn mb_s(bytes: usize, d: Duration) -> f64 {
+    if d.is_zero() {
+        return 0.0;
+    }
+    bytes as f64 / d.as_secs_f64() / 1e6
+}
+
+/// A FLASH-like noncontiguous memory description: `rows` rows of
+/// `row_bytes` useful bytes with a `gap_bytes` pad between them, all
+/// 8-byte aligned so the fused path takes its per-segment branch.
+fn flash_subarray(total: usize) -> (Vec<u8>, Datatype) {
+    let row = 4096usize; // bytes selected per row
+    let gap = 1024usize; // bytes skipped per row
+    let rows = total / row;
+    let dt = Datatype::vector(rows, row, (row + gap) as i64, Datatype::byte());
+    let buf: Vec<u8> = (0..rows * (row + gap)).map(|i| i as u8).collect();
+    (buf, dt)
+}
+
+// ---- criterion groups ------------------------------------------------------
+
+fn bench_swap_kernels(c: &mut Criterion) {
+    let bytes = working_set();
+    let src: Vec<u8> = (0..bytes).map(|i| i as u8).collect();
+    let mut g = c.benchmark_group("swap");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    for width in [2usize, 4, 8] {
+        g.bench_function(format!("kernel_w{width}"), |b| {
+            b.iter(|| swap::swap_to_vec(&src, width))
+        });
+        g.bench_function(format!("bytewise_w{width}"), |b| {
+            b.iter(|| swap::swap_bytewise(&src, width))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bulk_codec(c: &mut Criterion) {
+    let n = working_set() / 8;
+    let vals: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes((n * 8) as u64));
+    g.bench_function("slice_to_be_f64", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            f64::slice_to_be(&vals, &mut out);
+            out
+        })
+    });
+    let ext = pnetcdf_format::types::to_external(&vals, pnetcdf_format::NcType::Double).unwrap();
+    g.bench_function("slice_from_be_f64", |b| b.iter(|| f64::slice_from_be(&ext)));
+    g.finish();
+}
+
+fn bench_flatten(c: &mut Criterion) {
+    let (_, dt) = flash_subarray(working_set());
+    let mut g = c.benchmark_group("flatten");
+    g.throughput(Throughput::Bytes(dt.size()));
+    g.bench_function("vector_rows", |b| b.iter(|| flatten::flatten(&dt)));
+    g.finish();
+}
+
+fn bench_fused_pack(c: &mut Criterion) {
+    let (buf, dt) = flash_subarray(working_set());
+    let useful = dt.size() as usize;
+    let mut g = c.benchmark_group("pack");
+    g.throughput(Throughput::Bytes(useful as u64));
+    g.bench_function("staged_pack_then_swap", |b| {
+        b.iter(|| swap::swap_to_vec(&pack(&buf, 1, &dt).unwrap(), 8))
+    });
+    g.bench_function("fused_pack_swap", |b| {
+        b.iter(|| pack_with(&buf, 1, &dt, 8, |s, d| swap::swap_copy(s, d, 8)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_sieve_rmw(c: &mut Criterion) {
+    // Holes between every run force the read-modify-write path on every
+    // sieve window; the reused window buffer is what this exercises.
+    let runs: Vec<(u64, u64)> = (0..256u64).map(|i| (i * 1024, 512)).collect();
+    let data = vec![7u8; 256 * 512];
+    let mut g = c.benchmark_group("sieve");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.sample_size(10);
+    g.bench_function("rmw_write_256_runs", |b| {
+        b.iter(|| {
+            let f = Pfs::new(SimConfig::test_small(), StorageMode::Full).create("s");
+            sieve::write(&f, 64 << 10, true, Time::ZERO, &runs, &data).unwrap()
+        })
+    });
+    g.finish();
+}
+
+// ---- gate measurements + BENCH_microbench.json -----------------------------
+
+fn write_bench_json(_c: &mut Criterion) {
+    let bytes = working_set();
+    let src: Vec<u8> = (0..bytes).map(|i| i as u8).collect();
+
+    let mut swaps = Json::obj();
+    let mut speedup = [0.0f64; 3];
+    for (i, width) in [2usize, 4, 8].into_iter().enumerate() {
+        let kernel = timeit(|| swap::swap_to_vec(&src, width));
+        let bytewise = timeit(|| swap::swap_bytewise(&src, width));
+        speedup[i] = bytewise.as_secs_f64() / kernel.as_secs_f64().max(1e-12);
+        swaps.set(
+            &format!("w{width}"),
+            Json::obj()
+                .with("kernel_mb_s", Json::from(mb_s(bytes, kernel)))
+                .with("bytewise_mb_s", Json::from(mb_s(bytes, bytewise)))
+                .with("speedup", Json::from(speedup[i])),
+        );
+    }
+
+    let (buf, dt) = flash_subarray(bytes);
+    let useful = dt.size() as usize;
+    let staged = timeit(|| swap::swap_to_vec(&pack(&buf, 1, &dt).unwrap(), 8));
+    let fused = timeit(|| pack_with(&buf, 1, &dt, 8, |s, d| swap::swap_copy(s, d, 8)).unwrap());
+    let pack_speedup = staged.as_secs_f64() / fused.as_secs_f64().max(1e-12);
+
+    let flat = timeit(|| flatten::flatten(&dt));
+
+    let runs: Vec<(u64, u64)> = (0..256u64).map(|i| (i * 1024, 512)).collect();
+    let data = vec![7u8; 256 * 512];
+    let rmw = timeit(|| {
+        let f = Pfs::new(SimConfig::test_small(), StorageMode::Full).create("s");
+        sieve::write(&f, 64 << 10, true, Time::ZERO, &runs, &data).unwrap()
+    });
+
+    // Full mode asserts the paper-level wins (2x swap, 1.3x pack); quick
+    // mode only demands the fast path is not a regression.
+    let (swap_floor, pack_floor) = if quick() { (1.0, 1.0) } else { (2.0, 1.3) };
+    let gate_swap4 = speedup[1] >= swap_floor;
+    let gate_swap8 = speedup[2] >= swap_floor;
+    let gate_pack = pack_speedup >= pack_floor;
+
+    let report = Json::obj()
+        .with("quick", Json::from(quick()))
+        .with("working_set_bytes", Json::from(bytes as u64))
+        .with("swap", swaps)
+        .with(
+            "pack",
+            Json::obj()
+                .with("useful_bytes", Json::from(useful as u64))
+                .with("staged_mb_s", Json::from(mb_s(useful, staged)))
+                .with("fused_mb_s", Json::from(mb_s(useful, fused)))
+                .with("speedup", Json::from(pack_speedup)),
+        )
+        .with(
+            "flatten",
+            Json::obj().with("mb_s", Json::from(mb_s(dt.size() as usize, flat))),
+        )
+        .with(
+            "sieve_rmw",
+            Json::obj().with("useful_mb_s", Json::from(mb_s(data.len(), rmw))),
+        )
+        .with("swap_gate_floor", Json::from(swap_floor))
+        .with("pack_gate_floor", Json::from(pack_floor))
+        .with("gate_swap4_ok", Json::from(gate_swap4))
+        .with("gate_swap8_ok", Json::from(gate_swap8))
+        .with("gate_pack_ok", Json::from(gate_pack));
+
+    let path = report_path("BENCH_microbench.json");
+    std::fs::write(&path, report.pretty())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!(
+        "bench results: {} (swap4 {:.2}x, swap8 {:.2}x, pack {:.2}x)",
+        path.display(),
+        speedup[1],
+        speedup[2],
+        pack_speedup
+    );
+    assert!(
+        gate_swap4 && gate_swap8,
+        "swap kernels below the {swap_floor}x gate: w4 {:.2}x, w8 {:.2}x",
+        speedup[1],
+        speedup[2]
+    );
+    assert!(
+        gate_pack,
+        "fused pack below the {pack_floor}x gate: {pack_speedup:.2}x"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_swap_kernels,
+    bench_bulk_codec,
+    bench_flatten,
+    bench_fused_pack,
+    bench_sieve_rmw,
+    write_bench_json
+);
+criterion_main!(benches);

@@ -11,7 +11,7 @@
 //! The memory datatype's element width must equal the variable's external
 //! type width (the common usage); the conversion is then an endianness swap.
 
-use pnetcdf_mpi::{pack, Datatype};
+use pnetcdf_mpi::Datatype;
 
 use crate::convert;
 use crate::dataset::Dataset;
@@ -97,6 +97,30 @@ impl Dataset {
         )
     }
 
+    /// Independent flexible strided write (`ncmpi_put_vars`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_vars_flexible(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: &[u64],
+        buf: &[u8],
+        bufcount: usize,
+        memtype: &Datatype,
+    ) -> NcmpiResult<()> {
+        self.put_flexible(
+            varid,
+            start,
+            count,
+            Some(stride),
+            buf,
+            bufcount,
+            memtype,
+            false,
+        )
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn put_flexible(
         &mut self,
@@ -117,14 +141,19 @@ impl Dataset {
         self.require_writable()?;
         let (nctype, _) = self.flexible_common(varid, count, bufcount, memtype)?;
 
-        // Gather the (possibly noncontiguous) native memory, then swap to
-        // external byte order.
-        let native = pack::pack(buf, bufcount, memtype)?;
+        // Gather the (possibly noncontiguous) native memory and swap to
+        // external byte order in one fused pass. The simulator still
+        // charges the datatype walk and the conversion separately — the
+        // work happens, only the intermediate buffer is gone.
+        let ext = convert::pack_to_external(buf, bufcount, memtype, nctype)?;
+        self.comm
+            .config()
+            .profile
+            .record_bytepath(|b| b.fused_pack_bytes += ext.len() as u64);
         if !memtype.is_contiguous() {
             self.comm
-                .advance(self.comm.config().cpu.pack(native.len(), 1.0));
+                .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
         }
-        let ext = convert::native_to_external(&native, nctype);
         self.comm
             .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
 
@@ -183,6 +212,30 @@ impl Dataset {
         )
     }
 
+    /// Independent flexible strided read (`ncmpi_get_vars`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_vars_flexible(
+        &mut self,
+        varid: usize,
+        start: &[u64],
+        count: &[u64],
+        stride: &[u64],
+        buf: &mut [u8],
+        bufcount: usize,
+        memtype: &Datatype,
+    ) -> NcmpiResult<()> {
+        self.get_flexible(
+            varid,
+            start,
+            count,
+            Some(stride),
+            buf,
+            bufcount,
+            memtype,
+            false,
+        )
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn get_flexible(
         &mut self,
@@ -203,10 +256,14 @@ impl Dataset {
         let (nctype, _) = self.flexible_common(varid, count, bufcount, memtype)?;
         let req = self.lower_get(varid, start, count, stride)?;
         let ext = self.execute_get_now(&req, collective)?;
-        let native = convert::external_to_native(&ext, nctype);
         self.comm
-            .advance(self.comm.config().cpu.pack(native.len(), 1.0));
-        pack::unpack(&native, buf, bufcount, memtype)?;
+            .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
+        self.comm
+            .config()
+            .profile
+            .record_bytepath(|b| b.fused_unpack_bytes += ext.len() as u64);
+        // Fused convert+scatter back into the user's memory description.
+        convert::unpack_from_external(&ext, buf, bufcount, memtype, nctype)?;
         Ok(())
     }
 }

@@ -20,7 +20,7 @@ use hpc_sim::trace::events::layer;
 use hpc_sim::{Span, Time, TraceCtx};
 use pnetcdf_format::types::{from_external, to_external};
 use pnetcdf_format::{NcType, NcValue};
-use pnetcdf_mpi::{pack, Datatype, ReduceOp, Request};
+use pnetcdf_mpi::{Datatype, ReduceOp, Request};
 use pnetcdf_mpio::{MpioError, Run};
 
 use crate::convert;
@@ -59,78 +59,117 @@ pub(crate) struct AccessReq {
 
 // ---- request merging --------------------------------------------------------
 
-/// Sorted, non-overlapping staged byte segments. Inserting later requests
-/// overwrites earlier ones where they overlap (last request wins — the same
-/// deterministic rule two-phase I/O applies across ranks).
+/// One overlap-resolved slice of a request's staged buffer: `len` bytes at
+/// file offset `off`, found at byte `pos` of source buffer `src`. Pieces
+/// carry no bytes — overlap resolution is pure arithmetic on them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Piece {
+    off: u64,
+    len: u64,
+    src: usize,
+    pos: u64,
+}
+
+impl Piece {
+    fn end(&self) -> u64 {
+        self.off + self.len
+    }
+}
+
+/// Sorted, non-overlapping references into the requests' staged buffers.
+/// Inserting later requests overwrites earlier ones where they overlap
+/// (last request wins — the same deterministic rule two-phase I/O applies
+/// across ranks). Unlike the old owned-segment design, resolving overlaps
+/// never copies a byte: the only copy happens in [`RunStage::into_merged_with`],
+/// one gather pass from the source buffers into the final staging buffer.
 #[derive(Default)]
 pub(crate) struct RunStage {
-    segs: Vec<(u64, Vec<u8>)>,
+    pieces: Vec<Piece>,
 }
 
 impl RunStage {
-    /// Overlay `bytes` at file offset `off`.
-    pub(crate) fn insert(&mut self, off: u64, bytes: &[u8]) {
-        if bytes.is_empty() {
+    /// Overlay `len` bytes at file offset `off`, sourced from byte `pos` of
+    /// source buffer `src`.
+    pub(crate) fn insert(&mut self, off: u64, len: u64, src: usize, pos: u64) {
+        if len == 0 {
             return;
         }
-        let end = off + bytes.len() as u64;
-        let mut i = self
-            .segs
-            .partition_point(|(o, b)| o + b.len() as u64 <= off);
-        if i < self.segs.len() && self.segs[i].0 < off {
-            // The segment straddles `off`: split it, keeping the head.
-            let (so, sb) = &mut self.segs[i];
-            let tail = sb.split_off((off - *so) as usize);
-            self.segs.insert(i + 1, (off, tail));
+        let end = off + len;
+        let mut i = self.pieces.partition_point(|p| p.end() <= off);
+        if i < self.pieces.len() && self.pieces[i].off < off {
+            // The piece straddles `off`: split it, keeping the head.
+            let head = &mut self.pieces[i];
+            let keep = off - head.off;
+            let tail = Piece {
+                off,
+                len: head.len - keep,
+                src: head.src,
+                pos: head.pos + keep,
+            };
+            head.len = keep;
+            self.pieces.insert(i + 1, tail);
             i += 1;
         }
-        while i < self.segs.len() && self.segs[i].0 < end {
-            let send = self.segs[i].0 + self.segs[i].1.len() as u64;
-            if send <= end {
-                self.segs.remove(i);
+        while i < self.pieces.len() && self.pieces[i].off < end {
+            if self.pieces[i].end() <= end {
+                self.pieces.remove(i);
             } else {
-                // Trim the overwritten head of the trailing segment.
-                let seg = &mut self.segs[i];
-                seg.1.drain(..(end - seg.0) as usize);
-                seg.0 = end;
+                // Trim the overwritten head of the trailing piece.
+                let p = &mut self.pieces[i];
+                let cut = end - p.off;
+                p.off = end;
+                p.pos += cut;
+                p.len -= cut;
                 break;
             }
         }
-        self.segs.insert(i, (off, bytes.to_vec()));
+        self.pieces.insert(i, Piece { off, len, src, pos });
     }
 
-    /// Final merged form: coalesced runs plus the packed staging buffer.
-    pub(crate) fn into_merged(self) -> (Vec<Run>, Vec<u8>) {
-        let mut runs: Vec<Run> = Vec::with_capacity(self.segs.len());
-        let mut staging = Vec::with_capacity(self.segs.iter().map(|(_, b)| b.len()).sum());
-        for (off, bytes) in self.segs {
-            let len = bytes.len() as u64;
-            if let Some(last) = runs.last_mut() {
-                if last.0 + last.1 == off {
-                    last.1 += len;
-                    staging.extend_from_slice(&bytes);
-                    continue;
-                }
+    /// Final merged form: coalesced runs plus the staging buffer, gathered
+    /// in a single pass from the source buffers the pieces reference.
+    pub(crate) fn into_merged_with(self, sources: &[&[u8]]) -> (Vec<Run>, Vec<u8>) {
+        let total: u64 = self.pieces.iter().map(|p| p.len).sum();
+        let mut runs: Vec<Run> = Vec::with_capacity(self.pieces.len());
+        let mut staging = Vec::with_capacity(total as usize);
+        for p in &self.pieces {
+            match runs.last_mut() {
+                Some(last) if last.0 + last.1 == p.off => last.1 += p.len,
+                _ => runs.push((p.off, p.len)),
             }
-            runs.push((off, len));
-            staging.extend_from_slice(&bytes);
+            staging.extend_from_slice(&sources[p.src][p.pos as usize..(p.pos + p.len) as usize]);
         }
         (runs, staging)
     }
 }
 
+/// True when the runs are sorted, non-overlapping, and non-adjacent — i.e.
+/// already in the exact shape `into_merged_with` would produce.
+fn runs_coalesced(runs: &[Run]) -> bool {
+    runs.windows(2).all(|w| w[0].0 + w[0].1 < w[1].0)
+}
+
 /// Merge the put requests into one sorted run list + staging buffer, later
-/// requests winning overlaps.
-fn merge_puts(reqs: &[AccessReq]) -> (Vec<Run>, Vec<u8>) {
-    let mut stage = RunStage::default();
-    for req in reqs.iter().filter(|r| r.kind == AccessKind::Put) {
-        let mut pos = 0usize;
-        for &(off, len) in &req.runs {
-            stage.insert(off, &req.buffer[pos..pos + len as usize]);
-            pos += len as usize;
+/// requests winning overlaps. A single coalesced put needs no merge at all:
+/// its staged buffer is borrowed as-is (zero copies).
+fn merge_puts(reqs: &[AccessReq]) -> (Vec<Run>, std::borrow::Cow<'_, [u8]>) {
+    let puts: Vec<&AccessReq> = reqs.iter().filter(|r| r.kind == AccessKind::Put).collect();
+    if let [only] = puts.as_slice() {
+        if runs_coalesced(&only.runs) {
+            return (only.runs.clone(), std::borrow::Cow::Borrowed(&only.buffer));
         }
     }
-    stage.into_merged()
+    let mut stage = RunStage::default();
+    let sources: Vec<&[u8]> = puts.iter().map(|r| r.buffer.as_slice()).collect();
+    for (src, req) in puts.iter().enumerate() {
+        let mut pos = 0u64;
+        for &(off, len) in &req.runs {
+            stage.insert(off, len, src, pos);
+            pos += len;
+        }
+    }
+    let (runs, staging) = stage.into_merged_with(&sources);
+    (runs, std::borrow::Cow::Owned(staging))
 }
 
 /// Union of all get requests' runs: sorted, coalesced coverage.
@@ -467,12 +506,18 @@ impl Dataset {
     ) -> NcmpiResult<Request> {
         self.require_data_mode()?;
         let (nctype, _) = self.flexible_common(varid, count, bufcount, memtype)?;
-        let native = pack::pack(buf, bufcount, memtype)?;
+        // Fused gather+convert: one pass instead of pack-then-swap. The
+        // simulator still charges both steps — the datatype walk and the
+        // endianness conversion are real work; only the extra buffer is gone.
+        let ext = convert::pack_to_external(buf, bufcount, memtype, nctype)?;
+        self.comm
+            .config()
+            .profile
+            .record_bytepath(|b| b.fused_pack_bytes += ext.len() as u64);
         if !memtype.is_contiguous() {
             self.comm
-                .advance(self.comm.config().cpu.pack(native.len(), 1.0));
+                .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
         }
-        let ext = convert::native_to_external(&native, nctype);
         self.comm
             .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
         let req = self.lower_put(varid, start, count, None, ext)?;
@@ -560,10 +605,14 @@ impl Dataset {
             .results
             .remove(&req.id())
             .ok_or_else(|| NcmpiError::NotFound(format!("completed request {req:?}")))??;
-        let native = convert::external_to_native(&ext, nctype);
         self.comm
-            .advance(self.comm.config().cpu.pack(native.len(), 1.0));
-        pack::unpack(&native, buf, bufcount, memtype)?;
+            .advance(self.comm.config().cpu.pack(ext.len(), 1.0));
+        self.comm
+            .config()
+            .profile
+            .record_bytepath(|b| b.fused_unpack_bytes += ext.len() as u64);
+        // Fused convert+scatter: one pass instead of swap-then-unpack.
+        convert::unpack_from_external(&ext, buf, bufcount, memtype, nctype)?;
         Ok(())
     }
 
@@ -639,6 +688,12 @@ impl Dataset {
         let mut failure: Option<NcmpiError> = None;
         if do_puts {
             let (runs, staging) = merge_puts(reqs);
+            if matches!(staging, std::borrow::Cow::Borrowed(_)) {
+                self.comm.config().profile.record_bytepath(|b| {
+                    b.copies_elided += 1;
+                    b.borrowed_bytes += staging.len() as u64;
+                });
+            }
             // Merging N staged buffers into one is memcpy work.
             self.comm
                 .advance(self.comm.config().cpu.pack(staging.len(), 1.0));
@@ -772,46 +827,96 @@ impl Dataset {
 mod tests {
     use super::*;
 
+    /// Stage each source buffer in order (whole buffer at one offset) and
+    /// gather the merged result.
+    fn merged(inserts: &[(u64, &[u8])]) -> (Vec<Run>, Vec<u8>) {
+        let mut s = RunStage::default();
+        for (src, &(off, bytes)) in inserts.iter().enumerate() {
+            s.insert(off, bytes.len() as u64, src, 0);
+        }
+        let sources: Vec<&[u8]> = inserts.iter().map(|&(_, b)| b).collect();
+        s.into_merged_with(&sources)
+    }
+
     #[test]
     fn run_stage_disjoint_inserts_coalesce() {
-        let mut s = RunStage::default();
-        s.insert(8, &[3, 4]);
-        s.insert(0, &[1, 2]);
-        s.insert(2, &[9, 9]);
-        let (runs, data) = s.into_merged();
+        let (runs, data) = merged(&[(8, &[3, 4]), (0, &[1, 2]), (2, &[9, 9])]);
         assert_eq!(runs, vec![(0, 4), (8, 2)]);
         assert_eq!(data, vec![1, 2, 9, 9, 3, 4]);
     }
 
     #[test]
     fn run_stage_later_insert_wins_overlap() {
-        let mut s = RunStage::default();
-        s.insert(0, &[1; 8]);
-        s.insert(2, &[2; 4]); // punches the middle
-        let (runs, data) = s.into_merged();
+        // Second insert punches the middle of the first.
+        let (runs, data) = merged(&[(0, &[1; 8]), (2, &[2; 4])]);
         assert_eq!(runs, vec![(0, 8)]);
         assert_eq!(data, vec![1, 1, 2, 2, 2, 2, 1, 1]);
     }
 
     #[test]
     fn run_stage_overlap_spanning_segments() {
-        let mut s = RunStage::default();
-        s.insert(0, &[1; 4]);
-        s.insert(6, &[2; 4]);
-        s.insert(2, &[3; 6]); // covers tail of first, head of second
-        let (runs, data) = s.into_merged();
+        // Third insert covers the tail of the first, head of the second.
+        let (runs, data) = merged(&[(0, &[1; 4]), (6, &[2; 4]), (2, &[3; 6])]);
         assert_eq!(runs, vec![(0, 10)]);
         assert_eq!(data, vec![1, 1, 3, 3, 3, 3, 3, 3, 2, 2]);
     }
 
     #[test]
     fn run_stage_full_cover_replaces() {
-        let mut s = RunStage::default();
-        s.insert(4, &[1; 2]);
-        s.insert(0, &[2; 10]);
-        let (runs, data) = s.into_merged();
+        let (runs, data) = merged(&[(4, &[1; 2]), (0, &[2; 10])]);
         assert_eq!(runs, vec![(0, 10)]);
         assert_eq!(data, vec![2; 10]);
+    }
+
+    #[test]
+    fn run_stage_split_keeps_source_positions() {
+        // One multi-run source overlaid in its middle: the surviving head
+        // and tail pieces must still index the right bytes of the source.
+        let src0: Vec<u8> = (10..20).collect();
+        let src1 = vec![99u8; 4];
+        let mut s = RunStage::default();
+        s.insert(0, 10, 0, 0);
+        s.insert(3, 4, 1, 0);
+        let (runs, data) = s.into_merged_with(&[&src0, &src1]);
+        assert_eq!(runs, vec![(0, 10)]);
+        assert_eq!(data, vec![10, 11, 12, 99, 99, 99, 99, 17, 18, 19]);
+    }
+
+    fn put_req(runs: Vec<Run>, buffer: Vec<u8>) -> AccessReq {
+        AccessReq {
+            id: Request::NULL,
+            varid: 0,
+            kind: AccessKind::Put,
+            runs,
+            buffer,
+            nctype: NcType::Byte,
+            record: false,
+            trace_id: 0,
+            queued: Time::ZERO,
+        }
+    }
+
+    #[test]
+    fn single_put_borrows_staging() {
+        let reqs = vec![put_req(vec![(0, 2), (8, 2)], vec![1, 2, 3, 4])];
+        let (runs, staging) = merge_puts(&reqs);
+        assert_eq!(runs, vec![(0, 2), (8, 2)]);
+        assert!(
+            matches!(staging, std::borrow::Cow::Borrowed(_)),
+            "single coalesced put must not copy its staging buffer"
+        );
+        assert_eq!(&*staging, &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn multi_put_merges_last_wins() {
+        let reqs = vec![
+            put_req(vec![(0, 4)], vec![1; 4]),
+            put_req(vec![(2, 4)], vec![2; 4]),
+        ];
+        let (runs, staging) = merge_puts(&reqs);
+        assert_eq!(runs, vec![(0, 6)]);
+        assert_eq!(&*staging, &[1, 1, 2, 2, 2, 2]);
     }
 
     #[test]

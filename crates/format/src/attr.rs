@@ -77,32 +77,12 @@ impl Attr {
         w.put_u32(self.value.nc_type().code());
         w.put_u32(self.value.len() as u32);
         match &self.value {
-            AttrValue::Byte(v) => {
-                for &x in v {
-                    w.put_u8(x as u8);
-                }
-            }
+            AttrValue::Byte(v) => w.put_slice(v),
             AttrValue::Char(s) => w.put_bytes(s.as_bytes()),
-            AttrValue::Short(v) => {
-                for &x in v {
-                    w.put_i16(x);
-                }
-            }
-            AttrValue::Int(v) => {
-                for &x in v {
-                    w.put_i32(x);
-                }
-            }
-            AttrValue::Float(v) => {
-                for &x in v {
-                    w.put_f32(x);
-                }
-            }
-            AttrValue::Double(v) => {
-                for &x in v {
-                    w.put_f64(x);
-                }
-            }
+            AttrValue::Short(v) => w.put_slice(v),
+            AttrValue::Int(v) => w.put_slice(v),
+            AttrValue::Float(v) => w.put_slice(v),
+            AttrValue::Double(v) => w.put_slice(v),
         }
         w.align4();
     }
@@ -113,47 +93,17 @@ impl Attr {
         let n = r.get_u32()? as usize;
         r.check_count(n, t.size() as usize)?;
         let value = match t {
-            NcType::Byte => {
-                let mut v = Vec::with_capacity(n);
-                for _ in 0..n {
-                    v.push(r.get_u8()? as i8);
-                }
-                AttrValue::Byte(v)
-            }
+            NcType::Byte => AttrValue::Byte(r.get_slice(n)?),
             NcType::Char => {
                 let bytes = r.get_bytes(n)?.to_vec();
                 AttrValue::Char(String::from_utf8(bytes).map_err(|_| {
                     FormatError::Corrupt("char attribute is not valid UTF-8".into())
                 })?)
             }
-            NcType::Short => {
-                let mut v = Vec::with_capacity(n);
-                for _ in 0..n {
-                    v.push(r.get_i16()?);
-                }
-                AttrValue::Short(v)
-            }
-            NcType::Int => {
-                let mut v = Vec::with_capacity(n);
-                for _ in 0..n {
-                    v.push(r.get_i32()?);
-                }
-                AttrValue::Int(v)
-            }
-            NcType::Float => {
-                let mut v = Vec::with_capacity(n);
-                for _ in 0..n {
-                    v.push(r.get_f32()?);
-                }
-                AttrValue::Float(v)
-            }
-            NcType::Double => {
-                let mut v = Vec::with_capacity(n);
-                for _ in 0..n {
-                    v.push(r.get_f64()?);
-                }
-                AttrValue::Double(v)
-            }
+            NcType::Short => AttrValue::Short(r.get_slice(n)?),
+            NcType::Int => AttrValue::Int(r.get_slice(n)?),
+            NcType::Float => AttrValue::Float(r.get_slice(n)?),
+            NcType::Double => AttrValue::Double(r.get_slice(n)?),
         };
         r.align4()?;
         Ok(Attr { name, value })

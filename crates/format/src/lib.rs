@@ -7,6 +7,8 @@
 //! unlimited dimension (paper Figure 1). This crate implements that format:
 //!
 //! * [`xdr`] — the XDR-like big-endian encoding with 4-byte alignment;
+//! * [`swap`] — chunked, width-specialized byteswap kernels shared by the
+//!   whole byte path (codec fast paths, fused pack/unpack);
 //! * [`types`] — the six external types and native-value conversion;
 //! * [`header`] — header encode/decode (dimensions, attributes, variables);
 //! * [`layout`] — `vsize`/`begin`/record-size computation, i.e. exactly the
@@ -21,6 +23,7 @@ pub mod error;
 pub mod header;
 pub mod layout;
 pub mod name;
+pub mod swap;
 pub mod types;
 pub mod var;
 pub mod xdr;

@@ -86,6 +86,40 @@ pub trait NcValue: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
     fn as_f64(self) -> f64;
     /// Convert from a double, which is exact for every external type.
     fn from_f64(v: f64) -> FormatResult<Self>;
+
+    /// Append the big-endian external bytes of a whole slice (natural type
+    /// only). Each implementation is a monomorphic fixed-width loop the
+    /// autovectorizer turns into a bulk byteswap, so the same-type encode
+    /// path is one pass instead of a per-element trip through `f64`.
+    fn slice_to_be(vals: &[Self], out: &mut Vec<u8>);
+
+    /// Decode a whole slice of big-endian external elements of the natural
+    /// type. `bytes.len()` must be a multiple of the element width.
+    fn slice_from_be(bytes: &[u8]) -> Vec<Self>;
+}
+
+/// Generates the bulk big-endian slice codecs for a multi-byte primitive:
+/// fixed-width `to_be_bytes`/`from_be_bytes` loops over `chunks_exact`, the
+/// shape LLVM vectorizes into `pshufb`-style lane swaps.
+macro_rules! bulk_be_codec {
+    ($ty:ty) => {
+        fn slice_to_be(vals: &[Self], out: &mut Vec<u8>) {
+            const W: usize = std::mem::size_of::<$ty>();
+            let start = out.len();
+            out.resize(start + vals.len() * W, 0);
+            for (v, c) in vals.iter().zip(out[start..].chunks_exact_mut(W)) {
+                c.copy_from_slice(&v.to_be_bytes());
+            }
+        }
+        fn slice_from_be(bytes: &[u8]) -> Vec<Self> {
+            const W: usize = std::mem::size_of::<$ty>();
+            debug_assert_eq!(bytes.len() % W, 0);
+            bytes
+                .chunks_exact(W)
+                .map(|c| <$ty>::from_be_bytes(c.try_into().unwrap()))
+                .collect()
+        }
+    };
 }
 
 fn range_err<T>(v: f64) -> FormatResult<T> {
@@ -103,6 +137,12 @@ impl NcValue for i8 {
         }
         Ok(v as i8)
     }
+    fn slice_to_be(vals: &[i8], out: &mut Vec<u8>) {
+        out.extend(vals.iter().map(|&v| v as u8));
+    }
+    fn slice_from_be(bytes: &[u8]) -> Vec<i8> {
+        bytes.iter().map(|&b| b as i8).collect()
+    }
 }
 
 impl NcValue for u8 {
@@ -115,6 +155,12 @@ impl NcValue for u8 {
             return range_err(v);
         }
         Ok(v as u8)
+    }
+    fn slice_to_be(vals: &[u8], out: &mut Vec<u8>) {
+        out.extend_from_slice(vals);
+    }
+    fn slice_from_be(bytes: &[u8]) -> Vec<u8> {
+        bytes.to_vec()
     }
 }
 
@@ -129,6 +175,7 @@ impl NcValue for i16 {
         }
         Ok(v as i16)
     }
+    bulk_be_codec!(i16);
 }
 
 impl NcValue for i32 {
@@ -142,6 +189,7 @@ impl NcValue for i32 {
         }
         Ok(v as i32)
     }
+    bulk_be_codec!(i32);
 }
 
 impl NcValue for f32 {
@@ -154,6 +202,7 @@ impl NcValue for f32 {
         // overflow-to-infinity; we mirror that (it clamps to +-inf).
         Ok(v as f32)
     }
+    bulk_be_codec!(f32);
 }
 
 impl NcValue for f64 {
@@ -164,6 +213,7 @@ impl NcValue for f64 {
     fn from_f64(v: f64) -> FormatResult<f64> {
         Ok(v)
     }
+    bulk_be_codec!(f64);
 }
 
 /// Encode one external element (big-endian) from a double.
@@ -214,9 +264,23 @@ pub fn fill_element_bytes(t: NcType, value: f64) -> Vec<u8> {
 
 /// Convert native values to the external representation of `ext`.
 ///
-/// The same-type fast path is a pure byte-swap; cross-type conversion goes
-/// through `f64` with range checks (netCDF-3 semantics).
+/// When `ext` is the natural type of `T` this is one bulk byteswap pass
+/// ([`NcValue::slice_to_be`]); cross-type conversion falls back to the
+/// per-element trip through `f64` with range checks (netCDF-3 semantics).
 pub fn to_external<T: NcValue>(vals: &[T], ext: NcType) -> FormatResult<Vec<u8>> {
+    if ext == T::NATURAL {
+        let mut out = Vec::new();
+        T::slice_to_be(vals, &mut out);
+        return Ok(out);
+    }
+    to_external_by_element(vals, ext)
+}
+
+/// The pre-kernel per-element encode path: every value goes through `f64`
+/// and [`encode_one`], even for same-type conversion. Kept public as the
+/// staged reference baseline for the microbench suite and the byte-identity
+/// property tests; [`to_external`] only uses it for cross-type conversion.
+pub fn to_external_by_element<T: NcValue>(vals: &[T], ext: NcType) -> FormatResult<Vec<u8>> {
     let mut out = Vec::with_capacity(vals.len() * ext.size() as usize);
     for &v in vals {
         encode_one(ext, v.as_f64(), &mut out)?;
@@ -225,7 +289,25 @@ pub fn to_external<T: NcValue>(vals: &[T], ext: NcType) -> FormatResult<Vec<u8>>
 }
 
 /// Convert external bytes of type `ext` into native values.
+///
+/// Same-type decode is one bulk byteswap pass ([`NcValue::slice_from_be`]);
+/// cross-type falls back to the per-element `f64` path.
 pub fn from_external<T: NcValue>(bytes: &[u8], ext: NcType) -> FormatResult<Vec<T>> {
+    let esz = ext.size() as usize;
+    if bytes.len() % esz != 0 {
+        return Err(FormatError::Corrupt(format!(
+            "external buffer length {} is not a multiple of element size {esz}",
+            bytes.len()
+        )));
+    }
+    if ext == T::NATURAL {
+        return Ok(T::slice_from_be(bytes));
+    }
+    from_external_by_element(bytes, ext)
+}
+
+/// The pre-kernel per-element decode path (see [`to_external_by_element`]).
+pub fn from_external_by_element<T: NcValue>(bytes: &[u8], ext: NcType) -> FormatResult<Vec<T>> {
     let esz = ext.size() as usize;
     if bytes.len() % esz != 0 {
         return Err(FormatError::Corrupt(format!(
@@ -319,5 +401,24 @@ mod tests {
     #[test]
     fn misaligned_external_buffer_errors() {
         assert!(from_external::<i32>(&[0, 1, 2], NcType::Int).is_err());
+    }
+
+    #[test]
+    fn bulk_fast_path_matches_element_path() {
+        fn check<T: NcValue>(vals: &[T]) {
+            let fast = to_external(vals, T::NATURAL).unwrap();
+            let slow = to_external_by_element(vals, T::NATURAL).unwrap();
+            assert_eq!(fast, slow);
+            let back: Vec<T> = from_external(&fast, T::NATURAL).unwrap();
+            let back_slow: Vec<T> = from_external_by_element(&fast, T::NATURAL).unwrap();
+            assert_eq!(back, vals);
+            assert_eq!(back_slow, vals);
+        }
+        check::<i8>(&[-128, -1, 0, 1, 127]);
+        check::<u8>(&[0, 1, 255]);
+        check::<i16>(&[i16::MIN, -1, 0, 1, i16::MAX]);
+        check::<i32>(&[i32::MIN, -1, 0, 1, i32::MAX]);
+        check::<f32>(&[-1.5, 0.0, f32::MAX, f32::MIN_POSITIVE]);
+        check::<f64>(&[-1.5, 0.0, 1e300, f64::MIN_POSITIVE]);
     }
 }

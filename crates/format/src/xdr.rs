@@ -6,6 +6,7 @@
 //! padded with zeros to 4-byte boundaries.
 
 use crate::error::{FormatError, FormatResult};
+use crate::types::NcValue;
 
 /// Round `n` up to a multiple of 4.
 pub fn pad4(n: u64) -> u64 {
@@ -70,6 +71,12 @@ impl Writer {
     /// Raw bytes, unpadded.
     pub fn put_bytes(&mut self, b: &[u8]) {
         self.buf.extend_from_slice(b);
+    }
+
+    /// A whole slice of elements in one bulk big-endian pass
+    /// ([`NcValue::slice_to_be`]) instead of a per-element `put_*` loop.
+    pub fn put_slice<T: NcValue>(&mut self, vals: &[T]) {
+        T::slice_to_be(vals, &mut self.buf);
     }
 
     /// Zero-pad to the next 4-byte boundary.
@@ -169,6 +176,16 @@ impl<'a> Reader<'a> {
     /// Raw bytes, unpadded.
     pub fn get_bytes(&mut self, n: usize) -> FormatResult<&'a [u8]> {
         self.take(n)
+    }
+
+    /// Decode `n` elements in one bulk big-endian pass
+    /// ([`NcValue::slice_from_be`]) instead of a per-element `get_*` loop.
+    pub fn get_slice<T: NcValue>(&mut self, n: usize) -> FormatResult<Vec<T>> {
+        let width = T::NATURAL.size() as usize;
+        let need = n.checked_mul(width).ok_or_else(|| {
+            FormatError::Corrupt(format!("element count {n} overflows byte length"))
+        })?;
+        Ok(T::slice_from_be(self.take(need)?))
     }
 
     /// Skip padding to the next 4-byte boundary.

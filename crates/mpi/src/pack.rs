@@ -27,6 +27,41 @@ pub fn pack(buf: &[u8], count: usize, dtype: &Datatype) -> MpiResult<Vec<u8>> {
     Ok(out)
 }
 
+/// Gather like [`pack`], but apply `copy` (a streaming byte transformer,
+/// e.g. an endianness swap) while copying, so the gather and the conversion
+/// are one fused pass — the byte is touched once between the user buffer
+/// and the staging buffer.
+///
+/// `copy` must be position-independent over any `elem_width`-aligned prefix
+/// split (converting the stream in chunks must equal converting it whole).
+/// When some flattened segment is not a multiple of `elem_width` — an
+/// element straddles a segment boundary — the fusion would corrupt that
+/// element, so this falls back to gather-then-convert over the whole
+/// staging buffer.
+pub fn pack_with(
+    buf: &[u8],
+    count: usize,
+    dtype: &Datatype,
+    elem_width: usize,
+    copy: impl Fn(&[u8], &mut [u8]),
+) -> MpiResult<Vec<u8>> {
+    let segs = flatten_n(dtype, count);
+    let total: u64 = segs.iter().map(|s| s.len).sum();
+    let mut out = vec![0u8; total as usize];
+    if segs_elem_aligned(&segs, elem_width) {
+        let mut pos = 0usize;
+        for s in &segs {
+            let (lo, hi) = seg_range(s, buf.len())?;
+            copy(&buf[lo..hi], &mut out[pos..pos + s.len as usize]);
+            pos += s.len as usize;
+        }
+    } else {
+        let staged = pack(buf, count, dtype)?;
+        copy(&staged, &mut out);
+    }
+    Ok(out)
+}
+
 /// Scatter `data` into `count` instances of `dtype` inside `buf`.
 ///
 /// Returns the number of bytes consumed from `data`. Errors if `data` is
@@ -47,6 +82,47 @@ pub fn unpack(data: &[u8], buf: &mut [u8], count: usize, dtype: &Datatype) -> Mp
         pos += s.len as usize;
     }
     Ok(pos)
+}
+
+/// Scatter like [`unpack`], but apply `copy` while scattering (see
+/// [`pack_with`] for the fusion contract and the misaligned-segment
+/// fallback).
+pub fn unpack_with(
+    data: &[u8],
+    buf: &mut [u8],
+    count: usize,
+    dtype: &Datatype,
+    elem_width: usize,
+    copy: impl Fn(&[u8], &mut [u8]),
+) -> MpiResult<usize> {
+    let segs = flatten_n(dtype, count);
+    let total: u64 = segs.iter().map(|s| s.len).sum();
+    if (data.len() as u64) < total {
+        return Err(MpiError::Truncated {
+            needed: total as usize,
+            available: data.len(),
+        });
+    }
+    if segs_elem_aligned(&segs, elem_width) {
+        let mut pos = 0usize;
+        for s in &segs {
+            let (lo, hi) = seg_range(s, buf.len())?;
+            copy(&data[pos..pos + s.len as usize], &mut buf[lo..hi]);
+            pos += s.len as usize;
+        }
+        Ok(pos)
+    } else {
+        let mut converted = vec![0u8; total as usize];
+        copy(&data[..total as usize], &mut converted);
+        unpack(&converted, buf, count, dtype)
+    }
+}
+
+/// True when every flattened segment holds a whole number of
+/// `elem_width`-byte elements, i.e. no element straddles a segment
+/// boundary and per-segment conversion is safe.
+fn segs_elem_aligned(segs: &[Segment], elem_width: usize) -> bool {
+    elem_width <= 1 || segs.iter().all(|s| s.len % elem_width as u64 == 0)
 }
 
 fn seg_range(s: &Segment, buf_len: usize) -> MpiResult<(usize, usize)> {
@@ -141,5 +217,52 @@ mod tests {
         assert!(pack(&[], 0, &t).unwrap().is_empty());
         let mut buf = [];
         assert_eq!(unpack(&[], &mut buf, 0, &t).unwrap(), 0);
+    }
+
+    /// A 2-byte lane swap usable as the fused copy hook in tests.
+    fn swap2(src: &[u8], dst: &mut [u8]) {
+        for (s, d) in src.chunks_exact(2).zip(dst.chunks_exact_mut(2)) {
+            d[0] = s[1];
+            d[1] = s[0];
+        }
+    }
+
+    #[test]
+    fn pack_with_fuses_conversion() {
+        let buf = [0u8, 1, 2, 3, 4, 5, 6, 7];
+        // 2 blocks of 2 bytes, stride 4: picks 0,1,4,5 — aligned for width 2.
+        let t = Datatype::vector(2, 2, 4, Datatype::byte());
+        let fused = pack_with(&buf, 1, &t, 2, swap2).unwrap();
+        let mut staged = vec![0u8; 4];
+        swap2(&pack(&buf, 1, &t).unwrap(), &mut staged);
+        assert_eq!(fused, staged);
+        assert_eq!(fused, vec![1, 0, 5, 4]);
+    }
+
+    #[test]
+    fn pack_with_misaligned_segments_fall_back() {
+        let buf = [0u8, 1, 2, 3, 4, 5, 6, 7];
+        // 4 blocks of 1 byte, stride 2: segment length 1 < element width 2,
+        // so an element spans two segments and fusion must degrade to
+        // gather-then-convert.
+        let t = Datatype::vector(4, 1, 2, Datatype::byte());
+        let fused = pack_with(&buf, 1, &t, 2, swap2).unwrap();
+        let mut staged = vec![0u8; 4];
+        swap2(&pack(&buf, 1, &t).unwrap(), &mut staged);
+        assert_eq!(fused, staged);
+        assert_eq!(fused, vec![2, 0, 6, 4]);
+    }
+
+    #[test]
+    fn unpack_with_is_inverse_of_pack_with() {
+        let src: Vec<u8> = (0..32).collect();
+        let t = Datatype::subarray(&[4, 8], &[2, 4], &[1, 2], Datatype::byte()).unwrap();
+        let packed = pack_with(&src, 1, &t, 2, swap2).unwrap();
+        let mut dst = vec![0u8; 32];
+        let used = unpack_with(&packed, &mut dst, 1, &t, 2, swap2).unwrap();
+        assert_eq!(used, 8);
+        let mut plain = vec![0u8; 32];
+        unpack(&pack(&src, 1, &t).unwrap(), &mut plain, 1, &t).unwrap();
+        assert_eq!(dst, plain, "swap twice restores the original bytes");
     }
 }

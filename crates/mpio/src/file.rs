@@ -296,10 +296,15 @@ impl MpiFile {
         Ok(())
     }
 
-    /// Pack the memory buffer described by `(buf, count, memtype)` into a
-    /// contiguous staging vector, charging pack CPU time for noncontiguous
-    /// layouts.
-    fn stage(&self, buf: &[u8], count: usize, memtype: &Datatype) -> MpioResult<Vec<u8>> {
+    /// Pack the memory buffer described by `(buf, count, memtype)` into
+    /// contiguous staging bytes, charging pack CPU time for noncontiguous
+    /// layouts. Contiguous memory is borrowed as-is — no staging copy.
+    fn stage<'a>(
+        &self,
+        buf: &'a [u8],
+        count: usize,
+        memtype: &Datatype,
+    ) -> MpioResult<std::borrow::Cow<'a, [u8]>> {
         let bytes = memtype.size() as usize * count;
         if memtype.is_contiguous() && memtype.lb() == 0 {
             if buf.len() < bytes {
@@ -308,12 +313,16 @@ impl MpiFile {
                     buf.len()
                 )));
             }
-            return Ok(buf[..bytes].to_vec());
+            self.comm.config().profile.record_bytepath(|b| {
+                b.copies_elided += 1;
+                b.borrowed_bytes += bytes as u64;
+            });
+            return Ok(std::borrow::Cow::Borrowed(&buf[..bytes]));
         }
         let data = pack::pack(buf, count, memtype)?;
         self.comm
             .advance(self.comm.config().cpu.pack(data.len(), 1.0));
-        Ok(data)
+        Ok(std::borrow::Cow::Owned(data))
     }
 
     fn params(&self) -> TwoPhaseParams {
@@ -334,7 +343,18 @@ impl MpiFile {
     /// Map a view-relative access to absolute file runs through the
     /// memoizing flatten cache.
     fn mapped(&self, offset_etypes: u64, len: u64) -> MpioResult<Arc<Vec<Run>>> {
-        self.flatten.lock().map(&self.view, offset_etypes, len)
+        let mut cache = self.flatten.lock();
+        let before = cache.stats();
+        let runs = cache.map(&self.view, offset_etypes, len);
+        let profile = &self.comm.config().profile;
+        if profile.is_enabled() {
+            let after = cache.stats();
+            profile.record_bytepath(|b| {
+                b.flatten_hits += after.0 - before.0;
+                b.flatten_misses += after.1 - before.1;
+            });
+        }
+        runs
     }
 
     /// `(hits, misses)` of the view-flattening memoization cache.

@@ -49,16 +49,20 @@ pub fn write(
         return Ok(now);
     }
 
-    // Sieving: process the covered extent window by window.
+    // Sieving: process the covered extent window by window. The piece list
+    // and the RMW extent buffer are reused across windows — a multi-window
+    // access allocates once, not per window.
     let mut transferred = 0u64; // bytes moved to/from the file system
     let mut idx = 0usize; // current run
     let mut consumed = 0u64; // bytes of runs[idx] already handled
     let mut pos = 0usize; // position in `data`
+    let mut pieces: Vec<(u64, usize, usize)> = Vec::new(); // (off, len, data pos)
+    let mut window: Vec<u8> = Vec::new();
     while idx < runs.len() {
         let wlo = runs[idx].0 + consumed;
         let whi_limit = wlo + buffer_size as u64;
         // Collect the pieces that fall inside [wlo, whi_limit).
-        let mut pieces: Vec<(u64, usize, usize)> = Vec::new(); // (off, len, data pos)
+        pieces.clear();
         let mut whi = wlo;
         while idx < runs.len() {
             let (off, len) = runs[idx];
@@ -85,16 +89,21 @@ pub fn write(
             now = recover::write_at(file, &policy, now, off, &data[dpos..dpos + len])?;
             continue;
         }
-        // Read-modify-write the extent [wlo, whi).
+        // Read-modify-write the extent [wlo, whi). The reused buffer needs
+        // no re-zeroing: `read_at` fills every byte it is handed (zeros
+        // beyond EOF).
         let span = (whi - wlo) as usize;
         transferred += 2 * span as u64; // read the extent, write it back
-        let mut buf = vec![0u8; span];
-        now = recover::read_at(file, &policy, now, wlo, &mut buf)?;
+        if window.len() < span {
+            window.resize(span, 0);
+        }
+        let buf = &mut window[..span];
+        now = recover::read_at(file, &policy, now, wlo, buf)?;
         for &(off, len, dpos) in &pieces {
             let lo = (off - wlo) as usize;
             buf[lo..lo + len].copy_from_slice(&data[dpos..dpos + len]);
         }
-        now = recover::write_at(file, &policy, now, wlo, &buf)?;
+        now = recover::write_at(file, &policy, now, wlo, buf)?;
     }
     file.profile()
         .record_sieve(false, transferred, data.len() as u64);
@@ -135,10 +144,12 @@ pub fn read(
     let mut idx = 0usize;
     let mut consumed = 0u64;
     let mut pos = 0usize;
+    let mut pieces: Vec<(u64, usize, usize)> = Vec::new();
+    let mut window: Vec<u8> = Vec::new();
     while idx < runs.len() {
         let wlo = runs[idx].0 + consumed;
         let whi_limit = wlo + buffer_size as u64;
-        let mut pieces: Vec<(u64, usize, usize)> = Vec::new();
+        pieces.clear();
         let mut whi = wlo;
         while idx < runs.len() {
             let (off, len) = runs[idx];
@@ -167,8 +178,11 @@ pub fn read(
         }
         let span = (whi - wlo) as usize;
         transferred += span as u64;
-        let mut buf = vec![0u8; span];
-        now = recover::read_at(file, &policy, now, wlo, &mut buf)?;
+        if window.len() < span {
+            window.resize(span, 0);
+        }
+        let buf = &mut window[..span];
+        now = recover::read_at(file, &policy, now, wlo, buf)?;
         for &(off, len, dpos) in &pieces {
             let lo = (off - wlo) as usize;
             out[dpos..dpos + len].copy_from_slice(&buf[lo..lo + len]);

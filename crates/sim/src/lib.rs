@@ -45,6 +45,6 @@ pub use time::Time;
 /// Re-export of the profiling layer every consumer of [`SimConfig`] sees.
 pub use pnetcdf_trace as trace;
 pub use pnetcdf_trace::{
-    CacheCounters, CollKind, FaultCounters, IoStages, Phase, PhaseScope, Profile, ProfileSnapshot,
-    Span, TraceCtx, TraceLog, TraceSnapshot,
+    BytePathCounters, CacheCounters, CollKind, FaultCounters, IoStages, Phase, PhaseScope, Profile,
+    ProfileSnapshot, Span, TraceCtx, TraceLog, TraceSnapshot,
 };

@@ -258,6 +258,30 @@ pub struct CacheCounters {
     pub invalidations: u64,
 }
 
+/// Zero-copy byte-path counters: how often the memoized view flattener
+/// hit, how many bytes moved through the fused gather+swap kernels, and
+/// how many staging copies the borrow fast paths elided. Summed over all
+/// ranks of a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BytePathCounters {
+    /// View-flattening memoization hits (run list reused).
+    pub flatten_hits: u64,
+    /// View-flattening misses (datatype walked and run list built).
+    pub flatten_misses: u64,
+    /// Bytes produced by fused gather+byteswap packs (native → external)
+    /// — each of these bytes was touched once instead of copied then
+    /// swapped.
+    pub fused_pack_bytes: u64,
+    /// Bytes consumed by fused byteswap+scatter unpacks (external →
+    /// native).
+    pub fused_unpack_bytes: u64,
+    /// Whole staging copies skipped by borrowing the caller's buffer
+    /// (single coalesced put, contiguous MPI-IO write).
+    pub copies_elided: u64,
+    /// Bytes covered by those elided copies.
+    pub borrowed_bytes: u64,
+}
+
 struct Inner {
     enabled: AtomicBool,
     /// Per-rank, per-phase simulated nanoseconds. Grown on demand.
@@ -277,6 +301,7 @@ struct Inner {
     faults: Mutex<FaultCounters>,
     failover: Mutex<FailoverCounters>,
     cache: Mutex<CacheCounters>,
+    bytepath: Mutex<BytePathCounters>,
     /// Unknown or malformed `pnc_*`/MPI-IO hints rejected at file open.
     hints_rejected: AtomicU64,
     /// Named report fragments attached by higher layers (dataset roll-ups).
@@ -325,6 +350,7 @@ impl Profile {
                 faults: Mutex::new(FaultCounters::default()),
                 failover: Mutex::new(FailoverCounters::default()),
                 cache: Mutex::new(CacheCounters::default()),
+                bytepath: Mutex::new(BytePathCounters::default()),
                 hints_rejected: AtomicU64::new(0),
                 extras: Mutex::new(Vec::new()),
             }),
@@ -517,6 +543,20 @@ impl Profile {
         *lock(&self.inner.cache)
     }
 
+    /// Update the zero-copy byte-path counters.
+    pub fn record_bytepath(&self, f: impl FnOnce(&mut BytePathCounters)) {
+        if !self.is_enabled() {
+            return;
+        }
+        f(&mut lock(&self.inner.bytepath));
+    }
+
+    /// Copy of the byte-path counters (tests and smoke assertions read
+    /// these directly).
+    pub fn bytepath_counters(&self) -> BytePathCounters {
+        *lock(&self.inner.bytepath)
+    }
+
     /// Count one rejected (unknown or malformed) hint key/value observed
     /// at file open. Counted even while profiling is off: a misspelled
     /// hint should be discoverable without enabling the full profile.
@@ -571,6 +611,7 @@ impl Profile {
             faults: *lock(&self.inner.faults),
             failover: *lock(&self.inner.failover),
             cache: *lock(&self.inner.cache),
+            bytepath: *lock(&self.inner.bytepath),
             hints_rejected: self.inner.hints_rejected.load(Ordering::Relaxed),
             extras: lock(&self.inner.extras).clone(),
         }
@@ -604,6 +645,7 @@ impl Profile {
         *lock(&self.inner.faults) = FaultCounters::default();
         *lock(&self.inner.failover) = FailoverCounters::default();
         *lock(&self.inner.cache) = CacheCounters::default();
+        *lock(&self.inner.bytepath) = BytePathCounters::default();
         self.inner.hints_rejected.store(0, Ordering::Relaxed);
         lock(&self.inner.extras).clear();
     }
@@ -639,6 +681,7 @@ pub struct ProfileSnapshot {
     pub faults: FaultCounters,
     pub failover: FailoverCounters,
     pub cache: CacheCounters,
+    pub bytepath: BytePathCounters,
     pub hints_rejected: u64,
     pub extras: Vec<(String, Json)>,
 }

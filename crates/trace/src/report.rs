@@ -143,6 +143,23 @@ impl ProfileSnapshot {
             .with("readahead_hits", Json::from(cc.readahead_hits))
             .with("invalidations", Json::from(cc.invalidations));
 
+        let bp = &self.bytepath;
+        let bytepath = Json::obj()
+            .with("flatten_hits", Json::from(bp.flatten_hits))
+            .with("flatten_misses", Json::from(bp.flatten_misses))
+            .with(
+                "flatten_hit_rate",
+                Json::from(if bp.flatten_hits + bp.flatten_misses > 0 {
+                    bp.flatten_hits as f64 / (bp.flatten_hits + bp.flatten_misses) as f64
+                } else {
+                    0.0
+                }),
+            )
+            .with("fused_pack_bytes", Json::from(bp.fused_pack_bytes))
+            .with("fused_unpack_bytes", Json::from(bp.fused_unpack_bytes))
+            .with("copies_elided", Json::from(bp.copies_elided))
+            .with("borrowed_bytes", Json::from(bp.borrowed_bytes));
+
         let attributed = self.rank_total(critical);
         let mut report = Json::obj()
             .with("sim_total_s", Json::from(nanos_to_s(sim_total_nanos)))
@@ -167,7 +184,8 @@ impl ProfileSnapshot {
             .with("twophase", twophase)
             .with("faults", faults)
             .with("failover", failover)
-            .with("cache", cache);
+            .with("cache", cache)
+            .with("bytepath", bytepath);
         for (name, value) in &self.extras {
             report.set(name, value.clone());
         }
@@ -233,6 +251,30 @@ mod tests {
             .get("collectives")
             .and_then(|c| c.get("barrier"))
             .is_some());
+    }
+
+    #[test]
+    fn bytepath_section_reports_hit_rate() {
+        let p = Profile::enabled();
+        p.record_bytepath(|b| {
+            b.flatten_hits += 3;
+            b.flatten_misses += 1;
+            b.fused_pack_bytes += 512;
+            b.copies_elided += 1;
+            b.borrowed_bytes += 512;
+        });
+        let report = p.snapshot().to_json(0);
+        let bp = report.get("bytepath").unwrap();
+        assert_eq!(bp.get("flatten_hits").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(
+            bp.get("flatten_hit_rate").and_then(Json::as_f64),
+            Some(0.75)
+        );
+        assert_eq!(
+            bp.get("fused_pack_bytes").and_then(Json::as_f64),
+            Some(512.0)
+        );
+        assert_eq!(bp.get("copies_elided").and_then(Json::as_f64), Some(1.0));
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Byte-identity of the fused zero-copy byte path against the old staged
+//! path: the fused gather+swap (`convert::pack_to_external`) and fused
+//! swap+scatter (`convert::unpack_from_external`) must produce bit-identical
+//! results to pack-then-swap / swap-then-unpack for every external type,
+//! memory stride, and the full stack must write identical files whichever
+//! path carries the bytes — including record variables and the nonblocking
+//! merge engine.
+
+use hpc_sim::SimConfig;
+use pnetcdf::convert;
+use pnetcdf::{Dataset, Datatype, Info, NcType, Version};
+use pnetcdf_mpi::pack::{pack, unpack};
+use pnetcdf_mpi::run_world;
+use pnetcdf_pfs::{Pfs, StorageMode};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn cfg() -> SimConfig {
+    SimConfig::test_small()
+}
+
+fn arb_nctype() -> impl Strategy<Value = NcType> {
+    prop_oneof![
+        Just(NcType::Byte),
+        Just(NcType::Char),
+        Just(NcType::Short),
+        Just(NcType::Int),
+        Just(NcType::Float),
+        Just(NcType::Double),
+    ]
+}
+
+/// Fused vs staged, on raw native element bytes (endianness swapping is
+/// pure byte shuffling, so random bit patterns — NaNs included — are fair
+/// game here).
+fn check_pack_identity(t: NcType, memtype: &Datatype, count: usize, buf: &[u8]) {
+    let fused = convert::pack_to_external(buf, count, memtype, t).unwrap();
+    let staged = convert::native_to_external(&pack(buf, count, memtype).unwrap(), t);
+    assert_eq!(fused, staged, "fused pack diverged for {t:?}");
+
+    // And the inverse: fused scatter restores what staged scatter does.
+    let mut via_fused = vec![0xAAu8; buf.len()];
+    let mut via_staged = vec![0xAAu8; buf.len()];
+    let used = convert::unpack_from_external(&fused, &mut via_fused, count, memtype, t).unwrap();
+    let native = convert::external_to_native(&staged, t);
+    let used2 = unpack(&native, &mut via_staged, count, memtype).unwrap();
+    assert_eq!(used, used2);
+    assert_eq!(via_fused, via_staged, "fused unpack diverged for {t:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Element-aligned strided memory: every segment is a whole number of
+    /// elements, so the fused path takes its per-segment branch.
+    #[test]
+    fn fused_matches_staged_aligned(
+        t in arb_nctype(),
+        n in 1usize..48,
+        gap_elems in 0usize..3,
+        seed in any::<u8>(),
+    ) {
+        let w = t.size() as usize;
+        let stride = (w * (1 + gap_elems)) as i64;
+        let memtype = Datatype::vector(n, w, stride, Datatype::byte());
+        let buf: Vec<u8> = (0..memtype.extent() as usize)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect();
+        check_pack_identity(t, &memtype, 1, &buf);
+    }
+
+    /// Segments deliberately *smaller* than one element (half-width blocks)
+    /// force the gather-then-convert fallback inside `pack_with`; the
+    /// result must still be bit-identical.
+    #[test]
+    fn fused_matches_staged_straddling(
+        t in prop_oneof![Just(NcType::Short), Just(NcType::Int), Just(NcType::Double)],
+        n in 1usize..24,
+        seed in any::<u8>(),
+    ) {
+        let w = t.size() as usize;
+        let half = w / 2;
+        // 2n half-element blocks with a one-byte gap: segment lengths are
+        // never a multiple of the element width.
+        let memtype = Datatype::vector(2 * n, half, (half + 1) as i64, Datatype::byte());
+        let buf: Vec<u8> = (0..memtype.extent() as usize)
+            .map(|i| (i as u8).wrapping_mul(17).wrapping_add(seed))
+            .collect();
+        check_pack_identity(t, &memtype, 1, &buf);
+    }
+
+    /// Multiple datatype instances (count > 1) with random payloads.
+    #[test]
+    fn fused_matches_staged_multi_count(
+        t in arb_nctype(),
+        count in 1usize..5,
+        n in 1usize..16,
+        bytes in vec(any::<u8>(), 0..64),
+    ) {
+        let w = t.size() as usize;
+        let memtype = Datatype::vector(n, w, (w * 2) as i64, Datatype::byte());
+        let need = memtype.extent() as usize * count;
+        let mut buf: Vec<u8> = bytes;
+        buf.resize(need.max(buf.len()), 0x5C);
+        check_pack_identity(t, &memtype, count, &buf[..need]);
+    }
+}
+
+/// Full stack, record variable: a strided flexible write from
+/// noncontiguous memory must leave the file byte-identical to the typed
+/// path writing the same values.
+#[test]
+fn record_var_flexible_write_is_byte_identical() {
+    let write = |flexible: bool| -> Vec<u8> {
+        let pfs = Pfs::new(cfg(), StorageMode::Full);
+        let pfs2 = pfs.clone();
+        run_world(2, cfg(), move |c| {
+            let mut ds = Dataset::create(c, &pfs2, "r.nc", Version::Cdf1, &Info::new()).unwrap();
+            let t = ds.def_dim("time", 0).unwrap();
+            let x = ds.def_dim("x", 8).unwrap();
+            let v = ds.def_var("tt", NcType::Double, &[t, x]).unwrap();
+            ds.enddef().unwrap();
+            // Each rank writes two records, every other column.
+            let start = [c.rank() as u64 * 2, 0];
+            let count = [2, 4];
+            let stride = [1, 2];
+            let vals: Vec<f64> = (0..8).map(|i| c.rank() as f64 * 100.0 + i as f64).collect();
+            if flexible {
+                // Noncontiguous memory too: 8 doubles spread over a
+                // 16-double buffer (every other slot).
+                let mut buf = vec![0u8; 16 * 8];
+                for (i, v) in vals.iter().enumerate() {
+                    buf[i * 16..i * 16 + 8].copy_from_slice(&v.to_ne_bytes());
+                }
+                let mem = Datatype::vector(8, 8, 16, Datatype::byte());
+                ds.put_vars_all_flexible(v, &start, &count, &stride, &buf, 1, &mem)
+                    .unwrap();
+            } else {
+                ds.put_vars_all(v, &start, &count, &stride, &vals).unwrap();
+            }
+            ds.close().unwrap();
+        });
+        pfs.open("r.nc").unwrap().to_bytes()
+    };
+    assert_eq!(write(true), write(false));
+}
+
+/// Full stack, independent mode: strided independent writes go through the
+/// data-sieving read-modify-write path; fused and typed must agree.
+#[test]
+fn independent_sieved_flexible_write_is_byte_identical() {
+    let write = |flexible: bool| -> Vec<u8> {
+        let pfs = Pfs::new(cfg(), StorageMode::Full);
+        let pfs2 = pfs.clone();
+        run_world(2, cfg(), move |c| {
+            let mut ds = Dataset::create(c, &pfs2, "i.nc", Version::Cdf1, &Info::new()).unwrap();
+            let z = ds.def_dim("z", 4).unwrap();
+            let x = ds.def_dim("x", 16).unwrap();
+            let v = ds.def_var("a", NcType::Int, &[z, x]).unwrap();
+            ds.enddef().unwrap();
+            ds.begin_indep_data().unwrap();
+            let start = [c.rank() as u64 * 2, 1];
+            let count = [2, 5];
+            let stride = [1, 3];
+            let vals: Vec<i32> = (0..10).map(|i| c.rank() as i32 * 1000 + i).collect();
+            if flexible {
+                let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_ne_bytes()).collect();
+                let mem = Datatype::contiguous(10, Datatype::int());
+                ds.put_vars_flexible(v, &start, &count, &stride, &bytes, 1, &mem)
+                    .unwrap();
+            } else {
+                ds.put_vars(v, &start, &count, &stride, &vals).unwrap();
+            }
+            ds.end_indep_data().unwrap();
+            ds.close().unwrap();
+        });
+        pfs.open("i.nc").unwrap().to_bytes()
+    };
+    assert_eq!(write(true), write(false));
+}
+
+/// Nonblocking merge engine: queued flexible puts flushed by `wait_all`
+/// (the zero-copy cross-request merge) produce the same file as blocking
+/// typed puts, and a queued flexible get scatters the same values back.
+#[test]
+fn nonblocking_merge_is_byte_identical() {
+    let write = |nonblocking: bool| -> Vec<u8> {
+        let pfs = Pfs::new(cfg(), StorageMode::Full);
+        let pfs2 = pfs.clone();
+        run_world(2, cfg(), move |c| {
+            let mut ds = Dataset::create(c, &pfs2, "n.nc", Version::Cdf1, &Info::new()).unwrap();
+            let x = ds.def_dim("x", 32).unwrap();
+            let v = ds.def_var("a", NcType::Float, &[x]).unwrap();
+            ds.enddef().unwrap();
+            let base = c.rank() as u64 * 16;
+            let vals: Vec<f32> = (0..8).map(|i| (base + i) as f32 * 1.5).collect();
+            let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_ne_bytes()).collect();
+            let mem = Datatype::contiguous(8, Datatype::float());
+            if nonblocking {
+                // Two queued halves merge into one coalesced put.
+                let r1 = ds
+                    .iput_vara_flexible(
+                        v,
+                        &[base],
+                        &[4],
+                        &bytes[..16],
+                        1,
+                        &Datatype::contiguous(4, Datatype::float()),
+                    )
+                    .unwrap();
+                let r2 = ds
+                    .iput_vara_flexible(
+                        v,
+                        &[base + 4],
+                        &[4],
+                        &bytes[16..],
+                        1,
+                        &Datatype::contiguous(4, Datatype::float()),
+                    )
+                    .unwrap();
+                ds.wait_all().unwrap();
+                let _ = (r1, r2);
+            } else {
+                ds.put_vara_all_flexible(v, &[base], &[8], &bytes, 1, &mem)
+                    .unwrap();
+            }
+            // Read back through the fused scatter and check values.
+            let mut back = vec![0u8; 32];
+            ds.get_vara_all_flexible(v, &[base], &[8], &mut back, 1, &mem)
+                .unwrap();
+            assert_eq!(back, bytes);
+            ds.close().unwrap();
+        });
+        pfs.open("n.nc").unwrap().to_bytes()
+    };
+    assert_eq!(write(true), write(false));
+}
